@@ -1,0 +1,190 @@
+// Benchmarks regenerating every figure of the paper's evaluation (see
+// DESIGN.md for the experiment index and EXPERIMENTS.md for recorded
+// results). Each benchmark runs the full experiment per iteration on the
+// simulated machine and reports the figure's headline quantity as a custom
+// metric, so `go test -bench=.` reproduces the paper end to end.
+package streamelastic_test
+
+import (
+	"testing"
+	"time"
+
+	"streamelastic/internal/experiments"
+	"streamelastic/internal/sim"
+)
+
+func BenchmarkFig1_PercentDynamicSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig1()
+		if err != nil {
+			b.Fatal(err)
+		}
+		// Fraction of the best hand-swept throughput the framework reaches
+		// automatically, averaged over the four configurations.
+		frac := 0.0
+		for _, s := range r.Series {
+			frac += s.Framework.Throughput / s.BestSweep.Throughput
+		}
+		b.ReportMetric(frac/float64(len(r.Series)), "framework/best")
+	}
+}
+
+func BenchmarkFig6_AdaptationOptimizations(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig6()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.Runs[0].SettleTime.Seconds(), "settle-none-s")
+		b.ReportMetric(r.Runs[2].SettleTime.Seconds(), "settle-hist+sf-s")
+	}
+}
+
+func benchmarkBenchFigure(b *testing.B, run func() (*experiments.BenchResult, error)) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		r, err := run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		meanDyn, meanML := 0.0, 0.0
+		for _, row := range r.Rows {
+			d, m := row.SpeedupVsManual()
+			meanDyn += d
+			meanML += m
+		}
+		n := float64(len(r.Rows))
+		b.ReportMetric(meanDyn/n, "dyn-x-manual")
+		b.ReportMetric(meanML/n, "ml-x-manual")
+	}
+}
+
+func BenchmarkFig9_Pipeline(b *testing.B) {
+	benchmarkBenchFigure(b, func() (*experiments.BenchResult, error) {
+		return experiments.Fig9([]sim.Machine{sim.Xeon176()})
+	})
+}
+
+func BenchmarkFig9_PipelinePower8(b *testing.B) {
+	benchmarkBenchFigure(b, func() (*experiments.BenchResult, error) {
+		return experiments.Fig9([]sim.Machine{sim.Power8()})
+	})
+}
+
+func BenchmarkFig10_DataParallel(b *testing.B) {
+	benchmarkBenchFigure(b, func() (*experiments.BenchResult, error) {
+		return experiments.Fig10(sim.Xeon176().WithCores(88))
+	})
+}
+
+func BenchmarkFig11_Mixed(b *testing.B) {
+	benchmarkBenchFigure(b, func() (*experiments.BenchResult, error) {
+		return experiments.Fig11(sim.Xeon176().WithCores(88))
+	})
+}
+
+func BenchmarkFig12_Bushy(b *testing.B) {
+	benchmarkBenchFigure(b, func() (*experiments.BenchResult, error) {
+		return experiments.Fig12(sim.Xeon176())
+	})
+}
+
+func BenchmarkFig13_PhaseChange(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig13()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.ReAdaptation.Seconds(), "readapt-s")
+		b.ReportMetric(float64(r.ThreadsAfter-r.ThreadsBefore), "thread-delta")
+		b.ReportMetric(float64(r.QueuesAfter-r.QueuesBefore), "queue-delta")
+	}
+}
+
+func BenchmarkFig15a_VWAP(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig15a()
+		if err != nil {
+			b.Fatal(err)
+		}
+		row := r.Rows[len(r.Rows)-1] // 88 cores
+		b.ReportMetric(experiments.Speedup(row.MultiLevel, row.Manual), "ml-x-manual")
+		b.ReportMetric(float64(row.MultiLevel.Threads), "ml-threads")
+	}
+}
+
+func BenchmarkFig15b_PacketAnalysis(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig15b()
+		if err != nil {
+			b.Fatal(err)
+		}
+		row := r.Rows[len(r.Rows)-1] // 8 sources
+		b.ReportMetric(row.MultiLevel.Throughput/row.HandOpt.Throughput, "ml/handopt")
+		b.ReportMetric(float64(row.MultiLevel.Threads), "ml-threads")
+		b.ReportMetric(float64(row.HandThreads), "hand-threads")
+	}
+}
+
+func BenchmarkRunToRunVariance(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.RunToRunVariance(8)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(100*r.CV, "cv-%")
+	}
+}
+
+func BenchmarkMultiPhaseAdaptation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.MultiPhase([]float64{0.1, 0.9, 0.1}, 2*time.Hour)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.Phases[1].ReAdaptation.Seconds(), "heavy-readapt-s")
+	}
+}
+
+func BenchmarkAblation_PrimaryOrder(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.AblationPrimaryOrder()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(r.Rows[0].MaxThreads), "paper-max-threads")
+		b.ReportMetric(float64(r.Rows[1].MaxThreads), "rejected-max-threads")
+	}
+}
+
+func BenchmarkAblation_StartDirection(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.AblationStartDirection()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.Rows[0].Throughput, "start-min-thr")
+		b.ReportMetric(r.Rows[1].Throughput, "start-max-thr")
+	}
+}
+
+func BenchmarkAblation_Sens(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.AblationSens()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(r.Rows[1].Steps), "steps-at-0.05")
+	}
+}
+
+func BenchmarkAblation_Grouping(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.AblationGrouping()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(r.Rows[0].Steps), "grouped-steps")
+		b.ReportMetric(float64(r.Rows[1].Steps), "fine-steps")
+	}
+}

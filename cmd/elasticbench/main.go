@@ -1,0 +1,194 @@
+// Command elasticbench regenerates the paper's evaluation figures on the
+// simulated machine and prints their tables and series.
+//
+// Usage:
+//
+//	elasticbench -fig all            # every figure and ablation
+//	elasticbench -fig 9 -power8      # Fig. 9 on both modeled machines
+//	elasticbench -fig 6 -timeline 2  # Fig. 6 plus run (c)'s timeline CSV
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"streamelastic/internal/experiments"
+	"streamelastic/internal/sim"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "figure to run: 1, 5, 6, 9, 10, 11, 12, 13, 15a, 15b, variance, multiphase, warmrestart, ablations, all")
+	power8 := flag.Bool("power8", false, "include the Power8 machine where applicable")
+	timeline := flag.Int("timeline", -1, "with -fig 6: also dump run N's timeline as CSV (0-3)")
+	flag.Parse()
+
+	if err := run(os.Stdout, *fig, *power8, *timeline); err != nil {
+		fmt.Fprintln(os.Stderr, "elasticbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(w io.Writer, fig string, power8 bool, timeline int) error {
+	machines := []sim.Machine{sim.Xeon176()}
+	if power8 {
+		machines = append(machines, sim.Power8())
+	}
+
+	type job struct {
+		name string
+		run  func() error
+	}
+	sep := func() { fmt.Fprintln(w) }
+
+	jobs := map[string]func() error{
+		"1": func() error {
+			r, err := experiments.Fig1()
+			if err != nil {
+				return err
+			}
+			r.Fprint(w)
+			return nil
+		},
+		"5": func() error {
+			r, err := experiments.Fig5()
+			if err != nil {
+				return err
+			}
+			r.Fprint(w)
+			return nil
+		},
+		"6": func() error {
+			r, err := experiments.Fig6()
+			if err != nil {
+				return err
+			}
+			r.Fprint(w)
+			if timeline >= 0 {
+				fmt.Fprintf(w, "\ntimeline of run %d (time_s,throughput,threads,queues):\n", timeline)
+				return r.Timeline(w, timeline)
+			}
+			return nil
+		},
+		"9": func() error {
+			r, err := experiments.Fig9(machines)
+			if err != nil {
+				return err
+			}
+			r.Fprint(w)
+			return nil
+		},
+		"10": func() error {
+			r, err := experiments.Fig10(sim.Xeon176().WithCores(88))
+			if err != nil {
+				return err
+			}
+			r.Fprint(w)
+			return nil
+		},
+		"11": func() error {
+			r, err := experiments.Fig11(sim.Xeon176().WithCores(88))
+			if err != nil {
+				return err
+			}
+			r.Fprint(w)
+			return nil
+		},
+		"12": func() error {
+			r, err := experiments.Fig12(sim.Xeon176())
+			if err != nil {
+				return err
+			}
+			r.Fprint(w)
+			return nil
+		},
+		"13": func() error {
+			r, err := experiments.Fig13()
+			if err != nil {
+				return err
+			}
+			r.Fprint(w)
+			return nil
+		},
+		"15a": func() error {
+			r, err := experiments.Fig15a()
+			if err != nil {
+				return err
+			}
+			r.Fprint(w)
+			return nil
+		},
+		"15b": func() error {
+			r, err := experiments.Fig15b()
+			if err != nil {
+				return err
+			}
+			r.Fprint(w)
+			return nil
+		},
+		"warmrestart": func() error {
+			r, err := experiments.WarmRestart()
+			if err != nil {
+				return err
+			}
+			r.Fprint(w)
+			return nil
+		},
+		"multiphase": func() error {
+			r, err := experiments.MultiPhase([]float64{0.1, 0.9, 0.1}, 2*time.Hour)
+			if err != nil {
+				return err
+			}
+			r.Fprint(w)
+			return nil
+		},
+		"variance": func() error {
+			r, err := experiments.RunToRunVariance(8)
+			if err != nil {
+				return err
+			}
+			r.Fprint(w)
+			return nil
+		},
+		"ablations": func() error {
+			for _, f := range []func() (*experiments.AblationResult, error){
+				experiments.AblationPrimaryOrder,
+				experiments.AblationStartDirection,
+				experiments.AblationSens,
+				experiments.AblationGrouping,
+			} {
+				r, err := f()
+				if err != nil {
+					return err
+				}
+				r.Fprint(w)
+				sep()
+			}
+			return nil
+		},
+	}
+
+	if fig != "all" {
+		j, ok := jobs[fig]
+		if !ok {
+			return fmt.Errorf("unknown figure %q", fig)
+		}
+		return j()
+	}
+	order := []job{
+		{"1", jobs["1"]}, {"5", jobs["5"]}, {"6", jobs["6"]}, {"9", jobs["9"]}, {"10", jobs["10"]},
+		{"11", jobs["11"]}, {"12", jobs["12"]}, {"13", jobs["13"]},
+		{"15a", jobs["15a"]}, {"15b", jobs["15b"]}, {"variance", jobs["variance"]},
+		{"multiphase", jobs["multiphase"]}, {"warmrestart", jobs["warmrestart"]},
+		{"ablations", jobs["ablations"]},
+	}
+	for _, j := range order {
+		if err := j.run(); err != nil {
+			return fmt.Errorf("fig %s: %w", j.name, err)
+		}
+		sep()
+	}
+	return nil
+}

@@ -1,0 +1,71 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunSingleFigures(t *testing.T) {
+	cases := []struct {
+		fig  string
+		want string
+	}{
+		{"13", "Figure 13"},
+		{"15a", "vwap-52"},
+		{"variance", "coefficient of variation"},
+		{"10", "dataparallel"},
+	}
+	for _, c := range cases {
+		var sb strings.Builder
+		if err := run(&sb, c.fig, false, -1); err != nil {
+			t.Fatalf("fig %s: %v", c.fig, err)
+		}
+		if !strings.Contains(sb.String(), c.want) {
+			t.Fatalf("fig %s output missing %q:\n%s", c.fig, c.want, sb.String())
+		}
+	}
+}
+
+func TestRunFig6WithTimeline(t *testing.T) {
+	var sb strings.Builder
+	if err := run(&sb, "6", false, 1); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "timeline of run 1") {
+		t.Fatalf("missing timeline header:\n%s", out)
+	}
+	if !strings.Contains(out, "adaptation period reduced") {
+		t.Fatal("missing settle summary")
+	}
+}
+
+func TestRunUnknownFigure(t *testing.T) {
+	var sb strings.Builder
+	if err := run(&sb, "nope", false, -1); err == nil {
+		t.Fatal("unknown figure accepted")
+	}
+}
+
+// TestRunAll exercises the complete dispatch path, regenerating every
+// figure once.
+func TestRunAll(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full figure regeneration skipped in -short mode")
+	}
+	var sb strings.Builder
+	if err := run(&sb, "all", false, -1); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"Figure 1", "Figure 5 walkthrough", "Figure 6", "fig9", "fig10",
+		"fig11", "fig12", "Figure 13", "Figure 15",
+		"Run-to-run variance", "Multi-phase", "Warm restart",
+		"Ablation primary-order", "Ablation grouping",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("all-figures output missing %q", want)
+		}
+	}
+}

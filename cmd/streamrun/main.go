@@ -1,0 +1,225 @@
+// Command streamrun executes a benchmark topology live on goroutines with
+// multi-level elasticity and reports the adaptation as it happens.
+//
+// Usage:
+//
+//	streamrun -shape pipeline -ops 50 -flops 20000 -duration 5s
+//	streamrun -shape mixed -width 4 -depth 8 -skewed -trace
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"streamelastic"
+
+	"streamelastic/internal/core"
+	"streamelastic/internal/exec"
+	"streamelastic/internal/pe"
+	"streamelastic/internal/workload"
+)
+
+func main() {
+	var (
+		shape    = flag.String("shape", "pipeline", "graph shape: pipeline, dataparallel, mixed, bushy")
+		ops      = flag.Int("ops", 50, "operator count (pipeline)")
+		width    = flag.Int("width", 4, "parallel width (dataparallel, mixed)")
+		depth    = flag.Int("depth", 8, "chain depth (mixed)")
+		payload  = flag.Int("payload", 1024, "tuple payload bytes")
+		flops    = flag.Float64("flops", 10000, "per-operator FLOPs (balanced distribution)")
+		skewed   = flag.Bool("skewed", false, "use the skewed 10/30/60 cost distribution")
+		threads  = flag.Int("maxthreads", 16, "scheduler-thread cap")
+		duration = flag.Duration("duration", 5*time.Second, "run time")
+		period   = flag.Duration("period", 200*time.Millisecond, "adaptation period")
+		trace    = flag.Bool("trace", false, "print the full adaptation trace at exit")
+		pes      = flag.Int("pes", 1, "split the graph across N processing elements connected by TCP")
+		file     = flag.String("file", "", "run a topology description file instead of a generated shape")
+	)
+	flag.Parse()
+
+	var err error
+	if *file != "" {
+		err = runFile(*file, *threads, *duration, *period, *trace)
+	} else {
+		err = run(*shape, *ops, *width, *depth, *payload, *flops, *skewed, *threads, *duration, *period, *trace, *pes)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "streamrun:", err)
+		os.Exit(1)
+	}
+}
+
+// runFile parses a topology description (see streamelastic.ParseTopology)
+// and runs it live with multi-level elasticity.
+func runFile(path string, maxThreads int, duration, period time.Duration, dumpTrace bool) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	top, nodes, err := streamelastic.ParseTopology(f)
+	if err != nil {
+		return err
+	}
+	ecfg := streamelastic.DefaultElasticConfig()
+	ecfg.MaxThreads = maxThreads
+	rt, err := streamelastic.NewRuntime(top, streamelastic.RuntimeOptions{
+		MaxThreads:  maxThreads,
+		AdaptPeriod: period,
+		Elastic:     ecfg,
+	})
+	if err != nil {
+		return err
+	}
+	if err := rt.Start(context.Background()); err != nil {
+		return err
+	}
+	defer rt.Stop()
+	fmt.Printf("running %s (%d operators) live for %s\n", path, len(nodes), duration)
+	start := time.Now()
+	var last uint64
+	for time.Since(start) < duration {
+		time.Sleep(time.Second)
+		cur := rt.SinkCount()
+		fmt.Printf("t=%4.0fs  sink=%8.0f tuples/s  threads=%2d  queues=%3d  settled=%v\n",
+			time.Since(start).Seconds(), float64(cur-last), rt.Threads(), rt.Queues(), rt.Settled())
+		last = cur
+	}
+	if dumpTrace {
+		fmt.Println("\nadaptation trace:")
+		for _, e := range rt.Trace() {
+			fmt.Printf("  %6.1fs thr=%9.0f threads=%2d queues=%3d  [%s] %s\n",
+				e.Time.Seconds(), e.Throughput, e.Threads, e.Queues, e.Phase, e.Note)
+		}
+	}
+	return nil
+}
+
+func run(shape string, ops, width, depth, payload int, flops float64, skewed bool,
+	maxThreads int, duration, period time.Duration, dumpTrace bool, pes int) error {
+	cfg := workload.DefaultConfig()
+	cfg.PayloadBytes = payload
+	cfg.BalancedFLOPs = flops
+	cfg.Skewed = skewed
+
+	var (
+		b   *workload.Build
+		err error
+	)
+	switch shape {
+	case "pipeline":
+		b, err = workload.Pipeline(ops, cfg)
+	case "dataparallel":
+		b, err = workload.DataParallel(width, cfg)
+	case "mixed":
+		b, err = workload.Mixed(width, depth, cfg)
+	case "bushy":
+		b, err = workload.Bushy(cfg)
+	default:
+		return fmt.Errorf("unknown shape %q", shape)
+	}
+	if err != nil {
+		return err
+	}
+
+	if pes > 1 {
+		return runJob(b, maxThreads, duration, period, pes)
+	}
+
+	eng, err := exec.New(b.Graph, exec.Options{MaxThreads: maxThreads, AdaptPeriod: period})
+	if err != nil {
+		return err
+	}
+	ecfg := core.DefaultConfig()
+	ecfg.MaxThreads = maxThreads
+	coord, err := core.NewCoordinator(eng, ecfg)
+	if err != nil {
+		return err
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	if err := eng.Start(ctx); err != nil {
+		return err
+	}
+	defer eng.Stop()
+
+	adaptDone := make(chan struct{})
+	go func() {
+		defer close(adaptDone)
+		_ = coord.Run(ctx)
+	}()
+
+	fmt.Printf("running %s (%d operators, payload %dB) live for %s\n",
+		b.Name, b.Graph.NumNodes(), payload, duration)
+	start := time.Now()
+	var last uint64
+	tick := time.NewTicker(time.Second)
+	defer tick.Stop()
+	deadline := time.After(duration)
+loop:
+	for {
+		select {
+		case <-tick.C:
+			cur := b.Sink.Count()
+			fmt.Printf("t=%4.0fs  throughput=%8.0f tuples/s  threads=%2d  queues=%3d  settled=%v\n",
+				time.Since(start).Seconds(), float64(cur-last), eng.ThreadCount(), eng.Queues(), coord.Settled())
+			last = cur
+		case <-deadline:
+			break loop
+		}
+	}
+	cancel()
+	<-adaptDone
+
+	fmt.Printf("\nfinal: %d tuples, %d threads, %d queues, settled=%v\n",
+		b.Sink.Count(), eng.ThreadCount(), eng.Queues(), coord.Settled())
+	if dumpTrace {
+		fmt.Println("\nadaptation trace:")
+		for _, e := range coord.Trace() {
+			fmt.Printf("  %6.1fs thr=%9.0f threads=%2d queues=%3d  [%s] %s\n",
+				e.Time.Seconds(), e.Throughput, e.Threads, e.Queues, e.Phase, e.Note)
+		}
+	}
+	return nil
+}
+
+// runJob executes the workload as a multi-PE job, every PE adapting
+// independently.
+func runJob(b *workload.Build, maxThreads int, duration, period time.Duration, pes int) error {
+	assign, err := pe.AssignContiguous(b.Graph, pes)
+	if err != nil {
+		return err
+	}
+	ecfg := core.DefaultConfig()
+	ecfg.MaxThreads = maxThreads
+	job, err := pe.Launch(b.Graph, assign, pe.Options{
+		Exec:    exec.Options{MaxThreads: maxThreads, AdaptPeriod: period},
+		Elastic: ecfg,
+	})
+	if err != nil {
+		return err
+	}
+	if err := job.Start(context.Background()); err != nil {
+		return err
+	}
+	defer job.Stop()
+	fmt.Printf("running %s as %d PEs (%d TCP streams) for %s\n",
+		b.Name, pes, len(job.Streams()), duration)
+	start := time.Now()
+	var last uint64
+	for time.Since(start) < duration {
+		time.Sleep(time.Second)
+		cur := b.Sink.Count()
+		fmt.Printf("t=%4.0fs  end-to-end=%8.0f tuples/s", time.Since(start).Seconds(), float64(cur-last))
+		last = cur
+		for _, rt := range job.PEs {
+			fmt.Printf("  PE%d[T=%d Q=%d]", rt.Plan.PE, rt.Eng.ThreadCount(), rt.Eng.Queues())
+		}
+		fmt.Println()
+	}
+	fmt.Printf("final: %d tuples end to end\n", b.Sink.Count())
+	return nil
+}

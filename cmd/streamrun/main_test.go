@@ -1,0 +1,60 @@
+package main
+
+import (
+	"os"
+	"testing"
+	"time"
+)
+
+func TestRunPipelineLive(t *testing.T) {
+	err := run("pipeline", 10, 4, 8, 64, 5000, false, 4,
+		1500*time.Millisecond, 100*time.Millisecond, true, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunSkewedBushy(t *testing.T) {
+	err := run("bushy", 0, 4, 8, 64, 100, true, 2,
+		1200*time.Millisecond, 100*time.Millisecond, false, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunMultiPE(t *testing.T) {
+	err := run("pipeline", 8, 4, 8, 64, 5000, false, 4,
+		1500*time.Millisecond, 100*time.Millisecond, false, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunUnknownShape(t *testing.T) {
+	if err := run("triangle", 10, 4, 8, 64, 100, false, 4,
+		time.Second, 100*time.Millisecond, false, 1); err == nil {
+		t.Fatal("unknown shape accepted")
+	}
+}
+
+func TestRunFile(t *testing.T) {
+	dir := t.TempDir()
+	path := dir + "/topo.txt"
+	src := "source s generator payload=64 cost=100\nop w work flops=5000\nop k sink\nedge s -> w\nedge w -> k\n"
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := runFile(path, 4, 1200*time.Millisecond, 100*time.Millisecond, true); err != nil {
+		t.Fatal(err)
+	}
+	if err := runFile(dir+"/missing.txt", 4, time.Second, 100*time.Millisecond, false); err == nil {
+		t.Fatal("missing file accepted")
+	}
+	bad := dir + "/bad.txt"
+	if err := os.WriteFile(bad, []byte("gibberish"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := runFile(bad, 4, time.Second, 100*time.Millisecond, false); err == nil {
+		t.Fatal("bad topology accepted")
+	}
+}

@@ -1,0 +1,267 @@
+package streamelastic
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// ParseTopology builds a Topology from a compact textual description, in
+// the spirit of the paper's SPL programs: one declaration per line.
+//
+//	# comments and blank lines are ignored
+//	source <name> generator [payload=N] [tuples=N] [keys=N] [cost=F] [rate=F]
+//	op     <name> work      flops=F
+//	op     <name> tokenize  [rate-hint via edge]
+//	op     <name> split     width=N
+//	op     <name> sample    k=N
+//	op     <name> union
+//	op     <name> counter   [window=N] [every=N]
+//	op     <name> join      [unmatched=emit]
+//	op     <name> timewindow size=DUR [slide=DUR] [fn=count|sum|avg|min|max]
+//	op     <name> reorder   [start=N] [cap=N]
+//	op     <name> sink
+//	edge   <from>[.port] -> <to>[.port] [rate=F]
+//	contended <name>
+//
+// source rate=F wraps the generator in a throttle of F tuples/second. Edge
+// ports default to 0; edge rate defaults to 1. Returns the topology and the
+// name->node mapping.
+func ParseTopology(r io.Reader) (*Topology, map[string]NodeID, error) {
+	top := NewTopology()
+	nodes := make(map[string]NodeID)
+	sinks := make(map[string]*CountingSink)
+	_ = sinks
+
+	scanner := bufio.NewScanner(r)
+	lineNo := 0
+	for scanner.Scan() {
+		lineNo++
+		line := strings.TrimSpace(scanner.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		fail := func(format string, args ...any) error {
+			return fmt.Errorf("line %d: %s", lineNo, fmt.Sprintf(format, args...))
+		}
+		switch fields[0] {
+		case "source":
+			if len(fields) < 3 {
+				return nil, nil, fail("source needs a name and a kind")
+			}
+			name, kind := fields[1], fields[2]
+			if _, dup := nodes[name]; dup {
+				return nil, nil, fail("duplicate node %q", name)
+			}
+			if kind != "generator" {
+				return nil, nil, fail("unknown source kind %q", kind)
+			}
+			kv, err := parseKV(fields[3:])
+			if err != nil {
+				return nil, nil, fail("%v", err)
+			}
+			gen := NewGenerator(name, int(kv.num("payload", 0)))
+			gen.MaxTuples = uint64(kv.num("tuples", 0))
+			gen.Keys = uint64(kv.num("keys", 0))
+			var src Source = gen
+			if rate := kv.num("rate", 0); rate > 0 {
+				src = NewThrottle(gen, rate)
+			}
+			nodes[name] = top.AddSource(src, kv.num("cost", 0))
+
+		case "op":
+			if len(fields) < 3 {
+				return nil, nil, fail("op needs a name and a kind")
+			}
+			name, kind := fields[1], fields[2]
+			if _, dup := nodes[name]; dup {
+				return nil, nil, fail("duplicate node %q", name)
+			}
+			kv, err := parseKV(fields[3:])
+			if err != nil {
+				return nil, nil, fail("%v", err)
+			}
+			var (
+				op   Operator
+				cost float64
+			)
+			switch kind {
+			case "work":
+				cost = kv.num("flops", 0)
+				if cost <= 0 {
+					return nil, nil, fail("work needs flops=F > 0")
+				}
+				op = NewWorkOp(name, cost)
+			case "tokenize":
+				op = NewTokenize(name)
+				cost = kv.num("cost", 0)
+			case "split":
+				width := int(kv.num("width", 0))
+				if width < 1 {
+					return nil, nil, fail("split needs width=N >= 1")
+				}
+				op = NewRoundRobinSplit(name, width)
+				cost = kv.num("cost", 0)
+			case "sample":
+				op = NewSample(name, int(kv.num("k", 1)))
+				cost = kv.num("cost", 0)
+			case "union":
+				op = NewUnion(name)
+				cost = kv.num("cost", 0)
+			case "counter":
+				op = NewKeyedCounter(name, int(kv.num("window", 1024)), int(kv.num("every", 1)))
+				cost = kv.num("cost", 0)
+			case "timewindow":
+				size, err := kv.dur("size")
+				if err != nil || size <= 0 {
+					return nil, nil, fail("timewindow needs size=DUR")
+				}
+				slide, _ := kv.dur("slide")
+				fn, err := parseAggFunc(kv.str("fn", "count"))
+				if err != nil {
+					return nil, nil, fail("%v", err)
+				}
+				op = NewTimeWindow(name, size, slide, fn)
+				cost = kv.num("cost", 0)
+			case "join":
+				j := NewKeyedJoin(name)
+				if kv.str("unmatched", "") == "emit" {
+					j.EmitUnmatched = true
+				}
+				op = j
+				cost = kv.num("cost", 0)
+			case "reorder":
+				op = NewReorder(name, uint64(kv.num("start", 0)), int(kv.num("cap", 1024)))
+				cost = kv.num("cost", 0)
+			case "sink":
+				op = NewCountingSink(name)
+				cost = kv.num("cost", 0)
+			default:
+				return nil, nil, fail("unknown op kind %q", kind)
+			}
+			nodes[name] = top.AddOperator(op, cost)
+
+		case "edge":
+			// edge a.0 -> b.1 rate=0.5
+			if len(fields) < 4 || fields[2] != "->" {
+				return nil, nil, fail("edge syntax: edge <from>[.port] -> <to>[.port] [rate=F]")
+			}
+			from, fromPort, err := parseEndpoint(fields[1], nodes)
+			if err != nil {
+				return nil, nil, fail("%v", err)
+			}
+			to, toPort, err := parseEndpoint(fields[3], nodes)
+			if err != nil {
+				return nil, nil, fail("%v", err)
+			}
+			kv, err := parseKV(fields[4:])
+			if err != nil {
+				return nil, nil, fail("%v", err)
+			}
+			rate := kv.num("rate", 1)
+			if err := top.ConnectRate(from, fromPort, to, toPort, rate); err != nil {
+				return nil, nil, fail("%v", err)
+			}
+
+		case "contended":
+			if len(fields) != 2 {
+				return nil, nil, fail("contended needs a node name")
+			}
+			id, ok := nodes[fields[1]]
+			if !ok {
+				return nil, nil, fail("unknown node %q", fields[1])
+			}
+			top.MarkContended(id)
+
+		default:
+			return nil, nil, fail("unknown directive %q", fields[0])
+		}
+	}
+	if err := scanner.Err(); err != nil {
+		return nil, nil, err
+	}
+	if len(nodes) == 0 {
+		return nil, nil, fmt.Errorf("empty topology description")
+	}
+	return top, nodes, nil
+}
+
+// kvPairs holds parsed key=value options.
+type kvPairs map[string]string
+
+func parseKV(fields []string) (kvPairs, error) {
+	kv := make(kvPairs, len(fields))
+	for _, f := range fields {
+		k, v, ok := strings.Cut(f, "=")
+		if !ok || k == "" {
+			return nil, fmt.Errorf("expected key=value, got %q", f)
+		}
+		kv[k] = v
+	}
+	return kv, nil
+}
+
+func (kv kvPairs) num(key string, def float64) float64 {
+	v, ok := kv[key]
+	if !ok {
+		return def
+	}
+	f, err := strconv.ParseFloat(v, 64)
+	if err != nil {
+		return def
+	}
+	return f
+}
+
+func (kv kvPairs) str(key, def string) string {
+	if v, ok := kv[key]; ok {
+		return v
+	}
+	return def
+}
+
+func (kv kvPairs) dur(key string) (time.Duration, error) {
+	v, ok := kv[key]
+	if !ok {
+		return 0, nil
+	}
+	return time.ParseDuration(v)
+}
+
+func parseEndpoint(s string, nodes map[string]NodeID) (NodeID, int, error) {
+	name, portStr, hasPort := strings.Cut(s, ".")
+	id, ok := nodes[name]
+	if !ok {
+		return 0, 0, fmt.Errorf("unknown node %q", name)
+	}
+	port := 0
+	if hasPort {
+		p, err := strconv.Atoi(portStr)
+		if err != nil || p < 0 {
+			return 0, 0, fmt.Errorf("invalid port %q on %q", portStr, name)
+		}
+		port = p
+	}
+	return id, port, nil
+}
+
+func parseAggFunc(s string) (AggregateFunc, error) {
+	switch s {
+	case "count":
+		return AggCount, nil
+	case "sum":
+		return AggSum, nil
+	case "avg":
+		return AggAvg, nil
+	case "min":
+		return AggMin, nil
+	case "max":
+		return AggMax, nil
+	default:
+		return 0, fmt.Errorf("unknown aggregate function %q", s)
+	}
+}

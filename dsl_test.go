@@ -1,0 +1,143 @@
+package streamelastic
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+)
+
+const sampleTopology = `
+# A small keyed-counting job.
+source pages generator payload=256 tuples=5000 keys=16 cost=100
+op stage work flops=2000
+op counts counter window=512 every=4
+op out sink
+
+edge pages -> stage
+edge stage -> counts
+edge counts.0 -> out.0 rate=0.25
+contended out
+`
+
+func TestParseTopologyBuildsGraph(t *testing.T) {
+	top, nodes, err := ParseTopology(strings.NewReader(sampleTopology))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if top.NumOperators() != 4 {
+		t.Fatalf("operators = %d, want 4", top.NumOperators())
+	}
+	for _, name := range []string{"pages", "stage", "counts", "out"} {
+		if _, ok := nodes[name]; !ok {
+			t.Fatalf("node %q missing", name)
+		}
+	}
+	// The parsed topology is runnable end to end.
+	rt, err := NewRuntime(top, RuntimeOptions{DisableElasticity: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Start(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Stop()
+	deadline := time.Now().Add(15 * time.Second)
+	for rt.SinkCount() == 0 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if rt.SinkCount() == 0 {
+		t.Fatal("parsed topology produced no output")
+	}
+}
+
+func TestParseTopologyAllOperatorKinds(t *testing.T) {
+	src := `
+source s generator payload=64 rate=100000
+op w work flops=500
+op sp split width=2
+op a sample k=2
+op b union
+op tw timewindow size=10s slide=2s fn=avg
+op ro reorder start=0 cap=256
+op j join unmatched=emit
+op k sink
+edge s -> w
+edge w -> sp
+edge sp.0 -> a rate=0.5
+edge sp.1 -> b rate=0.5
+edge a -> b
+edge b -> tw
+edge tw -> ro rate=0.2
+edge ro -> j.0
+edge j -> k
+`
+	top, nodes, err := ParseTopology(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nodes) != 9 {
+		t.Fatalf("nodes = %d, want 9", len(nodes))
+	}
+	// Validate by freezing through a simulation.
+	if _, err := NewSimulation(top, Xeon176(), SimOptions{}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseTopologyErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+	}{
+		{"unknown directive", "frobnicate x"},
+		{"unknown source kind", "source s fishtank"},
+		{"unknown op kind", "source s generator\nop a warp"},
+		{"duplicate node", "source s generator\nop s work flops=1"},
+		{"work without flops", "source s generator\nop w work"},
+		{"split without width", "source s generator\nop x split"},
+		{"bad edge syntax", "source s generator\nop w work flops=1\nedge s w"},
+		{"unknown edge node", "source s generator\nedge s -> ghost"},
+		{"bad port", "source s generator\nop w work flops=1\nedge s.x -> w"},
+		{"bad kv", "source s generator payload"},
+		{"timewindow without size", "source s generator\nop tw timewindow"},
+		{"bad agg fn", "source s generator\nop tw timewindow size=1s fn=median"},
+		{"contended unknown", "source s generator\ncontended ghost"},
+		{"empty", "\n# just a comment\n"},
+	}
+	for _, c := range cases {
+		if _, _, err := ParseTopology(strings.NewReader(c.src)); err == nil {
+			t.Errorf("%s: accepted", c.name)
+		}
+	}
+}
+
+func TestParseTopologyErrorsIncludeLineNumbers(t *testing.T) {
+	src := "source s generator\n\nop bad warp\n"
+	_, _, err := ParseTopology(strings.NewReader(src))
+	if err == nil || !strings.Contains(err.Error(), "line 3") {
+		t.Fatalf("error %v does not cite line 3", err)
+	}
+}
+
+func TestParseTopologyThrottledSource(t *testing.T) {
+	src := "source s generator rate=5000\nop k sink\nedge s -> k"
+	top, _, err := ParseTopology(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := NewRuntime(top, RuntimeOptions{DisableElasticity: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Start(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Stop()
+	time.Sleep(400 * time.Millisecond)
+	got := rt.SinkCount()
+	// ~5000/s over 0.4s => ~2000; generous bounds.
+	if got < 300 || got > 4500 {
+		t.Fatalf("throttled source produced %d tuples in 400ms", got)
+	}
+}

@@ -1,0 +1,99 @@
+// Packetanalysis shows the simulation API used for capacity planning: it
+// builds a network-monitoring topology shaped like the paper's
+// PacketAnalysis application (§4.3) — a packet source fanning out to DGA,
+// tunneling and volumetric analysis pipelines — and asks the simulated
+// 176-core machine how manual threading, pure thread-count elasticity and
+// multi-level elasticity would perform, without occupying a real machine
+// for hours.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"streamelastic"
+)
+
+const (
+	parseOps    = 4
+	chainLength = 40
+)
+
+// buildTopology assembles sources x (parse chain -> fan-out -> 3 analysis
+// chains) -> shared sink.
+func buildTopology(sources int) (*streamelastic.Topology, error) {
+	top := streamelastic.NewTopology()
+	sink := streamelastic.NewCountingSink("reports")
+	snk := top.AddOperator(sink, 10)
+	chains := []struct {
+		name  string
+		flops float64
+	}{
+		{"dga", 600}, {"tunnel", 300}, {"volumetric", 150},
+	}
+	for s := 0; s < sources; s++ {
+		gen := streamelastic.NewGenerator(fmt.Sprintf("nic%d", s), 256)
+		prev := top.AddSource(gen, 2000)
+		for p := 0; p < parseOps; p++ {
+			id := top.AddOperator(streamelastic.NewWorkOp(fmt.Sprintf("s%d-parse%d", s, p), 400), 400)
+			if err := top.Connect(prev, 0, id, 0); err != nil {
+				return nil, err
+			}
+			prev = id
+		}
+		dispatch := top.AddOperator(streamelastic.NewWorkOp(fmt.Sprintf("s%d-dispatch", s), 50), 50)
+		if err := top.Connect(prev, 0, dispatch, 0); err != nil {
+			return nil, err
+		}
+		for _, c := range chains {
+			prev = dispatch
+			for d := 0; d < chainLength; d++ {
+				id := top.AddOperator(streamelastic.NewWorkOp(fmt.Sprintf("s%d-%s%d", s, c.name, d), c.flops), c.flops)
+				if err := top.Connect(prev, 0, id, 0); err != nil {
+					return nil, err
+				}
+				prev = id
+			}
+			if err := top.Connect(prev, 0, snk, 0); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return top, nil
+}
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	machine := streamelastic.Xeon176()
+	fmt.Printf("capacity planning on simulated %s (%d cores)\n\n", machine.Name, machine.Cores)
+	fmt.Printf("%-8s %-10s %-16s %-28s\n", "sources", "operators", "manual thr/s", "multi-level thr/s (threads, queues)")
+
+	for _, sources := range []int{1, 4, 8} {
+		top, err := buildTopology(sources)
+		if err != nil {
+			return err
+		}
+		s, err := streamelastic.NewSimulation(top, machine, streamelastic.SimOptions{PayloadBytes: 256})
+		if err != nil {
+			return err
+		}
+		manual := s.Throughput()
+		steps, ok, err := s.RunUntilSettled(5000)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return fmt.Errorf("%d sources: no convergence in %d steps", sources, steps)
+		}
+		ex := s.Explain()
+		fmt.Printf("%-8d %-10d %-16.0f %.0f (%d threads, %d queues), settled after %s, bound by %s\n",
+			sources, top.NumOperators(), manual, s.Throughput(), s.Threads(), s.Queues(), s.Now(), ex.Bottleneck)
+	}
+	fmt.Println("\nthe multi-level configuration above is what the live runtime would converge to")
+	return nil
+}

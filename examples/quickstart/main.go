@@ -1,0 +1,68 @@
+// Quickstart: build a small pipeline, run it live, and let multi-level
+// elasticity pick the threading model and thread count while it runs.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"time"
+
+	"streamelastic"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// A pipeline: source -> 6 compute stages -> sink. The stages are
+	// deliberately expensive so parallelism pays.
+	top := streamelastic.NewTopology()
+	src := top.AddSource(streamelastic.NewGenerator("source", 256), 0)
+	prev := src
+	for i := 0; i < 6; i++ {
+		stage := top.AddOperator(streamelastic.NewWorkOp(fmt.Sprintf("stage%d", i), 50_000), 50_000)
+		if err := top.Connect(prev, 0, stage, 0); err != nil {
+			return err
+		}
+		prev = stage
+	}
+	sink := streamelastic.NewCountingSink("sink")
+	snk := top.AddOperator(sink, 0)
+	if err := top.Connect(prev, 0, snk, 0); err != nil {
+		return err
+	}
+
+	rt, err := streamelastic.NewRuntime(top, streamelastic.RuntimeOptions{
+		MaxThreads:  8,
+		AdaptPeriod: 100 * time.Millisecond,
+	})
+	if err != nil {
+		return err
+	}
+	if err := rt.Start(context.Background()); err != nil {
+		return err
+	}
+	defer rt.Stop()
+
+	fmt.Println("running with multi-level elasticity...")
+	start := time.Now()
+	var last uint64
+	for i := 0; i < 6; i++ {
+		time.Sleep(500 * time.Millisecond)
+		cur := sink.Count()
+		fmt.Printf("t=%4.1fs  throughput=%7.0f tuples/s  threads=%d  queues=%d  settled=%v\n",
+			time.Since(start).Seconds(), float64(cur-last)/0.5, rt.Threads(), rt.Queues(), rt.Settled())
+		last = cur
+	}
+
+	fmt.Println("\nadaptation trace:")
+	for _, e := range rt.Trace() {
+		fmt.Printf("  %6.1fs thr=%8.0f threads=%d queues=%d  [%s] %s\n",
+			e.Time.Seconds(), e.Throughput, e.Threads, e.Queues, e.Phase, e.Note)
+	}
+	return nil
+}

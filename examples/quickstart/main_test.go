@@ -1,0 +1,13 @@
+package main
+
+import "testing"
+
+// TestRun executes the example end to end so it cannot rot.
+func TestRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("example execution skipped in -short mode")
+	}
+	if err := run(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,153 @@
+// VWAP is a compact version of the paper's first evaluation application
+// (§4.2): detect bargains by scoring quotes against a per-symbol
+// volume-weighted average price computed over trades. It demonstrates
+// writing custom stateful operators against the public API and running them
+// under elastic scheduling.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"math"
+	"sync"
+	"time"
+
+	"streamelastic"
+)
+
+// feed generates alternating trade (even Seq) and quote (odd Seq) tuples:
+// Key is the symbol, Num1 the price, Num2 the volume.
+type feed struct {
+	symbols uint64
+	seq     uint64
+	max     uint64
+	state   uint64
+}
+
+func (f *feed) Name() string { return "market-feed" }
+
+func (f *feed) Process(int, *streamelastic.Tuple, streamelastic.Emitter) {}
+
+func (f *feed) Next(out streamelastic.Emitter) bool {
+	if f.seq >= f.max {
+		return false
+	}
+	f.state = f.state*6364136223846793005 + 1442695040888963407
+	t := &streamelastic.Tuple{
+		Seq:  f.seq,
+		Key:  (f.state >> 33) % f.symbols,
+		Num1: 100 + 20*math.Sin(float64(f.seq)*0.01) + float64(f.state%7) - 3,
+		Num2: float64(1 + f.state%500),
+	}
+	f.seq++
+	out.Emit(0, t)
+	return true
+}
+
+// vwap maintains an exponentially-weighted VWAP per symbol over trades and
+// forwards the current value.
+type vwap struct {
+	mu sync.Mutex
+	pv map[uint64]float64
+	v  map[uint64]float64
+}
+
+func (v *vwap) Name() string { return "vwap" }
+
+func (v *vwap) Process(_ int, t *streamelastic.Tuple, out streamelastic.Emitter) {
+	const alpha = 0.05
+	v.mu.Lock()
+	v.pv[t.Key] = (1-alpha)*v.pv[t.Key] + alpha*t.Num1*t.Num2
+	v.v[t.Key] = (1-alpha)*v.v[t.Key] + alpha*t.Num2
+	cur := 0.0
+	if v.v[t.Key] > 0 {
+		cur = v.pv[t.Key] / v.v[t.Key]
+	}
+	v.mu.Unlock()
+	out.Emit(0, &streamelastic.Tuple{Seq: t.Seq, Key: t.Key, Num1: cur})
+}
+
+// bargains joins quotes (port 0) with VWAP updates (port 1) and emits
+// quotes priced below the running VWAP.
+type bargains struct {
+	mu   sync.Mutex
+	vwap map[uint64]float64
+}
+
+func (b *bargains) Name() string { return "bargain-index" }
+
+func (b *bargains) Process(port int, t *streamelastic.Tuple, out streamelastic.Emitter) {
+	b.mu.Lock()
+	if port == 1 {
+		b.vwap[t.Key] = t.Num1
+		b.mu.Unlock()
+		return
+	}
+	ref := b.vwap[t.Key]
+	b.mu.Unlock()
+	if ref > 0 && t.Num1 < ref {
+		out.Emit(0, &streamelastic.Tuple{Seq: t.Seq, Key: t.Key, Num1: (ref - t.Num1) * t.Num2})
+	}
+}
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	top := streamelastic.NewTopology()
+	src := top.AddSource(&feed{symbols: 32, max: 200_000, state: 1}, 500)
+	trades := top.AddOperator(streamelastic.NewFilter("trades", func(t *streamelastic.Tuple) bool {
+		return t.Seq%2 == 0
+	}), 100)
+	quotes := top.AddOperator(streamelastic.NewFilter("quotes", func(t *streamelastic.Tuple) bool {
+		return t.Seq%2 == 1
+	}), 100)
+	vw := top.AddOperator(&vwap{pv: map[uint64]float64{}, v: map[uint64]float64{}}, 2000)
+	bi := top.AddOperator(&bargains{vwap: map[uint64]float64{}}, 1500)
+	sink := streamelastic.NewCountingSink("bargains-found")
+	snk := top.AddOperator(sink, 0)
+
+	for _, c := range []struct {
+		from, to streamelastic.NodeID
+		fp, tp   int
+		rate     float64
+	}{
+		{src, trades, 0, 0, 1},
+		{src, quotes, 0, 0, 1},
+		{trades, vw, 0, 0, 0.5},
+		{quotes, bi, 0, 0, 0.5},
+		{vw, bi, 0, 1, 1},
+		{bi, snk, 0, 0, 0.4},
+	} {
+		if err := top.ConnectRate(c.from, c.fp, c.to, c.tp, c.rate); err != nil {
+			return err
+		}
+	}
+
+	rt, err := streamelastic.NewRuntime(top, streamelastic.RuntimeOptions{
+		MaxThreads:  4,
+		AdaptPeriod: 100 * time.Millisecond,
+	})
+	if err != nil {
+		return err
+	}
+	if err := rt.Start(context.Background()); err != nil {
+		return err
+	}
+	defer rt.Stop()
+
+	for i := 0; i < 4; i++ {
+		time.Sleep(750 * time.Millisecond)
+		fmt.Printf("t=%.1fs  bargains=%d  threads=%d  queues=%d\n",
+			float64(i+1)*0.75, sink.Count(), rt.Threads(), rt.Queues())
+	}
+	if sink.Count() == 0 {
+		return fmt.Errorf("no bargains detected")
+	}
+	fmt.Printf("done: %d bargains detected under elastic scheduling\n", sink.Count())
+	return nil
+}

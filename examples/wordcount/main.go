@@ -1,0 +1,136 @@
+// Wordcount mirrors the paper's WikiWordCount example (Fig. 2): a stream of
+// page edits is tokenized into words, counted over a sliding window, and
+// published. The live Wikipedia feed is replaced by a synthetic page-edit
+// source; the custom source demonstrates how to implement
+// streamelastic.Source.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"streamelastic"
+)
+
+// pageSource emits synthetic page-edit tuples whose Text holds the page
+// body. It implements streamelastic.Source.
+type pageSource struct {
+	pages []string
+	seq   uint64
+	max   uint64
+}
+
+func (p *pageSource) Name() string { return "page-edits" }
+
+func (p *pageSource) Process(int, *streamelastic.Tuple, streamelastic.Emitter) {}
+
+func (p *pageSource) Next(out streamelastic.Emitter) bool {
+	if p.seq >= p.max {
+		return false
+	}
+	t := &streamelastic.Tuple{
+		Seq:  p.seq,
+		Text: p.pages[p.seq%uint64(len(p.pages))],
+	}
+	p.seq++
+	out.Emit(0, t)
+	return true
+}
+
+// publish collects the windowed counts, standing in for WebSocketSend.
+type publish struct {
+	mu     sync.Mutex
+	counts map[string]float64
+}
+
+func (s *publish) Name() string { return "publish" }
+
+func (s *publish) Process(_ int, t *streamelastic.Tuple, _ streamelastic.Emitter) {
+	s.mu.Lock()
+	s.counts[t.Text] = t.Num1
+	s.mu.Unlock()
+}
+
+func (s *publish) top(n int) []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	type wc struct {
+		w string
+		c float64
+	}
+	all := make([]wc, 0, len(s.counts))
+	for w, c := range s.counts {
+		all = append(all, wc{w, c})
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].c != all[j].c {
+			return all[i].c > all[j].c
+		}
+		return all[i].w < all[j].w
+	})
+	out := make([]string, 0, n)
+	for i := 0; i < n && i < len(all); i++ {
+		out = append(out, fmt.Sprintf("%s=%.0f", all[i].w, all[i].c))
+	}
+	return out
+}
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	pages := []string{
+		"the quick brown fox jumps over the lazy dog",
+		"stream processing turns endless data into endless answers",
+		"the elastic runtime adapts the threading model to the workload",
+		strings.Repeat("scale ", 20) + "out",
+	}
+	src := &pageSource{pages: pages, max: 50_000}
+
+	top := streamelastic.NewTopology()
+	s := top.AddSource(src, 200)
+	tok := top.AddOperator(streamelastic.NewTokenize("tokenize"), 500)
+	counter := top.AddOperator(streamelastic.NewKeyedCounter("counts", 4096, 8), 800)
+	pub := &publish{counts: make(map[string]float64)}
+	out := top.AddOperator(pub, 100)
+	if err := top.Connect(s, 0, tok, 0); err != nil {
+		return err
+	}
+	// A page yields roughly nine words.
+	if err := top.ConnectRate(tok, 0, counter, 0, 9); err != nil {
+		return err
+	}
+	// The counter publishes one update per eight words.
+	if err := top.ConnectRate(counter, 0, out, 0, 1.0/8); err != nil {
+		return err
+	}
+
+	rt, err := streamelastic.NewRuntime(top, streamelastic.RuntimeOptions{
+		MaxThreads:  4,
+		AdaptPeriod: 100 * time.Millisecond,
+	})
+	if err != nil {
+		return err
+	}
+	if err := rt.Start(context.Background()); err != nil {
+		return err
+	}
+	defer rt.Stop()
+
+	time.Sleep(2 * time.Second)
+	fmt.Printf("published updates: %d (threads=%d queues=%d)\n",
+		rt.SinkCount(), rt.Threads(), rt.Queues())
+	fmt.Println("current window, most frequent words:")
+	for _, line := range pub.top(8) {
+		fmt.Println("  " + line)
+	}
+	return nil
+}

@@ -1,0 +1,3 @@
+module streamelastic
+
+go 1.22

@@ -1,0 +1,253 @@
+package apps
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"streamelastic/internal/exec"
+	"streamelastic/internal/graph"
+	"streamelastic/internal/sim"
+	"streamelastic/internal/spl"
+)
+
+func TestVWAPMatchesPaperShape(t *testing.T) {
+	a, err := VWAP()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := a.Graph.NumNodes(); got != 52 {
+		t.Fatalf("VWAP has %d operators, want 52 (paper §4.2)", got)
+	}
+	if a.HandThreads != 9 {
+		t.Fatalf("VWAP hand-optimized threads = %d, want 9", a.HandThreads)
+	}
+	placed := 0
+	for i, p := range a.HandPlacement {
+		if p {
+			placed++
+			if a.Graph.Node(graph.NodeID(i)).Source {
+				t.Fatalf("hand placement on source node %d", i)
+			}
+		}
+	}
+	if placed != a.HandThreads {
+		t.Fatalf("hand placement count %d != HandThreads %d", placed, a.HandThreads)
+	}
+	if len(a.Graph.Sources()) != 1 || len(a.Graph.Sinks()) != 1 {
+		t.Fatalf("VWAP sources/sinks = %d/%d", len(a.Graph.Sources()), len(a.Graph.Sinks()))
+	}
+}
+
+func TestPacketAnalysisMatchesPaperShape(t *testing.T) {
+	cases := []struct {
+		sources, ops, hand int
+	}{
+		{1, 387, 17},
+		{8, 2305, 129},
+	}
+	for _, c := range cases {
+		a, err := PacketAnalysis(c.sources)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := a.Graph.NumNodes(); got != c.ops {
+			t.Fatalf("%d-source app has %d operators, want %d (paper §4.3)", c.sources, got, c.ops)
+		}
+		if a.HandThreads != c.hand {
+			t.Fatalf("%d-source hand threads = %d, want %d", c.sources, a.HandThreads, c.hand)
+		}
+		if got := len(a.Graph.Sources()); got != c.sources {
+			t.Fatalf("sources = %d, want %d", got, c.sources)
+		}
+		if got := len(a.Graph.Sinks()); got != 1 {
+			t.Fatalf("sinks = %d, want 1", got)
+		}
+	}
+	if _, err := PacketAnalysis(3); err == nil {
+		t.Fatal("unsupported source count accepted")
+	}
+}
+
+func TestVWAPRunsLive(t *testing.T) {
+	a, err := VWAP()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Bound the market feed so the run terminates.
+	src := a.Graph.Node(a.Graph.Sources()[0]).Op.(*MarketSource)
+	src.MaxTuples = 3000
+	e, err := exec.New(a.Graph, exec.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Start(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	defer e.Stop()
+	// Apply the hand-optimized placement to exercise queued execution.
+	if err := e.ApplyPlacement(a.HandPlacement); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.SetThreadCount(4); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(20 * time.Second)
+	for a.Sink.Count() == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if a.Sink.Count() == 0 {
+		t.Fatal("VWAP produced no bargains from 3000 market tuples")
+	}
+}
+
+func TestPacketAnalysisRunsOnSim(t *testing.T) {
+	a, err := PacketAnalysis(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := sim.New(a.Graph, sim.Xeon176(), sim.WithPayload(256))
+	if err != nil {
+		t.Fatal(err)
+	}
+	manual := e.Throughput()
+	if manual <= 0 {
+		t.Fatal("manual throughput is zero")
+	}
+	if err := e.ApplyPlacement(a.HandPlacement); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.SetThreadCount(17); err != nil {
+		t.Fatal(err)
+	}
+	hand := e.Throughput()
+	if hand <= manual {
+		t.Fatalf("hand-optimized placement (%v) not faster than manual (%v)", hand, manual)
+	}
+}
+
+func TestVWAPAggregateWindow(t *testing.T) {
+	v := NewVWAPAggregate(2)
+	var last *spl.Tuple
+	out := spl.EmitterFunc(func(_ int, t *spl.Tuple) { last = t })
+	v.Process(0, &spl.Tuple{Key: 1, Num1: 10, Num2: 100}, out)
+	if last.Num1 != 10 {
+		t.Fatalf("vwap after one trade = %v, want 10", last.Num1)
+	}
+	v.Process(0, &spl.Tuple{Key: 1, Num1: 20, Num2: 100}, out)
+	if last.Num1 != 15 {
+		t.Fatalf("vwap after two equal-volume trades = %v, want 15", last.Num1)
+	}
+	// Window of 2: the first trade is evicted.
+	v.Process(0, &spl.Tuple{Key: 1, Num1: 30, Num2: 300}, out)
+	want := (20.0*100 + 30*300) / 400
+	if last.Num1 != want {
+		t.Fatalf("vwap after eviction = %v, want %v", last.Num1, want)
+	}
+	if got := v.VWAP(1); got != want {
+		t.Fatalf("VWAP(1) = %v, want %v", got, want)
+	}
+	if got := v.VWAP(99); got != 0 {
+		t.Fatalf("VWAP(unseen) = %v, want 0", got)
+	}
+}
+
+func TestBargainIndexDetectsBargains(t *testing.T) {
+	b := NewBargainIndex()
+	var got []*spl.Tuple
+	out := spl.EmitterFunc(func(_ int, t *spl.Tuple) { got = append(got, t) })
+	// No VWAP known yet: no bargain.
+	b.Process(0, &spl.Tuple{Key: 1, Num1: 5, Num2: 10}, out)
+	if len(got) != 0 {
+		t.Fatal("bargain emitted before any VWAP update")
+	}
+	// VWAP update on port 1, then a quote below it.
+	b.Process(1, &spl.Tuple{Key: 1, Num1: 10}, out)
+	b.Process(0, &spl.Tuple{Key: 1, Num1: 8, Num2: 10}, out)
+	if len(got) != 1 {
+		t.Fatalf("bargains = %d, want 1", len(got))
+	}
+	if got[0].Num1 != 20 { // (10-8)*10
+		t.Fatalf("bargain score = %v, want 20", got[0].Num1)
+	}
+	// Quote above VWAP: no bargain.
+	b.Process(0, &spl.Tuple{Key: 1, Num1: 12, Num2: 10}, out)
+	if len(got) != 1 {
+		t.Fatal("non-bargain quote emitted")
+	}
+}
+
+func TestMarketSourceAlternatesAndBounds(t *testing.T) {
+	m := NewMarketSource(4, 64)
+	m.MaxTuples = 10
+	var tuples []*spl.Tuple
+	out := spl.EmitterFunc(func(_ int, t *spl.Tuple) { tuples = append(tuples, t) })
+	for m.Next(out) {
+	}
+	if len(tuples) != 10 {
+		t.Fatalf("market source emitted %d, want 10", len(tuples))
+	}
+	for i, tp := range tuples {
+		if tp.Seq != uint64(i) {
+			t.Fatalf("tuple %d seq %d", i, tp.Seq)
+		}
+		if tp.Key >= 4 {
+			t.Fatalf("symbol key %d out of range", tp.Key)
+		}
+		if tp.Num1 <= 0 || tp.Num2 <= 0 {
+			t.Fatalf("tuple %d has non-positive price/volume", i)
+		}
+	}
+	m.Reset()
+	if !m.Next(out) {
+		t.Fatal("Next after Reset failed")
+	}
+}
+
+func TestPacketSourceGeneratesDomains(t *testing.T) {
+	p := NewPacketSource("nic0", 256)
+	p.DGARatio = 0.5
+	p.MaxTuples = 200
+	var domains []string
+	out := spl.EmitterFunc(func(_ int, tp *spl.Tuple) {
+		domains = append(domains, tp.Text)
+		if len(tp.Payload) != 256 {
+			t.Fatalf("payload %d bytes, want 256", len(tp.Payload))
+		}
+	})
+	for p.Next(out) {
+	}
+	if len(domains) != 200 {
+		t.Fatalf("packet source emitted %d, want 200", len(domains))
+	}
+	known := map[string]bool{}
+	for _, d := range commonDomains {
+		known[d] = true
+	}
+	dga := 0
+	for _, d := range domains {
+		if !known[d] {
+			dga++
+		}
+	}
+	if dga == 0 || dga == len(domains) {
+		t.Fatalf("DGA mix = %d/%d, want a mixture", dga, len(domains))
+	}
+}
+
+func TestEntropyScoreSeparatesDGA(t *testing.T) {
+	e := NewEntropyScore("entropy")
+	score := func(s string) float64 {
+		var out float64
+		e.Process(0, &spl.Tuple{Text: s}, spl.EmitterFunc(func(_ int, t *spl.Tuple) { out = t.Num1 }))
+		return out
+	}
+	low := score("aaaaaaaaaaaa.com")
+	high := score("xq7kf9zj2wpv.com")
+	if high <= low {
+		t.Fatalf("entropy of DGA-like domain (%v) not above repetitive domain (%v)", high, low)
+	}
+	if score("") != 0 {
+		t.Fatal("entropy of empty text not 0")
+	}
+}

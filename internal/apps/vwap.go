@@ -1,0 +1,143 @@
+package apps
+
+import (
+	"fmt"
+
+	"streamelastic/internal/graph"
+	"streamelastic/internal/spl"
+)
+
+// App is a built application topology plus the hand-optimized threading its
+// developers would have inserted, which the paper uses as the strongest
+// manual baseline.
+type App struct {
+	// Name labels the application in experiment output.
+	Name string
+	// Graph is the finalized topology.
+	Graph *graph.Graph
+	// Sink is the terminal counting operator.
+	Sink *spl.CountingSink
+	// HandPlacement marks the hand-inserted threaded ports (one dedicated
+	// thread each) of the hand-optimized variant.
+	HandPlacement []bool
+	// HandThreads is the number of hand-inserted threads.
+	HandThreads int
+}
+
+// VWAP builds the paper's 52-operator volume-weighted-average-price
+// application (§4.2): a market feed is parsed and split into trade and
+// quote streams; trades feed a windowed VWAP aggregation, quotes are scored
+// against the current VWAP to detect bargains, and detected bargains flow
+// through a post-processing analytics chain to the sink. The hand-optimized
+// variant has 9 hand-inserted threads, matching the paper.
+func VWAP() (*App, error) {
+	a := &App{Name: "vwap-52"}
+	g := graph.New()
+
+	connect := func(from graph.NodeID, fromPort int, to graph.NodeID, toPort int, rate float64) error {
+		return g.Connect(from, fromPort, to, toPort, rate)
+	}
+
+	src := g.AddSource(NewMarketSource(64, 128), spl.NewCostVar(1500))
+	parse := g.AddOperator(spl.NewMap("parse", func(t *spl.Tuple) *spl.Tuple { return t }), spl.NewCostVar(200))
+	if err := connect(src, 0, parse, 0, 1); err != nil {
+		return nil, err
+	}
+
+	filterTrade := g.AddOperator(spl.NewFilter("trades", func(t *spl.Tuple) bool { return t.Seq%2 == 0 }), spl.NewCostVar(100))
+	filterQuote := g.AddOperator(spl.NewFilter("quotes", func(t *spl.Tuple) bool { return t.Seq%2 == 1 }), spl.NewCostVar(100))
+	if err := connect(parse, 0, filterTrade, 0, 1); err != nil {
+		return nil, err
+	}
+	if err := connect(parse, 0, filterQuote, 0, 1); err != nil {
+		return nil, err
+	}
+
+	// Trade branch: 8 preprocessing operators, the VWAP window, 3
+	// post-aggregation operators (12 total).
+	prev := filterTrade
+	rate := 0.5
+	for i := 0; i < 8; i++ {
+		cv := spl.NewCostVar(300)
+		id := g.AddOperator(spl.NewWork(fmt.Sprintf("trade-pre%d", i), cv), cv)
+		if err := connect(prev, 0, id, 0, rate); err != nil {
+			return nil, err
+		}
+		prev, rate = id, 1
+	}
+	vwap := g.AddOperator(NewVWAPAggregate(256), spl.NewCostVar(500))
+	if err := connect(prev, 0, vwap, 0, 1); err != nil {
+		return nil, err
+	}
+	prev = vwap
+	for i := 0; i < 3; i++ {
+		cv := spl.NewCostVar(200)
+		id := g.AddOperator(spl.NewWork(fmt.Sprintf("trade-post%d", i), cv), cv)
+		if err := connect(prev, 0, id, 0, 1); err != nil {
+			return nil, err
+		}
+		prev = id
+	}
+	tradeTail := prev
+
+	// Quote branch: 12 normalization operators.
+	prev, rate = filterQuote, 0.5
+	for i := 0; i < 12; i++ {
+		cv := spl.NewCostVar(300)
+		id := g.AddOperator(spl.NewWork(fmt.Sprintf("quote%d", i), cv), cv)
+		if err := connect(prev, 0, id, 0, rate); err != nil {
+			return nil, err
+		}
+		prev, rate = id, 1
+	}
+	quoteTail := prev
+
+	// Bargain detection joins the two branches: quotes on port 0, VWAP
+	// updates on port 1.
+	bargain := g.AddOperator(NewBargainIndex(), spl.NewCostVar(400))
+	if err := connect(quoteTail, 0, bargain, 0, 1); err != nil {
+		return nil, err
+	}
+	if err := connect(tradeTail, 0, bargain, 1, 1); err != nil {
+		return nil, err
+	}
+
+	// Post-processing analytics chain: 22 operators, fed by detected
+	// bargains (roughly a third of quotes).
+	prev, rate = bargain, 0.3
+	for i := 0; i < 22; i++ {
+		cv := spl.NewCostVar(100)
+		id := g.AddOperator(spl.NewWork(fmt.Sprintf("post%d", i), cv), cv)
+		if err := connect(prev, 0, id, 0, rate); err != nil {
+			return nil, err
+		}
+		prev, rate = id, 1
+	}
+
+	a.Sink = spl.NewCountingSink("snk")
+	snk := g.AddOperator(a.Sink, spl.NewCostVar(10))
+	if err := connect(prev, 0, snk, 0, 1); err != nil {
+		return nil, err
+	}
+	if err := g.Finalize(); err != nil {
+		return nil, err
+	}
+	a.Graph = g
+
+	// Hand-optimized threading: the developers inserted 9 threaded ports
+	// at the computationally obvious spots — the VWAP window, the bargain
+	// join, and seven spread through the post chain — leaving parsing and
+	// filtering on the ingest thread, which is why elastic scheduling can
+	// beat this configuration (§4.2).
+	a.HandPlacement = make([]bool, g.NumNodes())
+	hands := []graph.NodeID{vwap, bargain}
+	post0 := int(bargain) + 1
+	for i := 0; i < 7; i++ {
+		hands = append(hands, graph.NodeID(post0+i*3))
+	}
+	for _, h := range hands {
+		a.HandPlacement[h] = true
+	}
+	a.HandThreads = len(hands)
+	return a, nil
+}

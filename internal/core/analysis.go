@@ -1,0 +1,91 @@
+package core
+
+import "time"
+
+// TraceAnalysis quantifies the SASO properties over an adaptation trace:
+// stability (configuration churn and oscillation), accuracy (converged vs.
+// peak throughput), settling time, and overshoot (threads explored beyond
+// the converged count).
+type TraceAnalysis struct {
+	// Observations is the trace length.
+	Observations int
+	// SettleTime is the time of the first settled-phase event (0 if the
+	// trace never settles).
+	SettleTime time.Duration
+	// ConfigChanges counts observations whose (threads, queues) differ
+	// from the previous observation.
+	ConfigChanges int
+	// Oscillations counts A-B-A-B configuration patterns, the instability
+	// signature the coordination is designed to prevent.
+	Oscillations int
+	// FinalThroughput is the last observation's throughput; PeakThroughput
+	// the maximum across the trace (transient peaks during queue flips
+	// included, as the paper notes for Fig. 6).
+	FinalThroughput float64
+	PeakThroughput  float64
+	// FinalThreads and MaxThreads quantify overshoot: how far exploration
+	// exceeded the converged thread count.
+	FinalThreads int
+	MaxThreads   int
+	// PostSettleChanges counts configuration changes after settling; any
+	// nonzero value under a steady workload is an instability.
+	PostSettleChanges int
+}
+
+// AnalyzeTrace computes SASO statistics from an adaptation trace.
+func AnalyzeTrace(events []TraceEvent) TraceAnalysis {
+	a := TraceAnalysis{Observations: len(events)}
+	if len(events) == 0 {
+		return a
+	}
+	type config struct{ threads, queues int }
+	var prev [3]config
+	settled := false
+	for i, e := range events {
+		cur := config{e.Threads, e.Queues}
+		if e.Throughput > a.PeakThroughput {
+			a.PeakThroughput = e.Throughput
+		}
+		if e.Threads > a.MaxThreads {
+			a.MaxThreads = e.Threads
+		}
+		if i > 0 && cur != prev[0] {
+			a.ConfigChanges++
+			if settled {
+				a.PostSettleChanges++
+			}
+		}
+		// A-B-A-B: the configuration two steps back equals the current
+		// one, and three steps back equals the previous one, with A != B.
+		if i >= 3 && cur == prev[1] && prev[0] == prev[2] && cur != prev[0] {
+			a.Oscillations++
+		}
+		if !settled && e.Phase == PhaseSettled {
+			settled = true
+			a.SettleTime = e.Time
+		}
+		prev[2] = prev[1]
+		prev[1] = prev[0]
+		prev[0] = cur
+	}
+	last := events[len(events)-1]
+	a.FinalThroughput = last.Throughput
+	a.FinalThreads = last.Threads
+	return a
+}
+
+// Accuracy returns the converged throughput as a fraction of the peak
+// observed (1 means the system settled at its best configuration; transient
+// exploration peaks can push this below 1 without harm).
+func (a TraceAnalysis) Accuracy() float64 {
+	if a.PeakThroughput == 0 {
+		return 0
+	}
+	return a.FinalThroughput / a.PeakThroughput
+}
+
+// Overshoot returns how many more threads exploration used than the
+// converged configuration.
+func (a TraceAnalysis) Overshoot() int {
+	return a.MaxThreads - a.FinalThreads
+}

@@ -1,0 +1,100 @@
+package core
+
+import (
+	"testing"
+	"time"
+)
+
+func ev(t time.Duration, thr float64, threads, queues int, phase Phase) TraceEvent {
+	return TraceEvent{Time: t, Throughput: thr, Threads: threads, Queues: queues, Phase: phase}
+}
+
+func TestAnalyzeTraceEmpty(t *testing.T) {
+	a := AnalyzeTrace(nil)
+	if a.Observations != 0 || a.Accuracy() != 0 {
+		t.Fatalf("empty analysis = %+v", a)
+	}
+}
+
+func TestAnalyzeTraceBasics(t *testing.T) {
+	tr := []TraceEvent{
+		ev(5*time.Second, 100, 2, 0, PhaseInitTM),
+		ev(10*time.Second, 200, 2, 4, PhaseInitTM),
+		ev(15*time.Second, 400, 4, 4, PhaseTC),
+		ev(20*time.Second, 800, 8, 4, PhaseTC),
+		ev(25*time.Second, 750, 4, 4, PhaseTC),
+		ev(30*time.Second, 760, 4, 4, PhaseSettled),
+	}
+	a := AnalyzeTrace(tr)
+	if a.Observations != 6 {
+		t.Fatalf("observations = %d", a.Observations)
+	}
+	if a.SettleTime != 30*time.Second {
+		t.Fatalf("settle time = %v", a.SettleTime)
+	}
+	if a.ConfigChanges != 4 {
+		t.Fatalf("config changes = %d, want 4", a.ConfigChanges)
+	}
+	if a.Oscillations != 0 {
+		t.Fatalf("oscillations = %d", a.Oscillations)
+	}
+	if a.PeakThroughput != 800 || a.FinalThroughput != 760 {
+		t.Fatalf("peak/final = %v/%v", a.PeakThroughput, a.FinalThroughput)
+	}
+	if got := a.Accuracy(); got < 0.94 || got > 0.96 {
+		t.Fatalf("accuracy = %v, want 0.95", got)
+	}
+	if a.MaxThreads != 8 || a.FinalThreads != 4 || a.Overshoot() != 4 {
+		t.Fatalf("thread stats: max %d final %d overshoot %d", a.MaxThreads, a.FinalThreads, a.Overshoot())
+	}
+	if a.PostSettleChanges != 0 {
+		t.Fatalf("post-settle changes = %d", a.PostSettleChanges)
+	}
+}
+
+func TestAnalyzeTraceDetectsOscillation(t *testing.T) {
+	tr := []TraceEvent{
+		ev(5*time.Second, 100, 2, 0, PhaseTC),
+		ev(10*time.Second, 100, 4, 0, PhaseTC),
+		ev(15*time.Second, 100, 2, 0, PhaseTC),
+		ev(20*time.Second, 100, 4, 0, PhaseTC),
+		ev(25*time.Second, 100, 2, 0, PhaseTC),
+	}
+	a := AnalyzeTrace(tr)
+	if a.Oscillations < 2 {
+		t.Fatalf("oscillations = %d, want >= 2 for A-B-A-B-A", a.Oscillations)
+	}
+}
+
+func TestAnalyzeTracePostSettleChanges(t *testing.T) {
+	tr := []TraceEvent{
+		ev(5*time.Second, 100, 2, 0, PhaseSettled),
+		ev(10*time.Second, 100, 2, 0, PhaseSettled),
+		ev(15*time.Second, 100, 4, 0, PhaseSettled),
+	}
+	a := AnalyzeTrace(tr)
+	if a.PostSettleChanges != 1 {
+		t.Fatalf("post-settle changes = %d, want 1", a.PostSettleChanges)
+	}
+}
+
+// TestCoordinatorTraceSASO ties the analyzer to a real adaptation run: the
+// coordinator's trace must show zero oscillations and a near-peak converged
+// throughput.
+func TestCoordinatorTraceSASO(t *testing.T) {
+	f := heavyLightEngine()
+	c := settleCoordinator(t, f, DefaultConfig())
+	a := AnalyzeTrace(c.Trace())
+	if a.Oscillations != 0 {
+		t.Fatalf("real adaptation trace contains %d oscillations", a.Oscillations)
+	}
+	if a.SettleTime == 0 {
+		t.Fatal("settle time not detected in trace")
+	}
+	if a.Accuracy() < 0.8 {
+		t.Fatalf("converged throughput is %.0f%% of peak", 100*a.Accuracy())
+	}
+	if a.FinalThreads > a.MaxThreads {
+		t.Fatal("final threads exceed explored maximum")
+	}
+}

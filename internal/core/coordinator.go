@@ -1,0 +1,527 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// staleChangeLimit bounds how many consecutive placement changes may fail
+// to improve the best settled throughput before the coordinator stabilizes.
+const staleChangeLimit = 3
+
+// Coordinator runs the multi-level elastic scheme of Fig. 7: thread count
+// is the primary adjustment, threading model the secondary one, and the two
+// alternate — a thread-count change whose gain is unsatisfying triggers a
+// threading-model exploration in the direction the history record suggests.
+// Exploration starts from minimum parallelism (no queues, minimum threads),
+// the adjustment direction the paper found both more accurate and less
+// prone to oversubscription (§3.2).
+type Coordinator struct {
+	eng Engine
+	cfg Config
+	rng *rand.Rand
+
+	// mu guards all mutable state below so Trace, Settled, SettleTime and
+	// Stats can be read while Run advances the adaptation in another
+	// goroutine. Observe itself runs outside the lock (it blocks for an
+	// adaptation period on live engines).
+	mu sync.Mutex
+
+	trace Trace
+	hist  history
+
+	tm            *tmRun
+	tc            *tcRun
+	pending       *tcChange
+	initialTMDone bool
+
+	// Escalation probing: when neither component can improve at the
+	// current thread count but headroom remains, the coordinator
+	// multiplicatively raises the thread count and re-runs threading-model
+	// elasticity there before concluding that the system has converged.
+	// This resolves the chicken-and-egg interaction where scheduler
+	// queues only pay off at thread counts that thread-count elasticity
+	// alone would never reach (it sees no gain while there are no queues).
+	probing           bool
+	probeStartThreads int
+	probeStartThr     float64
+	probeTM           bool
+	// settleNext defers entering the settled state by one observation so
+	// settledThr is measured on the final (possibly just-reverted)
+	// configuration rather than on the last probe.
+	settleNext bool
+	// finalDownDone records that the pre-settle DOWN exploration (the
+	// enhanced multi-level elasticity of §3.3, which can also revert
+	// operators to the manual model) has run for the current placement.
+	finalDownDone bool
+	// bestSeenThr and staleChanges implement the diminishing-returns stop:
+	// placement changes that fail to beat the best settled throughput by
+	// SENS are tolerated a bounded number of times before the coordinator
+	// stabilizes, preventing endless refinement churn on rugged
+	// configuration landscapes.
+	bestSeenThr  float64
+	staleChanges int
+
+	settled    bool
+	settledThr float64
+	settleAt   time.Duration
+	everSet    bool
+	deviate    int
+
+	// stats for SASO accounting
+	tmRuns        int
+	tmRunsSkipped int
+}
+
+// NewCoordinator resets the engine to the starting configuration (all
+// operators manual, minimum threads) and returns a coordinator ready to
+// adapt it.
+func NewCoordinator(eng Engine, cfg Config) (*Coordinator, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	c := &Coordinator{
+		eng: eng,
+		cfg: cfg,
+		rng: newSeededRand(cfg.Seed),
+	}
+	if err := eng.ApplyPlacement(make([]bool, eng.NumOperators())); err != nil {
+		return nil, fmt.Errorf("reset placement: %w", err)
+	}
+	minT := cfg.MinThreads
+	if m := c.maxThreads(); minT > m {
+		minT = m
+	}
+	if err := eng.SetThreadCount(minT); err != nil {
+		return nil, fmt.Errorf("reset thread count: %w", err)
+	}
+	return c, nil
+}
+
+// newSeededRand builds the deterministic source for within-group operator
+// selection.
+func newSeededRand(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+func (c *Coordinator) maxThreads() int {
+	m := c.eng.MaxThreads()
+	if c.cfg.MaxThreads > 0 && c.cfg.MaxThreads < m {
+		m = c.cfg.MaxThreads
+	}
+	return m
+}
+
+// Step performs one adaptation period: observe throughput, then let the
+// active elastic component adjust. It reports whether the coordinator is in
+// the settled state after the step.
+func (c *Coordinator) Step() (bool, error) {
+	thr, err := c.eng.Observe()
+	if err != nil {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		return c.settled, fmt.Errorf("observe: %w", err)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	phase, note, err := c.adapt(thr)
+	c.trace.add(TraceEvent{
+		Time:       c.eng.Now(),
+		Throughput: thr,
+		Threads:    c.eng.ThreadCount(),
+		Queues:     countQueues(c.eng),
+		Phase:      phase,
+		Note:       note,
+	})
+	if err != nil {
+		return c.settled, err
+	}
+	return c.settled, nil
+}
+
+// adapt is the body of Fig. 7's adapt(), operating on the throughput
+// observed for the currently applied configuration.
+func (c *Coordinator) adapt(thr float64) (Phase, string, error) {
+	if c.settled {
+		return c.monitorSettled(thr)
+	}
+	if c.settleNext {
+		c.settleNext = false
+		c.enterSettled(thr)
+		return PhaseSettled, "settled", nil
+	}
+
+	// Initial phase (Fig. 7 init()): threading-model elasticity first, at
+	// minimum threads, direction UP.
+	if !c.initialTMDone && c.tm == nil {
+		c.tm = newTMRun(c.eng, DirUp, c.cfg, c.rng)
+		c.tmRuns++
+	}
+	// An escalation probe raised the thread count last period; explore the
+	// threading model at the new count — unless the raised count alone
+	// already degraded throughput, in which case the probe is hopeless and
+	// is abandoned immediately.
+	if c.probeTM && c.tm == nil {
+		c.probeTM = false
+		if thr < c.probeStartThr*(1-c.cfg.Sens) {
+			n, err := c.abortProbe()
+			return PhaseTC, n, err
+		}
+		c.tm = newTMRun(c.eng, DirUp, c.cfg, c.rng)
+		c.tmRuns++
+	}
+
+	if c.tm != nil {
+		return c.stepTM(thr)
+	}
+	return c.stepTC(thr)
+}
+
+// stepTM advances the secondary (threading model) component.
+func (c *Coordinator) stepTM(thr float64) (Phase, string, error) {
+	phase := PhaseTM
+	if !c.initialTMDone {
+		phase = PhaseInitTM
+	}
+	d, err := c.tm.Step(thr)
+	if err != nil {
+		return phase, c.tm.Note(), err
+	}
+	note := c.tm.Note()
+	switch d {
+	case DecisionContinue:
+		return phase, note, nil
+	case DecisionChange:
+		c.hist.noteChange(c.eng.Placement(), c.eng.ThreadCount())
+		if thr > c.bestSeenThr*(1+c.cfg.Sens) {
+			c.bestSeenThr = thr
+			c.staleChanges = 0
+		} else {
+			c.staleChanges++
+		}
+		if c.staleChanges >= staleChangeLimit {
+			// Repeated placement changes without global improvement:
+			// stop refining and stabilize with what we have.
+			c.tm = nil
+			c.initialTMDone = true
+			n2, err := c.finishProbe(thr)
+			return phase, note + "; refinement exhausted; " + n2, err
+		}
+		// Iterative refinement (§3.2): a new queue placement may support a
+		// different thread count, so thread-count elasticity re-explores
+		// from the current count. A successful probe ends probing.
+		c.tc = nil
+		c.probing = false
+		// A new placement may have different excess queues; allow another
+		// pre-settle DOWN pass.
+		c.finalDownDone = false
+	case DecisionStay:
+		c.hist.noteStay(c.eng.Placement(), c.eng.ThreadCount())
+	}
+	c.tm = nil
+	c.initialTMDone = true
+	// Hand control back to thread-count elasticity (Fig. 7 lines 21-22),
+	// unless neither component can improve further (Fig. 5e) — then probe
+	// higher thread counts before stabilizing (Fig. 5f).
+	if d == DecisionStay {
+		if c.probing {
+			n2, err := c.maybeSettle(thr)
+			return phase, note + "; " + n2, err
+		}
+		if c.tcFinished() && c.pending == nil {
+			n2, err := c.maybeSettle(thr)
+			return phase, note + "; " + n2, err
+		}
+	}
+	return phase, note, nil
+}
+
+// stepTC advances the primary (thread count) component and applies the
+// satisfaction-factor and history checks of Fig. 7 lines 7-15.
+func (c *Coordinator) stepTC(thr float64) (Phase, string, error) {
+	// First, evaluate the thread-count change this observation measured.
+	if p := c.pending; p != nil {
+		c.pending = nil
+		if trigger, dir := c.shouldTriggerTM(p, thr); trigger {
+			c.tm = newTMRun(c.eng, dir, c.cfg, c.rng)
+			c.tmRuns++
+			return c.stepTM(thr)
+		}
+		c.tmRunsSkipped++
+	}
+
+	if c.tc == nil {
+		c.tc = newTCRun(c.eng, c.cfg)
+	}
+	change, done, err := c.tc.Step(thr)
+	if err != nil {
+		return PhaseTC, c.tc.Note(), err
+	}
+	note := c.tc.Note()
+	if change != nil {
+		c.pending = change
+	}
+	if done && change == nil {
+		// Thread exploration is complete and the final configuration has
+		// been evaluated (Fig. 5e): probe for headroom, then settle.
+		n2, err := c.maybeSettle(thr)
+		return PhaseTC, note + "; " + n2, err
+	}
+	return PhaseTC, note, nil
+}
+
+// maybeSettle is called when neither elastic component can improve at the
+// current thread count. If thread headroom remains it escalates: doubles
+// the thread count and schedules a threading-model exploration there. Once
+// the maximum has been probed without improvement, it reverts to the last
+// good thread count and settles.
+func (c *Coordinator) maybeSettle(thr float64) (string, error) {
+	// Before concluding, explore whether reverting operators to the manual
+	// model improves throughput at the final thread count (§3.3: "when
+	// exploring the effect of decreasing the number of operators under
+	// dynamic threading model, the same algorithm is used in the reverse
+	// order"). This is what strips queues that earlier, lower thread
+	// counts justified but the final configuration does not.
+	if !c.finalDownDone {
+		c.finalDownDone = true
+		c.tm = newTMRun(c.eng, DirDown, c.cfg, c.rng)
+		c.tmRuns++
+		return "final down-exploration", nil
+	}
+	cur := c.eng.ThreadCount()
+	max := c.maxThreads()
+	if cur >= max {
+		return c.finishProbe(thr)
+	}
+	if !c.probing {
+		c.probing = true
+		c.probeStartThreads = cur
+		c.probeStartThr = thr
+	}
+	next := cur * 2
+	if next > max {
+		next = max
+	}
+	if err := c.eng.SetThreadCount(next); err != nil {
+		return "", fmt.Errorf("probe threads: %w", err)
+	}
+	c.probeTM = true
+	return fmt.Sprintf("probing %d threads", next), nil
+}
+
+// finishProbe reverts an unsuccessful escalation and enters the settled
+// state (deferring by one observation when a revert occurred, so the
+// settled throughput is measured on the final configuration).
+func (c *Coordinator) finishProbe(thr float64) (string, error) {
+	if c.probing {
+		c.probing = false
+		if c.probeStartThreads > 0 && c.probeStartThreads != c.eng.ThreadCount() {
+			if err := c.eng.SetThreadCount(c.probeStartThreads); err != nil {
+				return "", fmt.Errorf("probe revert: %w", err)
+			}
+			c.settleNext = true
+			return fmt.Sprintf("probe found nothing; reverting to %d threads", c.probeStartThreads), nil
+		}
+	}
+	// Settle on the next observation so the recorded settled throughput is
+	// measured on the final configuration — the concluding observation of
+	// a search may still reflect its last (reverted) trial.
+	c.settleNext = true
+	return "settling", nil
+}
+
+// abortProbe abandons an escalation whose raised thread count degraded
+// throughput outright.
+func (c *Coordinator) abortProbe() (string, error) {
+	c.probing = false
+	if err := c.eng.SetThreadCount(c.probeStartThreads); err != nil {
+		return "", fmt.Errorf("probe revert: %w", err)
+	}
+	c.settleNext = true
+	return fmt.Sprintf("probe degraded throughput; reverting to %d threads", c.probeStartThreads), nil
+}
+
+// shouldTriggerTM decides whether an observed thread-count change warrants
+// a threading-model exploration, and in which direction.
+func (c *Coordinator) shouldTriggerTM(p *tcChange, thr float64) (bool, Direction) {
+	// Satisfaction factor (§3.3): when the thread increase alone already
+	// bought a proportionally large gain, skip the secondary adjustment.
+	// The gain must exceed the sensitivity threshold so measurement noise
+	// cannot masquerade as satisfaction.
+	if c.cfg.UseSatisfaction && p.toT > p.fromT && p.fromThr > 0 {
+		gain := thr/p.fromThr - 1
+		threadGain := float64(p.toT)/float64(p.fromT) - 1
+		if threadGain > 0 && gain > c.cfg.Sens && gain/threadGain > c.cfg.SatisfactionThreshold {
+			return false, DirNone
+		}
+	}
+	// Learning from history (§3.3): skip when the new count lies inside
+	// the known-good thread range of the current placement.
+	if c.cfg.UseHistory {
+		dir := c.hist.direction(c.eng.Placement(), p.toT)
+		if dir == DirNone {
+			return false, DirNone
+		}
+		return true, dir
+	}
+	// Without the history optimization, every thread-count change triggers
+	// threading-model elasticity; the direction follows the change.
+	if p.toT >= p.fromT {
+		return true, DirUp
+	}
+	return true, DirDown
+}
+
+func (c *Coordinator) tcFinished() bool {
+	return c.tc != nil && c.tc.finished
+}
+
+func (c *Coordinator) enterSettled(thr float64) {
+	c.settled = true
+	c.settledThr = thr
+	c.deviate = 0
+	if !c.everSet {
+		c.everSet = true
+	}
+	c.settleAt = c.eng.Now()
+}
+
+// monitorSettled watches for workload changes once adaptation has
+// converged; a sustained throughput deviation restarts exploration from the
+// current configuration (Fig. 13).
+func (c *Coordinator) monitorSettled(thr float64) (Phase, string, error) {
+	dev := relDeviation(thr, c.settledThr)
+	if dev > c.cfg.WorkloadChangeSens {
+		c.deviate++
+		if c.deviate >= c.cfg.WorkloadChangePatience {
+			c.restart()
+			return PhaseSettled, fmt.Sprintf("workload change detected (%.0f%% deviation); re-adapting", dev*100), nil
+		}
+		return PhaseSettled, "throughput deviation", nil
+	}
+	c.deviate = 0
+	// Track slow drift so gradual load changes do not trip the detector.
+	c.settledThr = 0.95*c.settledThr + 0.05*thr
+	return PhaseSettled, "", nil
+}
+
+// restart clears all exploration state but keeps the current configuration
+// as the starting point for re-adaptation.
+func (c *Coordinator) restart() {
+	c.settled = false
+	c.deviate = 0
+	c.hist.clear()
+	c.tm = nil
+	c.tc = nil
+	c.pending = nil
+	c.initialTMDone = false
+	c.probing = false
+	c.probeTM = false
+	c.settleNext = false
+	c.finalDownDone = false
+	c.bestSeenThr = 0
+	c.staleChanges = 0
+}
+
+func relDeviation(a, b float64) float64 {
+	if b == 0 {
+		if a == 0 {
+			return 0
+		}
+		return 1
+	}
+	d := a/b - 1
+	if d < 0 {
+		d = -d
+	}
+	return d
+}
+
+func countQueues(e Engine) int {
+	n := 0
+	place := e.Placement()
+	able := e.Placeable()
+	for i, dyn := range place {
+		if dyn && able[i] {
+			n++
+		}
+	}
+	return n
+}
+
+// Run steps the coordinator until the context is cancelled. It keeps
+// monitoring after settling so workload changes re-trigger adaptation.
+func (c *Coordinator) Run(ctx context.Context) error {
+	for {
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		default:
+		}
+		if _, err := c.Step(); err != nil {
+			return err
+		}
+	}
+}
+
+// RunUntilSettled steps the coordinator until it reaches the settled state
+// or maxSteps observations have been consumed, returning the number of
+// steps taken and whether it settled.
+func (c *Coordinator) RunUntilSettled(maxSteps int) (int, bool, error) {
+	for i := 1; i <= maxSteps; i++ {
+		settled, err := c.Step()
+		if err != nil {
+			return i, settled, err
+		}
+		if settled {
+			return i, true, nil
+		}
+	}
+	return maxSteps, false, nil
+}
+
+// Settled reports whether adaptation has converged.
+func (c *Coordinator) Settled() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.settled
+}
+
+// SettleTime returns the engine clock at the most recent settling.
+func (c *Coordinator) SettleTime() time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.settleAt
+}
+
+// Trace returns a copy of the adaptation trace.
+func (c *Coordinator) Trace() []TraceEvent {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.trace.Events()
+}
+
+// Stats summarizes the coordinator's exploration effort.
+type Stats struct {
+	// TMRuns is the number of threading-model explorations started.
+	TMRuns int
+	// TMRunsSkipped counts thread-count changes whose secondary adjustment
+	// was skipped by the satisfaction factor or history optimizations.
+	TMRunsSkipped int
+	// HistoryEntries is the number of placement records accumulated.
+	HistoryEntries int
+}
+
+// Stats returns exploration-effort counters.
+func (c *Coordinator) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return Stats{
+		TMRuns:         c.tmRuns,
+		TMRunsSkipped:  c.tmRunsSkipped,
+		HistoryEntries: c.hist.Len(),
+	}
+}

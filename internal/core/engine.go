@@ -1,0 +1,173 @@
+// Package core implements the paper's contribution: the multi-level
+// performance-elastic control plane. It contains the threading-model
+// elasticity controller (operator cost binning plus the trend-guided R1–R5
+// search of §3.1), the thread-count elasticity controller (after Schneider &
+// Wu, PLDI '17), and the coordinator of Fig. 7 that runs them as primary
+// (thread count) and secondary (threading model) adjustments with the
+// learning-from-history and satisfaction-factor optimizations of §3.3.
+//
+// The controllers are substrate-agnostic: they program any Engine, whether
+// the live goroutine runtime (internal/exec) or the simulated machine
+// (internal/sim).
+package core
+
+import (
+	"errors"
+	"time"
+)
+
+// Engine is the runtime surface the elastic controllers adjust. Both the
+// live engine and the simulated machine implement it.
+type Engine interface {
+	// NumOperators returns the number of operators in the graph.
+	NumOperators() int
+	// Placeable reports, per operator, whether a scheduler queue may be
+	// placed in front of it (sources are not placeable: they always run on
+	// their own operator threads).
+	Placeable() []bool
+	// CostMetric returns the profiler's relative cost metric per operator.
+	CostMetric() []float64
+	// Placement returns the current threading-model choice per operator:
+	// true means dynamic (scheduler queue present).
+	Placement() []bool
+	// ApplyPlacement reconfigures the scheduler queues to match dynamic.
+	ApplyPlacement(dynamic []bool) error
+	// ThreadCount returns the current number of scheduler threads.
+	ThreadCount() int
+	// SetThreadCount adjusts the scheduler-thread pool size.
+	SetThreadCount(n int) error
+	// MaxThreads returns the largest thread count the engine permits.
+	MaxThreads() int
+	// Observe runs the engine for one adaptation period and returns the
+	// throughput measured at the sinks in tuples per second.
+	Observe() (float64, error)
+	// Now returns the engine clock, virtual for simulated engines.
+	Now() time.Duration
+}
+
+// Config tunes the elastic controllers. The zero value is not useful; call
+// DefaultConfig and override fields as needed.
+type Config struct {
+	// Sens is the sensitivity threshold SENS of §3.1.1: the minimum
+	// relative throughput difference treated as a real trend rather than
+	// noise. The paper uses 0.05.
+	Sens float64
+	// SatisfactionThreshold is THRE of Fig. 7: when the relative
+	// throughput gain of a thread-count increase exceeds this fraction of
+	// the relative thread increase, the secondary (threading model)
+	// adjustment is skipped. The paper evaluates 0.6 and 0.
+	SatisfactionThreshold float64
+	// UseHistory enables the learning-from-history optimization (§3.3).
+	UseHistory bool
+	// UseSatisfaction enables the satisfaction-factor optimization (§3.3).
+	UseSatisfaction bool
+	// GroupBase is the base of the logarithmic cost binning that forms
+	// profiling groups (§3.1, observation O2). The default is 10, which
+	// separates the paper's 1 / 100 / 10000 FLOP cost classes.
+	GroupBase float64
+	// MinThreads is the scheduler-thread count the exploration starts
+	// from; the paper starts from minimum parallelism (§3.2) with two
+	// initially-idle scheduler threads (Fig. 5a).
+	MinThreads int
+	// MaxThreads caps the thread exploration; 0 means the engine's
+	// maximum.
+	MaxThreads int
+	// Seed drives the arbitrary within-group operator selection (§3.1.1).
+	Seed int64
+	// WorkloadChangeSens is the relative throughput deviation, observed in
+	// the settled state, treated as a workload change that restarts
+	// adaptation.
+	WorkloadChangeSens float64
+	// WorkloadChangePatience is how many consecutive deviating periods are
+	// required before re-adaptation starts.
+	WorkloadChangePatience int
+}
+
+// DefaultConfig returns the paper's operating point: SENS 0.05,
+// satisfaction threshold 0.6, both optimizations on.
+func DefaultConfig() Config {
+	return Config{
+		Sens:                   0.05,
+		SatisfactionThreshold:  0.6,
+		UseHistory:             true,
+		UseSatisfaction:        true,
+		GroupBase:              10,
+		MinThreads:             2,
+		Seed:                   1,
+		WorkloadChangeSens:     0.25,
+		WorkloadChangePatience: 2,
+	}
+}
+
+func (c Config) validate() error {
+	if c.Sens < 0 || c.Sens >= 1 {
+		return errors.New("config: Sens must be in [0, 1)")
+	}
+	if c.SatisfactionThreshold < 0 || c.SatisfactionThreshold > 1 {
+		return errors.New("config: SatisfactionThreshold must be in [0, 1]")
+	}
+	if c.GroupBase <= 1 {
+		return errors.New("config: GroupBase must be > 1")
+	}
+	if c.MinThreads < 1 {
+		return errors.New("config: MinThreads must be >= 1")
+	}
+	if c.MaxThreads < 0 {
+		return errors.New("config: MaxThreads must be >= 0")
+	}
+	if c.WorkloadChangeSens < 0 {
+		return errors.New("config: WorkloadChangeSens must be >= 0")
+	}
+	return nil
+}
+
+// Direction is the threading-model adjustment direction: UP adds scheduler
+// queues (more operators go dynamic), DOWN removes them.
+type Direction int
+
+// Adjustment directions.
+const (
+	DirNone Direction = iota
+	DirUp
+	DirDown
+)
+
+// String returns the direction name.
+func (d Direction) String() string {
+	switch d {
+	case DirUp:
+		return "up"
+	case DirDown:
+		return "down"
+	default:
+		return "none"
+	}
+}
+
+// Decision is the outcome of a threading-model elasticity run, per Fig. 4.
+type Decision int
+
+// Threading-model run outcomes.
+const (
+	// DecisionContinue means the run proposed a new placement and needs
+	// another observation.
+	DecisionContinue Decision = iota + 1
+	// DecisionStay means the run finished without changing the placement.
+	DecisionStay
+	// DecisionChange means the run finished with a different placement.
+	DecisionChange
+)
+
+// String returns the decision name.
+func (d Decision) String() string {
+	switch d {
+	case DecisionContinue:
+		return "continue"
+	case DecisionStay:
+		return "stay"
+	case DecisionChange:
+		return "change"
+	default:
+		return "unknown"
+	}
+}

@@ -1,0 +1,156 @@
+package core
+
+import (
+	"errors"
+	"time"
+)
+
+// fakeEngine is a closed-form engine model for controller unit tests. Its
+// throughput follows a max-of-bottlenecks pipeline model:
+//
+//	thr = 1 / max(manualLoad, poolLoad / min(threads, cores))
+//
+// where manualLoad is the summed cost of all manual operators (executed
+// serially by the source thread) and poolLoad is the summed cost of dynamic
+// operators plus a per-queue overhead. Moving expensive operators behind
+// queues therefore helps (parallelism) while moving cheap ones hurts
+// (overhead), which is exactly the trade-off the controllers must find.
+type fakeEngine struct {
+	costs     []float64 // per-op service time, seconds
+	sources   []bool
+	queueOver float64
+	cores     int
+	maxT      int
+
+	placement []bool
+	threads   int
+	clock     time.Duration
+	period    time.Duration
+
+	observations int
+	applies      int
+	failApply    bool
+	failSetT     bool
+	failObserve  bool
+
+	// perturb, when non-nil, rescales throughput (workload change tests).
+	perturb func(thr float64) float64
+}
+
+func newFakeEngine(costs []float64, queueOver float64, cores, maxT int) *fakeEngine {
+	f := &fakeEngine{
+		costs:     costs,
+		sources:   make([]bool, len(costs)),
+		queueOver: queueOver,
+		cores:     cores,
+		maxT:      maxT,
+		placement: make([]bool, len(costs)),
+		threads:   1,
+		period:    5 * time.Second,
+	}
+	f.sources[0] = true
+	return f
+}
+
+func (f *fakeEngine) NumOperators() int { return len(f.costs) }
+
+func (f *fakeEngine) Placeable() []bool {
+	out := make([]bool, len(f.costs))
+	for i := range out {
+		out[i] = !f.sources[i]
+	}
+	return out
+}
+
+func (f *fakeEngine) CostMetric() []float64 {
+	out := make([]float64, len(f.costs))
+	copy(out, f.costs)
+	return out
+}
+
+func (f *fakeEngine) Placement() []bool {
+	out := make([]bool, len(f.placement))
+	copy(out, f.placement)
+	return out
+}
+
+func (f *fakeEngine) ApplyPlacement(p []bool) error {
+	if f.failApply {
+		return errors.New("apply failure injected")
+	}
+	if len(p) != len(f.placement) {
+		return errors.New("placement length mismatch")
+	}
+	copy(f.placement, p)
+	f.applies++
+	return nil
+}
+
+func (f *fakeEngine) ThreadCount() int { return f.threads }
+
+func (f *fakeEngine) SetThreadCount(n int) error {
+	if f.failSetT {
+		return errors.New("set threads failure injected")
+	}
+	if n < 1 || n > f.maxT {
+		return errors.New("thread count out of range")
+	}
+	f.threads = n
+	return nil
+}
+
+func (f *fakeEngine) MaxThreads() int { return f.maxT }
+
+func (f *fakeEngine) throughput() float64 {
+	manual := 0.0
+	pool := 0.0
+	for i, c := range f.costs {
+		if !f.sources[i] && f.placement[i] {
+			pool += c + f.queueOver
+		} else {
+			manual += c
+		}
+	}
+	eff := f.threads
+	if eff > f.cores-1 {
+		eff = f.cores - 1
+	}
+	bottleneck := manual
+	if pool > 0 && eff > 0 {
+		if p := pool / float64(eff); p > bottleneck {
+			bottleneck = p
+		}
+	}
+	if bottleneck <= 0 {
+		return 0
+	}
+	thr := 1 / bottleneck
+	if f.perturb != nil {
+		thr = f.perturb(thr)
+	}
+	return thr
+}
+
+func (f *fakeEngine) Observe() (float64, error) {
+	if f.failObserve {
+		return 0, errors.New("observe failure injected")
+	}
+	f.observations++
+	f.clock += f.period
+	return f.throughput(), nil
+}
+
+func (f *fakeEngine) Now() time.Duration { return f.clock }
+
+var _ Engine = (*fakeEngine)(nil)
+
+// dynCount returns how many non-source operators are dynamic.
+func (f *fakeEngine) dynCount() int {
+	n := 0
+	for i, d := range f.placement {
+		if d && !f.sources[i] {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,45 @@
+package core
+
+import (
+	"math"
+	"sort"
+)
+
+// profilingGroup is a set of operators with similar cost metric, formed by
+// logarithmic binning (§3.1, observation O2). Threading-model exploration
+// adjusts whole groups before descending into partial groups.
+type profilingGroup struct {
+	// bin is the logarithmic bin key; higher means more expensive.
+	bin int
+	// ops lists the operator indices in the group, ascending.
+	ops []int
+}
+
+// binGroups partitions the candidate operators into profiling groups by
+// logarithmic binning of their cost metric and returns them ordered for
+// exploration: most expensive first for direction UP, least expensive first
+// for DOWN (§3.3, "we start with the group of the lowest relative cost").
+func binGroups(metric []float64, candidates []int, base float64, dir Direction) []profilingGroup {
+	byBin := make(map[int][]int)
+	logBase := math.Log(base)
+	for _, op := range candidates {
+		m := metric[op]
+		bin := math.MinInt32
+		if m > 0 {
+			bin = int(math.Floor(math.Log(m) / logBase))
+		}
+		byBin[bin] = append(byBin[bin], op)
+	}
+	groups := make([]profilingGroup, 0, len(byBin))
+	for bin, ops := range byBin {
+		sort.Ints(ops)
+		groups = append(groups, profilingGroup{bin: bin, ops: ops})
+	}
+	sort.Slice(groups, func(i, j int) bool {
+		if dir == DirDown {
+			return groups[i].bin < groups[j].bin
+		}
+		return groups[i].bin > groups[j].bin
+	})
+	return groups
+}

@@ -1,0 +1,75 @@
+package core
+
+import "testing"
+
+func TestBinGroupsSeparatesCostClasses(t *testing.T) {
+	// Costs in the paper's three classes: 1, 100, 10000 FLOPs.
+	metric := []float64{1, 100, 10000, 1, 100, 10000}
+	candidates := []int{0, 1, 2, 3, 4, 5}
+	groups := binGroups(metric, candidates, 10, DirUp)
+	if len(groups) != 3 {
+		t.Fatalf("got %d groups, want 3: %+v", len(groups), groups)
+	}
+	// UP explores the most expensive group first.
+	if got := groups[0].ops; len(got) != 2 || got[0] != 2 || got[1] != 5 {
+		t.Fatalf("heaviest group = %v, want [2 5]", got)
+	}
+	if got := groups[2].ops; len(got) != 2 || got[0] != 0 || got[1] != 3 {
+		t.Fatalf("lightest group = %v, want [0 3]", got)
+	}
+}
+
+func TestBinGroupsDownOrder(t *testing.T) {
+	metric := []float64{1, 10000}
+	groups := binGroups(metric, []int{0, 1}, 10, DirDown)
+	if groups[0].ops[0] != 0 {
+		t.Fatalf("DOWN should start with the cheapest group, got %+v", groups)
+	}
+}
+
+func TestBinGroupsZeroAndNegativeMetric(t *testing.T) {
+	metric := []float64{0, -5, 3}
+	groups := binGroups(metric, []int{0, 1, 2}, 10, DirUp)
+	if len(groups) != 2 {
+		t.Fatalf("got %d groups, want 2 (zero/negative share the bottom bin): %+v", len(groups), groups)
+	}
+	bottom := groups[len(groups)-1]
+	if len(bottom.ops) != 2 {
+		t.Fatalf("bottom bin = %v, want ops 0 and 1", bottom.ops)
+	}
+}
+
+func TestBinGroupsRespectsCandidateSubset(t *testing.T) {
+	metric := []float64{100, 100, 100}
+	groups := binGroups(metric, []int{1}, 10, DirUp)
+	if len(groups) != 1 || len(groups[0].ops) != 1 || groups[0].ops[0] != 1 {
+		t.Fatalf("groups = %+v, want single group [1]", groups)
+	}
+}
+
+func TestBinGroupsEmptyCandidates(t *testing.T) {
+	if groups := binGroups([]float64{1, 2}, nil, 10, DirUp); len(groups) != 0 {
+		t.Fatalf("groups = %+v, want none", groups)
+	}
+}
+
+func TestBinGroupsBaseTwoSplitsFiner(t *testing.T) {
+	metric := []float64{1, 2, 4, 8}
+	groups := binGroups(metric, []int{0, 1, 2, 3}, 2, DirUp)
+	if len(groups) != 4 {
+		t.Fatalf("base-2 binning produced %d groups, want 4", len(groups))
+	}
+}
+
+func TestDirectionString(t *testing.T) {
+	if DirUp.String() != "up" || DirDown.String() != "down" || DirNone.String() != "none" {
+		t.Fatal("direction names wrong")
+	}
+}
+
+func TestDecisionString(t *testing.T) {
+	if DecisionContinue.String() != "continue" || DecisionStay.String() != "stay" ||
+		DecisionChange.String() != "change" || Decision(0).String() != "unknown" {
+		t.Fatal("decision names wrong")
+	}
+}

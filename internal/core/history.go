@@ -1,0 +1,73 @@
+package core
+
+// histEntry records a queue placement together with the range of thread
+// counts known to work well with it: "Inside each history record of
+// threading model adjustment, we record the maximum and minimum number of
+// threads that have worked well with this configuration" (§3.3).
+type histEntry struct {
+	placement []bool
+	minT      int
+	maxT      int
+}
+
+// history is the learning-from-history store. Only the most recent entry is
+// consulted, matching the paper ("we look into the record of the most
+// recent queue placement").
+type history struct {
+	entries []histEntry
+}
+
+// noteChange records that a threading-model run changed the placement while
+// the engine ran threads threads.
+func (h *history) noteChange(placement []bool, threads int) {
+	h.entries = append(h.entries, histEntry{
+		placement: clonePlacement(placement),
+		minT:      threads,
+		maxT:      threads,
+	})
+}
+
+// noteStay records that a threading-model run kept the current placement at
+// the given thread count, widening the entry's known-good thread range.
+func (h *history) noteStay(placement []bool, threads int) {
+	if n := len(h.entries); n > 0 && placementsEqual(h.entries[n-1].placement, placement) {
+		e := &h.entries[n-1]
+		if threads < e.minT {
+			e.minT = threads
+		}
+		if threads > e.maxT {
+			e.maxT = threads
+		}
+		return
+	}
+	h.noteChange(placement, threads)
+}
+
+// direction reports which threading-model adjustment a new thread count
+// suggests for the given placement: DirNone when the count lies inside the
+// placement's known-good range (skip the secondary adjustment), DirUp above
+// it, DirDown below it. With no applicable record it returns DirUp, the
+// paper's default exploration direction.
+func (h *history) direction(placement []bool, threads int) Direction {
+	n := len(h.entries)
+	if n == 0 || !placementsEqual(h.entries[n-1].placement, placement) {
+		return DirUp
+	}
+	e := h.entries[n-1]
+	switch {
+	case threads > e.maxT:
+		return DirUp
+	case threads < e.minT:
+		return DirDown
+	default:
+		return DirNone
+	}
+}
+
+// clear drops all records, used when a workload change invalidates them.
+func (h *history) clear() {
+	h.entries = nil
+}
+
+// Len returns the number of stored records.
+func (h *history) Len() int { return len(h.entries) }

@@ -1,0 +1,212 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// landscapeEngine is a fake engine whose throughput is an arbitrary
+// function of (placement, threads), for property-testing the controllers on
+// randomized performance landscapes.
+type landscapeEngine struct {
+	n       int
+	sources []bool
+	maxT    int
+
+	placement []bool
+	threads   int
+	clock     time.Duration
+
+	metric []float64
+	thr    func(dynCount, threads int) float64
+}
+
+func newLandscapeEngine(n, maxT int, thr func(dynCount, threads int) float64) *landscapeEngine {
+	e := &landscapeEngine{
+		n:         n,
+		sources:   make([]bool, n),
+		maxT:      maxT,
+		placement: make([]bool, n),
+		threads:   1,
+		metric:    make([]float64, n),
+		thr:       thr,
+	}
+	e.sources[0] = true
+	for i := range e.metric {
+		e.metric[i] = 100 // one cost class: a single profiling group
+	}
+	return e
+}
+
+func (e *landscapeEngine) NumOperators() int { return e.n }
+
+func (e *landscapeEngine) Placeable() []bool {
+	out := make([]bool, e.n)
+	for i := range out {
+		out[i] = !e.sources[i]
+	}
+	return out
+}
+
+func (e *landscapeEngine) CostMetric() []float64 { return append([]float64(nil), e.metric...) }
+
+func (e *landscapeEngine) Placement() []bool { return append([]bool(nil), e.placement...) }
+
+func (e *landscapeEngine) ApplyPlacement(p []bool) error {
+	copy(e.placement, p)
+	return nil
+}
+
+func (e *landscapeEngine) ThreadCount() int { return e.threads }
+
+func (e *landscapeEngine) SetThreadCount(n int) error {
+	e.threads = n
+	return nil
+}
+
+func (e *landscapeEngine) MaxThreads() int { return e.maxT }
+
+func (e *landscapeEngine) dynCount() int {
+	c := 0
+	for i, d := range e.placement {
+		if d && !e.sources[i] {
+			c++
+		}
+	}
+	return c
+}
+
+func (e *landscapeEngine) Observe() (float64, error) {
+	e.clock += 5 * time.Second
+	return e.thr(e.dynCount(), e.threads), nil
+}
+
+func (e *landscapeEngine) Now() time.Duration { return e.clock }
+
+var _ Engine = (*landscapeEngine)(nil)
+
+// TestTCRunPropertyUnimodal: on random unimodal thread-count landscapes the
+// controller must terminate quickly and land within a factor of the
+// optimum.
+func TestTCRunPropertyUnimodal(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 100; trial++ {
+		maxT := 8 + rng.Intn(250)
+		peak := 1 + rng.Intn(maxT)
+		width := 1 + rng.Float64()*4
+		thr := func(_, threads int) float64 {
+			// Log-distance unimodal bump around the peak.
+			d := math.Log(float64(threads)/float64(peak)) / width
+			return 1000 * math.Exp(-d*d)
+		}
+		e := newLandscapeEngine(4, maxT, thr)
+		cfg := DefaultConfig()
+		run := newTCRun(e, cfg)
+		steps := 0
+		for ; steps < 100; steps++ {
+			perf, _ := e.Observe()
+			_, done, err := run.Step(perf)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if done {
+				break
+			}
+		}
+		if steps >= 100 {
+			t.Fatalf("trial %d (peak %d, max %d): no termination", trial, peak, maxT)
+		}
+		got := thr(0, e.ThreadCount())
+		best := thr(0, peak)
+		if got < 0.5*best {
+			t.Fatalf("trial %d: settled at %d threads (%.0f), peak %d (%.0f)",
+				trial, e.ThreadCount(), got, peak, best)
+		}
+	}
+}
+
+// TestTMRunPropertyNeverWorseThanStart: whatever the landscape, a
+// threading-model run must never leave the system significantly worse than
+// it started (trials are reverted unless they win by SENS).
+func TestTMRunPropertyNeverWorseThanStart(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 100; trial++ {
+		n := 6 + rng.Intn(60)
+		// Arbitrary (non-unimodal) landscape over dynamic counts.
+		coeff := make([]float64, n+1)
+		for i := range coeff {
+			coeff[i] = 100 + 900*rng.Float64()
+		}
+		thr := func(dynCount, _ int) float64 { return coeff[dynCount] }
+		e := newLandscapeEngine(n, 16, thr)
+		start, _ := e.Observe()
+
+		cfg := DefaultConfig()
+		cfg.Seed = int64(trial)
+		run := newTMRun(e, DirUp, cfg, rand.New(rand.NewSource(int64(trial))))
+		steps := 0
+		for ; steps < 200; steps++ {
+			perf, _ := e.Observe()
+			d, err := run.Step(perf)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if d != DecisionContinue {
+				break
+			}
+		}
+		if steps >= 200 {
+			t.Fatalf("trial %d: run did not terminate", trial)
+		}
+		final := thr(e.dynCount(), 0)
+		if final < start*(1-cfg.Sens) {
+			t.Fatalf("trial %d: run left throughput at %.0f, started at %.0f", trial, final, start)
+		}
+	}
+}
+
+// TestCoordinatorPropertyConverges: on random two-dimensional landscapes
+// where queues unlock thread scaling, the full coordinator must settle and
+// end at or above its starting throughput.
+func TestCoordinatorPropertyConverges(t *testing.T) {
+	rng := rand.New(rand.NewSource(47))
+	for trial := 0; trial < 40; trial++ {
+		n := 8 + rng.Intn(40)
+		maxT := 16 + rng.Intn(128)
+		optQueues := 1 + rng.Intn(n-1)
+		base := 100 + 900*rng.Float64()
+		thr := func(dynCount, threads int) float64 {
+			// Queues help up to optQueues then hurt; threads help up to
+			// a queue-dependent ceiling.
+			qf := 1 + 3*math.Min(float64(dynCount), float64(optQueues))/float64(optQueues)
+			if dynCount > optQueues {
+				qf /= 1 + 0.1*float64(dynCount-optQueues)
+			}
+			ceil := 1 + float64(dynCount)
+			tf := math.Min(float64(threads), ceil) / ceil
+			return base * qf * (0.25 + 0.75*tf)
+		}
+		e := newLandscapeEngine(n, maxT, thr)
+		cfg := DefaultConfig()
+		cfg.Seed = int64(trial + 1)
+		coord, err := NewCoordinator(e, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		start := thr(0, cfg.MinThreads)
+		_, ok, err := coord.RunUntilSettled(3000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			t.Fatalf("trial %d (n=%d, maxT=%d, opt=%d): did not settle", trial, n, maxT, optQueues)
+		}
+		final := thr(e.dynCount(), e.ThreadCount())
+		if final < start {
+			t.Fatalf("trial %d: settled at %.0f, below start %.0f (dyn=%d thr=%d)",
+				trial, final, start, e.dynCount(), e.ThreadCount())
+		}
+	}
+}

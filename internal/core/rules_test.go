@@ -1,0 +1,207 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// runTMOnLandscape drives one threading-model run over a count->throughput
+// landscape with a single cost group of n candidate operators, returning
+// the final dynamic count, the decision, and the observations used.
+func runTMOnLandscape(t *testing.T, n int, f func(count int) float64) (int, Decision, int) {
+	t.Helper()
+	e := newLandscapeEngine(n+1, 16, func(dynCount, _ int) float64 { return f(dynCount) })
+	rng := rand.New(rand.NewSource(1))
+	run := newTMRun(e, DirUp, DefaultConfig(), rng)
+	for steps := 1; steps <= 300; steps++ {
+		perf, _ := e.Observe()
+		d, err := run.Step(perf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d != DecisionContinue {
+			return e.dynCount(), d, steps
+		}
+	}
+	t.Fatal("run did not terminate")
+	return 0, 0, 0
+}
+
+// TestRuleR1R2MonotoneIncreasing: with throughput strictly increasing in
+// the dynamic count, the rules keep adding operators until the whole group
+// is dynamic (Fig. 3a/3b; Fig. 4 line 4-8).
+func TestRuleR1R2MonotoneIncreasing(t *testing.T) {
+	const n = 32
+	final, d, _ := runTMOnLandscape(t, n, func(c int) float64 {
+		return 100 * math.Pow(1.2, float64(c))
+	})
+	if final != n {
+		t.Fatalf("monotone-increasing landscape settled at %d/%d dynamic", final, n)
+	}
+	if d != DecisionChange {
+		t.Fatalf("decision = %v, want change", d)
+	}
+}
+
+// TestRuleR3R4MonotoneDecreasing: with throughput strictly decreasing in
+// the dynamic count, the rules retreat to zero and report STAY (Fig. 3c/3d;
+// Fig. 4 lines 9-12).
+func TestRuleR3R4MonotoneDecreasing(t *testing.T) {
+	const n = 32
+	final, d, _ := runTMOnLandscape(t, n, func(c int) float64 {
+		return 1000 * math.Pow(0.8, float64(c))
+	})
+	if final != 0 {
+		t.Fatalf("monotone-decreasing landscape settled at %d dynamic, want 0", final)
+	}
+	if d != DecisionStay {
+		t.Fatalf("decision = %v, want stay", d)
+	}
+}
+
+// TestRuleR5PeakBracketing: with a unimodal landscape whose full-group
+// configuration is worse than the baseline, the search brackets the
+// interior peak (Fig. 3e) within the resolution of step-halving.
+func TestRuleR5PeakBracketing(t *testing.T) {
+	const n = 64
+	for _, peak := range []int{8, 16, 21} {
+		final, d, _ := runTMOnLandscape(t, n, func(c int) float64 {
+			dist := float64(c - peak)
+			return 1000 * math.Exp(-dist*dist/200)
+		})
+		got := f64(final)
+		want := f64(peak)
+		if math.Abs(got-want) > f64(n)/4 {
+			t.Fatalf("peak %d: settled at %d, outside bracketing tolerance", peak, final)
+		}
+		if d != DecisionChange {
+			t.Fatalf("peak %d: decision = %v, want change", peak, d)
+		}
+	}
+}
+
+// TestRuleGroupGranularityAcceptsWholeGroup: when the whole group beats the
+// baseline, the group-level decision accepts it without fine-tuning inside
+// (Fig. 4 line 4: full group improved -> move on). This is observation
+// O2's granularity trade-off, deliberate in the paper.
+func TestRuleGroupGranularityAcceptsWholeGroup(t *testing.T) {
+	const n, peak = 64, 40
+	final, d, steps := runTMOnLandscape(t, n, func(c int) float64 {
+		dist := float64(c - peak)
+		return 1000 * math.Exp(-dist*dist/200)
+	})
+	if final != n {
+		t.Fatalf("full-group improvement settled at %d, want the whole group (%d)", final, n)
+	}
+	if d != DecisionChange {
+		t.Fatalf("decision = %v, want change", d)
+	}
+	if steps > 4 {
+		t.Fatalf("group-level acceptance took %d observations", steps)
+	}
+}
+
+func f64(i int) float64 { return float64(i) }
+
+// TestRuleSettlingLogarithmic: observations scale logarithmically with the
+// group size (observation O2's purpose), not linearly.
+func TestRuleSettlingLogarithmic(t *testing.T) {
+	peakFrac := 0.6
+	for _, n := range []int{32, 256, 1024} {
+		peak := int(peakFrac * float64(n))
+		_, _, steps := runTMOnLandscape(t, n, func(c int) float64 {
+			dist := float64(c-peak) / float64(n)
+			return 1000 * math.Exp(-dist*dist*8)
+		})
+		bound := 4*int(math.Log2(float64(n))) + 8
+		if steps > bound {
+			t.Fatalf("n=%d: search used %d observations, want <= %d (O(log n))", n, steps, bound)
+		}
+	}
+}
+
+// TestRuleFlatLandscapeStays: a flat landscape (all differences inside
+// SENS) must keep the incumbent all-manual placement (R5's stability role).
+func TestRuleFlatLandscapeStays(t *testing.T) {
+	final, d, steps := runTMOnLandscape(t, 32, func(c int) float64 {
+		return 1000 + float64(c%3) // +-0.3%: under SENS
+	})
+	if final != 0 {
+		t.Fatalf("flat landscape moved the placement to %d dynamic", final)
+	}
+	if d != DecisionStay {
+		t.Fatalf("decision = %v, want stay", d)
+	}
+	if steps > 6 {
+		t.Fatalf("flat landscape took %d observations to reject", steps)
+	}
+}
+
+// TestRuleGroupOrderHeaviestFirst: with two cost groups, the heavier group
+// is explored (and adopted) before the lighter one (observation O1).
+func TestRuleGroupOrderHeaviestFirst(t *testing.T) {
+	// 4 heavy ops (metric 10000), 8 light ops (metric 1). Dynamic heavy
+	// ops help a lot; light ops hurt.
+	e := newLandscapeEngine(13, 16, nil)
+	for i := 1; i <= 4; i++ {
+		e.metric[i] = 10000
+	}
+	for i := 5; i <= 12; i++ {
+		e.metric[i] = 1
+	}
+	heavySet := map[int]bool{1: true, 2: true, 3: true, 4: true}
+	e.thr = func(_, _ int) float64 {
+		h, l := 0, 0
+		for i, d := range e.placement {
+			if !d || e.sources[i] {
+				continue
+			}
+			if heavySet[i] {
+				h++
+			} else {
+				l++
+			}
+		}
+		return 100 * math.Pow(1.5, float64(h)) * math.Pow(0.8, float64(l))
+	}
+	rng := rand.New(rand.NewSource(3))
+	run := newTMRun(e, DirUp, DefaultConfig(), rng)
+	var firstDynamic []int
+	for steps := 0; steps < 100; steps++ {
+		perf, _ := e.Observe()
+		d, err := run.Step(perf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if firstDynamic == nil && e.dynCount() > 0 {
+			for i, dyn := range e.placement {
+				if dyn {
+					firstDynamic = append(firstDynamic, i)
+				}
+			}
+		}
+		if d != DecisionContinue {
+			break
+		}
+	}
+	if firstDynamic == nil {
+		t.Fatal("nothing ever became dynamic")
+	}
+	for _, op := range firstDynamic {
+		if !heavySet[op] {
+			t.Fatalf("first trial touched light operator %d; exploration must start with the heaviest group", op)
+		}
+	}
+	// Final placement: all heavy dynamic, no light dynamic.
+	for op := 1; op <= 4; op++ {
+		if !e.placement[op] {
+			t.Fatalf("heavy op %d not dynamic at the end", op)
+		}
+	}
+	for op := 5; op <= 12; op++ {
+		if e.placement[op] {
+			t.Fatalf("light op %d dynamic at the end", op)
+		}
+	}
+}

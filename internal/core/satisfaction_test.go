@@ -1,0 +1,113 @@
+package core
+
+import "testing"
+
+// newIdleCoordinator builds a coordinator without running it, for directly
+// unit-testing the Fig. 7 trigger logic.
+func newIdleCoordinator(t *testing.T, cfg Config) (*Coordinator, *fakeEngine) {
+	t.Helper()
+	f := heavyLightEngine()
+	c, err := NewCoordinator(f, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, f
+}
+
+func TestSatisfactionSkipsProportionalGain(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.SatisfactionThreshold = 0.6
+	c, _ := newIdleCoordinator(t, cfg)
+
+	// Threads doubled (gain denominator 1.0) and throughput rose 80%:
+	// 0.8/1.0 > 0.6 => satisfied, skip the secondary adjustment.
+	trigger, _ := c.shouldTriggerTM(&tcChange{fromT: 8, toT: 16, fromThr: 1000}, 1800)
+	if trigger {
+		t.Fatal("satisfied thread gain still triggered threading-model elasticity")
+	}
+}
+
+func TestSatisfactionTriggersOnWeakGain(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.SatisfactionThreshold = 0.6
+	cfg.UseHistory = false
+	c, _ := newIdleCoordinator(t, cfg)
+
+	// Threads doubled but throughput rose only 20%: 0.2/1.0 < 0.6.
+	trigger, dir := c.shouldTriggerTM(&tcChange{fromT: 8, toT: 16, fromThr: 1000}, 1200)
+	if !trigger {
+		t.Fatal("unsatisfying gain did not trigger threading-model elasticity")
+	}
+	if dir != DirUp {
+		t.Fatalf("direction = %v, want up for a thread increase", dir)
+	}
+}
+
+func TestSatisfactionIgnoresNoiseLevelGain(t *testing.T) {
+	// sf = 0 means "skip unless throughput dropped" — but a +1% noise
+	// wiggle must not count as satisfaction (it is below SENS).
+	cfg := DefaultConfig()
+	cfg.SatisfactionThreshold = 0
+	cfg.UseHistory = false
+	c, _ := newIdleCoordinator(t, cfg)
+
+	trigger, _ := c.shouldTriggerTM(&tcChange{fromT: 8, toT: 16, fromThr: 1000}, 1010)
+	if !trigger {
+		t.Fatal("noise-level gain satisfied sf=0")
+	}
+	// A genuine 10% gain does satisfy sf=0.
+	trigger, _ = c.shouldTriggerTM(&tcChange{fromT: 8, toT: 16, fromThr: 1000}, 1100)
+	if trigger {
+		t.Fatal("real gain did not satisfy sf=0")
+	}
+}
+
+func TestSatisfactionNotAppliedToDecreases(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.UseHistory = false
+	c, _ := newIdleCoordinator(t, cfg)
+
+	// Thread decreases always consult the secondary adjustment (the
+	// paper's condition only covers increases); direction follows the
+	// change.
+	trigger, dir := c.shouldTriggerTM(&tcChange{fromT: 16, toT: 8, fromThr: 1000}, 5000)
+	if !trigger {
+		t.Fatal("thread decrease skipped threading-model elasticity")
+	}
+	if dir != DirDown {
+		t.Fatalf("direction = %v, want down for a thread decrease", dir)
+	}
+}
+
+func TestHistoryDirectsTrigger(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.UseSatisfaction = false
+	c, f := newIdleCoordinator(t, cfg)
+	place := f.Placement()
+	c.hist.noteChange(place, 8)
+	c.hist.noteStay(place, 16)
+
+	// Inside the known-good range [8,16]: skip.
+	if trigger, _ := c.shouldTriggerTM(&tcChange{fromT: 8, toT: 12, fromThr: 1000}, 1000); trigger {
+		t.Fatal("in-range thread count triggered exploration")
+	}
+	// Above: explore up. Below: explore down.
+	if trigger, dir := c.shouldTriggerTM(&tcChange{fromT: 16, toT: 24, fromThr: 1000}, 1000); !trigger || dir != DirUp {
+		t.Fatalf("above-range: trigger=%v dir=%v", trigger, dir)
+	}
+	if trigger, dir := c.shouldTriggerTM(&tcChange{fromT: 8, toT: 4, fromThr: 1000}, 1000); !trigger || dir != DirDown {
+		t.Fatalf("below-range: trigger=%v dir=%v", trigger, dir)
+	}
+}
+
+func TestSatisfactionBeforeHistory(t *testing.T) {
+	// When both optimizations are on, a satisfied gain skips even when
+	// history would have directed an exploration.
+	cfg := DefaultConfig()
+	c, f := newIdleCoordinator(t, cfg)
+	c.hist.noteChange(f.Placement(), 4)
+	trigger, _ := c.shouldTriggerTM(&tcChange{fromT: 8, toT: 16, fromThr: 1000}, 1900)
+	if trigger {
+		t.Fatal("satisfaction did not take precedence over history")
+	}
+}

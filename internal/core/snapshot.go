@@ -1,0 +1,65 @@
+package core
+
+import "fmt"
+
+// ConfigSnapshot captures a converged elastic configuration so a restarted
+// PE can warm-start with its learned threading model and thread count
+// instead of re-exploring from scratch. Long-running streaming applications
+// restart for upgrades and failures; re-learning a configuration that took
+// minutes to find is wasted adaptation.
+type ConfigSnapshot struct {
+	// Placement is the threading-model choice per operator.
+	Placement []bool `json:"placement"`
+	// Threads is the scheduler-thread count.
+	Threads int `json:"threads"`
+	// Throughput is the settled throughput when the snapshot was taken,
+	// informational only.
+	Throughput float64 `json:"throughput"`
+}
+
+// ConfigSnapshot captures the engine's current configuration together with
+// the last settled throughput.
+func (c *Coordinator) ConfigSnapshot() ConfigSnapshot {
+	c.mu.Lock()
+	thr := c.settledThr
+	c.mu.Unlock()
+	return ConfigSnapshot{
+		Placement:  c.eng.Placement(),
+		Threads:    c.eng.ThreadCount(),
+		Throughput: thr,
+	}
+}
+
+// NewCoordinatorFrom restores a snapshot onto the engine and returns a
+// coordinator that starts in the settled state: it monitors throughput and
+// re-adapts only when the workload deviates, exactly as if it had converged
+// to the snapshot itself.
+func NewCoordinatorFrom(eng Engine, cfg Config, snap ConfigSnapshot) (*Coordinator, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if len(snap.Placement) != eng.NumOperators() {
+		return nil, fmt.Errorf("core: snapshot covers %d operators, engine has %d",
+			len(snap.Placement), eng.NumOperators())
+	}
+	if snap.Threads < 1 || snap.Threads > eng.MaxThreads() {
+		return nil, fmt.Errorf("core: snapshot thread count %d outside [1, %d]",
+			snap.Threads, eng.MaxThreads())
+	}
+	if err := eng.ApplyPlacement(snap.Placement); err != nil {
+		return nil, fmt.Errorf("restore placement: %w", err)
+	}
+	if err := eng.SetThreadCount(snap.Threads); err != nil {
+		return nil, fmt.Errorf("restore thread count: %w", err)
+	}
+	c := &Coordinator{
+		eng: eng,
+		cfg: cfg,
+		rng: newSeededRand(cfg.Seed),
+	}
+	// The first observation measures the restored configuration and enters
+	// the settled state directly.
+	c.initialTMDone = true
+	c.settleNext = true
+	return c, nil
+}

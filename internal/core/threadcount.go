@@ -1,0 +1,194 @@
+package core
+
+import "fmt"
+
+// tcChange describes a thread-count adjustment whose effect has not been
+// observed yet. The coordinator uses it for the satisfaction-factor check
+// and for the history lookup of Fig. 7.
+type tcChange struct {
+	fromT   int
+	toT     int
+	fromThr float64
+}
+
+// tcRun is one thread-count elasticity exploration, modeled on the elastic
+// scheduling of Schneider & Wu (PLDI '17): the thread count roughly doubles
+// while throughput keeps improving, then binary-searches back once an
+// increase degrades throughput. Like the threading-model search it stops on
+// flat trends, immovable steps, or revisited counts, which bounds the
+// exploration to O(log maxThreads) adjustments and prevents oscillation.
+type tcRun struct {
+	eng  Engine
+	sens float64
+	min  int
+	max  int
+
+	pos      int
+	prevPerf float64
+	stepSize int
+	dirn     int
+	reversed bool
+	visited  map[int]float64
+	bestPos  int
+	bestPerf float64
+	started  bool
+	finished bool
+	// descending marks the final phase: after the climb concludes, the run
+	// halves the thread count while throughput stays within the noise band
+	// of the best, settling on the fewest threads that serve the workload
+	// (SASO: avoid overshoot).
+	descending bool
+	lastNote   string
+}
+
+// newTCRun prepares a thread-count exploration starting from the engine's
+// current count.
+func newTCRun(eng Engine, cfg Config) *tcRun {
+	maxT := eng.MaxThreads()
+	if cfg.MaxThreads > 0 && cfg.MaxThreads < maxT {
+		maxT = cfg.MaxThreads
+	}
+	minT := cfg.MinThreads
+	if minT > maxT {
+		minT = maxT
+	}
+	return &tcRun{
+		eng:     eng,
+		sens:    cfg.Sens,
+		min:     minT,
+		max:     maxT,
+		pos:     clampInt(eng.ThreadCount(), minT, maxT),
+		visited: make(map[int]float64),
+	}
+}
+
+// Step consumes the throughput observed under the current thread count. It
+// returns the change it applied (nil when it did not adjust) and whether
+// the exploration has finished.
+func (r *tcRun) Step(perf float64) (*tcChange, bool, error) {
+	if r.finished {
+		return nil, true, nil
+	}
+	if !r.started {
+		r.started = true
+		r.visited[r.pos] = perf
+		r.bestPos, r.bestPerf = r.pos, perf
+		r.prevPerf = perf
+		r.dirn = 1
+		r.stepSize = r.pos // doubling: next = 2*pos
+		next := clampInt(r.pos+r.stepSize, r.min, r.max)
+		if next == r.pos {
+			r.finished = true
+			r.lastNote = "thread count: no headroom"
+			return nil, true, nil
+		}
+		return r.move(next, perf)
+	}
+
+	r.visited[r.pos] = perf
+	if r.descending {
+		return r.stepDescent(perf)
+	}
+	// Track the best count seen; within the noise band, prefer fewer
+	// threads (SASO: avoid overshoot — "does not use more threads than
+	// necessary").
+	if perf > r.bestPerf*(1+r.sens) ||
+		(perf >= r.bestPerf*(1-r.sens) && r.pos < r.bestPos) {
+		r.bestPos, r.bestPerf = r.pos, perf
+	}
+	improved := perf > r.prevPerf*(1+r.sens)
+	worsened := perf < r.prevPerf*(1-r.sens)
+
+	var next int
+	switch {
+	case improved:
+		if r.reversed {
+			r.stepSize = maxInt(1, r.stepSize/2)
+		} else {
+			// Keep doubling while increases pay off.
+			r.stepSize = r.pos
+		}
+		next = clampInt(r.pos+r.dirn*r.stepSize, r.min, r.max)
+	case worsened:
+		r.dirn = -r.dirn
+		r.reversed = true
+		r.stepSize = maxInt(1, r.stepSize/2)
+		next = clampInt(r.pos+r.dirn*r.stepSize, r.min, r.max)
+	default:
+		// Flat: more threads buy nothing. Switch to the descent phase.
+		return r.beginDescent(perf)
+	}
+	if next == r.pos {
+		return r.beginDescent(perf)
+	}
+	if _, seen := r.visited[next]; seen {
+		return r.beginDescent(perf)
+	}
+	return r.move(next, perf)
+}
+
+// beginDescent starts halving from the best count seen during the climb.
+func (r *tcRun) beginDescent(perf float64) (*tcChange, bool, error) {
+	r.descending = true
+	target := maxInt(r.min, r.bestPos/2)
+	if target == r.bestPos {
+		return r.finish(perf)
+	}
+	if _, seen := r.visited[target]; seen {
+		return r.finish(perf)
+	}
+	return r.move(target, perf)
+}
+
+// stepDescent handles one descent observation: keep halving while the
+// reduced pool still delivers throughput within the noise band of the best;
+// settle at the best (fewest adequate) count otherwise.
+func (r *tcRun) stepDescent(perf float64) (*tcChange, bool, error) {
+	if perf >= r.bestPerf*(1-r.sens) {
+		// Fewer threads serve the workload equally well: adopt them and
+		// keep descending. The reference throughput stays at the climb's
+		// best so chained within-band steps cannot drift downwards.
+		r.bestPos = r.pos
+		if perf > r.bestPerf {
+			r.bestPerf = perf
+		}
+		target := maxInt(r.min, r.pos/2)
+		if target == r.pos {
+			return r.finish(perf)
+		}
+		if _, seen := r.visited[target]; seen {
+			return r.finish(perf)
+		}
+		return r.move(target, perf)
+	}
+	return r.finish(perf)
+}
+
+func (r *tcRun) move(next int, perf float64) (*tcChange, bool, error) {
+	from := r.pos
+	if err := r.eng.SetThreadCount(next); err != nil {
+		return nil, false, fmt.Errorf("thread count apply: %w", err)
+	}
+	r.prevPerf = perf
+	r.pos = next
+	r.lastNote = fmt.Sprintf("thread count: %d -> %d", from, next)
+	return &tcChange{fromT: from, toT: next, fromThr: perf}, false, nil
+}
+
+func (r *tcRun) finish(perf float64) (*tcChange, bool, error) {
+	r.finished = true
+	if r.bestPos == r.pos {
+		r.lastNote = fmt.Sprintf("thread count settled at %d", r.pos)
+		return nil, true, nil
+	}
+	from := r.pos
+	if err := r.eng.SetThreadCount(r.bestPos); err != nil {
+		return nil, true, fmt.Errorf("thread count settle: %w", err)
+	}
+	r.pos = r.bestPos
+	r.lastNote = fmt.Sprintf("thread count settled: revert %d -> %d", from, r.bestPos)
+	return &tcChange{fromT: from, toT: r.bestPos, fromThr: perf}, true, nil
+}
+
+// Note returns a description of the run's most recent adjustment.
+func (r *tcRun) Note() string { return r.lastNote }

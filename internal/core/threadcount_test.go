@@ -1,0 +1,120 @@
+package core
+
+import "testing"
+
+// poolEngine builds a fake engine whose throughput scales with threads up
+// to the point where the pool is fully parallelized, so the optimal thread
+// count is a known interior value.
+func poolEngine(dynOps int, cores, maxT int) *fakeEngine {
+	costs := []float64{0.0001}
+	for i := 0; i < dynOps; i++ {
+		costs = append(costs, 0.010)
+	}
+	f := newFakeEngine(costs, 0.0005, cores, maxT)
+	place := make([]bool, len(costs))
+	for i := 1; i < len(costs); i++ {
+		place[i] = true
+	}
+	if err := f.ApplyPlacement(place); err != nil {
+		panic(err)
+	}
+	return f
+}
+
+// runTC drives a tcRun to completion, returning observations used.
+func runTC(t *testing.T, f *fakeEngine, cfg Config) int {
+	t.Helper()
+	run := newTCRun(f, cfg)
+	for steps := 0; steps < 200; steps++ {
+		thr, err := f.Observe()
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, done, err := run.Step(thr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if done {
+			return steps + 1
+		}
+	}
+	t.Fatal("thread-count run did not terminate")
+	return 0
+}
+
+func TestTCRunScalesUpWhileProfitable(t *testing.T) {
+	// With the pool bound at cores-1 = 31 effective threads and 64 dynamic
+	// ops, throughput improves all the way to the core limit.
+	f := poolEngine(64, 32, 128)
+	runTC(t, f, DefaultConfig())
+	got := f.ThreadCount()
+	if got < 24 || got > 40 {
+		t.Fatalf("settled at %d threads, want near the 31-thread core limit", got)
+	}
+}
+
+func TestTCRunAvoidsOvershoot(t *testing.T) {
+	// Throughput saturates at 8 effective threads (cores=9); the run must
+	// not settle far beyond it even though 128 threads are allowed.
+	f := poolEngine(32, 9, 128)
+	runTC(t, f, DefaultConfig())
+	got := f.ThreadCount()
+	if got > 16 {
+		t.Fatalf("settled at %d threads; overshoot past the 8-thread saturation point", got)
+	}
+	if got < 6 {
+		t.Fatalf("settled at %d threads; undershoot", got)
+	}
+}
+
+func TestTCRunNoHeadroom(t *testing.T) {
+	f := poolEngine(4, 8, 1)
+	cfg := DefaultConfig()
+	steps := runTC(t, f, cfg)
+	if f.ThreadCount() != 1 {
+		t.Fatalf("thread count = %d, want 1", f.ThreadCount())
+	}
+	if steps != 1 {
+		t.Fatalf("no-headroom run took %d steps, want 1", steps)
+	}
+}
+
+func TestTCRunRespectsConfigMax(t *testing.T) {
+	f := poolEngine(64, 128, 128)
+	cfg := DefaultConfig()
+	cfg.MaxThreads = 8
+	runTC(t, f, cfg)
+	if f.ThreadCount() > 8 {
+		t.Fatalf("thread count %d exceeds config max 8", f.ThreadCount())
+	}
+}
+
+func TestTCRunTerminatesInLogSteps(t *testing.T) {
+	f := poolEngine(256, 1024, 512)
+	steps := runTC(t, f, DefaultConfig())
+	if steps > 25 {
+		t.Fatalf("exploration over 512 threads took %d observations, want O(log)", steps)
+	}
+}
+
+func TestTCRunSetThreadErrorPropagates(t *testing.T) {
+	f := poolEngine(8, 16, 64)
+	run := newTCRun(f, DefaultConfig())
+	f.failSetT = true
+	thr, _ := f.Observe()
+	if _, _, err := run.Step(thr); err == nil {
+		t.Fatal("SetThreadCount failure did not propagate")
+	}
+}
+
+func TestTCRunStepAfterFinish(t *testing.T) {
+	f := poolEngine(4, 8, 1)
+	run := newTCRun(f, DefaultConfig())
+	thr, _ := f.Observe()
+	if _, done, _ := run.Step(thr); !done {
+		t.Fatal("expected immediate finish with maxT=1")
+	}
+	if _, done, err := run.Step(thr); !done || err != nil {
+		t.Fatalf("Step after finish = (done=%v, err=%v), want (true, nil)", done, err)
+	}
+}

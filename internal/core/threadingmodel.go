@@ -1,0 +1,255 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// tmRun is one threading-model elasticity exploration (§3.1). It walks the
+// profiling groups in cost order and, within each group, performs the
+// trend-guided adaptive search of rules R1–R5: jump to the whole group,
+// then move in the direction the two-point performance trend indicates,
+// halving the step after the first reversal, and stop when the trend
+// flattens, the step cannot move, or a position would be revisited. The
+// visited-set stop is what gives the SASO stability property: the search
+// can never oscillate between placements because every placement is tried
+// at most once per run.
+type tmRun struct {
+	eng  Engine
+	cfg  Config
+	rng  *rand.Rand
+	dir  Direction
+	sens float64
+
+	groups []profilingGroup
+	gi     int
+
+	// initial is the placement when the run started, for the STAY/CHANGE
+	// decision. base is the placement with all settled groups folded in
+	// and the current group at count 0.
+	initial []bool
+	base    []bool
+
+	// Per-group search state.
+	order    []int // shuffled candidate operators of the current group
+	pos      int   // applied count: how many of order[:pos] are toggled
+	prevPerf float64
+	stepSize int
+	dirn     int
+	reversed bool
+	visited  map[int]float64
+	bestPos  int
+	bestPerf float64
+	started  bool
+
+	finished bool
+	final    Decision
+	// lastNote describes the most recent adjustment for the trace.
+	lastNote string
+}
+
+// newTMRun prepares a threading-model exploration in the given direction.
+// Direction UP considers currently-manual operators as candidates for
+// scheduler queues; DOWN considers currently-dynamic operators for
+// reverting to manual.
+func newTMRun(eng Engine, dir Direction, cfg Config, rng *rand.Rand) *tmRun {
+	metric := eng.CostMetric()
+	place := eng.Placement()
+	placeable := eng.Placeable()
+	var candidates []int
+	for op := 0; op < eng.NumOperators(); op++ {
+		if !placeable[op] {
+			continue
+		}
+		if (dir == DirUp && !place[op]) || (dir == DirDown && place[op]) {
+			candidates = append(candidates, op)
+		}
+	}
+	r := &tmRun{
+		eng:     eng,
+		cfg:     cfg,
+		rng:     rng,
+		dir:     dir,
+		sens:    cfg.Sens,
+		groups:  binGroups(metric, candidates, cfg.GroupBase, dir),
+		initial: clonePlacement(place),
+		base:    clonePlacement(place),
+	}
+	if len(r.groups) == 0 {
+		r.finished = true
+		r.final = DecisionStay
+		r.lastNote = "no candidate operators"
+		return r
+	}
+	r.enterGroup(0)
+	return r
+}
+
+func clonePlacement(p []bool) []bool {
+	out := make([]bool, len(p))
+	copy(out, p)
+	return out
+}
+
+// enterGroup resets the per-group search state for group gi.
+func (r *tmRun) enterGroup(gi int) {
+	r.gi = gi
+	g := r.groups[gi]
+	r.order = make([]int, len(g.ops))
+	copy(r.order, g.ops)
+	// The paper selects an arbitrary set of N operators within the group
+	// (§3.1.1); a seeded shuffle realizes that while keeping runs
+	// reproducible.
+	r.rng.Shuffle(len(r.order), func(i, j int) {
+		r.order[i], r.order[j] = r.order[j], r.order[i]
+	})
+	r.pos = 0
+	r.stepSize = 0
+	r.dirn = 1
+	r.reversed = false
+	r.visited = make(map[int]float64)
+	r.bestPos = 0
+	r.bestPerf = 0
+	r.started = false
+}
+
+// apply reconfigures the engine so the first count candidates of the
+// current group are toggled relative to base.
+func (r *tmRun) apply(count int) error {
+	p := clonePlacement(r.base)
+	for i := 0; i < count; i++ {
+		p[r.order[i]] = r.dir == DirUp
+	}
+	return r.eng.ApplyPlacement(p)
+}
+
+// Step consumes the throughput observed under the currently applied
+// placement and either applies the next trial placement (returning
+// DecisionContinue) or concludes the run (DecisionStay or DecisionChange).
+func (r *tmRun) Step(perf float64) (Decision, error) {
+	if r.finished {
+		return r.final, nil
+	}
+	if !r.started {
+		// perf is the baseline of the current group at count 0.
+		r.started = true
+		r.visited[0] = perf
+		r.bestPos, r.bestPerf = 0, perf
+		r.prevPerf = perf
+		full := len(r.order)
+		// R1: jump to the whole group first; observation O2 says similar
+		// cost implies similar benefit, so the group is adjusted as one.
+		r.pos = full
+		r.stepSize = full
+		r.dirn = 1
+		if err := r.apply(r.pos); err != nil {
+			return 0, fmt.Errorf("threading model apply: %w", err)
+		}
+		r.lastNote = fmt.Sprintf("group %d/%d: trying %d/%d ops %s", r.gi+1, len(r.groups), r.pos, full, r.dir)
+		return DecisionContinue, nil
+	}
+
+	r.visited[r.pos] = perf
+	// Track the best count seen. A trial must beat the best by more than
+	// SENS to be adopted: flat trials keep the incumbent configuration
+	// (R5), which is what prevents noise-driven placement churn — the
+	// oscillation hazard §3.2 describes for signals "indistinguishable
+	// from system noise".
+	if perf > r.bestPerf*(1+r.sens) {
+		r.bestPos, r.bestPerf = r.pos, perf
+	}
+	improved := perf > r.prevPerf*(1+r.sens)
+	worsened := perf < r.prevPerf*(1-r.sens)
+
+	var next int
+	switch {
+	case improved:
+		// R1/R2: increasing trend in the direction we moved; keep going.
+		if r.reversed {
+			r.stepSize = maxInt(1, r.stepSize/2)
+		}
+		next = clampInt(r.pos+r.dirn*r.stepSize, 0, len(r.order))
+	case worsened:
+		// R3/R4: decreasing trend; reverse and halve the step.
+		r.dirn = -r.dirn
+		r.reversed = true
+		r.stepSize = maxInt(1, r.stepSize/2)
+		next = clampInt(r.pos+r.dirn*r.stepSize, 0, len(r.order))
+	default:
+		// R5: the trend is flat within SENS; the peak is bracketed.
+		return r.finishGroup()
+	}
+	if next == r.pos {
+		return r.finishGroup()
+	}
+	if _, seen := r.visited[next]; seen {
+		return r.finishGroup()
+	}
+	r.prevPerf = perf
+	r.pos = next
+	if err := r.apply(r.pos); err != nil {
+		return 0, fmt.Errorf("threading model apply: %w", err)
+	}
+	r.lastNote = fmt.Sprintf("group %d/%d: trying %d/%d ops %s", r.gi+1, len(r.groups), r.pos, len(r.order), r.dir)
+	return DecisionContinue, nil
+}
+
+// finishGroup settles the current group at its best observed count, then
+// either advances to the next group (when the whole group was beneficial,
+// Fig. 4 lines 4–6) or concludes the run.
+func (r *tmRun) finishGroup() (Decision, error) {
+	full := len(r.order)
+	if err := r.apply(r.bestPos); err != nil {
+		return 0, fmt.Errorf("threading model settle: %w", err)
+	}
+	// Fold the settled group into the base placement.
+	for i := 0; i < r.bestPos; i++ {
+		r.base[r.order[i]] = r.dir == DirUp
+	}
+	wholeGroupWon := r.bestPos == full
+	if wholeGroupWon && r.gi+1 < len(r.groups) {
+		r.lastNote = fmt.Sprintf("group %d/%d settled at %d/%d; continuing to next group", r.gi+1, len(r.groups), r.bestPos, full)
+		r.enterGroup(r.gi + 1)
+		return DecisionContinue, nil
+	}
+	r.finished = true
+	if placementsEqual(r.initial, r.base) {
+		r.final = DecisionStay
+	} else {
+		r.final = DecisionChange
+	}
+	r.lastNote = fmt.Sprintf("group %d/%d settled at %d/%d; %s", r.gi+1, len(r.groups), r.bestPos, full, r.final)
+	return r.final, nil
+}
+
+// Note returns a description of the run's most recent adjustment.
+func (r *tmRun) Note() string { return r.lastNote }
+
+func placementsEqual(a, b []bool) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func clampInt(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

@@ -1,0 +1,221 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// runTM drives a tmRun against the fake engine until it concludes,
+// returning the final decision and the number of observations used.
+func runTM(t *testing.T, f *fakeEngine, dir Direction, cfg Config) (Decision, int) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	run := newTMRun(f, dir, cfg, rng)
+	for steps := 0; steps < 500; steps++ {
+		thr, err := f.Observe()
+		if err != nil {
+			t.Fatal(err)
+		}
+		d, err := run.Step(thr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d != DecisionContinue {
+			return d, steps + 1
+		}
+	}
+	t.Fatal("threading-model run did not terminate within 500 steps")
+	return 0, 0
+}
+
+// heavyLightEngine builds a fake engine whose optimum is "heavy operators
+// dynamic, light operators manual": 4 heavy ops at 100ms, 8 light ops at
+// 1ms, with 5ms queue overhead. Making a heavy op dynamic removes 100ms
+// from the serial source region at a cost of 105/threads in the pool;
+// making a light op dynamic costs more overhead than it saves.
+func heavyLightEngine() *fakeEngine {
+	costs := []float64{0.001} // source
+	for i := 0; i < 4; i++ {
+		costs = append(costs, 0.100)
+	}
+	for i := 0; i < 8; i++ {
+		costs = append(costs, 0.001)
+	}
+	return newFakeEngine(costs, 0.005, 64, 32)
+}
+
+func TestTMRunMovesHeavyOpsDynamic(t *testing.T) {
+	f := heavyLightEngine()
+	if err := f.SetThreadCount(8); err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	d, _ := runTM(t, f, DirUp, cfg)
+	if d != DecisionChange {
+		t.Fatalf("decision = %v, want change", d)
+	}
+	place := f.Placement()
+	for op := 1; op <= 4; op++ {
+		if !place[op] {
+			t.Fatalf("heavy op %d not dynamic; placement %v", op, place)
+		}
+	}
+	// The light group must not be fully dynamic: queue overhead (5ms)
+	// dwarfs light cost (1ms).
+	lightDyn := 0
+	for op := 5; op <= 12; op++ {
+		if place[op] {
+			lightDyn++
+		}
+	}
+	if lightDyn == 8 {
+		t.Fatalf("all light ops went dynamic; placement %v", place)
+	}
+}
+
+func TestTMRunStaysWhenQueuesNeverPay(t *testing.T) {
+	// One thread in the pool and enormous queue overhead: every placement
+	// with queues is worse than pure manual.
+	costs := []float64{0.001, 0.01, 0.01, 0.01}
+	f := newFakeEngine(costs, 10.0, 64, 8)
+	d, _ := runTM(t, f, DirUp, DefaultConfig())
+	if d != DecisionStay {
+		t.Fatalf("decision = %v, want stay", d)
+	}
+	if f.dynCount() != 0 {
+		t.Fatalf("placement changed despite stay: %v", f.Placement())
+	}
+}
+
+func TestTMRunDownRemovesUselessQueues(t *testing.T) {
+	f := heavyLightEngine()
+	if err := f.SetThreadCount(8); err != nil {
+		t.Fatal(err)
+	}
+	// Start from everything dynamic; DOWN should strip queues from light
+	// operators (cheapest group first).
+	all := make([]bool, f.NumOperators())
+	for i := 1; i < len(all); i++ {
+		all[i] = true
+	}
+	if err := f.ApplyPlacement(all); err != nil {
+		t.Fatal(err)
+	}
+	d, _ := runTM(t, f, DirDown, DefaultConfig())
+	if d != DecisionChange {
+		t.Fatalf("decision = %v, want change", d)
+	}
+	place := f.Placement()
+	lightDyn := 0
+	for op := 5; op <= 12; op++ {
+		if place[op] {
+			lightDyn++
+		}
+	}
+	if lightDyn != 0 {
+		t.Fatalf("light ops still dynamic after DOWN run: %v", place)
+	}
+	for op := 1; op <= 4; op++ {
+		if !place[op] {
+			t.Fatalf("DOWN run removed a profitable heavy queue: %v", place)
+		}
+	}
+}
+
+func TestTMRunNoCandidates(t *testing.T) {
+	f := newFakeEngine([]float64{0.001, 0.01}, 0.001, 8, 8)
+	// DOWN with nothing dynamic has no candidates.
+	rng := rand.New(rand.NewSource(1))
+	run := newTMRun(f, DirDown, DefaultConfig(), rng)
+	thr, _ := f.Observe()
+	d, err := run.Step(thr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != DecisionStay {
+		t.Fatalf("decision = %v, want stay", d)
+	}
+}
+
+func TestTMRunNeverRevisitsPlacement(t *testing.T) {
+	// Stability (SASO): the search must not oscillate between placements.
+	f := heavyLightEngine()
+	if err := f.SetThreadCount(8); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	run := newTMRun(f, DirUp, DefaultConfig(), rng)
+	key := func() string {
+		b := make([]byte, f.NumOperators())
+		for i, d := range f.Placement() {
+			if d {
+				b[i] = '1'
+			} else {
+				b[i] = '0'
+			}
+		}
+		return string(b)
+	}
+	// A placement may legitimately recur a bounded number of times (trial,
+	// group settle, next group's baseline). True oscillation is an
+	// A-B-A-B alternation, which the visited-set search makes impossible.
+	var hist []string
+	for steps := 0; steps < 500; steps++ {
+		thr, _ := f.Observe()
+		d, err := run.Step(thr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hist = append(hist, key())
+		if n := len(hist); n >= 4 {
+			a, b := hist[n-1], hist[n-2]
+			if a != b && hist[n-3] == a && hist[n-4] == b {
+				t.Fatalf("oscillation detected: %v", hist[n-4:])
+			}
+		}
+		if d != DecisionContinue {
+			return
+		}
+	}
+	t.Fatal("run did not terminate")
+}
+
+func TestTMRunTerminatesQuickly(t *testing.T) {
+	// Settling time (SASO): for a 1-group search over N ops, the number of
+	// observations must be O(log N), not O(N).
+	costs := []float64{0.001}
+	for i := 0; i < 256; i++ {
+		costs = append(costs, 0.010)
+	}
+	f := newFakeEngine(costs, 0.001, 1024, 512)
+	if err := f.SetThreadCount(64); err != nil {
+		t.Fatal(err)
+	}
+	_, steps := runTM(t, f, DirUp, DefaultConfig())
+	if steps > 2+10*2 {
+		t.Fatalf("search over 256 ops took %d observations, want O(log n)", steps)
+	}
+}
+
+func TestTMRunApplyErrorPropagates(t *testing.T) {
+	f := heavyLightEngine()
+	rng := rand.New(rand.NewSource(1))
+	run := newTMRun(f, DirUp, DefaultConfig(), rng)
+	f.failApply = true
+	thr, _ := f.Observe()
+	if _, err := run.Step(thr); err == nil {
+		t.Fatal("apply failure did not propagate")
+	}
+}
+
+func TestPlacementsEqual(t *testing.T) {
+	if !placementsEqual([]bool{true, false}, []bool{true, false}) {
+		t.Fatal("equal placements reported unequal")
+	}
+	if placementsEqual([]bool{true}, []bool{false}) {
+		t.Fatal("unequal placements reported equal")
+	}
+	if placementsEqual([]bool{true}, []bool{true, false}) {
+		t.Fatal("different lengths reported equal")
+	}
+}

@@ -1,0 +1,70 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"time"
+)
+
+// Phase labels the elastic component active when a trace event was taken.
+type Phase string
+
+// Trace phases.
+const (
+	PhaseInitTM  Phase = "init-threading-model"
+	PhaseTM      Phase = "threading-model"
+	PhaseTC      Phase = "thread-count"
+	PhaseSettled Phase = "settled"
+)
+
+// TraceEvent is one adaptation-period observation, the unit from which the
+// paper's timeline figures (Fig. 6, Fig. 13) are regenerated.
+type TraceEvent struct {
+	// Time is the engine clock when the observation completed.
+	Time time.Duration
+	// Throughput is the sink throughput over the period, tuples/second.
+	Throughput float64
+	// Threads is the scheduler-thread count during the period.
+	Threads int
+	// Queues is the number of scheduler queues during the period.
+	Queues int
+	// Phase is the active elastic component.
+	Phase Phase
+	// Note carries a human-readable description of the adjustment taken
+	// after the observation.
+	Note string
+}
+
+// Trace accumulates adaptation events.
+type Trace struct {
+	events []TraceEvent
+}
+
+func (t *Trace) add(e TraceEvent) {
+	t.events = append(t.events, e)
+}
+
+// Events returns a copy of the recorded events in order.
+func (t *Trace) Events() []TraceEvent {
+	out := make([]TraceEvent, len(t.events))
+	copy(out, t.events)
+	return out
+}
+
+// Len returns the number of recorded events.
+func (t *Trace) Len() int { return len(t.events) }
+
+// WriteCSV writes the trace as CSV with a header row.
+func (t *Trace) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "time_s,throughput,threads,queues,phase,note"); err != nil {
+		return err
+	}
+	for _, e := range t.events {
+		_, err := fmt.Fprintf(w, "%.3f,%.1f,%d,%d,%s,%q\n",
+			e.Time.Seconds(), e.Throughput, e.Threads, e.Queues, e.Phase, e.Note)
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,71 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// TuneThreadCount runs thread-count elasticity alone on the engine's
+// current placement until it settles, then returns the settled throughput.
+// This is the paper's primary baseline: the pre-existing elastic runtime
+// (Streams 4.2, "dynamic threading") adjusted only the number of threads.
+// It returns the settled throughput, the number of observations consumed,
+// and an error if the engine fails or the exploration does not converge
+// within maxSteps.
+func TuneThreadCount(e Engine, cfg Config, maxSteps int) (float64, int, error) {
+	if err := cfg.validate(); err != nil {
+		return 0, 0, err
+	}
+	run := newTCRun(e, cfg)
+	for step := 1; step <= maxSteps; step++ {
+		thr, err := e.Observe()
+		if err != nil {
+			return 0, step, fmt.Errorf("observe: %w", err)
+		}
+		_, done, err := run.Step(thr)
+		if err != nil {
+			return 0, step, err
+		}
+		if done {
+			// One more observation measures the settled configuration.
+			final, err := e.Observe()
+			if err != nil {
+				return 0, step + 1, fmt.Errorf("observe: %w", err)
+			}
+			return final, step + 1, nil
+		}
+	}
+	return 0, maxSteps, fmt.Errorf("thread-count tuning did not settle in %d steps", maxSteps)
+}
+
+// TuneThreadingModel runs one threading-model elasticity exploration in the
+// given direction at the engine's current thread count, without any
+// thread-count adjustment. Experiments use it to ablate the coordination
+// design choices of §3.2 (primary-adjustment order, starting direction).
+// It returns the settled throughput, the decision the run concluded with,
+// and the number of observations consumed.
+func TuneThreadingModel(e Engine, dir Direction, cfg Config, maxSteps int) (float64, Decision, int, error) {
+	if err := cfg.validate(); err != nil {
+		return 0, 0, 0, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	run := newTMRun(e, dir, cfg, rng)
+	for step := 1; step <= maxSteps; step++ {
+		thr, err := e.Observe()
+		if err != nil {
+			return 0, 0, step, fmt.Errorf("observe: %w", err)
+		}
+		d, err := run.Step(thr)
+		if err != nil {
+			return 0, 0, step, err
+		}
+		if d != DecisionContinue {
+			final, err := e.Observe()
+			if err != nil {
+				return 0, d, step + 1, fmt.Errorf("observe: %w", err)
+			}
+			return final, d, step + 1, nil
+		}
+	}
+	return 0, 0, maxSteps, fmt.Errorf("threading-model tuning did not settle in %d steps", maxSteps)
+}

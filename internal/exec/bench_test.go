@@ -1,0 +1,136 @@
+package exec
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"streamelastic/internal/graph"
+	"streamelastic/internal/spl"
+)
+
+// benchChain builds an unbounded pipeline for engine micro-benchmarks.
+func benchChain(b *testing.B, workOps int, flops float64) (*graph.Graph, *spl.CountingSink) {
+	b.Helper()
+	g := graph.New()
+	gen := spl.NewGenerator("src", 64)
+	prev := g.AddSource(gen, nil)
+	for i := 0; i < workOps; i++ {
+		cv := spl.NewCostVar(flops)
+		id := g.AddOperator(spl.NewWork("w", cv), cv)
+		if err := g.Connect(prev, 0, id, 0, 1); err != nil {
+			b.Fatal(err)
+		}
+		prev = id
+	}
+	sink := spl.NewCountingSink("snk")
+	sid := g.AddOperator(sink, nil)
+	if err := g.Connect(prev, 0, sid, 0, 1); err != nil {
+		b.Fatal(err)
+	}
+	if err := g.Finalize(); err != nil {
+		b.Fatal(err)
+	}
+	return g, sink
+}
+
+// benchThroughput measures live sink throughput under a given placement.
+func benchThroughput(b *testing.B, dynamic bool, threads int) {
+	b.Helper()
+	g, _ := benchChain(b, 8, 100)
+	e, err := New(g, Options{MaxThreads: 16})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := e.Start(context.Background()); err != nil {
+		b.Fatal(err)
+	}
+	defer e.Stop()
+	if dynamic {
+		place := make([]bool, g.NumNodes())
+		for i := 1; i < len(place); i++ {
+			place[i] = true
+		}
+		if err := e.ApplyPlacement(place); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := e.SetThreadCount(threads); err != nil {
+		b.Fatal(err)
+	}
+	time.Sleep(20 * time.Millisecond) // warm up
+	b.ResetTimer()
+	start := e.SinkCount()
+	t0 := time.Now()
+	// Run for a duration proportional to b.N and report tuples/sec.
+	target := time.Duration(b.N) * 100 * time.Microsecond
+	if target < 50*time.Millisecond {
+		target = 50 * time.Millisecond
+	}
+	time.Sleep(target)
+	elapsed := time.Since(t0).Seconds()
+	b.StopTimer()
+	b.ReportMetric(float64(e.SinkCount()-start)/elapsed, "tuples/s")
+}
+
+func BenchmarkLiveManualThreading(b *testing.B) {
+	benchThroughput(b, false, 1)
+}
+
+func BenchmarkLiveDynamicThreading2(b *testing.B) {
+	benchThroughput(b, true, 2)
+}
+
+func BenchmarkLiveDynamicThreading4(b *testing.B) {
+	benchThroughput(b, true, 4)
+}
+
+// BenchmarkReconfiguration measures the cost of an online placement change
+// while the pipeline is under load.
+func BenchmarkReconfiguration(b *testing.B) {
+	g, _ := benchChain(b, 16, 100)
+	e, err := New(g, Options{MaxThreads: 8})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := e.Start(context.Background()); err != nil {
+		b.Fatal(err)
+	}
+	defer e.Stop()
+	if err := e.SetThreadCount(2); err != nil {
+		b.Fatal(err)
+	}
+	placements := [2][]bool{
+		make([]bool, g.NumNodes()),
+		make([]bool, g.NumNodes()),
+	}
+	for i := 1; i < g.NumNodes(); i += 2 {
+		placements[1][i] = true
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := e.ApplyPlacement(placements[i%2]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkThreadResize measures the cost of growing/shrinking the pool.
+func BenchmarkThreadResize(b *testing.B) {
+	g, _ := benchChain(b, 4, 10)
+	e, err := New(g, Options{MaxThreads: 16})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := e.Start(context.Background()); err != nil {
+		b.Fatal(err)
+	}
+	defer e.Stop()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n := 1 + i%8
+		if err := e.SetThreadCount(n); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

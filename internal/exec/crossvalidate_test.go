@@ -1,0 +1,99 @@
+package exec
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"streamelastic/internal/graph"
+	"streamelastic/internal/sim"
+	"streamelastic/internal/spl"
+)
+
+// measureLive runs the engine under a fixed configuration for window and
+// returns the sink throughput.
+func measureLive(t *testing.T, g *graph.Graph, place []bool, threads int, window time.Duration) float64 {
+	t.Helper()
+	e, err := New(g, Options{MaxThreads: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Start(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	defer e.Stop()
+	if place != nil {
+		if err := e.ApplyPlacement(place); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := e.SetThreadCount(threads); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(window / 4) // warm up
+	start := e.SinkCount()
+	time.Sleep(window)
+	return float64(e.SinkCount()-start) / window.Seconds()
+}
+
+// TestSimPredictsLiveOrdering cross-validates the simulated machine against
+// the live engine on this host: on a single-CPU machine the dynamic model's
+// queue overheads cannot be repaid by parallelism, so manual threading must
+// win — and a 1-core simulated machine must predict the same ordering.
+func TestSimPredictsLiveOrdering(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cross-validation timing test skipped in -short mode")
+	}
+	g := graph.New()
+	gen := spl.NewGenerator("src", 1024)
+	prev := g.AddSource(gen, spl.NewCostVar(0))
+	for i := 0; i < 6; i++ {
+		cv := spl.NewCostVar(2000)
+		id := g.AddOperator(spl.NewWork("w", cv), cv)
+		if err := g.Connect(prev, 0, id, 0, 1); err != nil {
+			t.Fatal(err)
+		}
+		prev = id
+	}
+	snk := g.AddOperator(spl.NewCountingSink("snk"), nil)
+	if err := g.Connect(prev, 0, snk, 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+
+	allDyn := make([]bool, g.NumNodes())
+	for i := 1; i < len(allDyn); i++ {
+		allDyn[i] = true
+	}
+
+	// Simulated prediction on a 1-core machine.
+	se, err := sim.New(g, sim.Xeon176().WithCores(1), sim.WithPayload(1024))
+	if err != nil {
+		t.Fatal(err)
+	}
+	simManual := se.Throughput()
+	if err := se.ApplyPlacement(allDyn); err != nil {
+		t.Fatal(err)
+	}
+	if err := se.SetThreadCount(2); err != nil {
+		t.Fatal(err)
+	}
+	simDynamic := se.Throughput()
+	if simManual <= simDynamic {
+		t.Fatalf("1-core sim predicts dynamic (%v) >= manual (%v); queue overheads missing from the model",
+			simDynamic, simManual)
+	}
+
+	// Live measurement.
+	liveManual := measureLive(t, g, nil, 1, 400*time.Millisecond)
+	liveDynamic := measureLive(t, g, allDyn, 2, 400*time.Millisecond)
+	if liveManual == 0 || liveDynamic == 0 {
+		t.Skip("host too loaded to measure throughput")
+	}
+	if liveManual < liveDynamic {
+		t.Fatalf("live ordering contradicts the model on 1 CPU: manual %v < dynamic %v",
+			liveManual, liveDynamic)
+	}
+}

@@ -1,0 +1,463 @@
+// Package exec implements the live engine: a goroutine-based processing
+// element that executes an operator graph under the two threading models of
+// the paper. Source operators run on dedicated operator goroutines; under
+// the manual model downstream operators execute inline on the emitting
+// goroutine, and under the dynamic model a scheduler queue is placed in
+// front of the operator and a pool of scheduler goroutines pulls tuples
+// from any queue. Placement and pool size are reconfigurable online, which
+// is the control surface the elastic controllers in internal/core drive.
+package exec
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"streamelastic/internal/graph"
+	"streamelastic/internal/metrics"
+	"streamelastic/internal/queue"
+	"streamelastic/internal/spl"
+)
+
+// pushSpinLimit bounds how long a producer spins on a full scheduler queue
+// before falling back to inline execution.
+const pushSpinLimit = 256
+
+// item is one queued tuple delivery.
+type item struct {
+	port int
+	t    *spl.Tuple
+}
+
+// engineConfig is the immutable runtime configuration workers snapshot once
+// per dispatch. Reconfiguration swaps in a new one while all loops are
+// parked.
+type engineConfig struct {
+	placement []bool
+	queues    []*queue.MPMC[item] // indexed by node id; nil when manual
+	queueList []graph.NodeID      // nodes that have queues, in id order
+}
+
+// Options configure a live engine.
+type Options struct {
+	// MaxThreads caps the scheduler pool (default 64).
+	MaxThreads int
+	// QueueCapacity is the per-queue capacity, a power of two (default 1024).
+	QueueCapacity int
+	// AdaptPeriod is how long Observe measures (default 100ms; the paper
+	// uses 5s, which is far longer than needed for synthetic workloads).
+	AdaptPeriod time.Duration
+	// ProfilePeriod is the cost-profiler sampling period (default 1ms).
+	ProfilePeriod time.Duration
+	// TrackLatency stamps every source-emitted tuple's Time attribute with
+	// the wall clock and records sink-arrival latency in a histogram.
+	// Leave it off when operators use Time as an application event time.
+	TrackLatency bool
+}
+
+func (o *Options) setDefaults() {
+	if o.MaxThreads == 0 {
+		o.MaxThreads = 64
+	}
+	if o.QueueCapacity == 0 {
+		o.QueueCapacity = 1024
+	}
+	if o.AdaptPeriod == 0 {
+		o.AdaptPeriod = 100 * time.Millisecond
+	}
+	if o.ProfilePeriod == 0 {
+		o.ProfilePeriod = time.Millisecond
+	}
+}
+
+// Engine executes a graph with elastic threading. Create with New, launch
+// with Start, and always Stop it to release its goroutines.
+type Engine struct {
+	g    *graph.Graph
+	opts Options
+
+	outByPort [][][]graph.Edge // node -> port -> edges
+	isSink    []bool
+	statefulM []*sync.Mutex // per-node lock for Stateful operators
+
+	cfg atomic.Pointer[engineConfig]
+
+	meter      *metrics.Meter
+	profiler   *metrics.Profiler
+	reconfigTS *metrics.ThreadState
+	latency    metrics.Histogram
+	isSource   []bool
+	opPanics   atomic.Uint64
+
+	// Pause/park machinery for online reconfiguration.
+	mu       sync.Mutex
+	cond     *sync.Cond
+	pauseReq atomic.Bool
+	parked   int
+	loops    int
+
+	reconfigMu sync.Mutex // serializes ApplyPlacement/SetThreadCount
+
+	stop    atomic.Bool
+	drain   atomic.Bool
+	wg      sync.WaitGroup
+	workers []*worker
+	started bool
+	start   time.Time
+}
+
+// worker is one scheduler goroutine.
+type worker struct {
+	id   int
+	quit chan struct{}
+}
+
+// New validates the graph (finalized, every node has an operator, sources
+// implement spl.Source) and returns an engine with all operators manual and
+// one scheduler thread configured.
+func New(g *graph.Graph, opts Options) (*Engine, error) {
+	opts.setDefaults()
+	if !g.Finalized() {
+		return nil, errors.New("exec: graph not finalized")
+	}
+	if opts.QueueCapacity < 2 || opts.QueueCapacity&(opts.QueueCapacity-1) != 0 {
+		return nil, fmt.Errorf("exec: queue capacity %d is not a power of two", opts.QueueCapacity)
+	}
+	n := g.NumNodes()
+	e := &Engine{
+		g:         g,
+		opts:      opts,
+		outByPort: make([][][]graph.Edge, n),
+		isSink:    make([]bool, n),
+		isSource:  make([]bool, n),
+		statefulM: make([]*sync.Mutex, n),
+		meter:     metrics.NewMeter(time.Now()),
+		profiler:  metrics.NewProfiler(n),
+	}
+	e.cond = sync.NewCond(&e.mu)
+	e.reconfigTS = e.profiler.Register()
+	for i := 0; i < n; i++ {
+		nd := g.Node(graph.NodeID(i))
+		if nd.Op == nil {
+			return nil, fmt.Errorf("exec: node %d has no operator", i)
+		}
+		if nd.Source {
+			if _, ok := nd.Op.(spl.Source); !ok {
+				return nil, fmt.Errorf("exec: source node %d operator %q does not implement spl.Source", i, nd.Op.Name())
+			}
+		}
+		if _, ok := nd.Op.(spl.Stateful); ok {
+			e.statefulM[i] = &sync.Mutex{}
+		}
+		maxPort := -1
+		for _, eg := range nd.Out {
+			if eg.FromPort > maxPort {
+				maxPort = eg.FromPort
+			}
+		}
+		ports := make([][]graph.Edge, maxPort+1)
+		for _, eg := range nd.Out {
+			ports[eg.FromPort] = append(ports[eg.FromPort], eg)
+		}
+		e.outByPort[i] = ports
+		e.isSink[i] = len(nd.Out) == 0
+		e.isSource[i] = nd.Source
+	}
+	e.cfg.Store(e.buildConfig(make([]bool, n), nil))
+	return e, nil
+}
+
+// buildConfig assembles a new engineConfig, reusing queues from prev for
+// nodes that stay dynamic so in-flight tuples survive reconfiguration.
+func (e *Engine) buildConfig(placement []bool, prev *engineConfig) *engineConfig {
+	n := e.g.NumNodes()
+	cfg := &engineConfig{
+		placement: make([]bool, n),
+		queues:    make([]*queue.MPMC[item], n),
+	}
+	copy(cfg.placement, placement)
+	for i := 0; i < n; i++ {
+		if e.g.Node(graph.NodeID(i)).Source {
+			cfg.placement[i] = false
+		}
+		if !cfg.placement[i] {
+			continue
+		}
+		if prev != nil && prev.queues[i] != nil {
+			cfg.queues[i] = prev.queues[i]
+		} else {
+			q, err := queue.NewMPMC[item](e.opts.QueueCapacity)
+			if err != nil {
+				// Capacity is validated in New; this cannot fail.
+				panic(err)
+			}
+			cfg.queues[i] = q
+		}
+		cfg.queueList = append(cfg.queueList, graph.NodeID(i))
+	}
+	return cfg
+}
+
+// Start launches the source operator threads, the initial scheduler pool
+// and the profiler. The context bounds the profiler only; use Stop to shut
+// the engine down.
+func (e *Engine) Start(ctx context.Context) error {
+	e.mu.Lock()
+	if e.started {
+		e.mu.Unlock()
+		return errors.New("exec: engine already started")
+	}
+	e.started = true
+	e.start = time.Now()
+	e.mu.Unlock()
+
+	e.meter.Reset(time.Now())
+	e.profiler.Start(ctx, e.opts.ProfilePeriod)
+	for _, s := range e.g.Sources() {
+		e.wg.Add(1)
+		go e.sourceLoop(s)
+	}
+	e.reconfigMu.Lock()
+	defer e.reconfigMu.Unlock()
+	// Keep any pool size configured before Start (for example by a
+	// coordinator constructed against this engine); default to one thread.
+	if len(e.workers) == 0 {
+		e.setWorkersLocked(1)
+	}
+	return nil
+}
+
+// Stop terminates all goroutines and waits for them to exit. It is safe to
+// call more than once.
+func (e *Engine) Stop() {
+	if e.stop.Swap(true) {
+		e.wg.Wait()
+		return
+	}
+	e.mu.Lock()
+	e.pauseReq.Store(false)
+	e.cond.Broadcast()
+	e.mu.Unlock()
+	e.wg.Wait()
+	e.profiler.Stop()
+}
+
+// enterLoop registers a running dispatch loop for the pause barrier.
+func (e *Engine) enterLoop() {
+	e.mu.Lock()
+	e.loops++
+	e.mu.Unlock()
+}
+
+// exitLoop unregisters a dispatch loop.
+func (e *Engine) exitLoop() {
+	e.mu.Lock()
+	e.loops--
+	e.cond.Broadcast()
+	e.mu.Unlock()
+}
+
+// maybePark blocks while a reconfiguration is in progress. Loops call it
+// between dispatches, never mid-tuple.
+func (e *Engine) maybePark() {
+	if !e.pauseReq.Load() {
+		return
+	}
+	e.mu.Lock()
+	e.parked++
+	e.cond.Broadcast()
+	for e.pauseReq.Load() && !e.stop.Load() {
+		e.cond.Wait()
+	}
+	e.parked--
+	e.mu.Unlock()
+}
+
+// pauseAll requests a pause and waits until every dispatch loop is parked.
+// The caller must hold reconfigMu and must call resumeAll afterwards.
+func (e *Engine) pauseAll() {
+	e.pauseReq.Store(true)
+	e.mu.Lock()
+	for e.parked < e.loops && !e.stop.Load() {
+		e.cond.Wait()
+	}
+	e.mu.Unlock()
+}
+
+// resumeAll releases parked loops.
+func (e *Engine) resumeAll() {
+	e.pauseReq.Store(false)
+	e.mu.Lock()
+	e.cond.Broadcast()
+	e.mu.Unlock()
+}
+
+// sourceLoop drives one source operator on its own goroutine.
+func (e *Engine) sourceLoop(id graph.NodeID) {
+	defer e.wg.Done()
+	e.enterLoop()
+	defer e.exitLoop()
+	ts := e.profiler.Register()
+	defer e.profiler.Release(ts)
+	src := e.g.Node(id).Op.(spl.Source)
+	_, exempt := e.g.Node(id).Op.(spl.DrainExempt)
+	draining := func() bool { return e.drain.Load() && !exempt }
+	for !e.stop.Load() && !draining() {
+		e.maybePark()
+		if e.stop.Load() || draining() {
+			return
+		}
+		cfg := e.cfg.Load()
+		ts.Enter(int(id))
+		more := src.Next(&emitter{e: e, cfg: cfg, ts: ts, node: id})
+		ts.Leave()
+		if !more {
+			return
+		}
+	}
+}
+
+// workerLoop is one scheduler thread: it scans the scheduler queues for
+// work and executes the owning operator for each tuple found. The scan
+// starts from a rotating position so workers spread across queues.
+func (e *Engine) workerLoop(w *worker) {
+	defer e.wg.Done()
+	e.enterLoop()
+	defer e.exitLoop()
+	ts := e.profiler.Register()
+	defer e.profiler.Release(ts)
+	rot := w.id
+	idle := 0
+	for {
+		if e.stop.Load() {
+			return
+		}
+		select {
+		case <-w.quit:
+			return
+		default:
+		}
+		e.maybePark()
+		cfg := e.cfg.Load()
+		n := len(cfg.queueList)
+		worked := false
+		for i := 0; i < n; i++ {
+			nid := cfg.queueList[(rot+i)%n]
+			if it, ok := cfg.queues[nid].TryPop(); ok {
+				rot = (rot + i) % n
+				e.execute(cfg, ts, nid, it.port, it.t)
+				worked = true
+				break
+			}
+		}
+		if worked {
+			idle = 0
+			continue
+		}
+		rot++
+		idle++
+		if idle < 16 {
+			runtime.Gosched()
+		} else {
+			time.Sleep(50 * time.Microsecond)
+		}
+	}
+}
+
+// execute runs operator node on tuple t, updating the profiler state and
+// the sink meter. A panicking operator loses its tuple but must not kill
+// the scheduler thread, so panics are contained and counted.
+func (e *Engine) execute(cfg *engineConfig, ts *metrics.ThreadState, node graph.NodeID, port int, t *spl.Tuple) {
+	nd := e.g.Node(node)
+	ts.Enter(int(node))
+	e.process(cfg, ts, nd, node, port, t)
+	ts.Leave()
+	if e.isSink[node] {
+		e.meter.Add(1)
+		if e.opts.TrackLatency && t.Time > 0 {
+			e.latency.Record(time.Duration(time.Now().UnixNano() - t.Time))
+		}
+	}
+}
+
+func (e *Engine) process(cfg *engineConfig, ts *metrics.ThreadState, nd *graph.Node, node graph.NodeID, port int, t *spl.Tuple) {
+	defer func() {
+		if r := recover(); r != nil {
+			e.opPanics.Add(1)
+		}
+	}()
+	if m := e.statefulM[node]; m != nil {
+		m.Lock()
+		defer m.Unlock()
+	}
+	nd.Op.Process(port, t, &emitter{e: e, cfg: cfg, ts: ts, node: node})
+}
+
+// emitter routes an operator's output tuples: queued (with a tuple copy)
+// for dynamic consumers, inline execution for manual ones.
+type emitter struct {
+	e    *Engine
+	cfg  *engineConfig
+	ts   *metrics.ThreadState
+	node graph.NodeID
+}
+
+var _ spl.Emitter = (*emitter)(nil)
+
+// Emit implements spl.Emitter.
+func (em *emitter) Emit(port int, t *spl.Tuple) {
+	if em.e.opts.TrackLatency && em.e.isSource[em.node] {
+		t.Time = time.Now().UnixNano()
+	}
+	ports := em.e.outByPort[em.node]
+	if port < 0 || port >= len(ports) {
+		return // no consumers on this port
+	}
+	edges := ports[port]
+	for i, eg := range edges {
+		tt := t
+		if i < len(edges)-1 {
+			// Fan-out: every consumer beyond the first gets a copy so
+			// they cannot observe each other's mutations.
+			tt = t.Clone()
+		}
+		em.e.deliver(em.cfg, em.ts, eg.To, eg.ToPort, tt)
+		// Restore the profiler state: deliver may have executed a long
+		// inline chain under other operator ids.
+		em.ts.Enter(int(em.node))
+	}
+}
+
+// deliver hands a tuple to node: enqueue (copying) when the node is
+// dynamic, execute inline when manual.
+func (e *Engine) deliver(cfg *engineConfig, ts *metrics.ThreadState, node graph.NodeID, port int, t *spl.Tuple) {
+	if cfg.placement[node] {
+		// Copy overhead: tuples are owned by their region, so crossing a
+		// scheduler queue deep-copies.
+		it := item{port: port, t: t.Clone()}
+		q := cfg.queues[node]
+		for spins := 0; !q.TryPush(it); spins++ {
+			if e.stop.Load() {
+				return
+			}
+			if e.pauseReq.Load() || spins >= pushSpinLimit {
+				// Execute inline instead of spinning: either a
+				// reconfiguration is waiting for us to park, or the queue
+				// has stayed full — and with every worker potentially
+				// blocked as a producer on a full downstream queue,
+				// waiting indefinitely would deadlock the pipeline. The
+				// tuple jumps the queue, trading strict FIFO order for
+				// liveness.
+				e.execute(cfg, ts, node, port, it.t)
+				return
+			}
+			runtime.Gosched()
+		}
+		return
+	}
+	e.execute(cfg, ts, node, port, t)
+}

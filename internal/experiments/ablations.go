@@ -1,0 +1,278 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+
+	"streamelastic/internal/core"
+	"streamelastic/internal/sim"
+	"streamelastic/internal/workload"
+)
+
+// AblationRow is one configuration of a design-choice ablation.
+type AblationRow struct {
+	// Label names the configuration.
+	Label string
+	// Throughput is the converged throughput.
+	Throughput float64
+	// Steps is the number of adaptation observations used.
+	Steps int
+	// MaxThreads is the largest thread count ever applied (overshoot).
+	MaxThreads int
+	// FinalThreads and FinalQueues describe the converged configuration.
+	FinalThreads int
+	FinalQueues  int
+}
+
+// AblationResult is a set of ablation rows.
+type AblationResult struct {
+	Name  string
+	Title string
+	Rows  []AblationRow
+}
+
+// Fprint renders the ablation table.
+func (r *AblationResult) Fprint(w io.Writer) {
+	fmt.Fprintf(w, "Ablation %s: %s\n", r.Name, r.Title)
+	fmt.Fprintf(w, "%-36s %-14s %-7s %-11s %-9s %s\n",
+		"configuration", "throughput/s", "steps", "max-threads", "threads", "queues")
+	for _, row := range r.Rows {
+		fmt.Fprintf(w, "%-36s %-14.0f %-7d %-11d %-9d %d\n",
+			row.Label, row.Throughput, row.Steps, row.MaxThreads, row.FinalThreads, row.FinalQueues)
+	}
+}
+
+// maxThreadTracker wraps an engine to record the largest thread count ever
+// applied, the overshoot metric of §3.2.
+type maxThreadTracker struct {
+	core.Engine
+	max int
+}
+
+func (m *maxThreadTracker) SetThreadCount(n int) error {
+	if err := m.Engine.SetThreadCount(n); err != nil {
+		return err
+	}
+	if n > m.max {
+		m.max = n
+	}
+	return nil
+}
+
+// ablationWorkload builds the common ablation workload: a 500-operator
+// skewed pipeline with 1 KB tuples on 88 cores.
+func ablationWorkload() (*workload.Build, sim.Machine, error) {
+	wcfg := workload.DefaultConfig()
+	wcfg.Skewed = true
+	wcfg.PayloadBytes = 1024
+	b, err := workload.Pipeline(500, wcfg)
+	return b, sim.Xeon176().WithCores(88), err
+}
+
+// AblationPrimaryOrder compares the paper's chosen coordination order
+// (thread count primary, threading model secondary) against the rejected
+// alternative (threading model primary with thread count re-tuned inside
+// each round). The paper's §3.2 rationale to verify: the rejected order
+// repeatedly drives the thread count up to the point of degradation,
+// oversubscribing the system during adaptation.
+func AblationPrimaryOrder() (*AblationResult, error) {
+	b, m, err := ablationWorkload()
+	if err != nil {
+		return nil, err
+	}
+	res := &AblationResult{Name: "primary-order", Title: "which elastic component is primary (§3.2)"}
+	cfg := core.DefaultConfig()
+
+	// (1) Paper's choice: thread count primary.
+	e, err := sim.New(b.Graph, m, sim.WithPayload(1024))
+	if err != nil {
+		return nil, err
+	}
+	tracker := &maxThreadTracker{Engine: e}
+	coord, err := core.NewCoordinator(tracker, cfg)
+	if err != nil {
+		return nil, err
+	}
+	steps, ok, err := coord.RunUntilSettled(maxSteps)
+	if err != nil || !ok {
+		return nil, fmt.Errorf("primary-order baseline: %v", err)
+	}
+	tr := coord.Trace()
+	res.Rows = append(res.Rows, AblationRow{
+		Label:        "thread count primary (paper)",
+		Throughput:   tr[len(tr)-1].Throughput,
+		Steps:        steps,
+		MaxThreads:   tracker.max,
+		FinalThreads: e.ThreadCount(),
+		FinalQueues:  e.Queues(),
+	})
+
+	// (2) Rejected: threading model primary, thread count in the inner
+	// loop. Each round adjusts the placement once, then fully re-explores
+	// the thread count.
+	e2, err := sim.New(b.Graph, m, sim.WithPayload(1024))
+	if err != nil {
+		return nil, err
+	}
+	tracker2 := &maxThreadTracker{Engine: e2}
+	totalSteps := 0
+	prevThr := 0.0
+	var lastThr float64
+	for round := 0; round < 12; round++ {
+		thr, _, n, err := core.TuneThreadingModel(tracker2, core.DirUp, cfg, maxSteps)
+		if err != nil {
+			return nil, fmt.Errorf("primary-order swapped, tm round %d: %w", round, err)
+		}
+		totalSteps += n
+		thr, n, err = core.TuneThreadCount(tracker2, cfg, maxSteps)
+		if err != nil {
+			return nil, fmt.Errorf("primary-order swapped, tc round %d: %w", round, err)
+		}
+		totalSteps += n
+		lastThr = thr
+		if prevThr > 0 && thr < prevThr*(1+cfg.Sens) {
+			break
+		}
+		prevThr = thr
+	}
+	res.Rows = append(res.Rows, AblationRow{
+		Label:        "threading model primary (rejected)",
+		Throughput:   lastThr,
+		Steps:        totalSteps,
+		MaxThreads:   tracker2.max,
+		FinalThreads: e2.ThreadCount(),
+		FinalQueues:  e2.Queues(),
+	})
+	return res, nil
+}
+
+// AblationStartDirection compares starting from minimum parallelism (the
+// paper's choice) with starting from maximum parallelism (every operator
+// dynamic, maximum threads) and exploring downwards. The paper's §3.2
+// rationale to verify: starting at maximum parallelism, removing queues
+// from the cheapest operators moves throughput by less than the noise
+// floor, so the downward search terminates early at a worse configuration.
+func AblationStartDirection() (*AblationResult, error) {
+	b, m, err := ablationWorkload()
+	if err != nil {
+		return nil, err
+	}
+	res := &AblationResult{Name: "start-direction", Title: "adjustment direction (§3.2)"}
+	cfg := core.DefaultConfig()
+
+	ml, _, err := MultiLevel(b.Graph, m, 1024, cfg)
+	if err != nil {
+		return nil, err
+	}
+	res.Rows = append(res.Rows, AblationRow{
+		Label:        "start minimum, explore up (paper)",
+		Throughput:   ml.Throughput,
+		Steps:        ml.Steps,
+		MaxThreads:   ml.Threads,
+		FinalThreads: ml.Threads,
+		FinalQueues:  ml.Queues,
+	})
+
+	// Start from full parallelism and explore down.
+	e, err := sim.New(b.Graph, m, sim.WithPayload(1024))
+	if err != nil {
+		return nil, err
+	}
+	if err := e.ApplyPlacement(allDynamic(b.Graph)); err != nil {
+		return nil, err
+	}
+	if err := e.SetThreadCount(e.MaxThreads()); err != nil {
+		return nil, err
+	}
+	tracker := &maxThreadTracker{Engine: e, max: e.MaxThreads()}
+	steps := 0
+	_, _, n, err := core.TuneThreadingModel(tracker, core.DirDown, cfg, maxSteps)
+	if err != nil {
+		return nil, err
+	}
+	steps += n
+	thr, n, err := core.TuneThreadCount(tracker, cfg, maxSteps)
+	if err != nil {
+		return nil, err
+	}
+	steps += n
+	res.Rows = append(res.Rows, AblationRow{
+		Label:        "start maximum, explore down",
+		Throughput:   thr,
+		Steps:        steps,
+		MaxThreads:   tracker.max,
+		FinalThreads: e.ThreadCount(),
+		FinalQueues:  e.Queues(),
+	})
+	return res, nil
+}
+
+// AblationSens sweeps the sensitivity threshold SENS (§3.1.1, paper value
+// 0.05): too small chases noise, too large stops exploration early.
+func AblationSens() (*AblationResult, error) {
+	b, m, err := ablationWorkload()
+	if err != nil {
+		return nil, err
+	}
+	res := &AblationResult{Name: "sens", Title: "sensitivity threshold SENS (§3.1.1)"}
+	for _, sens := range []float64{0.01, 0.05, 0.10, 0.20} {
+		cfg := core.DefaultConfig()
+		cfg.Sens = sens
+		ml, _, err := MultiLevel(b.Graph, m, 1024, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("sens %v: %w", sens, err)
+		}
+		res.Rows = append(res.Rows, AblationRow{
+			Label:        fmt.Sprintf("SENS=%.2f", sens),
+			Throughput:   ml.Throughput,
+			Steps:        ml.Steps,
+			MaxThreads:   ml.Threads,
+			FinalThreads: ml.Threads,
+			FinalQueues:  ml.Queues,
+		})
+	}
+	return res, nil
+}
+
+// AblationGrouping compares the paper's logarithmic cost binning (O2)
+// against near-per-operator binning. Group-level adjustment is what makes
+// settling time logarithmic in the group size instead of linear in the
+// operator count. The workload spreads operator costs continuously (a
+// jittered skew) so that fine binning genuinely produces many more groups.
+func AblationGrouping() (*AblationResult, error) {
+	b, m, err := ablationWorkload()
+	if err != nil {
+		return nil, err
+	}
+	// Spread each operator's cost by a deterministic factor in [0.5, 2.0]
+	// so costs are continuous rather than three exact classes.
+	rng := rand.New(rand.NewSource(7))
+	for _, cv := range b.WorkCosts {
+		cv.Set(cv.FLOPs() * (0.5 + 1.5*rng.Float64()))
+	}
+	res := &AblationResult{Name: "grouping", Title: "logarithmic cost binning (O2)"}
+	for _, g := range []struct {
+		label string
+		base  float64
+	}{
+		{"log10 binning (paper)", 10},
+		{"fine binning (base 1.05)", 1.05},
+	} {
+		cfg := core.DefaultConfig()
+		cfg.GroupBase = g.base
+		ml, _, err := MultiLevel(b.Graph, m, 1024, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("grouping %s: %w", g.label, err)
+		}
+		res.Rows = append(res.Rows, AblationRow{
+			Label:        g.label,
+			Throughput:   ml.Throughput,
+			Steps:        ml.Steps,
+			MaxThreads:   ml.Threads,
+			FinalThreads: ml.Threads,
+			FinalQueues:  ml.Queues,
+		})
+	}
+	return res, nil
+}

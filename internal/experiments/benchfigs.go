@@ -1,0 +1,195 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"streamelastic/internal/core"
+	"streamelastic/internal/sim"
+	"streamelastic/internal/workload"
+)
+
+// BenchRow is one configuration of a benchmark-graph comparison: the three
+// scheduling variants on one (graph, payload, machine, distribution) cell.
+type BenchRow struct {
+	// Graph describes the topology ("pipeline-500", "bushy-82", ...).
+	Graph string
+	// Machine is the modeled machine name.
+	Machine string
+	// Distribution is "balanced" or "skewed".
+	Distribution string
+	// PayloadBytes is the tuple payload.
+	PayloadBytes int
+	// Cores available on the machine.
+	Cores int
+	// Manual, Dynamic and MultiLevel are the variant outcomes.
+	Manual     Variant
+	Dynamic    Variant
+	MultiLevel Variant
+}
+
+// SpeedupVsManual returns (dynamic, multilevel) speedups over manual, the
+// paper's left y-axis.
+func (r BenchRow) SpeedupVsManual() (float64, float64) {
+	return Speedup(r.Dynamic, r.Manual), Speedup(r.MultiLevel, r.Manual)
+}
+
+// SpeedupVsDynamic is the number printed on top of the paper's black bars.
+func (r BenchRow) SpeedupVsDynamic() float64 {
+	return Speedup(r.MultiLevel, r.Dynamic)
+}
+
+// BenchResult is a set of rows for one figure.
+type BenchResult struct {
+	Figure string
+	Title  string
+	Rows   []BenchRow
+}
+
+// runRow evaluates the three variants on one built graph.
+func runRow(b *workload.Build, m sim.Machine, payload int, dist string) (BenchRow, error) {
+	cfg := core.DefaultConfig()
+	man, err := Manual(b.Graph, m, payload)
+	if err != nil {
+		return BenchRow{}, err
+	}
+	dyn, err := Dynamic(b.Graph, m, payload, cfg)
+	if err != nil {
+		return BenchRow{}, err
+	}
+	ml, _, err := MultiLevel(b.Graph, m, payload, cfg)
+	if err != nil {
+		return BenchRow{}, err
+	}
+	return BenchRow{
+		Graph:        b.Name,
+		Machine:      m.Name,
+		Distribution: dist,
+		PayloadBytes: payload,
+		Cores:        m.Cores,
+		Manual:       man,
+		Dynamic:      dyn,
+		MultiLevel:   ml,
+	}, nil
+}
+
+// Fig9 reproduces Figure 9: pipeline graphs with 100/500/1000 operators,
+// payloads 128/1024/16384 B, balanced and skewed distributions, on both
+// modeled machines. Trends to preserve: multi-level >= both baselines
+// everywhere; its advantage over dynamic grows with payload and operator
+// count; the dynamic-operator ratio falls as payload grows.
+func Fig9(machines []sim.Machine) (*BenchResult, error) {
+	res := &BenchResult{Figure: "fig9", Title: "pipeline graphs"}
+	for _, m := range machines {
+		for _, dist := range []string{"balanced", "skewed"} {
+			for _, ops := range []int{100, 500, 1000} {
+				for _, payload := range []int{128, 1024, 16384} {
+					wcfg := workload.DefaultConfig()
+					wcfg.PayloadBytes = payload
+					wcfg.Skewed = dist == "skewed"
+					b, err := workload.Pipeline(ops, wcfg)
+					if err != nil {
+						return nil, err
+					}
+					row, err := runRow(b, m, payload, dist)
+					if err != nil {
+						return nil, fmt.Errorf("fig9 %s/%s/%d/%d: %w", m.Name, dist, ops, payload, err)
+					}
+					res.Rows = append(res.Rows, row)
+				}
+			}
+		}
+	}
+	return res, nil
+}
+
+// Fig10 reproduces Figure 10: pure data-parallel graphs of width 50 and
+// 100 whose sink serializes on a lock. Trend to preserve: thread-count
+// elasticity alone (full dynamic) can fall below manual threading because
+// of sink contention, while multi-level stays at or above manual.
+func Fig10(m sim.Machine) (*BenchResult, error) {
+	res := &BenchResult{Figure: "fig10", Title: "pure data-parallel graphs"}
+	for _, width := range []int{50, 100} {
+		for _, payload := range []int{128, 1024, 16384} {
+			wcfg := workload.DefaultConfig()
+			wcfg.PayloadBytes = payload
+			b, err := workload.DataParallel(width, wcfg)
+			if err != nil {
+				return nil, err
+			}
+			row, err := runRow(b, m, payload, "balanced")
+			if err != nil {
+				return nil, fmt.Errorf("fig10 %d/%d: %w", width, payload, err)
+			}
+			res.Rows = append(res.Rows, row)
+		}
+	}
+	return res, nil
+}
+
+// Fig11 reproduces Figure 11: graphs mixing data and pipeline parallelism
+// (width 10, depth 50 and 100). Trends match Fig. 9: the multi-level
+// advantage and the manual fraction both grow with operator count and
+// payload.
+func Fig11(m sim.Machine) (*BenchResult, error) {
+	res := &BenchResult{Figure: "fig11", Title: "mixed pipeline/data-parallel graphs"}
+	for _, depth := range []int{50, 100} {
+		for _, payload := range []int{128, 1024, 16384} {
+			wcfg := workload.DefaultConfig()
+			wcfg.PayloadBytes = payload
+			b, err := workload.Mixed(10, depth, wcfg)
+			if err != nil {
+				return nil, err
+			}
+			row, err := runRow(b, m, payload, "balanced")
+			if err != nil {
+				return nil, fmt.Errorf("fig11 %d/%d: %w", depth, payload, err)
+			}
+			res.Rows = append(res.Rows, row)
+		}
+	}
+	return res, nil
+}
+
+// Fig12 reproduces Figure 12: the 82-operator bushy tree with 16 to 88
+// cores and per-tuple costs of 1, 100 and 10000 FLOPs (balanced). Trends
+// to preserve: multi-level adapts to the available cores, its advantage
+// over dynamic is largest at low tuple cost (queue overhead dominates),
+// and it uses fewer threads.
+func Fig12(base sim.Machine) (*BenchResult, error) {
+	res := &BenchResult{Figure: "fig12", Title: "bushy graphs (82 operators)"}
+	for _, cores := range []int{16, 32, 64, 88} {
+		for _, flops := range []float64{1, 100, 10000} {
+			wcfg := workload.DefaultConfig()
+			wcfg.PayloadBytes = 16384
+			wcfg.BalancedFLOPs = flops
+			b, err := workload.Bushy(wcfg)
+			if err != nil {
+				return nil, err
+			}
+			b.Name = fmt.Sprintf("bushy-82/%.0fflops", flops)
+			row, err := runRow(b, base.WithCores(cores), 16384, "balanced")
+			if err != nil {
+				return nil, fmt.Errorf("fig12 %d/%v: %w", cores, flops, err)
+			}
+			res.Rows = append(res.Rows, row)
+		}
+	}
+	return res, nil
+}
+
+// Fprint renders the rows the way the paper's bar charts read: speedups
+// over manual threading plus the dynamic-operator ratio.
+func (r *BenchResult) Fprint(w io.Writer) {
+	fmt.Fprintf(w, "%s: %s\n", r.Figure, r.Title)
+	fmt.Fprintf(w, "%-22s %-11s %-9s %-8s %-7s %-9s %-9s %-9s %-9s %-8s %s\n",
+		"graph", "machine", "dist", "payload", "cores",
+		"manual/s", "dyn-x", "ml-x", "ml/dyn-x", "dynratio", "ml-threads")
+	for _, row := range r.Rows {
+		dynX, mlX := row.SpeedupVsManual()
+		fmt.Fprintf(w, "%-22s %-11s %-9s %-8d %-7d %-9.0f %-9.2f %-9.2f %-9.2f %-8.2f %d\n",
+			row.Graph, row.Machine, row.Distribution, row.PayloadBytes, row.Cores,
+			row.Manual.Throughput, dynX, mlX, row.SpeedupVsDynamic(),
+			row.MultiLevel.DynamicRatio, row.MultiLevel.Threads)
+	}
+}

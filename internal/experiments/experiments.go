@@ -1,0 +1,164 @@
+// Package experiments regenerates every figure of the paper's evaluation
+// on the simulated machine: the percent-dynamic sweep (Fig. 1), the
+// adaptation-period optimizations (Fig. 6), the four benchmark-graph
+// throughput comparisons (Figs. 9-12), workload-change adaptation (Fig. 13)
+// and the two applications (Fig. 15). Each experiment returns structured
+// rows and can print the same table/series the paper reports. DESIGN.md
+// maps every experiment to its paper figure; EXPERIMENTS.md records
+// paper-vs-measured outcomes.
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"streamelastic/internal/core"
+	"streamelastic/internal/graph"
+	"streamelastic/internal/sim"
+)
+
+// maxSteps bounds every adaptation run; the simulated clock makes each step
+// one virtual adaptation period.
+const maxSteps = 5000
+
+// Variant is the outcome of running one scheduling variant on one
+// configuration.
+type Variant struct {
+	// Name identifies the variant: manual, dynamic, multilevel, handopt.
+	Name string
+	// Throughput is the settled sink throughput, tuples/second.
+	Throughput float64
+	// Threads is the number of scheduler (or dedicated) threads at
+	// convergence.
+	Threads int
+	// Queues is the number of scheduler queues at convergence.
+	Queues int
+	// DynamicRatio is Queues divided by the number of placeable operators.
+	DynamicRatio float64
+	// Steps is the number of adaptation observations consumed.
+	Steps int
+	// SettleTime is the virtual time at which adaptation settled.
+	SettleTime time.Duration
+}
+
+// allDynamic returns the placement with a queue in front of every
+// placeable operator.
+func allDynamic(g *graph.Graph) []bool {
+	p := make([]bool, g.NumNodes())
+	for i := range p {
+		p[i] = !g.Node(graph.NodeID(i)).Source
+	}
+	return p
+}
+
+func placeableCount(g *graph.Graph) int {
+	n := 0
+	for i := 0; i < g.NumNodes(); i++ {
+		if !g.Node(graph.NodeID(i)).Source {
+			n++
+		}
+	}
+	return n
+}
+
+// Manual evaluates the manual-threading baseline: no scheduler queues, all
+// downstream work on the source operator threads.
+func Manual(g *graph.Graph, m sim.Machine, payload int) (Variant, error) {
+	e, err := sim.New(g, m, sim.WithPayload(payload))
+	if err != nil {
+		return Variant{}, err
+	}
+	return Variant{
+		Name:       "manual",
+		Throughput: e.Throughput(),
+		Threads:    0,
+		Queues:     0,
+	}, nil
+}
+
+// Dynamic evaluates the paper's thread-count-elasticity baseline (Streams
+// 4.2): every operator under the dynamic threading model, thread count
+// tuned elastically.
+func Dynamic(g *graph.Graph, m sim.Machine, payload int, cfg core.Config) (Variant, error) {
+	e, err := sim.New(g, m, sim.WithPayload(payload), sim.WithSeed(uint64(cfg.Seed)))
+	if err != nil {
+		return Variant{}, err
+	}
+	if err := e.ApplyPlacement(allDynamic(g)); err != nil {
+		return Variant{}, err
+	}
+	thr, steps, err := core.TuneThreadCount(e, cfg, maxSteps)
+	if err != nil {
+		return Variant{}, err
+	}
+	q := e.Queues()
+	return Variant{
+		Name:         "dynamic",
+		Throughput:   thr,
+		Threads:      e.ThreadCount(),
+		Queues:       q,
+		DynamicRatio: 1,
+		Steps:        steps,
+		SettleTime:   e.Now(),
+	}, nil
+}
+
+// MultiLevel evaluates the paper's contribution: coordinated threading
+// model and thread count elasticity.
+func MultiLevel(g *graph.Graph, m sim.Machine, payload int, cfg core.Config) (Variant, []core.TraceEvent, error) {
+	e, err := sim.New(g, m, sim.WithPayload(payload), sim.WithSeed(uint64(cfg.Seed)))
+	if err != nil {
+		return Variant{}, nil, err
+	}
+	coord, err := core.NewCoordinator(e, cfg)
+	if err != nil {
+		return Variant{}, nil, err
+	}
+	steps, settled, err := coord.RunUntilSettled(maxSteps)
+	if err != nil {
+		return Variant{}, nil, err
+	}
+	if !settled {
+		return Variant{}, nil, fmt.Errorf("multi-level did not settle in %d steps", maxSteps)
+	}
+	tr := coord.Trace()
+	q := e.Queues()
+	return Variant{
+		Name:         "multilevel",
+		Throughput:   tr[len(tr)-1].Throughput,
+		Threads:      e.ThreadCount(),
+		Queues:       q,
+		DynamicRatio: float64(q) / float64(placeableCount(g)),
+		Steps:        steps,
+		SettleTime:   coord.SettleTime(),
+	}, tr, nil
+}
+
+// HandOptimized evaluates a developer-inserted threaded-port configuration:
+// each queue is owned by one dedicated thread (the paper's hand-optimized
+// VWAP and PacketAnalysis variants).
+func HandOptimized(g *graph.Graph, m sim.Machine, payload int, placement []bool) (Variant, error) {
+	e, err := sim.New(g, m, sim.WithPayload(payload), sim.WithDedicatedPorts())
+	if err != nil {
+		return Variant{}, err
+	}
+	if err := e.ApplyPlacement(placement); err != nil {
+		return Variant{}, err
+	}
+	q := e.Queues()
+	return Variant{
+		Name:         "handopt",
+		Throughput:   e.Throughput(),
+		Threads:      e.ThreadCount(),
+		Queues:       q,
+		DynamicRatio: float64(q) / float64(placeableCount(g)),
+	}, nil
+}
+
+// Speedup returns v's throughput relative to the baseline's.
+func Speedup(v, baseline Variant) float64 {
+	if baseline.Throughput == 0 {
+		return 0
+	}
+	return v.Throughput / baseline.Throughput
+}

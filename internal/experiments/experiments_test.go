@@ -1,0 +1,570 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"streamelastic/internal/core"
+	"streamelastic/internal/sim"
+	"streamelastic/internal/workload"
+)
+
+func TestFig1ShapeMatchesPaper(t *testing.T) {
+	r, err := Fig1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Series) != 4 {
+		t.Fatalf("fig1 has %d series, want 4 (payload x cores)", len(r.Series))
+	}
+	for _, s := range r.Series {
+		// Claim 1: best throughput is not at 100% dynamic.
+		if s.BestSweep.PercentDynamic == 100 {
+			t.Errorf("payload %d cores %d: optimum at 100%% dynamic", s.PayloadBytes, s.Cores)
+		}
+		// Claim 2: the framework reaches a good fraction of the best
+		// hand-swept configuration automatically.
+		if s.Framework.Throughput < 0.7*s.BestSweep.Throughput {
+			t.Errorf("payload %d cores %d: framework %.0f < 70%% of best sweep %.0f",
+				s.PayloadBytes, s.Cores, s.Framework.Throughput, s.BestSweep.Throughput)
+		}
+	}
+	// Claim 3 (1KB payload, 88 cores): the optimum is interior, and the
+	// framework clearly beats full-dynamic.
+	for _, s := range r.Series {
+		if s.PayloadBytes != 1024 || s.Cores != 88 {
+			continue
+		}
+		full := s.Sweep[len(s.Sweep)-1]
+		if s.BestSweep.PercentDynamic == 0 {
+			t.Error("1KB/88: optimum at 0% dynamic, want interior")
+		}
+		if s.Framework.Throughput < 1.5*full.Throughput {
+			t.Errorf("1KB/88: framework %.0f not clearly above full dynamic %.0f",
+				s.Framework.Throughput, full.Throughput)
+		}
+	}
+	var sb strings.Builder
+	r.Fprint(&sb)
+	if !strings.Contains(sb.String(), "framework (auto)") {
+		t.Fatal("Fprint missing framework line")
+	}
+}
+
+func TestFig6OptimizationsShortenAdaptation(t *testing.T) {
+	r, err := Fig6()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Runs) != 4 {
+		t.Fatalf("fig6 has %d runs, want 4", len(r.Runs))
+	}
+	base := r.Runs[0] // no optimizations
+	for _, run := range r.Runs[1:] {
+		// Optimizations must not lengthen the adaptation period...
+		if run.SettleTime > base.SettleTime {
+			t.Errorf("%s settles at %v, slower than no-optimizations %v",
+				run.Label, run.SettleTime, base.SettleTime)
+		}
+		// ...and must not sacrifice converged throughput (paper: "The
+		// improvement in adaptation time is achieved without sacrificing
+		// throughput"; allow 15% tolerance for noise).
+		if run.FinalThroughput < 0.85*base.FinalThroughput {
+			t.Errorf("%s throughput %.0f sacrificed vs baseline %.0f",
+				run.Label, run.FinalThroughput, base.FinalThroughput)
+		}
+	}
+	// The full optimization set must be strictly faster than no
+	// optimizations (paper: 1000s -> ~400s).
+	full := r.Runs[2] // history + sf=0.6
+	if full.SettleTime >= base.SettleTime {
+		t.Errorf("history+sf=0.6 settle %v not faster than baseline %v",
+			full.SettleTime, base.SettleTime)
+	}
+	var sb strings.Builder
+	r.Fprint(&sb)
+	if !strings.Contains(sb.String(), "adaptation period reduced") {
+		t.Fatal("Fprint missing reduction summary")
+	}
+	// Timeline CSV export works.
+	var tl strings.Builder
+	if err := r.Timeline(&tl, 0); err != nil {
+		t.Fatal(err)
+	}
+	if len(strings.Split(strings.TrimSpace(tl.String()), "\n")) < 10 {
+		t.Fatal("timeline export too short")
+	}
+	if err := r.Timeline(&tl, 99); err == nil {
+		t.Fatal("timeline accepted out-of-range index")
+	}
+}
+
+func TestFig9PipelineTrends(t *testing.T) {
+	r, err := Fig9([]sim.Machine{sim.Xeon176()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 18 {
+		t.Fatalf("fig9 has %d rows, want 18 (2 dists x 3 ops x 3 payloads)", len(r.Rows))
+	}
+	for _, row := range r.Rows {
+		_, mlX := row.SpeedupVsManual()
+		// Multi-level must never lose badly to manual threading ("a safe
+		// default choice").
+		if mlX < 0.9 {
+			t.Errorf("%s %s payload %d: multi-level speedup vs manual %.2f < 0.9",
+				row.Graph, row.Distribution, row.PayloadBytes, mlX)
+		}
+		// Multi-level at least matches thread-count elasticity.
+		if row.SpeedupVsDynamic() < 0.95 {
+			t.Errorf("%s %s payload %d: multi-level/dynamic %.2f < 0.95",
+				row.Graph, row.Distribution, row.PayloadBytes, row.SpeedupVsDynamic())
+		}
+	}
+	// Trend: the advantage over dynamic grows with payload (balanced
+	// 1000-op pipeline).
+	get := func(payload int) BenchRow {
+		for _, row := range r.Rows {
+			if row.Graph == "pipeline-1000" && row.Distribution == "balanced" && row.PayloadBytes == payload {
+				return row
+			}
+		}
+		t.Fatalf("row not found for payload %d", payload)
+		return BenchRow{}
+	}
+	small, large := get(128), get(16384)
+	if large.SpeedupVsDynamic() <= small.SpeedupVsDynamic() {
+		t.Errorf("multi-level advantage did not grow with payload: %.2f (128B) vs %.2f (16KB)",
+			small.SpeedupVsDynamic(), large.SpeedupVsDynamic())
+	}
+	// Trend: the dynamic-operator ratio falls as payload grows.
+	if large.MultiLevel.DynamicRatio >= small.MultiLevel.DynamicRatio {
+		t.Errorf("dynamic ratio did not fall with payload: %.2f (128B) vs %.2f (16KB)",
+			small.MultiLevel.DynamicRatio, large.MultiLevel.DynamicRatio)
+	}
+	// At 16KB, thread-count elasticity alone hurts vs manual (paper Fig 9a).
+	dynX, _ := large.SpeedupVsManual()
+	if dynX >= 1 {
+		t.Errorf("16KB full dynamic speedup vs manual = %.2f, want < 1", dynX)
+	}
+}
+
+func TestFig10ContendedSinkTrend(t *testing.T) {
+	r, err := Fig10(sim.Xeon176().WithCores(88))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 6 {
+		t.Fatalf("fig10 has %d rows, want 6", len(r.Rows))
+	}
+	sawDynamicLoss := false
+	for _, row := range r.Rows {
+		dynX, mlX := row.SpeedupVsManual()
+		if dynX < 1 {
+			sawDynamicLoss = true
+		}
+		// Multi-level must stay at or above manual (paper: "consistently
+		// equal or better than manual").
+		if mlX < 0.95 {
+			t.Errorf("%s payload %d: multi-level %.2fx below manual", row.Graph, row.PayloadBytes, mlX)
+		}
+	}
+	if !sawDynamicLoss {
+		t.Error("thread-count elasticity never lost to manual; Fig 10's sink-contention effect missing")
+	}
+}
+
+func TestFig11MixedTrends(t *testing.T) {
+	r, err := Fig11(sim.Xeon176().WithCores(88))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 6 {
+		t.Fatalf("fig11 has %d rows, want 6", len(r.Rows))
+	}
+	for _, row := range r.Rows {
+		if row.SpeedupVsDynamic() < 0.95 {
+			t.Errorf("%s payload %d: multi-level below dynamic (%.2f)",
+				row.Graph, row.PayloadBytes, row.SpeedupVsDynamic())
+		}
+	}
+	// The improvement grows with payload at fixed depth.
+	var small, large BenchRow
+	for _, row := range r.Rows {
+		if row.Graph == "mixed-10x100" {
+			switch row.PayloadBytes {
+			case 128:
+				small = row
+			case 16384:
+				large = row
+			}
+		}
+	}
+	if large.SpeedupVsDynamic() <= small.SpeedupVsDynamic() {
+		t.Errorf("mixed: advantage did not grow with payload (%.2f vs %.2f)",
+			small.SpeedupVsDynamic(), large.SpeedupVsDynamic())
+	}
+}
+
+func TestFig12BushyTrends(t *testing.T) {
+	r, err := Fig12(sim.Xeon176())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 12 {
+		t.Fatalf("fig12 has %d rows, want 12 (4 core counts x 3 costs)", len(r.Rows))
+	}
+	// Claim: when the tuple cost is low, the benefit of multi-level over
+	// dynamic is high (queue overhead dominates), and it shrinks as cost
+	// grows.
+	gain := map[float64][]float64{}
+	for _, row := range r.Rows {
+		var flops float64
+		switch row.Graph {
+		case "bushy-82/1flops":
+			flops = 1
+		case "bushy-82/100flops":
+			flops = 100
+		case "bushy-82/10000flops":
+			flops = 10000
+		}
+		gain[flops] = append(gain[flops], row.SpeedupVsDynamic())
+	}
+	mean := func(xs []float64) float64 {
+		s := 0.0
+		for _, x := range xs {
+			s += x
+		}
+		return s / float64(len(xs))
+	}
+	if mean(gain[1]) <= mean(gain[10000]) {
+		t.Errorf("bushy: low-cost gain %.2f not above high-cost gain %.2f",
+			mean(gain[1]), mean(gain[10000]))
+	}
+	// Claim: multi-level uses no more threads than dynamic at convergence.
+	for _, row := range r.Rows {
+		if row.MultiLevel.Threads > row.Dynamic.Threads*2 {
+			t.Errorf("%s cores %d: multi-level uses %d threads vs dynamic %d",
+				row.Graph, row.Cores, row.MultiLevel.Threads, row.Dynamic.Threads)
+		}
+	}
+}
+
+func TestFig13PhaseChange(t *testing.T) {
+	r, err := Fig13()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.ReAdaptation <= 0 {
+		t.Fatal("re-adaptation time not positive")
+	}
+	// Paper: re-adaptation completes in ~500s of runtime; allow generous
+	// headroom but require the same order of magnitude.
+	if r.ReAdaptation.Seconds() > 2000 {
+		t.Errorf("re-adaptation took %.0fs, want same order as the paper's ~500s", r.ReAdaptation.Seconds())
+	}
+	// Paper: both threads and dynamic operators increase in response to
+	// the heavier workload.
+	if r.ThreadsAfter <= r.ThreadsBefore {
+		t.Errorf("threads did not increase: %d -> %d", r.ThreadsBefore, r.ThreadsAfter)
+	}
+	if r.QueuesAfter <= r.QueuesBefore {
+		t.Errorf("dynamic operators did not increase: %d -> %d", r.QueuesBefore, r.QueuesAfter)
+	}
+	var sb strings.Builder
+	r.Fprint(&sb)
+	if !strings.Contains(sb.String(), "re-settled") {
+		t.Fatal("Fprint missing re-settle line")
+	}
+}
+
+func TestFig15aVWAP(t *testing.T) {
+	r, err := Fig15a()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 3 {
+		t.Fatalf("fig15a has %d rows, want 3", len(r.Rows))
+	}
+	for _, row := range r.Rows {
+		if row.HandThreads != 9 {
+			t.Fatalf("VWAP hand threads = %d, want 9", row.HandThreads)
+		}
+		// Paper: both elastic schemes beat manual clearly (>= 2x) ...
+		if Speedup(row.MultiLevel, row.Manual) < 2 {
+			t.Errorf("cores %d: multi-level only %.2fx manual, want >= 2x",
+				row.Cores, Speedup(row.MultiLevel, row.Manual))
+		}
+		// ... with fewer threads than the 9 hand-inserted ones.
+		if row.MultiLevel.Threads >= row.HandThreads {
+			t.Errorf("cores %d: multi-level uses %d threads, hand-optimized uses %d",
+				row.Cores, row.MultiLevel.Threads, row.HandThreads)
+		}
+		// Multi-level at least matches thread-count elasticity.
+		if Speedup(row.MultiLevel, row.Dynamic) < 0.95 {
+			t.Errorf("cores %d: multi-level below dynamic", row.Cores)
+		}
+	}
+	// The multi-level advantage over dynamic is largest on 4 cores.
+	adv := func(cores int) float64 {
+		for _, row := range r.Rows {
+			if row.Cores == cores {
+				return Speedup(row.MultiLevel, row.Dynamic)
+			}
+		}
+		return 0
+	}
+	if adv(4) < adv(88) {
+		t.Errorf("VWAP: advantage on 4 cores (%.2f) not above 88 cores (%.2f)", adv(4), adv(88))
+	}
+}
+
+func TestFig15bPacketAnalysis(t *testing.T) {
+	r, err := Fig15b()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 2 {
+		t.Fatalf("fig15b has %d rows, want 2", len(r.Rows))
+	}
+	for _, row := range r.Rows {
+		// Paper: elastic schemes approach hand-optimized throughput with
+		// far fewer threads.
+		if row.MultiLevel.Throughput < 0.7*row.HandOpt.Throughput {
+			t.Errorf("%s: multi-level %.0f < 70%% of hand-optimized %.0f",
+				row.App, row.MultiLevel.Throughput, row.HandOpt.Throughput)
+		}
+		if row.App == "packetanalysis-8src" {
+			if row.HandThreads != 129 {
+				t.Fatalf("8-source hand threads = %d, want 129", row.HandThreads)
+			}
+			if row.MultiLevel.Threads >= row.HandThreads/2 {
+				t.Errorf("8-source: multi-level uses %d threads, want far fewer than %d",
+					row.MultiLevel.Threads, row.HandThreads)
+			}
+		}
+		// Paper: multi-level's margin over dynamic is marginal here (small
+		// tuples, expensive analytics) — it must at least not lose.
+		if Speedup(row.MultiLevel, row.Dynamic) < 0.9 {
+			t.Errorf("%s: multi-level clearly below dynamic", row.App)
+		}
+	}
+	var sb strings.Builder
+	r.Fprint(&sb)
+	if !strings.Contains(sb.String(), "packetanalysis") {
+		t.Fatal("Fprint missing app rows")
+	}
+}
+
+func TestAblationPrimaryOrderOvershoot(t *testing.T) {
+	r, err := AblationPrimaryOrder()
+	if err != nil {
+		t.Fatal(err)
+	}
+	paper, rejected := r.Rows[0], r.Rows[1]
+	// §3.2: the rejected order oversubscribes more during adaptation.
+	if rejected.MaxThreads < paper.MaxThreads {
+		t.Errorf("rejected order peaked at %d threads, paper's at %d; expected more overshoot",
+			rejected.MaxThreads, paper.MaxThreads)
+	}
+	var sb strings.Builder
+	r.Fprint(&sb)
+	if !strings.Contains(sb.String(), "primary") {
+		t.Fatal("Fprint missing rows")
+	}
+}
+
+func TestAblationStartDirection(t *testing.T) {
+	r, err := AblationStartDirection()
+	if err != nil {
+		t.Fatal(err)
+	}
+	paper, rejected := r.Rows[0], r.Rows[1]
+	// §3.2: starting from maximum parallelism is less accurate (terminates
+	// early near full-dynamic) and oversubscribes.
+	if rejected.Throughput > paper.Throughput*1.05 {
+		t.Errorf("start-maximum (%.0f) beat start-minimum (%.0f); paper expects the opposite",
+			rejected.Throughput, paper.Throughput)
+	}
+	if rejected.MaxThreads <= paper.MaxThreads {
+		t.Errorf("start-maximum peaked at %d threads vs %d; expected more oversubscription",
+			rejected.MaxThreads, paper.MaxThreads)
+	}
+}
+
+func TestAblationSens(t *testing.T) {
+	r, err := AblationSens()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 4 {
+		t.Fatalf("sens ablation has %d rows, want 4", len(r.Rows))
+	}
+	// The paper's 0.05 must be competitive: within 20% of the best row.
+	best := 0.0
+	var paperThr float64
+	for _, row := range r.Rows {
+		if row.Throughput > best {
+			best = row.Throughput
+		}
+		if row.Label == "SENS=0.05" {
+			paperThr = row.Throughput
+		}
+	}
+	if paperThr < 0.8*best {
+		t.Errorf("SENS=0.05 throughput %.0f < 80%% of best %.0f", paperThr, best)
+	}
+}
+
+func TestAblationGrouping(t *testing.T) {
+	r, err := AblationGrouping()
+	if err != nil {
+		t.Fatal(err)
+	}
+	coarse, fine := r.Rows[0], r.Rows[1]
+	// O2's purpose: adjusting whole cost classes at once finds far better
+	// configurations in a comparable number of observations, because
+	// near-per-operator groups make the search terminate after the first
+	// unhelpful single-operator group.
+	if coarse.Throughput < fine.Throughput {
+		t.Errorf("log binning throughput %.0f below fine binning %.0f; O2 grouping should win",
+			coarse.Throughput, fine.Throughput)
+	}
+	if coarse.Steps > 2*fine.Steps {
+		t.Errorf("log binning took %d steps vs fine binning %d; grouping should not cost much settling time",
+			coarse.Steps, fine.Steps)
+	}
+}
+
+func TestRunToRunVarianceIsLow(t *testing.T) {
+	r, err := RunToRunVariance(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Throughputs) != 8 {
+		t.Fatalf("got %d runs, want 8", len(r.Throughputs))
+	}
+	// §4.4: low run-to-run variance despite the arbitrary within-group
+	// operator selection. Allow 15% coefficient of variation.
+	if r.CV > 0.15 {
+		t.Fatalf("run-to-run CV = %.1f%%, want <= 15%%; throughputs %v", 100*r.CV, r.Throughputs)
+	}
+	var sb strings.Builder
+	r.Fprint(&sb)
+	if !strings.Contains(sb.String(), "coefficient of variation") {
+		t.Fatal("Fprint missing summary")
+	}
+}
+
+func TestMultiPhaseAdaptation(t *testing.T) {
+	r, err := MultiPhase([]float64{0.1, 0.9, 0.1}, 2*time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Phases) != 3 {
+		t.Fatalf("phases = %d", len(r.Phases))
+	}
+	for i, p := range r.Phases {
+		if !p.Detected {
+			t.Fatalf("phase %d not detected", i)
+		}
+		if p.Throughput <= 0 {
+			t.Fatalf("phase %d throughput %v", i, p.Throughput)
+		}
+	}
+	// The heavy phase (90%) needs more resources than the light ones.
+	light, heavy := r.Phases[0], r.Phases[1]
+	if heavy.Threads <= light.Threads {
+		t.Errorf("heavy phase threads %d not above light phase %d", heavy.Threads, light.Threads)
+	}
+	if heavy.Queues <= light.Queues {
+		t.Errorf("heavy phase queues %d not above light phase %d", heavy.Queues, light.Queues)
+	}
+	// Returning to the light phase must shed threads again (SASO: no
+	// overshoot under the restored workload).
+	back := r.Phases[2]
+	if back.Threads >= heavy.Threads {
+		t.Errorf("post-heavy phase kept %d threads (heavy had %d)", back.Threads, heavy.Threads)
+	}
+	var sb strings.Builder
+	r.Fprint(&sb)
+	if !strings.Contains(sb.String(), "Multi-phase") {
+		t.Fatal("Fprint missing header")
+	}
+}
+
+// TestCoordinatorRobustOnRandomGraphs runs multi-level elasticity on a
+// population of random DAG topologies: it must settle on every one of them
+// and never end below manual threading ("a safe default choice").
+func TestCoordinatorRobustOnRandomGraphs(t *testing.T) {
+	for seed := int64(1); seed <= 25; seed++ {
+		wcfg := workload.DefaultConfig()
+		wcfg.PayloadBytes = 512
+		b, err := workload.RandomDAG(wcfg, seed)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		man, err := Manual(b.Graph, sim.Xeon176().WithCores(64), 512)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ml, _, err := MultiLevel(b.Graph, sim.Xeon176().WithCores(64), 512, core.DefaultConfig())
+		if err != nil {
+			t.Fatalf("seed %d (%d nodes): %v", seed, b.Graph.NumNodes(), err)
+		}
+		if ml.Throughput < 0.9*man.Throughput {
+			t.Errorf("seed %d: multi-level %.0f below manual %.0f", seed, ml.Throughput, man.Throughput)
+		}
+	}
+}
+
+func TestWarmRestartSkipsAdaptation(t *testing.T) {
+	r, err := WarmRestart()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.WarmSettle >= r.ColdSettle/10 {
+		t.Fatalf("warm settle %v not dramatically below cold %v", r.WarmSettle, r.ColdSettle)
+	}
+	if r.WarmThroughput < 0.9*r.ColdThroughput {
+		t.Fatalf("warm throughput %.0f below cold %.0f", r.WarmThroughput, r.ColdThroughput)
+	}
+	var sb strings.Builder
+	r.Fprint(&sb)
+	if !strings.Contains(sb.String(), "Warm restart") {
+		t.Fatal("Fprint missing header")
+	}
+}
+
+func TestFig5InteractionStages(t *testing.T) {
+	r, err := Fig5()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.FirstQueues < 0 {
+		t.Fatal("threading-model elasticity never placed queues (Fig. 5b missing)")
+	}
+	if r.FirstThreadRaise < 0 {
+		t.Fatal("thread-count elasticity never raised the pool (Fig. 5c missing)")
+	}
+	if r.Settled < 0 {
+		t.Fatal("never stabilized (Fig. 5f missing)")
+	}
+	if !(r.FirstQueues < r.FirstThreadRaise && r.FirstThreadRaise < r.Settled) {
+		t.Fatalf("stages out of order: queues@%d threads@%d settled@%d",
+			r.FirstQueues, r.FirstThreadRaise, r.Settled)
+	}
+	// Throughput at stabilization clearly exceeds the start.
+	if last := r.Trace[r.Settled].Throughput; last < 2*r.Trace[0].Throughput {
+		t.Fatalf("settled throughput %.0f not clearly above start %.0f",
+			last, r.Trace[0].Throughput)
+	}
+	var sb strings.Builder
+	r.Fprint(&sb)
+	for _, marker := range []string{"(a) start", "(b) threading-model", "(c) thread-count", "(f) no further"} {
+		if !strings.Contains(sb.String(), marker) {
+			t.Fatalf("walkthrough missing %q:\n%s", marker, sb.String())
+		}
+	}
+}

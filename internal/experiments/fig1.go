@@ -1,0 +1,139 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+
+	"streamelastic/internal/core"
+	"streamelastic/internal/graph"
+	"streamelastic/internal/sim"
+	"streamelastic/internal/workload"
+)
+
+// Fig1Point is one point of the percent-dynamic sweep.
+type Fig1Point struct {
+	// PercentDynamic is the fraction of operators under the dynamic model,
+	// 0-100.
+	PercentDynamic int
+	// Throughput is the settled throughput with elastically tuned threads.
+	Throughput float64
+	// Threads is the tuned thread count.
+	Threads int
+}
+
+// Fig1Series is one configuration's sweep plus the framework's automatic
+// result, mirroring one black line and its blue overlay in Fig. 1.
+type Fig1Series struct {
+	// PayloadBytes and Cores identify the configuration.
+	PayloadBytes int
+	Cores        int
+	// Sweep holds the fixed-placement points (the black line).
+	Sweep []Fig1Point
+	// Framework is the multi-level elasticity result (the blue line).
+	Framework Variant
+	// BestSweep is the best fixed-placement point found.
+	BestSweep Fig1Point
+}
+
+// Fig1Result is the full Fig. 1 reproduction.
+type Fig1Result struct {
+	Series []Fig1Series
+}
+
+// Fig1 reproduces Figure 1: a 100-operator pipeline with 100 FLOPs/tuple,
+// payloads of 1 B and 1 KB, on 16 and 88 cores. The sweep varies the
+// percentage of operators using the dynamic threading model (placed at
+// seeded-random positions, thread count tuned elastically per point); the
+// framework line is full multi-level elasticity. The paper's takeaways,
+// which this reproduction must preserve: the best throughput is not at
+// 100% dynamic, the optimum moves with payload and cores, and the
+// framework lands near the best sweep point automatically.
+func Fig1() (*Fig1Result, error) {
+	res := &Fig1Result{}
+	cfg := core.DefaultConfig()
+	for _, payload := range []int{1, 1024} {
+		for _, cores := range []int{16, 88} {
+			wcfg := workload.DefaultConfig()
+			wcfg.PayloadBytes = payload
+			b, err := workload.Pipeline(100, wcfg)
+			if err != nil {
+				return nil, err
+			}
+			m := sim.Xeon176().WithCores(cores)
+			s := Fig1Series{PayloadBytes: payload, Cores: cores}
+			for pct := 0; pct <= 100; pct += 10 {
+				pt, err := fig1Point(b.Graph, m, payload, pct, cfg)
+				if err != nil {
+					return nil, err
+				}
+				s.Sweep = append(s.Sweep, pt)
+				if pt.Throughput > s.BestSweep.Throughput {
+					s.BestSweep = pt
+				}
+			}
+			ml, _, err := MultiLevel(b.Graph, m, payload, cfg)
+			if err != nil {
+				return nil, err
+			}
+			s.Framework = ml
+			res.Series = append(res.Series, s)
+		}
+	}
+	return res, nil
+}
+
+// fig1Point evaluates one fixed percent-dynamic placement with elastic
+// thread tuning.
+func fig1Point(g *graph.Graph, m sim.Machine, payload, pct int, cfg core.Config) (Fig1Point, error) {
+	e, err := sim.New(g, m, sim.WithPayload(payload))
+	if err != nil {
+		return Fig1Point{}, err
+	}
+	place := make([]bool, g.NumNodes())
+	var candidates []int
+	for i := 0; i < g.NumNodes(); i++ {
+		if !g.Node(graph.NodeID(i)).Source {
+			candidates = append(candidates, i)
+		}
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	rng.Shuffle(len(candidates), func(i, j int) {
+		candidates[i], candidates[j] = candidates[j], candidates[i]
+	})
+	k := pct * len(candidates) / 100
+	for _, op := range candidates[:k] {
+		place[op] = true
+	}
+	if err := e.ApplyPlacement(place); err != nil {
+		return Fig1Point{}, err
+	}
+	var thr float64
+	if k == 0 {
+		// No queues: scheduler threads are idle, no tuning needed.
+		thr = e.Throughput()
+	} else {
+		thr, _, err = core.TuneThreadCount(e, cfg, maxSteps)
+		if err != nil {
+			return Fig1Point{}, err
+		}
+	}
+	return Fig1Point{PercentDynamic: pct, Throughput: thr, Threads: e.ThreadCount()}, nil
+}
+
+// Fprint writes the result as the paper's series.
+func (r *Fig1Result) Fprint(w io.Writer) {
+	fmt.Fprintln(w, "Figure 1: 100-op pipeline, throughput vs %% operators dynamic")
+	for _, s := range r.Series {
+		fmt.Fprintf(w, "\npayload %dB, %d cores:\n", s.PayloadBytes, s.Cores)
+		fmt.Fprintf(w, "  %-10s %-14s %s\n", "%dynamic", "throughput/s", "threads")
+		for _, p := range s.Sweep {
+			fmt.Fprintf(w, "  %-10d %-14.0f %d\n", p.PercentDynamic, p.Throughput, p.Threads)
+		}
+		fmt.Fprintf(w, "  best sweep point: %d%% dynamic at %.0f/s\n",
+			s.BestSweep.PercentDynamic, s.BestSweep.Throughput)
+		fmt.Fprintf(w, "  framework (auto): %.0f/s with %d queues, %d threads (%.0f%% of best)\n",
+			s.Framework.Throughput, s.Framework.Queues, s.Framework.Threads,
+			100*s.Framework.Throughput/s.BestSweep.Throughput)
+	}
+}

@@ -1,0 +1,122 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"streamelastic/internal/apps"
+	"streamelastic/internal/core"
+	"streamelastic/internal/sim"
+)
+
+// AppRow compares the four scheduling variants on one application
+// configuration, as in Fig. 15.
+type AppRow struct {
+	// App names the application; Cores the machine size.
+	App   string
+	Cores int
+	// Manual, HandOpt, Dynamic, MultiLevel are the variants of Fig. 15:
+	// no threads, developer-inserted threaded ports, thread-count
+	// elasticity alone, and multi-level elasticity.
+	Manual     Variant
+	HandOpt    Variant
+	Dynamic    Variant
+	MultiLevel Variant
+	// HandThreads is the developer-inserted thread count (9 for VWAP,
+	// 17/129 for PacketAnalysis).
+	HandThreads int
+}
+
+// Fig15Result is the application evaluation.
+type Fig15Result struct {
+	Rows []AppRow
+}
+
+// appRow runs all four variants on one application.
+func appRow(a *apps.App, m sim.Machine, payload int) (AppRow, error) {
+	cfg := core.DefaultConfig()
+	man, err := Manual(a.Graph, m, payload)
+	if err != nil {
+		return AppRow{}, err
+	}
+	hand, err := HandOptimized(a.Graph, m, payload, a.HandPlacement)
+	if err != nil {
+		return AppRow{}, err
+	}
+	dyn, err := Dynamic(a.Graph, m, payload, cfg)
+	if err != nil {
+		return AppRow{}, err
+	}
+	ml, _, err := MultiLevel(a.Graph, m, payload, cfg)
+	if err != nil {
+		return AppRow{}, err
+	}
+	return AppRow{
+		App:         a.Name,
+		Cores:       m.Cores,
+		Manual:      man,
+		HandOpt:     hand,
+		Dynamic:     dyn,
+		MultiLevel:  ml,
+		HandThreads: a.HandThreads,
+	}, nil
+}
+
+// Fig15a reproduces the VWAP evaluation (Fig. 15a): 52 operators on 4, 16
+// and 88 cores. Claims to preserve: both elastic schemes reach at least
+// the hand-optimized throughput with far fewer threads (paper: 3 vs 9
+// hand-inserted), and multi-level's extra benefit over thread-count
+// elasticity is largest when resources are scarce (4 cores).
+func Fig15a() (*Fig15Result, error) {
+	res := &Fig15Result{}
+	for _, cores := range []int{4, 16, 88} {
+		a, err := apps.VWAP()
+		if err != nil {
+			return nil, err
+		}
+		row, err := appRow(a, sim.Xeon176().WithCores(cores), 128)
+		if err != nil {
+			return nil, fmt.Errorf("fig15a %d cores: %w", cores, err)
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// Fig15b reproduces the PacketAnalysis evaluation (Fig. 15b): the
+// 1-source (387 operators, 17 hand threads) and 8-source (2305 operators,
+// 129 hand threads) variants on the 176-core machine. Claims to preserve:
+// the elastic schemes approach the hand-optimized throughput using an
+// order of magnitude fewer threads (paper: 8-20 vs 129), and multi-level's
+// margin over thread-count elasticity alone is small because tuples are
+// tiny (~256 B) relative to the analytics cost.
+func Fig15b() (*Fig15Result, error) {
+	res := &Fig15Result{}
+	for _, sources := range []int{1, 8} {
+		a, err := apps.PacketAnalysis(sources)
+		if err != nil {
+			return nil, err
+		}
+		row, err := appRow(a, sim.Xeon176(), 256)
+		if err != nil {
+			return nil, fmt.Errorf("fig15b %d sources: %w", sources, err)
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// Fprint renders the application comparison.
+func (r *Fig15Result) Fprint(w io.Writer) {
+	fmt.Fprintln(w, "Figure 15: application evaluation")
+	fmt.Fprintf(w, "%-22s %-7s %-11s %-16s %-16s %-16s %s\n",
+		"app", "cores", "manual/s", "handopt/s(thr)", "dynamic/s(thr)", "multilevel/s(thr)", "ml-queues")
+	for _, row := range r.Rows {
+		fmt.Fprintf(w, "%-22s %-7d %-11.0f %-16s %-16s %-16s %d\n",
+			row.App, row.Cores, row.Manual.Throughput,
+			fmt.Sprintf("%.0f(%d)", row.HandOpt.Throughput, row.HandOpt.Threads),
+			fmt.Sprintf("%.0f(%d)", row.Dynamic.Throughput, row.Dynamic.Threads),
+			fmt.Sprintf("%.0f(%d)", row.MultiLevel.Throughput, row.MultiLevel.Threads),
+			row.MultiLevel.Queues)
+	}
+}

@@ -1,0 +1,104 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"streamelastic/internal/core"
+	"streamelastic/internal/sim"
+	"streamelastic/internal/workload"
+)
+
+// Fig5Result captures the multi-level interaction walkthrough: the full
+// adaptation trace of a small pipeline plus the indices of the stages the
+// paper's Fig. 5 illustrates.
+type Fig5Result struct {
+	// Trace is the full adaptation trace.
+	Trace []core.TraceEvent
+	// FirstQueues is the index of the first observation after the initial
+	// threading-model exploration placed queues (Fig. 5b).
+	FirstQueues int
+	// FirstThreadRaise is the index of the first thread-count increase
+	// (Fig. 5c).
+	FirstThreadRaise int
+	// LaterQueueChange is the index of a subsequent threading-model
+	// adjustment after threads grew (Fig. 5d), or -1.
+	LaterQueueChange int
+	// Settled is the index of the stabilization event (Fig. 5f).
+	Settled int
+}
+
+// Fig5 reproduces the staged interaction of the paper's Fig. 5 on a small
+// pipeline: (a) start with idle scheduler threads and no queues, (b)
+// threading-model elasticity places the first queues, (c) thread-count
+// elasticity raises the pool, (d) another threading-model round adjusts the
+// placement for the larger pool, (e-f) exploration finds no further
+// improvement, reverts, and stabilizes.
+func Fig5() (*Fig5Result, error) {
+	wcfg := workload.DefaultConfig()
+	wcfg.PayloadBytes = 256
+	wcfg.BalancedFLOPs = 5000
+	b, err := workload.Pipeline(10, wcfg)
+	if err != nil {
+		return nil, err
+	}
+	e, err := sim.New(b.Graph, sim.Xeon176().WithCores(16), sim.WithPayload(256))
+	if err != nil {
+		return nil, err
+	}
+	coord, err := core.NewCoordinator(e, core.DefaultConfig())
+	if err != nil {
+		return nil, err
+	}
+	if _, ok, err := coord.RunUntilSettled(maxSteps); err != nil || !ok {
+		return nil, fmt.Errorf("fig5: settle failed: %v", err)
+	}
+	tr := coord.Trace()
+	res := &Fig5Result{Trace: tr, FirstQueues: -1, FirstThreadRaise: -1, LaterQueueChange: -1, Settled: -1}
+	startThreads := tr[0].Threads
+	for i, ev := range tr {
+		if res.FirstQueues < 0 && ev.Queues > 0 {
+			res.FirstQueues = i
+		}
+		if res.FirstThreadRaise < 0 && ev.Threads > startThreads {
+			res.FirstThreadRaise = i
+		}
+		if res.FirstThreadRaise >= 0 && i > res.FirstThreadRaise &&
+			res.LaterQueueChange < 0 && ev.Phase == core.PhaseTM {
+			res.LaterQueueChange = i
+		}
+		if res.Settled < 0 && ev.Phase == core.PhaseSettled {
+			res.Settled = i
+		}
+	}
+	return res, nil
+}
+
+// Fprint writes the annotated walkthrough.
+func (r *Fig5Result) Fprint(w io.Writer) {
+	fmt.Fprintln(w, "Figure 5 walkthrough: multi-level elasticity interaction (10-op pipeline, 16 cores)")
+	stage := func(i int) string {
+		switch {
+		case i == r.FirstQueues:
+			return " <- (b) threading-model elasticity places the first queues"
+		case i == r.FirstThreadRaise:
+			return " <- (c) thread-count elasticity raises the pool"
+		case i == r.LaterQueueChange:
+			return " <- (d) the placement is re-explored for the larger pool"
+		case i == r.Settled:
+			return " <- (f) no further improvement: revert and stabilize"
+		default:
+			return ""
+		}
+	}
+	// Stage (a) is the starting state before the first observation: no
+	// queues, minimum (idle) scheduler threads.
+	fmt.Fprintln(w, "  -  (a) start: no queues, idle scheduler threads")
+	for i, ev := range r.Trace {
+		fmt.Fprintf(w, "%3d  t=%5.0fs thr=%9.0f T=%3d Q=%2d [%s]%s\n",
+			i, ev.Time.Seconds(), ev.Throughput, ev.Threads, ev.Queues, ev.Phase, stage(i))
+		if i > r.Settled && r.Settled >= 0 {
+			break
+		}
+	}
+}

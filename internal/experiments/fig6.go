@@ -1,0 +1,132 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"streamelastic/internal/core"
+	"streamelastic/internal/sim"
+	"streamelastic/internal/workload"
+)
+
+// Fig6Run is one optimization configuration's adaptation run.
+type Fig6Run struct {
+	// Label names the optimization set, matching the paper's subfigures.
+	Label string
+	// UseHistory and SatisfactionThreshold describe the configuration;
+	// Satisfaction reports whether the satisfaction factor was enabled.
+	UseHistory   bool
+	Satisfaction bool
+	Threshold    float64
+	// SettleTime is the virtual time to convergence.
+	SettleTime time.Duration
+	// FinalThroughput is the settled throughput.
+	FinalThroughput float64
+	// TMRuns and TMSkipped count secondary explorations run and skipped.
+	TMRuns    int
+	TMSkipped int
+	// Trace is the full adaptation timeline for plotting.
+	Trace []core.TraceEvent
+}
+
+// Fig6Result is the full Fig. 6 reproduction.
+type Fig6Result struct {
+	Runs []Fig6Run
+}
+
+// Fig6 reproduces Figure 6: a 500-operator pipeline with skewed costs
+// (10,000 / 100 / 1 FLOPs) and 1024 B tuples, adapted under four
+// optimization sets: (a) no optimizations, (b) learning from history,
+// (c) history + satisfaction factor 0.6, (d) history + satisfaction factor
+// 0. The paper's claim to preserve: the optimizations cut the adaptation
+// period substantially (1000 s -> ~400 s) without sacrificing converged
+// throughput.
+func Fig6() (*Fig6Result, error) {
+	wcfg := workload.DefaultConfig()
+	wcfg.Skewed = true
+	wcfg.PayloadBytes = 1024
+
+	type setup struct {
+		label   string
+		history bool
+		sat     bool
+		thre    float64
+	}
+	setups := []setup{
+		{"(a) no optimizations", false, false, 0},
+		{"(b) history", true, false, 0},
+		{"(c) history + sf=0.6", true, true, 0.6},
+		{"(d) history + sf=0", true, true, 0},
+	}
+
+	res := &Fig6Result{}
+	for _, s := range setups {
+		b, err := workload.Pipeline(500, wcfg)
+		if err != nil {
+			return nil, err
+		}
+		cfg := core.DefaultConfig()
+		cfg.UseHistory = s.history
+		cfg.UseSatisfaction = s.sat
+		cfg.SatisfactionThreshold = s.thre
+
+		e, err := sim.New(b.Graph, sim.Xeon176().WithCores(176), sim.WithPayload(1024))
+		if err != nil {
+			return nil, err
+		}
+		coord, err := core.NewCoordinator(e, cfg)
+		if err != nil {
+			return nil, err
+		}
+		if _, ok, err := coord.RunUntilSettled(maxSteps); err != nil || !ok {
+			return nil, fmt.Errorf("fig6 %s: settle failed: %v", s.label, err)
+		}
+		tr := coord.Trace()
+		stats := coord.Stats()
+		res.Runs = append(res.Runs, Fig6Run{
+			Label:           s.label,
+			UseHistory:      s.history,
+			Satisfaction:    s.sat,
+			Threshold:       s.thre,
+			SettleTime:      coord.SettleTime(),
+			FinalThroughput: tr[len(tr)-1].Throughput,
+			TMRuns:          stats.TMRuns,
+			TMSkipped:       stats.TMRunsSkipped,
+			Trace:           tr,
+		})
+	}
+	return res, nil
+}
+
+// Fprint writes the settling-time comparison and a compact timeline per
+// run.
+func (r *Fig6Result) Fprint(w io.Writer) {
+	fmt.Fprintln(w, "Figure 6: adaptation-period optimizations (500-op skewed pipeline, 1KB tuples)")
+	fmt.Fprintf(w, "%-24s %-12s %-14s %-8s %s\n", "configuration", "settle(s)", "final thr/s", "tm-runs", "tm-skipped")
+	for _, run := range r.Runs {
+		fmt.Fprintf(w, "%-24s %-12.0f %-14.0f %-8d %d\n",
+			run.Label, run.SettleTime.Seconds(), run.FinalThroughput, run.TMRuns, run.TMSkipped)
+	}
+	base := r.Runs[0].SettleTime.Seconds()
+	best := r.Runs[len(r.Runs)-1].SettleTime.Seconds()
+	if base > 0 {
+		fmt.Fprintf(w, "adaptation period reduced by %.0f%% (paper: 1000s -> ~400s, 60%%)\n",
+			100*(1-best/base))
+	}
+}
+
+// Timeline writes one run's trace as a CSV (time, throughput, threads,
+// queues) for plotting, matching the axes of the paper's subfigures.
+func (r *Fig6Result) Timeline(w io.Writer, idx int) error {
+	if idx < 0 || idx >= len(r.Runs) {
+		return fmt.Errorf("fig6: run index %d out of range", idx)
+	}
+	for _, e := range r.Runs[idx].Trace {
+		if _, err := fmt.Fprintf(w, "%.0f,%.0f,%d,%d\n",
+			e.Time.Seconds(), e.Throughput, e.Threads, e.Queues); err != nil {
+			return err
+		}
+	}
+	return nil
+}

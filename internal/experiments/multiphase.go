@@ -1,0 +1,118 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"streamelastic/internal/core"
+	"streamelastic/internal/sim"
+	"streamelastic/internal/workload"
+)
+
+// PhaseOutcome records adaptation across one workload phase.
+type PhaseOutcome struct {
+	// HeavyRatio is the phase's share of heavy-weight operators.
+	HeavyRatio float64
+	// Detected reports whether the coordinator left the settled state
+	// (always true for the first phase, which starts unsettled).
+	Detected bool
+	// SettleTime is when the phase's adaptation converged.
+	SettleTime time.Duration
+	// ReAdaptation is the time from phase start to convergence.
+	ReAdaptation time.Duration
+	// Threads, Queues and Throughput describe the converged configuration.
+	Threads    int
+	Queues     int
+	Throughput float64
+}
+
+// MultiPhaseResult is the outcome of a scripted multi-phase workload.
+type MultiPhaseResult struct {
+	Phases []PhaseOutcome
+}
+
+// MultiPhase extends the paper's Fig. 13 single phase change to a scripted
+// sequence of workload phases (heavy-operator ratios), verifying that the
+// coordinator re-adapts to each: detection, re-settling, and configurations
+// that track the workload's weight. This is the "varying workload"
+// robustness the paper's SASO framing promises but only evaluates for one
+// transition.
+func MultiPhase(heavyRatios []float64, phaseLength time.Duration) (*MultiPhaseResult, error) {
+	if len(heavyRatios) == 0 {
+		return nil, fmt.Errorf("multiphase: no phases")
+	}
+	wcfg := workload.DefaultConfig()
+	wcfg.Skewed = true
+	wcfg.PayloadBytes = 1024
+	wcfg.SourceFLOPs = 3000
+	b, err := workload.Pipeline(100, wcfg)
+	if err != nil {
+		return nil, err
+	}
+	e, err := sim.New(b.Graph, sim.Xeon176().WithCores(88), sim.WithPayload(1024))
+	if err != nil {
+		return nil, err
+	}
+	coord, err := core.NewCoordinator(e, core.DefaultConfig())
+	if err != nil {
+		return nil, err
+	}
+
+	res := &MultiPhaseResult{}
+	for i, ratio := range heavyRatios {
+		phaseStart := e.Now()
+		b.ApplySkew(ratio, 0.3*(1-ratio), int64(i+2))
+		out := PhaseOutcome{HeavyRatio: ratio, Detected: i == 0}
+
+		// Step until the coordinator (re-)settles within this phase.
+		settledNow := false
+		for step := 0; step < maxSteps; step++ {
+			settled, err := coord.Step()
+			if err != nil {
+				return nil, err
+			}
+			if !settled {
+				out.Detected = true
+			}
+			if out.Detected && settled {
+				settledNow = true
+				break
+			}
+			if e.Now()-phaseStart > phaseLength {
+				break
+			}
+		}
+		if !settledNow {
+			return nil, fmt.Errorf("multiphase: phase %d (ratio %.0f%%) did not re-settle within %v",
+				i, 100*ratio, phaseLength)
+		}
+		out.SettleTime = coord.SettleTime()
+		out.ReAdaptation = out.SettleTime - phaseStart
+		out.Threads = e.ThreadCount()
+		out.Queues = e.Queues()
+		tr := coord.Trace()
+		out.Throughput = tr[len(tr)-1].Throughput
+
+		// Dwell in the settled state for a few periods before the next
+		// phase, as a real workload would.
+		for k := 0; k < 5; k++ {
+			if _, err := coord.Step(); err != nil {
+				return nil, err
+			}
+		}
+		res.Phases = append(res.Phases, out)
+	}
+	return res, nil
+}
+
+// Fprint renders the per-phase adaptation table.
+func (r *MultiPhaseResult) Fprint(w io.Writer) {
+	fmt.Fprintln(w, "Multi-phase workload adaptation (extension of Fig. 13)")
+	fmt.Fprintf(w, "%-8s %-10s %-14s %-9s %-8s %s\n",
+		"phase", "heavy%", "re-adapt(s)", "threads", "queues", "throughput/s")
+	for i, p := range r.Phases {
+		fmt.Fprintf(w, "%-8d %-10.0f %-14.0f %-9d %-8d %.0f\n",
+			i+1, 100*p.HeavyRatio, p.ReAdaptation.Seconds(), p.Threads, p.Queues, p.Throughput)
+	}
+}

@@ -1,0 +1,55 @@
+package graph
+
+import (
+	"fmt"
+	"io"
+)
+
+// WriteDOT renders the graph in Graphviz DOT format for visualization.
+// When placement is non-nil, dynamic operators (those with scheduler
+// queues) are drawn as doubled boxes; sources are houses, sinks inverted
+// houses.
+func (g *Graph) WriteDOT(w io.Writer, placement []bool) error {
+	if _, err := fmt.Fprintln(w, "digraph streams {"); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintln(w, "  rankdir=LR;"); err != nil {
+		return err
+	}
+	for _, nd := range g.nodes {
+		shape := "box"
+		switch {
+		case nd.Source:
+			shape = "house"
+		case len(nd.Out) == 0:
+			shape = "invhouse"
+		}
+		peripheries := 1
+		if placement != nil && int(nd.ID) < len(placement) && placement[nd.ID] && !nd.Source {
+			peripheries = 2
+		}
+		label := nodeName(nd)
+		cost := nd.Cost.FLOPs()
+		if cost > 0 {
+			label = fmt.Sprintf("%s\\n%.0f FLOPs", label, cost)
+		}
+		_, err := fmt.Fprintf(w, "  n%d [label=\"%s\" shape=%s peripheries=%d];\n",
+			nd.ID, label, shape, peripheries)
+		if err != nil {
+			return err
+		}
+	}
+	for _, nd := range g.nodes {
+		for _, e := range nd.Out {
+			attrs := ""
+			if e.RateFactor != 1 {
+				attrs = fmt.Sprintf(" [label=\"x%.2g\"]", e.RateFactor)
+			}
+			if _, err := fmt.Fprintf(w, "  n%d -> n%d%s;\n", e.From, e.To, attrs); err != nil {
+				return err
+			}
+		}
+	}
+	_, err := fmt.Fprintln(w, "}")
+	return err
+}

@@ -1,0 +1,248 @@
+// Package graph models the operator graph of a processing element: nodes
+// (operators) connected by edges (streams), with per-node cost hints and
+// per-edge rate factors. It provides the structural analyses the engines
+// need — topological order, steady-state tuple rates, and the partition of
+// the graph into execution regions induced by a scheduler-queue placement.
+package graph
+
+import (
+	"errors"
+	"fmt"
+
+	"streamelastic/internal/spl"
+)
+
+// NodeID identifies a node within a Graph. IDs are dense, starting at 0, in
+// insertion order; the elastic controllers use them as indices into
+// placement bitmaps and cost-metric slices.
+type NodeID int
+
+// Edge connects an output port of one node to an input port of another.
+type Edge struct {
+	From     NodeID
+	FromPort int
+	To       NodeID
+	ToPort   int
+	// RateFactor is the expected number of tuples emitted on this edge per
+	// tuple processed by From. A tokenizer that emits ~8 words per page has
+	// factor 8; a round-robin split of width W has factor 1/W per branch.
+	RateFactor float64
+}
+
+// Node is one operator in the graph.
+type Node struct {
+	ID NodeID
+	// Op is the operator implementation. It may be nil for model-only
+	// graphs that are executed exclusively on the simulated machine.
+	Op spl.Operator
+	// Cost is the per-tuple compute cost in FLOPs. It is shared with the
+	// node's Work operator when one exists, so workload phase changes
+	// apply to live and simulated engines alike.
+	Cost *spl.CostVar
+	// Source marks nodes driven by a dedicated operator thread.
+	Source bool
+	// Contended marks operators serialized by an internal lock (for
+	// example a counting sink); the simulated machine charges them a
+	// contention penalty that grows with the number of active threads.
+	Contended bool
+	// Out lists outgoing edges in insertion order.
+	Out []Edge
+	// In lists incoming edges; populated by Finalize.
+	In []Edge
+}
+
+// Graph is a directed acyclic operator graph. Construct it with AddSource,
+// AddOperator and Connect, then call Finalize before handing it to an
+// engine.
+type Graph struct {
+	nodes     []*Node
+	topo      []NodeID
+	rates     []float64
+	finalized bool
+}
+
+// New returns an empty graph.
+func New() *Graph {
+	return &Graph{}
+}
+
+// AddSource adds a source node with the given operator and per-tuple cost.
+// A nil cost is treated as zero FLOPs.
+func (g *Graph) AddSource(op spl.Operator, cost *spl.CostVar) NodeID {
+	return g.add(op, cost, true)
+}
+
+// AddOperator adds a non-source node with the given operator and per-tuple
+// cost. A nil cost is treated as zero FLOPs.
+func (g *Graph) AddOperator(op spl.Operator, cost *spl.CostVar) NodeID {
+	return g.add(op, cost, false)
+}
+
+func (g *Graph) add(op spl.Operator, cost *spl.CostVar, source bool) NodeID {
+	if cost == nil {
+		cost = spl.NewCostVar(0)
+	}
+	id := NodeID(len(g.nodes))
+	g.nodes = append(g.nodes, &Node{ID: id, Op: op, Cost: cost, Source: source})
+	g.finalized = false
+	return id
+}
+
+// SetContended marks node id as lock-contended.
+func (g *Graph) SetContended(id NodeID) {
+	g.nodes[id].Contended = true
+}
+
+// Connect adds an edge from node from's output port fromPort to node to's
+// input port toPort with the given rate factor.
+func (g *Graph) Connect(from NodeID, fromPort int, to NodeID, toPort int, rateFactor float64) error {
+	if int(from) < 0 || int(from) >= len(g.nodes) || int(to) < 0 || int(to) >= len(g.nodes) {
+		return fmt.Errorf("connect %d->%d: node out of range", from, to)
+	}
+	if from == to {
+		return fmt.Errorf("connect %d->%d: self loop", from, to)
+	}
+	if g.nodes[to].Source {
+		return fmt.Errorf("connect %d->%d: target is a source", from, to)
+	}
+	if rateFactor <= 0 {
+		return fmt.Errorf("connect %d->%d: rate factor %v must be positive", from, to, rateFactor)
+	}
+	g.nodes[from].Out = append(g.nodes[from].Out, Edge{
+		From: from, FromPort: fromPort, To: to, ToPort: toPort, RateFactor: rateFactor,
+	})
+	g.finalized = false
+	return nil
+}
+
+// ErrCyclic is returned by Finalize when the graph contains a cycle.
+var ErrCyclic = errors.New("graph contains a cycle")
+
+// Finalize validates the graph (acyclic, every non-source reachable from a
+// source) and computes the derived structures: incoming edge lists,
+// topological order, and steady-state tuple rates. It must be called after
+// construction and again after any structural change.
+func (g *Graph) Finalize() error {
+	n := len(g.nodes)
+	if n == 0 {
+		return errors.New("graph is empty")
+	}
+	for _, nd := range g.nodes {
+		nd.In = nil
+	}
+	indeg := make([]int, n)
+	for _, nd := range g.nodes {
+		for _, e := range nd.Out {
+			g.nodes[e.To].In = append(g.nodes[e.To].In, e)
+			indeg[e.To]++
+		}
+	}
+	hasSource := false
+	queue := make([]NodeID, 0, n)
+	for _, nd := range g.nodes {
+		if indeg[nd.ID] == 0 {
+			if !nd.Source {
+				return fmt.Errorf("node %d (%s) has no inputs but is not a source", nd.ID, nodeName(nd))
+			}
+			hasSource = true
+			queue = append(queue, nd.ID)
+		} else if nd.Source {
+			return fmt.Errorf("source node %d (%s) has inputs", nd.ID, nodeName(nd))
+		}
+	}
+	if !hasSource {
+		return errors.New("graph has no source")
+	}
+	topo := make([]NodeID, 0, n)
+	for len(queue) > 0 {
+		id := queue[0]
+		queue = queue[1:]
+		topo = append(topo, id)
+		for _, e := range g.nodes[id].Out {
+			indeg[e.To]--
+			if indeg[e.To] == 0 {
+				queue = append(queue, e.To)
+			}
+		}
+	}
+	if len(topo) != n {
+		return ErrCyclic
+	}
+	g.topo = topo
+	g.computeRates()
+	g.finalized = true
+	return nil
+}
+
+// computeRates propagates steady-state tuple rates from the sources. Each
+// source is normalized to rate 1; a node's rate is the sum over incoming
+// edges of the producer's rate times the edge's rate factor.
+func (g *Graph) computeRates() {
+	rates := make([]float64, len(g.nodes))
+	for _, id := range g.topo {
+		nd := g.nodes[id]
+		if nd.Source {
+			rates[id] = 1
+		}
+		for _, e := range nd.Out {
+			rates[e.To] += rates[id] * e.RateFactor
+		}
+	}
+	g.rates = rates
+}
+
+func nodeName(nd *Node) string {
+	if nd.Op != nil {
+		return nd.Op.Name()
+	}
+	return "model-only"
+}
+
+// NumNodes returns the number of nodes in the graph.
+func (g *Graph) NumNodes() int { return len(g.nodes) }
+
+// Node returns the node with the given id.
+func (g *Graph) Node(id NodeID) *Node { return g.nodes[id] }
+
+// Topo returns the node ids in topological order. Finalize must have been
+// called.
+func (g *Graph) Topo() []NodeID { return g.topo }
+
+// Finalized reports whether Finalize has run since the last mutation.
+func (g *Graph) Finalized() bool { return g.finalized }
+
+// Rates returns the steady-state tuple rate of every node relative to a
+// per-source emission rate of 1. Finalize must have been called. The
+// returned slice is shared; callers must not modify it.
+func (g *Graph) Rates() []float64 { return g.rates }
+
+// Sources returns the ids of all source nodes.
+func (g *Graph) Sources() []NodeID {
+	var out []NodeID
+	for _, nd := range g.nodes {
+		if nd.Source {
+			out = append(out, nd.ID)
+		}
+	}
+	return out
+}
+
+// Sinks returns the ids of all nodes with no outgoing edges.
+func (g *Graph) Sinks() []NodeID {
+	var out []NodeID
+	for _, nd := range g.nodes {
+		if len(nd.Out) == 0 {
+			out = append(out, nd.ID)
+		}
+	}
+	return out
+}
+
+// Costs returns the current per-node cost in FLOPs per tuple.
+func (g *Graph) Costs() []float64 {
+	out := make([]float64, len(g.nodes))
+	for i, nd := range g.nodes {
+		out[i] = nd.Cost.FLOPs()
+	}
+	return out
+}

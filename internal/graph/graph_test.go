@@ -1,0 +1,371 @@
+package graph
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"streamelastic/internal/spl"
+)
+
+// chain builds a finalized linear pipeline of n nodes (first is the source).
+func chain(t *testing.T, n int) *Graph {
+	t.Helper()
+	g := New()
+	prev := g.AddSource(nil, spl.NewCostVar(1))
+	for i := 1; i < n; i++ {
+		id := g.AddOperator(nil, spl.NewCostVar(1))
+		if err := g.Connect(prev, 0, id, 0, 1); err != nil {
+			t.Fatal(err)
+		}
+		prev = id
+	}
+	if err := g.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestFinalizeEmptyGraph(t *testing.T) {
+	if err := New().Finalize(); err == nil {
+		t.Fatal("finalizing an empty graph succeeded")
+	}
+}
+
+func TestFinalizeRejectsNoSource(t *testing.T) {
+	g := New()
+	a := g.AddOperator(nil, nil)
+	b := g.AddOperator(nil, nil)
+	if err := g.Connect(a, 0, b, 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Finalize(); err == nil {
+		t.Fatal("graph without a source finalized")
+	}
+}
+
+func TestFinalizeRejectsCycle(t *testing.T) {
+	g := New()
+	s := g.AddSource(nil, nil)
+	a := g.AddOperator(nil, nil)
+	b := g.AddOperator(nil, nil)
+	for _, c := range [][2]NodeID{{s, a}, {a, b}, {b, a}} {
+		if err := g.Connect(c[0], 0, c[1], 0, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := g.Finalize(); !errors.Is(err, ErrCyclic) {
+		t.Fatalf("finalize error = %v, want ErrCyclic", err)
+	}
+}
+
+func TestConnectValidation(t *testing.T) {
+	g := New()
+	s := g.AddSource(nil, nil)
+	a := g.AddOperator(nil, nil)
+	cases := []struct {
+		name string
+		err  error
+	}{
+		{"out of range", g.Connect(s, 0, NodeID(99), 0, 1)},
+		{"self loop", g.Connect(a, 0, a, 0, 1)},
+		{"into source", g.Connect(a, 0, s, 0, 1)},
+		{"zero rate", g.Connect(s, 0, a, 0, 0)},
+		{"negative rate", g.Connect(s, 0, a, 0, -1)},
+	}
+	for _, c := range cases {
+		if c.err == nil {
+			t.Errorf("%s: Connect succeeded, want error", c.name)
+		}
+	}
+}
+
+func TestFinalizeRejectsSourceWithInputs(t *testing.T) {
+	g := New()
+	s1 := g.AddSource(nil, nil)
+	s2 := g.AddSource(nil, nil)
+	// Bypass Connect's source check by connecting via an operator first:
+	// Connect itself rejects edges into sources, so verify that too.
+	if err := g.Connect(s1, 0, s2, 0, 1); err == nil {
+		t.Fatal("Connect allowed an edge into a source")
+	}
+}
+
+func TestFinalizeRejectsOrphanOperator(t *testing.T) {
+	g := New()
+	g.AddSource(nil, nil)
+	g.AddOperator(nil, nil) // never connected
+	if err := g.Finalize(); err == nil {
+		t.Fatal("graph with an orphan non-source operator finalized")
+	}
+}
+
+func TestTopoOrderRespectsEdges(t *testing.T) {
+	g := chain(t, 10)
+	pos := make(map[NodeID]int)
+	for i, id := range g.Topo() {
+		pos[id] = i
+	}
+	for _, nd := range g.nodes {
+		for _, e := range nd.Out {
+			if pos[e.From] >= pos[e.To] {
+				t.Fatalf("edge %d->%d violates topo order", e.From, e.To)
+			}
+		}
+	}
+}
+
+func TestRatesPipeline(t *testing.T) {
+	g := chain(t, 5)
+	for i, r := range g.Rates() {
+		if r != 1 {
+			t.Fatalf("node %d rate = %v, want 1", i, r)
+		}
+	}
+}
+
+func TestRatesSplitAndExpand(t *testing.T) {
+	g := New()
+	src := g.AddSource(nil, nil)
+	tok := g.AddOperator(nil, nil) // emits 8 tuples per input
+	split := g.AddOperator(nil, nil)
+	w0 := g.AddOperator(nil, nil)
+	w1 := g.AddOperator(nil, nil)
+	snk := g.AddOperator(nil, nil)
+	must := func(err error) {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(g.Connect(src, 0, tok, 0, 1))
+	must(g.Connect(tok, 0, split, 0, 8))
+	must(g.Connect(split, 0, w0, 0, 0.5))
+	must(g.Connect(split, 1, w1, 0, 0.5))
+	must(g.Connect(w0, 0, snk, 0, 1))
+	must(g.Connect(w1, 0, snk, 0, 1))
+	must(g.Finalize())
+	r := g.Rates()
+	if r[tok] != 1 || r[split] != 8 {
+		t.Fatalf("rates tok=%v split=%v, want 1 and 8", r[tok], r[split])
+	}
+	if r[w0] != 4 || r[w1] != 4 {
+		t.Fatalf("worker rates %v,%v, want 4,4", r[w0], r[w1])
+	}
+	if r[snk] != 8 {
+		t.Fatalf("sink rate %v, want 8", r[snk])
+	}
+}
+
+func TestSourcesAndSinks(t *testing.T) {
+	g := chain(t, 4)
+	if got := g.Sources(); len(got) != 1 || got[0] != 0 {
+		t.Fatalf("sources = %v, want [0]", got)
+	}
+	if got := g.Sinks(); len(got) != 1 || got[0] != 3 {
+		t.Fatalf("sinks = %v, want [3]", got)
+	}
+}
+
+func TestCostsReflectCostVars(t *testing.T) {
+	g := New()
+	cv := spl.NewCostVar(100)
+	s := g.AddSource(nil, cv)
+	a := g.AddOperator(nil, nil)
+	if err := g.Connect(s, 0, a, 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	if got := g.Costs(); got[0] != 100 || got[1] != 0 {
+		t.Fatalf("costs = %v, want [100 0]", got)
+	}
+	cv.Set(5)
+	if got := g.Costs(); got[0] != 5 {
+		t.Fatalf("costs after phase change = %v, want first element 5", got)
+	}
+}
+
+func TestAttributePipelinePlacement(t *testing.T) {
+	g := chain(t, 6)
+	dyn := make([]bool, 6)
+	dyn[3] = true
+	a := Attribute(g, dyn)
+	if len(a.Heads) != 2 {
+		t.Fatalf("heads = %v, want source + 1 queue", a.Heads)
+	}
+	if a.SourceHeads != 1 {
+		t.Fatalf("source heads = %d, want 1", a.SourceHeads)
+	}
+	// Nodes 0..2 belong to the source region; 3..5 to the queue region.
+	for id := 0; id <= 2; id++ {
+		if w := a.Dist[id][0]; w != 1 {
+			t.Fatalf("node %d source-region weight %v, want 1", id, w)
+		}
+	}
+	for id := 3; id <= 5; id++ {
+		if w := a.Dist[id][1]; w != 1 {
+			t.Fatalf("node %d queue-region weight %v, want 1", id, w)
+		}
+	}
+}
+
+func TestAttributeSharedSinkSplitsByInflow(t *testing.T) {
+	// src -> split -> {w0 (dynamic), w1 (manual)} -> snk
+	g := New()
+	src := g.AddSource(nil, nil)
+	split := g.AddOperator(nil, nil)
+	w0 := g.AddOperator(nil, nil)
+	w1 := g.AddOperator(nil, nil)
+	snk := g.AddOperator(nil, nil)
+	must := func(err error) {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(g.Connect(src, 0, split, 0, 1))
+	must(g.Connect(split, 0, w0, 0, 0.5))
+	must(g.Connect(split, 1, w1, 0, 0.5))
+	must(g.Connect(w0, 0, snk, 0, 1))
+	must(g.Connect(w1, 0, snk, 0, 1))
+	must(g.Finalize())
+	dyn := make([]bool, g.NumNodes())
+	dyn[w0] = true
+	a := Attribute(g, dyn)
+	// The sink receives half its tuples from the dynamic region headed at
+	// w0 and half from the source region (through w1).
+	srcHead := a.HeadIndex[src]
+	w0Head := a.HeadIndex[w0]
+	if math.Abs(a.Dist[snk][srcHead]-0.5) > 1e-12 || math.Abs(a.Dist[snk][w0Head]-0.5) > 1e-12 {
+		t.Fatalf("sink attribution = %v, want 0.5/0.5", a.Dist[snk])
+	}
+}
+
+func TestAttributeDynamicSourceFlagIgnored(t *testing.T) {
+	g := chain(t, 3)
+	dyn := []bool{true, false, false}
+	a := Attribute(g, dyn)
+	if len(a.Heads) != 1 {
+		t.Fatalf("dynamic flag on source created a queue head: %v", a.Heads)
+	}
+}
+
+func TestQueueCount(t *testing.T) {
+	g := chain(t, 5)
+	dyn := []bool{true, true, false, true, false}
+	// Node 0 is the source: its flag must not count.
+	if got := QueueCount(g, dyn); got != 2 {
+		t.Fatalf("QueueCount = %d, want 2", got)
+	}
+}
+
+// TestAttributeWeightsSumToOne is a property test: on random layered DAGs,
+// every node's attribution weights must sum to 1 for any placement.
+func TestAttributeWeightsSumToOne(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 50; trial++ {
+		g := randomDAG(t, rng)
+		dyn := make([]bool, g.NumNodes())
+		for i := range dyn {
+			dyn[i] = rng.Intn(2) == 0
+		}
+		a := Attribute(g, dyn)
+		for id := 0; id < g.NumNodes(); id++ {
+			sum := 0.0
+			for _, w := range a.Dist[id] {
+				sum += w
+			}
+			if math.Abs(sum-1) > 1e-9 {
+				t.Fatalf("trial %d node %d attribution sums to %v", trial, id, sum)
+			}
+		}
+	}
+}
+
+// randomDAG builds a random layered DAG with one source and full
+// reachability.
+func randomDAG(t *testing.T, rng *rand.Rand) *Graph {
+	t.Helper()
+	g := New()
+	layers := 2 + rng.Intn(4)
+	var prev []NodeID
+	src := g.AddSource(nil, nil)
+	prev = []NodeID{src}
+	for l := 0; l < layers; l++ {
+		width := 1 + rng.Intn(3)
+		var cur []NodeID
+		for w := 0; w < width; w++ {
+			id := g.AddOperator(nil, nil)
+			// Connect from at least one node of the previous layer.
+			from := prev[rng.Intn(len(prev))]
+			if err := g.Connect(from, 0, id, 0, 0.5+rng.Float64()); err != nil {
+				t.Fatal(err)
+			}
+			// Possibly one extra in-edge.
+			if len(prev) > 1 && rng.Intn(2) == 0 {
+				from2 := prev[rng.Intn(len(prev))]
+				if from2 != from {
+					if err := g.Connect(from2, 0, id, 0, 0.5+rng.Float64()); err != nil {
+						t.Fatal(err)
+					}
+				}
+			}
+			cur = append(cur, id)
+		}
+		prev = cur
+	}
+	if err := g.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestWriteDOT(t *testing.T) {
+	g := chain(t, 4)
+	dyn := []bool{false, false, true, false}
+	var sb strings.Builder
+	if err := g.WriteDOT(&sb, dyn); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"digraph streams", "rankdir=LR",
+		"shape=house",    // the source
+		"shape=invhouse", // the sink
+		"peripheries=2",  // the dynamic operator
+		"n0 -> n1", "n2 -> n3",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("DOT output missing %q:\n%s", want, out)
+		}
+	}
+	// Without a placement, no doubled boxes.
+	sb.Reset()
+	if err := g.WriteDOT(&sb, nil); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(sb.String(), "peripheries=2") {
+		t.Fatal("nil placement produced dynamic markers")
+	}
+}
+
+func TestWriteDOTRateLabels(t *testing.T) {
+	g := New()
+	s := g.AddSource(nil, nil)
+	a := g.AddOperator(nil, nil)
+	if err := g.Connect(s, 0, a, 0, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := g.WriteDOT(&sb, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "x0.5") {
+		t.Fatalf("rate label missing:\n%s", sb.String())
+	}
+}

@@ -1,0 +1,90 @@
+package graph
+
+// A scheduler-queue placement partitions the graph into execution regions.
+// Region heads are the sources (each driven by its own operator thread) and
+// the dynamic nodes (each fronted by a scheduler queue and executed by the
+// scheduler-thread pool). A manual (non-head) node is executed inline by
+// whichever thread delivers a tuple to it, so when several regions feed it,
+// its work is split across those regions in proportion to tuple inflow.
+// Attribution captures that split; the simulated machine turns it into
+// per-region service times.
+
+// Attribution maps every node to a weight distribution over region heads
+// for a given placement.
+type Attribution struct {
+	// Heads lists the region heads: all sources first (in id order), then
+	// all dynamic nodes (in id order).
+	Heads []NodeID
+	// HeadIndex maps a head node id to its index in Heads, or -1.
+	HeadIndex []int
+	// Dist[node] maps head index to the fraction of the node's tuples that
+	// arrive via that head's region. Weights sum to 1 for every node
+	// reachable from a source.
+	Dist []map[int]float64
+	// SourceHeads is the number of leading entries of Heads that are
+	// sources.
+	SourceHeads int
+}
+
+// Attribute computes the region attribution for the placement dynamic,
+// where dynamic[i] reports whether node i is fronted by a scheduler queue.
+// Dynamic flags on source nodes are ignored: sources always run on their
+// own operator threads. The graph must be finalized.
+func Attribute(g *Graph, dynamic []bool) *Attribution {
+	n := g.NumNodes()
+	a := &Attribution{
+		HeadIndex: make([]int, n),
+		Dist:      make([]map[int]float64, n),
+	}
+	for i := range a.HeadIndex {
+		a.HeadIndex[i] = -1
+	}
+	for _, nd := range g.nodes {
+		if nd.Source {
+			a.HeadIndex[nd.ID] = len(a.Heads)
+			a.Heads = append(a.Heads, nd.ID)
+		}
+	}
+	a.SourceHeads = len(a.Heads)
+	for _, nd := range g.nodes {
+		if !nd.Source && dynamic[nd.ID] {
+			a.HeadIndex[nd.ID] = len(a.Heads)
+			a.Heads = append(a.Heads, nd.ID)
+		}
+	}
+	rates := g.Rates()
+	for _, id := range g.topo {
+		nd := g.nodes[id]
+		if hi := a.HeadIndex[id]; hi >= 0 {
+			a.Dist[id] = map[int]float64{hi: 1}
+			continue
+		}
+		total := 0.0
+		for _, e := range nd.In {
+			total += rates[e.From] * e.RateFactor
+		}
+		dist := make(map[int]float64, 2)
+		if total > 0 {
+			for _, e := range nd.In {
+				w := rates[e.From] * e.RateFactor / total
+				for h, f := range a.Dist[e.From] {
+					dist[h] += w * f
+				}
+			}
+		}
+		a.Dist[id] = dist
+	}
+	return a
+}
+
+// QueueCount returns the number of scheduler queues a placement induces:
+// one per dynamic non-source node.
+func QueueCount(g *Graph, dynamic []bool) int {
+	q := 0
+	for _, nd := range g.nodes {
+		if !nd.Source && dynamic[nd.ID] {
+			q++
+		}
+	}
+	return q
+}

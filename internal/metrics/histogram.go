@@ -1,0 +1,119 @@
+package metrics
+
+import (
+	"math"
+	"sync/atomic"
+	"time"
+)
+
+// histBuckets is the number of logarithmic latency buckets: bucket i covers
+// [2^i, 2^(i+1)) nanoseconds, so 64 buckets span any int64 duration.
+const histBuckets = 64
+
+// Histogram is a lock-free log-bucketed latency histogram. Record is a
+// single atomic increment, cheap enough for per-tuple use on the hot path.
+type Histogram struct {
+	buckets [histBuckets]atomic.Uint64
+	count   atomic.Uint64
+	sum     atomic.Int64
+}
+
+// Record adds one latency observation. Non-positive durations land in the
+// first bucket.
+func (h *Histogram) Record(d time.Duration) {
+	n := int64(d)
+	idx := 0
+	if n > 0 {
+		idx = 63 - leadingZeros64(uint64(n))
+		if idx >= histBuckets {
+			idx = histBuckets - 1
+		}
+	}
+	h.buckets[idx].Add(1)
+	h.count.Add(1)
+	h.sum.Add(n)
+}
+
+func leadingZeros64(x uint64) int {
+	n := 0
+	for x&(1<<63) == 0 {
+		if n == 64 {
+			return 64
+		}
+		n++
+		x <<= 1
+	}
+	return n
+}
+
+// Count returns the number of recorded observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Mean returns the mean latency, or 0 with no observations.
+func (h *Histogram) Mean() time.Duration {
+	c := h.count.Load()
+	if c == 0 {
+		return 0
+	}
+	return time.Duration(h.sum.Load() / int64(c))
+}
+
+// Quantile returns an upper bound for the q-quantile (0 < q <= 1) latency:
+// the top of the bucket containing it. With no observations it returns 0.
+func (h *Histogram) Quantile(q float64) time.Duration {
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := uint64(math.Ceil(q * float64(total)))
+	if target == 0 {
+		target = 1
+	}
+	var cum uint64
+	for i := 0; i < histBuckets; i++ {
+		cum += h.buckets[i].Load()
+		if cum >= target {
+			if i >= 62 {
+				return time.Duration(math.MaxInt64)
+			}
+			return time.Duration(int64(1) << (i + 1))
+		}
+	}
+	return time.Duration(math.MaxInt64)
+}
+
+// Snapshot summarizes the histogram.
+type LatencySnapshot struct {
+	Count uint64
+	Mean  time.Duration
+	P50   time.Duration
+	P95   time.Duration
+	P99   time.Duration
+}
+
+// Snapshot returns the current latency summary.
+func (h *Histogram) Snapshot() LatencySnapshot {
+	return LatencySnapshot{
+		Count: h.Count(),
+		Mean:  h.Mean(),
+		P50:   h.Quantile(0.50),
+		P95:   h.Quantile(0.95),
+		P99:   h.Quantile(0.99),
+	}
+}
+
+// Reset zeroes the histogram. Concurrent Records may be partially lost,
+// which is acceptable for windowed monitoring.
+func (h *Histogram) Reset() {
+	for i := range h.buckets {
+		h.buckets[i].Store(0)
+	}
+	h.count.Store(0)
+	h.sum.Store(0)
+}

@@ -1,0 +1,150 @@
+package metrics
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestHistogramEmpty(t *testing.T) {
+	var h Histogram
+	if h.Count() != 0 || h.Mean() != 0 || h.Quantile(0.5) != 0 {
+		t.Fatalf("empty histogram not zeroed: %+v", h.Snapshot())
+	}
+}
+
+func TestHistogramMean(t *testing.T) {
+	var h Histogram
+	h.Record(10 * time.Millisecond)
+	h.Record(30 * time.Millisecond)
+	if got := h.Mean(); got != 20*time.Millisecond {
+		t.Fatalf("mean = %v, want 20ms", got)
+	}
+	if h.Count() != 2 {
+		t.Fatalf("count = %d", h.Count())
+	}
+}
+
+func TestHistogramQuantileBounds(t *testing.T) {
+	var h Histogram
+	// 100 observations at ~1ms, 1 at ~1s.
+	for i := 0; i < 100; i++ {
+		h.Record(time.Millisecond)
+	}
+	h.Record(time.Second)
+	p50 := h.Quantile(0.50)
+	p99 := h.Quantile(0.999)
+	// Log-bucketed: the bound is within 2x of the true value.
+	if p50 < time.Millisecond || p50 > 2*time.Millisecond {
+		t.Fatalf("p50 = %v, want in [1ms, 2ms]", p50)
+	}
+	if p99 < time.Second || p99 > 2*time.Second {
+		t.Fatalf("p99.9 = %v, want in [1s, 2s]", p99)
+	}
+	if q := h.Quantile(-1); q != h.Quantile(0) {
+		t.Fatalf("negative quantile not clamped: %v", q)
+	}
+	if q := h.Quantile(2); q != h.Quantile(1) {
+		t.Fatalf("quantile > 1 not clamped: %v", q)
+	}
+}
+
+func TestHistogramNonPositiveDurations(t *testing.T) {
+	var h Histogram
+	h.Record(0)
+	h.Record(-5 * time.Millisecond)
+	if h.Count() != 2 {
+		t.Fatalf("count = %d, want 2", h.Count())
+	}
+	// Both land in the first bucket; the quantile upper bound is tiny.
+	if q := h.Quantile(1); q > 2 {
+		t.Fatalf("quantile of non-positive samples = %v", q)
+	}
+}
+
+func TestHistogramQuantileIsUpperBoundProperty(t *testing.T) {
+	f := func(raw []uint32) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		var h Histogram
+		maxD := time.Duration(0)
+		for _, v := range raw {
+			d := time.Duration(v)
+			if d > maxD {
+				maxD = d
+			}
+			h.Record(d)
+		}
+		q := h.Quantile(1)
+		// The 100th percentile upper bound must be >= the true maximum and
+		// within a factor of 2 of it (log buckets).
+		if q < maxD {
+			return false
+		}
+		if maxD > 0 && q > 2*maxD {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHistogramReset(t *testing.T) {
+	var h Histogram
+	h.Record(time.Millisecond)
+	h.Reset()
+	if h.Count() != 0 || h.Mean() != 0 {
+		t.Fatal("reset did not clear histogram")
+	}
+}
+
+func TestHistogramConcurrentRecord(t *testing.T) {
+	var h Histogram
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				h.Record(time.Microsecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if h.Count() != 8000 {
+		t.Fatalf("count = %d, want 8000", h.Count())
+	}
+}
+
+func TestHistogramHugeDuration(t *testing.T) {
+	var h Histogram
+	h.Record(time.Duration(math.MaxInt64))
+	if h.Count() != 1 {
+		t.Fatal("huge duration not recorded")
+	}
+	if h.Quantile(1) <= 0 {
+		t.Fatal("quantile of huge duration not positive")
+	}
+}
+
+func TestLatencySnapshotOrdering(t *testing.T) {
+	var h Histogram
+	for i := 1; i <= 1000; i++ {
+		h.Record(time.Duration(i) * time.Microsecond)
+	}
+	s := h.Snapshot()
+	if s.Count != 1000 {
+		t.Fatalf("count = %d", s.Count)
+	}
+	if !(s.P50 <= s.P95 && s.P95 <= s.P99) {
+		t.Fatalf("quantiles not ordered: %+v", s)
+	}
+	if s.Mean <= 0 {
+		t.Fatalf("mean = %v", s.Mean)
+	}
+}

@@ -1,0 +1,63 @@
+// Package metrics provides the runtime measurements the elastic controllers
+// consume: a tuple-throughput meter and the sampling cost profiler described
+// in the paper (a per-thread state variable snapshotted periodically to
+// estimate relative operator cost).
+package metrics
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Meter counts events (tuples arriving at sinks) and converts count deltas
+// into rates. It is safe for concurrent use; Add is a single atomic
+// increment so it can sit on the hot path.
+type Meter struct {
+	count atomic.Uint64
+
+	mu       sync.Mutex
+	lastAt   time.Time
+	lastSeen uint64
+}
+
+// NewMeter returns a meter whose rate window starts now.
+func NewMeter(now time.Time) *Meter {
+	return &Meter{lastAt: now}
+}
+
+// Add records n events.
+func (m *Meter) Add(n uint64) {
+	m.count.Add(n)
+}
+
+// Total returns the number of events recorded since construction.
+func (m *Meter) Total() uint64 {
+	return m.count.Load()
+}
+
+// Rate returns the events-per-second rate since the previous Rate call (or
+// construction) and advances the window to now. A non-positive elapsed
+// interval yields 0.
+func (m *Meter) Rate(now time.Time) float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	cur := m.count.Load()
+	elapsed := now.Sub(m.lastAt).Seconds()
+	delta := cur - m.lastSeen
+	m.lastAt = now
+	m.lastSeen = cur
+	if elapsed <= 0 {
+		return 0
+	}
+	return float64(delta) / elapsed
+}
+
+// Reset zeroes the meter and restarts the rate window at now.
+func (m *Meter) Reset(now time.Time) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.count.Store(0)
+	m.lastSeen = 0
+	m.lastAt = now
+}

@@ -1,0 +1,213 @@
+package metrics
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestMeterRate(t *testing.T) {
+	start := time.Unix(0, 0)
+	m := NewMeter(start)
+	m.Add(100)
+	rate := m.Rate(start.Add(2 * time.Second))
+	if rate != 50 {
+		t.Fatalf("rate = %v, want 50", rate)
+	}
+	// Second window: 30 more events over 1s.
+	m.Add(30)
+	rate = m.Rate(start.Add(3 * time.Second))
+	if rate != 30 {
+		t.Fatalf("second-window rate = %v, want 30", rate)
+	}
+	if m.Total() != 130 {
+		t.Fatalf("total = %d, want 130", m.Total())
+	}
+}
+
+func TestMeterZeroElapsed(t *testing.T) {
+	now := time.Unix(0, 0)
+	m := NewMeter(now)
+	m.Add(10)
+	if rate := m.Rate(now); rate != 0 {
+		t.Fatalf("rate over zero window = %v, want 0", rate)
+	}
+}
+
+func TestMeterReset(t *testing.T) {
+	start := time.Unix(0, 0)
+	m := NewMeter(start)
+	m.Add(5)
+	m.Reset(start.Add(time.Second))
+	if m.Total() != 0 {
+		t.Fatalf("total after reset = %d", m.Total())
+	}
+	m.Add(7)
+	if rate := m.Rate(start.Add(2 * time.Second)); rate != 7 {
+		t.Fatalf("rate after reset = %v, want 7", rate)
+	}
+}
+
+func TestMeterConcurrentAdd(t *testing.T) {
+	m := NewMeter(time.Now())
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				m.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if m.Total() != 8000 {
+		t.Fatalf("total = %d, want 8000", m.Total())
+	}
+}
+
+func TestThreadStateTransitions(t *testing.T) {
+	var s ThreadState
+	s.Leave()
+	if s.Current() != -1 {
+		t.Fatalf("idle state = %d, want -1", s.Current())
+	}
+	s.Enter(7)
+	if s.Current() != 7 {
+		t.Fatalf("state = %d, want 7", s.Current())
+	}
+	s.Leave()
+	if s.Current() != -1 {
+		t.Fatalf("state after leave = %d, want -1", s.Current())
+	}
+}
+
+func TestProfilerSampleCountsBusyOperators(t *testing.T) {
+	p := NewProfiler(4)
+	a := p.Register()
+	b := p.Register()
+	c := p.Register()
+
+	a.Enter(0)
+	b.Enter(0)
+	c.Enter(3)
+	p.Sample()
+	c.Leave()
+	p.Sample()
+
+	m := p.CostMetric()
+	// Operator 0 was observed on two threads in sample 1 and two threads in
+	// sample 2: the counter counts appearances, so 4 over 2 samples = 2.
+	if m[0] != 2.0 {
+		t.Fatalf("metric[0] = %v, want 2.0 (full metric %v)", m[0], m)
+	}
+	if m[3] != 0.5 {
+		t.Fatalf("metric[3] = %v, want 0.5", m[3])
+	}
+	if m[1] != 0 || m[2] != 0 {
+		t.Fatalf("idle operators have nonzero metric: %v", m)
+	}
+	if p.Samples() != 2 {
+		t.Fatalf("samples = %d, want 2", p.Samples())
+	}
+}
+
+func TestProfilerIgnoresOutOfRangeStates(t *testing.T) {
+	p := NewProfiler(2)
+	s := p.Register()
+	s.Enter(99)
+	p.Sample()
+	m := p.CostMetric()
+	if m[0] != 0 || m[1] != 0 {
+		t.Fatalf("out-of-range state counted: %v", m)
+	}
+}
+
+func TestProfilerResetCounts(t *testing.T) {
+	p := NewProfiler(1)
+	s := p.Register()
+	s.Enter(0)
+	p.Sample()
+	p.ResetCounts()
+	if m := p.CostMetric(); m[0] != 0 {
+		t.Fatalf("metric after reset = %v", m)
+	}
+	if p.Samples() != 0 {
+		t.Fatalf("samples after reset = %d", p.Samples())
+	}
+}
+
+func TestProfilerEmptyMetric(t *testing.T) {
+	p := NewProfiler(3)
+	m := p.CostMetric()
+	for i, v := range m {
+		if v != 0 {
+			t.Fatalf("metric[%d] = %v with no samples", i, v)
+		}
+	}
+}
+
+func TestProfilerBackgroundSampling(t *testing.T) {
+	p := NewProfiler(1)
+	s := p.Register()
+	s.Enter(0)
+	ctx := context.Background()
+	p.Start(ctx, time.Millisecond)
+	p.Start(ctx, time.Millisecond) // idempotent
+	deadline := time.Now().Add(2 * time.Second)
+	for p.Samples() < 3 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	p.Stop()
+	p.Stop() // idempotent
+	if p.Samples() < 3 {
+		t.Fatalf("background profiler took %d samples, want >= 3", p.Samples())
+	}
+	if m := p.CostMetric(); m[0] == 0 {
+		t.Fatal("busy operator has zero cost metric")
+	}
+}
+
+func TestProfilerStopViaContext(t *testing.T) {
+	p := NewProfiler(1)
+	ctx, cancel := context.WithCancel(context.Background())
+	p.Start(ctx, time.Millisecond)
+	cancel()
+	// Stop must still return promptly even though the goroutine exited via
+	// the context.
+	done := make(chan struct{})
+	go func() {
+		p.Stop()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("Stop did not return after context cancellation")
+	}
+}
+
+func TestProfilerRelease(t *testing.T) {
+	p := NewProfiler(2)
+	a := p.Register()
+	b := p.Register()
+	if p.RegisteredThreads() != 2 {
+		t.Fatalf("registered = %d", p.RegisteredThreads())
+	}
+	p.Release(a)
+	if p.RegisteredThreads() != 1 {
+		t.Fatalf("registered after release = %d", p.RegisteredThreads())
+	}
+	// Releasing twice (or an unknown state) is harmless.
+	p.Release(a)
+	if p.RegisteredThreads() != 1 {
+		t.Fatal("double release corrupted the registry")
+	}
+	// The remaining state still samples.
+	b.Enter(1)
+	p.Sample()
+	if m := p.CostMetric(); m[1] != 1 {
+		t.Fatalf("metric = %v", m)
+	}
+}

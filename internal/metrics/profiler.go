@@ -1,0 +1,185 @@
+package metrics
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// idleOperator is the state value meaning "not executing any operator".
+const idleOperator = -1
+
+// ThreadState is the per-thread state variable the profiler samples. Worker
+// threads set it to the index of the operator they are about to execute and
+// clear it when they finish, exactly as the paper describes ("a runtime
+// level per-thread state variable for each thread in the system, which is
+// set to the corresponding operator index when threads enter the processing
+// logic of that operator").
+type ThreadState struct {
+	cur atomic.Int64
+}
+
+// Enter records that the thread is executing operator op.
+func (s *ThreadState) Enter(op int) {
+	s.cur.Store(int64(op))
+}
+
+// Leave records that the thread is idle.
+func (s *ThreadState) Leave() {
+	s.cur.Store(idleOperator)
+}
+
+// Current returns the operator index the thread is executing, or -1.
+func (s *ThreadState) Current() int {
+	return int(s.cur.Load())
+}
+
+// Profiler estimates relative operator cost by periodically snapshotting
+// every registered thread's state variable and counting how often each
+// operator appears. The counter correlates with operator cost × rate and is
+// reported as the operator cost metric.
+type Profiler struct {
+	numOps int
+
+	mu      sync.Mutex
+	threads []*ThreadState
+	counts  []uint64
+	samples uint64
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+// NewProfiler returns a profiler for a graph of numOps operators.
+func NewProfiler(numOps int) *Profiler {
+	return &Profiler{
+		numOps: numOps,
+		counts: make([]uint64, numOps),
+	}
+}
+
+// Register adds a new thread state variable to the sample set and returns
+// it. Threads register once at startup and Release their state when they
+// exit, so long-lived engines with thread churn do not accumulate stale
+// entries.
+func (p *Profiler) Register() *ThreadState {
+	s := &ThreadState{}
+	s.Leave()
+	p.mu.Lock()
+	p.threads = append(p.threads, s)
+	p.mu.Unlock()
+	return s
+}
+
+// Release removes a thread state from the sample set.
+func (p *Profiler) Release(s *ThreadState) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for i, cur := range p.threads {
+		if cur == s {
+			last := len(p.threads) - 1
+			p.threads[i] = p.threads[last]
+			p.threads[last] = nil
+			p.threads = p.threads[:last]
+			return
+		}
+	}
+}
+
+// RegisteredThreads returns the number of live thread states.
+func (p *Profiler) RegisteredThreads() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.threads)
+}
+
+// Sample takes one snapshot of all registered threads, incrementing the
+// counter of every operator observed running.
+func (p *Profiler) Sample() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, s := range p.threads {
+		if op := s.Current(); op >= 0 && op < p.numOps {
+			p.counts[op]++
+		}
+	}
+	p.samples++
+}
+
+// Start launches the background sampling goroutine with the given period.
+// Stop must be called to shut it down. Starting an already-started profiler
+// is a no-op.
+func (p *Profiler) Start(ctx context.Context, period time.Duration) {
+	p.mu.Lock()
+	if p.stop != nil {
+		p.mu.Unlock()
+		return
+	}
+	p.stop = make(chan struct{})
+	p.done = make(chan struct{})
+	stop, done := p.stop, p.done
+	p.mu.Unlock()
+
+	go func() {
+		defer close(done)
+		ticker := time.NewTicker(period)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-ticker.C:
+				p.Sample()
+			case <-stop:
+				return
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+}
+
+// Stop terminates the sampling goroutine and waits for it to exit.
+func (p *Profiler) Stop() {
+	p.mu.Lock()
+	stop, done := p.stop, p.done
+	p.stop, p.done = nil, nil
+	p.mu.Unlock()
+	if stop == nil {
+		return
+	}
+	close(stop)
+	<-done
+}
+
+// CostMetric returns a copy of the per-operator sample counters normalized
+// to per-sample frequencies. With no samples it returns all zeros.
+func (p *Profiler) CostMetric() []float64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]float64, p.numOps)
+	if p.samples == 0 {
+		return out
+	}
+	for i, c := range p.counts {
+		out[i] = float64(c) / float64(p.samples)
+	}
+	return out
+}
+
+// ResetCounts zeroes the per-operator counters so the next window starts
+// fresh.
+func (p *Profiler) ResetCounts() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for i := range p.counts {
+		p.counts[i] = 0
+	}
+	p.samples = 0
+}
+
+// Samples returns the number of snapshots taken since the last reset.
+func (p *Profiler) Samples() uint64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.samples
+}

@@ -1,0 +1,145 @@
+// Package monitor exposes runtime state over HTTP for operations
+// dashboards: current elastic configuration, throughput counters, latency
+// percentiles and the adaptation trace, as JSON.
+package monitor
+
+import (
+	"encoding/json"
+	"net/http"
+	"time"
+
+	"streamelastic/internal/core"
+	"streamelastic/internal/metrics"
+)
+
+// Status is one engine's externally visible state.
+type Status struct {
+	Name       string    `json:"name"`
+	Operators  int       `json:"operators"`
+	Threads    int       `json:"threads"`
+	Queues     int       `json:"queues"`
+	Settled    bool      `json:"settled"`
+	SinkTuples uint64    `json:"sinkTuples"`
+	UptimeSecs float64   `json:"uptimeSecs"`
+	Latency    LatencyMS `json:"latencyMs"`
+}
+
+// LatencyMS renders a latency snapshot in milliseconds for JSON consumers.
+type LatencyMS struct {
+	Count uint64  `json:"count"`
+	Mean  float64 `json:"mean"`
+	P50   float64 `json:"p50"`
+	P95   float64 `json:"p95"`
+	P99   float64 `json:"p99"`
+}
+
+// FromSnapshot converts a latency snapshot to milliseconds.
+func FromSnapshot(s metrics.LatencySnapshot) LatencyMS {
+	ms := func(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+	return LatencyMS{Count: s.Count, Mean: ms(s.Mean), P50: ms(s.P50), P95: ms(s.P95), P99: ms(s.P99)}
+}
+
+// Provider supplies the state the handler serves. Implementations must be
+// safe for concurrent use.
+type Provider interface {
+	// Statuses returns one Status per engine (a single-PE runtime returns
+	// one; a job returns one per PE).
+	Statuses() []Status
+	// AdaptationTrace returns the trace of the indexed engine, or nil.
+	AdaptationTrace(index int) []core.TraceEvent
+}
+
+// Handler serves the monitoring API:
+//
+//	GET /statusz          -> []Status
+//	GET /tracez?pe=N      -> the adaptation trace of engine N (default 0)
+//	GET /sasoz?pe=N       -> SASO analysis of engine N's trace
+func Handler(p Provider) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/statusz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, p.Statuses())
+	})
+	mux.HandleFunc("/tracez", func(w http.ResponseWriter, r *http.Request) {
+		idx, ok := peIndex(w, r)
+		if !ok {
+			return
+		}
+		tr := p.AdaptationTrace(idx)
+		if tr == nil {
+			http.Error(w, "no trace for that engine", http.StatusNotFound)
+			return
+		}
+		type event struct {
+			TimeSecs   float64 `json:"timeSecs"`
+			Throughput float64 `json:"throughput"`
+			Threads    int     `json:"threads"`
+			Queues     int     `json:"queues"`
+			Phase      string  `json:"phase"`
+			Note       string  `json:"note"`
+		}
+		out := make([]event, 0, len(tr))
+		for _, e := range tr {
+			out = append(out, event{
+				TimeSecs:   e.Time.Seconds(),
+				Throughput: e.Throughput,
+				Threads:    e.Threads,
+				Queues:     e.Queues,
+				Phase:      string(e.Phase),
+				Note:       e.Note,
+			})
+		}
+		writeJSON(w, out)
+	})
+	mux.HandleFunc("/sasoz", func(w http.ResponseWriter, r *http.Request) {
+		idx, ok := peIndex(w, r)
+		if !ok {
+			return
+		}
+		tr := p.AdaptationTrace(idx)
+		if tr == nil {
+			http.Error(w, "no trace for that engine", http.StatusNotFound)
+			return
+		}
+		a := core.AnalyzeTrace(tr)
+		writeJSON(w, map[string]any{
+			"observations":      a.Observations,
+			"settleTimeSecs":    a.SettleTime.Seconds(),
+			"configChanges":     a.ConfigChanges,
+			"oscillations":      a.Oscillations,
+			"postSettleChanges": a.PostSettleChanges,
+			"accuracy":          a.Accuracy(),
+			"overshootThreads":  a.Overshoot(),
+			"finalThroughput":   a.FinalThroughput,
+			"peakThroughput":    a.PeakThroughput,
+		})
+	})
+	return mux
+}
+
+// peIndex parses the pe query parameter, writing an error response on
+// failure.
+func peIndex(w http.ResponseWriter, r *http.Request) (int, bool) {
+	v := r.URL.Query().Get("pe")
+	if v == "" {
+		return 0, true
+	}
+	n := 0
+	for _, c := range v {
+		if c < '0' || c > '9' {
+			http.Error(w, "invalid pe index", http.StatusBadRequest)
+			return 0, false
+		}
+		n = n*10 + int(c-'0')
+	}
+	return n, true
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		// Headers are already written; nothing more to do.
+		_ = err
+	}
+}

@@ -1,0 +1,128 @@
+// Package pe implements the multi-host layer of the runtime: a job's
+// operator graph is partitioned into processing elements (PEs), connected
+// operators in different PEs communicate over TCP, and — exactly as the
+// paper describes (§2) — every PE independently runs the multi-level
+// elasticity scheme on its own slice of the graph.
+package pe
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"streamelastic/internal/spl"
+)
+
+// maxFrameBytes bounds a single encoded tuple, protecting readers from
+// corrupt or hostile length prefixes.
+const maxFrameBytes = 16 << 20
+
+// frame layout (little endian):
+//
+//	u32 frameLen (bytes after this field)
+//	u64 seq, u64 key, i64 time
+//	f64 num1, f64 num2
+//	u32 textLen, text bytes
+//	u32 payloadLen, payload bytes
+const fixedHeaderBytes = 8 + 8 + 8 + 8 + 8 + 4 + 4
+
+// encoder writes tuples to a stream in frame format.
+type encoder struct {
+	w   *bufio.Writer
+	buf []byte
+}
+
+func newEncoder(w io.Writer) *encoder {
+	return &encoder{w: bufio.NewWriterSize(w, 64<<10)}
+}
+
+// encode appends one tuple frame and flushes, keeping per-tuple latency
+// bounded at the cost of small writes; TCP buffering amortizes the rest.
+func (e *encoder) encode(t *spl.Tuple) error {
+	frameLen := fixedHeaderBytes + len(t.Text) + len(t.Payload)
+	if frameLen > maxFrameBytes {
+		return fmt.Errorf("pe: tuple frame %d bytes exceeds limit %d", frameLen, maxFrameBytes)
+	}
+	need := 4 + frameLen
+	if cap(e.buf) < need {
+		e.buf = make([]byte, 0, need)
+	}
+	b := e.buf[:0]
+	b = binary.LittleEndian.AppendUint32(b, uint32(frameLen))
+	b = binary.LittleEndian.AppendUint64(b, t.Seq)
+	b = binary.LittleEndian.AppendUint64(b, t.Key)
+	b = binary.LittleEndian.AppendUint64(b, uint64(t.Time))
+	b = binary.LittleEndian.AppendUint64(b, math.Float64bits(t.Num1))
+	b = binary.LittleEndian.AppendUint64(b, math.Float64bits(t.Num2))
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(t.Text)))
+	b = append(b, t.Text...)
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(t.Payload)))
+	b = append(b, t.Payload...)
+	e.buf = b
+	if _, err := e.w.Write(b); err != nil {
+		return err
+	}
+	return e.w.Flush()
+}
+
+// decoder reads tuple frames from a stream.
+type decoder struct {
+	r   *bufio.Reader
+	buf []byte
+}
+
+func newDecoder(r io.Reader) *decoder {
+	return &decoder{r: bufio.NewReaderSize(r, 64<<10)}
+}
+
+// decode reads one tuple, returning io.EOF (possibly wrapped) when the
+// stream ends cleanly.
+func (d *decoder) decode() (*spl.Tuple, error) {
+	var lenBuf [4]byte
+	if _, err := io.ReadFull(d.r, lenBuf[:]); err != nil {
+		return nil, err
+	}
+	frameLen := binary.LittleEndian.Uint32(lenBuf[:])
+	if frameLen < fixedHeaderBytes || frameLen > maxFrameBytes {
+		return nil, fmt.Errorf("pe: invalid frame length %d", frameLen)
+	}
+	if cap(d.buf) < int(frameLen) {
+		d.buf = make([]byte, frameLen)
+	}
+	b := d.buf[:frameLen]
+	if _, err := io.ReadFull(d.r, b); err != nil {
+		return nil, fmt.Errorf("pe: truncated frame: %w", err)
+	}
+	t := &spl.Tuple{
+		Seq:  binary.LittleEndian.Uint64(b[0:]),
+		Key:  binary.LittleEndian.Uint64(b[8:]),
+		Time: int64(binary.LittleEndian.Uint64(b[16:])),
+		Num1: math.Float64frombits(binary.LittleEndian.Uint64(b[24:])),
+		Num2: math.Float64frombits(binary.LittleEndian.Uint64(b[32:])),
+	}
+	off := 40
+	textLen := int(binary.LittleEndian.Uint32(b[off:]))
+	off += 4
+	if off+textLen > len(b) {
+		return nil, fmt.Errorf("pe: text length %d overruns frame", textLen)
+	}
+	if textLen > 0 {
+		t.Text = string(b[off : off+textLen])
+	}
+	off += textLen
+	if off+4 > len(b) {
+		return nil, fmt.Errorf("pe: frame too short for payload length")
+	}
+	payloadLen := int(binary.LittleEndian.Uint32(b[off:]))
+	off += 4
+	if off+payloadLen != len(b) {
+		return nil, fmt.Errorf("pe: payload length %d inconsistent with frame", payloadLen)
+	}
+	if payloadLen > 0 {
+		t.Payload = make([]byte, payloadLen)
+		copy(t.Payload, b[off:])
+	}
+	return t, nil
+}

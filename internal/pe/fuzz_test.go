@@ -1,0 +1,77 @@
+package pe
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+)
+
+// FuzzDecode hardens the wire decoder against arbitrary byte streams: it
+// must either return an error or a well-formed tuple, and never panic or
+// over-allocate. Run with `go test -fuzz=FuzzDecode ./internal/pe` for a
+// full campaign; the seed corpus runs on every ordinary `go test`.
+func FuzzDecode(f *testing.F) {
+	// Seeds: a valid frame, truncations, hostile lengths.
+	var valid bytes.Buffer
+	enc := newEncoder(&valid)
+	_ = enc.encode(&tupleFixture)
+	f.Add(valid.Bytes())
+	f.Add(valid.Bytes()[:len(valid.Bytes())/2])
+	f.Add([]byte{})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff})
+	huge := make([]byte, 8)
+	binary.LittleEndian.PutUint32(huge, maxFrameBytes)
+	f.Add(huge)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		dec := newDecoder(bytes.NewReader(data))
+		for i := 0; i < 4; i++ {
+			tp, err := dec.decode()
+			if err != nil {
+				return
+			}
+			if tp == nil {
+				t.Fatal("nil tuple without error")
+			}
+			// Decoded strings/payloads must be bounded by the input size.
+			if len(tp.Text)+len(tp.Payload) > len(data) {
+				t.Fatalf("decoded %d bytes of content from %d input bytes",
+					len(tp.Text)+len(tp.Payload), len(data))
+			}
+		}
+	})
+}
+
+// FuzzRoundTrip checks encode/decode inversion on fuzzer-chosen attribute
+// values.
+func FuzzRoundTrip(f *testing.F) {
+	f.Add(uint64(1), uint64(2), int64(3), 4.5, 6.7, "text", []byte{1, 2})
+	f.Add(uint64(0), uint64(0), int64(-1), -0.0, 1e308, "", []byte{})
+	f.Fuzz(func(t *testing.T, seq, key uint64, ts int64, n1, n2 float64, text string, payload []byte) {
+		in := tupleFixture
+		in.Seq, in.Key, in.Time, in.Num1, in.Num2, in.Text, in.Payload =
+			seq, key, ts, n1, n2, text, payload
+		var buf bytes.Buffer
+		if err := newEncoder(&buf).encode(&in); err != nil {
+			if len(text)+len(payload) > maxFrameBytes-fixedHeaderBytes {
+				return // oversized tuples are rejected by contract
+			}
+			t.Fatalf("encode: %v", err)
+		}
+		out, err := newDecoder(&buf).decode()
+		if err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		if out.Seq != seq || out.Key != key || out.Time != ts ||
+			out.Text != text || !bytes.Equal(out.Payload, normalizeEmpty(payload)) {
+			t.Fatalf("round trip mismatch: %+v vs %+v", in, out)
+		}
+	})
+}
+
+func normalizeEmpty(b []byte) []byte {
+	if len(b) == 0 {
+		return nil
+	}
+	return b
+}

@@ -1,0 +1,243 @@
+package pe
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"streamelastic/internal/core"
+	"streamelastic/internal/exec"
+	"streamelastic/internal/graph"
+)
+
+// Options configure a job launch.
+type Options struct {
+	// Exec configures every PE's live engine.
+	Exec exec.Options
+	// Elastic configures every PE's coordinator; the zero value means
+	// core.DefaultConfig. Each PE adapts independently, as in the paper.
+	Elastic core.Config
+	// DisableElasticity runs the PEs without adaptation.
+	DisableElasticity bool
+	// DialTimeout bounds stream wiring at launch (default 5s).
+	DialTimeout time.Duration
+}
+
+// PERuntime is one launched processing element.
+type PERuntime struct {
+	// Plan is the PE's slice of the job graph.
+	Plan *Plan
+	// Eng is the PE's live engine.
+	Eng *exec.Engine
+	// Coord is the PE's elastic coordinator (nil when disabled).
+	Coord *core.Coordinator
+
+	cancel context.CancelFunc
+	done   chan struct{}
+}
+
+// Job is a launched multi-PE deployment: each PE runs its own engine and
+// adapts independently; cross-PE streams run over TCP.
+type Job struct {
+	PEs []*PERuntime
+
+	crosses []CrossEdge
+	conns   []net.Conn // both ends per stream, for shutdown
+
+	mu      sync.Mutex
+	started bool
+	stopped bool
+}
+
+// Launch partitions the job graph per assign, wires every cross-PE stream
+// over loopback TCP, and constructs one engine (plus coordinator) per PE.
+// Call Start to begin execution and Stop to shut down.
+func Launch(g *graph.Graph, assign Assignment, opts Options) (*Job, error) {
+	if opts.DialTimeout == 0 {
+		opts.DialTimeout = 5 * time.Second
+	}
+	plans, crosses, err := Partition(g, assign)
+	if err != nil {
+		return nil, err
+	}
+	job := &Job{crosses: crosses}
+
+	// Wire streams: one listener per cross edge on the receiving side;
+	// the sending side dials.
+	listeners := make([]net.Listener, len(crosses))
+	defer func() {
+		for _, l := range listeners {
+			if l != nil {
+				_ = l.Close()
+			}
+		}
+	}()
+	for i := range crosses {
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			job.closeConns()
+			return nil, fmt.Errorf("pe: listen stream %d: %w", i, err)
+		}
+		listeners[i] = l
+	}
+	for i, ce := range crosses {
+		acceptCh := acceptOne(listeners[i])
+		sendConn, err := dialStream(listeners[i].Addr().String(), opts.DialTimeout)
+		if err != nil {
+			job.closeConns()
+			return nil, fmt.Errorf("pe: dial stream %d: %w", i, err)
+		}
+		acc := <-acceptCh
+		if acc.err != nil {
+			_ = sendConn.Close()
+			job.closeConns()
+			return nil, fmt.Errorf("pe: accept stream %d: %w", i, acc.err)
+		}
+		job.conns = append(job.conns, sendConn, acc.conn)
+
+		// Attach the endpoints to the matching stubs.
+		sender := plans[ce.FromPE]
+		for j, end := range sender.Exports {
+			if end.Stream == ce.Stream {
+				sender.exports[j].connect(sendConn)
+			}
+		}
+		receiver := plans[ce.ToPE]
+		for j, end := range receiver.Imports {
+			if end.Stream == ce.Stream {
+				receiver.imports[j].connect(acc.conn)
+			}
+		}
+	}
+
+	for _, plan := range plans {
+		eng, err := exec.New(plan.Graph, opts.Exec)
+		if err != nil {
+			job.closeConns()
+			return nil, fmt.Errorf("pe %d: %w", plan.PE, err)
+		}
+		rt := &PERuntime{Plan: plan, Eng: eng}
+		if !opts.DisableElasticity {
+			cfg := opts.Elastic
+			if cfg == (core.Config{}) {
+				cfg = core.DefaultConfig()
+			}
+			coord, err := core.NewCoordinator(eng, cfg)
+			if err != nil {
+				job.closeConns()
+				return nil, fmt.Errorf("pe %d coordinator: %w", plan.PE, err)
+			}
+			rt.Coord = coord
+		}
+		job.PEs = append(job.PEs, rt)
+	}
+	return job, nil
+}
+
+// Start launches every PE's engine and adaptation loop.
+func (j *Job) Start(ctx context.Context) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.started {
+		return fmt.Errorf("pe: job already started")
+	}
+	j.started = true
+	for _, rt := range j.PEs {
+		if err := rt.Eng.Start(ctx); err != nil {
+			return fmt.Errorf("pe %d start: %w", rt.Plan.PE, err)
+		}
+		if rt.Coord != nil {
+			actx, cancel := context.WithCancel(ctx)
+			done := make(chan struct{})
+			rt.cancel = cancel
+			rt.done = done
+			coord := rt.Coord
+			go func() {
+				defer close(done)
+				_ = coord.Run(actx)
+			}()
+		}
+	}
+	return nil
+}
+
+// Stop shuts the job down: adaptation loops first, then the streams (which
+// unblocks import readers), then the engines. Safe to call more than once.
+func (j *Job) Stop() {
+	j.mu.Lock()
+	if j.stopped {
+		j.mu.Unlock()
+		return
+	}
+	j.stopped = true
+	j.mu.Unlock()
+
+	for _, rt := range j.PEs {
+		if rt.cancel != nil {
+			rt.cancel()
+			<-rt.done
+		}
+	}
+	for _, rt := range j.PEs {
+		for _, exp := range rt.Plan.exports {
+			exp.close()
+		}
+		for _, imp := range rt.Plan.imports {
+			imp.close()
+		}
+	}
+	j.closeConns()
+	for _, rt := range j.PEs {
+		rt.Eng.Stop()
+	}
+}
+
+func (j *Job) closeConns() {
+	for _, c := range j.conns {
+		_ = c.Close()
+	}
+}
+
+// Streams returns the job's cross-PE edges.
+func (j *Job) Streams() []CrossEdge { return j.crosses }
+
+// DrainAndStop gracefully shuts the job down: real sources stop emitting,
+// in-flight tuples flow through every PE and stream to completion (bounded
+// by timeout), then everything stops. It reports whether all PEs fully
+// drained.
+func (j *Job) DrainAndStop(timeout time.Duration) bool {
+	for _, rt := range j.PEs {
+		rt.Eng.Drain()
+	}
+	deadline := time.Now().Add(timeout)
+	drained := false
+	for time.Now().Before(deadline) {
+		all := true
+		for _, rt := range j.PEs {
+			if !rt.Eng.WaitIdle(10 * time.Millisecond) {
+				all = false
+				break
+			}
+		}
+		if all {
+			// Idle twice in a row with a settle gap: tuples may still be
+			// in flight on a TCP stream between PEs.
+			time.Sleep(20 * time.Millisecond)
+			again := true
+			for _, rt := range j.PEs {
+				if !rt.Eng.WaitIdle(10 * time.Millisecond) {
+					again = false
+					break
+				}
+			}
+			if again {
+				drained = true
+				break
+			}
+		}
+	}
+	j.Stop()
+	return drained
+}

@@ -1,0 +1,231 @@
+package pe
+
+import (
+	"errors"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"streamelastic/internal/spl"
+)
+
+// importPollInterval bounds how long an idle import source blocks before
+// yielding back to its operator thread, so engine reconfiguration (which
+// waits for all loops to park) is never stalled by a quiet stream.
+const importPollInterval = 20 * time.Millisecond
+
+// importChanCapacity is the transport-side buffer between the stream
+// reader goroutine and the import source. It is a deliberate network
+// receive buffer, decoupling TCP reads from operator execution.
+const importChanCapacity = 256
+
+// exportOp is the terminal operator standing in for a cross-PE stream's
+// sending side: it encodes each tuple onto the stream connection. It is a
+// sink in its PE's graph, so the PE's throughput meter counts exported
+// tuples.
+type exportOp struct {
+	name string
+
+	mu      sync.Mutex
+	enc     *encoder
+	conn    net.Conn
+	errored atomic.Bool
+	dropped atomic.Uint64
+	sent    atomic.Uint64
+}
+
+var (
+	_ spl.Operator = (*exportOp)(nil)
+	_ spl.Stateful = (*exportOp)(nil)
+)
+
+func newExportOp(name string) *exportOp {
+	return &exportOp{name: name}
+}
+
+// Name returns the operator name.
+func (x *exportOp) Name() string { return x.name }
+
+// Stateful marks the encoder as serialized.
+func (x *exportOp) Stateful() {}
+
+// connect attaches the stream connection; must happen before the engine
+// starts.
+func (x *exportOp) connect(conn net.Conn) {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	x.conn = conn
+	x.enc = newEncoder(conn)
+}
+
+// Process encodes the tuple onto the stream. Tuples arriving before the
+// stream is wired or after it errored are counted as dropped rather than
+// blocking the pipeline.
+func (x *exportOp) Process(_ int, t *spl.Tuple, _ spl.Emitter) {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	if x.enc == nil || x.errored.Load() {
+		x.dropped.Add(1)
+		return
+	}
+	if err := x.enc.encode(t); err != nil {
+		x.errored.Store(true)
+		x.dropped.Add(1)
+		return
+	}
+	x.sent.Add(1)
+}
+
+// Sent returns the number of tuples written to the stream.
+func (x *exportOp) Sent() uint64 { return x.sent.Load() }
+
+// Dropped returns the number of tuples that could not be written.
+func (x *exportOp) Dropped() uint64 { return x.dropped.Load() }
+
+func (x *exportOp) close() {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	if x.conn != nil {
+		_ = x.conn.Close()
+	}
+}
+
+// importSource is the source standing in for a cross-PE stream's receiving
+// side. A dedicated reader goroutine decodes frames from the connection
+// into a buffered channel; the operator thread drains the channel, so a
+// blocked TCP read can never stall the engine's pause barrier.
+type importSource struct {
+	name string
+
+	mu     sync.Mutex
+	conn   net.Conn
+	ch     chan *spl.Tuple
+	done   chan struct{}
+	closed atomic.Bool
+
+	received atomic.Uint64
+}
+
+var (
+	_ spl.Source      = (*importSource)(nil)
+	_ spl.DrainExempt = (*importSource)(nil)
+)
+
+func newImportSource(name string) *importSource {
+	return &importSource{name: name}
+}
+
+// Name returns the operator name.
+func (s *importSource) Name() string { return s.name }
+
+// DrainExempt keeps the import running during a drain: it carries the
+// in-flight tuples the drain is waiting for.
+func (s *importSource) DrainExempt() {}
+
+// Process is a no-op: sources have no input ports.
+func (s *importSource) Process(int, *spl.Tuple, spl.Emitter) {}
+
+// connect attaches the stream connection and starts the reader goroutine;
+// must happen before the engine starts.
+func (s *importSource) connect(conn net.Conn) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.conn = conn
+	s.ch = make(chan *spl.Tuple, importChanCapacity)
+	s.done = make(chan struct{})
+	go s.readLoop(conn, s.ch, s.done)
+}
+
+func (s *importSource) readLoop(conn net.Conn, ch chan *spl.Tuple, done chan struct{}) {
+	defer close(done)
+	defer close(ch)
+	dec := newDecoder(conn)
+	for {
+		t, err := dec.decode()
+		if err != nil {
+			// EOF and closed-connection errors end the stream; anything
+			// else is a framing error, which also ends it (the stream has
+			// no recovery protocol).
+			_ = err
+			return
+		}
+		ch <- t
+	}
+}
+
+// Next emits the next received tuple. It yields with true (and no
+// emission) when the stream is idle for a poll interval, and returns false
+// only once the stream has ended and drained.
+func (s *importSource) Next(out spl.Emitter) bool {
+	s.mu.Lock()
+	ch := s.ch
+	s.mu.Unlock()
+	if ch == nil {
+		// Not wired yet; yield.
+		time.Sleep(importPollInterval)
+		return !s.closed.Load()
+	}
+	select {
+	case t, ok := <-ch:
+		if !ok {
+			return false
+		}
+		s.received.Add(1)
+		out.Emit(0, t)
+		return true
+	case <-time.After(importPollInterval):
+		return true
+	}
+}
+
+// Received returns the number of tuples read from the stream.
+func (s *importSource) Received() uint64 { return s.received.Load() }
+
+func (s *importSource) close() {
+	s.closed.Store(true)
+	s.mu.Lock()
+	conn, done := s.conn, s.done
+	s.mu.Unlock()
+	if conn != nil {
+		_ = conn.Close()
+	}
+	if done != nil {
+		<-done
+	}
+}
+
+// dialStream connects a sender to a receiver's listener with retries, since
+// PE launch order is arbitrary.
+func dialStream(addr string, timeout time.Duration) (net.Conn, error) {
+	deadline := time.Now().Add(timeout)
+	var lastErr error
+	for time.Now().Before(deadline) {
+		conn, err := net.DialTimeout("tcp", addr, timeout)
+		if err == nil {
+			return conn, nil
+		}
+		lastErr = err
+		time.Sleep(10 * time.Millisecond)
+	}
+	if lastErr == nil {
+		lastErr = errors.New("dial timeout")
+	}
+	return nil, lastErr
+}
+
+// accepted wraps an accept result.
+type accepted struct {
+	conn net.Conn
+	err  error
+}
+
+// acceptOne accepts a single connection asynchronously.
+func acceptOne(l net.Listener) <-chan accepted {
+	ch := make(chan accepted, 1)
+	go func() {
+		conn, err := l.Accept()
+		ch <- accepted{conn: conn, err: err}
+	}()
+	return ch
+}

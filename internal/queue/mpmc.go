@@ -1,0 +1,128 @@
+// Package queue provides the bounded queues the runtime places in front of
+// operators under the dynamic threading model. The MPMC ring follows the
+// low-synchronization design direction of the Streams scheduler (Schneider &
+// Wu, PLDI '17): producers and consumers coordinate through per-cell
+// sequence numbers and CAS on the head/tail cursors, never through a lock.
+package queue
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// MPMC is a bounded multi-producer multi-consumer FIFO queue. The zero
+// value is not usable; construct with NewMPMC.
+//
+// The implementation is the classic Vyukov bounded queue: each cell carries
+// a sequence number that encodes whether it is ready for a producer or a
+// consumer, so both sides only contend on their own cursor.
+type MPMC[T any] struct {
+	mask  uint64
+	cells []cell[T]
+	_     [64]byte // keep enqueue and dequeue cursors on separate cache lines
+	enq   atomic.Uint64
+	_     [64]byte
+	deq   atomic.Uint64
+}
+
+type cell[T any] struct {
+	seq atomic.Uint64
+	val T
+}
+
+// NewMPMC returns a queue with the given capacity, which must be a power of
+// two and at least 2.
+func NewMPMC[T any](capacity int) (*MPMC[T], error) {
+	if capacity < 2 || capacity&(capacity-1) != 0 {
+		return nil, fmt.Errorf("mpmc capacity %d is not a power of two >= 2", capacity)
+	}
+	q := &MPMC[T]{
+		mask:  uint64(capacity - 1),
+		cells: make([]cell[T], capacity),
+	}
+	for i := range q.cells {
+		q.cells[i].seq.Store(uint64(i))
+	}
+	return q, nil
+}
+
+// TryPush attempts to enqueue v, reporting false when the queue is full.
+func (q *MPMC[T]) TryPush(v T) bool {
+	pos := q.enq.Load()
+	for {
+		c := &q.cells[pos&q.mask]
+		seq := c.seq.Load()
+		switch {
+		case seq == pos:
+			if q.enq.CompareAndSwap(pos, pos+1) {
+				c.val = v
+				c.seq.Store(pos + 1)
+				return true
+			}
+			pos = q.enq.Load()
+		case seq < pos:
+			// The cell still holds an unconsumed value: queue full.
+			return false
+		default:
+			pos = q.enq.Load()
+		}
+	}
+}
+
+// TryPop attempts to dequeue a value, reporting false when the queue is
+// empty.
+func (q *MPMC[T]) TryPop() (T, bool) {
+	var zero T
+	pos := q.deq.Load()
+	for {
+		c := &q.cells[pos&q.mask]
+		seq := c.seq.Load()
+		switch {
+		case seq == pos+1:
+			if q.deq.CompareAndSwap(pos, pos+1) {
+				v := c.val
+				c.val = zero
+				c.seq.Store(pos + q.mask + 1)
+				return v, true
+			}
+			pos = q.deq.Load()
+		case seq <= pos:
+			// The cell has not been produced yet: queue empty.
+			return zero, false
+		default:
+			pos = q.deq.Load()
+		}
+	}
+}
+
+// Len returns an instantaneous estimate of the number of queued values.
+func (q *MPMC[T]) Len() int {
+	d := q.deq.Load()
+	e := q.enq.Load()
+	if e < d {
+		return 0
+	}
+	n := int(e - d)
+	if n > len(q.cells) {
+		return len(q.cells)
+	}
+	return n
+}
+
+// Cap returns the queue capacity.
+func (q *MPMC[T]) Cap() int { return len(q.cells) }
+
+// Drain pops all currently queued values and passes them to fn. It returns
+// the number drained. Concurrent pushes may leave values behind; callers
+// that need a complete drain must first stop all producers.
+func (q *MPMC[T]) Drain(fn func(T)) int {
+	n := 0
+	for {
+		v, ok := q.TryPop()
+		if !ok {
+			return n
+		}
+		fn(v)
+		n++
+	}
+}

@@ -1,0 +1,245 @@
+package queue
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewMPMCRejectsBadCapacity(t *testing.T) {
+	for _, c := range []int{-1, 0, 1, 3, 100} {
+		if _, err := NewMPMC[int](c); err == nil {
+			t.Errorf("capacity %d accepted", c)
+		}
+	}
+	if _, err := NewMPMC[int](8); err != nil {
+		t.Fatalf("capacity 8 rejected: %v", err)
+	}
+}
+
+func TestMPMCFIFOSingleThreaded(t *testing.T) {
+	q, err := NewMPMC[int](8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		if !q.TryPush(i) {
+			t.Fatalf("push %d failed on non-full queue", i)
+		}
+	}
+	if q.TryPush(99) {
+		t.Fatal("push succeeded on full queue")
+	}
+	if got := q.Len(); got != 8 {
+		t.Fatalf("Len = %d, want 8", got)
+	}
+	for i := 0; i < 8; i++ {
+		v, ok := q.TryPop()
+		if !ok || v != i {
+			t.Fatalf("pop %d = (%d,%v)", i, v, ok)
+		}
+	}
+	if _, ok := q.TryPop(); ok {
+		t.Fatal("pop succeeded on empty queue")
+	}
+	if got := q.Len(); got != 0 {
+		t.Fatalf("Len = %d, want 0", got)
+	}
+}
+
+func TestMPMCWrapAround(t *testing.T) {
+	q, _ := NewMPMC[int](4)
+	for round := 0; round < 100; round++ {
+		for i := 0; i < 3; i++ {
+			if !q.TryPush(round*10 + i) {
+				t.Fatalf("round %d push %d failed", round, i)
+			}
+		}
+		for i := 0; i < 3; i++ {
+			v, ok := q.TryPop()
+			if !ok || v != round*10+i {
+				t.Fatalf("round %d pop = (%d,%v), want %d", round, v, ok, round*10+i)
+			}
+		}
+	}
+}
+
+// TestMPMCNoLossNoDuplication pushes a known set of values from several
+// producers while several consumers drain; every value must come out exactly
+// once.
+func TestMPMCNoLossNoDuplication(t *testing.T) {
+	const (
+		producers = 4
+		consumers = 4
+		perProd   = 500
+	)
+	q, _ := NewMPMC[int](64)
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < perProd; i++ {
+				v := p*perProd + i
+				for !q.TryPush(v) {
+					runtime.Gosched()
+				}
+			}
+		}(p)
+	}
+	var mu sync.Mutex
+	got := make([]int, 0, producers*perProd)
+	done := make(chan struct{})
+	var cwg sync.WaitGroup
+	for c := 0; c < consumers; c++ {
+		cwg.Add(1)
+		go func() {
+			defer cwg.Done()
+			local := make([]int, 0, perProd)
+			for {
+				v, ok := q.TryPop()
+				if ok {
+					local = append(local, v)
+					continue
+				}
+				runtime.Gosched()
+				select {
+				case <-done:
+					// Producers finished; drain whatever remains.
+					for {
+						v, ok := q.TryPop()
+						if !ok {
+							mu.Lock()
+							got = append(got, local...)
+							mu.Unlock()
+							return
+						}
+						local = append(local, v)
+					}
+				default:
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(done)
+	cwg.Wait()
+	if len(got) != producers*perProd {
+		t.Fatalf("drained %d values, want %d", len(got), producers*perProd)
+	}
+	sort.Ints(got)
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("value %d missing or duplicated (saw %d at position %d)", i, v, i)
+		}
+	}
+}
+
+// TestMPMCPerProducerOrder verifies FIFO order is preserved per producer
+// with a single consumer.
+func TestMPMCPerProducerOrder(t *testing.T) {
+	const perProd = 1000
+	q, _ := NewMPMC[[2]int](32)
+	var wg sync.WaitGroup
+	for p := 0; p < 2; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < perProd; i++ {
+				for !q.TryPush([2]int{p, i}) {
+					runtime.Gosched()
+				}
+			}
+		}(p)
+	}
+	lastSeen := map[int]int{0: -1, 1: -1}
+	popped := 0
+	for popped < 2*perProd {
+		v, ok := q.TryPop()
+		if !ok {
+			runtime.Gosched()
+			continue
+		}
+		if v[1] <= lastSeen[v[0]] {
+			t.Fatalf("producer %d value %d arrived after %d", v[0], v[1], lastSeen[v[0]])
+		}
+		lastSeen[v[0]] = v[1]
+		popped++
+	}
+	wg.Wait()
+}
+
+func TestMPMCDrain(t *testing.T) {
+	q, _ := NewMPMC[int](8)
+	for i := 0; i < 5; i++ {
+		q.TryPush(i)
+	}
+	sum := 0
+	n := q.Drain(func(v int) { sum += v })
+	if n != 5 || sum != 10 {
+		t.Fatalf("drain = (%d, sum %d), want (5, 10)", n, sum)
+	}
+	if q.Len() != 0 {
+		t.Fatalf("Len after drain = %d", q.Len())
+	}
+}
+
+func TestMPMCCap(t *testing.T) {
+	q, _ := NewMPMC[int](16)
+	if q.Cap() != 16 {
+		t.Fatalf("Cap = %d, want 16", q.Cap())
+	}
+}
+
+// TestMPMCPropertySequentialEquivalence checks that any single-threaded
+// sequence of pushes then pops behaves like a bounded FIFO.
+func TestMPMCPropertySequentialEquivalence(t *testing.T) {
+	f := func(vals []int16) bool {
+		q, _ := NewMPMC[int16](16)
+		var model []int16
+		for _, v := range vals {
+			pushed := q.TryPush(v)
+			if len(model) < 16 {
+				if !pushed {
+					return false
+				}
+				model = append(model, v)
+			} else if pushed {
+				return false
+			}
+		}
+		for _, want := range model {
+			got, ok := q.TryPop()
+			if !ok || got != want {
+				return false
+			}
+		}
+		_, ok := q.TryPop()
+		return !ok
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkMPMCUncontended(b *testing.B) {
+	q, _ := NewMPMC[int](1024)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		q.TryPush(i)
+		q.TryPop()
+	}
+}
+
+func BenchmarkMPMCContended(b *testing.B) {
+	q, _ := NewMPMC[int](1024)
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if !q.TryPush(1) {
+				q.TryPop()
+			}
+		}
+	})
+}

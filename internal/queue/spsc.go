@@ -1,0 +1,62 @@
+package queue
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// SPSC is a bounded single-producer single-consumer FIFO ring. It is wait
+// free on both sides and used for dedicated threaded ports, where exactly
+// one upstream thread feeds exactly one downstream thread (the paper's
+// hand-optimized manual threading configuration).
+type SPSC[T any] struct {
+	mask  uint64
+	cells []T
+	_     [64]byte
+	head  atomic.Uint64 // next slot to pop
+	_     [64]byte
+	tail  atomic.Uint64 // next slot to push
+}
+
+// NewSPSC returns a ring with the given capacity, which must be a power of
+// two and at least 2.
+func NewSPSC[T any](capacity int) (*SPSC[T], error) {
+	if capacity < 2 || capacity&(capacity-1) != 0 {
+		return nil, fmt.Errorf("spsc capacity %d is not a power of two >= 2", capacity)
+	}
+	return &SPSC[T]{mask: uint64(capacity - 1), cells: make([]T, capacity)}, nil
+}
+
+// TryPush attempts to enqueue v, reporting false when the ring is full.
+// Only one goroutine may call TryPush.
+func (q *SPSC[T]) TryPush(v T) bool {
+	tail := q.tail.Load()
+	if tail-q.head.Load() > q.mask {
+		return false
+	}
+	q.cells[tail&q.mask] = v
+	q.tail.Store(tail + 1)
+	return true
+}
+
+// TryPop attempts to dequeue a value, reporting false when the ring is
+// empty. Only one goroutine may call TryPop.
+func (q *SPSC[T]) TryPop() (T, bool) {
+	var zero T
+	head := q.head.Load()
+	if head == q.tail.Load() {
+		return zero, false
+	}
+	v := q.cells[head&q.mask]
+	q.cells[head&q.mask] = zero
+	q.head.Store(head + 1)
+	return v, true
+}
+
+// Len returns the number of queued values.
+func (q *SPSC[T]) Len() int {
+	return int(q.tail.Load() - q.head.Load())
+}
+
+// Cap returns the ring capacity.
+func (q *SPSC[T]) Cap() int { return len(q.cells) }

@@ -1,0 +1,101 @@
+package queue
+
+import (
+	"runtime"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewSPSCRejectsBadCapacity(t *testing.T) {
+	for _, c := range []int{-2, 0, 1, 6} {
+		if _, err := NewSPSC[int](c); err == nil {
+			t.Errorf("capacity %d accepted", c)
+		}
+	}
+}
+
+func TestSPSCFIFO(t *testing.T) {
+	q, err := NewSPSC[int](4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if !q.TryPush(i) {
+			t.Fatalf("push %d failed", i)
+		}
+	}
+	if q.TryPush(99) {
+		t.Fatal("push succeeded on full ring")
+	}
+	if q.Len() != 4 || q.Cap() != 4 {
+		t.Fatalf("Len/Cap = %d/%d, want 4/4", q.Len(), q.Cap())
+	}
+	for i := 0; i < 4; i++ {
+		v, ok := q.TryPop()
+		if !ok || v != i {
+			t.Fatalf("pop = (%d,%v), want %d", v, ok, i)
+		}
+	}
+	if _, ok := q.TryPop(); ok {
+		t.Fatal("pop succeeded on empty ring")
+	}
+}
+
+func TestSPSCConcurrentStream(t *testing.T) {
+	const total = 20000
+	q, _ := NewSPSC[int](64)
+	done := make(chan error, 1)
+	go func() {
+		for want := 0; want < total; {
+			v, ok := q.TryPop()
+			if !ok {
+				runtime.Gosched()
+				continue
+			}
+			if v != want {
+				done <- &orderError{got: v, want: want}
+				return
+			}
+			want++
+		}
+		done <- nil
+	}()
+	for i := 0; i < total; i++ {
+		for !q.TryPush(i) {
+			runtime.Gosched()
+		}
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+}
+
+type orderError struct{ got, want int }
+
+func (e *orderError) Error() string {
+	return "spsc out of order"
+}
+
+func TestSPSCPropertyFIFO(t *testing.T) {
+	f := func(vals []int8) bool {
+		q, _ := NewSPSC[int8](8)
+		var model []int8
+		for _, v := range vals {
+			if q.TryPush(v) {
+				model = append(model, v)
+			} else if len(model) < 8 {
+				return false
+			}
+		}
+		for _, want := range model {
+			got, ok := q.TryPop()
+			if !ok || got != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

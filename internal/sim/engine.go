@@ -1,0 +1,392 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"time"
+
+	"streamelastic/internal/graph"
+)
+
+// Engine is a simulated processing element implementing core.Engine. Given
+// a graph, a queue placement and a thread count it computes steady-state
+// sink throughput from a bottleneck model (see Machine for the cost
+// constants and DESIGN.md for the derivation), applies deterministic
+// measurement noise, and advances a virtual clock one adaptation period per
+// observation.
+type Engine struct {
+	g *graph.Graph
+	m Machine
+
+	payloadBytes int
+	period       time.Duration
+	seed         uint64
+	maxThreads   int
+	dedicated    bool
+
+	placement []bool
+	threads   int
+
+	attr  *graph.Attribution
+	dirty bool
+
+	clock time.Duration
+	obs   uint64
+}
+
+// Option configures a simulated engine.
+type Option func(*Engine)
+
+// WithPayload sets the tuple payload size in bytes (default 0).
+func WithPayload(bytes int) Option {
+	return func(e *Engine) { e.payloadBytes = bytes }
+}
+
+// WithPeriod sets the adaptation period the virtual clock advances per
+// observation (default 5s, the paper's period).
+func WithPeriod(d time.Duration) Option {
+	return func(e *Engine) { e.period = d }
+}
+
+// WithSeed sets the deterministic noise seed.
+func WithSeed(seed uint64) Option {
+	return func(e *Engine) { e.seed = seed }
+}
+
+// WithMaxThreads overrides the scheduler-thread cap (default 2x cores).
+func WithMaxThreads(n int) Option {
+	return func(e *Engine) { e.maxThreads = n }
+}
+
+// WithDedicatedPorts models hand-optimized manual threading: every queue is
+// a threaded port owned by exactly one dedicated thread, there is no
+// work-finding scan, and the thread count equals the queue count. This is
+// the baseline the paper's hand-optimized VWAP and PacketAnalysis variants
+// use.
+func WithDedicatedPorts() Option {
+	return func(e *Engine) { e.dedicated = true }
+}
+
+// New returns a simulated engine for the finalized graph g on machine m,
+// starting with all operators manual and one scheduler thread.
+func New(g *graph.Graph, m Machine, opts ...Option) (*Engine, error) {
+	if !g.Finalized() {
+		return nil, errors.New("sim: graph not finalized")
+	}
+	if m.Cores < 1 {
+		return nil, fmt.Errorf("sim: machine has %d cores", m.Cores)
+	}
+	e := &Engine{
+		g:         g,
+		m:         m,
+		period:    5 * time.Second,
+		seed:      1,
+		placement: make([]bool, g.NumNodes()),
+		threads:   1,
+		dirty:     true,
+	}
+	for _, opt := range opts {
+		opt(e)
+	}
+	if e.maxThreads == 0 {
+		e.maxThreads = 2 * m.Cores
+	}
+	return e, nil
+}
+
+// NumOperators implements core.Engine.
+func (e *Engine) NumOperators() int { return e.g.NumNodes() }
+
+// Placeable implements core.Engine: every non-source operator can take a
+// scheduler queue.
+func (e *Engine) Placeable() []bool {
+	out := make([]bool, e.g.NumNodes())
+	for i := range out {
+		out[i] = !e.g.Node(graph.NodeID(i)).Source
+	}
+	return out
+}
+
+// CostMetric implements core.Engine. The simulated profiler observes each
+// operator in proportion to rate x service time, which is what snapshot
+// counting of per-thread state converges to.
+func (e *Engine) CostMetric() []float64 {
+	rates := e.g.Rates()
+	costs := e.g.Costs()
+	out := make([]float64, e.g.NumNodes())
+	for i := range out {
+		out[i] = rates[i] * costs[i]
+	}
+	return out
+}
+
+// Placement implements core.Engine.
+func (e *Engine) Placement() []bool {
+	out := make([]bool, len(e.placement))
+	copy(out, e.placement)
+	return out
+}
+
+// ApplyPlacement implements core.Engine.
+func (e *Engine) ApplyPlacement(dynamic []bool) error {
+	if len(dynamic) != len(e.placement) {
+		return fmt.Errorf("sim: placement length %d, want %d", len(dynamic), len(e.placement))
+	}
+	copy(e.placement, dynamic)
+	e.dirty = true
+	return nil
+}
+
+// ThreadCount implements core.Engine. In dedicated-port mode the count is
+// fixed at one thread per queue.
+func (e *Engine) ThreadCount() int {
+	if e.dedicated {
+		return graph.QueueCount(e.g, e.placement)
+	}
+	return e.threads
+}
+
+// SetThreadCount implements core.Engine.
+func (e *Engine) SetThreadCount(n int) error {
+	if e.dedicated {
+		return errors.New("sim: dedicated-port engine has a fixed thread count")
+	}
+	if n < 1 || n > e.maxThreads {
+		return fmt.Errorf("sim: thread count %d outside [1, %d]", n, e.maxThreads)
+	}
+	e.threads = n
+	return nil
+}
+
+// MaxThreads implements core.Engine.
+func (e *Engine) MaxThreads() int { return e.maxThreads }
+
+// Observe implements core.Engine: it returns the modeled throughput with
+// deterministic noise applied and advances the virtual clock by one
+// adaptation period.
+func (e *Engine) Observe() (float64, error) {
+	thr := e.Throughput()
+	e.obs++
+	e.clock += e.period
+	return thr * e.noise(), nil
+}
+
+// Now implements core.Engine, returning the virtual clock.
+func (e *Engine) Now() time.Duration { return e.clock }
+
+// noise returns a deterministic multiplicative factor in
+// [1-NoiseAmp, 1+NoiseAmp] derived from the seed and observation counter.
+func (e *Engine) noise() float64 {
+	if e.m.NoiseAmp == 0 {
+		return 1
+	}
+	h := splitmix64(e.seed ^ (e.obs * 0x9e3779b97f4a7c15))
+	u := float64(h>>11)/float64(1<<53)*2 - 1 // [-1, 1)
+	return 1 + e.m.NoiseAmp*u
+}
+
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// Throughput returns the modeled steady-state sink throughput (tuples per
+// second) for the current configuration, without noise and without
+// advancing the clock. Sweep-style experiments use it directly.
+func (e *Engine) Throughput() float64 {
+	if e.dirty {
+		e.attr = graph.Attribute(e.g, e.placement)
+		e.dirty = false
+	}
+	a := e.attr
+	rates := e.g.Rates()
+	costs := e.g.Costs()
+	nHeads := len(a.Heads)
+	nSrc := a.SourceHeads
+	queues := nHeads - nSrc
+
+	coreAvail := e.m.Cores - nSrc
+	if coreAvail < 1 {
+		coreAvail = 1
+	}
+
+	// Per-region service time per unit source rate.
+	loads := make([]float64, nHeads)
+	tupleBytes := float64(e.payloadBytes) + 64 // header estimate
+	poolThreads := float64(minInt(e.threads, coreAvail))
+
+	for i := 0; i < e.g.NumNodes(); i++ {
+		nd := e.g.Node(graph.NodeID(i))
+		svc := costs[i] * e.m.SecPerFLOP
+		if nd.Contended {
+			svc += e.m.ContentionCost * e.contenders(a, i, poolThreads)
+		}
+		r := rates[i]
+		for h, w := range a.Dist[i] {
+			loads[h] += r * w * svc
+		}
+	}
+	for h := 0; h < nSrc; h++ {
+		loads[h] += e.m.SourceOverhead
+	}
+
+	// Queue-crossing costs and copied bytes.
+	copied := 0.0
+	scan := e.m.ScanPerQueue * float64(queues)
+	if e.dedicated {
+		scan = 0
+	}
+	for i := 0; i < e.g.NumNodes(); i++ {
+		nd := e.g.Node(graph.NodeID(i))
+		for _, eg := range nd.Out {
+			to := e.g.Node(eg.To)
+			if to.Source || !e.placement[eg.To] {
+				continue
+			}
+			edgeRate := rates[i] * eg.RateFactor
+			prod := e.m.CopyPerByte*tupleBytes + e.m.EnqueueCost
+			for h, w := range a.Dist[i] {
+				loads[h] += edgeRate * w * prod
+			}
+			loads[a.HeadIndex[eg.To]] += edgeRate * (e.m.DequeueCost + scan)
+			copied += edgeRate * tupleBytes
+		}
+	}
+
+	// Bottleneck analysis: x is the per-source emission rate.
+	x := math.Inf(1)
+	// Each source region is executed serially by its operator thread.
+	for h := 0; h < nSrc; h++ {
+		if loads[h] > 0 {
+			x = math.Min(x, 1/loads[h])
+		}
+	}
+	// Pooled regions share the scheduler threads (or own one thread each
+	// in dedicated mode).
+	pooled := 0.0
+	for h := nSrc; h < nHeads; h++ {
+		pooled += loads[h]
+	}
+	if pooled > 0 {
+		if e.dedicated {
+			for h := nSrc; h < nHeads; h++ {
+				if loads[h] > 0 {
+					x = math.Min(x, 1/loads[h])
+				}
+			}
+		} else {
+			x = math.Min(x, e.poolCapacity(coreAvail)/pooled)
+		}
+	}
+	// Total CPU cannot exceed the machine.
+	total := 0.0
+	for _, l := range loads {
+		total += l
+	}
+	if total > 0 {
+		x = math.Min(x, float64(e.m.Cores)/total)
+	}
+	// A single queue serializes its crossings, and the serial section
+	// lengthens with CAS contention as more pool threads share fewer
+	// queues. This is what makes very sparse queue placements (one or two
+	// queues for a hundred threads) a bottleneck in practice.
+	if e.m.QueueSerialCost > 0 && queues > 0 {
+		perQueue := poolThreads / float64(queues)
+		if e.dedicated || perQueue < 1 {
+			perQueue = 1
+		}
+		serial := e.m.QueueSerialCost * perQueue
+		for h := nSrc; h < nHeads; h++ {
+			if r := rates[a.Heads[h]]; r > 0 {
+				x = math.Min(x, 1/(serial*r))
+			}
+		}
+	}
+	// A lock-contended operator executes serially no matter how many
+	// threads feed it: its throughput bounds the system (the Fig. 10 sink
+	// effect).
+	for i := 0; i < e.g.NumNodes(); i++ {
+		nd := e.g.Node(graph.NodeID(i))
+		if !nd.Contended || rates[i] <= 0 {
+			continue
+		}
+		svc := costs[i] * e.m.SecPerFLOP
+		svc += e.m.ContentionCost * e.contenders(a, i, poolThreads)
+		if svc > 0 {
+			x = math.Min(x, 1/(rates[i]*svc))
+		}
+	}
+	// Aggregate queue copying is bounded by memory bandwidth.
+	if copied > 0 && e.m.MemBandwidth > 0 {
+		x = math.Min(x, e.m.MemBandwidth/copied)
+	}
+	if math.IsInf(x, 1) {
+		return 0
+	}
+
+	sinkRate := 0.0
+	for _, s := range e.g.Sinks() {
+		sinkRate += rates[s]
+	}
+	return x * sinkRate
+}
+
+// poolCapacity returns the effective parallelism of the scheduler-thread
+// pool, with a gentle oversubscription penalty beyond the available cores
+// so that excessive thread counts measurably degrade throughput.
+func (e *Engine) poolCapacity(coreAvail int) float64 {
+	t := float64(e.threads)
+	c := float64(coreAvail)
+	if t <= c {
+		return t
+	}
+	return c * math.Pow(c/t, e.m.OversubAlpha)
+}
+
+// contenders estimates how many additional executors contend on node i's
+// internal lock: one per source region touching it, plus the scheduler pool
+// (or one per dedicated region) when any pooled region touches it.
+func (e *Engine) contenders(a *graph.Attribution, i int, poolThreads float64) float64 {
+	srcTouch := 0.0
+	pooledHeads := 0.0
+	for h, w := range a.Dist[i] {
+		if w <= 0 {
+			continue
+		}
+		if h < a.SourceHeads {
+			srcTouch++
+		} else {
+			pooledHeads++
+		}
+	}
+	n := srcTouch
+	if pooledHeads > 0 {
+		if e.dedicated {
+			n += pooledHeads
+		} else {
+			n += poolThreads
+		}
+	}
+	if n <= 1 {
+		return 0
+	}
+	return n - 1
+}
+
+// Queues returns the current number of scheduler queues.
+func (e *Engine) Queues() int {
+	return graph.QueueCount(e.g, e.placement)
+}
+
+// Machine returns the modeled machine.
+func (e *Engine) Machine() Machine { return e.m }
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,407 @@
+package sim
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"streamelastic/internal/core"
+	"streamelastic/internal/graph"
+	"streamelastic/internal/spl"
+)
+
+var _ core.Engine = (*Engine)(nil)
+
+// pipeline builds an n-operator chain (source + n-1 workers) with the given
+// uniform FLOP cost.
+func pipeline(t testing.TB, n int, flops float64) *graph.Graph {
+	t.Helper()
+	g := graph.New()
+	prev := g.AddSource(nil, spl.NewCostVar(0))
+	for i := 1; i < n; i++ {
+		id := g.AddOperator(nil, spl.NewCostVar(flops))
+		if err := g.Connect(prev, 0, id, 0, 1); err != nil {
+			t.Fatal(err)
+		}
+		prev = id
+	}
+	if err := g.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// placeEvery returns a placement with a queue in front of every k-th
+// non-source operator.
+func placeEvery(g *graph.Graph, k int) []bool {
+	p := make([]bool, g.NumNodes())
+	if k <= 0 {
+		return p
+	}
+	j := 0
+	for i := 0; i < g.NumNodes(); i++ {
+		if g.Node(graph.NodeID(i)).Source {
+			continue
+		}
+		if j%k == 0 {
+			p[i] = true
+		}
+		j++
+	}
+	return p
+}
+
+func newEngine(t testing.TB, g *graph.Graph, m Machine, opts ...Option) *Engine {
+	t.Helper()
+	e, err := New(g, m, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestNewValidation(t *testing.T) {
+	g := graph.New()
+	g.AddSource(nil, nil)
+	if _, err := New(g, Xeon176()); err == nil {
+		t.Fatal("unfinalized graph accepted")
+	}
+	if err := g.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(g, Machine{Cores: 0}); err == nil {
+		t.Fatal("zero-core machine accepted")
+	}
+}
+
+func TestManualPipelineMatchesSerialModel(t *testing.T) {
+	// 100 ops x 100 FLOPs = 10us serial + 50ns source overhead.
+	g := pipeline(t, 101, 100)
+	e := newEngine(t, g, Xeon176())
+	got := e.Throughput()
+	want := 1 / (100*100e-9 + 50e-9)
+	if math.Abs(got-want)/want > 1e-9 {
+		t.Fatalf("manual throughput = %v, want %v", got, want)
+	}
+}
+
+func TestDynamicBeatsManualWithManyCores(t *testing.T) {
+	g := pipeline(t, 101, 100)
+	e := newEngine(t, g, Xeon176(), WithPayload(1))
+	manual := e.Throughput()
+	if err := e.ApplyPlacement(placeEvery(g, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.SetThreadCount(87); err != nil {
+		t.Fatal(err)
+	}
+	dynamic := e.Throughput()
+	if dynamic < 5*manual {
+		t.Fatalf("full dynamic (%v) not much faster than manual (%v) with tiny payload", dynamic, manual)
+	}
+}
+
+// TestInteriorOptimumFig1Shape verifies the central claim behind Fig. 1:
+// with a 1 KB payload the best fraction of dynamic operators is strictly
+// between 0 and 100%.
+func TestInteriorOptimumFig1Shape(t *testing.T) {
+	g := pipeline(t, 101, 100)
+	e := newEngine(t, g, Xeon176().WithCores(88), WithPayload(1024))
+	if err := e.SetThreadCount(87); err != nil {
+		t.Fatal(err)
+	}
+	bestK, bestThr := 0, 0.0
+	var manualThr, fullThr float64
+	for _, k := range []int{0, 1, 2, 3, 5, 8, 12, 20, 33, 50, 100} {
+		var p []bool
+		if k == 0 {
+			p = make([]bool, g.NumNodes())
+		} else {
+			p = placeEvery(g, 100/k) // roughly k queues
+		}
+		if err := e.ApplyPlacement(p); err != nil {
+			t.Fatal(err)
+		}
+		thr := e.Throughput()
+		if k == 0 {
+			manualThr = thr
+		}
+		if k == 100 {
+			fullThr = thr
+		}
+		if thr > bestThr {
+			bestK, bestThr = k, thr
+		}
+	}
+	if bestK == 0 || bestK == 100 {
+		t.Fatalf("optimum at %d%% dynamic; want interior (manual %v, full %v, best %v)",
+			bestK, manualThr, fullThr, bestThr)
+	}
+	if bestThr < 2*fullThr {
+		t.Fatalf("interior optimum %v not clearly better than full dynamic %v", bestThr, fullThr)
+	}
+}
+
+// TestLargerPayloadPrefersFewerQueues checks the Fig. 9 trend: as payload
+// grows, the optimal number of queues shrinks.
+func TestLargerPayloadPrefersFewerQueues(t *testing.T) {
+	g := pipeline(t, 101, 100)
+	optQueues := func(payload int) int {
+		e := newEngine(t, g, Xeon176().WithCores(88), WithPayload(payload))
+		if err := e.SetThreadCount(87); err != nil {
+			t.Fatal(err)
+		}
+		best, bestQ := 0.0, 0
+		for q := 0; q <= 100; q += 2 {
+			var p []bool
+			if q == 0 {
+				p = make([]bool, g.NumNodes())
+			} else {
+				p = placeEvery(g, 100/q)
+			}
+			if err := e.ApplyPlacement(p); err != nil {
+				t.Fatal(err)
+			}
+			if thr := e.Throughput(); thr > best {
+				best, bestQ = thr, e.Queues()
+			}
+		}
+		return bestQ
+	}
+	small := optQueues(128)
+	large := optQueues(16384)
+	if large >= small {
+		t.Fatalf("optimal queues at 16KB (%d) not below optimal at 128B (%d)", large, small)
+	}
+}
+
+// TestContendedSinkMakesDynamicLose reproduces the Fig. 10 effect: on a
+// data-parallel graph whose sink serializes on a lock, full dynamic with
+// many threads can be slower than manual threading.
+func TestContendedSinkMakesDynamicLose(t *testing.T) {
+	g := graph.New()
+	src := g.AddSource(nil, spl.NewCostVar(0))
+	split := g.AddOperator(nil, spl.NewCostVar(1))
+	snk := g.AddOperator(nil, spl.NewCostVar(1))
+	width := 50
+	for i := 0; i < width; i++ {
+		w := g.AddOperator(nil, spl.NewCostVar(100))
+		if err := g.Connect(split, i, w, 0, 1.0/float64(width)); err != nil {
+			t.Fatal(err)
+		}
+		if err := g.Connect(w, 0, snk, 0, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := g.Connect(src, 0, split, 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	g.SetContended(snk)
+	if err := g.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+
+	e := newEngine(t, g, Xeon176().WithCores(88), WithPayload(128))
+	manual := e.Throughput()
+	all := make([]bool, g.NumNodes())
+	for i := range all {
+		all[i] = !g.Node(graph.NodeID(i)).Source
+	}
+	if err := e.ApplyPlacement(all); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.SetThreadCount(87); err != nil {
+		t.Fatal(err)
+	}
+	dynamic := e.Throughput()
+	if dynamic >= manual {
+		t.Fatalf("contended sink: full dynamic (%v) should lose to manual (%v)", dynamic, manual)
+	}
+}
+
+func TestThreadScalingAndOversubscription(t *testing.T) {
+	g := pipeline(t, 101, 1000)
+	e := newEngine(t, g, Xeon176().WithCores(16), WithPayload(64), WithMaxThreads(128))
+	if err := e.ApplyPlacement(placeEvery(g, 2)); err != nil {
+		t.Fatal(err)
+	}
+	var thrAt = func(n int) float64 {
+		if err := e.SetThreadCount(n); err != nil {
+			t.Fatal(err)
+		}
+		return e.Throughput()
+	}
+	t4, t15, t64 := thrAt(4), thrAt(15), thrAt(64)
+	if t15 <= t4 {
+		t.Fatalf("throughput did not scale with threads below the core count: %v -> %v", t4, t15)
+	}
+	if t64 >= t15 {
+		t.Fatalf("oversubscription (64 threads on 16 cores) did not degrade: %v vs %v", t64, t15)
+	}
+}
+
+func TestDedicatedPortsMode(t *testing.T) {
+	g := pipeline(t, 21, 1000)
+	e := newEngine(t, g, Xeon176(), WithDedicatedPorts())
+	p := placeEvery(g, 5)
+	if err := e.ApplyPlacement(p); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := e.ThreadCount(), e.Queues(); got != want {
+		t.Fatalf("dedicated thread count = %d, want %d (one per queue)", got, want)
+	}
+	if err := e.SetThreadCount(3); err == nil {
+		t.Fatal("dedicated engine allowed SetThreadCount")
+	}
+	if e.Throughput() <= 0 {
+		t.Fatal("dedicated engine computed zero throughput")
+	}
+}
+
+func TestObserveAdvancesVirtualClock(t *testing.T) {
+	g := pipeline(t, 11, 100)
+	e := newEngine(t, g, Xeon176(), WithPeriod(5*time.Second))
+	if e.Now() != 0 {
+		t.Fatal("clock not zero at start")
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := e.Observe(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if e.Now() != 15*time.Second {
+		t.Fatalf("clock = %v after 3 observations, want 15s", e.Now())
+	}
+}
+
+func TestObserveNoiseBoundedAndDeterministic(t *testing.T) {
+	g := pipeline(t, 11, 100)
+	run := func() []float64 {
+		e := newEngine(t, g, Xeon176(), WithSeed(7))
+		base := e.Throughput()
+		out := make([]float64, 20)
+		for i := range out {
+			thr, err := e.Observe()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Abs(thr/base-1) > e.Machine().NoiseAmp+1e-12 {
+				t.Fatalf("noise out of bounds: %v vs base %v", thr, base)
+			}
+			out[i] = thr
+		}
+		return out
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("observation %d differs across identical runs: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestCostMetricReflectsSkew(t *testing.T) {
+	g := graph.New()
+	src := g.AddSource(nil, spl.NewCostVar(0))
+	heavy := g.AddOperator(nil, spl.NewCostVar(10000))
+	light := g.AddOperator(nil, spl.NewCostVar(1))
+	if err := g.Connect(src, 0, heavy, 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Connect(heavy, 0, light, 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	e := newEngine(t, g, Xeon176())
+	m := e.CostMetric()
+	if m[heavy] <= m[light]*1000 {
+		t.Fatalf("cost metric does not separate heavy (%v) from light (%v)", m[heavy], m[light])
+	}
+}
+
+func TestSetThreadCountValidation(t *testing.T) {
+	g := pipeline(t, 5, 1)
+	e := newEngine(t, g, Xeon176(), WithMaxThreads(8))
+	if err := e.SetThreadCount(0); err == nil {
+		t.Fatal("accepted 0 threads")
+	}
+	if err := e.SetThreadCount(9); err == nil {
+		t.Fatal("accepted threads above max")
+	}
+	if e.MaxThreads() != 8 {
+		t.Fatalf("MaxThreads = %d, want 8", e.MaxThreads())
+	}
+}
+
+func TestApplyPlacementValidation(t *testing.T) {
+	g := pipeline(t, 5, 1)
+	e := newEngine(t, g, Xeon176())
+	if err := e.ApplyPlacement(make([]bool, 3)); err == nil {
+		t.Fatal("accepted wrong-length placement")
+	}
+}
+
+func TestPlaceableExcludesSources(t *testing.T) {
+	g := pipeline(t, 5, 1)
+	e := newEngine(t, g, Xeon176())
+	p := e.Placeable()
+	if p[0] {
+		t.Fatal("source marked placeable")
+	}
+	for i := 1; i < len(p); i++ {
+		if !p[i] {
+			t.Fatalf("operator %d not placeable", i)
+		}
+	}
+}
+
+// TestCoordinatorOnSimFindsInteriorOptimum is the integration test tying
+// the controllers to the simulated machine: multi-level elasticity must
+// beat both pure manual and pure dynamic on the Fig. 1 configuration.
+func TestCoordinatorOnSimFindsInteriorOptimum(t *testing.T) {
+	g := pipeline(t, 101, 100)
+	m := Xeon176().WithCores(88)
+
+	manualEng := newEngine(t, g, m, WithPayload(1024))
+	manual := manualEng.Throughput()
+
+	dynEng := newEngine(t, g, m, WithPayload(1024))
+	all := make([]bool, g.NumNodes())
+	for i := range all {
+		all[i] = !g.Node(graph.NodeID(i)).Source
+	}
+	if err := dynEng.ApplyPlacement(all); err != nil {
+		t.Fatal(err)
+	}
+	dynThr, _, err := core.TuneThreadCount(dynEng, core.DefaultConfig(), 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	mlEng := newEngine(t, g, m, WithPayload(1024))
+	coord, err := core.NewCoordinator(mlEng, core.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, err := coord.RunUntilSettled(3000); err != nil || !ok {
+		t.Fatalf("coordinator did not settle: %v", err)
+	}
+	tr := coord.Trace()
+	ml := tr[len(tr)-1].Throughput
+
+	if ml < manual {
+		t.Fatalf("multi-level (%v) below manual (%v)", ml, manual)
+	}
+	if ml < dynThr {
+		t.Fatalf("multi-level (%v) below tuned dynamic (%v)", ml, dynThr)
+	}
+	if ml < 2*dynThr {
+		t.Fatalf("multi-level (%v) should clearly beat tuned dynamic (%v) at 1KB payload", ml, dynThr)
+	}
+	q := mlEng.Queues()
+	if q == 0 || q == 100 {
+		t.Fatalf("converged queue count %d; want interior", q)
+	}
+}

@@ -1,0 +1,179 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+
+	"streamelastic/internal/graph"
+)
+
+// Bottleneck identifies which constraint of the performance model limits a
+// configuration's throughput.
+type Bottleneck int
+
+// Bottleneck kinds, mirroring the model constraints in Throughput.
+const (
+	BottleneckSource Bottleneck = iota + 1
+	BottleneckPool
+	BottleneckCores
+	BottleneckQueueSerial
+	BottleneckContention
+	BottleneckMemBandwidth
+)
+
+// String names the bottleneck.
+func (b Bottleneck) String() string {
+	switch b {
+	case BottleneckSource:
+		return "source-thread"
+	case BottleneckPool:
+		return "scheduler-pool"
+	case BottleneckCores:
+		return "cores"
+	case BottleneckQueueSerial:
+		return "queue-serialization"
+	case BottleneckContention:
+		return "lock-contention"
+	case BottleneckMemBandwidth:
+		return "memory-bandwidth"
+	default:
+		return "unknown"
+	}
+}
+
+// Explanation describes the binding constraint of a configuration.
+type Explanation struct {
+	// Bottleneck is the binding constraint.
+	Bottleneck Bottleneck
+	// Throughput is the modeled sink throughput.
+	Throughput float64
+	// Detail names the specific resource (a node id for source or
+	// contention bottlenecks).
+	Detail string
+}
+
+// Explain recomputes the throughput model and reports which constraint
+// binds. It mirrors Throughput exactly; the engine's configuration is not
+// modified.
+func (e *Engine) Explain() Explanation {
+	if e.dirty {
+		e.attr = graph.Attribute(e.g, e.placement)
+		e.dirty = false
+	}
+	a := e.attr
+	rates := e.g.Rates()
+	costs := e.g.Costs()
+	nHeads := len(a.Heads)
+	nSrc := a.SourceHeads
+	queues := nHeads - nSrc
+
+	coreAvail := e.m.Cores - nSrc
+	if coreAvail < 1 {
+		coreAvail = 1
+	}
+	loads := make([]float64, nHeads)
+	tupleBytes := float64(e.payloadBytes) + 64
+	poolThreads := float64(minInt(e.threads, coreAvail))
+
+	for i := 0; i < e.g.NumNodes(); i++ {
+		nd := e.g.Node(graph.NodeID(i))
+		svc := costs[i] * e.m.SecPerFLOP
+		if nd.Contended {
+			svc += e.m.ContentionCost * e.contenders(a, i, poolThreads)
+		}
+		r := rates[i]
+		for h, w := range a.Dist[i] {
+			loads[h] += r * w * svc
+		}
+	}
+	for h := 0; h < nSrc; h++ {
+		loads[h] += e.m.SourceOverhead
+	}
+	copied := 0.0
+	scan := e.m.ScanPerQueue * float64(queues)
+	if e.dedicated {
+		scan = 0
+	}
+	for i := 0; i < e.g.NumNodes(); i++ {
+		nd := e.g.Node(graph.NodeID(i))
+		for _, eg := range nd.Out {
+			to := e.g.Node(eg.To)
+			if to.Source || !e.placement[eg.To] {
+				continue
+			}
+			edgeRate := rates[i] * eg.RateFactor
+			prod := e.m.CopyPerByte*tupleBytes + e.m.EnqueueCost
+			for h, w := range a.Dist[i] {
+				loads[h] += edgeRate * w * prod
+			}
+			loads[a.HeadIndex[eg.To]] += edgeRate * (e.m.DequeueCost + scan)
+			copied += edgeRate * tupleBytes
+		}
+	}
+
+	best := Explanation{Bottleneck: BottleneckCores, Throughput: math.Inf(1)}
+	consider := func(x float64, b Bottleneck, detail string) {
+		if x < best.Throughput {
+			best = Explanation{Bottleneck: b, Throughput: x, Detail: detail}
+		}
+	}
+	for h := 0; h < nSrc; h++ {
+		if loads[h] > 0 {
+			consider(1/loads[h], BottleneckSource, fmt.Sprintf("source node %d", a.Heads[h]))
+		}
+	}
+	pooled := 0.0
+	for h := nSrc; h < nHeads; h++ {
+		pooled += loads[h]
+	}
+	if pooled > 0 {
+		if e.dedicated {
+			for h := nSrc; h < nHeads; h++ {
+				if loads[h] > 0 {
+					consider(1/loads[h], BottleneckPool, fmt.Sprintf("dedicated region at node %d", a.Heads[h]))
+				}
+			}
+		} else {
+			consider(e.poolCapacity(coreAvail)/pooled, BottleneckPool, "")
+		}
+	}
+	total := 0.0
+	for _, l := range loads {
+		total += l
+	}
+	if total > 0 {
+		consider(float64(e.m.Cores)/total, BottleneckCores, "")
+	}
+	if e.m.QueueSerialCost > 0 && queues > 0 {
+		perQueue := poolThreads / float64(queues)
+		if e.dedicated || perQueue < 1 {
+			perQueue = 1
+		}
+		serial := e.m.QueueSerialCost * perQueue
+		for h := nSrc; h < nHeads; h++ {
+			if r := rates[a.Heads[h]]; r > 0 {
+				consider(1/(serial*r), BottleneckQueueSerial, fmt.Sprintf("queue at node %d", a.Heads[h]))
+			}
+		}
+	}
+	for i := 0; i < e.g.NumNodes(); i++ {
+		nd := e.g.Node(graph.NodeID(i))
+		if !nd.Contended || rates[i] <= 0 {
+			continue
+		}
+		svc := costs[i]*e.m.SecPerFLOP + e.m.ContentionCost*e.contenders(a, i, poolThreads)
+		if svc > 0 {
+			consider(1/(rates[i]*svc), BottleneckContention, fmt.Sprintf("contended node %d", i))
+		}
+	}
+	if copied > 0 && e.m.MemBandwidth > 0 {
+		consider(e.m.MemBandwidth/copied, BottleneckMemBandwidth, "")
+	}
+
+	sinkRate := 0.0
+	for _, s := range e.g.Sinks() {
+		sinkRate += rates[s]
+	}
+	best.Throughput *= sinkRate
+	return best
+}

@@ -1,0 +1,141 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"streamelastic/internal/graph"
+	"streamelastic/internal/spl"
+)
+
+func TestExplainMatchesThroughput(t *testing.T) {
+	g := pipeline(t, 50, 200)
+	e := newEngine(t, g, Xeon176().WithCores(32), WithPayload(1024))
+	for _, k := range []int{0, 2, 10} {
+		var p []bool
+		if k == 0 {
+			p = make([]bool, g.NumNodes())
+		} else {
+			p = placeEvery(g, 49/k)
+		}
+		if err := e.ApplyPlacement(p); err != nil {
+			t.Fatal(err)
+		}
+		if err := e.SetThreadCount(8); err != nil {
+			t.Fatal(err)
+		}
+		got := e.Explain()
+		want := e.Throughput()
+		if math.Abs(got.Throughput-want)/want > 1e-9 {
+			t.Fatalf("Explain throughput %v != Throughput %v", got.Throughput, want)
+		}
+	}
+}
+
+func TestExplainSourceBound(t *testing.T) {
+	// All work stays on the source thread: manual placement.
+	g := pipeline(t, 20, 1000)
+	e := newEngine(t, g, Xeon176())
+	ex := e.Explain()
+	if ex.Bottleneck != BottleneckSource {
+		t.Fatalf("manual pipeline bottleneck = %v, want source-thread", ex.Bottleneck)
+	}
+	if ex.Detail == "" {
+		t.Fatal("source bottleneck missing detail")
+	}
+}
+
+func TestExplainPoolBound(t *testing.T) {
+	// Heavy ops behind queues with a tiny pool: the pool binds.
+	g := pipeline(t, 20, 100_000)
+	e := newEngine(t, g, Xeon176().WithCores(88), WithPayload(16))
+	if err := e.ApplyPlacement(placeEvery(g, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.SetThreadCount(2); err != nil {
+		t.Fatal(err)
+	}
+	if ex := e.Explain(); ex.Bottleneck != BottleneckPool {
+		t.Fatalf("bottleneck = %v, want scheduler-pool", ex.Bottleneck)
+	}
+}
+
+func TestExplainMemoryBandwidthBound(t *testing.T) {
+	// Huge payloads across many queues: copying saturates memory
+	// bandwidth.
+	g := pipeline(t, 100, 100)
+	e := newEngine(t, g, Xeon176(), WithPayload(16384))
+	if err := e.ApplyPlacement(placeEvery(g, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.SetThreadCount(170); err != nil {
+		t.Fatal(err)
+	}
+	if ex := e.Explain(); ex.Bottleneck != BottleneckMemBandwidth {
+		t.Fatalf("bottleneck = %v, want memory-bandwidth", ex.Bottleneck)
+	}
+}
+
+func TestExplainContentionBound(t *testing.T) {
+	g := graph.New()
+	src := g.AddSource(nil, spl.NewCostVar(0))
+	w := g.AddOperator(nil, spl.NewCostVar(10))
+	snk := g.AddOperator(nil, spl.NewCostVar(1))
+	if err := g.Connect(src, 0, w, 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Connect(w, 0, snk, 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	g.SetContended(snk)
+	if err := g.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	e := newEngine(t, g, Xeon176().WithCores(88), WithPayload(16))
+	all := []bool{false, true, true}
+	if err := e.ApplyPlacement(all); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.SetThreadCount(87); err != nil {
+		t.Fatal(err)
+	}
+	if ex := e.Explain(); ex.Bottleneck != BottleneckContention {
+		t.Fatalf("bottleneck = %v, want lock-contention", ex.Bottleneck)
+	}
+}
+
+func TestExplainQueueSerialBound(t *testing.T) {
+	// One queue fed by the whole pool at tiny per-op cost: the queue's CAS
+	// serialization binds.
+	g := pipeline(t, 40, 1)
+	e := newEngine(t, g, Xeon176().WithCores(88), WithPayload(0))
+	p := make([]bool, g.NumNodes())
+	p[1] = true
+	if err := e.ApplyPlacement(p); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.SetThreadCount(87); err != nil {
+		t.Fatal(err)
+	}
+	ex := e.Explain()
+	if ex.Bottleneck != BottleneckQueueSerial {
+		t.Fatalf("bottleneck = %v, want queue-serialization", ex.Bottleneck)
+	}
+}
+
+func TestBottleneckString(t *testing.T) {
+	names := map[Bottleneck]string{
+		BottleneckSource:       "source-thread",
+		BottleneckPool:         "scheduler-pool",
+		BottleneckCores:        "cores",
+		BottleneckQueueSerial:  "queue-serialization",
+		BottleneckContention:   "lock-contention",
+		BottleneckMemBandwidth: "memory-bandwidth",
+		Bottleneck(0):          "unknown",
+	}
+	for b, want := range names {
+		if b.String() != want {
+			t.Fatalf("%d.String() = %q, want %q", b, b.String(), want)
+		}
+	}
+}

@@ -1,0 +1,168 @@
+package sim
+
+import (
+	"math"
+	"time"
+
+	"streamelastic/internal/graph"
+)
+
+// EstimateLatency predicts the mean end-to-end tuple latency of the current
+// configuration at the offered load `fraction` (0, 1] of the configuration's
+// maximum throughput.
+//
+// The model treats every region as a queueing station: a tuple pays each
+// station's service time plus an M/M/1-style waiting term
+// w = s * rho/(1-rho), where rho is the utilization of the resource serving
+// the station (the source thread for source regions, the scheduler pool for
+// pooled regions). Latency is summed along the longest (critical)
+// source-to-sink path. The estimate captures the structural trade-off the
+// paper's motivation names: inline execution adds no queueing delay, while
+// scheduler queues add waiting that grows with utilization.
+func (e *Engine) EstimateLatency(fraction float64) time.Duration {
+	if fraction <= 0 {
+		fraction = 1e-6
+	}
+	if fraction > 0.999 {
+		fraction = 0.999
+	}
+	if e.dirty {
+		e.attr = graph.Attribute(e.g, e.placement)
+		e.dirty = false
+	}
+	a := e.attr
+	rates := e.g.Rates()
+	costs := e.g.Costs()
+	nSrc := a.SourceHeads
+	nHeads := len(a.Heads)
+	queues := nHeads - nSrc
+
+	coreAvail := e.m.Cores - nSrc
+	if coreAvail < 1 {
+		coreAvail = 1
+	}
+	// Per-head loads, as in Throughput.
+	loads := make([]float64, nHeads)
+	tupleBytes := float64(e.payloadBytes) + 64
+	poolThreads := float64(minInt(e.threads, coreAvail))
+	scan := e.m.ScanPerQueue * float64(queues)
+	if e.dedicated {
+		scan = 0
+	}
+	for i := 0; i < e.g.NumNodes(); i++ {
+		nd := e.g.Node(graph.NodeID(i))
+		svc := costs[i] * e.m.SecPerFLOP
+		if nd.Contended {
+			svc += e.m.ContentionCost * e.contenders(a, i, poolThreads)
+		}
+		for h, w := range a.Dist[i] {
+			loads[h] += rates[i] * w * svc
+		}
+	}
+	for h := 0; h < nSrc; h++ {
+		loads[h] += e.m.SourceOverhead
+	}
+	for i := 0; i < e.g.NumNodes(); i++ {
+		nd := e.g.Node(graph.NodeID(i))
+		for _, eg := range nd.Out {
+			to := e.g.Node(eg.To)
+			if to.Source || !e.placement[eg.To] {
+				continue
+			}
+			edgeRate := rates[i] * eg.RateFactor
+			prod := e.m.CopyPerByte*tupleBytes + e.m.EnqueueCost
+			for h, w := range a.Dist[i] {
+				loads[h] += edgeRate * w * prod
+			}
+			loads[a.HeadIndex[eg.To]] += edgeRate * (e.m.DequeueCost + scan)
+		}
+	}
+
+	// Offered per-source rate and resource utilizations.
+	x := e.Throughput()
+	sinkRate := 0.0
+	for _, s := range e.g.Sinks() {
+		sinkRate += rates[s]
+	}
+	if sinkRate > 0 {
+		x /= sinkRate // back to per-source units
+	}
+	x *= fraction
+
+	rhoOf := func(head int) float64 {
+		var rho float64
+		if head < nSrc {
+			rho = x * loads[head]
+		} else {
+			pooled := 0.0
+			for h := nSrc; h < nHeads; h++ {
+				pooled += loads[h]
+			}
+			cap := e.poolCapacity(coreAvail)
+			if e.dedicated {
+				cap = 1
+				pooled = loads[head]
+			}
+			rho = x * pooled / cap
+		}
+		if rho > 0.999 {
+			rho = 0.999
+		}
+		if rho < 0 {
+			rho = 0
+		}
+		return rho
+	}
+
+	// Per-node sojourn: service plus waiting when entering a region head.
+	sojourn := make([]float64, e.g.NumNodes())
+	for i := 0; i < e.g.NumNodes(); i++ {
+		nd := e.g.Node(graph.NodeID(i))
+		svc := costs[i] * e.m.SecPerFLOP
+		if nd.Contended {
+			svc += e.m.ContentionCost * e.contenders(a, i, poolThreads)
+		}
+		s := svc
+		if hi := a.HeadIndex[i]; hi >= nSrc {
+			// Entering a scheduler queue: copy, enqueue, dequeue, scan,
+			// and queueing delay at the pool's utilization.
+			cross := e.m.CopyPerByte*tupleBytes + e.m.EnqueueCost + e.m.DequeueCost + scan
+			rho := rhoOf(hi)
+			s += cross + (svc+cross)*rho/(1-rho)
+		}
+		sojourn[i] = s
+	}
+	// Source emission delay.
+	srcWait := make(map[graph.NodeID]float64, nSrc)
+	for h := 0; h < nSrc; h++ {
+		rho := rhoOf(h)
+		srcWait[a.Heads[h]] = e.m.SourceOverhead * (1 + rho/(1-rho))
+	}
+
+	// Longest path in topological order.
+	longest := make([]float64, e.g.NumNodes())
+	for _, id := range e.g.Topo() {
+		nd := e.g.Node(id)
+		base := longest[id]
+		if nd.Source {
+			base = srcWait[id]
+		}
+		base += sojourn[id]
+		longest[id] = base
+		for _, eg := range nd.Out {
+			if longest[eg.To] < base {
+				longest[eg.To] = base
+			}
+		}
+	}
+	maxLat := 0.0
+	for _, s := range e.g.Sinks() {
+		if longest[s] > maxLat {
+			maxLat = longest[s]
+		}
+	}
+	if math.IsNaN(maxLat) || math.IsInf(maxLat, 0) {
+		return time.Duration(math.MaxInt64)
+	}
+	return time.Duration(maxLat * float64(time.Second))
+}

@@ -1,0 +1,72 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+func TestEstimateLatencyPositiveFinite(t *testing.T) {
+	g := pipeline(t, 50, 500)
+	e := newEngine(t, g, Xeon176(), WithPayload(1024))
+	for _, frac := range []float64{0.1, 0.5, 0.9} {
+		lat := e.EstimateLatency(frac)
+		if lat <= 0 || lat > time.Minute {
+			t.Fatalf("latency at %.0f%% load = %v", 100*frac, lat)
+		}
+	}
+	// Degenerate fractions are clamped, not errors.
+	if e.EstimateLatency(0) <= 0 || e.EstimateLatency(5) <= 0 {
+		t.Fatal("clamped fractions produced non-positive latency")
+	}
+}
+
+func TestEstimateLatencyGrowsWithLoad(t *testing.T) {
+	g := pipeline(t, 50, 500)
+	e := newEngine(t, g, Xeon176().WithCores(32), WithPayload(1024))
+	if err := e.ApplyPlacement(placeEvery(g, 5)); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.SetThreadCount(16); err != nil {
+		t.Fatal(err)
+	}
+	low := e.EstimateLatency(0.2)
+	high := e.EstimateLatency(0.95)
+	if high <= low {
+		t.Fatalf("latency did not grow with load: %v at 20%%, %v at 95%%", low, high)
+	}
+}
+
+func TestEstimateLatencyManualHasNoQueueingDelay(t *testing.T) {
+	// At low load, the manual pipeline's latency is close to the pure
+	// service time; a queued placement adds crossing costs and waiting.
+	g := pipeline(t, 50, 500)
+	e := newEngine(t, g, Xeon176(), WithPayload(1024))
+	manual := e.EstimateLatency(0.1)
+	serviceOnly := time.Duration(49 * 500 * 1e-9 * float64(time.Second)) // 49 work ops
+	if manual < serviceOnly || manual > 3*serviceOnly {
+		t.Fatalf("manual low-load latency %v not near service floor %v", manual, serviceOnly)
+	}
+	if err := e.ApplyPlacement(placeEvery(g, 2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.SetThreadCount(32); err != nil {
+		t.Fatal(err)
+	}
+	queued := e.EstimateLatency(0.1)
+	if queued <= manual {
+		t.Fatalf("queued placement latency %v not above manual %v at equal low load", queued, manual)
+	}
+}
+
+func TestEstimateLatencyDeterministic(t *testing.T) {
+	g := pipeline(t, 30, 200)
+	e := newEngine(t, g, Power8(), WithPayload(256))
+	if err := e.ApplyPlacement(placeEvery(g, 3)); err != nil {
+		t.Fatal(err)
+	}
+	a := e.EstimateLatency(0.7)
+	b := e.EstimateLatency(0.7)
+	if a != b {
+		t.Fatalf("latency estimate not deterministic: %v vs %v", a, b)
+	}
+}

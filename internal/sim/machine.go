@@ -1,0 +1,97 @@
+// Package sim implements the simulated machine: a deterministic analytic
+// performance model of a processing element that implements core.Engine.
+// It reproduces the cost structure the paper identifies for the two
+// threading models — tuple copying at queue crossings, enqueue/dequeue
+// synchronization, the per-dispatch cost of scanning a growing list of
+// scheduler queues, lock contention on shared operators, and core limits —
+// and advances a virtual clock, so thousand-second adaptation experiments
+// on hundred-core machines replay in microseconds on any host.
+package sim
+
+// Machine describes the modeled hardware and runtime cost constants. All
+// costs are in seconds unless noted.
+type Machine struct {
+	// Name labels the machine in experiment output.
+	Name string
+	// Cores is the number of logical cores.
+	Cores int
+	// SecPerFLOP converts operator FLOP costs to service time.
+	SecPerFLOP float64
+	// CopyPerByte is the cost of copying one tuple byte into a scheduler
+	// queue (the paper's "copy overhead": SPL tuples are statically
+	// allocated, so queue crossings copy).
+	CopyPerByte float64
+	// EnqueueCost and DequeueCost are the synchronization costs of one
+	// queue crossing, paid by producer and consumer respectively.
+	EnqueueCost float64
+	DequeueCost float64
+	// ScanPerQueue models the work-finding overhead: each dispatch scans
+	// the scheduler-queue list, so dequeue cost grows with the number of
+	// queues ("an increasing list of scheduler queues means that each
+	// thread has to spend longer time in finding work").
+	ScanPerQueue float64
+	// ContentionCost is the extra service time a lock-contended operator
+	// pays per additional thread touching it (the Fig. 10 sink effect).
+	ContentionCost float64
+	// SourceOverhead is the fixed per-tuple cost of producing a tuple at a
+	// source.
+	SourceOverhead float64
+	// QueueSerialCost bounds a single queue's crossing rate: enqueue and
+	// dequeue serialize on the ring, capping one queue at
+	// 1/QueueSerialCost tuples per second.
+	QueueSerialCost float64
+	// MemBandwidth is the machine's copy bandwidth in bytes/second; the
+	// aggregate tuple copying of all queue crossings cannot exceed it.
+	// This is what makes large payloads favor the manual model.
+	MemBandwidth float64
+	// OversubAlpha shapes the penalty for running more scheduler threads
+	// than available cores: pool capacity is scaled by
+	// (cores/threads)^OversubAlpha when threads exceed cores.
+	OversubAlpha float64
+	// NoiseAmp is the relative amplitude of the deterministic measurement
+	// noise applied to observations, so controllers must genuinely
+	// discriminate trends from noise.
+	NoiseAmp float64
+}
+
+// Xeon176 models the paper's Xeon system with 176 logical cores.
+func Xeon176() Machine {
+	return Machine{
+		Name:            "xeon-176",
+		Cores:           176,
+		SecPerFLOP:      1e-9,
+		CopyPerByte:     0.1e-9,
+		EnqueueCost:     60e-9,
+		DequeueCost:     60e-9,
+		ScanPerQueue:    1e-9,
+		ContentionCost:  40e-9,
+		SourceOverhead:  50e-9,
+		QueueSerialCost: 25e-9,
+		MemBandwidth:    20e9,
+		OversubAlpha:    0.15,
+		NoiseAmp:        0.01,
+	}
+}
+
+// Power8 models the paper's Power8 system: two 3 GHz 12-core 8-way SMT
+// processors with one core disabled, yielding 184 logical cores. Relative
+// to the Xeon it has slightly slower per-thread compute and higher copy
+// bandwidth, which only perturbs the absolute numbers; the paper observes
+// the same trends on both.
+func Power8() Machine {
+	m := Xeon176()
+	m.Name = "power8-184"
+	m.Cores = 184
+	m.SecPerFLOP = 1.3e-9
+	m.MemBandwidth = 28e9
+	m.ContentionCost = 55e-9
+	return m
+}
+
+// WithCores returns a copy of m restricted to the given core count, used
+// for the paper's experiments that vary the available resources from 16 to
+// 88 cores.
+func (m Machine) WithCores(cores int) Machine {
+	m.Cores = cores
+	return m
+}

@@ -1,0 +1,134 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+
+	"streamelastic/internal/graph"
+	"streamelastic/internal/spl"
+)
+
+// randomPlacement marks each non-source node dynamic with probability p.
+func randomPlacement(g *graph.Graph, rng *rand.Rand, p float64) []bool {
+	out := make([]bool, g.NumNodes())
+	for i := range out {
+		if !g.Node(graph.NodeID(i)).Source && rng.Float64() < p {
+			out[i] = true
+		}
+	}
+	return out
+}
+
+// TestModelMonotoneInCores: for any placement and thread count, more cores
+// never reduce modeled throughput.
+func TestModelMonotoneInCores(t *testing.T) {
+	g := pipeline(t, 60, 500)
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 30; trial++ {
+		place := randomPlacement(g, rng, rng.Float64())
+		threads := 1 + rng.Intn(64)
+		prev := 0.0
+		for _, cores := range []int{2, 4, 8, 16, 32, 64, 128} {
+			e := newEngine(t, g, Xeon176().WithCores(cores), WithPayload(512), WithMaxThreads(256))
+			if err := e.ApplyPlacement(place); err != nil {
+				t.Fatal(err)
+			}
+			if err := e.SetThreadCount(threads); err != nil {
+				t.Fatal(err)
+			}
+			thr := e.Throughput()
+			if thr < prev*(1-1e-9) {
+				t.Fatalf("trial %d: throughput fell from %v to %v when cores rose to %d",
+					trial, prev, thr, cores)
+			}
+			prev = thr
+		}
+	}
+}
+
+// TestModelMonotoneInPayload: for any configuration with queues, a larger
+// payload never increases modeled throughput (copies only get costlier).
+func TestModelMonotoneInPayload(t *testing.T) {
+	g := pipeline(t, 60, 500)
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 30; trial++ {
+		place := randomPlacement(g, rng, 0.2+0.6*rng.Float64())
+		threads := 1 + rng.Intn(64)
+		prev := 0.0
+		for i, payload := range []int{16384, 4096, 1024, 256, 64, 16} {
+			e := newEngine(t, g, Xeon176(), WithPayload(payload))
+			if err := e.ApplyPlacement(place); err != nil {
+				t.Fatal(err)
+			}
+			if err := e.SetThreadCount(threads); err != nil {
+				t.Fatal(err)
+			}
+			thr := e.Throughput()
+			if i > 0 && thr < prev*(1-1e-9) {
+				t.Fatalf("trial %d: throughput fell from %v to %v when payload shrank to %d",
+					trial, prev, thr, payload)
+			}
+			prev = thr
+		}
+	}
+}
+
+// TestModelManualIndependentOfThreads: with no queues, scheduler threads
+// are idle, so the thread count cannot affect throughput.
+func TestModelManualIndependentOfThreads(t *testing.T) {
+	g := pipeline(t, 40, 200)
+	e := newEngine(t, g, Xeon176())
+	base := e.Throughput()
+	for _, threads := range []int{2, 8, 64, 200} {
+		if err := e.SetThreadCount(threads); err != nil {
+			t.Fatal(err)
+		}
+		if got := e.Throughput(); got != base {
+			t.Fatalf("manual throughput changed with %d idle threads: %v vs %v", threads, got, base)
+		}
+	}
+}
+
+// TestModelThroughputPositiveAndFinite: any valid configuration yields a
+// positive finite throughput.
+func TestModelThroughputPositiveAndFinite(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 50; trial++ {
+		n := 3 + rng.Intn(80)
+		g := pipeline(t, n, float64(1+rng.Intn(10000)))
+		e := newEngine(t, g, Xeon176().WithCores(1+rng.Intn(200)), WithPayload(rng.Intn(1<<14)))
+		place := randomPlacement(g, rng, rng.Float64())
+		if err := e.ApplyPlacement(place); err != nil {
+			t.Fatal(err)
+		}
+		if err := e.SetThreadCount(1 + rng.Intn(e.MaxThreads())); err != nil {
+			t.Fatal(err)
+		}
+		thr := e.Throughput()
+		if !(thr > 0) || thr > 1e12 {
+			t.Fatalf("trial %d: implausible throughput %v", trial, thr)
+		}
+	}
+}
+
+// TestModelZeroCostGraphStillBounded: even a graph of free operators is
+// bounded by source overhead.
+func TestModelZeroCostGraphStillBounded(t *testing.T) {
+	g := graph.New()
+	src := g.AddSource(nil, spl.NewCostVar(0))
+	a := g.AddOperator(nil, spl.NewCostVar(0))
+	if err := g.Connect(src, 0, a, 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	e := newEngine(t, g, Xeon176())
+	thr := e.Throughput()
+	if !(thr > 0) {
+		t.Fatalf("zero-cost throughput %v", thr)
+	}
+	if thr > 1/Xeon176().SourceOverhead*1.01 {
+		t.Fatalf("throughput %v exceeds the source-overhead bound", thr)
+	}
+}

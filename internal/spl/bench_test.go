@@ -1,0 +1,96 @@
+package spl
+
+import (
+	"testing"
+	"time"
+)
+
+func BenchmarkWorkOp100FLOPs(b *testing.B) {
+	w := NewWork("w", NewCostVar(100))
+	t := &Tuple{Num1: 1}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		w.Process(0, t, DiscardEmitter)
+	}
+}
+
+func BenchmarkWorkOp10KFLOPs(b *testing.B) {
+	w := NewWork("w", NewCostVar(10_000))
+	t := &Tuple{Num1: 1}
+	for i := 0; i < b.N; i++ {
+		w.Process(0, t, DiscardEmitter)
+	}
+}
+
+func BenchmarkTupleClone1KB(b *testing.B) {
+	t := &Tuple{Seq: 1, Payload: make([]byte, 1024)}
+	b.ReportAllocs()
+	b.SetBytes(1024)
+	for i := 0; i < b.N; i++ {
+		_ = t.Clone()
+	}
+}
+
+func BenchmarkTupleClone16KB(b *testing.B) {
+	t := &Tuple{Seq: 1, Payload: make([]byte, 16384)}
+	b.SetBytes(16384)
+	for i := 0; i < b.N; i++ {
+		_ = t.Clone()
+	}
+}
+
+func BenchmarkTokenize(b *testing.B) {
+	tk := NewTokenize("tok")
+	t := &Tuple{Text: "the quick brown fox jumps over the lazy dog"}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tk.Process(0, t, DiscardEmitter)
+	}
+}
+
+func BenchmarkKeyedCounter(b *testing.B) {
+	k := NewKeyedCounter("agg", 4096, 0)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		k.Process(0, &Tuple{Key: uint64(i % 64)}, DiscardEmitter)
+	}
+}
+
+func BenchmarkTimeWindowSliding(b *testing.B) {
+	w := NewTimeWindow("w", 60*time.Second, time.Second, AggCount)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		w.Process(0, &Tuple{
+			Time: int64(i) * int64(10*time.Millisecond),
+			Key:  uint64(i % 16),
+			Num1: 1,
+		}, DiscardEmitter)
+	}
+}
+
+func BenchmarkReorderInOrder(b *testing.B) {
+	r := NewReorder("r", 0, 4096)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r.Process(0, &Tuple{Seq: uint64(i)}, DiscardEmitter)
+	}
+}
+
+func BenchmarkKeyedJoinProbe(b *testing.B) {
+	j := NewKeyedJoin("join")
+	for k := uint64(0); k < 64; k++ {
+		j.Process(1, &Tuple{Key: k, Num1: float64(k)}, DiscardEmitter)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		j.Process(0, &Tuple{Key: uint64(i % 64), Num1: 1}, DiscardEmitter)
+	}
+}
+
+func BenchmarkSpinFLOPsCalibration(b *testing.B) {
+	// Measures how close SpinFLOPs(N) is to N actual FLOPs of work; the
+	// ns/op divided by N gives seconds-per-FLOP on this host.
+	for i := 0; i < b.N; i++ {
+		SpinFLOPs(1000, 1)
+	}
+}

@@ -1,0 +1,34 @@
+package spl
+
+import (
+	"math"
+	"sync/atomic"
+)
+
+// CostVar is a mutable per-operator compute cost, expressed in FLOPs per
+// tuple. It is shared between a synthetic Work operator (which spins for
+// that many floating-point operations in the live engine) and the simulated
+// machine (which converts it to service time analytically). Storing it
+// behind an atomic lets workload phase changes retarget operator costs while
+// an engine is running, which is how the Fig. 13 experiment perturbs the
+// workload.
+type CostVar struct {
+	bits atomic.Uint64
+}
+
+// NewCostVar returns a cost variable initialized to flops.
+func NewCostVar(flops float64) *CostVar {
+	v := &CostVar{}
+	v.Set(flops)
+	return v
+}
+
+// FLOPs returns the current cost in FLOPs per tuple.
+func (v *CostVar) FLOPs() float64 {
+	return math.Float64frombits(v.bits.Load())
+}
+
+// Set updates the cost to flops per tuple.
+func (v *CostVar) Set(flops float64) {
+	v.bits.Store(math.Float64bits(flops))
+}

@@ -1,0 +1,120 @@
+package spl
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Throttle wraps a Source and caps its emission rate, emulating a
+// rate-bounded feed (a network ingest, a line-rate NIC) on the live engine.
+// It uses a token bucket refilled in wall-clock time.
+type Throttle struct {
+	src Source
+	// TuplesPerSecond is the sustained rate cap.
+	TuplesPerSecond float64
+	// Burst is the bucket depth (default: one tenth of a second's worth).
+	Burst float64
+
+	tokens   float64
+	lastFill time.Time
+	now      func() time.Time
+}
+
+var _ Source = (*Throttle)(nil)
+
+// NewThrottle returns src capped at tuplesPerSecond.
+func NewThrottle(src Source, tuplesPerSecond float64) *Throttle {
+	return &Throttle{
+		src:             src,
+		TuplesPerSecond: tuplesPerSecond,
+		Burst:           tuplesPerSecond / 10,
+		now:             time.Now,
+	}
+}
+
+// Name returns the wrapped source's name with a throttle suffix.
+func (t *Throttle) Name() string { return t.src.Name() + "-throttled" }
+
+// Process is a no-op: sources have no input ports.
+func (t *Throttle) Process(int, *Tuple, Emitter) {}
+
+// Next emits the wrapped source's next tuple once a token is available,
+// sleeping briefly (never more than a millisecond) while the bucket is
+// empty so the engine's pause barrier stays responsive.
+func (t *Throttle) Next(out Emitter) bool {
+	if t.Burst < 1 {
+		t.Burst = 1
+	}
+	for {
+		now := t.now()
+		if t.lastFill.IsZero() {
+			// Start with one token so the first tuple is immediate even
+			// under an injected (frozen) clock.
+			t.lastFill = now
+			t.tokens = 1
+		}
+		t.tokens += now.Sub(t.lastFill).Seconds() * t.TuplesPerSecond
+		t.lastFill = now
+		if t.tokens > t.Burst {
+			t.tokens = t.Burst
+		}
+		if t.tokens >= 1 {
+			t.tokens--
+			return t.src.Next(out)
+		}
+		wait := time.Duration((1 - t.tokens) / t.TuplesPerSecond * float64(time.Second))
+		if wait > time.Millisecond {
+			wait = time.Millisecond
+		}
+		time.Sleep(wait)
+	}
+}
+
+// Sample forwards one tuple in every k, dropping the rest. It is stateless
+// across threads (an atomic counter), so it is safe under the dynamic
+// threading model.
+type Sample struct {
+	name string
+	k    uint64
+	n    atomic.Uint64
+}
+
+var _ Operator = (*Sample)(nil)
+
+// NewSample returns an operator passing every k-th tuple (k >= 1).
+func NewSample(name string, k int) *Sample {
+	if k < 1 {
+		k = 1
+	}
+	return &Sample{name: name, k: uint64(k)}
+}
+
+// Name returns the operator name.
+func (s *Sample) Name() string { return s.name }
+
+// Process forwards every k-th tuple.
+func (s *Sample) Process(_ int, t *Tuple, out Emitter) {
+	if s.n.Add(1)%s.k == 0 {
+		out.Emit(0, t)
+	}
+}
+
+// Union forwards tuples from any input port to output port 0, tagging
+// nothing: it exists to merge streams structurally where an explicit
+// operator is clearer than multiple edges into a shared consumer.
+type Union struct {
+	name string
+}
+
+var _ Operator = (*Union)(nil)
+
+// NewUnion returns a merging pass-through operator.
+func NewUnion(name string) *Union { return &Union{name: name} }
+
+// Name returns the operator name.
+func (u *Union) Name() string { return u.name }
+
+// Process forwards t unchanged on port 0.
+func (u *Union) Process(_ int, t *Tuple, out Emitter) {
+	out.Emit(0, t)
+}

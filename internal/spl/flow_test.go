@@ -1,0 +1,152 @@
+package spl
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestThrottleCapsRate(t *testing.T) {
+	gen := NewGenerator("src", 0)
+	th := NewThrottle(gen, 1000)
+	// Inject a fake clock so the test is deterministic and fast.
+	now := time.Unix(100, 0)
+	th.now = func() time.Time { return now }
+	out := newCollect()
+
+	// First call fills nothing (lastFill initializes); tokens start at 0,
+	// so the token loop sleeps. Advance the clock from a helper goroutine
+	// is overkill: instead pre-advance between calls.
+	emitted := 0
+	for i := 0; i < 50; i++ {
+		now = now.Add(time.Millisecond) // 1 token per ms at 1000/s
+		if th.Next(out) {
+			emitted++
+		}
+	}
+	if emitted != 50 {
+		t.Fatalf("emitted %d, want 50", emitted)
+	}
+	if len(out.byPort[0]) != 50 {
+		t.Fatalf("collected %d tuples", len(out.byPort[0]))
+	}
+}
+
+func TestThrottleBurstBounded(t *testing.T) {
+	gen := NewGenerator("src", 0)
+	th := NewThrottle(gen, 1000)
+	now := time.Unix(100, 0)
+	th.now = func() time.Time { return now }
+	out := newCollect()
+	// Prime lastFill.
+	now = now.Add(time.Millisecond)
+	if !th.Next(out) {
+		t.Fatal("first Next failed")
+	}
+	// A long idle period must not accumulate unbounded tokens: burst is
+	// 100 (one tenth of a second at 1000/s).
+	now = now.Add(10 * time.Second)
+	if !th.Next(out) {
+		t.Fatal("Next after idle failed")
+	}
+	if th.tokens > th.Burst {
+		t.Fatalf("tokens %v exceed burst %v", th.tokens, th.Burst)
+	}
+}
+
+func TestThrottleRealTimeApproximateRate(t *testing.T) {
+	gen := NewGenerator("src", 0)
+	th := NewThrottle(gen, 2000)
+	out := newCollect()
+	start := time.Now()
+	n := 0
+	for time.Since(start) < 200*time.Millisecond {
+		if th.Next(out) {
+			n++
+		}
+	}
+	// 2000/s over 0.2s = ~400; allow generous slack for scheduling.
+	if n < 150 || n > 900 {
+		t.Fatalf("throttled source emitted %d tuples in 200ms at 2000/s", n)
+	}
+}
+
+func TestThrottleName(t *testing.T) {
+	th := NewThrottle(NewGenerator("feed", 0), 10)
+	if th.Name() != "feed-throttled" {
+		t.Fatalf("name = %q", th.Name())
+	}
+}
+
+func TestSampleForwardsEveryKth(t *testing.T) {
+	s := NewSample("s", 5)
+	out := newCollect()
+	for i := 0; i < 100; i++ {
+		s.Process(0, &Tuple{Seq: uint64(i)}, out)
+	}
+	if got := len(out.byPort[0]); got != 20 {
+		t.Fatalf("sample passed %d tuples, want 20", got)
+	}
+}
+
+func TestSampleKOne(t *testing.T) {
+	s := NewSample("s", 0) // clamped to 1
+	out := newCollect()
+	for i := 0; i < 10; i++ {
+		s.Process(0, &Tuple{}, out)
+	}
+	if got := len(out.byPort[0]); got != 10 {
+		t.Fatalf("sample(1) passed %d tuples, want 10", got)
+	}
+}
+
+func TestSampleConcurrentCountExact(t *testing.T) {
+	s := NewSample("s", 4)
+	var mu sync.Mutex
+	count := 0
+	em := EmitterFunc(func(int, *Tuple) {
+		mu.Lock()
+		count++
+		mu.Unlock()
+	})
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 400; i++ {
+				s.Process(0, &Tuple{}, em)
+			}
+		}()
+	}
+	wg.Wait()
+	if count != 800 { // 3200 tuples / 4
+		t.Fatalf("concurrent sample passed %d, want 800", count)
+	}
+}
+
+func TestUnionForwards(t *testing.T) {
+	u := NewUnion("u")
+	out := newCollect()
+	u.Process(0, &Tuple{Seq: 1}, out)
+	u.Process(3, &Tuple{Seq: 2}, out)
+	if got := len(out.byPort[0]); got != 2 {
+		t.Fatalf("union forwarded %d tuples, want 2 on port 0", got)
+	}
+	if u.Name() != "u" {
+		t.Fatal("wrong name")
+	}
+}
+
+func TestGeneratorTextCorpus(t *testing.T) {
+	g := NewGenerator("src", 0)
+	g.Texts = []string{"alpha beta", "gamma"}
+	g.MaxTuples = 4
+	out := newCollect()
+	for g.Next(out) {
+	}
+	got := out.byPort[0]
+	if got[0].Text != "alpha beta" || got[1].Text != "gamma" || got[2].Text != "alpha beta" {
+		t.Fatalf("corpus cycling broken: %q %q %q", got[0].Text, got[1].Text, got[2].Text)
+	}
+}

@@ -1,0 +1,64 @@
+package spl
+
+import "sync"
+
+// KeyedJoin is an enrichment join: tuples on port 1 (the build side) update
+// a per-key table of the latest value; tuples on port 0 (the probe side)
+// are emitted enriched with the current build-side values, carrying the
+// probe tuple's Num1 and the build side's Num1 in Num2. Probe tuples whose
+// key has no build-side entry are dropped (inner-join semantics) unless
+// EmitUnmatched is set.
+//
+// This is the generalized form of the VWAP application's bargain join
+// (quotes probed against the latest per-symbol VWAP).
+type KeyedJoin struct {
+	name string
+	// EmitUnmatched forwards probe tuples with Num2 = 0 when the key has
+	// no build-side entry (left-outer semantics).
+	EmitUnmatched bool
+
+	mu    sync.Mutex
+	table map[uint64]float64
+}
+
+var (
+	_ Operator = (*KeyedJoin)(nil)
+	_ Stateful = (*KeyedJoin)(nil)
+)
+
+// NewKeyedJoin returns an enrichment join keyed on the Key attribute.
+func NewKeyedJoin(name string) *KeyedJoin {
+	return &KeyedJoin{name: name, table: make(map[uint64]float64)}
+}
+
+// Name returns the operator name.
+func (j *KeyedJoin) Name() string { return j.name }
+
+// Stateful marks the build table as serialized.
+func (j *KeyedJoin) Stateful() {}
+
+// Process updates the table (port 1) or probes it (port 0).
+func (j *KeyedJoin) Process(port int, t *Tuple, out Emitter) {
+	j.mu.Lock()
+	if port == 1 {
+		j.table[t.Key] = t.Num1
+		j.mu.Unlock()
+		return
+	}
+	v, ok := j.table[t.Key]
+	j.mu.Unlock()
+	if !ok && !j.EmitUnmatched {
+		return
+	}
+	out.Emit(0, &Tuple{
+		Seq: t.Seq, Key: t.Key, Time: t.Time, Text: t.Text,
+		Num1: t.Num1, Num2: v, Payload: t.Payload,
+	})
+}
+
+// Size returns the number of keys in the build table.
+func (j *KeyedJoin) Size() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return len(j.table)
+}

@@ -1,0 +1,66 @@
+package spl
+
+// Emitter delivers tuples produced by an operator to one of its output
+// ports. The runtime supplies the implementation: under the manual threading
+// model an emit executes the downstream operator inline on the calling
+// thread; under the dynamic model it copies the tuple into the downstream
+// scheduler queue.
+type Emitter interface {
+	// Emit submits t on the given output port. The callee takes ownership
+	// of t; the caller must not reuse it afterwards unless it emitted a
+	// Clone.
+	Emit(port int, t *Tuple)
+}
+
+// Operator processes tuples arriving on its input ports. Implementations
+// must be safe for concurrent Process calls unless they are marked as
+// stateful via the Stateful interface: under the dynamic threading model any
+// scheduler thread may execute any operator.
+type Operator interface {
+	// Name returns a short diagnostic name for the operator.
+	Name() string
+	// Process handles one tuple arriving on input port port, emitting any
+	// derived tuples through out.
+	Process(port int, t *Tuple, out Emitter)
+}
+
+// Source produces tuples when driven by a dedicated operator thread.
+// Sources are the roots of a stream graph; the runtime assigns each source
+// its own thread regardless of threading model.
+type Source interface {
+	Operator
+	// Next produces the next batch of tuples through out and reports
+	// whether the source can produce more. Returning false stops the
+	// operator thread.
+	Next(out Emitter) bool
+}
+
+// Stateful marks operators whose Process must not run concurrently with
+// itself. The runtime serializes execution of stateful operators with a
+// per-operator lock when they are scheduled dynamically.
+type Stateful interface {
+	Stateful()
+}
+
+// DrainExempt marks sources that must keep running while the engine drains
+// (for example transport imports, which carry the very tuples a drain waits
+// for); they stop only at full shutdown.
+type DrainExempt interface {
+	DrainExempt()
+}
+
+// Resettable is implemented by operators that carry accumulated state which
+// tests and repeated benchmark runs need to clear between runs.
+type Resettable interface {
+	Reset()
+}
+
+// EmitterFunc adapts a function to the Emitter interface.
+type EmitterFunc func(port int, t *Tuple)
+
+// Emit calls f(port, t).
+func (f EmitterFunc) Emit(port int, t *Tuple) { f(port, t) }
+
+// DiscardEmitter drops every tuple. It is useful for driving terminal
+// operators in tests.
+var DiscardEmitter Emitter = EmitterFunc(func(int, *Tuple) {})

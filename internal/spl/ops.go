@@ -1,0 +1,368 @@
+package spl
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Generator is a source that emits synthetic tuples with a configurable
+// payload size. It is the workhorse source for benchmarks: the paper's
+// representative benchmarks vary the tuple payload from 1 B to 16384 B.
+type Generator struct {
+	// PayloadBytes is the size of each tuple's payload.
+	PayloadBytes int
+	// MaxTuples bounds how many tuples the generator emits; 0 means
+	// unbounded.
+	MaxTuples uint64
+	// Keys is the number of distinct partition keys to cycle through;
+	// 0 or 1 means all tuples share key 0.
+	Keys uint64
+	// Texts, when non-empty, is a corpus the generator cycles through for
+	// the Text attribute (for tokenizer-style pipelines).
+	Texts []string
+
+	name    string
+	seq     uint64
+	payload []byte
+}
+
+var _ Source = (*Generator)(nil)
+
+// NewGenerator returns a generator source named name emitting tuples with
+// payloadBytes bytes of payload.
+func NewGenerator(name string, payloadBytes int) *Generator {
+	return &Generator{PayloadBytes: payloadBytes, name: name}
+}
+
+// Name returns the operator name.
+func (g *Generator) Name() string { return g.name }
+
+// Process is a no-op: generators have no input ports.
+func (g *Generator) Process(int, *Tuple, Emitter) {}
+
+// Next emits one tuple and reports whether more remain.
+func (g *Generator) Next(out Emitter) bool {
+	if g.MaxTuples != 0 && g.seq >= g.MaxTuples {
+		return false
+	}
+	if g.payload == nil && g.PayloadBytes > 0 {
+		g.payload = make([]byte, g.PayloadBytes)
+		for i := range g.payload {
+			g.payload[i] = byte(i)
+		}
+	}
+	t := &Tuple{Seq: g.seq, Time: int64(g.seq)}
+	if g.Keys > 1 {
+		t.Key = g.seq % g.Keys
+	}
+	if g.PayloadBytes > 0 {
+		// The emitted tuple shares the generator's payload buffer; the
+		// runtime clones tuples whenever they cross a scheduler queue,
+		// which is exactly where SPL pays its copy cost.
+		t.Payload = g.payload
+	}
+	if len(g.Texts) > 0 {
+		t.Text = g.Texts[g.seq%uint64(len(g.Texts))]
+	}
+	g.seq++
+	out.Emit(0, t)
+	return true
+}
+
+// Reset rewinds the generator's sequence counter.
+func (g *Generator) Reset() { g.seq = 0 }
+
+// Work is a synthetic compute operator that performs a configurable number
+// of floating-point operations per tuple and forwards the tuple downstream.
+// Its cost is read from a shared CostVar so workload phase changes apply to
+// running engines.
+type Work struct {
+	name string
+	cost *CostVar
+	// sink absorbs the spin result so the compiler cannot eliminate the
+	// loop; it is atomic because any scheduler thread may execute the
+	// operator concurrently under the dynamic threading model.
+	sink atomic.Uint64
+}
+
+var _ Operator = (*Work)(nil)
+
+// NewWork returns a compute operator named name whose per-tuple cost is
+// read from cost.
+func NewWork(name string, cost *CostVar) *Work {
+	return &Work{name: name, cost: cost}
+}
+
+// Name returns the operator name.
+func (w *Work) Name() string { return w.name }
+
+// Cost returns the operator's cost variable.
+func (w *Work) Cost() *CostVar { return w.cost }
+
+// Process burns the configured number of FLOPs and forwards the tuple on
+// port 0.
+func (w *Work) Process(_ int, t *Tuple, out Emitter) {
+	w.sink.Store(math.Float64bits(SpinFLOPs(w.cost.FLOPs(), t.Num1)))
+	out.Emit(0, t)
+}
+
+// SpinFLOPs performs approximately flops floating-point operations seeded
+// with x and returns an accumulated value so the compiler cannot eliminate
+// the loop.
+func SpinFLOPs(flops, x float64) float64 {
+	acc := x + 1.0001
+	// Each iteration is two FLOPs (one multiply, one add).
+	n := int(flops / 2)
+	for i := 0; i < n; i++ {
+		acc = acc*1.0000001 + 0.3
+	}
+	return acc
+}
+
+// Map applies a user function to each tuple and forwards the result on
+// port 0. A nil result drops the tuple.
+type Map struct {
+	name string
+	fn   func(*Tuple) *Tuple
+}
+
+var _ Operator = (*Map)(nil)
+
+// NewMap returns a mapping operator.
+func NewMap(name string, fn func(*Tuple) *Tuple) *Map {
+	return &Map{name: name, fn: fn}
+}
+
+// Name returns the operator name.
+func (m *Map) Name() string { return m.name }
+
+// Process applies the map function.
+func (m *Map) Process(_ int, t *Tuple, out Emitter) {
+	if r := m.fn(t); r != nil {
+		out.Emit(0, r)
+	}
+}
+
+// Filter forwards tuples for which the predicate returns true.
+type Filter struct {
+	name string
+	pred func(*Tuple) bool
+}
+
+var _ Operator = (*Filter)(nil)
+
+// NewFilter returns a filtering operator.
+func NewFilter(name string, pred func(*Tuple) bool) *Filter {
+	return &Filter{name: name, pred: pred}
+}
+
+// Name returns the operator name.
+func (f *Filter) Name() string { return f.name }
+
+// Process forwards t when the predicate accepts it.
+func (f *Filter) Process(_ int, t *Tuple, out Emitter) {
+	if f.pred(t) {
+		out.Emit(0, t)
+	}
+}
+
+// Tokenize splits the Text attribute on spaces and emits one tuple per
+// token, mirroring the word-count example in the paper's Fig. 2.
+type Tokenize struct {
+	name string
+}
+
+var _ Operator = (*Tokenize)(nil)
+
+// NewTokenize returns a tokenizing operator.
+func NewTokenize(name string) *Tokenize { return &Tokenize{name: name} }
+
+// Name returns the operator name.
+func (tk *Tokenize) Name() string { return tk.name }
+
+// Process emits one tuple per whitespace-separated token of t.Text.
+func (tk *Tokenize) Process(_ int, t *Tuple, out Emitter) {
+	for _, w := range strings.Fields(t.Text) {
+		out.Emit(0, &Tuple{Seq: t.Seq, Time: t.Time, Text: w, Key: hashString(w)})
+	}
+}
+
+func hashString(s string) uint64 {
+	// FNV-1a, inlined to avoid per-tuple hasher allocations.
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime
+	}
+	return h
+}
+
+// RoundRobinSplit distributes input tuples across its output ports in
+// round-robin order, implementing the data-parallel split of the paper's
+// benchmark graphs (Fig. 8b).
+type RoundRobinSplit struct {
+	name  string
+	width int
+	next  int
+	mu    sync.Mutex
+}
+
+var (
+	_ Operator = (*RoundRobinSplit)(nil)
+	_ Stateful = (*RoundRobinSplit)(nil)
+)
+
+// NewRoundRobinSplit returns a splitter across width output ports.
+func NewRoundRobinSplit(name string, width int) *RoundRobinSplit {
+	return &RoundRobinSplit{name: name, width: width}
+}
+
+// Name returns the operator name.
+func (s *RoundRobinSplit) Name() string { return s.name }
+
+// Stateful marks the splitter as serialized: the round-robin cursor is
+// shared state.
+func (s *RoundRobinSplit) Stateful() {}
+
+// Process forwards t on the next output port in round-robin order.
+func (s *RoundRobinSplit) Process(_ int, t *Tuple, out Emitter) {
+	s.mu.Lock()
+	p := s.next
+	s.next = (s.next + 1) % s.width
+	s.mu.Unlock()
+	out.Emit(p, t)
+}
+
+// KeyedCounter maintains per-key counts over a sliding count-based window
+// and periodically emits (key, count) tuples. It stands in for the paper's
+// windowed Aggregate operator.
+type KeyedCounter struct {
+	name      string
+	window    int
+	emitEvery int
+
+	mu     sync.Mutex
+	counts map[uint64]int64
+	ring   []uint64
+	pos    int
+	filled bool
+	seen   int
+}
+
+var (
+	_ Operator   = (*KeyedCounter)(nil)
+	_ Stateful   = (*KeyedCounter)(nil)
+	_ Resettable = (*KeyedCounter)(nil)
+)
+
+// NewKeyedCounter returns a sliding-window counter over the last window
+// tuples that emits current counts every emitEvery tuples.
+func NewKeyedCounter(name string, window, emitEvery int) *KeyedCounter {
+	return &KeyedCounter{
+		name:      name,
+		window:    window,
+		emitEvery: emitEvery,
+		counts:    make(map[uint64]int64),
+		ring:      make([]uint64, window),
+	}
+}
+
+// Name returns the operator name.
+func (k *KeyedCounter) Name() string { return k.name }
+
+// Stateful marks the counter as serialized.
+func (k *KeyedCounter) Stateful() {}
+
+// Reset clears all window state.
+func (k *KeyedCounter) Reset() {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	k.counts = make(map[uint64]int64)
+	k.ring = make([]uint64, k.window)
+	k.pos, k.seen, k.filled = 0, 0, false
+}
+
+// Process slides the window by t and emits the key's current count every
+// emitEvery tuples.
+func (k *KeyedCounter) Process(_ int, t *Tuple, out Emitter) {
+	k.mu.Lock()
+	if k.filled {
+		old := k.ring[k.pos]
+		if c := k.counts[old] - 1; c <= 0 {
+			delete(k.counts, old)
+		} else {
+			k.counts[old] = c
+		}
+	}
+	k.ring[k.pos] = t.Key
+	k.pos++
+	if k.pos == k.window {
+		k.pos, k.filled = 0, true
+	}
+	k.counts[t.Key]++
+	count := k.counts[t.Key]
+	k.seen++
+	emit := k.emitEvery > 0 && k.seen%k.emitEvery == 0
+	k.mu.Unlock()
+	if emit {
+		out.Emit(0, &Tuple{Seq: t.Seq, Time: t.Time, Key: t.Key, Text: t.Text, Num1: float64(count)})
+	}
+}
+
+// Count returns the current window count for key.
+func (k *KeyedCounter) Count(key uint64) int64 {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	return k.counts[key]
+}
+
+// CountingSink counts received tuples behind a mutex. The shared lock is
+// deliberate: the paper's data-parallel benchmark (Fig. 10) observes that a
+// sink tracking throughput with a lock-protected local variable becomes a
+// contention point as the thread count grows.
+type CountingSink struct {
+	name string
+
+	mu    sync.Mutex
+	count uint64
+}
+
+var (
+	_ Operator   = (*CountingSink)(nil)
+	_ Resettable = (*CountingSink)(nil)
+)
+
+// NewCountingSink returns a terminal counting operator.
+func NewCountingSink(name string) *CountingSink {
+	return &CountingSink{name: name}
+}
+
+// Name returns the operator name.
+func (c *CountingSink) Name() string { return c.name }
+
+// Process counts the tuple and emits nothing.
+func (c *CountingSink) Process(_ int, _ *Tuple, _ Emitter) {
+	c.mu.Lock()
+	c.count++
+	c.mu.Unlock()
+}
+
+// Count returns the number of tuples received so far.
+func (c *CountingSink) Count() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.count
+}
+
+// Reset zeroes the sink's counter.
+func (c *CountingSink) Reset() {
+	c.mu.Lock()
+	c.count = 0
+	c.mu.Unlock()
+}

@@ -1,0 +1,347 @@
+package spl
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+// collect gathers emitted tuples per port.
+type collect struct {
+	byPort map[int][]*Tuple
+}
+
+func newCollect() *collect { return &collect{byPort: make(map[int][]*Tuple)} }
+
+func (c *collect) Emit(port int, t *Tuple) {
+	c.byPort[port] = append(c.byPort[port], t)
+}
+
+func (c *collect) all() []*Tuple {
+	var out []*Tuple
+	for p := 0; p < len(c.byPort); p++ {
+		out = append(out, c.byPort[p]...)
+	}
+	return out
+}
+
+func TestGeneratorEmitsSequencedTuples(t *testing.T) {
+	g := NewGenerator("src", 16)
+	g.MaxTuples = 5
+	g.Keys = 3
+	out := newCollect()
+	n := 0
+	for g.Next(out) {
+		n++
+	}
+	if n != 5 {
+		t.Fatalf("generator produced %d tuples, want 5", n)
+	}
+	if g.Next(out) {
+		t.Fatal("generator produced past MaxTuples")
+	}
+	tuples := out.byPort[0]
+	for i, tp := range tuples {
+		if tp.Seq != uint64(i) {
+			t.Fatalf("tuple %d has seq %d", i, tp.Seq)
+		}
+		if tp.Key != uint64(i)%3 {
+			t.Fatalf("tuple %d has key %d, want %d", i, tp.Key, i%3)
+		}
+		if len(tp.Payload) != 16 {
+			t.Fatalf("tuple %d payload size %d, want 16", i, len(tp.Payload))
+		}
+	}
+}
+
+func TestGeneratorReset(t *testing.T) {
+	g := NewGenerator("src", 0)
+	g.MaxTuples = 1
+	out := newCollect()
+	if !g.Next(out) {
+		t.Fatal("first Next returned false")
+	}
+	if g.Next(out) {
+		t.Fatal("Next past MaxTuples returned true")
+	}
+	g.Reset()
+	if !g.Next(out) {
+		t.Fatal("Next after Reset returned false")
+	}
+}
+
+func TestGeneratorUnboundedAndZeroPayload(t *testing.T) {
+	g := NewGenerator("src", 0)
+	out := newCollect()
+	for i := 0; i < 100; i++ {
+		if !g.Next(out) {
+			t.Fatalf("unbounded generator stopped at %d", i)
+		}
+	}
+	if got := out.byPort[0][0].Payload; got != nil {
+		t.Fatalf("zero payload generator emitted payload %v", got)
+	}
+}
+
+func TestWorkForwardsAndBurnsCost(t *testing.T) {
+	cost := NewCostVar(1000)
+	w := NewWork("w", cost)
+	out := newCollect()
+	in := &Tuple{Seq: 42}
+	w.Process(0, in, out)
+	if len(out.byPort[0]) != 1 || out.byPort[0][0] != in {
+		t.Fatalf("work did not forward the tuple: %v", out.byPort)
+	}
+	if w.sink.Load() == 0 {
+		t.Fatal("work accumulated no result; spin may be eliminated")
+	}
+	if w.Cost() != cost {
+		t.Fatal("Cost() did not return the shared cost var")
+	}
+}
+
+func TestCostVarSetGet(t *testing.T) {
+	v := NewCostVar(10)
+	if got := v.FLOPs(); got != 10 {
+		t.Fatalf("FLOPs() = %v, want 10", got)
+	}
+	v.Set(12345.5)
+	if got := v.FLOPs(); got != 12345.5 {
+		t.Fatalf("FLOPs() after Set = %v, want 12345.5", got)
+	}
+}
+
+func TestSpinFLOPsReturnsFiniteWork(t *testing.T) {
+	a := SpinFLOPs(0, 1)
+	b := SpinFLOPs(10000, 1)
+	if a == b {
+		t.Fatal("spinning 10000 FLOPs produced the same value as 0 FLOPs")
+	}
+}
+
+func TestMapTransformsAndDrops(t *testing.T) {
+	m := NewMap("m", func(t *Tuple) *Tuple {
+		if t.Seq%2 == 1 {
+			return nil
+		}
+		t.Num1 = float64(t.Seq) * 2
+		return t
+	})
+	out := newCollect()
+	for i := 0; i < 4; i++ {
+		m.Process(0, &Tuple{Seq: uint64(i)}, out)
+	}
+	got := out.byPort[0]
+	if len(got) != 2 {
+		t.Fatalf("map forwarded %d tuples, want 2", len(got))
+	}
+	if got[1].Num1 != 4 {
+		t.Fatalf("map result Num1 = %v, want 4", got[1].Num1)
+	}
+}
+
+func TestFilterPredicate(t *testing.T) {
+	f := NewFilter("f", func(t *Tuple) bool { return t.Num1 > 0 })
+	out := newCollect()
+	f.Process(0, &Tuple{Num1: 1}, out)
+	f.Process(0, &Tuple{Num1: -1}, out)
+	if len(out.byPort[0]) != 1 {
+		t.Fatalf("filter passed %d tuples, want 1", len(out.byPort[0]))
+	}
+}
+
+func TestTokenizeSplitsWords(t *testing.T) {
+	tk := NewTokenize("tok")
+	out := newCollect()
+	tk.Process(0, &Tuple{Seq: 9, Text: "  the quick  brown fox "}, out)
+	got := out.byPort[0]
+	want := []string{"the", "quick", "brown", "fox"}
+	if len(got) != len(want) {
+		t.Fatalf("tokenize emitted %d tuples, want %d", len(got), len(want))
+	}
+	for i, w := range want {
+		if got[i].Text != w {
+			t.Fatalf("token %d = %q, want %q", i, got[i].Text, w)
+		}
+		if got[i].Seq != 9 {
+			t.Fatalf("token %d lost source seq: %d", i, got[i].Seq)
+		}
+	}
+	if got[0].Key == got[1].Key {
+		t.Fatal("distinct words hashed to the same key")
+	}
+}
+
+func TestHashStringStable(t *testing.T) {
+	f := func(s string) bool { return hashString(s) == hashString(s) }
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+	if hashString("a") == hashString("b") {
+		t.Fatal("trivially distinct strings collided")
+	}
+}
+
+func TestRoundRobinSplitDistributesEvenly(t *testing.T) {
+	s := NewRoundRobinSplit("split", 4)
+	out := newCollect()
+	for i := 0; i < 40; i++ {
+		s.Process(0, &Tuple{Seq: uint64(i)}, out)
+	}
+	for p := 0; p < 4; p++ {
+		if len(out.byPort[p]) != 10 {
+			t.Fatalf("port %d received %d tuples, want 10", p, len(out.byPort[p]))
+		}
+	}
+}
+
+func TestRoundRobinSplitConcurrentSafety(t *testing.T) {
+	s := NewRoundRobinSplit("split", 3)
+	var mu sync.Mutex
+	counts := make(map[int]int)
+	em := EmitterFunc(func(port int, _ *Tuple) {
+		mu.Lock()
+		counts[port]++
+		mu.Unlock()
+	})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 300; i++ {
+				s.Process(0, &Tuple{}, em)
+			}
+		}()
+	}
+	wg.Wait()
+	total := 0
+	for p, c := range counts {
+		total += c
+		if c != 400 {
+			t.Fatalf("port %d received %d tuples, want 400", p, c)
+		}
+	}
+	if total != 1200 {
+		t.Fatalf("total %d, want 1200", total)
+	}
+}
+
+func TestKeyedCounterSlidingWindow(t *testing.T) {
+	k := NewKeyedCounter("agg", 4, 0)
+	out := newCollect()
+	// Window of 4: after tuples with keys 1,1,2,3 the count of 1 is 2.
+	for _, key := range []uint64{1, 1, 2, 3} {
+		k.Process(0, &Tuple{Key: key}, out)
+	}
+	if got := k.Count(1); got != 2 {
+		t.Fatalf("count(1) = %d, want 2", got)
+	}
+	// Two more tuples evict the two 1s.
+	k.Process(0, &Tuple{Key: 4}, out)
+	k.Process(0, &Tuple{Key: 5}, out)
+	if got := k.Count(1); got != 0 {
+		t.Fatalf("count(1) after eviction = %d, want 0", got)
+	}
+	if got := k.Count(3); got != 1 {
+		t.Fatalf("count(3) = %d, want 1", got)
+	}
+}
+
+func TestKeyedCounterEmitsPeriodically(t *testing.T) {
+	k := NewKeyedCounter("agg", 10, 3)
+	out := newCollect()
+	for i := 0; i < 9; i++ {
+		k.Process(0, &Tuple{Key: 1}, out)
+	}
+	if len(out.byPort[0]) != 3 {
+		t.Fatalf("counter emitted %d tuples, want 3", len(out.byPort[0]))
+	}
+	last := out.byPort[0][2]
+	if last.Num1 != 9 {
+		t.Fatalf("emitted count = %v, want 9", last.Num1)
+	}
+}
+
+func TestKeyedCounterReset(t *testing.T) {
+	k := NewKeyedCounter("agg", 4, 0)
+	k.Process(0, &Tuple{Key: 1}, DiscardEmitter)
+	k.Reset()
+	if got := k.Count(1); got != 0 {
+		t.Fatalf("count after reset = %d, want 0", got)
+	}
+}
+
+func TestKeyedCounterWindowNeverExceedsSize(t *testing.T) {
+	f := func(keys []uint8) bool {
+		window := 8
+		k := NewKeyedCounter("agg", window, 0)
+		for _, key := range keys {
+			k.Process(0, &Tuple{Key: uint64(key % 4)}, DiscardEmitter)
+		}
+		total := int64(0)
+		for key := uint64(0); key < 4; key++ {
+			total += k.Count(key)
+		}
+		limit := int64(window)
+		if int64(len(keys)) < limit {
+			limit = int64(len(keys))
+		}
+		return total == limit
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCountingSinkConcurrent(t *testing.T) {
+	s := NewCountingSink("snk")
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				s.Process(0, &Tuple{}, DiscardEmitter)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := s.Count(); got != 4000 {
+		t.Fatalf("sink counted %d, want 4000", got)
+	}
+	s.Reset()
+	if got := s.Count(); got != 0 {
+		t.Fatalf("sink count after reset = %d, want 0", got)
+	}
+}
+
+func TestOperatorNames(t *testing.T) {
+	ops := []Operator{
+		NewGenerator("g", 0),
+		NewWork("w", NewCostVar(1)),
+		NewMap("m", func(t *Tuple) *Tuple { return t }),
+		NewFilter("f", func(*Tuple) bool { return true }),
+		NewTokenize("t"),
+		NewRoundRobinSplit("s", 2),
+		NewKeyedCounter("k", 2, 1),
+		NewCountingSink("c"),
+	}
+	for i, op := range ops {
+		if op.Name() == "" {
+			t.Fatalf("operator %d (%T) has empty name", i, op)
+		}
+	}
+}
+
+func ExampleTokenize() {
+	tk := NewTokenize("tok")
+	tk.Process(0, &Tuple{Text: "hello elastic world"}, EmitterFunc(func(_ int, t *Tuple) {
+		fmt.Println(t.Text)
+	}))
+	// Output:
+	// hello
+	// elastic
+	// world
+}

@@ -1,0 +1,112 @@
+package spl
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Reorder restores per-stream sequence order downstream of a dynamic
+// region: under the dynamic threading model several scheduler threads
+// process tuples of the same stream concurrently, so arrival order at a
+// consumer is not emission order. Reorder buffers out-of-order tuples and
+// releases them in ascending Seq order.
+//
+// The buffer is bounded: when it fills, the operator force-releases from
+// the smallest buffered sequence onward (counting the order violation)
+// rather than stalling the pipeline, and tuples older than the release
+// cursor are dropped as duplicates/late.
+type Reorder struct {
+	name string
+	cap  int
+
+	mu   sync.Mutex
+	next uint64
+	buf  map[uint64]*Tuple
+
+	forced  atomic.Uint64
+	dropped atomic.Uint64
+}
+
+var (
+	_ Operator = (*Reorder)(nil)
+	_ Stateful = (*Reorder)(nil)
+)
+
+// NewReorder returns a resequencer expecting Seq values starting at start,
+// buffering at most capacity out-of-order tuples.
+func NewReorder(name string, start uint64, capacity int) *Reorder {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Reorder{name: name, cap: capacity, next: start, buf: make(map[uint64]*Tuple)}
+}
+
+// Name returns the operator name.
+func (r *Reorder) Name() string { return r.name }
+
+// Stateful marks the resequencing buffer as serialized.
+func (r *Reorder) Stateful() {}
+
+// Process buffers or releases t, emitting any newly contiguous run.
+func (r *Reorder) Process(_ int, t *Tuple, out Emitter) {
+	r.mu.Lock()
+	var release []*Tuple
+	switch {
+	case t.Seq < r.next:
+		r.dropped.Add(1)
+	case t.Seq == r.next:
+		release = append(release, t)
+		r.next++
+		for {
+			nt, ok := r.buf[r.next]
+			if !ok {
+				break
+			}
+			delete(r.buf, r.next)
+			release = append(release, nt)
+			r.next++
+		}
+	default:
+		r.buf[t.Seq] = t
+		if len(r.buf) > r.cap {
+			// Bounded buffer: give up on the gap and release everything
+			// we can, in order, from the smallest buffered sequence.
+			r.forced.Add(1)
+			min := t.Seq
+			for s := range r.buf {
+				if s < min {
+					min = s
+				}
+			}
+			r.next = min
+			for {
+				nt, ok := r.buf[r.next]
+				if !ok {
+					break
+				}
+				delete(r.buf, r.next)
+				release = append(release, nt)
+				r.next++
+			}
+		}
+	}
+	r.mu.Unlock()
+	for _, rt := range release {
+		out.Emit(0, rt)
+	}
+}
+
+// Forced returns how many times the bounded buffer forced an out-of-order
+// release.
+func (r *Reorder) Forced() uint64 { return r.forced.Load() }
+
+// Dropped returns how many tuples arrived behind the release cursor and
+// were discarded.
+func (r *Reorder) Dropped() uint64 { return r.dropped.Load() }
+
+// Pending returns the number of buffered out-of-order tuples.
+func (r *Reorder) Pending() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.buf)
+}

@@ -1,0 +1,170 @@
+package spl
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func seqOf(out []*Tuple) []uint64 {
+	s := make([]uint64, len(out))
+	for i, t := range out {
+		s[i] = t.Seq
+	}
+	return s
+}
+
+func TestReorderPassThroughInOrder(t *testing.T) {
+	r := NewReorder("r", 0, 16)
+	out := newCollect()
+	for i := uint64(0); i < 10; i++ {
+		r.Process(0, &Tuple{Seq: i}, out)
+	}
+	got := seqOf(out.byPort[0])
+	if len(got) != 10 {
+		t.Fatalf("released %d", len(got))
+	}
+	for i, s := range got {
+		if s != uint64(i) {
+			t.Fatalf("out of order at %d: %v", i, got)
+		}
+	}
+	if r.Pending() != 0 || r.Forced() != 0 || r.Dropped() != 0 {
+		t.Fatalf("counters: pending %d forced %d dropped %d", r.Pending(), r.Forced(), r.Dropped())
+	}
+}
+
+func TestReorderBuffersGap(t *testing.T) {
+	r := NewReorder("r", 0, 16)
+	out := newCollect()
+	r.Process(0, &Tuple{Seq: 2}, out)
+	r.Process(0, &Tuple{Seq: 1}, out)
+	if len(out.byPort[0]) != 0 {
+		t.Fatalf("released before the gap filled: %v", seqOf(out.byPort[0]))
+	}
+	if r.Pending() != 2 {
+		t.Fatalf("pending = %d", r.Pending())
+	}
+	r.Process(0, &Tuple{Seq: 0}, out)
+	got := seqOf(out.byPort[0])
+	if len(got) != 3 || got[0] != 0 || got[1] != 1 || got[2] != 2 {
+		t.Fatalf("release order %v", got)
+	}
+}
+
+func TestReorderRandomPermutationWithinWindow(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 30; trial++ {
+		r := NewReorder("r", 0, 64)
+		out := newCollect()
+		// Shuffle within windows of 32 (< capacity) so order is restored
+		// exactly.
+		const total = 512
+		var stream []uint64
+		for base := uint64(0); base < total; base += 32 {
+			window := make([]uint64, 32)
+			for i := range window {
+				window[i] = base + uint64(i)
+			}
+			rng.Shuffle(len(window), func(i, j int) { window[i], window[j] = window[j], window[i] })
+			stream = append(stream, window...)
+		}
+		for _, s := range stream {
+			r.Process(0, &Tuple{Seq: s}, out)
+		}
+		got := seqOf(out.byPort[0])
+		if len(got) != total {
+			t.Fatalf("trial %d: released %d of %d", trial, len(got), total)
+		}
+		for i, s := range got {
+			if s != uint64(i) {
+				t.Fatalf("trial %d: out of order at %d: %d", trial, i, s)
+			}
+		}
+		if r.Forced() != 0 {
+			t.Fatalf("trial %d: forced releases within capacity", trial)
+		}
+	}
+}
+
+func TestReorderBoundedBufferForcesRelease(t *testing.T) {
+	r := NewReorder("r", 0, 4)
+	out := newCollect()
+	// Seq 0 never arrives; 1..6 overflow the 4-slot buffer.
+	for s := uint64(1); s <= 6; s++ {
+		r.Process(0, &Tuple{Seq: s}, out)
+	}
+	if r.Forced() == 0 {
+		t.Fatal("buffer overflow did not force a release")
+	}
+	got := seqOf(out.byPort[0])
+	if len(got) == 0 {
+		t.Fatal("nothing released after overflow")
+	}
+	// Whatever was released is still internally ordered.
+	for i := 1; i < len(got); i++ {
+		if got[i] <= got[i-1] {
+			t.Fatalf("forced release out of order: %v", got)
+		}
+	}
+	// The abandoned tuple is dropped if it finally arrives.
+	before := len(out.byPort[0])
+	r.Process(0, &Tuple{Seq: 0}, out)
+	if len(out.byPort[0]) != before {
+		t.Fatal("late tuple released after its slot was abandoned")
+	}
+	if r.Dropped() != 1 {
+		t.Fatalf("dropped = %d, want 1", r.Dropped())
+	}
+}
+
+func TestReorderStartOffset(t *testing.T) {
+	r := NewReorder("r", 100, 8)
+	out := newCollect()
+	r.Process(0, &Tuple{Seq: 100}, out)
+	r.Process(0, &Tuple{Seq: 99}, out) // behind the cursor: dropped
+	if len(out.byPort[0]) != 1 {
+		t.Fatalf("released %d", len(out.byPort[0]))
+	}
+	if r.Dropped() != 1 {
+		t.Fatalf("dropped = %d", r.Dropped())
+	}
+}
+
+func TestKeyedJoinInner(t *testing.T) {
+	j := NewKeyedJoin("join")
+	out := newCollect()
+	// Probe before any build: dropped.
+	j.Process(0, &Tuple{Key: 1, Num1: 5}, out)
+	if len(out.byPort[0]) != 0 {
+		t.Fatal("unmatched probe emitted under inner semantics")
+	}
+	// Build then probe.
+	j.Process(1, &Tuple{Key: 1, Num1: 42}, out)
+	j.Process(0, &Tuple{Key: 1, Num1: 5, Text: "probe"}, out)
+	got := out.byPort[0]
+	if len(got) != 1 {
+		t.Fatalf("emitted %d", len(got))
+	}
+	if got[0].Num1 != 5 || got[0].Num2 != 42 || got[0].Text != "probe" {
+		t.Fatalf("joined tuple %+v", got[0])
+	}
+	// Newer build value wins.
+	j.Process(1, &Tuple{Key: 1, Num1: 43}, out)
+	j.Process(0, &Tuple{Key: 1, Num1: 6}, out)
+	if out.byPort[0][1].Num2 != 43 {
+		t.Fatalf("stale build value: %+v", out.byPort[0][1])
+	}
+	if j.Size() != 1 {
+		t.Fatalf("table size %d", j.Size())
+	}
+}
+
+func TestKeyedJoinLeftOuter(t *testing.T) {
+	j := NewKeyedJoin("join")
+	j.EmitUnmatched = true
+	out := newCollect()
+	j.Process(0, &Tuple{Key: 9, Num1: 7}, out)
+	if len(out.byPort[0]) != 1 || out.byPort[0][0].Num2 != 0 {
+		t.Fatalf("unmatched probe under outer semantics: %+v", out.byPort[0])
+	}
+}

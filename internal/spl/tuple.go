@@ -1,0 +1,52 @@
+// Package spl implements the stream-processing data and operator model that
+// the elastic runtime schedules: tuples, operators, sources, and a library of
+// built-in operators. It mirrors the SPL abstractions described in the paper
+// (operators receive and emit tuples on streams) without any scheduling
+// policy of its own; threading decisions live in internal/exec and
+// internal/core.
+package spl
+
+// Tuple is the unit of data flowing between operators.
+//
+// Tuples carry a fixed set of scalar attributes plus an opaque payload. The
+// payload is what makes tuple size matter to the scheduler: crossing a
+// scheduler queue deep-copies the tuple, including the payload, which is the
+// "copy overhead" the paper attributes to the dynamic threading model.
+type Tuple struct {
+	// Seq is a sequence number assigned by the producing source.
+	Seq uint64
+	// Key is a partitioning key used by keyed operators.
+	Key uint64
+	// Time is an event timestamp in nanoseconds, assigned by the source.
+	Time int64
+	// Text is the primary string attribute (e.g. a word, a domain name).
+	Text string
+	// Num1 and Num2 are numeric attributes (e.g. price and volume).
+	Num1 float64
+	Num2 float64
+	// Payload is the opaque serialized body of the tuple.
+	Payload []byte
+}
+
+// Clone returns a deep copy of the tuple. The payload bytes are copied, so
+// the clone can safely cross a scheduler queue while the original is reused
+// by the producing thread.
+func (t *Tuple) Clone() *Tuple {
+	c := *t
+	if t.Payload != nil {
+		c.Payload = make([]byte, len(t.Payload))
+		copy(c.Payload, t.Payload)
+	}
+	return &c
+}
+
+// Size returns the number of bytes the tuple occupies for copy-cost
+// accounting: the payload plus a fixed header estimate for the scalar
+// attributes.
+func (t *Tuple) Size() int {
+	return len(t.Payload) + tupleHeaderBytes + len(t.Text)
+}
+
+// tupleHeaderBytes approximates the fixed in-memory size of a tuple's scalar
+// attributes for copy-cost accounting.
+const tupleHeaderBytes = 64

@@ -1,0 +1,58 @@
+package spl
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestTupleCloneDeepCopiesPayload(t *testing.T) {
+	orig := &Tuple{Seq: 7, Key: 3, Text: "abc", Num1: 1.5, Payload: []byte{1, 2, 3}}
+	c := orig.Clone()
+	if c == orig {
+		t.Fatal("Clone returned the same pointer")
+	}
+	c.Payload[0] = 99
+	if orig.Payload[0] != 1 {
+		t.Fatalf("mutating clone payload changed original: %v", orig.Payload)
+	}
+	if c.Seq != orig.Seq || c.Key != orig.Key || c.Text != orig.Text || c.Num1 != orig.Num1 {
+		t.Fatalf("clone attributes differ: %+v vs %+v", c, orig)
+	}
+}
+
+func TestTupleCloneNilPayload(t *testing.T) {
+	orig := &Tuple{Seq: 1}
+	c := orig.Clone()
+	if c.Payload != nil {
+		t.Fatalf("clone of nil payload is %v, want nil", c.Payload)
+	}
+}
+
+func TestTupleClonePropertyIndependence(t *testing.T) {
+	f := func(seq, key uint64, text string, payload []byte) bool {
+		orig := &Tuple{Seq: seq, Key: key, Text: text, Payload: payload}
+		c := orig.Clone()
+		if len(payload) > 0 {
+			c.Payload[0] ^= 0xff
+			if orig.Payload[0] == c.Payload[0] {
+				return false
+			}
+		}
+		return c.Seq == seq && c.Key == key && c.Text == text && len(c.Payload) == len(payload)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTupleSizeCountsPayloadAndText(t *testing.T) {
+	small := (&Tuple{}).Size()
+	withPayload := (&Tuple{Payload: make([]byte, 100)}).Size()
+	if withPayload-small != 100 {
+		t.Fatalf("payload contributes %d bytes, want 100", withPayload-small)
+	}
+	withText := (&Tuple{Text: "hello"}).Size()
+	if withText-small != 5 {
+		t.Fatalf("text contributes %d bytes, want 5", withText-small)
+	}
+}

@@ -1,0 +1,219 @@
+package spl
+
+import (
+	"sync"
+	"time"
+)
+
+// AggregateFunc folds the numeric attribute of windowed tuples.
+type AggregateFunc int
+
+// Window aggregation functions over the Num1 attribute.
+const (
+	AggCount AggregateFunc = iota + 1
+	AggSum
+	AggAvg
+	AggMin
+	AggMax
+)
+
+// String returns the function name.
+func (f AggregateFunc) String() string {
+	switch f {
+	case AggCount:
+		return "count"
+	case AggSum:
+		return "sum"
+	case AggAvg:
+		return "avg"
+	case AggMin:
+		return "min"
+	case AggMax:
+		return "max"
+	default:
+		return "unknown"
+	}
+}
+
+// TimeWindow aggregates tuples per key over a sliding event-time window,
+// the windowing of the paper's Fig. 2 Aggregate operator
+// (`window sliding, time(60), time(1), partitioned`). Event time is the
+// tuple's Time attribute in nanoseconds; the window is divided into panes
+// of Slide duration, and an aggregate tuple is emitted per key whenever the
+// watermark (the largest Time seen) crosses into a new pane.
+//
+// The implementation is pane-based: each pane holds partial aggregates per
+// key, and a window result combines the last Size/Slide panes, so window
+// maintenance is O(panes), not O(tuples).
+type TimeWindow struct {
+	name  string
+	size  time.Duration
+	slide time.Duration
+	fn    AggregateFunc
+
+	mu        sync.Mutex
+	panes     map[int64]map[uint64]*paneAgg // pane index -> key -> partial
+	watermark int64
+	curPane   int64
+	started   bool
+}
+
+type paneAgg struct {
+	count int64
+	sum   float64
+	min   float64
+	max   float64
+	text  string
+}
+
+var (
+	_ Operator   = (*TimeWindow)(nil)
+	_ Stateful   = (*TimeWindow)(nil)
+	_ Resettable = (*TimeWindow)(nil)
+)
+
+// NewTimeWindow returns a sliding event-time window aggregator. size must
+// be a positive multiple of slide.
+func NewTimeWindow(name string, size, slide time.Duration, fn AggregateFunc) *TimeWindow {
+	if slide <= 0 {
+		slide = size
+	}
+	return &TimeWindow{
+		name:  name,
+		size:  size,
+		slide: slide,
+		fn:    fn,
+		panes: make(map[int64]map[uint64]*paneAgg),
+	}
+}
+
+// Name returns the operator name.
+func (w *TimeWindow) Name() string { return w.name }
+
+// Stateful marks the window state as serialized.
+func (w *TimeWindow) Stateful() {}
+
+// Reset clears all window state.
+func (w *TimeWindow) Reset() {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.panes = make(map[int64]map[uint64]*paneAgg)
+	w.watermark, w.curPane, w.started = 0, 0, false
+}
+
+// Process folds t into its pane and emits per-key aggregates when the
+// watermark advances into a new pane. Late tuples (older than the window)
+// are dropped.
+func (w *TimeWindow) Process(_ int, t *Tuple, out Emitter) {
+	w.mu.Lock()
+	emitted := w.fold(t)
+	w.mu.Unlock()
+	for _, e := range emitted {
+		out.Emit(0, e)
+	}
+}
+
+// fold updates state and returns any aggregate tuples to emit; the caller
+// holds the lock and emits outside it.
+func (w *TimeWindow) fold(t *Tuple) []*Tuple {
+	pane := t.Time / int64(w.slide)
+	if !w.started {
+		w.started = true
+		w.curPane = pane
+		w.watermark = t.Time
+	}
+	panesPerWindow := int64(w.size / w.slide)
+	if pane <= w.curPane-panesPerWindow {
+		return nil // too late: outside every open window
+	}
+
+	m := w.panes[pane]
+	if m == nil {
+		m = make(map[uint64]*paneAgg)
+		w.panes[pane] = m
+	}
+	agg := m[t.Key]
+	if agg == nil {
+		agg = &paneAgg{min: t.Num1, max: t.Num1, text: t.Text}
+		m[t.Key] = agg
+	}
+	agg.count++
+	agg.sum += t.Num1
+	if t.Num1 < agg.min {
+		agg.min = t.Num1
+	}
+	if t.Num1 > agg.max {
+		agg.max = t.Num1
+	}
+
+	if t.Time > w.watermark {
+		w.watermark = t.Time
+	}
+	var out []*Tuple
+	// Close every pane the watermark has fully passed.
+	for w.watermark/int64(w.slide) > w.curPane {
+		out = append(out, w.closePane(w.curPane)...)
+		w.curPane++
+		// Garbage-collect panes that can no longer contribute.
+		delete(w.panes, w.curPane-panesPerWindow)
+	}
+	return out
+}
+
+// closePane emits one aggregate per key over the window ending at pane.
+func (w *TimeWindow) closePane(pane int64) []*Tuple {
+	panesPerWindow := int64(w.size / w.slide)
+	keys := make(map[uint64]bool)
+	for p := pane - panesPerWindow + 1; p <= pane; p++ {
+		for k := range w.panes[p] {
+			keys[k] = true
+		}
+	}
+	var out []*Tuple
+	for k := range keys {
+		var total paneAgg
+		first := true
+		for p := pane - panesPerWindow + 1; p <= pane; p++ {
+			agg := w.panes[p][k]
+			if agg == nil {
+				continue
+			}
+			if first {
+				total.min, total.max, total.text = agg.min, agg.max, agg.text
+				first = false
+			}
+			total.count += agg.count
+			total.sum += agg.sum
+			if agg.min < total.min {
+				total.min = agg.min
+			}
+			if agg.max > total.max {
+				total.max = agg.max
+			}
+		}
+		if total.count == 0 {
+			continue
+		}
+		var value float64
+		switch w.fn {
+		case AggCount:
+			value = float64(total.count)
+		case AggSum:
+			value = total.sum
+		case AggAvg:
+			value = total.sum / float64(total.count)
+		case AggMin:
+			value = total.min
+		case AggMax:
+			value = total.max
+		}
+		out = append(out, &Tuple{
+			Key:  k,
+			Time: (pane + 1) * int64(w.slide),
+			Text: total.text,
+			Num1: value,
+			Num2: float64(total.count),
+		})
+	}
+	return out
+}

@@ -1,0 +1,191 @@
+package spl
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"time"
+)
+
+// feedWindow pushes tuples and returns everything emitted.
+func feedWindow(w *TimeWindow, tuples []*Tuple) []*Tuple {
+	var out []*Tuple
+	em := EmitterFunc(func(_ int, t *Tuple) { out = append(out, t) })
+	for _, t := range tuples {
+		w.Process(0, t, em)
+	}
+	return out
+}
+
+func at(sec int64, key uint64, v float64) *Tuple {
+	return &Tuple{Time: sec * int64(time.Second), Key: key, Num1: v}
+}
+
+func TestTimeWindowTumblingCount(t *testing.T) {
+	// Tumbling 10s window (slide == size).
+	w := NewTimeWindow("w", 10*time.Second, 0, AggCount)
+	out := feedWindow(w, []*Tuple{
+		at(1, 1, 5), at(3, 1, 5), at(7, 2, 5),
+		at(12, 1, 5), // crosses into the next pane: closes [0,10)
+	})
+	if len(out) != 2 {
+		t.Fatalf("emitted %d aggregates, want 2 (keys 1 and 2): %+v", len(out), out)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	if out[0].Key != 1 || out[0].Num1 != 2 {
+		t.Fatalf("key 1 count = %v, want 2", out[0].Num1)
+	}
+	if out[1].Key != 2 || out[1].Num1 != 1 {
+		t.Fatalf("key 2 count = %v, want 1", out[1].Num1)
+	}
+	// The emitted window-end timestamp is the pane boundary.
+	if out[0].Time != 10*int64(time.Second) {
+		t.Fatalf("window end = %d", out[0].Time)
+	}
+}
+
+func TestTimeWindowSlidingSum(t *testing.T) {
+	// 6s window sliding by 2s: the paper's sliding, time(60), time(1)
+	// shape at a smaller scale.
+	w := NewTimeWindow("w", 6*time.Second, 2*time.Second, AggSum)
+	var out []*Tuple
+	em := EmitterFunc(func(_ int, tp *Tuple) { out = append(out, tp) })
+	w.Process(0, at(1, 1, 10), em) // pane 0
+	w.Process(0, at(3, 1, 20), em) // pane 1
+	w.Process(0, at(5, 1, 30), em) // pane 2
+	if len(out) != 2 {
+		t.Fatalf("expected 2 pane closings so far, got %d", len(out))
+	}
+	// Pane 0 closes with sum 10 (only pane 0 in window), pane 1 with 30.
+	if out[0].Num1 != 10 || out[1].Num1 != 30 {
+		t.Fatalf("sliding sums = %v, %v; want 10, 30", out[0].Num1, out[1].Num1)
+	}
+	// Advance far: pane 2 closes with 10+20+30 = 60 (all within 6s)...
+	out = nil
+	w.Process(0, at(7, 1, 1), em) // closes pane 2
+	if len(out) != 1 || out[0].Num1 != 60 {
+		t.Fatalf("3-pane window sum = %+v, want 60", out)
+	}
+	// ...then pane 3 closes with 20+30+1 = 51 (pane 0 slid out).
+	out = nil
+	w.Process(0, at(9, 1, 0), em)
+	if len(out) != 1 || out[0].Num1 != 51 {
+		t.Fatalf("slid-out window sum = %+v, want 51", out)
+	}
+}
+
+func TestTimeWindowAggFunctions(t *testing.T) {
+	cases := []struct {
+		fn   AggregateFunc
+		want float64
+	}{
+		{AggCount, 3}, {AggSum, 60}, {AggAvg, 20}, {AggMin, 10}, {AggMax, 30},
+	}
+	for _, c := range cases {
+		w := NewTimeWindow("w", 10*time.Second, 0, c.fn)
+		out := feedWindow(w, []*Tuple{
+			at(1, 1, 10), at(2, 1, 20), at(3, 1, 30), at(11, 1, 0),
+		})
+		if len(out) != 1 {
+			t.Fatalf("%v: emitted %d", c.fn, len(out))
+		}
+		if out[0].Num1 != c.want {
+			t.Fatalf("%v = %v, want %v", c.fn, out[0].Num1, c.want)
+		}
+		if out[0].Num2 != 3 {
+			t.Fatalf("%v count attribute = %v, want 3", c.fn, out[0].Num2)
+		}
+	}
+}
+
+func TestTimeWindowDropsLateTuples(t *testing.T) {
+	w := NewTimeWindow("w", 4*time.Second, 2*time.Second, AggCount)
+	var out []*Tuple
+	em := EmitterFunc(func(_ int, tp *Tuple) { out = append(out, tp) })
+	w.Process(0, at(1, 1, 1), em)
+	w.Process(0, at(20, 1, 1), em) // watermark jumps far ahead
+	out = nil
+	w.Process(0, at(1, 1, 1), em) // far too late: silently dropped
+	w.Process(0, at(30, 1, 1), em)
+	// The late tuple must not appear in any later window.
+	for _, e := range out {
+		if e.Time <= 4*int64(time.Second) {
+			t.Fatalf("late tuple resurrected an old window: %+v", e)
+		}
+	}
+}
+
+func TestTimeWindowReset(t *testing.T) {
+	w := NewTimeWindow("w", 10*time.Second, 0, AggCount)
+	feedWindow(w, []*Tuple{at(1, 1, 1)})
+	w.Reset()
+	out := feedWindow(w, []*Tuple{at(100, 1, 1), at(111, 1, 1)})
+	if len(out) != 1 || out[0].Num1 != 1 {
+		t.Fatalf("after reset: %+v, want one count-1 window", out)
+	}
+}
+
+func TestTimeWindowPaneGarbageCollection(t *testing.T) {
+	w := NewTimeWindow("w", 4*time.Second, 2*time.Second, AggCount)
+	em := DiscardEmitter
+	for sec := int64(0); sec < 2000; sec += 2 {
+		w.Process(0, at(sec, uint64(sec%8), 1), em)
+	}
+	w.mu.Lock()
+	panes := len(w.panes)
+	w.mu.Unlock()
+	if panes > 4 {
+		t.Fatalf("window retains %d panes; expired panes not collected", panes)
+	}
+}
+
+// TestTimeWindowCountMatchesBruteForce cross-checks the pane-based
+// implementation against a brute-force recomputation on random streams.
+func TestTimeWindowCountMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	const (
+		size  = 8 * time.Second
+		slide = 2 * time.Second
+	)
+	for trial := 0; trial < 20; trial++ {
+		w := NewTimeWindow("w", size, slide, AggCount)
+		var events []*Tuple
+		tm := int64(0)
+		var emitted []*Tuple
+		em := EmitterFunc(func(_ int, tp *Tuple) { emitted = append(emitted, tp) })
+		for i := 0; i < 200; i++ {
+			tm += int64(rng.Intn(3)) * int64(time.Second)
+			tp := &Tuple{Time: tm, Key: uint64(rng.Intn(3)), Num1: 1}
+			events = append(events, tp)
+			w.Process(0, tp, em)
+		}
+		for _, agg := range emitted {
+			end := agg.Time
+			start := end - int64(size)
+			count := 0.0
+			for _, ev := range events {
+				if ev.Key == agg.Key && ev.Time >= start && ev.Time < end && ev.Time <= tm {
+					count++
+				}
+			}
+			if agg.Num1 != count {
+				t.Fatalf("trial %d: window ending %ds key %d: got %v, brute force %v",
+					trial, end/int64(time.Second), agg.Key, agg.Num1, count)
+			}
+		}
+	}
+}
+
+func TestAggregateFuncString(t *testing.T) {
+	for _, c := range []struct {
+		fn   AggregateFunc
+		want string
+	}{
+		{AggCount, "count"}, {AggSum, "sum"}, {AggAvg, "avg"},
+		{AggMin, "min"}, {AggMax, "max"}, {AggregateFunc(0), "unknown"},
+	} {
+		if c.fn.String() != c.want {
+			t.Fatalf("%d.String() = %q", c.fn, c.fn.String())
+		}
+	}
+}

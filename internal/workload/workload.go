@@ -1,0 +1,401 @@
+// Package workload builds the representative benchmark graphs of the
+// paper's evaluation (Fig. 8): pipeline, data-parallel, mixed and bushy
+// topologies, with balanced or skewed per-operator cost distributions and
+// configurable tuple payloads. Every graph is fully executable (real
+// operators), so the same build runs on the live engine and on the
+// simulated machine.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"streamelastic/internal/graph"
+	"streamelastic/internal/spl"
+)
+
+// The paper's skewed distribution: 10% heavy-weight operators at 10,000
+// FLOPs per tuple, 30% medium-weight at 100, the rest light-weight at 1.
+const (
+	HeavyFLOPs  = 10000
+	MediumFLOPs = 100
+	LightFLOPs  = 1
+
+	defaultHeavyRatio  = 0.10
+	defaultMediumRatio = 0.30
+)
+
+// Config selects the cost distribution and tuple shape of a benchmark
+// graph.
+type Config struct {
+	// PayloadBytes is the tuple payload size (the paper sweeps 1 B to
+	// 16384 B).
+	PayloadBytes int
+	// Skewed selects the skewed cost distribution; otherwise every work
+	// operator costs BalancedFLOPs.
+	Skewed bool
+	// BalancedFLOPs is the uniform per-tuple cost under the balanced
+	// distribution (the paper uses 100).
+	BalancedFLOPs float64
+	// Seed drives the random placement of heavy/medium/light operators.
+	Seed int64
+	// Tuples bounds the source; 0 means unbounded (benchmarks use
+	// unbounded sources and measure rates).
+	Tuples uint64
+	// SourceFLOPs is the per-tuple ingest cost charged to the source
+	// operator (deserialization, protocol handling). The Fig. 13
+	// experiment uses it to model a rate-bounded feed.
+	SourceFLOPs float64
+}
+
+// DefaultConfig returns the paper's common operating point: balanced
+// 100-FLOP operators and a 1 KB payload.
+func DefaultConfig() Config {
+	return Config{PayloadBytes: 1024, BalancedFLOPs: 100, Seed: 1}
+}
+
+// Build is a constructed benchmark graph together with the handles
+// experiments need: the cost variables of the work operators (for workload
+// phase changes) and the sink.
+type Build struct {
+	// Graph is the finalized operator graph.
+	Graph *graph.Graph
+	// Sink is the terminal counting operator.
+	Sink *spl.CountingSink
+	// WorkCosts holds the cost variable of every work operator, in
+	// creation order.
+	WorkCosts []*spl.CostVar
+	// Name describes the build for experiment output.
+	Name string
+}
+
+// assignCosts applies the configured distribution over the work operators.
+func (b *Build) assignCosts(cfg Config) {
+	if !cfg.Skewed {
+		flops := cfg.BalancedFLOPs
+		if flops <= 0 {
+			flops = 100
+		}
+		for _, cv := range b.WorkCosts {
+			cv.Set(flops)
+		}
+		return
+	}
+	b.ApplySkew(defaultHeavyRatio, defaultMediumRatio, cfg.Seed)
+}
+
+// ApplySkew reassigns work-operator costs with the given heavy and medium
+// ratios, placing the classes at seeded-random positions ("we randomly
+// place the heavy-, medium- and light-weight operators in the graph without
+// any prior knowledge"). Experiments use it directly for the Fig. 13
+// workload phase change (heavy ratio 10% -> 90%).
+func (b *Build) ApplySkew(heavyRatio, mediumRatio float64, seed int64) {
+	n := len(b.WorkCosts)
+	rng := rand.New(rand.NewSource(seed))
+	perm := rng.Perm(n)
+	nHeavy := int(heavyRatio * float64(n))
+	nMedium := int(mediumRatio * float64(n))
+	for i, p := range perm {
+		switch {
+		case i < nHeavy:
+			b.WorkCosts[p].Set(HeavyFLOPs)
+		case i < nHeavy+nMedium:
+			b.WorkCosts[p].Set(MediumFLOPs)
+		default:
+			b.WorkCosts[p].Set(LightFLOPs)
+		}
+	}
+}
+
+// newSource builds the benchmark generator.
+func newSource(cfg Config) *spl.Generator {
+	gen := spl.NewGenerator("src", cfg.PayloadBytes)
+	gen.MaxTuples = cfg.Tuples
+	return gen
+}
+
+// sourceCost returns the source node's cost variable.
+func sourceCost(cfg Config) *spl.CostVar {
+	return spl.NewCostVar(cfg.SourceFLOPs)
+}
+
+// addWork appends a work operator to the graph and records its cost var.
+func (b *Build) addWork(g *graph.Graph, name string) graph.NodeID {
+	cv := spl.NewCostVar(0)
+	b.WorkCosts = append(b.WorkCosts, cv)
+	return g.AddOperator(spl.NewWork(name, cv), cv)
+}
+
+// Pipeline builds the Fig. 8(a) chain: a source, n-2 work operators and a
+// sink, n operators in total (the paper's pipelines have 100 to 1000).
+func Pipeline(n int, cfg Config) (*Build, error) {
+	if n < 3 {
+		return nil, fmt.Errorf("workload: pipeline needs >= 3 operators, got %d", n)
+	}
+	b := &Build{Name: fmt.Sprintf("pipeline-%d", n)}
+	g := graph.New()
+	prev := g.AddSource(newSource(cfg), sourceCost(cfg))
+	for i := 0; i < n-2; i++ {
+		id := b.addWork(g, fmt.Sprintf("w%d", i))
+		if err := g.Connect(prev, 0, id, 0, 1); err != nil {
+			return nil, err
+		}
+		prev = id
+	}
+	if err := b.finish(g, prev, cfg, false); err != nil {
+		return nil, err
+	}
+	return b, nil
+}
+
+// DataParallel builds the Fig. 8(b) graph: a source splitting across width
+// parallel work operators that all feed one sink. The sink is marked
+// lock-contended, reproducing the throughput-counter contention the paper
+// observes on this topology (Fig. 10).
+func DataParallel(width int, cfg Config) (*Build, error) {
+	if width < 1 {
+		return nil, fmt.Errorf("workload: data-parallel width %d < 1", width)
+	}
+	b := &Build{Name: fmt.Sprintf("dataparallel-%d", width)}
+	g := graph.New()
+	src := g.AddSource(newSource(cfg), sourceCost(cfg))
+	split := g.AddOperator(spl.NewRoundRobinSplit("split", width), nil)
+	if err := g.Connect(src, 0, split, 0, 1); err != nil {
+		return nil, err
+	}
+	b.Sink = spl.NewCountingSink("snk")
+	snk := g.AddOperator(b.Sink, nil)
+	for i := 0; i < width; i++ {
+		w := b.addWork(g, fmt.Sprintf("w%d", i))
+		if err := g.Connect(split, i, w, 0, 1/float64(width)); err != nil {
+			return nil, err
+		}
+		if err := g.Connect(w, 0, snk, 0, 1); err != nil {
+			return nil, err
+		}
+	}
+	g.SetContended(snk)
+	b.assignCosts(cfg)
+	if err := g.Finalize(); err != nil {
+		return nil, err
+	}
+	b.Graph = g
+	return b, nil
+}
+
+// Mixed builds the Fig. 8(c) graph: width data-parallel chains of depth
+// work operators each, between a source-side split and a shared sink (the
+// paper uses width 10 and depth 50-100).
+func Mixed(width, depth int, cfg Config) (*Build, error) {
+	if width < 1 || depth < 1 {
+		return nil, fmt.Errorf("workload: mixed width %d / depth %d invalid", width, depth)
+	}
+	b := &Build{Name: fmt.Sprintf("mixed-%dx%d", width, depth)}
+	g := graph.New()
+	src := g.AddSource(newSource(cfg), sourceCost(cfg))
+	split := g.AddOperator(spl.NewRoundRobinSplit("split", width), nil)
+	if err := g.Connect(src, 0, split, 0, 1); err != nil {
+		return nil, err
+	}
+	b.Sink = spl.NewCountingSink("snk")
+	snk := g.AddOperator(b.Sink, nil)
+	for i := 0; i < width; i++ {
+		prev := graph.NodeID(-1)
+		for d := 0; d < depth; d++ {
+			w := b.addWork(g, fmt.Sprintf("w%d.%d", i, d))
+			if d == 0 {
+				if err := g.Connect(split, i, w, 0, 1/float64(width)); err != nil {
+					return nil, err
+				}
+			} else {
+				if err := g.Connect(prev, 0, w, 0, 1); err != nil {
+					return nil, err
+				}
+			}
+			prev = w
+		}
+		if err := g.Connect(prev, 0, snk, 0, 1); err != nil {
+			return nil, err
+		}
+	}
+	b.assignCosts(cfg)
+	if err := g.Finalize(); err != nil {
+		return nil, err
+	}
+	b.Graph = g
+	return b, nil
+}
+
+// Bushy builds the Fig. 8(d) tree used in the paper's bushy benchmark:
+// a binary fan-out of splits, parallel work chains at the leaves, and a
+// binary fan-in of merge operators, totalling exact 82 operators like the
+// paper's graph. All work operators share the same cost under the balanced
+// distribution.
+func Bushy(cfg Config) (*Build, error) {
+	const (
+		fanDepth    = 3 // 7 splitters, 8 leaves
+		leaves      = 8
+		chainLength = 8 // work ops per leaf chain
+	)
+	b := &Build{Name: "bushy-82"}
+	g := graph.New()
+	src := g.AddSource(newSource(cfg), sourceCost(cfg))
+
+	// Binary fan-out: 1 + 2 + 4 = 7 splitters.
+	level := []graph.NodeID{}
+	root := g.AddOperator(spl.NewRoundRobinSplit("s0", 2), nil)
+	if err := g.Connect(src, 0, root, 0, 1); err != nil {
+		return nil, err
+	}
+	level = append(level, root)
+	splitCount := 1
+	for d := 1; d < fanDepth; d++ {
+		var next []graph.NodeID
+		for _, parent := range level {
+			for c := 0; c < 2; c++ {
+				s := g.AddOperator(spl.NewRoundRobinSplit(fmt.Sprintf("s%d", splitCount), 2), nil)
+				splitCount++
+				if err := g.Connect(parent, c, s, 0, 0.5); err != nil {
+					return nil, err
+				}
+				next = append(next, s)
+			}
+		}
+		level = next
+	}
+
+	// Leaf chains: 8 chains x 8 work operators = 64, plus 2 extra on the
+	// first chain to reach the paper's 82 total.
+	chainEnds := make([]graph.NodeID, 0, leaves)
+	li := 0
+	for _, parent := range level {
+		for c := 0; c < 2; c++ {
+			length := chainLength
+			if li == 0 {
+				length += 2
+			}
+			prev := graph.NodeID(-1)
+			for d := 0; d < length; d++ {
+				w := b.addWork(g, fmt.Sprintf("w%d.%d", li, d))
+				if d == 0 {
+					if err := g.Connect(parent, c, w, 0, 0.5); err != nil {
+						return nil, err
+					}
+				} else {
+					if err := g.Connect(prev, 0, w, 0, 1); err != nil {
+						return nil, err
+					}
+				}
+				prev = w
+			}
+			chainEnds = append(chainEnds, prev)
+			li++
+		}
+	}
+
+	// Binary fan-in: 4 + 2 + 1 = 7 merge operators.
+	for len(chainEnds) > 1 {
+		var next []graph.NodeID
+		for i := 0; i+1 < len(chainEnds); i += 2 {
+			m := b.addWork(g, fmt.Sprintf("m%d", len(b.WorkCosts)))
+			if err := g.Connect(chainEnds[i], 0, m, 0, 1); err != nil {
+				return nil, err
+			}
+			if err := g.Connect(chainEnds[i+1], 0, m, 0, 1); err != nil {
+				return nil, err
+			}
+			next = append(next, m)
+		}
+		chainEnds = next
+	}
+
+	if err := b.finish(g, chainEnds[0], cfg, false); err != nil {
+		return nil, err
+	}
+	return b, nil
+}
+
+// finish attaches the sink, assigns costs and finalizes.
+func (b *Build) finish(g *graph.Graph, last graph.NodeID, cfg Config, contendedSink bool) error {
+	b.Sink = spl.NewCountingSink("snk")
+	snk := g.AddOperator(b.Sink, nil)
+	if err := g.Connect(last, 0, snk, 0, 1); err != nil {
+		return err
+	}
+	if contendedSink {
+		g.SetContended(snk)
+	}
+	b.assignCosts(cfg)
+	if err := g.Finalize(); err != nil {
+		return err
+	}
+	b.Graph = g
+	return nil
+}
+
+// RandomDAG builds a random layered operator graph for robustness testing:
+// a source feeding 2-5 layers of 1-6 operators each, with random fan-out
+// (via splits), random skip connections, random per-operator costs spanning
+// the paper's three weight classes, and a single sink. The result is
+// deterministic in the seed.
+func RandomDAG(cfg Config, seed int64) (*Build, error) {
+	rng := rand.New(rand.NewSource(seed))
+	b := &Build{Name: fmt.Sprintf("randomdag-%d", seed)}
+	g := graph.New()
+	src := g.AddSource(newSource(cfg), sourceCost(cfg))
+
+	layers := 2 + rng.Intn(4)
+	prev := []graph.NodeID{src}
+	prevRatePer := 1.0 // approximate rate carried per upstream node
+	for l := 0; l < layers; l++ {
+		width := 1 + rng.Intn(6)
+		cur := make([]graph.NodeID, 0, width)
+		for w := 0; w < width; w++ {
+			id := b.addWork(g, fmt.Sprintf("l%d.%d", l, w))
+			cur = append(cur, id)
+		}
+		// Every upstream node distributes its stream across 1..width
+		// downstream nodes; every downstream node gets at least one input.
+		for wi, id := range cur {
+			from := prev[rng.Intn(len(prev))]
+			if err := g.Connect(from, wi, id, 0, prevRatePer/float64(width)); err != nil {
+				return nil, err
+			}
+		}
+		for pi, from := range prev {
+			// Ensure each upstream node has at least one consumer.
+			if len(g.Node(from).Out) == 0 {
+				to := cur[rng.Intn(len(cur))]
+				if err := g.Connect(from, width+pi, to, 0, prevRatePer); err != nil {
+					return nil, err
+				}
+			}
+		}
+		prev = cur
+		prevRatePer = prevRatePer / float64(width) * 2 // rough balance
+	}
+
+	b.Sink = spl.NewCountingSink("snk")
+	snk := g.AddOperator(b.Sink, nil)
+	for i, from := range prev {
+		if err := g.Connect(from, 100+i, snk, 0, 1); err != nil {
+			return nil, err
+		}
+	}
+	// Random cost classes.
+	for _, cv := range b.WorkCosts {
+		switch rng.Intn(3) {
+		case 0:
+			cv.Set(HeavyFLOPs)
+		case 1:
+			cv.Set(MediumFLOPs)
+		default:
+			cv.Set(LightFLOPs)
+		}
+	}
+	if err := g.Finalize(); err != nil {
+		return nil, err
+	}
+	b.Graph = g
+	return b, nil
+}

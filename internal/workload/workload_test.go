@@ -1,0 +1,271 @@
+package workload
+
+import (
+	"testing"
+
+	"streamelastic/internal/graph"
+)
+
+func TestPipelineShape(t *testing.T) {
+	for _, n := range []int{100, 500, 1000} {
+		b, err := Pipeline(n, DefaultConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := b.Graph.NumNodes(); got != n {
+			t.Fatalf("pipeline(%d) has %d nodes", n, got)
+		}
+		if len(b.Graph.Sources()) != 1 || len(b.Graph.Sinks()) != 1 {
+			t.Fatalf("pipeline(%d): %d sources, %d sinks", n,
+				len(b.Graph.Sources()), len(b.Graph.Sinks()))
+		}
+		if len(b.WorkCosts) != n-2 {
+			t.Fatalf("pipeline(%d) has %d work ops, want %d", n, len(b.WorkCosts), n-2)
+		}
+		for _, r := range b.Graph.Rates() {
+			if r != 1 {
+				t.Fatalf("pipeline rate %v, want 1", r)
+			}
+		}
+	}
+	if _, err := Pipeline(2, DefaultConfig()); err == nil {
+		t.Fatal("pipeline(2) accepted")
+	}
+}
+
+func TestDataParallelShape(t *testing.T) {
+	b, err := DataParallel(50, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// src + split + 50 workers + sink
+	if got := b.Graph.NumNodes(); got != 53 {
+		t.Fatalf("data-parallel(50) has %d nodes, want 53", got)
+	}
+	sinks := b.Graph.Sinks()
+	if len(sinks) != 1 {
+		t.Fatalf("sinks = %v", sinks)
+	}
+	if !b.Graph.Node(sinks[0]).Contended {
+		t.Fatal("data-parallel sink not marked contended (Fig. 10 effect)")
+	}
+	// Each worker sees 1/50 of the stream; the sink sees all of it.
+	r := b.Graph.Rates()
+	if r[sinks[0]] < 0.999 || r[sinks[0]] > 1.001 {
+		t.Fatalf("sink rate %v, want 1", r[sinks[0]])
+	}
+	if _, err := DataParallel(0, DefaultConfig()); err == nil {
+		t.Fatal("width 0 accepted")
+	}
+}
+
+func TestMixedShape(t *testing.T) {
+	b, err := Mixed(10, 50, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// src + split + 10*50 + sink = 503
+	if got := b.Graph.NumNodes(); got != 503 {
+		t.Fatalf("mixed(10,50) has %d nodes, want 503", got)
+	}
+	r := b.Graph.Rates()
+	sink := b.Graph.Sinks()[0]
+	if r[sink] < 0.999 || r[sink] > 1.001 {
+		t.Fatalf("sink rate %v, want 1", r[sink])
+	}
+	if _, err := Mixed(0, 5, DefaultConfig()); err == nil {
+		t.Fatal("width 0 accepted")
+	}
+}
+
+func TestBushyShapeMatchesPaper(t *testing.T) {
+	b, err := Bushy(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := b.Graph.NumNodes(); got != 82 {
+		t.Fatalf("bushy graph has %d nodes, want 82 (paper's fixed size)", got)
+	}
+	if len(b.Graph.Sinks()) != 1 {
+		t.Fatalf("bushy sinks = %v", b.Graph.Sinks())
+	}
+	// Tuple conservation: the sink must see the whole stream.
+	r := b.Graph.Rates()
+	sink := b.Graph.Sinks()[0]
+	if r[sink] < 0.999 || r[sink] > 1.001 {
+		t.Fatalf("bushy sink rate %v, want 1", r[sink])
+	}
+}
+
+func TestBalancedDistribution(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.BalancedFLOPs = 100
+	b, err := Pipeline(100, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, cv := range b.WorkCosts {
+		if cv.FLOPs() != 100 {
+			t.Fatalf("work op %d cost %v, want 100", i, cv.FLOPs())
+		}
+	}
+}
+
+func TestSkewedDistributionRatios(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Skewed = true
+	b, err := Pipeline(1002, cfg) // 1000 work ops
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[float64]int{}
+	for _, cv := range b.WorkCosts {
+		counts[cv.FLOPs()]++
+	}
+	if counts[HeavyFLOPs] != 100 {
+		t.Fatalf("heavy count = %d, want 100 (10%%)", counts[HeavyFLOPs])
+	}
+	if counts[MediumFLOPs] != 300 {
+		t.Fatalf("medium count = %d, want 300 (30%%)", counts[MediumFLOPs])
+	}
+	if counts[LightFLOPs] != 600 {
+		t.Fatalf("light count = %d, want 600 (60%%)", counts[LightFLOPs])
+	}
+}
+
+func TestSkewDeterministicBySeed(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Skewed = true
+	b1, _ := Pipeline(100, cfg)
+	b2, _ := Pipeline(100, cfg)
+	for i := range b1.WorkCosts {
+		if b1.WorkCosts[i].FLOPs() != b2.WorkCosts[i].FLOPs() {
+			t.Fatalf("op %d differs across identical seeds", i)
+		}
+	}
+	cfg.Seed = 99
+	b3, _ := Pipeline(100, cfg)
+	same := true
+	for i := range b1.WorkCosts {
+		if b1.WorkCosts[i].FLOPs() != b3.WorkCosts[i].FLOPs() {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical skew placement")
+	}
+}
+
+func TestApplySkewPhaseChange(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Skewed = true
+	b, err := Pipeline(102, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	heavy := func() int {
+		n := 0
+		for _, cv := range b.WorkCosts {
+			if cv.FLOPs() == HeavyFLOPs {
+				n++
+			}
+		}
+		return n
+	}
+	if got := heavy(); got != 10 {
+		t.Fatalf("initial heavy count = %d, want 10", got)
+	}
+	// Fig. 13: the heavy ratio jumps from 10% to 90%.
+	b.ApplySkew(0.9, 0.1, 2)
+	if got := heavy(); got != 90 {
+		t.Fatalf("heavy count after phase change = %d, want 90", got)
+	}
+	// Costs visible through the graph without rebuilding.
+	costs := b.Graph.Costs()
+	n := 0
+	for _, c := range costs {
+		if c == HeavyFLOPs {
+			n++
+		}
+	}
+	if n != 90 {
+		t.Fatalf("graph sees %d heavy ops after phase change, want 90", n)
+	}
+}
+
+func TestBoundedTuplesOption(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Tuples = 42
+	b, err := Pipeline(10, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := b.Graph.Node(b.Graph.Sources()[0])
+	if src.Op == nil {
+		t.Fatal("source has no operator")
+	}
+}
+
+func TestAllShapesFinalized(t *testing.T) {
+	cfg := DefaultConfig()
+	builds := []*Build{}
+	if b, err := Pipeline(10, cfg); err == nil {
+		builds = append(builds, b)
+	}
+	if b, err := DataParallel(4, cfg); err == nil {
+		builds = append(builds, b)
+	}
+	if b, err := Mixed(3, 4, cfg); err == nil {
+		builds = append(builds, b)
+	}
+	if b, err := Bushy(cfg); err == nil {
+		builds = append(builds, b)
+	}
+	if len(builds) != 4 {
+		t.Fatalf("built %d shapes, want 4", len(builds))
+	}
+	for _, b := range builds {
+		if !b.Graph.Finalized() {
+			t.Fatalf("%s not finalized", b.Name)
+		}
+		if b.Sink == nil {
+			t.Fatalf("%s has no sink handle", b.Name)
+		}
+		// Every node must be reachable: rates > 0.
+		for i, r := range b.Graph.Rates() {
+			if r <= 0 {
+				t.Fatalf("%s node %d has rate %v", b.Name, i, r)
+			}
+		}
+		_ = graph.QueueCount(b.Graph, make([]bool, b.Graph.NumNodes()))
+	}
+}
+
+func TestRandomDAGValidAndDeterministic(t *testing.T) {
+	for seed := int64(1); seed <= 30; seed++ {
+		b, err := RandomDAG(DefaultConfig(), seed)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if !b.Graph.Finalized() {
+			t.Fatalf("seed %d: not finalized", seed)
+		}
+		for i, r := range b.Graph.Rates() {
+			if r <= 0 {
+				t.Fatalf("seed %d: node %d unreachable (rate %v)", seed, i, r)
+			}
+		}
+		if len(b.Graph.Sinks()) != 1 {
+			t.Fatalf("seed %d: %d sinks", seed, len(b.Graph.Sinks()))
+		}
+		// Determinism: same seed, same shape.
+		b2, err := RandomDAG(DefaultConfig(), seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if b2.Graph.NumNodes() != b.Graph.NumNodes() {
+			t.Fatalf("seed %d: non-deterministic shape", seed)
+		}
+	}
+}

@@ -1,0 +1,149 @@
+package streamelastic
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"time"
+
+	"streamelastic/internal/core"
+	"streamelastic/internal/exec"
+	"streamelastic/internal/monitor"
+	"streamelastic/internal/pe"
+)
+
+// JobOptions configure a multi-PE deployment.
+type JobOptions struct {
+	// MaxThreads caps each PE's scheduler pool (default 64).
+	MaxThreads int
+	// AdaptPeriod is each PE's observation window (default 100ms).
+	AdaptPeriod time.Duration
+	// Elastic tunes every PE's coordinator; zero value means
+	// DefaultElasticConfig.
+	Elastic ElasticConfig
+	// DisableElasticity runs the PEs without adaptation.
+	DisableElasticity bool
+}
+
+// Job runs a topology split across several processing elements, each with
+// its own engine and its own independent elastic coordinator; operators in
+// different PEs communicate over TCP streams. This is the multi-host
+// execution model of the paper's §2 ("all PEs in a job independently use
+// the proposed work").
+type Job struct {
+	job *pe.Job
+}
+
+// NewJob validates the topology, splits it across numPEs processing
+// elements (contiguously along the topological order), and wires the
+// cross-PE streams. Call Start and Stop as with Runtime.
+func NewJob(t *Topology, numPEs int, opts JobOptions) (*Job, error) {
+	g, err := t.freeze()
+	if err != nil {
+		return nil, err
+	}
+	assign, err := pe.AssignContiguous(g, numPEs)
+	if err != nil {
+		return nil, err
+	}
+	job, err := pe.Launch(g, assign, pe.Options{
+		Exec: exec.Options{
+			MaxThreads:  opts.MaxThreads,
+			AdaptPeriod: opts.AdaptPeriod,
+		},
+		Elastic:           opts.Elastic,
+		DisableElasticity: opts.DisableElasticity,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Job{job: job}, nil
+}
+
+// Start launches every PE.
+func (j *Job) Start(ctx context.Context) error { return j.job.Start(ctx) }
+
+// Stop shuts the whole job down; safe to call more than once.
+func (j *Job) Stop() { j.job.Stop() }
+
+// NumPEs returns the number of processing elements.
+func (j *Job) NumPEs() int { return len(j.job.PEs) }
+
+// NumStreams returns the number of cross-PE TCP streams.
+func (j *Job) NumStreams() int { return len(j.job.Streams()) }
+
+// PEStatus describes one processing element's current state.
+type PEStatus struct {
+	// PE is the element's index.
+	PE int
+	// Operators is the number of operators in the PE, including transport
+	// stubs.
+	Operators int
+	// Threads and Queues are the PE's current elastic configuration.
+	Threads int
+	Queues  int
+	// Settled reports whether the PE's adaptation has converged.
+	Settled bool
+	// SinkTuples counts tuples delivered to the PE's sinks (including
+	// exports to downstream PEs).
+	SinkTuples uint64
+}
+
+// Status returns every PE's current state.
+func (j *Job) Status() []PEStatus {
+	out := make([]PEStatus, 0, len(j.job.PEs))
+	for _, rt := range j.job.PEs {
+		st := PEStatus{
+			PE:         rt.Plan.PE,
+			Operators:  rt.Plan.Graph.NumNodes(),
+			Threads:    rt.Eng.ThreadCount(),
+			Queues:     rt.Eng.Queues(),
+			Settled:    rt.Coord == nil || rt.Coord.Settled(),
+			SinkTuples: rt.Eng.SinkCount(),
+		}
+		out = append(out, st)
+	}
+	return out
+}
+
+// Trace returns the adaptation trace of one PE (nil when elasticity is
+// disabled or the index is out of range).
+func (j *Job) Trace(peIndex int) []TraceEvent {
+	if peIndex < 0 || peIndex >= len(j.job.PEs) {
+		return nil
+	}
+	rt := j.job.PEs[peIndex]
+	if rt.Coord == nil {
+		return nil
+	}
+	return rt.Coord.Trace()
+}
+
+// jobProvider adapts a Job to the monitoring API.
+type jobProvider struct{ j *Job }
+
+func (p jobProvider) Statuses() []monitor.Status {
+	sts := p.j.Status()
+	out := make([]monitor.Status, 0, len(sts))
+	for _, s := range sts {
+		out = append(out, monitor.Status{
+			Name:       fmt.Sprintf("pe%d", s.PE),
+			Operators:  s.Operators,
+			Threads:    s.Threads,
+			Queues:     s.Queues,
+			Settled:    s.Settled,
+			SinkTuples: s.SinkTuples,
+		})
+	}
+	return out
+}
+
+func (p jobProvider) AdaptationTrace(index int) []core.TraceEvent {
+	return p.j.Trace(index)
+}
+
+// MetricsHandler returns an http.Handler serving every PE's state (see
+// Runtime.MetricsHandler).
+func (j *Job) MetricsHandler() http.Handler {
+	return monitor.Handler(jobProvider{j: j})
+}

@@ -1,0 +1,221 @@
+package streamelastic
+
+import (
+	"context"
+	"encoding/json"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+func TestJobEndToEnd(t *testing.T) {
+	const n = 2000
+	top, sink := buildPipeline(t, 6, 100, 16, n)
+	job, err := NewJob(top, 3, JobOptions{AdaptPeriod: 50 * time.Millisecond, MaxThreads: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := job.Start(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	defer job.Stop()
+	if job.NumPEs() != 3 {
+		t.Fatalf("NumPEs = %d, want 3", job.NumPEs())
+	}
+	if job.NumStreams() != 2 {
+		t.Fatalf("NumStreams = %d, want 2", job.NumStreams())
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for sink.Count() < n && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if got := sink.Count(); got != n {
+		t.Fatalf("final sink received %d, want %d", got, n)
+	}
+	st := job.Status()
+	if len(st) != 3 {
+		t.Fatalf("status has %d PEs", len(st))
+	}
+	total := 0
+	for _, s := range st {
+		total += s.Operators
+		if s.Threads < 1 {
+			t.Fatalf("PE %d has no threads", s.PE)
+		}
+	}
+	// 8 original operators + 2 exports + 2 imports.
+	if total != top.NumOperators()+4 {
+		t.Fatalf("PE operators total %d, want %d", total, top.NumOperators()+4)
+	}
+	job.Stop() // idempotent
+}
+
+func TestJobTraces(t *testing.T) {
+	top, _ := buildPipeline(t, 4, 100, 8, 0)
+	job, err := NewJob(top, 2, JobOptions{AdaptPeriod: 20 * time.Millisecond, MaxThreads: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := job.Start(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	defer job.Stop()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if len(job.Trace(0)) > 0 && len(job.Trace(1)) > 0 {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if len(job.Trace(0)) == 0 || len(job.Trace(1)) == 0 {
+		t.Fatal("PEs recorded no adaptation traces")
+	}
+	if job.Trace(-1) != nil || job.Trace(99) != nil {
+		t.Fatal("out-of-range Trace did not return nil")
+	}
+}
+
+func TestJobValidation(t *testing.T) {
+	top, _ := buildPipeline(t, 2, 1, 0, 10)
+	if _, err := NewJob(top, 0, JobOptions{}); err == nil {
+		t.Fatal("0 PEs accepted")
+	}
+	if _, err := NewJob(top, 100, JobOptions{}); err == nil {
+		t.Fatal("more PEs than operators accepted")
+	}
+	if _, err := NewJob(NewTopology(), 1, JobOptions{}); err == nil {
+		t.Fatal("empty topology accepted")
+	}
+}
+
+func TestJobDisableElasticity(t *testing.T) {
+	const n = 500
+	top, sink := buildPipeline(t, 3, 10, 0, n)
+	job, err := NewJob(top, 2, JobOptions{DisableElasticity: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := job.Start(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	defer job.Stop()
+	deadline := time.Now().Add(15 * time.Second)
+	for sink.Count() < n && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if sink.Count() != n {
+		t.Fatalf("sink = %d, want %d", sink.Count(), n)
+	}
+	if tr := job.Trace(0); tr != nil {
+		t.Fatal("disabled-elasticity job has a trace")
+	}
+	for _, s := range job.Status() {
+		if !s.Settled {
+			t.Fatal("disabled-elasticity PE not reported settled")
+		}
+	}
+}
+
+func TestRuntimeLatencyTracking(t *testing.T) {
+	const n = 800
+	top, sink := buildPipeline(t, 3, 100, 16, n)
+	rt, err := NewRuntime(top, RuntimeOptions{TrackLatency: true, AdaptPeriod: 50 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Start(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Stop()
+	deadline := time.Now().Add(15 * time.Second)
+	for sink.Count() < n && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	for rt.Latency().Count < n && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	snap := rt.Latency()
+	if snap.Count != n {
+		t.Fatalf("latency samples = %d, want %d", snap.Count, n)
+	}
+	if snap.P99 <= 0 {
+		t.Fatalf("p99 = %v", snap.P99)
+	}
+	if rt.OperatorPanics() != 0 {
+		t.Fatalf("unexpected operator panics: %d", rt.OperatorPanics())
+	}
+}
+
+func TestMetricsHandlerRuntime(t *testing.T) {
+	top, _ := buildPipeline(t, 3, 100, 8, 0)
+	rt, err := NewRuntime(top, RuntimeOptions{TrackLatency: true, AdaptPeriod: 30 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Start(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Stop()
+	srv := httptest.NewServer(rt.MetricsHandler())
+	defer srv.Close()
+	time.Sleep(150 * time.Millisecond)
+
+	resp, err := srv.Client().Get(srv.URL + "/statusz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var statuses []map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&statuses); err != nil {
+		t.Fatal(err)
+	}
+	if len(statuses) != 1 {
+		t.Fatalf("statuses = %d", len(statuses))
+	}
+	if statuses[0]["operators"].(float64) != float64(top.NumOperators()) {
+		t.Fatalf("operators = %v", statuses[0]["operators"])
+	}
+	if statuses[0]["sinkTuples"].(float64) <= 0 {
+		t.Fatal("no sink tuples reported")
+	}
+
+	resp2, err := srv.Client().Get(srv.URL + "/tracez")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	if resp2.StatusCode != 200 {
+		t.Fatalf("tracez status %d", resp2.StatusCode)
+	}
+}
+
+func TestMetricsHandlerJob(t *testing.T) {
+	top, _ := buildPipeline(t, 4, 100, 8, 0)
+	job, err := NewJob(top, 2, JobOptions{AdaptPeriod: 30 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := job.Start(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	defer job.Stop()
+	srv := httptest.NewServer(job.MetricsHandler())
+	defer srv.Close()
+	time.Sleep(100 * time.Millisecond)
+
+	resp, err := srv.Client().Get(srv.URL + "/statusz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var statuses []map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&statuses); err != nil {
+		t.Fatal(err)
+	}
+	if len(statuses) != 2 {
+		t.Fatalf("statuses = %d, want one per PE", len(statuses))
+	}
+	if statuses[0]["name"].(string) != "pe0" {
+		t.Fatalf("name = %v", statuses[0]["name"])
+	}
+}

@@ -1,0 +1,135 @@
+package streamelastic
+
+import (
+	"time"
+
+	"streamelastic/internal/spl"
+)
+
+// Built-in operators, re-exported so applications can compose pipelines
+// without writing custom logic. All of them are safe under the dynamic
+// threading model.
+
+// Generator is a synthetic source emitting tuples with a configurable
+// payload size; set MaxTuples to bound the stream.
+type Generator = spl.Generator
+
+// NewGenerator returns a generator source emitting tuples with
+// payloadBytes bytes of payload.
+func NewGenerator(name string, payloadBytes int) *Generator {
+	return spl.NewGenerator(name, payloadBytes)
+}
+
+// NewWorkOp returns a synthetic compute operator that burns flopsPerTuple
+// floating-point operations per tuple and forwards the tuple. Use it to
+// emulate operator cost in benchmarks; its declared cost automatically
+// matches its real cost.
+func NewWorkOp(name string, flopsPerTuple float64) Operator {
+	return spl.NewWork(name, spl.NewCostVar(flopsPerTuple))
+}
+
+// NewMap returns an operator applying fn to each tuple; returning nil drops
+// the tuple.
+func NewMap(name string, fn func(*Tuple) *Tuple) Operator {
+	return spl.NewMap(name, fn)
+}
+
+// NewFilter returns an operator forwarding only tuples for which pred is
+// true.
+func NewFilter(name string, pred func(*Tuple) bool) Operator {
+	return spl.NewFilter(name, pred)
+}
+
+// NewTokenize returns an operator that splits the Text attribute on
+// whitespace and emits one keyed tuple per token.
+func NewTokenize(name string) Operator {
+	return spl.NewTokenize(name)
+}
+
+// NewRoundRobinSplit returns an operator distributing tuples across width
+// output ports, the building block for data-parallel regions.
+func NewRoundRobinSplit(name string, width int) Operator {
+	return spl.NewRoundRobinSplit(name, width)
+}
+
+// KeyedCounter counts tuples per key over a sliding count window.
+type KeyedCounter = spl.KeyedCounter
+
+// NewKeyedCounter returns a sliding-window per-key counter over the last
+// window tuples that emits the current count every emitEvery tuples.
+func NewKeyedCounter(name string, window, emitEvery int) *KeyedCounter {
+	return spl.NewKeyedCounter(name, window, emitEvery)
+}
+
+// CountingSink counts the tuples it receives; use Count to read results.
+type CountingSink = spl.CountingSink
+
+// NewCountingSink returns a terminal counting operator.
+func NewCountingSink(name string) *CountingSink {
+	return spl.NewCountingSink(name)
+}
+
+// NewThrottle wraps a source, capping its emission rate at tuplesPerSecond
+// — useful for emulating rate-bounded feeds (network ingest, line-rate
+// capture) in live runs.
+func NewThrottle(src Source, tuplesPerSecond float64) Source {
+	return spl.NewThrottle(src, tuplesPerSecond)
+}
+
+// NewSample returns an operator forwarding one tuple in every k.
+func NewSample(name string, k int) Operator {
+	return spl.NewSample(name, k)
+}
+
+// NewUnion returns a pass-through operator that merges its input ports
+// onto output port 0.
+func NewUnion(name string) Operator {
+	return spl.NewUnion(name)
+}
+
+// Window aggregation functions for NewTimeWindow.
+const (
+	AggCount = spl.AggCount
+	AggSum   = spl.AggSum
+	AggAvg   = spl.AggAvg
+	AggMin   = spl.AggMin
+	AggMax   = spl.AggMax
+)
+
+// AggregateFunc selects how NewTimeWindow folds the Num1 attribute.
+type AggregateFunc = spl.AggregateFunc
+
+// TimeWindow aggregates tuples per key over sliding event-time windows.
+type TimeWindow = spl.TimeWindow
+
+// NewTimeWindow returns a sliding event-time window aggregator over the
+// Num1 attribute: windows of length size advancing every slide (pass 0 for
+// tumbling windows), keyed by the Key attribute, emitting one aggregate per
+// key when the event-time watermark closes a window. This is the windowing
+// of the paper's Fig. 2 Aggregate operator.
+func NewTimeWindow(name string, size, slide time.Duration, fn AggregateFunc) *TimeWindow {
+	return spl.NewTimeWindow(name, size, slide, fn)
+}
+
+// Reorder restores per-stream sequence order downstream of dynamic
+// regions, where concurrent scheduler threads may deliver tuples out of
+// emission order.
+type Reorder = spl.Reorder
+
+// NewReorder returns a resequencer releasing tuples in ascending Seq order
+// starting at start, buffering at most capacity out-of-order tuples before
+// force-releasing.
+func NewReorder(name string, start uint64, capacity int) *Reorder {
+	return spl.NewReorder(name, start, capacity)
+}
+
+// KeyedJoin enriches probe tuples (port 0) with the latest build-side value
+// (port 1) per key.
+type KeyedJoin = spl.KeyedJoin
+
+// NewKeyedJoin returns an enrichment join keyed on the Key attribute:
+// build-side tuples on port 1 update a per-key table, probe tuples on
+// port 0 are emitted with the matching value in Num2.
+func NewKeyedJoin(name string) *KeyedJoin {
+	return spl.NewKeyedJoin(name)
+}
