@@ -1,0 +1,32 @@
+GO ?= go
+
+# Packages with lock-free / pooled hot-path code that must stay race-clean.
+RACE_PKGS := ./internal/exec/... ./internal/queue/... ./internal/spl/...
+
+# Benchmark packages; bench output is benchstat-comparable (go test -json).
+BENCH_PKGS := ./internal/exec/... ./internal/queue/...
+BENCH_OUT  := BENCH_1.json
+
+.PHONY: build test race vet bench fuzz
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race -count=1 $(RACE_PKGS)
+
+vet:
+	$(GO) vet ./...
+
+# bench writes machine-readable benchmark results to $(BENCH_OUT); feed the
+# file to `benchstat` (or compare two runs' files) to track hot-path
+# regressions across commits.
+bench:
+	$(GO) test -json -run '^$$' -bench . -benchmem $(BENCH_PKGS) > $(BENCH_OUT)
+
+# Short deterministic pass over the MPMC batch-operation fuzz corpus.
+fuzz:
+	$(GO) test ./internal/queue/ -run '^$$' -fuzz FuzzMPMCBatchOps -fuzztime 20s

@@ -1,0 +1,63 @@
+package exec
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"streamelastic/internal/graph"
+	"streamelastic/internal/spl"
+)
+
+// BenchmarkLiveSingleQueue measures live sink throughput of the canonical
+// single-queue topology — source -> work (dynamic, one scheduler queue) ->
+// sink — with one scheduler thread and zero synthetic compute, so the
+// number reported is the cost of the queue crossing itself: clone, enqueue,
+// dequeue, dispatch. It uses only the public engine API so the same file
+// runs unmodified against older checkouts for before/after comparison.
+func BenchmarkLiveSingleQueue(b *testing.B) {
+	g := graph.New()
+	gen := spl.NewGenerator("src", 256)
+	src := g.AddSource(gen, nil)
+	cv := spl.NewCostVar(0)
+	work := g.AddOperator(spl.NewWork("w", cv), cv)
+	if err := g.Connect(src, 0, work, 0, 1); err != nil {
+		b.Fatal(err)
+	}
+	sid := g.AddOperator(spl.NewCountingSink("snk"), nil)
+	if err := g.Connect(work, 0, sid, 0, 1); err != nil {
+		b.Fatal(err)
+	}
+	if err := g.Finalize(); err != nil {
+		b.Fatal(err)
+	}
+
+	e, err := New(g, Options{MaxThreads: 4})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := e.Start(context.Background()); err != nil {
+		b.Fatal(err)
+	}
+	defer e.Stop()
+	place := make([]bool, g.NumNodes())
+	place[1] = true
+	if err := e.ApplyPlacement(place); err != nil {
+		b.Fatal(err)
+	}
+	if err := e.SetThreadCount(1); err != nil {
+		b.Fatal(err)
+	}
+	time.Sleep(20 * time.Millisecond) // warm up
+	b.ResetTimer()
+	start := e.SinkCount()
+	t0 := time.Now()
+	target := time.Duration(b.N) * 100 * time.Microsecond
+	if target < 200*time.Millisecond {
+		target = 200 * time.Millisecond
+	}
+	time.Sleep(target)
+	elapsed := time.Since(t0).Seconds()
+	b.StopTimer()
+	b.ReportMetric(float64(e.SinkCount()-start)/elapsed, "tuples/s")
+}

@@ -56,6 +56,7 @@ func (e *Engine) ApplyPlacement(dynamic []bool) error {
 	e.cfg.Store(cfg)
 	// Drain queues that no longer exist: their tuples are executed here,
 	// inline, under the new configuration.
+	em := &emitter{e: e, cfg: cfg, ts: e.reconfigTS}
 	for _, nid := range old.queueList {
 		if cfg.queues[nid] != nil {
 			continue
@@ -65,7 +66,7 @@ func (e *Engine) ApplyPlacement(dynamic []bool) error {
 			if !ok {
 				break
 			}
-			e.execute(cfg, e.reconfigTS, nid, it.port, it.t)
+			e.execute(em, nid, it.port, it.t)
 		}
 	}
 	e.resumeAll()
@@ -99,10 +100,17 @@ func (e *Engine) setWorkersLocked(n int) {
 		e.wg.Add(1)
 		go e.workerLoop(w)
 	}
+	shrunk := false
 	for len(e.workers) > n {
 		w := e.workers[len(e.workers)-1]
 		e.workers = e.workers[:len(e.workers)-1]
 		close(w.quit)
+		shrunk = true
+	}
+	if shrunk {
+		// Retiring workers may be idle-parked; wake them so they observe
+		// their closed quit channel and exit.
+		e.wakeAllIdle()
 	}
 }
 

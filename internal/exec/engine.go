@@ -6,6 +6,13 @@
 // front of the operator and a pool of scheduler goroutines pulls tuples
 // from any queue. Placement and pool size are reconfigurable online, which
 // is the control surface the elastic controllers in internal/core drive.
+//
+// The hot path is engineered to be allocation-free in the steady state:
+// tuples and payload buffers crossing scheduler queues come from the pools
+// in internal/spl (queue crossings clone from the pool and release the
+// original; recyclable sinks release the final copy), emitters are reused
+// per dispatch loop, and workers drain queues in batches. Idle workers park
+// on a condition variable consulted by producers instead of sleep-polling.
 package exec
 
 import (
@@ -26,6 +33,15 @@ import (
 // pushSpinLimit bounds how long a producer spins on a full scheduler queue
 // before falling back to inline execution.
 const pushSpinLimit = 256
+
+// workerBatch is how many tuples a worker drains from one queue per visit.
+// Batching amortizes the queue-cursor CAS, the config load, and the
+// profiler Enter/Leave transitions across the whole run.
+const workerBatch = 32
+
+// idleSpinLimit is how many empty scans a worker tolerates (yielding
+// between scans) before parking on the idle condition variable.
+const idleSpinLimit = 16
 
 // item is one queued tuple delivery.
 type item struct {
@@ -82,6 +98,7 @@ type Engine struct {
 
 	outByPort [][][]graph.Edge // node -> port -> edges
 	isSink    []bool
+	recycle   []bool        // sink whose operator opts into tuple recycling
 	statefulM []*sync.Mutex // per-node lock for Stateful operators
 
 	cfg atomic.Pointer[engineConfig]
@@ -99,6 +116,15 @@ type Engine struct {
 	pauseReq atomic.Bool
 	parked   int
 	loops    int
+
+	// Idle-worker parking. Producers consult waiters after every enqueue
+	// and hand out wake tokens (idleWakes, guarded by idleMu); workers with
+	// nothing to scan park on idleCond instead of sleep-polling, so an idle
+	// pool costs no CPU and wakes within a scheduler hop of a push.
+	idleMu    sync.Mutex
+	idleCond  *sync.Cond
+	idleWakes int
+	waiters   atomic.Int32
 
 	reconfigMu sync.Mutex // serializes ApplyPlacement/SetThreadCount
 
@@ -133,12 +159,14 @@ func New(g *graph.Graph, opts Options) (*Engine, error) {
 		opts:      opts,
 		outByPort: make([][][]graph.Edge, n),
 		isSink:    make([]bool, n),
+		recycle:   make([]bool, n),
 		isSource:  make([]bool, n),
 		statefulM: make([]*sync.Mutex, n),
 		meter:     metrics.NewMeter(time.Now()),
 		profiler:  metrics.NewProfiler(n),
 	}
 	e.cond = sync.NewCond(&e.mu)
+	e.idleCond = sync.NewCond(&e.idleMu)
 	e.reconfigTS = e.profiler.Register()
 	for i := 0; i < n; i++ {
 		nd := g.Node(graph.NodeID(i))
@@ -165,6 +193,9 @@ func New(g *graph.Graph, opts Options) (*Engine, error) {
 		}
 		e.outByPort[i] = ports
 		e.isSink[i] = len(nd.Out) == 0
+		if _, ok := nd.Op.(spl.Recyclable); ok {
+			e.recycle[i] = e.isSink[i]
+		}
 		e.isSource[i] = nd.Source
 	}
 	e.cfg.Store(e.buildConfig(make([]bool, n), nil))
@@ -242,6 +273,7 @@ func (e *Engine) Stop() {
 	e.pauseReq.Store(false)
 	e.cond.Broadcast()
 	e.mu.Unlock()
+	e.wakeAllIdle()
 	e.wg.Wait()
 	e.profiler.Stop()
 }
@@ -281,6 +313,8 @@ func (e *Engine) maybePark() {
 // The caller must hold reconfigMu and must call resumeAll afterwards.
 func (e *Engine) pauseAll() {
 	e.pauseReq.Store(true)
+	// Idle-parked workers must wake to reach the pause barrier.
+	e.wakeAllIdle()
 	e.mu.Lock()
 	for e.parked < e.loops && !e.stop.Load() {
 		e.cond.Wait()
@@ -296,6 +330,75 @@ func (e *Engine) resumeAll() {
 	e.mu.Unlock()
 }
 
+// wakeWorkers hands out up to n idle-wake tokens, capped by the number of
+// currently parked workers. Producers call it after every enqueue; with no
+// parked workers it is a single atomic load.
+func (e *Engine) wakeWorkers(n int) {
+	w := int(e.waiters.Load())
+	if w == 0 {
+		return
+	}
+	if n > w {
+		n = w
+	}
+	// Signal under idleMu: a worker between its condition check and Wait
+	// holds the lock, so a wake issued here cannot slip past it.
+	e.idleMu.Lock()
+	e.idleWakes += n
+	if n == 1 {
+		e.idleCond.Signal()
+	} else {
+		e.idleCond.Broadcast()
+	}
+	e.idleMu.Unlock()
+}
+
+// wakeAllIdle wakes every idle-parked worker without issuing wake tokens;
+// used by shutdown, pause, and pool-shrink paths whose wake conditions the
+// workers re-check themselves.
+func (e *Engine) wakeAllIdle() {
+	e.idleMu.Lock()
+	e.idleCond.Broadcast()
+	e.idleMu.Unlock()
+}
+
+// chanClosed reports whether the close-only channel ch has been closed.
+func chanClosed(ch chan struct{}) bool {
+	select {
+	case <-ch:
+		return true
+	default:
+		return false
+	}
+}
+
+// parkIdle blocks the worker until a producer hands it a wake token or the
+// engine needs it elsewhere (pause, shutdown, pool shrink). Parked workers
+// cost no CPU, and a push wakes one within a scheduler hop — well under the
+// 50µs floor of the sleep-poll this replaces.
+func (e *Engine) parkIdle(w *worker, cfg *engineConfig) {
+	e.waiters.Add(1)
+	// Rescan after publishing the waiter count: a producer that enqueued
+	// before observing the waiter skipped its wake, so the push must be
+	// found here. (Producers enqueue before loading waiters; workers
+	// publish the waiter before scanning — one side always sees the other.)
+	for _, nid := range cfg.queueList {
+		if cfg.queues[nid].Len() > 0 {
+			e.waiters.Add(-1)
+			return
+		}
+	}
+	e.idleMu.Lock()
+	for e.idleWakes == 0 && !e.stop.Load() && !e.pauseReq.Load() && !chanClosed(w.quit) {
+		e.idleCond.Wait()
+	}
+	if e.idleWakes > 0 {
+		e.idleWakes--
+	}
+	e.idleMu.Unlock()
+	e.waiters.Add(-1)
+}
+
 // sourceLoop drives one source operator on its own goroutine.
 func (e *Engine) sourceLoop(id graph.NodeID) {
 	defer e.wg.Done()
@@ -306,14 +409,16 @@ func (e *Engine) sourceLoop(id graph.NodeID) {
 	src := e.g.Node(id).Op.(spl.Source)
 	_, exempt := e.g.Node(id).Op.(spl.DrainExempt)
 	draining := func() bool { return e.drain.Load() && !exempt }
+	em := &emitter{e: e, ts: ts, node: id}
 	for !e.stop.Load() && !draining() {
 		e.maybePark()
 		if e.stop.Load() || draining() {
 			return
 		}
-		cfg := e.cfg.Load()
+		em.cfg = e.cfg.Load()
+		em.node = id
 		ts.Enter(int(id))
-		more := src.Next(&emitter{e: e, cfg: cfg, ts: ts, node: id})
+		more := src.Next(em)
 		ts.Leave()
 		if !more {
 			return
@@ -322,34 +427,37 @@ func (e *Engine) sourceLoop(id graph.NodeID) {
 }
 
 // workerLoop is one scheduler thread: it scans the scheduler queues for
-// work and executes the owning operator for each tuple found. The scan
-// starts from a rotating position so workers spread across queues.
+// work and drains up to workerBatch tuples from the first non-empty queue
+// it finds, executing the owning operator for each. The scan starts from a
+// rotating position so workers spread across queues. A worker that finds
+// nothing yields for a few scans and then parks until a producer wakes it.
 func (e *Engine) workerLoop(w *worker) {
 	defer e.wg.Done()
 	e.enterLoop()
 	defer e.exitLoop()
 	ts := e.profiler.Register()
 	defer e.profiler.Release(ts)
+	em := &emitter{e: e, ts: ts}
+	batch := make([]item, workerBatch)
 	rot := w.id
 	idle := 0
 	for {
 		if e.stop.Load() {
 			return
 		}
-		select {
-		case <-w.quit:
+		if chanClosed(w.quit) {
 			return
-		default:
 		}
 		e.maybePark()
 		cfg := e.cfg.Load()
+		em.cfg = cfg
 		n := len(cfg.queueList)
 		worked := false
 		for i := 0; i < n; i++ {
 			nid := cfg.queueList[(rot+i)%n]
-			if it, ok := cfg.queues[nid].TryPop(); ok {
+			if k := cfg.queues[nid].TryPopN(batch); k > 0 {
 				rot = (rot + i) % n
-				e.execute(cfg, ts, nid, it.port, it.t)
+				e.executeBatch(em, nid, batch[:k])
 				worked = true
 				break
 			}
@@ -360,45 +468,91 @@ func (e *Engine) workerLoop(w *worker) {
 		}
 		rot++
 		idle++
-		if idle < 16 {
+		if idle < idleSpinLimit {
 			runtime.Gosched()
-		} else {
-			time.Sleep(50 * time.Microsecond)
+			continue
 		}
+		e.parkIdle(w, cfg)
 	}
 }
 
 // execute runs operator node on tuple t, updating the profiler state and
-// the sink meter. A panicking operator loses its tuple but must not kill
-// the scheduler thread, so panics are contained and counted.
-func (e *Engine) execute(cfg *engineConfig, ts *metrics.ThreadState, node graph.NodeID, port int, t *spl.Tuple) {
-	nd := e.g.Node(node)
+// the sink meter.
+func (e *Engine) execute(em *emitter, node graph.NodeID, port int, t *spl.Tuple) {
+	ts := em.ts
 	ts.Enter(int(node))
-	e.process(cfg, ts, nd, node, port, t)
+	ok := e.process(em, e.g.Node(node), node, port, t)
 	ts.Leave()
 	if e.isSink[node] {
 		e.meter.Add(1)
-		if e.opts.TrackLatency && t.Time > 0 {
-			e.latency.Record(time.Duration(time.Now().UnixNano() - t.Time))
-		}
+		e.finishSink(node, t, ok)
 	}
 }
 
-func (e *Engine) process(cfg *engineConfig, ts *metrics.ThreadState, nd *graph.Node, node graph.NodeID, port int, t *spl.Tuple) {
+// executeBatch runs operator node on a batch of tuples drained from its
+// scheduler queue, entering the profiler state once for the whole batch and
+// metering sinks with a single atomic add.
+func (e *Engine) executeBatch(em *emitter, node graph.NodeID, items []item) {
+	nd := e.g.Node(node)
+	ts := em.ts
+	ts.Enter(int(node))
+	if sink := e.isSink[node]; sink {
+		for i := range items {
+			ok := e.process(em, nd, node, items[i].port, items[i].t)
+			e.finishSink(node, items[i].t, ok)
+		}
+		ts.Leave()
+		e.meter.Add(uint64(len(items)))
+		return
+	}
+	for i := range items {
+		e.process(em, nd, node, items[i].port, items[i].t)
+	}
+	ts.Leave()
+}
+
+// finishSink records sink-side latency and recycles the tuple when the sink
+// operator guarantees it retains nothing. ok is false when the operator
+// panicked, in which case the tuple's state is unknown and it is left to
+// the garbage collector.
+func (e *Engine) finishSink(node graph.NodeID, t *spl.Tuple, ok bool) {
+	if e.opts.TrackLatency && t.Time > 0 {
+		e.latency.Record(time.Duration(time.Now().UnixNano() - t.Time))
+	}
+	if ok && e.recycle[node] {
+		t.Release()
+	}
+}
+
+// process invokes the operator with the loop's reusable emitter pointed at
+// node. A panicking operator loses its tuple but must not kill the
+// scheduler thread, so panics are contained and counted; ok reports whether
+// the invocation completed normally.
+func (e *Engine) process(em *emitter, nd *graph.Node, node graph.NodeID, port int, t *spl.Tuple) (ok bool) {
 	defer func() {
 		if r := recover(); r != nil {
 			e.opPanics.Add(1)
+			// The panic may have unwound through nested inline execution,
+			// leaving the profiler state and the emitter pointed at a
+			// downstream operator; restore both.
+			em.node = node
+			em.ts.Enter(int(node))
 		}
 	}()
 	if m := e.statefulM[node]; m != nil {
 		m.Lock()
 		defer m.Unlock()
 	}
-	nd.Op.Process(port, t, &emitter{e: e, cfg: cfg, ts: ts, node: node})
+	em.node = node
+	nd.Op.Process(port, t, em)
+	return true
 }
 
-// emitter routes an operator's output tuples: queued (with a tuple copy)
-// for dynamic consumers, inline execution for manual ones.
+// emitter routes an operator's output tuples: queued (with a pooled tuple
+// copy) for dynamic consumers, inline execution for manual ones. One
+// emitter is allocated per dispatch loop and reused for every dispatch; its
+// cfg is refreshed at each loop iteration and its node tracks the operator
+// currently executing on the loop's goroutine.
 type emitter struct {
 	e    *Engine
 	cfg  *engineConfig
@@ -408,41 +562,58 @@ type emitter struct {
 
 var _ spl.Emitter = (*emitter)(nil)
 
-// Emit implements spl.Emitter.
+// Emit implements spl.Emitter. Because the emitter is shared down inline
+// execution chains, Emit snapshots the emitting node on entry and restores
+// the emitter and the profiler state once after the last edge — and only
+// when an inline delivery actually clobbered them.
 func (em *emitter) Emit(port int, t *spl.Tuple) {
-	if em.e.opts.TrackLatency && em.e.isSource[em.node] {
+	node := em.node
+	if em.e.opts.TrackLatency && em.e.isSource[node] {
 		t.Time = time.Now().UnixNano()
 	}
-	ports := em.e.outByPort[em.node]
+	ports := em.e.outByPort[node]
 	if port < 0 || port >= len(ports) {
 		return // no consumers on this port
 	}
 	edges := ports[port]
+	inlined := false
 	for i, eg := range edges {
-		tt := t
-		if i < len(edges)-1 {
-			// Fan-out: every consumer beyond the first gets a copy so
-			// they cannot observe each other's mutations.
-			tt = t.Clone()
+		// Fan-out: every consumer beyond the last gets its own copy so
+		// consumers cannot observe each other's mutations; deliver clones
+		// queued deliveries itself, so only inline ones pre-copy here.
+		if em.e.deliver(em, eg.To, eg.ToPort, t, i == len(edges)-1) {
+			inlined = true
 		}
-		em.e.deliver(em.cfg, em.ts, eg.To, eg.ToPort, tt)
-		// Restore the profiler state: deliver may have executed a long
-		// inline chain under other operator ids.
-		em.ts.Enter(int(em.node))
+	}
+	if inlined {
+		em.node = node
+		em.ts.Enter(int(node))
 	}
 }
 
-// deliver hands a tuple to node: enqueue (copying) when the node is
-// dynamic, execute inline when manual.
-func (e *Engine) deliver(cfg *engineConfig, ts *metrics.ThreadState, node graph.NodeID, port int, t *spl.Tuple) {
+// deliver hands a tuple to node. Under the dynamic model it reserves a
+// queue cell first and clones the tuple only once the enqueue is known to
+// succeed (the clone is the paper's copy overhead), then recycles the
+// original when it owns it. Under the manual model it executes the operator
+// inline. owned reports whether the callee may consume t; when false (a
+// fan-out edge before the last) the tuple is cloned for any consuming path.
+// deliver reports whether it executed operators inline on the calling
+// goroutine.
+func (e *Engine) deliver(em *emitter, node graph.NodeID, port int, t *spl.Tuple, owned bool) bool {
+	cfg := em.cfg
 	if cfg.placement[node] {
-		// Copy overhead: tuples are owned by their region, so crossing a
-		// scheduler queue deep-copies.
-		it := item{port: port, t: t.Clone()}
 		q := cfg.queues[node]
-		for spins := 0; !q.TryPush(it); spins++ {
+		for spins := 0; ; spins++ {
+			if s, ok := q.TryReservePush(); ok {
+				s.Commit(item{port: port, t: t.Clone()})
+				if owned {
+					t.Release()
+				}
+				e.wakeWorkers(1)
+				return false
+			}
 			if e.stop.Load() {
-				return
+				return false
 			}
 			if e.pauseReq.Load() || spins >= pushSpinLimit {
 				// Execute inline instead of spinning: either a
@@ -451,13 +622,16 @@ func (e *Engine) deliver(cfg *engineConfig, ts *metrics.ThreadState, node graph.
 				// blocked as a producer on a full downstream queue,
 				// waiting indefinitely would deadlock the pipeline. The
 				// tuple jumps the queue, trading strict FIFO order for
-				// liveness.
-				e.execute(cfg, ts, node, port, it.t)
-				return
+				// liveness. No clone was made, so no copy work is wasted.
+				break
 			}
 			runtime.Gosched()
 		}
-		return
 	}
-	e.execute(cfg, ts, node, port, t)
+	tt := t
+	if !owned {
+		tt = t.Clone()
+	}
+	e.execute(em, node, port, tt)
+	return true
 }

@@ -48,6 +48,36 @@ func NewMPMC[T any](capacity int) (*MPMC[T], error) {
 
 // TryPush attempts to enqueue v, reporting false when the queue is full.
 func (q *MPMC[T]) TryPush(v T) bool {
+	s, ok := q.TryReservePush()
+	if !ok {
+		return false
+	}
+	s.Commit(v)
+	return true
+}
+
+// PushSlot is a reserved enqueue cell returned by TryReservePush. The holder
+// must call Commit exactly once, promptly: until the slot is committed,
+// consumers treat the queue as ending just before it, and an abandoned slot
+// wedges the queue permanently.
+type PushSlot[T any] struct {
+	c   *cell[T]
+	pos uint64
+}
+
+// Commit publishes v into the reserved cell, making it visible to
+// consumers.
+func (s PushSlot[T]) Commit(v T) {
+	s.c.val = v
+	s.c.seq.Store(s.pos + 1)
+}
+
+// TryReservePush reserves the next enqueue cell with a CAS on the enqueue
+// cursor, reporting false when the queue is full. Separating reservation
+// from Commit lets producers construct the value only once the enqueue is
+// known to succeed — the engine uses this to clone a tuple only when the
+// push will go through.
+func (q *MPMC[T]) TryReservePush() (PushSlot[T], bool) {
 	pos := q.enq.Load()
 	for {
 		c := &q.cells[pos&q.mask]
@@ -55,17 +85,97 @@ func (q *MPMC[T]) TryPush(v T) bool {
 		switch {
 		case seq == pos:
 			if q.enq.CompareAndSwap(pos, pos+1) {
-				c.val = v
-				c.seq.Store(pos + 1)
-				return true
+				return PushSlot[T]{c: c, pos: pos}, true
 			}
 			pos = q.enq.Load()
 		case seq < pos:
 			// The cell still holds an unconsumed value: queue full.
-			return false
+			return PushSlot[T]{}, false
 		default:
 			pos = q.enq.Load()
 		}
+	}
+}
+
+// TryPushN enqueues a prefix of vals, reserving a run of cells with a single
+// CAS on the enqueue cursor, and returns how many values were enqueued
+// (0 when the queue is full). Values keep their slice order; cells are
+// published in order, so consumers may observe a partially published batch
+// as a momentarily shorter queue, never as a gap.
+func (q *MPMC[T]) TryPushN(vals []T) int {
+	want := uint64(len(vals))
+	if want == 0 {
+		return 0
+	}
+	pos := q.enq.Load()
+	for {
+		// Count the run of producer-ready cells starting at pos.
+		n := uint64(0)
+		for n < want {
+			seq := q.cells[(pos+n)&q.mask].seq.Load()
+			if seq != pos+n {
+				if n == 0 && seq < pos {
+					return 0 // queue full
+				}
+				break
+			}
+			n++
+		}
+		if n == 0 {
+			// Stale cursor: another producer advanced it; retry.
+			pos = q.enq.Load()
+			continue
+		}
+		if q.enq.CompareAndSwap(pos, pos+n) {
+			for i := uint64(0); i < n; i++ {
+				c := &q.cells[(pos+i)&q.mask]
+				c.val = vals[i]
+				c.seq.Store(pos + i + 1)
+			}
+			return int(n)
+		}
+		pos = q.enq.Load()
+	}
+}
+
+// TryPopN dequeues up to len(out) values into out, reserving a run of
+// published cells with a single CAS on the dequeue cursor, and returns how
+// many values were dequeued (0 when the queue is empty).
+func (q *MPMC[T]) TryPopN(out []T) int {
+	var zero T
+	want := uint64(len(out))
+	if want == 0 {
+		return 0
+	}
+	pos := q.deq.Load()
+	for {
+		// Count the run of published cells starting at pos.
+		n := uint64(0)
+		for n < want {
+			seq := q.cells[(pos+n)&q.mask].seq.Load()
+			if seq != pos+n+1 {
+				if n == 0 && seq <= pos {
+					return 0 // queue empty
+				}
+				break
+			}
+			n++
+		}
+		if n == 0 {
+			// Stale cursor: another consumer advanced it; retry.
+			pos = q.deq.Load()
+			continue
+		}
+		if q.deq.CompareAndSwap(pos, pos+n) {
+			for i := uint64(0); i < n; i++ {
+				c := &q.cells[(pos+i)&q.mask]
+				out[i] = c.val
+				c.val = zero
+				c.seq.Store(pos + i + q.mask + 1)
+			}
+			return int(n)
+		}
+		pos = q.deq.Load()
 	}
 }
 

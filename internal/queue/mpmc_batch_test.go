@@ -1,0 +1,310 @@
+package queue
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+	"testing"
+)
+
+func TestTryPushNPopNSingleThreaded(t *testing.T) {
+	q, _ := NewMPMC[int](8)
+	if got := q.TryPushN(nil); got != 0 {
+		t.Fatalf("TryPushN(nil) = %d", got)
+	}
+	if got := q.TryPopN(nil); got != 0 {
+		t.Fatalf("TryPopN(nil) = %d", got)
+	}
+
+	vals := []int{0, 1, 2, 3, 4}
+	if got := q.TryPushN(vals); got != 5 {
+		t.Fatalf("TryPushN pushed %d, want 5", got)
+	}
+	// Only 3 cells remain: an oversized batch pushes a prefix.
+	if got := q.TryPushN([]int{5, 6, 7, 8, 9}); got != 3 {
+		t.Fatalf("TryPushN on nearly full queue pushed %d, want 3", got)
+	}
+	if got := q.TryPushN([]int{99}); got != 0 {
+		t.Fatalf("TryPushN on full queue pushed %d, want 0", got)
+	}
+
+	out := make([]int, 3)
+	if got := q.TryPopN(out); got != 3 {
+		t.Fatalf("TryPopN popped %d, want 3", got)
+	}
+	for i, v := range out {
+		if v != i {
+			t.Fatalf("out[%d] = %d, want %d", i, v, i)
+		}
+	}
+	// Oversized pop drains what is there.
+	big := make([]int, 16)
+	if got := q.TryPopN(big); got != 5 {
+		t.Fatalf("TryPopN popped %d, want 5", got)
+	}
+	for i, v := range big[:5] {
+		if v != i+3 {
+			t.Fatalf("big[%d] = %d, want %d", i, v, i+3)
+		}
+	}
+	if got := q.TryPopN(big); got != 0 {
+		t.Fatalf("TryPopN on empty queue popped %d, want 0", got)
+	}
+}
+
+func TestTryPushNPopNWrapAround(t *testing.T) {
+	q, _ := NewMPMC[int](8)
+	buf := make([]int, 5)
+	next := 0
+	for round := 0; round < 200; round++ {
+		vals := []int{next, next + 1, next + 2, next + 3, next + 4}
+		if got := q.TryPushN(vals); got != 5 {
+			t.Fatalf("round %d: pushed %d", round, got)
+		}
+		if got := q.TryPopN(buf); got != 5 {
+			t.Fatalf("round %d: popped %d", round, got)
+		}
+		for i, v := range buf {
+			if v != next+i {
+				t.Fatalf("round %d: buf[%d] = %d, want %d", round, i, v, next+i)
+			}
+		}
+		next += 5
+	}
+}
+
+func TestTryReservePushCommit(t *testing.T) {
+	q, _ := NewMPMC[int](4)
+	s, ok := q.TryReservePush()
+	if !ok {
+		t.Fatal("reserve failed on empty queue")
+	}
+	// The reserved-but-uncommitted cell ends the queue for consumers.
+	if _, ok := q.TryPop(); ok {
+		t.Fatal("popped an uncommitted reservation")
+	}
+	s.Commit(42)
+	v, ok := q.TryPop()
+	if !ok || v != 42 {
+		t.Fatalf("pop after commit = (%d, %v), want (42, true)", v, ok)
+	}
+
+	// Reservations respect capacity.
+	for i := 0; i < 4; i++ {
+		s, ok := q.TryReservePush()
+		if !ok {
+			t.Fatalf("reserve %d failed", i)
+		}
+		s.Commit(i)
+	}
+	if _, ok := q.TryReservePush(); ok {
+		t.Fatal("reserve succeeded on full queue")
+	}
+}
+
+// TestMPMCBatchNoLossNoDuplication stresses TryPushN/TryPopN (mixed with
+// single ops) across several producers and consumers: every value must come
+// out exactly once. Run with -race to check the publication protocol.
+func TestMPMCBatchNoLossNoDuplication(t *testing.T) {
+	const (
+		producers = 4
+		consumers = 4
+		perProd   = 2000
+	)
+	q, _ := NewMPMC[int](64)
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			next := p * perProd
+			end := next + perProd
+			for next < end {
+				// Alternate batch sizes, including single-value batches.
+				n := 1 + (next % 7)
+				if next+n > end {
+					n = end - next
+				}
+				batch := make([]int, n)
+				for i := range batch {
+					batch[i] = next + i
+				}
+				pushed := 0
+				for pushed < n {
+					k := q.TryPushN(batch[pushed:])
+					if k == 0 {
+						runtime.Gosched()
+						continue
+					}
+					pushed += k
+				}
+				next += n
+			}
+		}(p)
+	}
+	var mu sync.Mutex
+	got := make([]int, 0, producers*perProd)
+	done := make(chan struct{})
+	var cwg sync.WaitGroup
+	for c := 0; c < consumers; c++ {
+		cwg.Add(1)
+		go func(c int) {
+			defer cwg.Done()
+			local := make([]int, 0, perProd)
+			buf := make([]int, 1+c*3) // varied batch sizes per consumer
+			for {
+				if k := q.TryPopN(buf); k > 0 {
+					local = append(local, buf[:k]...)
+					continue
+				}
+				runtime.Gosched()
+				select {
+				case <-done:
+					for {
+						k := q.TryPopN(buf)
+						if k == 0 {
+							mu.Lock()
+							got = append(got, local...)
+							mu.Unlock()
+							return
+						}
+						local = append(local, buf[:k]...)
+					}
+				default:
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	close(done)
+	cwg.Wait()
+	if len(got) != producers*perProd {
+		t.Fatalf("drained %d values, want %d", len(got), producers*perProd)
+	}
+	sort.Ints(got)
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("value %d missing or duplicated (saw %d at position %d)", i, v, i)
+		}
+	}
+}
+
+// TestMPMCBatchPerProducerOrder verifies a producer's batches stay in order
+// with a batch-popping consumer.
+func TestMPMCBatchPerProducerOrder(t *testing.T) {
+	const perProd = 3000
+	q, _ := NewMPMC[[2]int](32)
+	var wg sync.WaitGroup
+	for p := 0; p < 2; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			i := 0
+			for i < perProd {
+				n := 1 + i%5
+				if i+n > perProd {
+					n = perProd - i
+				}
+				batch := make([][2]int, n)
+				for j := range batch {
+					batch[j] = [2]int{p, i + j}
+				}
+				pushed := 0
+				for pushed < n {
+					k := q.TryPushN(batch[pushed:])
+					if k == 0 {
+						runtime.Gosched()
+						continue
+					}
+					pushed += k
+				}
+				i += n
+			}
+		}(p)
+	}
+	lastSeen := map[int]int{0: -1, 1: -1}
+	popped := 0
+	buf := make([][2]int, 8)
+	for popped < 2*perProd {
+		k := q.TryPopN(buf)
+		if k == 0 {
+			runtime.Gosched()
+			continue
+		}
+		for _, v := range buf[:k] {
+			if v[1] <= lastSeen[v[0]] {
+				t.Fatalf("producer %d value %d arrived after %d", v[0], v[1], lastSeen[v[0]])
+			}
+			lastSeen[v[0]] = v[1]
+		}
+		popped += k
+	}
+	wg.Wait()
+}
+
+// BenchmarkMPMCBatch32 measures a 32-tuple batch push + pop cycle; divide
+// ns/op by 32 to compare with the single-op benchmarks above.
+func BenchmarkMPMCBatch32(b *testing.B) {
+	q, _ := NewMPMC[int](1024)
+	in := make([]int, 32)
+	out := make([]int, 32)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q.TryPushN(in)
+		q.TryPopN(out)
+	}
+}
+
+// FuzzMPMCBatchOps drives an arbitrary single-threaded sequence of
+// batch/single pushes and pops against a model FIFO, exercising boundary
+// batch sizes (0, 1, capacity, oversized) and wrap-around.
+func FuzzMPMCBatchOps(f *testing.F) {
+	f.Add([]byte{0x05, 0x83, 0x02, 0x81, 0x10, 0x90})
+	f.Add([]byte{0x01, 0x81, 0x01, 0x81})
+	f.Add([]byte{0x0f, 0x8f, 0x10, 0x90, 0x00, 0x80})
+	f.Fuzz(func(t *testing.T, ops []byte) {
+		const capacity = 16
+		q, _ := NewMPMC[int](capacity)
+		var model []int
+		next := 0
+		for _, op := range ops {
+			n := int(op & 0x7f) // batch size 0..127, crossing capacity
+			if op&0x80 == 0 {
+				// Push a batch of n sequential values.
+				vals := make([]int, n)
+				for i := range vals {
+					vals[i] = next + i
+				}
+				k := q.TryPushN(vals)
+				wantK := capacity - len(model)
+				if wantK > n {
+					wantK = n
+				}
+				if k != wantK {
+					t.Fatalf("TryPushN(%d) with %d queued = %d, want %d", n, len(model), k, wantK)
+				}
+				model = append(model, vals[:k]...)
+				next += k
+			} else {
+				out := make([]int, n)
+				k := q.TryPopN(out)
+				wantK := len(model)
+				if wantK > n {
+					wantK = n
+				}
+				if k != wantK {
+					t.Fatalf("TryPopN(%d) with %d queued = %d, want %d", n, len(model), k, wantK)
+				}
+				for i := 0; i < k; i++ {
+					if out[i] != model[i] {
+						t.Fatalf("popped %d at %d, want %d", out[i], i, model[i])
+					}
+				}
+				model = model[k:]
+			}
+			if q.Len() != len(model) {
+				t.Fatalf("Len = %d, model has %d", q.Len(), len(model))
+			}
+		}
+	})
+}

@@ -55,6 +55,16 @@ type Resettable interface {
 	Reset()
 }
 
+// Recyclable marks terminal operators that never retain a reference to a
+// processed tuple (or any of its attributes' backing storage, such as the
+// payload slice) after Process returns. The runtime releases tuples
+// delivered to a recyclable sink back to the tuple pool, closing the
+// allocation-free steady-state loop. Operators that collect, buffer, or
+// forward tuples must not implement it.
+type Recyclable interface {
+	RecyclesTuples()
+}
+
 // EmitterFunc adapts a function to the Emitter interface.
 type EmitterFunc func(port int, t *Tuple)
 

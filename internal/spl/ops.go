@@ -53,7 +53,8 @@ func (g *Generator) Next(out Emitter) bool {
 			g.payload[i] = byte(i)
 		}
 	}
-	t := &Tuple{Seq: g.seq, Time: int64(g.seq)}
+	t := AcquireTuple()
+	t.Seq, t.Time = g.seq, int64(g.seq)
 	if g.Keys > 1 {
 		t.Key = g.seq % g.Keys
 	}
@@ -185,7 +186,9 @@ func (tk *Tokenize) Name() string { return tk.name }
 // Process emits one tuple per whitespace-separated token of t.Text.
 func (tk *Tokenize) Process(_ int, t *Tuple, out Emitter) {
 	for _, w := range strings.Fields(t.Text) {
-		out.Emit(0, &Tuple{Seq: t.Seq, Time: t.Time, Text: w, Key: hashString(w)})
+		tok := AcquireTuple()
+		tok.Seq, tok.Time, tok.Text, tok.Key = t.Seq, t.Time, w, hashString(w)
+		out.Emit(0, tok)
 	}
 }
 
@@ -311,7 +314,9 @@ func (k *KeyedCounter) Process(_ int, t *Tuple, out Emitter) {
 	emit := k.emitEvery > 0 && k.seen%k.emitEvery == 0
 	k.mu.Unlock()
 	if emit {
-		out.Emit(0, &Tuple{Seq: t.Seq, Time: t.Time, Key: t.Key, Text: t.Text, Num1: float64(count)})
+		agg := AcquireTuple()
+		agg.Seq, agg.Time, agg.Key, agg.Text, agg.Num1 = t.Seq, t.Time, t.Key, t.Text, float64(count)
+		out.Emit(0, agg)
 	}
 }
 
@@ -336,6 +341,7 @@ type CountingSink struct {
 var (
 	_ Operator   = (*CountingSink)(nil)
 	_ Resettable = (*CountingSink)(nil)
+	_ Recyclable = (*CountingSink)(nil)
 )
 
 // NewCountingSink returns a terminal counting operator.
@@ -345,6 +351,10 @@ func NewCountingSink(name string) *CountingSink {
 
 // Name returns the operator name.
 func (c *CountingSink) Name() string { return c.name }
+
+// RecyclesTuples marks the sink as safe for tuple recycling: Process never
+// retains the tuple or its payload.
+func (c *CountingSink) RecyclesTuples() {}
 
 // Process counts the tuple and emits nothing.
 func (c *CountingSink) Process(_ int, _ *Tuple, _ Emitter) {

@@ -1,0 +1,109 @@
+package spl
+
+import (
+	"math/bits"
+	"sync"
+)
+
+// Tuple and payload pooling.
+//
+// Every scheduler-queue crossing clones a tuple (the paper's copy overhead),
+// so under the dynamic threading model the hot path would allocate a Tuple
+// plus a payload buffer per crossing. The pools below make the steady state
+// allocation-free: Clone draws both the struct and the payload buffer from
+// pools, and Release returns them.
+//
+// Ownership protocol (see DESIGN.md "Hot path & memory discipline"):
+//
+//   - Emit transfers ownership of the tuple to the runtime; the emitting
+//     operator must not touch it afterwards.
+//   - The runtime releases a tuple once it has cloned it into a scheduler
+//     queue (the clone carries the data onward) and after a Recyclable sink
+//     has processed it.
+//   - Only payload buffers obtained from the pool (via Clone or
+//     AcquirePayload) are recycled; buffers merely referenced by a tuple —
+//     such as a Generator's shared payload — are left alone.
+//
+// Releasing a tuple that was never pool-allocated is safe; sync.Pool accepts
+// foreign values. Releasing the same tuple twice is a bug (two later
+// acquires would alias), which is why only the runtime calls Release.
+
+// Payload size classes are powers of two from 64 B to 1 MiB; larger payloads
+// fall back to the garbage collector.
+const (
+	minPayloadClassBits = 6
+	maxPayloadClassBits = 20
+	numPayloadClasses   = maxPayloadClassBits - minPayloadClassBits + 1
+)
+
+var tuplePool = sync.Pool{New: func() any { return new(Tuple) }}
+
+// payloadPools recycles payload buffers per power-of-two size class. The
+// pools store *[]byte boxes rather than slices so neither Get nor Put
+// allocates an interface header; the box pointer travels with the buffer
+// inside Tuple.payloadBox between acquire and release.
+var payloadPools [numPayloadClasses]sync.Pool
+
+func init() {
+	for c := range payloadPools {
+		size := 1 << (minPayloadClassBits + c)
+		payloadPools[c].New = func() any {
+			b := make([]byte, size)
+			return &b
+		}
+	}
+}
+
+// payloadClass returns the size class whose buffers hold n > 0 bytes, or -1
+// when n exceeds the largest pooled class.
+func payloadClass(n int) int {
+	if n > 1<<maxPayloadClassBits {
+		return -1
+	}
+	c := bits.Len(uint(n-1)) - minPayloadClassBits
+	if c < 0 {
+		return 0
+	}
+	return c
+}
+
+// AcquireTuple returns a zeroed tuple from the pool. Callers that hand the
+// tuple to Emit relinquish it; the runtime recycles it at the end of its
+// life, so sources and operators that acquire every emitted tuple run
+// allocation-free in the steady state.
+func AcquireTuple() *Tuple {
+	return tuplePool.Get().(*Tuple)
+}
+
+// AcquirePayload gives t an exclusively owned payload buffer of length n
+// drawn from the pool (len(t.Payload) == n; contents are unspecified).
+// Release will return the buffer to its size class.
+func (t *Tuple) AcquirePayload(n int) {
+	if n <= 0 {
+		t.Payload, t.payloadBox = nil, nil
+		return
+	}
+	c := payloadClass(n)
+	if c < 0 {
+		t.Payload, t.payloadBox = make([]byte, n), nil
+		return
+	}
+	box := payloadPools[c].Get().(*[]byte)
+	t.Payload, t.payloadBox = (*box)[:n], box
+}
+
+// Release returns the tuple — and its payload buffer, when pool-owned — to
+// the pools. The caller must hold the only live reference; afterwards the
+// tuple must not be touched. Only the runtime and tests call Release; see
+// the ownership protocol above.
+func (t *Tuple) Release() {
+	if t.payloadBox != nil {
+		payloadPools[payloadClass(cap(*t.payloadBox))].Put(t.payloadBox)
+	}
+	*t = Tuple{}
+	tuplePool.Put(t)
+}
+
+// PayloadPooled reports whether the tuple's payload buffer is owned by the
+// payload pool (diagnostic; used by tests).
+func (t *Tuple) PayloadPooled() bool { return t.payloadBox != nil }

@@ -26,18 +26,28 @@ type Tuple struct {
 	Num2 float64
 	// Payload is the opaque serialized body of the tuple.
 	Payload []byte
+
+	// payloadBox, when non-nil, is the pooled buffer backing Payload;
+	// Release returns it to its size-class pool. Tuples whose payload
+	// merely references a buffer owned elsewhere leave it nil.
+	payloadBox *[]byte
 }
 
 // Clone returns a deep copy of the tuple. The payload bytes are copied, so
 // the clone can safely cross a scheduler queue while the original is reused
-// by the producing thread.
+// by the producing thread. The clone's struct and payload buffer come from
+// the tuple pool; recycle them with Release when the clone's life ends.
 func (t *Tuple) Clone() *Tuple {
-	c := *t
-	if t.Payload != nil {
-		c.Payload = make([]byte, len(t.Payload))
+	c := tuplePool.Get().(*Tuple)
+	c.Seq, c.Key, c.Time = t.Seq, t.Key, t.Time
+	c.Text, c.Num1, c.Num2 = t.Text, t.Num1, t.Num2
+	if n := len(t.Payload); n > 0 {
+		c.AcquirePayload(n)
 		copy(c.Payload, t.Payload)
+	} else {
+		c.Payload, c.payloadBox = nil, nil
 	}
-	return &c
+	return c
 }
 
 // Size returns the number of bytes the tuple occupies for copy-cost
