@@ -1,13 +1,17 @@
 GO ?= go
 
 # Packages with lock-free / pooled hot-path code that must stay race-clean.
-RACE_PKGS := ./internal/exec/... ./internal/queue/... ./internal/spl/...
+RACE_PKGS := ./internal/exec/... ./internal/queue/... ./internal/spl/... ./internal/pe/...
 
 # Benchmark packages; bench output is benchstat-comparable (go test -json).
 BENCH_PKGS := ./internal/exec/... ./internal/queue/...
 BENCH_OUT  := BENCH_1.json
 
-.PHONY: build test race vet bench fuzz
+# Inter-PE transport benchmarks: batched vs per-tuple-flush loopback runs
+# plus the zero-alloc encode/decode microbenchmarks.
+BENCH_PE_OUT := BENCH_2.json
+
+.PHONY: build test race vet bench bench-pe fuzz
 
 build:
 	$(GO) build ./...
@@ -26,6 +30,12 @@ vet:
 # regressions across commits.
 bench:
 	$(GO) test -json -run '^$$' -bench . -benchmem $(BENCH_PKGS) > $(BENCH_OUT)
+
+# bench-pe writes the transport benchmark results (tuples/s and allocs/op
+# for export->import at 64B/1KiB/16KiB payloads, batched vs per-tuple
+# flush) to $(BENCH_PE_OUT) in the same benchstat-comparable format.
+bench-pe:
+	$(GO) test -json -run '^$$' -bench 'ExportImport|SteadyState' -benchmem ./internal/pe/ > $(BENCH_PE_OUT)
 
 # Short deterministic pass over the MPMC batch-operation fuzz corpus.
 fuzz:

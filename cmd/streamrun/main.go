@@ -37,14 +37,26 @@ func main() {
 		trace    = flag.Bool("trace", false, "print the full adaptation trace at exit")
 		pes      = flag.Int("pes", 1, "split the graph across N processing elements connected by TCP")
 		file     = flag.String("file", "", "run a topology description file instead of a generated shape")
+
+		flushBytes  = flag.Int("flushbytes", 0, "transport: flush a stream once this many encoded bytes are pending (0 = 32KiB default)")
+		flushDelay  = flag.Duration("flushdelay", 0, "transport: max time an encoded frame waits unflushed under sustained traffic (0 = 1ms default)")
+		streamRing  = flag.Int("streamring", 0, "transport: staging ring capacity per stream in tuples (0 = 1024 default)")
+		streamDrop  = flag.Bool("streamdrop", false, "transport: drop tuples when a stream backs up instead of blocking the PE (latency over completeness)")
+		streamStats = flag.Bool("streamstats", false, "print per-stream transport counters at exit (multi-PE runs)")
 	)
 	flag.Parse()
 
+	tcfg := pe.TransportConfig{
+		RingCapacity:  *streamRing,
+		FlushBytes:    *flushBytes,
+		MaxFlushDelay: *flushDelay,
+		DropOnFull:    *streamDrop,
+	}
 	var err error
 	if *file != "" {
 		err = runFile(*file, *threads, *duration, *period, *trace)
 	} else {
-		err = run(*shape, *ops, *width, *depth, *payload, *flops, *skewed, *threads, *duration, *period, *trace, *pes)
+		err = run(*shape, *ops, *width, *depth, *payload, *flops, *skewed, *threads, *duration, *period, *trace, *pes, tcfg, *streamStats)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "streamrun:", err)
@@ -99,7 +111,8 @@ func runFile(path string, maxThreads int, duration, period time.Duration, dumpTr
 }
 
 func run(shape string, ops, width, depth, payload int, flops float64, skewed bool,
-	maxThreads int, duration, period time.Duration, dumpTrace bool, pes int) error {
+	maxThreads int, duration, period time.Duration, dumpTrace bool, pes int,
+	tcfg pe.TransportConfig, streamStats bool) error {
 	cfg := workload.DefaultConfig()
 	cfg.PayloadBytes = payload
 	cfg.BalancedFLOPs = flops
@@ -126,7 +139,7 @@ func run(shape string, ops, width, depth, payload int, flops float64, skewed boo
 	}
 
 	if pes > 1 {
-		return runJob(b, maxThreads, duration, period, pes)
+		return runJob(b, maxThreads, duration, period, pes, tcfg, streamStats)
 	}
 
 	eng, err := exec.New(b.Graph, exec.Options{MaxThreads: maxThreads, AdaptPeriod: period})
@@ -188,7 +201,8 @@ loop:
 
 // runJob executes the workload as a multi-PE job, every PE adapting
 // independently.
-func runJob(b *workload.Build, maxThreads int, duration, period time.Duration, pes int) error {
+func runJob(b *workload.Build, maxThreads int, duration, period time.Duration, pes int,
+	tcfg pe.TransportConfig, streamStats bool) error {
 	assign, err := pe.AssignContiguous(b.Graph, pes)
 	if err != nil {
 		return err
@@ -196,8 +210,9 @@ func runJob(b *workload.Build, maxThreads int, duration, period time.Duration, p
 	ecfg := core.DefaultConfig()
 	ecfg.MaxThreads = maxThreads
 	job, err := pe.Launch(b.Graph, assign, pe.Options{
-		Exec:    exec.Options{MaxThreads: maxThreads, AdaptPeriod: period},
-		Elastic: ecfg,
+		Exec:      exec.Options{MaxThreads: maxThreads, AdaptPeriod: period},
+		Elastic:   ecfg,
+		Transport: tcfg,
 	})
 	if err != nil {
 		return err
@@ -221,5 +236,12 @@ func runJob(b *workload.Build, maxThreads int, duration, period time.Duration, p
 		fmt.Println()
 	}
 	fmt.Printf("final: %d tuples end to end\n", b.Sink.Count())
+	if streamStats {
+		for _, st := range job.StreamStats() {
+			fmt.Printf("stream %d PE%d->PE%d: sent=%d recv=%d dropped=%d bytesSent=%d bytesRecv=%d flushes=%d batches=%v\n",
+				st.Stream, st.FromPE, st.ToPE, st.Sent, st.Received, st.Dropped,
+				st.BytesSent, st.BytesReceived, st.Flushes, st.BatchSizes)
+		}
+	}
 	return nil
 }

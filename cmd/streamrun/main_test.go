@@ -4,11 +4,13 @@ import (
 	"os"
 	"testing"
 	"time"
+
+	"streamelastic/internal/pe"
 )
 
 func TestRunPipelineLive(t *testing.T) {
 	err := run("pipeline", 10, 4, 8, 64, 5000, false, 4,
-		1500*time.Millisecond, 100*time.Millisecond, true, 1)
+		1500*time.Millisecond, 100*time.Millisecond, true, 1, pe.TransportConfig{}, false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -16,7 +18,7 @@ func TestRunPipelineLive(t *testing.T) {
 
 func TestRunSkewedBushy(t *testing.T) {
 	err := run("bushy", 0, 4, 8, 64, 100, true, 2,
-		1200*time.Millisecond, 100*time.Millisecond, false, 1)
+		1200*time.Millisecond, 100*time.Millisecond, false, 1, pe.TransportConfig{}, false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -24,7 +26,8 @@ func TestRunSkewedBushy(t *testing.T) {
 
 func TestRunMultiPE(t *testing.T) {
 	err := run("pipeline", 8, 4, 8, 64, 5000, false, 4,
-		1500*time.Millisecond, 100*time.Millisecond, false, 2)
+		1500*time.Millisecond, 100*time.Millisecond, false, 2,
+		pe.TransportConfig{FlushBytes: 8 << 10, MaxFlushDelay: 500 * time.Microsecond}, true)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -32,7 +35,7 @@ func TestRunMultiPE(t *testing.T) {
 
 func TestRunUnknownShape(t *testing.T) {
 	if err := run("triangle", 10, 4, 8, 64, 100, false, 4,
-		time.Second, 100*time.Millisecond, false, 1); err == nil {
+		time.Second, 100*time.Millisecond, false, 1, pe.TransportConfig{}, false); err == nil {
 		t.Fatal("unknown shape accepted")
 	}
 }

@@ -22,6 +22,29 @@ type Status struct {
 	SinkTuples uint64    `json:"sinkTuples"`
 	UptimeSecs float64   `json:"uptimeSecs"`
 	Latency    LatencyMS `json:"latencyMs"`
+	// Streams lists the PE's cross-PE stream endpoints' transport counters;
+	// empty for single-PE runtimes.
+	Streams []StreamStatus `json:"streams,omitempty"`
+}
+
+// StreamStatus is one cross-PE stream endpoint's transport counters as seen
+// from the PE that owns the endpoint.
+type StreamStatus struct {
+	// Stream is the cross-edge stream id; Dir is "export" or "import";
+	// Peer is the PE at the other end.
+	Stream int    `json:"stream"`
+	Dir    string `json:"dir"`
+	Peer   int    `json:"peer"`
+	// Tuples and Bytes count traffic through the endpoint (encoded frames
+	// on an export, decoded frames on an import).
+	Tuples uint64 `json:"tuples"`
+	Bytes  uint64 `json:"bytes"`
+	// Dropped, Flushes, and BatchSizes are export-side only: tuples the
+	// stream could not carry, explicit flush syscalls, and the writer's
+	// drain batch-size histogram (log2 buckets).
+	Dropped    uint64   `json:"dropped,omitempty"`
+	Flushes    uint64   `json:"flushes,omitempty"`
+	BatchSizes []uint64 `json:"batchSizes,omitempty"`
 }
 
 // LatencyMS renders a latency snapshot in milliseconds for JSON consumers.

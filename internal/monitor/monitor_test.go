@@ -28,6 +28,11 @@ func newServer(t *testing.T) (*httptest.Server, fakeProvider) {
 			Name: "pe0", Operators: 10, Threads: 4, Queues: 3,
 			Settled: true, SinkTuples: 12345, UptimeSecs: 9.5,
 			Latency: LatencyMS{Count: 100, Mean: 1.5, P50: 1, P95: 3, P99: 5},
+			Streams: []StreamStatus{
+				{Stream: 0, Dir: "export", Peer: 1, Tuples: 777, Bytes: 43210,
+					Dropped: 2, Flushes: 9, BatchSizes: []uint64{1, 0, 4}},
+				{Stream: 0, Dir: "import", Peer: 0, Tuples: 775, Bytes: 43100},
+			},
 		}},
 		traces: map[int][]core.TraceEvent{
 			0: {
@@ -62,6 +67,18 @@ func TestStatusEndpoint(t *testing.T) {
 	}
 	if got[0].Latency.P99 != 5 {
 		t.Fatalf("latency p99 = %v", got[0].Latency.P99)
+	}
+	if len(got[0].Streams) != 2 {
+		t.Fatalf("streams = %+v, want 2 endpoints", got[0].Streams)
+	}
+	exp := got[0].Streams[0]
+	if exp.Dir != "export" || exp.Tuples != 777 || exp.Bytes != 43210 ||
+		exp.Dropped != 2 || exp.Flushes != 9 || len(exp.BatchSizes) != 3 {
+		t.Fatalf("export stream status %+v", exp)
+	}
+	imp := got[0].Streams[1]
+	if imp.Dir != "import" || imp.Tuples != 775 || imp.Bytes != 43100 {
+		t.Fatalf("import stream status %+v", imp)
 	}
 }
 
@@ -129,7 +146,10 @@ func TestStatusJSONFieldNames(t *testing.T) {
 		t.Fatal(err)
 	}
 	body := string(raw)
-	for _, field := range []string{"sinkTuples", "latencyMs", "uptimeSecs", "settled"} {
+	for _, field := range []string{
+		"sinkTuples", "latencyMs", "uptimeSecs", "settled",
+		"streams", "dir", "flushes", "batchSizes", "dropped",
+	} {
 		if !strings.Contains(body, field) {
 			t.Fatalf("JSON missing field %q: %s", field, body)
 		}

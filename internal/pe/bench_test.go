@@ -1,0 +1,235 @@
+package pe
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"streamelastic/internal/spl"
+)
+
+// benchPayloads are the wire sizes the transport benchmarks sweep: a small
+// telemetry-style tuple, a typical record, and a bulk frame.
+var benchPayloads = []int{64, 1024, 16384}
+
+// benchTuple returns a template tuple with a pooled payload of n bytes and
+// no text, so the decode side exercises pure pooled construction.
+func benchTuple(n int) *spl.Tuple {
+	t := spl.AcquireTuple()
+	t.Seq = 42
+	t.Key = 7
+	t.Time = 123456789
+	t.Num1 = 3.25
+	t.Num2 = -1.5
+	t.AcquirePayload(n)
+	for i := range t.Payload {
+		t.Payload[i] = byte(i)
+	}
+	return t
+}
+
+// runImportDrain consumes tuples from an import source on a dedicated
+// goroutine until want tuples arrived, releasing each back to the pool.
+func runImportDrain(imp *importSource, want uint64) (*atomic.Uint64, chan struct{}) {
+	var got atomic.Uint64
+	em := spl.EmitterFunc(func(_ int, t *spl.Tuple) {
+		got.Add(1)
+		t.Release()
+	})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for got.Load() < want && imp.Next(em) {
+		}
+	}()
+	return &got, done
+}
+
+// BenchmarkExportImport measures the batched transport end to end over a
+// loopback TCP pair: Process stages pooled clones, the writer goroutine
+// coalesces frames, the receive side decodes into pooled tuples and
+// batch-drains. tuples/s is reported alongside ns/op.
+func BenchmarkExportImport(b *testing.B) {
+	for _, size := range benchPayloads {
+		b.Run(fmt.Sprintf("payload=%d", size), func(b *testing.B) {
+			send, recv := loopbackPair(b)
+			exp := newExportOp("x")
+			// A long block timeout makes the benchmark lossless: the ring
+			// applies backpressure instead of dropping under burst.
+			exp.cfg = TransportConfig{BlockTimeout: time.Minute}.withDefaults()
+			exp.connect(send)
+			imp := newImportSource("i")
+			imp.connect(recv)
+			_, done := runImportDrain(imp, uint64(b.N))
+
+			tp := benchTuple(size)
+			defer tp.Release()
+			b.SetBytes(int64(size))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				exp.Process(0, tp, nil)
+			}
+			<-done
+			b.StopTimer()
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "tuples/s")
+			if exp.Dropped() != 0 {
+				b.Fatalf("benchmark dropped %d tuples", exp.Dropped())
+			}
+			exp.close()
+			imp.close()
+		})
+	}
+}
+
+// perTupleFlushSender replicates the pre-overhaul send path: a mutex around
+// an encoder that flushes after every tuple, one syscall per frame.
+type perTupleFlushSender struct {
+	mu  sync.Mutex
+	enc *encoder
+}
+
+func (s *perTupleFlushSender) send(t *spl.Tuple) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.enc.encode(t)
+}
+
+// BenchmarkExportImportPerTupleFlush is the baseline the tentpole is
+// measured against: identical wire format and receive side, but the sender
+// holds a lock and flushes every frame individually.
+func BenchmarkExportImportPerTupleFlush(b *testing.B) {
+	for _, size := range benchPayloads {
+		b.Run(fmt.Sprintf("payload=%d", size), func(b *testing.B) {
+			send, recv := loopbackPair(b)
+			defer send.Close()
+			sender := &perTupleFlushSender{enc: newEncoder(send)}
+			imp := newImportSource("i")
+			imp.connect(recv)
+			defer imp.close()
+			_, done := runImportDrain(imp, uint64(b.N))
+
+			tp := benchTuple(size)
+			defer tp.Release()
+			b.SetBytes(int64(size))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := sender.send(tp); err != nil {
+					b.Fatal(err)
+				}
+			}
+			<-done
+			b.StopTimer()
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "tuples/s")
+		})
+	}
+}
+
+// BenchmarkEncodeSteadyState measures writeFrame with the scratch buffer
+// warm: steady-state encoding must be allocation-free.
+func BenchmarkEncodeSteadyState(b *testing.B) {
+	enc := newEncoder(io.Discard)
+	tp := benchTuple(64)
+	defer tp.Release()
+	if _, err := enc.writeFrame(tp); err != nil { // warm the scratch buffer
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := enc.writeFrame(tp); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// loopReader serves the same encoded frame forever, so decode benchmarks
+// never hit EOF or a real connection.
+type loopReader struct {
+	frame []byte
+	off   int
+}
+
+func (r *loopReader) Read(p []byte) (int, error) {
+	n := copy(p, r.frame[r.off:])
+	r.off = (r.off + n) % len(r.frame)
+	return n, nil
+}
+
+// encodedFrame returns one wire frame for a payload of n bytes.
+func encodedFrame(tb testing.TB, n int) []byte {
+	tb.Helper()
+	tp := benchTuple(n)
+	defer tp.Release()
+	var sink writeRecorder
+	enc := newEncoder(&sink)
+	if err := enc.encode(tp); err != nil {
+		tb.Fatal(err)
+	}
+	return sink.buf
+}
+
+type writeRecorder struct{ buf []byte }
+
+func (w *writeRecorder) Write(p []byte) (int, error) {
+	w.buf = append(w.buf, p...)
+	return len(p), nil
+}
+
+// BenchmarkDecodeSteadyState measures pooled tuple construction from the
+// wire: with the tuple and payload pools warm, decode must be
+// allocation-free.
+func BenchmarkDecodeSteadyState(b *testing.B) {
+	dec := newDecoder(&loopReader{frame: encodedFrame(b, 64)})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t, err := dec.decode()
+		if err != nil {
+			b.Fatal(err)
+		}
+		t.Release()
+	}
+}
+
+// TestEncodeSteadyStateZeroAlloc pins the zero-alloc contract of writeFrame
+// independent of benchmark runs.
+func TestEncodeSteadyStateZeroAlloc(t *testing.T) {
+	enc := newEncoder(io.Discard)
+	tp := benchTuple(64)
+	defer tp.Release()
+	if _, err := enc.writeFrame(tp); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		if _, err := enc.writeFrame(tp); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state writeFrame allocates %.1f objects per call, want 0", allocs)
+	}
+}
+
+// TestDecodeSteadyStateZeroAlloc pins the zero-alloc contract of pooled
+// decode tuple construction.
+func TestDecodeSteadyStateZeroAlloc(t *testing.T) {
+	dec := newDecoder(&loopReader{frame: encodedFrame(t, 64)})
+	warm, err := dec.decode() // warm the tuple and payload pools
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm.Release()
+	allocs := testing.AllocsPerRun(100, func() {
+		tp, err := dec.decode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		tp.Release()
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state decode allocates %.1f objects per call, want 0", allocs)
+	}
+}

@@ -28,6 +28,12 @@ const maxFrameBytes = 16 << 20
 //	u32 payloadLen, payload bytes
 const fixedHeaderBytes = 8 + 8 + 8 + 8 + 8 + 4 + 4
 
+// wireBufBytes sizes the buffered reader/writer on each side of a stream
+// connection. On the send side it doubles as the frame-coalescing window:
+// the writer goroutine flushes by policy (see exportOp), so many small
+// frames leave in one syscall.
+const wireBufBytes = 64 << 10
+
 // encoder writes tuples to a stream in frame format.
 type encoder struct {
 	w   *bufio.Writer
@@ -35,15 +41,17 @@ type encoder struct {
 }
 
 func newEncoder(w io.Writer) *encoder {
-	return &encoder{w: bufio.NewWriterSize(w, 64<<10)}
+	return &encoder{w: bufio.NewWriterSize(w, wireBufBytes)}
 }
 
-// encode appends one tuple frame and flushes, keeping per-tuple latency
-// bounded at the cost of small writes; TCP buffering amortizes the rest.
-func (e *encoder) encode(t *spl.Tuple) error {
+// writeFrame appends one tuple frame to the buffered writer without
+// flushing, returning the frame's wire size (length prefix included). The
+// scratch buffer is reused across calls, so steady-state encoding is
+// allocation-free.
+func (e *encoder) writeFrame(t *spl.Tuple) (int, error) {
 	frameLen := fixedHeaderBytes + len(t.Text) + len(t.Payload)
 	if frameLen > maxFrameBytes {
-		return fmt.Errorf("pe: tuple frame %d bytes exceeds limit %d", frameLen, maxFrameBytes)
+		return 0, fmt.Errorf("pe: tuple frame %d bytes exceeds limit %d", frameLen, maxFrameBytes)
 	}
 	need := 4 + frameLen
 	if cap(e.buf) < need {
@@ -62,29 +70,56 @@ func (e *encoder) encode(t *spl.Tuple) error {
 	b = append(b, t.Payload...)
 	e.buf = b
 	if _, err := e.w.Write(b); err != nil {
+		return 0, err
+	}
+	return need, nil
+}
+
+// flush pushes all buffered frames onto the underlying connection.
+func (e *encoder) flush() error { return e.w.Flush() }
+
+// buffered reports how many encoded bytes await a flush.
+func (e *encoder) buffered() int { return e.w.Buffered() }
+
+// encode writes one frame and flushes immediately: the single-frame path
+// used by tests and by the per-tuple-flush baseline benchmark. The batched
+// transport calls writeFrame/flush separately.
+func (e *encoder) encode(t *spl.Tuple) error {
+	if _, err := e.writeFrame(t); err != nil {
 		return err
 	}
-	return e.w.Flush()
+	return e.flush()
 }
 
 // decoder reads tuple frames from a stream.
 type decoder struct {
-	r   *bufio.Reader
-	buf []byte
+	r     *bufio.Reader
+	buf   []byte
+	nread uint64
+	// lenBuf is the length-prefix scratch; a local array would escape
+	// through the io.ReadFull interface call and cost an allocation per
+	// frame.
+	lenBuf [4]byte
 }
 
 func newDecoder(r io.Reader) *decoder {
-	return &decoder{r: bufio.NewReaderSize(r, 64<<10)}
+	return &decoder{r: bufio.NewReaderSize(r, wireBufBytes)}
 }
 
+// bytesRead returns the cumulative wire bytes of successfully decoded
+// frames (length prefixes included).
+func (d *decoder) bytesRead() uint64 { return d.nread }
+
 // decode reads one tuple, returning io.EOF (possibly wrapped) when the
-// stream ends cleanly.
+// stream ends cleanly. The tuple struct and its payload buffer come from
+// the spl pools — the PR 1 ownership protocol extends across the wire — so
+// the consumer must Release the tuple (directly or via the runtime) when
+// its life ends.
 func (d *decoder) decode() (*spl.Tuple, error) {
-	var lenBuf [4]byte
-	if _, err := io.ReadFull(d.r, lenBuf[:]); err != nil {
+	if _, err := io.ReadFull(d.r, d.lenBuf[:]); err != nil {
 		return nil, err
 	}
-	frameLen := binary.LittleEndian.Uint32(lenBuf[:])
+	frameLen := binary.LittleEndian.Uint32(d.lenBuf[:])
 	if frameLen < fixedHeaderBytes || frameLen > maxFrameBytes {
 		return nil, fmt.Errorf("pe: invalid frame length %d", frameLen)
 	}
@@ -95,17 +130,17 @@ func (d *decoder) decode() (*spl.Tuple, error) {
 	if _, err := io.ReadFull(d.r, b); err != nil {
 		return nil, fmt.Errorf("pe: truncated frame: %w", err)
 	}
-	t := &spl.Tuple{
-		Seq:  binary.LittleEndian.Uint64(b[0:]),
-		Key:  binary.LittleEndian.Uint64(b[8:]),
-		Time: int64(binary.LittleEndian.Uint64(b[16:])),
-		Num1: math.Float64frombits(binary.LittleEndian.Uint64(b[24:])),
-		Num2: math.Float64frombits(binary.LittleEndian.Uint64(b[32:])),
-	}
+	t := spl.AcquireTuple()
+	t.Seq = binary.LittleEndian.Uint64(b[0:])
+	t.Key = binary.LittleEndian.Uint64(b[8:])
+	t.Time = int64(binary.LittleEndian.Uint64(b[16:]))
+	t.Num1 = math.Float64frombits(binary.LittleEndian.Uint64(b[24:]))
+	t.Num2 = math.Float64frombits(binary.LittleEndian.Uint64(b[32:]))
 	off := 40
 	textLen := int(binary.LittleEndian.Uint32(b[off:]))
 	off += 4
 	if off+textLen > len(b) {
+		t.Release()
 		return nil, fmt.Errorf("pe: text length %d overruns frame", textLen)
 	}
 	if textLen > 0 {
@@ -113,16 +148,19 @@ func (d *decoder) decode() (*spl.Tuple, error) {
 	}
 	off += textLen
 	if off+4 > len(b) {
+		t.Release()
 		return nil, fmt.Errorf("pe: frame too short for payload length")
 	}
 	payloadLen := int(binary.LittleEndian.Uint32(b[off:]))
 	off += 4
 	if off+payloadLen != len(b) {
+		t.Release()
 		return nil, fmt.Errorf("pe: payload length %d inconsistent with frame", payloadLen)
 	}
 	if payloadLen > 0 {
-		t.Payload = make([]byte, payloadLen)
+		t.AcquirePayload(payloadLen)
 		copy(t.Payload, b[off:])
 	}
+	d.nread += uint64(4 + int(frameLen))
 	return t, nil
 }

@@ -4,6 +4,8 @@ import (
 	"bytes"
 	"encoding/binary"
 	"testing"
+
+	"streamelastic/internal/spl"
 )
 
 // FuzzDecode hardens the wire decoder against arbitrary byte streams: it
@@ -74,4 +76,132 @@ func normalizeEmpty(b []byte) []byte {
 		return nil
 	}
 	return b
+}
+
+// FuzzBatchedFrames hardens the batched wire path: several frames coalesced
+// into one buffer (exactly what the writer goroutine produces between
+// flushes) must round-trip through the pooled decoder, survive truncation at
+// any offset with every intact prefix frame still decoding exactly, and
+// never panic on a hostile byte flip anywhere in the stream — including the
+// length prefixes.
+func FuzzBatchedFrames(f *testing.F) {
+	f.Add(uint8(3), uint16(10), uint16(2), byte(0xff), "hello", []byte{1, 2, 3})
+	f.Add(uint8(8), uint16(0), uint16(0), byte(0x00), "", []byte{})
+	f.Add(uint8(1), uint16(48), uint16(1), byte(0x80), "x", []byte{9})
+	f.Add(uint8(5), uint16(200), uint16(45), byte(0x01), "batched", bytes.Repeat([]byte{7}, 64))
+
+	f.Fuzz(func(t *testing.T, nframes uint8, cut, mutPos uint16, mutVal byte, text string, payload []byte) {
+		n := int(nframes)%8 + 1
+		if len(text) > 1024 {
+			text = text[:1024]
+		}
+		if len(payload) > 4096 {
+			payload = payload[:4096]
+		}
+
+		// Coalesce n distinct frames into one buffer, flushing once at the
+		// end, and record where each frame ends on the wire.
+		var buf bytes.Buffer
+		enc := newEncoder(&buf)
+		ends := make([]int, n)
+		want := make([]spl.Tuple, n)
+		off := 0
+		for i := 0; i < n; i++ {
+			in := tupleFixture
+			in.Seq = uint64(i)
+			in.Key = uint64(i)*7 + 1
+			in.Time = int64(i) - 3
+			in.Num1 = float64(i) * 1.5
+			in.Num2 = -float64(i)
+			in.Text = text[: len(text)*(i+1)/n]
+			in.Payload = payload[: len(payload)*(n-i)/n]
+			nb, err := enc.writeFrame(&in)
+			if err != nil {
+				t.Fatalf("writeFrame %d: %v", i, err)
+			}
+			off += nb
+			ends[i] = off
+			want[i] = in
+		}
+		if err := enc.flush(); err != nil {
+			t.Fatalf("flush: %v", err)
+		}
+		wire := buf.Bytes()
+		if len(wire) != off {
+			t.Fatalf("wire is %d bytes, frames summed to %d", len(wire), off)
+		}
+
+		// Intact buffer: every frame round-trips through the pooled decoder,
+		// the byte meter matches the wire, and the stream ends cleanly.
+		dec := newDecoder(bytes.NewReader(wire))
+		for i := 0; i < n; i++ {
+			out, err := dec.decode()
+			if err != nil {
+				t.Fatalf("frame %d: %v", i, err)
+			}
+			checkFrame(t, i, &want[i], out)
+			out.Release()
+		}
+		if _, err := dec.decode(); err == nil {
+			t.Fatal("decode past the final frame succeeded")
+		}
+		if dec.bytesRead() != uint64(len(wire)) {
+			t.Fatalf("decoder read %d wire bytes, want %d", dec.bytesRead(), len(wire))
+		}
+
+		// Truncation at a fuzz-chosen offset: frames wholly before the cut
+		// still decode exactly; the first incomplete frame must error.
+		c := int(cut) % (len(wire) + 1)
+		complete := 0
+		for _, e := range ends {
+			if e <= c {
+				complete++
+			}
+		}
+		dec = newDecoder(bytes.NewReader(wire[:c]))
+		for i := 0; i < complete; i++ {
+			out, err := dec.decode()
+			if err != nil {
+				t.Fatalf("cut at %d: intact frame %d failed: %v", c, i, err)
+			}
+			checkFrame(t, i, &want[i], out)
+			out.Release()
+		}
+		if _, err := dec.decode(); err == nil {
+			t.Fatalf("cut at %d: decode of incomplete frame %d succeeded", c, complete)
+		}
+
+		// Hostile flip anywhere in the stream (length prefixes included):
+		// the decoder may accept or reject frames but must stay bounded and
+		// never panic.
+		mut := append([]byte(nil), wire...)
+		mut[int(mutPos)%len(mut)] ^= mutVal | 1
+		dec = newDecoder(bytes.NewReader(mut))
+		for i := 0; i <= n; i++ {
+			out, err := dec.decode()
+			if err != nil {
+				break
+			}
+			if len(out.Text)+len(out.Payload) > len(mut) {
+				t.Fatalf("mutated stream decoded %d content bytes from %d input bytes",
+					len(out.Text)+len(out.Payload), len(mut))
+			}
+			out.Release()
+		}
+	})
+}
+
+// checkFrame verifies one decoded frame against the tuple it encodes.
+func checkFrame(t *testing.T, i int, want, got *spl.Tuple) {
+	t.Helper()
+	if got.Seq != want.Seq || got.Key != want.Key || got.Time != want.Time ||
+		got.Num1 != want.Num1 || got.Num2 != want.Num2 {
+		t.Fatalf("frame %d scalars: got %+v, want %+v", i, got, want)
+	}
+	if got.Text != want.Text {
+		t.Fatalf("frame %d text: got %q, want %q", i, got.Text, want.Text)
+	}
+	if !bytes.Equal(got.Payload, normalizeEmpty(want.Payload)) {
+		t.Fatalf("frame %d payload: got %d bytes, want %d", i, len(got.Payload), len(want.Payload))
+	}
 }

@@ -23,6 +23,9 @@ type Options struct {
 	DisableElasticity bool
 	// DialTimeout bounds stream wiring at launch (default 5s).
 	DialTimeout time.Duration
+	// Transport tunes every cross-PE stream (staging ring, flush policy,
+	// backpressure mode); the zero value means defaults.
+	Transport TransportConfig
 }
 
 // PERuntime is one launched processing element.
@@ -101,6 +104,7 @@ func Launch(g *graph.Graph, assign Assignment, opts Options) (*Job, error) {
 		sender := plans[ce.FromPE]
 		for j, end := range sender.Exports {
 			if end.Stream == ce.Stream {
+				sender.exports[j].cfg = opts.Transport.withDefaults()
 				sender.exports[j].connect(sendConn)
 			}
 		}
@@ -202,6 +206,37 @@ func (j *Job) closeConns() {
 
 // Streams returns the job's cross-PE edges.
 func (j *Job) Streams() []CrossEdge { return j.crosses }
+
+// StreamStats returns every cross-PE stream's transport counters, send and
+// receive side combined, in stream-id order. Safe to call while the job
+// runs.
+func (j *Job) StreamStats() []StreamStats {
+	out := make([]StreamStats, 0, len(j.crosses))
+	for _, ce := range j.crosses {
+		st := StreamStats{Stream: ce.Stream, FromPE: ce.FromPE, ToPE: ce.ToPE}
+		sender := j.PEs[ce.FromPE].Plan
+		for i, end := range sender.Exports {
+			if end.Stream == ce.Stream {
+				exp := sender.exports[i]
+				st.Sent = exp.Sent()
+				st.Dropped = exp.Dropped()
+				st.BytesSent = exp.BytesSent()
+				st.Flushes = exp.Flushes()
+				st.BatchSizes = exp.batches.snapshot()
+			}
+		}
+		receiver := j.PEs[ce.ToPE].Plan
+		for i, end := range receiver.Imports {
+			if end.Stream == ce.Stream {
+				imp := receiver.imports[i]
+				st.Received = imp.Received()
+				st.BytesReceived = imp.BytesReceived()
+			}
+		}
+		out = append(out, st)
+	}
+	return out
+}
 
 // DrainAndStop gracefully shuts the job down: real sources stop emitting,
 // in-flight tuples flow through every PE and stream to completion (bounded

@@ -1,0 +1,120 @@
+package pe
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// TransportConfig tunes the inter-PE stream transport. The zero value means
+// defaults throughout, so existing callers keep their behaviour.
+type TransportConfig struct {
+	// RingCapacity is the staging ring between the PE's scheduler threads
+	// and the stream's writer goroutine, rounded up to a power of two
+	// (default 1024 tuples).
+	RingCapacity int
+	// FlushBytes flushes the wire buffer once this many encoded bytes are
+	// pending (default 32 KiB), amortizing one syscall over many frames.
+	FlushBytes int
+	// MaxFlushDelay bounds how long an encoded frame may wait unflushed
+	// while the stream stays busy (default 1ms). An idle stream flushes
+	// immediately, so the delay only applies under a sustained trickle.
+	MaxFlushDelay time.Duration
+	// DropOnFull makes the export drop (and count) tuples when the staging
+	// ring is full instead of applying backpressure — latency over
+	// completeness. The default is bounded blocking: a full ring blocks the
+	// producing scheduler thread up to BlockTimeout, matching the natural
+	// backpressure of the old write-per-tuple path, then drops.
+	DropOnFull bool
+	// BlockTimeout bounds a blocked export when DropOnFull is unset
+	// (default 1s); on expiry the tuple is dropped and counted.
+	BlockTimeout time.Duration
+}
+
+const (
+	defaultRingCapacity  = 1024
+	defaultFlushBytes    = 32 << 10
+	defaultMaxFlushDelay = time.Millisecond
+	defaultBlockTimeout  = time.Second
+)
+
+// withDefaults fills zero fields and rounds the ring capacity up to the
+// power of two the MPMC ring requires.
+func (c TransportConfig) withDefaults() TransportConfig {
+	if c.RingCapacity <= 0 {
+		c.RingCapacity = defaultRingCapacity
+	}
+	if c.RingCapacity < 2 {
+		c.RingCapacity = 2
+	}
+	if c.RingCapacity&(c.RingCapacity-1) != 0 {
+		c.RingCapacity = 1 << bits.Len(uint(c.RingCapacity))
+	}
+	if c.FlushBytes <= 0 {
+		c.FlushBytes = defaultFlushBytes
+	}
+	if c.MaxFlushDelay <= 0 {
+		c.MaxFlushDelay = defaultMaxFlushDelay
+	}
+	if c.BlockTimeout <= 0 {
+		c.BlockTimeout = defaultBlockTimeout
+	}
+	return c
+}
+
+// batchHistBuckets is the number of log2 batch-size buckets: bucket i
+// counts writer drains of [2^i, 2^(i+1)) tuples.
+const batchHistBuckets = 8
+
+// batchHist is a lock-free histogram of writer drain batch sizes; it shows
+// whether the stream coalesces (high buckets) or runs tuple-at-a-time.
+type batchHist [batchHistBuckets]atomic.Uint64
+
+func (h *batchHist) record(n int) {
+	if n <= 0 {
+		return
+	}
+	i := bits.Len(uint(n)) - 1
+	if i >= batchHistBuckets {
+		i = batchHistBuckets - 1
+	}
+	h[i].Add(1)
+}
+
+// snapshot returns the bucket counts, or nil when nothing was recorded.
+func (h *batchHist) snapshot() []uint64 {
+	out := make([]uint64, batchHistBuckets)
+	any := false
+	for i := range h {
+		out[i] = h[i].Load()
+		any = any || out[i] != 0
+	}
+	if !any {
+		return nil
+	}
+	return out
+}
+
+// StreamStats is one cross-PE stream's transport counters, send and receive
+// side combined.
+type StreamStats struct {
+	// Stream identifies the cross edge; FromPE/ToPE are its endpoints.
+	Stream int
+	FromPE int
+	ToPE   int
+
+	// Send side: tuples encoded onto the wire, tuples dropped (stream not
+	// wired, errored, or staging ring full past the blocking budget), wire
+	// bytes written, explicit flush syscalls, and the writer's drain
+	// batch-size histogram (log2 buckets).
+	Sent       uint64
+	Dropped    uint64
+	BytesSent  uint64
+	Flushes    uint64
+	BatchSizes []uint64
+
+	// Receive side: tuples delivered to the importing PE and wire bytes of
+	// successfully decoded frames.
+	Received      uint64
+	BytesReceived uint64
+}

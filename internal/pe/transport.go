@@ -3,10 +3,12 @@ package pe
 import (
 	"errors"
 	"net"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"streamelastic/internal/queue"
 	"streamelastic/internal/spl"
 )
 
@@ -20,72 +22,278 @@ const importPollInterval = 20 * time.Millisecond
 // receive buffer, decoupling TCP reads from operator execution.
 const importChanCapacity = 256
 
+// importBatchMax bounds how many buffered tuples one Next wake emits, so a
+// single operator-thread wake drains a burst without starving the engine's
+// pause barrier.
+const importBatchMax = 64
+
+// writerBatchTuples is the writer goroutine's per-drain batch: how many
+// staged tuples one ring pop claims.
+const writerBatchTuples = 128
+
+// closeFlushTimeout bounds the final drain-and-flush at stream close, so a
+// stalled peer cannot wedge job shutdown.
+const closeFlushTimeout = 2 * time.Second
+
 // exportOp is the terminal operator standing in for a cross-PE stream's
-// sending side: it encodes each tuple onto the stream connection. It is a
+// sending side. Process stages a pooled clone of each tuple into a
+// lock-free MPMC ring; a dedicated writer goroutine drains the ring in
+// batches, coalesces frames into large buffered writes, and flushes by
+// policy (size threshold, idle stream, or bounded delay). The export is a
 // sink in its PE's graph, so the PE's throughput meter counts exported
 // tuples.
 type exportOp struct {
 	name string
+	cfg  TransportConfig
 
-	mu      sync.Mutex
-	enc     *encoder
-	conn    net.Conn
+	mu    sync.Mutex // guards connect/close transitions
+	conn  net.Conn
+	ring  *queue.MPMC[*spl.Tuple]
+	wake  chan struct{}
+	space chan struct{}
+	quit  chan struct{}
+	done  chan struct{}
+
+	wired   atomic.Bool
+	parked  atomic.Bool
+	closed  atomic.Bool
 	errored atomic.Bool
-	dropped atomic.Uint64
+
 	sent    atomic.Uint64
+	dropped atomic.Uint64
+	bytes   atomic.Uint64
+	flushes atomic.Uint64
+	batches batchHist
 }
 
 var (
-	_ spl.Operator = (*exportOp)(nil)
-	_ spl.Stateful = (*exportOp)(nil)
+	_ spl.Operator   = (*exportOp)(nil)
+	_ spl.Recyclable = (*exportOp)(nil)
 )
 
 func newExportOp(name string) *exportOp {
-	return &exportOp{name: name}
+	return &exportOp{name: name, cfg: TransportConfig{}.withDefaults()}
 }
 
 // Name returns the operator name.
 func (x *exportOp) Name() string { return x.name }
 
-// Stateful marks the encoder as serialized.
-func (x *exportOp) Stateful() {}
+// RecyclesTuples marks the export as a recyclable sink: Process never
+// retains the tuple it is handed — the staging ring carries a pooled clone
+// — so the engine returns the original to the tuple pool.
+func (x *exportOp) RecyclesTuples() {}
 
-// connect attaches the stream connection; must happen before the engine
-// starts.
+// connect attaches the stream connection and starts the writer goroutine;
+// must happen before the engine starts.
 func (x *exportOp) connect(conn net.Conn) {
 	x.mu.Lock()
 	defer x.mu.Unlock()
 	x.conn = conn
-	x.enc = newEncoder(conn)
+	ring, err := queue.NewMPMC[*spl.Tuple](x.cfg.RingCapacity)
+	if err != nil {
+		// withDefaults rounds the capacity to a power of two >= 2.
+		panic(err)
+	}
+	x.ring = ring
+	x.wake = make(chan struct{}, 1)
+	x.space = make(chan struct{}, 1)
+	x.quit = make(chan struct{})
+	x.done = make(chan struct{})
+	go x.writerLoop(newEncoder(conn))
+	x.wired.Store(true)
 }
 
-// Process encodes the tuple onto the stream. Tuples arriving before the
-// stream is wired or after it errored are counted as dropped rather than
-// blocking the pipeline.
+// Process stages the tuple for the writer goroutine. Tuples arriving before
+// the stream is wired or after it errored are counted as dropped; a full
+// staging ring blocks the producing scheduler thread for a bounded time
+// (the default, preserving the backpressure of the old write-per-tuple
+// path) or drops immediately when DropOnFull is configured.
 func (x *exportOp) Process(_ int, t *spl.Tuple, _ spl.Emitter) {
-	x.mu.Lock()
-	defer x.mu.Unlock()
-	if x.enc == nil || x.errored.Load() {
+	if !x.wired.Load() || x.closed.Load() || x.errored.Load() {
 		x.dropped.Add(1)
 		return
 	}
-	if err := x.enc.encode(t); err != nil {
-		x.errored.Store(true)
-		x.dropped.Add(1)
+	if s, ok := x.ring.TryReservePush(); ok {
+		s.Commit(t.Clone())
+		x.wakeWriter()
 		return
 	}
-	x.sent.Add(1)
+	if !x.cfg.DropOnFull {
+		// Park on the writer's space signal rather than spinning: a yield
+		// loop on a saturated box burns the producing core in scheduler
+		// churn and starves the very goroutine that must free ring slots.
+		timer := time.NewTimer(x.cfg.BlockTimeout)
+		defer timer.Stop()
+		for {
+			if x.closed.Load() || x.errored.Load() {
+				break
+			}
+			if s, ok := x.ring.TryReservePush(); ok {
+				s.Commit(t.Clone())
+				x.wakeWriter()
+				return
+			}
+			select {
+			case <-x.space:
+			case <-x.quit:
+			case <-timer.C:
+				x.dropped.Add(1)
+				return
+			}
+		}
+	}
+	x.dropped.Add(1)
 }
 
-// Sent returns the number of tuples written to the stream.
+// wakeWriter nudges a parked writer. The writer re-checks the ring after
+// setting parked, so a push that misses the flag is still observed.
+func (x *exportOp) wakeWriter() {
+	if x.parked.Load() {
+		select {
+		case x.wake <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// signalSpace tells one producer blocked on a full ring that slots freed.
+func (x *exportOp) signalSpace() {
+	select {
+	case x.space <- struct{}{}:
+	default:
+	}
+}
+
+// writerLoop drains the staging ring into coalesced buffered writes. Flush
+// policy (Nagle-style, tunable): flush once FlushBytes are pending, when
+// the ring runs empty (an idle stream never holds frames back), or when the
+// oldest pending frame has waited MaxFlushDelay under a sustained trickle.
+func (x *exportOp) writerLoop(enc *encoder) {
+	defer close(x.done)
+	batch := make([]*spl.Tuple, writerBatchTuples)
+	var pendingSince time.Time
+	for {
+		n := x.ring.TryPopN(batch)
+		if n == 0 {
+			if enc.buffered() > 0 && x.flush(enc) {
+				pendingSince = time.Time{}
+			}
+			x.parked.Store(true)
+			if x.ring.Len() > 0 {
+				x.parked.Store(false)
+				continue
+			}
+			select {
+			case <-x.wake:
+				x.parked.Store(false)
+				continue
+			case <-x.quit:
+				x.parked.Store(false)
+				x.finalDrain(enc, batch)
+				return
+			}
+		}
+		x.signalSpace()
+		x.writeBatch(enc, batch[:n])
+		if enc.buffered() >= x.cfg.FlushBytes {
+			if x.flush(enc) {
+				pendingSince = time.Time{}
+			}
+		} else if enc.buffered() > 0 {
+			now := time.Now()
+			switch {
+			case pendingSince.IsZero():
+				pendingSince = now
+			case now.Sub(pendingSince) >= x.cfg.MaxFlushDelay:
+				if x.flush(enc) {
+					pendingSince = time.Time{}
+				}
+			}
+		} else {
+			pendingSince = time.Time{}
+		}
+	}
+}
+
+// writeBatch encodes one drained batch. After a write error the stream is
+// marked errored and the remaining tuples count as dropped; every staged
+// tuple returns to the pool either way.
+func (x *exportOp) writeBatch(enc *encoder, batch []*spl.Tuple) {
+	x.batches.record(len(batch))
+	for i, t := range batch {
+		if x.errored.Load() {
+			x.dropped.Add(1)
+		} else if nb, err := enc.writeFrame(t); err != nil {
+			x.errored.Store(true)
+			x.dropped.Add(1)
+		} else {
+			x.sent.Add(1)
+			x.bytes.Add(uint64(nb))
+		}
+		t.Release()
+		batch[i] = nil
+	}
+}
+
+// flush pushes buffered frames onto the connection, reporting success.
+func (x *exportOp) flush(enc *encoder) bool {
+	if x.errored.Load() {
+		return false
+	}
+	if err := enc.flush(); err != nil {
+		x.errored.Store(true)
+		return false
+	}
+	x.flushes.Add(1)
+	return true
+}
+
+// finalDrain empties the staging ring and flushes at shutdown. A few yield
+// rounds let in-flight producers land their reserved slots; anything staged
+// after that is left to the garbage collector.
+func (x *exportOp) finalDrain(enc *encoder, batch []*spl.Tuple) {
+	for round := 0; round < 3; round++ {
+		for {
+			n := x.ring.TryPopN(batch)
+			if n == 0 {
+				break
+			}
+			x.writeBatch(enc, batch[:n])
+		}
+		runtime.Gosched()
+	}
+	if enc.buffered() > 0 {
+		x.flush(enc)
+	}
+}
+
+// Sent returns the number of tuples encoded onto the stream.
 func (x *exportOp) Sent() uint64 { return x.sent.Load() }
 
 // Dropped returns the number of tuples that could not be written.
 func (x *exportOp) Dropped() uint64 { return x.dropped.Load() }
 
+// BytesSent returns the wire bytes of encoded frames.
+func (x *exportOp) BytesSent() uint64 { return x.bytes.Load() }
+
+// Flushes returns the number of explicit flushes onto the connection.
+func (x *exportOp) Flushes() uint64 { return x.flushes.Load() }
+
 func (x *exportOp) close() {
+	if x.closed.Swap(true) {
+		return
+	}
 	x.mu.Lock()
 	defer x.mu.Unlock()
+	if x.conn != nil {
+		// Unblock a writer stuck in a TCP write against a stalled peer so
+		// the final drain is bounded.
+		_ = x.conn.SetWriteDeadline(time.Now().Add(closeFlushTimeout))
+	}
+	if x.quit != nil {
+		close(x.quit)
+		<-x.done
+	}
 	if x.conn != nil {
 		_ = x.conn.Close()
 	}
@@ -93,8 +301,9 @@ func (x *exportOp) close() {
 
 // importSource is the source standing in for a cross-PE stream's receiving
 // side. A dedicated reader goroutine decodes frames from the connection
-// into a buffered channel; the operator thread drains the channel, so a
-// blocked TCP read can never stall the engine's pause barrier.
+// into a buffered channel; the operator thread drains the channel in
+// batches, so a blocked TCP read can never stall the engine's pause barrier
+// and one wake delivers many tuples.
 type importSource struct {
 	name string
 
@@ -104,7 +313,12 @@ type importSource struct {
 	done   chan struct{}
 	closed atomic.Bool
 
+	// timer is the reusable idle-poll timer; only the operator thread
+	// driving Next touches it.
+	timer *time.Timer
+
 	received atomic.Uint64
+	bytes    atomic.Uint64
 }
 
 var (
@@ -150,13 +364,17 @@ func (s *importSource) readLoop(conn net.Conn, ch chan *spl.Tuple, done chan str
 			_ = err
 			return
 		}
+		s.bytes.Store(dec.bytesRead())
 		ch <- t
 	}
 }
 
-// Next emits the next received tuple. It yields with true (and no
-// emission) when the stream is idle for a poll interval, and returns false
-// only once the stream has ended and drained.
+// Next emits the next batch of received tuples: a non-blocking drain of up
+// to importBatchMax queued tuples when traffic is flowing (no timer-heap
+// traffic at all on that path), falling back to one blocking receive
+// bounded by the reusable poll timer when the stream is quiet. It yields
+// with true (and no emission) when the stream is idle for a poll interval,
+// and returns false only once the stream has ended and drained.
 func (s *importSource) Next(out spl.Emitter) bool {
 	s.mu.Lock()
 	ch := s.ch
@@ -166,21 +384,64 @@ func (s *importSource) Next(out spl.Emitter) bool {
 		time.Sleep(importPollInterval)
 		return !s.closed.Load()
 	}
+	// Fast path: tuples are already buffered; the poll timer stays cold.
 	select {
 	case t, ok := <-ch:
 		if !ok {
 			return false
 		}
-		s.received.Add(1)
-		out.Emit(0, t)
-		return true
-	case <-time.After(importPollInterval):
+		return s.emitBatch(out, ch, t)
+	default:
+	}
+	if s.timer == nil {
+		s.timer = time.NewTimer(importPollInterval)
+	} else {
+		s.timer.Reset(importPollInterval)
+	}
+	select {
+	case t, ok := <-ch:
+		if !s.timer.Stop() {
+			// The timer fired concurrently; drain it so the next Reset
+			// starts clean (pre-1.23 timer semantics).
+			select {
+			case <-s.timer.C:
+			default:
+			}
+		}
+		if !ok {
+			return false
+		}
+		return s.emitBatch(out, ch, t)
+	case <-s.timer.C:
 		return true
 	}
 }
 
+// emitBatch emits one received tuple plus a non-blocking drain of up to
+// importBatchMax-1 more, so one operator-thread wake delivers a burst.
+func (s *importSource) emitBatch(out spl.Emitter, ch chan *spl.Tuple, first *spl.Tuple) bool {
+	s.received.Add(1)
+	out.Emit(0, first)
+	for i := 1; i < importBatchMax; i++ {
+		select {
+		case t, ok := <-ch:
+			if !ok {
+				return false
+			}
+			s.received.Add(1)
+			out.Emit(0, t)
+		default:
+			return true
+		}
+	}
+	return true
+}
+
 // Received returns the number of tuples read from the stream.
 func (s *importSource) Received() uint64 { return s.received.Load() }
+
+// BytesReceived returns the wire bytes of successfully decoded frames.
+func (s *importSource) BytesReceived() uint64 { return s.bytes.Load() }
 
 func (s *importSource) close() {
 	s.closed.Store(true)

@@ -106,6 +106,11 @@ func (j *Job) Status() []PEStatus {
 	return out
 }
 
+// StreamStats returns every cross-PE stream's transport counters (tuples
+// and bytes on both ends, drops, flushes, writer batch sizes), in stream-id
+// order. Safe to call while the job runs.
+func (j *Job) StreamStats() []pe.StreamStats { return j.job.StreamStats() }
+
 // Trace returns the adaptation trace of one PE (nil when elasticity is
 // disabled or the index is out of range).
 func (j *Job) Trace(peIndex int) []TraceEvent {
@@ -124,16 +129,34 @@ type jobProvider struct{ j *Job }
 
 func (p jobProvider) Statuses() []monitor.Status {
 	sts := p.j.Status()
+	streams := p.j.StreamStats()
 	out := make([]monitor.Status, 0, len(sts))
 	for _, s := range sts {
-		out = append(out, monitor.Status{
+		st := monitor.Status{
 			Name:       fmt.Sprintf("pe%d", s.PE),
 			Operators:  s.Operators,
 			Threads:    s.Threads,
 			Queues:     s.Queues,
 			Settled:    s.Settled,
 			SinkTuples: s.SinkTuples,
-		})
+		}
+		for _, ss := range streams {
+			if ss.FromPE == s.PE {
+				st.Streams = append(st.Streams, monitor.StreamStatus{
+					Stream: ss.Stream, Dir: "export", Peer: ss.ToPE,
+					Tuples: ss.Sent, Bytes: ss.BytesSent,
+					Dropped: ss.Dropped, Flushes: ss.Flushes,
+					BatchSizes: ss.BatchSizes,
+				})
+			}
+			if ss.ToPE == s.PE {
+				st.Streams = append(st.Streams, monitor.StreamStatus{
+					Stream: ss.Stream, Dir: "import", Peer: ss.FromPE,
+					Tuples: ss.Received, Bytes: ss.BytesReceived,
+				})
+			}
+		}
+		out = append(out, st)
 	}
 	return out
 }

@@ -218,4 +218,26 @@ func TestMetricsHandlerJob(t *testing.T) {
 	if statuses[0]["name"].(string) != "pe0" {
 		t.Fatalf("name = %v", statuses[0]["name"])
 	}
+	// The live transport counters surface per PE: pe0 exports the stream
+	// that pe1 imports, with matching tuple counts by the time both are
+	// observed through one snapshot.
+	exports, ok := statuses[0]["streams"].([]any)
+	if !ok || len(exports) != 1 {
+		t.Fatalf("pe0 streams = %v, want one export", statuses[0]["streams"])
+	}
+	exp := exports[0].(map[string]any)
+	if exp["dir"].(string) != "export" || exp["peer"].(float64) != 1 {
+		t.Fatalf("pe0 stream = %v", exp)
+	}
+	if exp["tuples"].(float64) <= 0 || exp["bytes"].(float64) <= 0 {
+		t.Fatalf("export carried no traffic: %v", exp)
+	}
+	imports, ok := statuses[1]["streams"].([]any)
+	if !ok || len(imports) != 1 {
+		t.Fatalf("pe1 streams = %v, want one import", statuses[1]["streams"])
+	}
+	imp := imports[0].(map[string]any)
+	if imp["dir"].(string) != "import" || imp["tuples"].(float64) <= 0 {
+		t.Fatalf("pe1 stream = %v", imp)
+	}
 }
