@@ -11,7 +11,7 @@ BENCH_OUT  := BENCH_1.json
 # plus the zero-alloc encode/decode microbenchmarks.
 BENCH_PE_OUT := BENCH_2.json
 
-.PHONY: build test race vet bench bench-pe fuzz
+.PHONY: build test race vet bench bench-pe fuzz fuzz-pe chaos
 
 build:
 	$(GO) build ./...
@@ -40,3 +40,13 @@ bench-pe:
 # Short deterministic pass over the MPMC batch-operation fuzz corpus.
 fuzz:
 	$(GO) test ./internal/queue/ -run '^$$' -fuzz FuzzMPMCBatchOps -fuzztime 20s
+
+# Short fuzz pass over the transport's batched frame decoder.
+fuzz-pe:
+	$(GO) test ./internal/pe/ -run '^$$' -fuzz FuzzBatchedFrames -fuzztime 20s
+
+# Seeded fault-injection suite under the race detector: connection kills,
+# frame corruption, operator panics with quarantine, watchdog freeze — all
+# with exactly-once delivery and full tuple accounting asserted.
+chaos:
+	$(GO) test -race -count=1 -run 'Chaos' -v ./internal/pe/

@@ -18,6 +18,7 @@ import (
 
 	"streamelastic/internal/core"
 	"streamelastic/internal/exec"
+	"streamelastic/internal/fault"
 	"streamelastic/internal/pe"
 	"streamelastic/internal/workload"
 )
@@ -43,6 +44,11 @@ func main() {
 		streamRing  = flag.Int("streamring", 0, "transport: staging ring capacity per stream in tuples (0 = 1024 default)")
 		streamDrop  = flag.Bool("streamdrop", false, "transport: drop tuples when a stream backs up instead of blocking the PE (latency over completeness)")
 		streamStats = flag.Bool("streamstats", false, "print per-stream transport counters at exit (multi-PE runs)")
+
+		watchdog    = flag.Bool("watchdog", false, "run a health watchdog per PE that freezes adaptation while the PE is unhealthy (multi-PE runs)")
+		panicBudget = flag.Int("panicbudget", 0, "quarantine an operator after this many recovered panics (0 = supervision off)")
+		chaos       = flag.Bool("chaos", false, "inject deterministic faults (operator panics, connection kills) into multi-PE runs")
+		chaosSeed   = flag.Int64("chaosseed", 1, "seed for -chaos fault injection")
 	)
 	flag.Parse()
 
@@ -52,11 +58,17 @@ func main() {
 		MaxFlushDelay: *flushDelay,
 		DropOnFull:    *streamDrop,
 	}
+	rcfg := resilienceConfig{
+		watchdog:    *watchdog,
+		panicBudget: *panicBudget,
+		chaos:       *chaos,
+		chaosSeed:   *chaosSeed,
+	}
 	var err error
 	if *file != "" {
 		err = runFile(*file, *threads, *duration, *period, *trace)
 	} else {
-		err = run(*shape, *ops, *width, *depth, *payload, *flops, *skewed, *threads, *duration, *period, *trace, *pes, tcfg, *streamStats)
+		err = run(*shape, *ops, *width, *depth, *payload, *flops, *skewed, *threads, *duration, *period, *trace, *pes, tcfg, rcfg, *streamStats)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "streamrun:", err)
@@ -110,9 +122,17 @@ func runFile(path string, maxThreads int, duration, period time.Duration, dumpTr
 	return nil
 }
 
+// resilienceConfig bundles the self-healing flags for multi-PE runs.
+type resilienceConfig struct {
+	watchdog    bool
+	panicBudget int
+	chaos       bool
+	chaosSeed   int64
+}
+
 func run(shape string, ops, width, depth, payload int, flops float64, skewed bool,
 	maxThreads int, duration, period time.Duration, dumpTrace bool, pes int,
-	tcfg pe.TransportConfig, streamStats bool) error {
+	tcfg pe.TransportConfig, rcfg resilienceConfig, streamStats bool) error {
 	cfg := workload.DefaultConfig()
 	cfg.PayloadBytes = payload
 	cfg.BalancedFLOPs = flops
@@ -139,7 +159,7 @@ func run(shape string, ops, width, depth, payload int, flops float64, skewed boo
 	}
 
 	if pes > 1 {
-		return runJob(b, maxThreads, duration, period, pes, tcfg, streamStats)
+		return runJob(b, maxThreads, duration, period, pes, tcfg, rcfg, streamStats)
 	}
 
 	eng, err := exec.New(b.Graph, exec.Options{MaxThreads: maxThreads, AdaptPeriod: period})
@@ -202,17 +222,33 @@ loop:
 // runJob executes the workload as a multi-PE job, every PE adapting
 // independently.
 func runJob(b *workload.Build, maxThreads int, duration, period time.Duration, pes int,
-	tcfg pe.TransportConfig, streamStats bool) error {
+	tcfg pe.TransportConfig, rcfg resilienceConfig, streamStats bool) error {
 	assign, err := pe.AssignContiguous(b.Graph, pes)
 	if err != nil {
 		return err
 	}
 	ecfg := core.DefaultConfig()
 	ecfg.MaxThreads = maxThreads
+	var inj *fault.Injector
+	if rcfg.chaos {
+		inj = fault.New(rcfg.chaosSeed)
+		// A canned chaos plan: kill the first stream's connection a few
+		// times during the run and panic an operator on the last PE until
+		// its budget trips. Everything downstream of the kill resumes from
+		// the retransmit ring; the panics exercise quarantine.
+		inj.Arm(fault.ConnKill, 0, fault.Plan{EveryN: 5000, MaxFires: 3})
+		inj.Arm(fault.OpPanic, fault.OpSite(pes-1, 1), fault.Plan{EveryN: 500, MaxFires: 8})
+	}
 	job, err := pe.Launch(b.Graph, assign, pe.Options{
-		Exec:      exec.Options{MaxThreads: maxThreads, AdaptPeriod: period},
-		Elastic:   ecfg,
-		Transport: tcfg,
+		Exec: exec.Options{
+			MaxThreads:  maxThreads,
+			AdaptPeriod: period,
+			PanicBudget: rcfg.panicBudget,
+		},
+		Elastic:        ecfg,
+		Transport:      tcfg,
+		Fault:          inj,
+		EnableWatchdog: rcfg.watchdog,
 	})
 	if err != nil {
 		return err
@@ -238,10 +274,30 @@ func runJob(b *workload.Build, maxThreads int, duration, period time.Duration, p
 	fmt.Printf("final: %d tuples end to end\n", b.Sink.Count())
 	if streamStats {
 		for _, st := range job.StreamStats() {
-			fmt.Printf("stream %d PE%d->PE%d: sent=%d recv=%d dropped=%d bytesSent=%d bytesRecv=%d flushes=%d batches=%v\n",
+			fmt.Printf("stream %d PE%d->PE%d: sent=%d recv=%d dropped=%d bytesSent=%d bytesRecv=%d flushes=%d batches=%v retrans=%d reconnects=%d dups=%d resumes=%d\n",
 				st.Stream, st.FromPE, st.ToPE, st.Sent, st.Received, st.Dropped,
-				st.BytesSent, st.BytesReceived, st.Flushes, st.BatchSizes)
+				st.BytesSent, st.BytesReceived, st.Flushes, st.BatchSizes,
+				st.Retransmits, st.Reconnects, st.DupsDropped, st.Resumes)
 		}
+	}
+	if rcfg.watchdog {
+		for _, h := range job.Health() {
+			fmt.Printf("watchdog %s: healthy=%v frozen=%v trips=%d recovers=%d lastCause=%q\n",
+				h.Name, h.Healthy, h.Frozen, h.Trips, h.Recovers, h.LastCause)
+		}
+	}
+	if rcfg.panicBudget > 0 {
+		for _, rt := range job.PEs {
+			sup := rt.Eng.Supervision()
+			if sup.Quarantines > 0 || sup.Dropped > 0 {
+				fmt.Printf("PE%d supervision: quarantines=%d releases=%d dropped=%d active=%d\n",
+					rt.Plan.PE, sup.Quarantines, sup.Releases, sup.Dropped, sup.Active)
+			}
+		}
+	}
+	if inj != nil {
+		fmt.Printf("chaos: %d faults fired (seed %d)\n", len(inj.Events()), rcfg.chaosSeed)
+		os.Stdout.Write(inj.LogBytes())
 	}
 	return nil
 }

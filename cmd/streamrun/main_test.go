@@ -10,7 +10,7 @@ import (
 
 func TestRunPipelineLive(t *testing.T) {
 	err := run("pipeline", 10, 4, 8, 64, 5000, false, 4,
-		1500*time.Millisecond, 100*time.Millisecond, true, 1, pe.TransportConfig{}, false)
+		1500*time.Millisecond, 100*time.Millisecond, true, 1, pe.TransportConfig{}, resilienceConfig{}, false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -18,7 +18,7 @@ func TestRunPipelineLive(t *testing.T) {
 
 func TestRunSkewedBushy(t *testing.T) {
 	err := run("bushy", 0, 4, 8, 64, 100, true, 2,
-		1200*time.Millisecond, 100*time.Millisecond, false, 1, pe.TransportConfig{}, false)
+		1200*time.Millisecond, 100*time.Millisecond, false, 1, pe.TransportConfig{}, resilienceConfig{}, false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -27,7 +27,8 @@ func TestRunSkewedBushy(t *testing.T) {
 func TestRunMultiPE(t *testing.T) {
 	err := run("pipeline", 8, 4, 8, 64, 5000, false, 4,
 		1500*time.Millisecond, 100*time.Millisecond, false, 2,
-		pe.TransportConfig{FlushBytes: 8 << 10, MaxFlushDelay: 500 * time.Microsecond}, true)
+		pe.TransportConfig{FlushBytes: 8 << 10, MaxFlushDelay: 500 * time.Microsecond},
+		resilienceConfig{watchdog: true, panicBudget: 2}, true)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -35,7 +36,7 @@ func TestRunMultiPE(t *testing.T) {
 
 func TestRunUnknownShape(t *testing.T) {
 	if err := run("triangle", 10, 4, 8, 64, 100, false, 4,
-		time.Second, 100*time.Millisecond, false, 1, pe.TransportConfig{}, false); err == nil {
+		time.Second, 100*time.Millisecond, false, 1, pe.TransportConfig{}, resilienceConfig{}, false); err == nil {
 		t.Fatal("unknown shape accepted")
 	}
 }

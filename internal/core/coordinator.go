@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -71,6 +72,13 @@ type Coordinator struct {
 	everSet    bool
 	deviate    int
 
+	// frozen gates adaptation without stopping observation: a health
+	// watchdog freezes the coordinator while its PE is unhealthy, because
+	// adapting to measurements taken during a fault window would chase
+	// noise (and could thrash placement exactly when the runtime is trying
+	// to recover). Frozen steps record a trace event and change nothing.
+	frozen atomic.Bool
+
 	// stats for SASO accounting
 	tmRuns        int
 	tmRunsSkipped int
@@ -127,6 +135,17 @@ func (c *Coordinator) Step() (bool, error) {
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if c.frozen.Load() {
+		c.trace.add(TraceEvent{
+			Time:       c.eng.Now(),
+			Throughput: thr,
+			Threads:    c.eng.ThreadCount(),
+			Queues:     countQueues(c.eng),
+			Phase:      PhaseFrozen,
+			Note:       "adaptation frozen: PE unhealthy",
+		})
+		return c.settled, nil
+	}
 	phase, note, err := c.adapt(thr)
 	c.trace.add(TraceEvent{
 		Time:       c.eng.Now(),
@@ -482,6 +501,15 @@ func (c *Coordinator) RunUntilSettled(maxSteps int) (int, bool, error) {
 	}
 	return maxSteps, false, nil
 }
+
+// SetFrozen gates adaptation: while frozen the coordinator keeps observing
+// (and tracing) but applies no placement or thread-count changes. It
+// implements the watchdog's Freezer surface; thawing resumes exploration
+// exactly where it stopped.
+func (c *Coordinator) SetFrozen(frozen bool) { c.frozen.Store(frozen) }
+
+// Frozen reports whether adaptation is currently gated.
+func (c *Coordinator) Frozen() bool { return c.frozen.Load() }
 
 // Settled reports whether adaptation has converged.
 func (c *Coordinator) Settled() bool {

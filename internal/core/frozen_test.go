@@ -1,0 +1,69 @@
+package core
+
+import (
+	"testing"
+)
+
+// TestFrozenCoordinatorSkipsAdaptation verifies the watchdog's control
+// surface: a frozen coordinator keeps observing (trace events accumulate)
+// but applies no placement or thread-count changes until thawed.
+func TestFrozenCoordinatorSkipsAdaptation(t *testing.T) {
+	f := newFakeEngine([]float64{0.001, 0.02, 0.02, 0.02}, 0.0005, 8, 8)
+	c, err := NewCoordinator(f, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Frozen() {
+		t.Fatal("coordinator born frozen")
+	}
+	c.SetFrozen(true)
+	if !c.Frozen() {
+		t.Fatal("SetFrozen(true) not visible")
+	}
+
+	threads := f.threads
+	applies := f.applies
+	for i := 0; i < 5; i++ {
+		if _, err := c.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if f.threads != threads || f.applies != applies {
+		t.Fatalf("frozen coordinator adapted: threads %d->%d, applies %d->%d",
+			threads, f.threads, applies, f.applies)
+	}
+	trace := c.Trace()
+	if len(trace) != 5 {
+		t.Fatalf("frozen coordinator recorded %d trace events, want 5", len(trace))
+	}
+	for _, e := range trace {
+		if e.Phase != PhaseFrozen {
+			t.Fatalf("trace phase %q while frozen, want %q", e.Phase, PhaseFrozen)
+		}
+	}
+
+	// Thaw: adaptation resumes from where it left off.
+	c.SetFrozen(false)
+	if c.Frozen() {
+		t.Fatal("SetFrozen(false) not visible")
+	}
+	steps, settled, err := c.RunUntilSettled(200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !settled {
+		t.Fatalf("thawed coordinator never settled in %d steps", steps)
+	}
+	if f.applies == applies && f.threads == threads {
+		t.Fatal("thawed coordinator never adapted")
+	}
+	adapted := 0
+	for _, e := range c.Trace() {
+		if e.Phase != PhaseFrozen {
+			adapted++
+		}
+	}
+	if adapted == 0 {
+		t.Fatal("no non-frozen trace events after the thaw")
+	}
+}

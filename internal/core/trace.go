@@ -15,6 +15,9 @@ const (
 	PhaseTM      Phase = "threading-model"
 	PhaseTC      Phase = "thread-count"
 	PhaseSettled Phase = "settled"
+	// PhaseFrozen marks observations taken while a health watchdog held
+	// adaptation frozen; no configuration change accompanies them.
+	PhaseFrozen Phase = "frozen"
 )
 
 // TraceEvent is one adaptation-period observation, the unit from which the

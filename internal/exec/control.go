@@ -50,7 +50,10 @@ func (e *Engine) ApplyPlacement(dynamic []bool) error {
 	defer e.reconfigMu.Unlock()
 
 	old := e.cfg.Load()
-	cfg := e.buildConfig(dynamic, old)
+	cfg, err := e.buildConfig(dynamic, old)
+	if err != nil {
+		return err
+	}
 
 	e.pauseAll()
 	e.cfg.Store(cfg)

@@ -24,6 +24,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"streamelastic/internal/fault"
 	"streamelastic/internal/graph"
 	"streamelastic/internal/metrics"
 	"streamelastic/internal/queue"
@@ -73,6 +74,25 @@ type Options struct {
 	// the wall clock and records sink-arrival latency in a histogram.
 	// Leave it off when operators use Time as an application event time.
 	TrackLatency bool
+	// Fault is an optional fault injector consulted on the operator hot
+	// path; nil (the default) costs one pointer check per dispatch.
+	Fault *fault.Injector
+	// FaultSiteBase offsets this engine's node ids into the injector's site
+	// namespace (fault.OpSite of the owning PE), so one injector can target
+	// operators across PEs without collisions.
+	FaultSiteBase int
+	// PanicBudget enables operator supervision when > 0: an operator whose
+	// recovered panics exhaust the budget is quarantined — its input drops
+	// and counts instead of executing — for an exponentially growing
+	// timeout, then probed back in. Clean running decays the history.
+	PanicBudget int
+	// QuarantineBase/QuarantineMax bound the quarantine timeout's
+	// exponential growth (defaults 100ms / 5s).
+	QuarantineBase time.Duration
+	QuarantineMax  time.Duration
+	// PanicDecay is the clean-run interval that forgives one strike or
+	// backoff round (default 1s).
+	PanicDecay time.Duration
 }
 
 func (o *Options) setDefaults() {
@@ -87,6 +107,18 @@ func (o *Options) setDefaults() {
 	}
 	if o.ProfilePeriod == 0 {
 		o.ProfilePeriod = time.Millisecond
+	}
+	if o.QuarantineBase <= 0 {
+		o.QuarantineBase = 100 * time.Millisecond
+	}
+	if o.QuarantineMax < o.QuarantineBase {
+		o.QuarantineMax = 5 * time.Second
+	}
+	if o.QuarantineMax < o.QuarantineBase {
+		o.QuarantineMax = o.QuarantineBase
+	}
+	if o.PanicDecay <= 0 {
+		o.PanicDecay = time.Second
 	}
 }
 
@@ -109,6 +141,7 @@ type Engine struct {
 	latency    metrics.Histogram
 	isSource   []bool
 	opPanics   atomic.Uint64
+	sup        *supervision // nil unless Options.PanicBudget > 0
 
 	// Pause/park machinery for online reconfiguration.
 	mu       sync.Mutex
@@ -198,13 +231,20 @@ func New(g *graph.Graph, opts Options) (*Engine, error) {
 		}
 		e.isSource[i] = nd.Source
 	}
-	e.cfg.Store(e.buildConfig(make([]bool, n), nil))
+	if opts.PanicBudget > 0 {
+		e.sup = newSupervision(n, opts)
+	}
+	cfg, err := e.buildConfig(make([]bool, n), nil)
+	if err != nil {
+		return nil, err
+	}
+	e.cfg.Store(cfg)
 	return e, nil
 }
 
 // buildConfig assembles a new engineConfig, reusing queues from prev for
 // nodes that stay dynamic so in-flight tuples survive reconfiguration.
-func (e *Engine) buildConfig(placement []bool, prev *engineConfig) *engineConfig {
+func (e *Engine) buildConfig(placement []bool, prev *engineConfig) (*engineConfig, error) {
 	n := e.g.NumNodes()
 	cfg := &engineConfig{
 		placement: make([]bool, n),
@@ -223,14 +263,13 @@ func (e *Engine) buildConfig(placement []bool, prev *engineConfig) *engineConfig
 		} else {
 			q, err := queue.NewMPMC[item](e.opts.QueueCapacity)
 			if err != nil {
-				// Capacity is validated in New; this cannot fail.
-				panic(err)
+				return nil, fmt.Errorf("exec: queue for node %d: %w", i, err)
 			}
 			cfg.queues[i] = q
 		}
 		cfg.queueList = append(cfg.queueList, graph.NodeID(i))
 	}
-	return cfg
+	return cfg, nil
 }
 
 // Start launches the source operator threads, the initial scheduler pool
@@ -479,6 +518,13 @@ func (e *Engine) workerLoop(w *worker) {
 // execute runs operator node on tuple t, updating the profiler state and
 // the sink meter.
 func (e *Engine) execute(em *emitter, node graph.NodeID, port int, t *spl.Tuple) {
+	if e.sup != nil && e.sup.quarantined(int(node), time.Now().UnixNano()) {
+		// The tuple is exclusively ours here (queue crossings and fan-out
+		// clone), so a quarantine drop returns it to the pool.
+		e.sup.drops.Add(1)
+		t.Release()
+		return
+	}
 	ts := em.ts
 	ts.Enter(int(node))
 	ok := e.process(em, e.g.Node(node), node, port, t)
@@ -493,6 +539,13 @@ func (e *Engine) execute(em *emitter, node graph.NodeID, port int, t *spl.Tuple)
 // scheduler queue, entering the profiler state once for the whole batch and
 // metering sinks with a single atomic add.
 func (e *Engine) executeBatch(em *emitter, node graph.NodeID, items []item) {
+	if e.sup != nil && e.sup.quarantined(int(node), time.Now().UnixNano()) {
+		e.sup.drops.Add(uint64(len(items)))
+		for i := range items {
+			items[i].t.Release()
+		}
+		return
+	}
 	nd := e.g.Node(node)
 	ts := em.ts
 	ts.Enter(int(node))
@@ -532,6 +585,9 @@ func (e *Engine) process(em *emitter, nd *graph.Node, node graph.NodeID, port in
 	defer func() {
 		if r := recover(); r != nil {
 			e.opPanics.Add(1)
+			if e.sup != nil {
+				e.sup.notePanic(int(node), time.Now())
+			}
 			// The panic may have unwound through nested inline execution,
 			// leaving the profiler state and the emitter pointed at a
 			// downstream operator; restore both.
@@ -539,6 +595,17 @@ func (e *Engine) process(em *emitter, nd *graph.Node, node graph.NodeID, port in
 			em.ts.Enter(int(node))
 		}
 	}()
+	// Chaos hooks fire inside the recover scope, so an injected panic takes
+	// the exact path a real operator panic takes.
+	if e.inj() != nil {
+		site := e.opts.FaultSiteBase + int(node)
+		if d := e.opts.Fault.FireDelay(fault.OpSlow, site); d > 0 {
+			time.Sleep(d)
+		}
+		if e.opts.Fault.Fire(fault.OpPanic, site) {
+			panic(fmt.Sprintf("exec: injected panic in operator %q", nd.Op.Name()))
+		}
+	}
 	if m := e.statefulM[node]; m != nil {
 		m.Lock()
 		defer m.Unlock()
@@ -547,6 +614,9 @@ func (e *Engine) process(em *emitter, nd *graph.Node, node graph.NodeID, port in
 	nd.Op.Process(port, t, em)
 	return true
 }
+
+// inj returns the configured fault injector (nil for production engines).
+func (e *Engine) inj() *fault.Injector { return e.opts.Fault }
 
 // emitter routes an operator's output tuples: queued (with a pooled tuple
 // copy) for dynamic consumers, inline execution for manual ones. One

@@ -1,0 +1,139 @@
+package exec
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// supervision is the engine's operator supervisor: it tracks recovered
+// panics per operator against a panic budget and quarantines repeat
+// offenders. A quarantined operator's input drops-and-counts instead of
+// executing — a crashing operator must not take its scheduler thread's
+// throughput (or, worse, the whole PE) with it — for an exponentially
+// growing timeout, after which the operator is probed back in. Sustained
+// clean running decays both the strike count and the backoff round, so an
+// operator that recovered for real earns its reputation back.
+type supervision struct {
+	budget int
+	base   time.Duration
+	max    time.Duration
+	decay  time.Duration
+
+	nodes []opHealth
+
+	quarantines atomic.Uint64 // quarantine engagements
+	releases    atomic.Uint64 // probes back in after a quarantine expired
+	drops       atomic.Uint64 // tuples dropped while quarantined
+}
+
+// opHealth is one operator's supervision state. The until field is the hot
+// path: zero means healthy, and quarantined() touches nothing else.
+type opHealth struct {
+	until atomic.Int64 // unix nanos; quarantined while now < until
+
+	mu      sync.Mutex
+	strikes int       // panics since the last quarantine or decay
+	round   int       // backoff round; quarantine lasts base << round
+	last    time.Time // last panic, for decay
+}
+
+func newSupervision(n int, opts Options) *supervision {
+	return &supervision{
+		budget: opts.PanicBudget,
+		base:   opts.QuarantineBase,
+		max:    opts.QuarantineMax,
+		decay:  opts.PanicDecay,
+		nodes:  make([]opHealth, n),
+	}
+}
+
+// quarantined reports whether node is currently quarantined. The first
+// caller to observe an expired quarantine releases the operator (counted as
+// a probe), so exactly one release is recorded per engagement.
+func (s *supervision) quarantined(node int, now int64) bool {
+	h := &s.nodes[node]
+	until := h.until.Load()
+	if until == 0 {
+		return false
+	}
+	if now < until {
+		return true
+	}
+	if h.until.CompareAndSwap(until, 0) {
+		s.releases.Add(1)
+	}
+	return false
+}
+
+// notePanic records one recovered panic against node's budget, engaging a
+// quarantine when the budget is exhausted. Clean time since the previous
+// panic forgives strikes first and then backoff rounds, one per decay
+// interval.
+func (s *supervision) notePanic(node int, now time.Time) {
+	h := &s.nodes[node]
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if !h.last.IsZero() && s.decay > 0 {
+		quiet := now.Sub(h.last)
+		for quiet >= s.decay && (h.strikes > 0 || h.round > 0) {
+			if h.strikes > 0 {
+				h.strikes--
+			} else {
+				h.round--
+			}
+			quiet -= s.decay
+		}
+	}
+	h.last = now
+	h.strikes++
+	if h.strikes < s.budget {
+		return
+	}
+	h.strikes = 0
+	d := s.base << h.round
+	if d <= 0 || d > s.max {
+		d = s.max
+	}
+	if h.round < 30 {
+		h.round++
+	}
+	h.until.Store(now.Add(d).UnixNano())
+	s.quarantines.Add(1)
+}
+
+// active counts operators currently quarantined.
+func (s *supervision) active(now int64) int {
+	n := 0
+	for i := range s.nodes {
+		if u := s.nodes[i].until.Load(); u != 0 && now < u {
+			n++
+		}
+	}
+	return n
+}
+
+// SupervisionStats is the supervisor's externally visible state.
+type SupervisionStats struct {
+	// Quarantines counts engagements; Releases counts probes back in;
+	// Dropped counts tuples dropped while quarantined; Active is how many
+	// operators are quarantined right now.
+	Quarantines uint64
+	Releases    uint64
+	Dropped     uint64
+	Active      int
+}
+
+// Supervision returns the engine's supervisor counters; the zero value when
+// supervision is disabled (Options.PanicBudget == 0).
+func (e *Engine) Supervision() SupervisionStats {
+	if e.sup == nil {
+		return SupervisionStats{}
+	}
+	return SupervisionStats{
+		Quarantines: e.sup.quarantines.Load(),
+		Releases:    e.sup.releases.Load(),
+		Dropped:     e.sup.drops.Load(),
+		Active:      e.sup.active(time.Now().UnixNano()),
+	}
+}

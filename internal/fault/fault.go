@@ -1,0 +1,273 @@
+// Package fault is a deterministic, seeded fault injector for chaos-testing
+// the runtime's recovery paths. Hook points threaded through internal/exec
+// (operator panic, operator slowdown) and internal/pe (frame corruption,
+// connection kill, writer stall) consult an Injector; an unarmed or nil
+// Injector costs one nil check on the hot path.
+//
+// Determinism is the design center: whether event n at a site fires is a
+// pure function of (seed, point, site, n), independent of goroutine
+// interleaving, so two runs with the same seed and the same per-site event
+// streams inject the same faults — the fire log serializes to identical
+// bytes. Wall-clock never participates in a fire decision.
+package fault
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Point identifies a class of injectable fault.
+type Point uint8
+
+// Injection points.
+const (
+	// OpPanic panics an operator invocation (contained by the engine's
+	// recover and charged to the operator's panic budget).
+	OpPanic Point = iota
+	// OpSlow sleeps before an operator invocation, simulating a degraded
+	// operator.
+	OpSlow
+	// FrameCorrupt corrupts one encoded frame on an export stream; the
+	// receiver rejects it and resets the connection.
+	FrameCorrupt
+	// ConnKill closes an export stream's connection mid-run, forcing a
+	// redial and retransmit-ring resume.
+	ConnKill
+	// WriterStall sleeps the export writer goroutine, simulating a wedged
+	// writer for the watchdog to detect.
+	WriterStall
+	numPoints
+)
+
+// String returns the point's stable log label.
+func (p Point) String() string {
+	switch p {
+	case OpPanic:
+		return "op-panic"
+	case OpSlow:
+		return "op-slow"
+	case FrameCorrupt:
+		return "frame-corrupt"
+	case ConnKill:
+		return "conn-kill"
+	case WriterStall:
+		return "writer-stall"
+	}
+	return fmt.Sprintf("point-%d", uint8(p))
+}
+
+// opSiteStride separates the operator-site namespaces of different PEs:
+// operator sites are PE*opSiteStride + local node id. Transport points use
+// the stream id directly; the Point dimension keeps the namespaces from
+// colliding.
+const opSiteStride = 1 << 16
+
+// OpSite returns the canonical injector site for operator node `node` of
+// processing element `pe`.
+func OpSite(pe, node int) int { return pe*opSiteStride + node }
+
+// Plan describes when a site fires. Triggers combine (any match fires):
+//
+//   - EveryN fires events n = EveryN, 2*EveryN, ... — with MaxFires set,
+//     only the first MaxFires multiples qualify, a rank-based cap that stays
+//     deterministic under concurrent event arrival.
+//   - Nth fires exactly event n == Nth.
+//   - Rate fires each event with the given probability, decided by a seeded
+//     hash of (seed, point, site, n); MaxFires caps rate-triggered fires via
+//     a counter, which is deterministic only when the site's events are
+//     sequential.
+type Plan struct {
+	Rate     float64
+	Nth      uint64
+	EveryN   uint64
+	MaxFires uint64
+	// Delay is the sleep applied by delay-class points (OpSlow,
+	// WriterStall) when they fire.
+	Delay time.Duration
+}
+
+// Event is one recorded fire: event number N at (Point, Site).
+type Event struct {
+	Point Point
+	Site  int
+	N     uint64
+}
+
+type siteKey struct {
+	point Point
+	site  int
+}
+
+type siteState struct {
+	plan      Plan
+	count     atomic.Uint64 // events observed at this site
+	rateFires atomic.Uint64 // rate-triggered fires, for the MaxFires cap
+}
+
+// Injector decides fault fires. The zero value is not useful; construct
+// with New. A nil *Injector is valid and never fires, so hook points need
+// no guards beyond the pointer check.
+type Injector struct {
+	seed uint64
+
+	// sites is copy-on-write: Arm swaps in a new map under mu, Fire loads
+	// it with one atomic read.
+	sites atomic.Pointer[map[siteKey]*siteState]
+
+	mu  sync.Mutex
+	log []Event
+}
+
+// New returns an injector whose rate decisions derive from seed.
+func New(seed int64) *Injector {
+	return &Injector{seed: uint64(seed)}
+}
+
+// Arm installs (or replaces) the plan for one (point, site). Arm before the
+// workload runs; arming mid-run is safe but the site's event counter does
+// not reset.
+func (in *Injector) Arm(p Point, site int, plan Plan) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	old := in.sites.Load()
+	next := make(map[siteKey]*siteState)
+	if old != nil {
+		for k, v := range *old {
+			next[k] = v
+		}
+	}
+	k := siteKey{point: p, site: site}
+	if prev, ok := next[k]; ok {
+		prev.plan = plan
+	} else {
+		next[k] = &siteState{plan: plan}
+	}
+	in.sites.Store(&next)
+}
+
+// Fire records one event at (point, site) and reports whether the armed
+// plan fires it. Unarmed sites (and nil injectors) never fire and keep no
+// counters.
+func (in *Injector) Fire(p Point, site int) bool {
+	if in == nil {
+		return false
+	}
+	sites := in.sites.Load()
+	if sites == nil {
+		return false
+	}
+	s := (*sites)[siteKey{point: p, site: site}]
+	if s == nil {
+		return false
+	}
+	n := s.count.Add(1)
+	if !in.qualifies(s, p, site, n) {
+		return false
+	}
+	in.mu.Lock()
+	in.log = append(in.log, Event{Point: p, Site: site, N: n})
+	in.mu.Unlock()
+	return true
+}
+
+// FireDelay is Fire for delay-class points: it returns the plan's Delay
+// when the event fires and 0 otherwise.
+func (in *Injector) FireDelay(p Point, site int) time.Duration {
+	if in == nil {
+		return 0
+	}
+	if !in.Fire(p, site) {
+		return 0
+	}
+	sites := in.sites.Load()
+	s := (*sites)[siteKey{point: p, site: site}]
+	return s.plan.Delay
+}
+
+func (in *Injector) qualifies(s *siteState, p Point, site int, n uint64) bool {
+	pl := s.plan
+	if pl.Nth != 0 && n == pl.Nth {
+		return true
+	}
+	if pl.EveryN != 0 && n%pl.EveryN == 0 {
+		if pl.MaxFires == 0 || n/pl.EveryN <= pl.MaxFires {
+			return true
+		}
+	}
+	if pl.Rate > 0 {
+		threshold := uint64(pl.Rate * math.MaxUint64)
+		if pl.Rate >= 1 || splitmix64(in.seed^uint64(p)<<56^mix(uint64(site))^mix(n)) < threshold {
+			if pl.MaxFires == 0 || s.rateFires.Add(1) <= pl.MaxFires {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Fires returns how many times (point, site) has fired.
+func (in *Injector) Fires(p Point, site int) uint64 {
+	if in == nil {
+		return 0
+	}
+	n := uint64(0)
+	in.mu.Lock()
+	for _, e := range in.log {
+		if e.Point == p && e.Site == site {
+			n++
+		}
+	}
+	in.mu.Unlock()
+	return n
+}
+
+// Events returns the fire log sorted by (point, site, n) — a canonical
+// order independent of the interleaving in which fires were recorded.
+func (in *Injector) Events() []Event {
+	if in == nil {
+		return nil
+	}
+	in.mu.Lock()
+	out := make([]Event, len(in.log))
+	copy(out, in.log)
+	in.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Point != out[j].Point {
+			return out[i].Point < out[j].Point
+		}
+		if out[i].Site != out[j].Site {
+			return out[i].Site < out[j].Site
+		}
+		return out[i].N < out[j].N
+	})
+	return out
+}
+
+// LogBytes serializes the canonical fire log, one "point site n" line per
+// event. Two runs with the same seed and per-site event streams produce
+// byte-identical logs — the chaos tests' determinism artifact.
+func (in *Injector) LogBytes() []byte {
+	var b strings.Builder
+	for _, e := range in.Events() {
+		fmt.Fprintf(&b, "%s %d %d\n", e.Point, e.Site, e.N)
+	}
+	return []byte(b.String())
+}
+
+// mix spreads low-entropy inputs (site ids, event counters) across the word
+// before they enter the hash.
+func mix(v uint64) uint64 { return v * 0x9E3779B97F4A7C15 }
+
+// splitmix64 is the finalizer of the splitmix64 generator: a cheap,
+// high-quality 64-bit mixer.
+func splitmix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}

@@ -1,0 +1,181 @@
+package fault
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilInjectorNeverFires(t *testing.T) {
+	var in *Injector
+	if in.Fire(OpPanic, 0) {
+		t.Fatal("nil injector fired")
+	}
+	if d := in.FireDelay(OpSlow, 0); d != 0 {
+		t.Fatalf("nil injector delay = %v", d)
+	}
+	if ev := in.Events(); ev != nil {
+		t.Fatalf("nil injector events = %v", ev)
+	}
+	if in.Fires(OpPanic, 0) != 0 {
+		t.Fatal("nil injector counted fires")
+	}
+}
+
+func TestUnarmedSiteNeverFires(t *testing.T) {
+	in := New(1)
+	in.Arm(ConnKill, 7, Plan{EveryN: 1})
+	for i := 0; i < 100; i++ {
+		if in.Fire(OpPanic, 7) {
+			t.Fatal("unarmed point fired")
+		}
+		if in.Fire(ConnKill, 8) {
+			t.Fatal("unarmed site fired")
+		}
+	}
+}
+
+func TestEveryNWithMaxFires(t *testing.T) {
+	in := New(42)
+	in.Arm(OpPanic, 3, Plan{EveryN: 10, MaxFires: 2})
+	var fired []int
+	for i := 1; i <= 50; i++ {
+		if in.Fire(OpPanic, 3) {
+			fired = append(fired, i)
+		}
+	}
+	want := []int{10, 20}
+	if len(fired) != len(want) {
+		t.Fatalf("fired at %v, want %v", fired, want)
+	}
+	for i := range want {
+		if fired[i] != want[i] {
+			t.Fatalf("fired at %v, want %v", fired, want)
+		}
+	}
+	if got := in.Fires(OpPanic, 3); got != 2 {
+		t.Fatalf("Fires = %d, want 2", got)
+	}
+}
+
+func TestNthFiresOnce(t *testing.T) {
+	in := New(0)
+	in.Arm(FrameCorrupt, 0, Plan{Nth: 5})
+	count := 0
+	for i := 1; i <= 20; i++ {
+		if in.Fire(FrameCorrupt, 0) {
+			if i != 5 {
+				t.Fatalf("fired at event %d, want 5", i)
+			}
+			count++
+		}
+	}
+	if count != 1 {
+		t.Fatalf("fired %d times, want 1", count)
+	}
+}
+
+func TestRateIsSeedDeterministic(t *testing.T) {
+	run := func(seed int64) []uint64 {
+		in := New(seed)
+		in.Arm(OpSlow, 1, Plan{Rate: 0.1})
+		var fires []uint64
+		for i := 0; i < 1000; i++ {
+			if in.Fire(OpSlow, 1) {
+				fires = append(fires, uint64(i+1))
+			}
+		}
+		return fires
+	}
+	a, b := run(7), run(7)
+	if len(a) != len(b) {
+		t.Fatalf("same seed diverged: %d vs %d fires", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at fire %d", i)
+		}
+	}
+	if len(a) == 0 || len(a) == 1000 {
+		t.Fatalf("rate 0.1 fired %d/1000 events", len(a))
+	}
+	c := run(8)
+	same := len(a) == len(c)
+	if same {
+		for i := range a {
+			if a[i] != c[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical rate fires")
+	}
+}
+
+func TestFireDelayReturnsPlanDelay(t *testing.T) {
+	in := New(1)
+	in.Arm(WriterStall, 2, Plan{EveryN: 2, Delay: 3 * time.Millisecond})
+	if d := in.FireDelay(WriterStall, 2); d != 0 {
+		t.Fatalf("event 1 delay = %v, want 0", d)
+	}
+	if d := in.FireDelay(WriterStall, 2); d != 3*time.Millisecond {
+		t.Fatalf("event 2 delay = %v, want 3ms", d)
+	}
+}
+
+// TestConcurrentFiresDeterministicLog drives one site from many goroutines:
+// the set of fired event numbers (and so the canonical log) must match a
+// serial run, because fire decisions depend only on the event number.
+func TestConcurrentFiresDeterministicLog(t *testing.T) {
+	const events = 10000
+	serial := New(99)
+	serial.Arm(OpPanic, 4, Plan{EveryN: 137, MaxFires: 20})
+	for i := 0; i < events; i++ {
+		serial.Fire(OpPanic, 4)
+	}
+
+	conc := New(99)
+	conc.Arm(OpPanic, 4, Plan{EveryN: 137, MaxFires: 20})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < events/8; i++ {
+				conc.Fire(OpPanic, 4)
+			}
+		}()
+	}
+	wg.Wait()
+
+	if !bytes.Equal(serial.LogBytes(), conc.LogBytes()) {
+		t.Fatalf("concurrent log diverged from serial:\n%s\nvs\n%s",
+			conc.LogBytes(), serial.LogBytes())
+	}
+}
+
+func TestLogBytesCanonicalOrder(t *testing.T) {
+	in := New(0)
+	in.Arm(ConnKill, 1, Plan{EveryN: 1, MaxFires: 1})
+	in.Arm(OpPanic, 9, Plan{EveryN: 1, MaxFires: 1})
+	// Fire in reverse point order; the log must still sort by point.
+	in.Fire(ConnKill, 1)
+	in.Fire(OpPanic, 9)
+	want := "op-panic 9 1\nconn-kill 1 1\n"
+	if got := string(in.LogBytes()); got != want {
+		t.Fatalf("log = %q, want %q", got, want)
+	}
+}
+
+func TestOpSiteSeparatesPEs(t *testing.T) {
+	if OpSite(0, 5) == OpSite(1, 5) {
+		t.Fatal("PE namespaces collide")
+	}
+	if OpSite(1, 0) == OpSite(0, 1<<16) {
+		// Documented stride: callers must keep node ids below the stride.
+		t.Log("stride boundary: node ids at 1<<16 would collide across PEs")
+	}
+}

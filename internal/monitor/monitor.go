@@ -22,6 +22,13 @@ type Status struct {
 	SinkTuples uint64    `json:"sinkTuples"`
 	UptimeSecs float64   `json:"uptimeSecs"`
 	Latency    LatencyMS `json:"latencyMs"`
+	// OperatorPanics and Quarantined surface the supervision layer: total
+	// recovered operator panics and how many operators are currently
+	// quarantined (dropping input while they serve a panic timeout).
+	OperatorPanics uint64 `json:"operatorPanics,omitempty"`
+	Quarantined    int    `json:"quarantined,omitempty"`
+	// Health is the PE's watchdog verdict; nil when no watchdog runs.
+	Health *WatchdogStatus `json:"health,omitempty"`
 	// Streams lists the PE's cross-PE stream endpoints' transport counters;
 	// empty for single-PE runtimes.
 	Streams []StreamStatus `json:"streams,omitempty"`
@@ -45,6 +52,15 @@ type StreamStatus struct {
 	Dropped    uint64   `json:"dropped,omitempty"`
 	Flushes    uint64   `json:"flushes,omitempty"`
 	BatchSizes []uint64 `json:"batchSizes,omitempty"`
+	// Recovery counters: Retransmits/Reconnects/Unacked are export-side
+	// (resume traffic, re-attached connections, frames of unknown delivery
+	// at close); DupsDropped/Resumes are import-side (sequence dedup,
+	// re-accepted connections).
+	Retransmits uint64 `json:"retransmits,omitempty"`
+	Reconnects  uint64 `json:"reconnects,omitempty"`
+	Unacked     uint64 `json:"unacked,omitempty"`
+	DupsDropped uint64 `json:"dupsDropped,omitempty"`
+	Resumes     uint64 `json:"resumes,omitempty"`
 }
 
 // LatencyMS renders a latency snapshot in milliseconds for JSON consumers.

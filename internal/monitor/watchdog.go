@@ -1,0 +1,203 @@
+package monitor
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Probe is one health check the watchdog polls. Check receives the poll
+// time and reports health plus a short human-readable detail for the
+// unhealthy case. Implementations must be safe for concurrent use.
+type Probe struct {
+	Name  string
+	Check func(now time.Time) (healthy bool, detail string)
+}
+
+// Freezer is the control surface the watchdog holds while its subject is
+// unhealthy — in this runtime, the PE's elastic coordinator: adapting
+// placement or thread counts from measurements taken during a fault window
+// would chase noise, so the watchdog freezes adaptation until health
+// returns.
+type Freezer interface {
+	SetFrozen(frozen bool)
+}
+
+// WatchdogConfig tunes the watchdog's cadence and hysteresis. The zero
+// value means defaults.
+type WatchdogConfig struct {
+	// Interval is the poll period (default 50ms).
+	Interval time.Duration
+	// UnhealthyAfter is how many consecutive failing polls of any probe
+	// trip the watchdog (default 2) — one bad sample is noise.
+	UnhealthyAfter int
+	// HealthyAfter is how many consecutive all-clear polls release it
+	// (default 4) — recovery must prove itself before adaptation resumes.
+	HealthyAfter int
+}
+
+func (c WatchdogConfig) withDefaults() WatchdogConfig {
+	if c.Interval <= 0 {
+		c.Interval = 50 * time.Millisecond
+	}
+	if c.UnhealthyAfter <= 0 {
+		c.UnhealthyAfter = 2
+	}
+	if c.HealthyAfter <= 0 {
+		c.HealthyAfter = 4
+	}
+	return c
+}
+
+// WatchdogStatus is a watchdog's externally visible state.
+type WatchdogStatus struct {
+	Name      string `json:"name"`
+	Healthy   bool   `json:"healthy"`
+	Frozen    bool   `json:"frozen"`
+	LastCause string `json:"lastCause,omitempty"`
+	Trips     uint64 `json:"trips"`
+	Recovers  uint64 `json:"recovers"`
+}
+
+// Watchdog polls a set of health probes and freezes a Freezer (typically
+// the elastic coordinator) while any probe stays unhealthy, with hysteresis
+// in both directions.
+type Watchdog struct {
+	name    string
+	cfg     WatchdogConfig
+	probes  []Probe
+	freezer Freezer // may be nil: observe-only
+
+	quit chan struct{}
+	done chan struct{}
+
+	healthy  atomic.Bool
+	frozen   atomic.Bool
+	trips    atomic.Uint64
+	recovers atomic.Uint64
+
+	mu        sync.Mutex
+	started   bool
+	stopped   bool
+	badPolls  int
+	goodPolls int
+	lastCause string
+}
+
+// NewWatchdog builds a watchdog over the given probes. freezer may be nil
+// for observe-only monitoring.
+func NewWatchdog(name string, probes []Probe, freezer Freezer, cfg WatchdogConfig) *Watchdog {
+	w := &Watchdog{
+		name:    name,
+		cfg:     cfg.withDefaults(),
+		probes:  probes,
+		freezer: freezer,
+		quit:    make(chan struct{}),
+		done:    make(chan struct{}),
+	}
+	w.healthy.Store(true)
+	return w
+}
+
+// Start launches the poll loop. Safe to call once.
+func (w *Watchdog) Start() {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.started {
+		return
+	}
+	w.started = true
+	go w.loop()
+}
+
+// Stop halts the poll loop and thaws the freezer, so a stopped watchdog
+// never leaves adaptation permanently frozen.
+func (w *Watchdog) Stop() {
+	w.mu.Lock()
+	if w.stopped || !w.started {
+		w.stopped = true
+		w.mu.Unlock()
+		return
+	}
+	w.stopped = true
+	w.mu.Unlock()
+	close(w.quit)
+	<-w.done
+	if w.frozen.Swap(false) && w.freezer != nil {
+		w.freezer.SetFrozen(false)
+	}
+}
+
+func (w *Watchdog) loop() {
+	defer close(w.done)
+	tick := time.NewTicker(w.cfg.Interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-w.quit:
+			return
+		case now := <-tick.C:
+			w.CheckNow(now)
+		}
+	}
+}
+
+// CheckNow runs one poll round at the given time, applying the hysteresis
+// state machine. Exposed for tests; the poll loop calls it on every tick.
+func (w *Watchdog) CheckNow(now time.Time) {
+	bad := ""
+	for _, p := range w.probes {
+		if ok, detail := p.Check(now); !ok {
+			bad = p.Name
+			if detail != "" {
+				bad += ": " + detail
+			}
+			break
+		}
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if bad != "" {
+		w.goodPolls = 0
+		w.badPolls++
+		w.lastCause = bad
+		if w.badPolls >= w.cfg.UnhealthyAfter && w.healthy.Load() {
+			w.healthy.Store(false)
+			w.trips.Add(1)
+			if !w.frozen.Swap(true) && w.freezer != nil {
+				w.freezer.SetFrozen(true)
+			}
+		}
+		return
+	}
+	w.badPolls = 0
+	w.goodPolls++
+	if w.goodPolls >= w.cfg.HealthyAfter && !w.healthy.Load() {
+		w.healthy.Store(true)
+		w.recovers.Add(1)
+		if w.frozen.Swap(false) && w.freezer != nil {
+			w.freezer.SetFrozen(false)
+		}
+	}
+}
+
+// Healthy reports the watchdog's current verdict.
+func (w *Watchdog) Healthy() bool { return w.healthy.Load() }
+
+// Frozen reports whether the watchdog currently holds the freezer.
+func (w *Watchdog) Frozen() bool { return w.frozen.Load() }
+
+// Status returns the watchdog's externally visible state.
+func (w *Watchdog) Status() WatchdogStatus {
+	w.mu.Lock()
+	cause := w.lastCause
+	w.mu.Unlock()
+	return WatchdogStatus{
+		Name:      w.name,
+		Healthy:   w.healthy.Load(),
+		Frozen:    w.frozen.Load(),
+		LastCause: cause,
+		Trips:     w.trips.Load(),
+		Recovers:  w.recovers.Load(),
+	}
+}

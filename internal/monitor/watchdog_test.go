@@ -1,0 +1,171 @@
+package monitor
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeFreezer records SetFrozen transitions.
+type fakeFreezer struct {
+	mu     sync.Mutex
+	frozen bool
+	sets   []bool
+}
+
+func (f *fakeFreezer) SetFrozen(v bool) {
+	f.mu.Lock()
+	f.frozen = v
+	f.sets = append(f.sets, v)
+	f.mu.Unlock()
+}
+
+func (f *fakeFreezer) state() (bool, int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.frozen, len(f.sets)
+}
+
+// flipProbe reports whatever health the test sets.
+type flipProbe struct {
+	mu      sync.Mutex
+	healthy bool
+	detail  string
+}
+
+func (p *flipProbe) set(h bool) {
+	p.mu.Lock()
+	p.healthy = h
+	p.mu.Unlock()
+}
+
+func (p *flipProbe) check(time.Time) (bool, string) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.healthy, p.detail
+}
+
+func newTestWatchdog(fr *fakeFreezer) (*Watchdog, *flipProbe) {
+	p := &flipProbe{healthy: true, detail: "probe detail"}
+	w := NewWatchdog("t", []Probe{{Name: "flip", Check: p.check}}, fr,
+		WatchdogConfig{Interval: time.Hour, UnhealthyAfter: 2, HealthyAfter: 3})
+	return w, p
+}
+
+// tick drives CheckNow with a synthetic clock, bypassing the poll loop.
+func tick(w *Watchdog, n int) {
+	for i := 0; i < n; i++ {
+		w.CheckNow(time.Now())
+	}
+}
+
+func TestWatchdogHysteresisTripAndRecover(t *testing.T) {
+	fr := &fakeFreezer{}
+	w, p := newTestWatchdog(fr)
+
+	// One bad poll is noise: no trip.
+	p.set(false)
+	tick(w, 1)
+	if !w.Healthy() || w.Frozen() {
+		t.Fatal("single bad poll tripped the watchdog")
+	}
+	// Second consecutive bad poll trips and freezes.
+	tick(w, 1)
+	if w.Healthy() || !w.Frozen() {
+		t.Fatal("watchdog did not trip after UnhealthyAfter bad polls")
+	}
+	if frozen, _ := fr.state(); !frozen {
+		t.Fatal("freezer not engaged on trip")
+	}
+	st := w.Status()
+	if st.Trips != 1 || st.Recovers != 0 {
+		t.Fatalf("trips=%d recovers=%d after trip, want 1/0", st.Trips, st.Recovers)
+	}
+	if st.LastCause != "flip: probe detail" {
+		t.Fatalf("lastCause = %q", st.LastCause)
+	}
+
+	// Recovery must prove itself: HealthyAfter-1 good polls do not release.
+	p.set(true)
+	tick(w, 2)
+	if w.Healthy() || !w.Frozen() {
+		t.Fatal("watchdog released early")
+	}
+	// An intervening bad poll resets the good streak.
+	p.set(false)
+	tick(w, 1)
+	p.set(true)
+	tick(w, 2)
+	if w.Healthy() {
+		t.Fatal("good-poll streak survived an intervening bad poll")
+	}
+	tick(w, 1)
+	if !w.Healthy() || w.Frozen() {
+		t.Fatal("watchdog did not release after HealthyAfter good polls")
+	}
+	if frozen, _ := fr.state(); frozen {
+		t.Fatal("freezer not released on recovery")
+	}
+	st = w.Status()
+	if st.Trips != 1 || st.Recovers != 1 {
+		t.Fatalf("trips=%d recovers=%d after recovery, want 1/1", st.Trips, st.Recovers)
+	}
+}
+
+func TestWatchdogRepeatTripsCount(t *testing.T) {
+	fr := &fakeFreezer{}
+	w, p := newTestWatchdog(fr)
+	for round := 0; round < 3; round++ {
+		p.set(false)
+		tick(w, 2)
+		p.set(true)
+		tick(w, 3)
+	}
+	st := w.Status()
+	if st.Trips != 3 || st.Recovers != 3 {
+		t.Fatalf("trips=%d recovers=%d, want 3/3", st.Trips, st.Recovers)
+	}
+	if _, sets := fr.state(); sets != 6 {
+		t.Fatalf("freezer toggled %d times, want 6", sets)
+	}
+}
+
+func TestWatchdogStopThaws(t *testing.T) {
+	fr := &fakeFreezer{}
+	w, p := newTestWatchdog(fr)
+	w.Start()
+	p.set(false)
+	tick(w, 2) // trip via the synthetic clock; the hour-long ticker never fires
+	if !w.Frozen() {
+		t.Fatal("watchdog did not trip")
+	}
+	w.Stop()
+	if w.Frozen() {
+		t.Fatal("stopped watchdog left the freezer held")
+	}
+	if frozen, _ := fr.state(); frozen {
+		t.Fatal("freezer still engaged after Stop")
+	}
+	// Stop again is a no-op.
+	w.Stop()
+}
+
+func TestWatchdogFirstFailingProbeWins(t *testing.T) {
+	a := &flipProbe{healthy: true}
+	b := &flipProbe{healthy: false, detail: "b down"}
+	w := NewWatchdog("t", []Probe{
+		{Name: "a", Check: a.check},
+		{Name: "b", Check: b.check},
+	}, nil, WatchdogConfig{Interval: time.Hour, UnhealthyAfter: 1, HealthyAfter: 1})
+	tick(w, 1)
+	if w.Healthy() {
+		t.Fatal("watchdog healthy with a failing probe")
+	}
+	if st := w.Status(); st.LastCause != "b: b down" {
+		t.Fatalf("lastCause = %q, want the failing probe's", st.LastCause)
+	}
+	// Nil freezer: trips must not panic, Frozen still reports the state.
+	if !w.Frozen() {
+		t.Fatal("observe-only watchdog did not record frozen state")
+	}
+}

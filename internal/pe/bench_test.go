@@ -60,9 +60,11 @@ func BenchmarkExportImport(b *testing.B) {
 			// A long block timeout makes the benchmark lossless: the ring
 			// applies backpressure instead of dropping under burst.
 			exp.cfg = TransportConfig{BlockTimeout: time.Minute}.withDefaults()
-			exp.connect(send)
+			if err := exp.connect(send, ""); err != nil {
+				b.Fatal(err)
+			}
 			imp := newImportSource("i")
-			imp.connect(recv)
+			imp.connect(recv, nil)
 			_, done := runImportDrain(imp, uint64(b.N))
 
 			tp := benchTuple(size)
@@ -106,8 +108,11 @@ func BenchmarkExportImportPerTupleFlush(b *testing.B) {
 			send, recv := loopbackPair(b)
 			defer send.Close()
 			sender := &perTupleFlushSender{enc: newEncoder(send)}
+			// Drain the import's resume handshake and acknowledgements; the
+			// raw baseline sender does not speak the back-channel protocol.
+			go func() { _, _ = io.Copy(io.Discard, send) }()
 			imp := newImportSource("i")
-			imp.connect(recv)
+			imp.connect(recv, nil)
 			defer imp.close()
 			_, done := runImportDrain(imp, uint64(b.N))
 

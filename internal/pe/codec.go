@@ -22,11 +22,14 @@ const maxFrameBytes = 16 << 20
 // frame layout (little endian):
 //
 //	u32 frameLen (bytes after this field)
+//	u64 wireSeq (per-stream transport sequence, 1-based; the reconnect
+//	            protocol's resume/ack/dedup currency — distinct from the
+//	            application-level Tuple.Seq below)
 //	u64 seq, u64 key, i64 time
 //	f64 num1, f64 num2
 //	u32 textLen, text bytes
 //	u32 payloadLen, payload bytes
-const fixedHeaderBytes = 8 + 8 + 8 + 8 + 8 + 4 + 4
+const fixedHeaderBytes = 8 + 8 + 8 + 8 + 8 + 8 + 4 + 4
 
 // wireBufBytes sizes the buffered reader/writer on each side of a stream
 // connection. On the send side it doubles as the frame-coalescing window:
@@ -34,31 +37,22 @@ const fixedHeaderBytes = 8 + 8 + 8 + 8 + 8 + 4 + 4
 // frames leave in one syscall.
 const wireBufBytes = 64 << 10
 
-// encoder writes tuples to a stream in frame format.
-type encoder struct {
-	w   *bufio.Writer
-	buf []byte
-}
-
-func newEncoder(w io.Writer) *encoder {
-	return &encoder{w: bufio.NewWriterSize(w, wireBufBytes)}
-}
-
-// writeFrame appends one tuple frame to the buffered writer without
-// flushing, returning the frame's wire size (length prefix included). The
-// scratch buffer is reused across calls, so steady-state encoding is
-// allocation-free.
-func (e *encoder) writeFrame(t *spl.Tuple) (int, error) {
+// marshalFrame appends one tuple frame (length prefix included) carrying
+// wire sequence wireSeq to dst[:0], returning the extended slice. The
+// retransmit ring marshals into its per-slot buffers through this, so a
+// staged frame's bytes outlive the pooled tuple.
+func marshalFrame(dst []byte, wireSeq uint64, t *spl.Tuple) ([]byte, error) {
 	frameLen := fixedHeaderBytes + len(t.Text) + len(t.Payload)
 	if frameLen > maxFrameBytes {
-		return 0, fmt.Errorf("pe: tuple frame %d bytes exceeds limit %d", frameLen, maxFrameBytes)
+		return nil, fmt.Errorf("pe: tuple frame %d bytes exceeds limit %d", frameLen, maxFrameBytes)
 	}
 	need := 4 + frameLen
-	if cap(e.buf) < need {
-		e.buf = make([]byte, 0, need)
+	if cap(dst) < need {
+		dst = make([]byte, 0, need)
 	}
-	b := e.buf[:0]
+	b := dst[:0]
 	b = binary.LittleEndian.AppendUint32(b, uint32(frameLen))
+	b = binary.LittleEndian.AppendUint64(b, wireSeq)
 	b = binary.LittleEndian.AppendUint64(b, t.Seq)
 	b = binary.LittleEndian.AppendUint64(b, t.Key)
 	b = binary.LittleEndian.AppendUint64(b, uint64(t.Time))
@@ -68,11 +62,42 @@ func (e *encoder) writeFrame(t *spl.Tuple) (int, error) {
 	b = append(b, t.Text...)
 	b = binary.LittleEndian.AppendUint32(b, uint32(len(t.Payload)))
 	b = append(b, t.Payload...)
+	return b, nil
+}
+
+// encoder writes tuples to a stream in frame format.
+type encoder struct {
+	w   *bufio.Writer
+	buf []byte
+	seq uint64 // wire sequence of the last frame written by writeFrame
+}
+
+func newEncoder(w io.Writer) *encoder {
+	return &encoder{w: bufio.NewWriterSize(w, wireBufBytes)}
+}
+
+// writeFrame appends one tuple frame to the buffered writer without
+// flushing, returning the frame's wire size (length prefix included). The
+// wire sequence auto-increments from 1; the reliable transport writes
+// retransmit-ring slots via writeBytes instead, where it controls the
+// sequence. The scratch buffer is reused across calls, so steady-state
+// encoding is allocation-free.
+func (e *encoder) writeFrame(t *spl.Tuple) (int, error) {
+	b, err := marshalFrame(e.buf, e.seq+1, t)
+	if err != nil {
+		return 0, err
+	}
 	e.buf = b
 	if _, err := e.w.Write(b); err != nil {
 		return 0, err
 	}
-	return need, nil
+	e.seq++
+	return len(b), nil
+}
+
+// writeBytes appends an already-marshalled frame to the buffered writer.
+func (e *encoder) writeBytes(b []byte) (int, error) {
+	return e.w.Write(b)
 }
 
 // flush pushes all buffered frames onto the underlying connection.
@@ -96,6 +121,8 @@ type decoder struct {
 	r     *bufio.Reader
 	buf   []byte
 	nread uint64
+	seq   uint64 // wire sequence of the last decoded frame
+	last  int    // wire bytes of the last decoded frame
 	// lenBuf is the length-prefix scratch; a local array would escape
 	// through the io.ReadFull interface call and cost an allocation per
 	// frame.
@@ -109,6 +136,13 @@ func newDecoder(r io.Reader) *decoder {
 // bytesRead returns the cumulative wire bytes of successfully decoded
 // frames (length prefixes included).
 func (d *decoder) bytesRead() uint64 { return d.nread }
+
+// wireSeq returns the wire sequence of the last decoded frame; the import
+// side deduplicates retransmitted frames by it.
+func (d *decoder) wireSeq() uint64 { return d.seq }
+
+// lastFrameBytes returns the wire size of the last decoded frame.
+func (d *decoder) lastFrameBytes() int { return d.last }
 
 // decode reads one tuple, returning io.EOF (possibly wrapped) when the
 // stream ends cleanly. The tuple struct and its payload buffer come from
@@ -131,12 +165,13 @@ func (d *decoder) decode() (*spl.Tuple, error) {
 		return nil, fmt.Errorf("pe: truncated frame: %w", err)
 	}
 	t := spl.AcquireTuple()
-	t.Seq = binary.LittleEndian.Uint64(b[0:])
-	t.Key = binary.LittleEndian.Uint64(b[8:])
-	t.Time = int64(binary.LittleEndian.Uint64(b[16:]))
-	t.Num1 = math.Float64frombits(binary.LittleEndian.Uint64(b[24:]))
-	t.Num2 = math.Float64frombits(binary.LittleEndian.Uint64(b[32:]))
-	off := 40
+	wireSeq := binary.LittleEndian.Uint64(b[0:])
+	t.Seq = binary.LittleEndian.Uint64(b[8:])
+	t.Key = binary.LittleEndian.Uint64(b[16:])
+	t.Time = int64(binary.LittleEndian.Uint64(b[24:]))
+	t.Num1 = math.Float64frombits(binary.LittleEndian.Uint64(b[32:]))
+	t.Num2 = math.Float64frombits(binary.LittleEndian.Uint64(b[40:]))
+	off := 48
 	textLen := int(binary.LittleEndian.Uint32(b[off:]))
 	off += 4
 	if off+textLen > len(b) {
@@ -161,6 +196,8 @@ func (d *decoder) decode() (*spl.Tuple, error) {
 		t.AcquirePayload(payloadLen)
 		copy(t.Payload, b[off:])
 	}
-	d.nread += uint64(4 + int(frameLen))
+	d.seq = wireSeq
+	d.last = 4 + int(frameLen)
+	d.nread += uint64(d.last)
 	return t, nil
 }

@@ -117,7 +117,7 @@ func TestDecodeRejectsCorruptFrames(t *testing.T) {
 	// Text length overrunning the frame.
 	buf.Reset()
 	frame := make([]byte, fixedHeaderBytes)
-	binary.LittleEndian.PutUint32(frame[40:], 1000) // text length
+	binary.LittleEndian.PutUint32(frame[48:], 1000) // text length
 	binary.LittleEndian.PutUint32(lb, uint32(len(frame)))
 	buf.Write(lb)
 	buf.Write(frame)
@@ -137,8 +137,8 @@ func TestDecodeRejectsCorruptFrames(t *testing.T) {
 	// Inconsistent payload length.
 	buf.Reset()
 	frame = make([]byte, fixedHeaderBytes+8)
-	binary.LittleEndian.PutUint32(frame[40:], 0)          // text len
-	binary.LittleEndian.PutUint32(frame[44:], 4)          // payload len, but 8 bytes remain
+	binary.LittleEndian.PutUint32(frame[48:], 0)          // text len
+	binary.LittleEndian.PutUint32(frame[52:], 4)          // payload len, but 8 bytes remain
 	binary.LittleEndian.PutUint32(lb, uint32(len(frame))) //nolint:gosec
 	buf.Write(lb)
 	buf.Write(frame)

@@ -9,7 +9,9 @@ import (
 
 	"streamelastic/internal/core"
 	"streamelastic/internal/exec"
+	"streamelastic/internal/fault"
 	"streamelastic/internal/graph"
+	"streamelastic/internal/monitor"
 )
 
 // Options configure a job launch.
@@ -24,8 +26,22 @@ type Options struct {
 	// DialTimeout bounds stream wiring at launch (default 5s).
 	DialTimeout time.Duration
 	// Transport tunes every cross-PE stream (staging ring, flush policy,
-	// backpressure mode); the zero value means defaults.
+	// backpressure mode, retransmit window, reconnect backoff); the zero
+	// value means defaults.
 	Transport TransportConfig
+	// Fault optionally injects deterministic faults into every PE's
+	// operators and streams (chaos testing); nil means none. Operator sites
+	// are fault.OpSite(pe, node); stream sites are the cross-edge stream id.
+	Fault *fault.Injector
+	// EnableWatchdog runs a health watchdog per PE that freezes the PE's
+	// elastic coordinator while the PE looks unhealthy (wedged scheduler
+	// queues, disconnected or stalled streams).
+	EnableWatchdog bool
+	// Watchdog tunes the watchdog cadence and hysteresis (zero = defaults).
+	Watchdog monitor.WatchdogConfig
+	// StallAfter is how long without progress the watchdog probes tolerate
+	// before declaring a stall (default 1s).
+	StallAfter time.Duration
 }
 
 // PERuntime is one launched processing element.
@@ -36,6 +52,8 @@ type PERuntime struct {
 	Eng *exec.Engine
 	// Coord is the PE's elastic coordinator (nil when disabled).
 	Coord *core.Coordinator
+	// Watchdog is the PE's health monitor (nil unless enabled).
+	Watchdog *monitor.Watchdog
 
 	cancel context.CancelFunc
 	done   chan struct{}
@@ -85,41 +103,60 @@ func Launch(g *graph.Graph, assign Assignment, opts Options) (*Job, error) {
 		}
 		listeners[i] = l
 	}
+	abort := func() {
+		closeEndpoints(plans)
+		job.closeConns()
+	}
 	for i, ce := range crosses {
 		acceptCh := acceptOne(listeners[i])
-		sendConn, err := dialStream(listeners[i].Addr().String(), opts.DialTimeout)
+		addr := listeners[i].Addr().String()
+		sendConn, err := dialStream(addr, opts.DialTimeout)
 		if err != nil {
-			job.closeConns()
+			abort()
 			return nil, fmt.Errorf("pe: dial stream %d: %w", i, err)
 		}
 		acc := <-acceptCh
 		if acc.err != nil {
 			_ = sendConn.Close()
-			job.closeConns()
+			abort()
 			return nil, fmt.Errorf("pe: accept stream %d: %w", i, acc.err)
 		}
 		job.conns = append(job.conns, sendConn, acc.conn)
 
-		// Attach the endpoints to the matching stubs.
+		// Attach the endpoints to the matching stubs. The import adopts the
+		// listener (it re-accepts the export's redials after a connection
+		// death), so the deferred cleanup must not close it.
 		sender := plans[ce.FromPE]
 		for j, end := range sender.Exports {
 			if end.Stream == ce.Stream {
 				sender.exports[j].cfg = opts.Transport.withDefaults()
-				sender.exports[j].connect(sendConn)
+				sender.exports[j].inj = opts.Fault
+				sender.exports[j].site = ce.Stream
+				if err := sender.exports[j].connect(sendConn, addr); err != nil {
+					_ = acc.conn.Close()
+					abort()
+					return nil, fmt.Errorf("pe: wire stream %d: %w", i, err)
+				}
 			}
 		}
 		receiver := plans[ce.ToPE]
 		for j, end := range receiver.Imports {
 			if end.Stream == ce.Stream {
-				receiver.imports[j].connect(acc.conn)
+				receiver.imports[j].connect(acc.conn, listeners[i])
+				listeners[i] = nil // adopted by the import
 			}
 		}
 	}
 
 	for _, plan := range plans {
-		eng, err := exec.New(plan.Graph, opts.Exec)
+		execOpts := opts.Exec
+		if opts.Fault != nil {
+			execOpts.Fault = opts.Fault
+			execOpts.FaultSiteBase = fault.OpSite(plan.PE, 0)
+		}
+		eng, err := exec.New(plan.Graph, execOpts)
 		if err != nil {
-			job.closeConns()
+			abort()
 			return nil, fmt.Errorf("pe %d: %w", plan.PE, err)
 		}
 		rt := &PERuntime{Plan: plan, Eng: eng}
@@ -130,14 +167,31 @@ func Launch(g *graph.Graph, assign Assignment, opts Options) (*Job, error) {
 			}
 			coord, err := core.NewCoordinator(eng, cfg)
 			if err != nil {
-				job.closeConns()
+				abort()
 				return nil, fmt.Errorf("pe %d coordinator: %w", plan.PE, err)
 			}
 			rt.Coord = coord
 		}
+		if opts.EnableWatchdog {
+			rt.Watchdog = watchdogFor(rt, opts.Watchdog, opts.StallAfter)
+		}
 		job.PEs = append(job.PEs, rt)
 	}
 	return job, nil
+}
+
+// closeEndpoints shuts down every stream endpoint wired so far; used when a
+// launch fails partway, so no writer goroutine is left redialing a dead
+// peer.
+func closeEndpoints(plans []*Plan) {
+	for _, plan := range plans {
+		for _, exp := range plan.exports {
+			exp.close()
+		}
+		for _, imp := range plan.imports {
+			imp.close()
+		}
+	}
 }
 
 // Start launches every PE's engine and adaptation loop.
@@ -163,6 +217,9 @@ func (j *Job) Start(ctx context.Context) error {
 				_ = coord.Run(actx)
 			}()
 		}
+		if rt.Watchdog != nil {
+			rt.Watchdog.Start()
+		}
 	}
 	return nil
 }
@@ -178,6 +235,13 @@ func (j *Job) Stop() {
 	j.stopped = true
 	j.mu.Unlock()
 
+	// Watchdogs first: stopping one thaws its coordinator, and the
+	// shutdown below would otherwise look like one giant stall.
+	for _, rt := range j.PEs {
+		if rt.Watchdog != nil {
+			rt.Watchdog.Stop()
+		}
+	}
 	for _, rt := range j.PEs {
 		if rt.cancel != nil {
 			rt.cancel()
@@ -223,6 +287,9 @@ func (j *Job) StreamStats() []StreamStats {
 				st.BytesSent = exp.BytesSent()
 				st.Flushes = exp.Flushes()
 				st.BatchSizes = exp.batches.snapshot()
+				st.Retransmits = exp.Retransmits()
+				st.Reconnects = exp.Reconnects()
+				st.Unacked = exp.Unacked()
 			}
 		}
 		receiver := j.PEs[ce.ToPE].Plan
@@ -231,9 +298,23 @@ func (j *Job) StreamStats() []StreamStats {
 				imp := receiver.imports[i]
 				st.Received = imp.Received()
 				st.BytesReceived = imp.BytesReceived()
+				st.DupsDropped = imp.DupsDropped()
+				st.Resumes = imp.Resumes()
 			}
 		}
 		out = append(out, st)
+	}
+	return out
+}
+
+// Health returns every PE watchdog's status, in PE order; empty when the
+// job runs without watchdogs.
+func (j *Job) Health() []monitor.WatchdogStatus {
+	var out []monitor.WatchdogStatus
+	for _, rt := range j.PEs {
+		if rt.Watchdog != nil {
+			out = append(out, rt.Watchdog.Status())
+		}
 	}
 	return out
 }

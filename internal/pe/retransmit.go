@@ -1,0 +1,57 @@
+package pe
+
+import (
+	"fmt"
+
+	"streamelastic/internal/spl"
+)
+
+// retransSlot holds one staged frame's encoded bytes until the receiver
+// acknowledges its wire sequence. The buffer is reused when the slot is
+// overwritten, so steady-state staging allocates nothing once the ring has
+// warmed up to the workload's frame sizes.
+type retransSlot struct {
+	seq uint64
+	buf []byte
+}
+
+// retransRing is the export writer's bounded retransmit window: the last
+// RetransmitCapacity staged frames, indexed by wire sequence. Only the
+// writer goroutine touches it — the window-space check against the acked
+// watermark is what keeps unacknowledged frames from being overwritten.
+type retransRing struct {
+	mask  uint64
+	slots []retransSlot
+}
+
+func newRetransRing(capacity int) *retransRing {
+	// Caller (TransportConfig.withDefaults) guarantees a power of two >= 2.
+	return &retransRing{
+		mask:  uint64(capacity - 1),
+		slots: make([]retransSlot, capacity),
+	}
+}
+
+// put marshals the tuple as frame seq into the slot it maps to and returns
+// the encoded bytes. The caller must not stage seq while seq-capacity is
+// still unacknowledged.
+func (r *retransRing) put(seq uint64, t *spl.Tuple) ([]byte, error) {
+	s := &r.slots[(seq-1)&r.mask]
+	b, err := marshalFrame(s.buf, seq, t)
+	if err != nil {
+		return nil, err
+	}
+	s.seq = seq
+	s.buf = b
+	return b, nil
+}
+
+// frame returns the encoded bytes of frame seq, or an error when the slot
+// has been overwritten (the frame left the retransmit window).
+func (r *retransRing) frame(seq uint64) ([]byte, error) {
+	s := &r.slots[(seq-1)&r.mask]
+	if s.seq != seq {
+		return nil, fmt.Errorf("pe: frame %d left the retransmit window (slot holds %d)", seq, s.seq)
+	}
+	return s.buf, nil
+}

@@ -29,13 +29,27 @@ type TransportConfig struct {
 	// BlockTimeout bounds a blocked export when DropOnFull is unset
 	// (default 1s); on expiry the tuple is dropped and counted.
 	BlockTimeout time.Duration
+	// RetransmitCapacity sizes the export's retransmit window — the encoded
+	// frames held until the receiver acknowledges them, rounded up to a
+	// power of two (default 1024 frames). It bounds both resume traffic
+	// after a reconnect and the memory pinned per stream; a full window
+	// blocks the writer until acknowledgements arrive.
+	RetransmitCapacity int
+	// ReconnectBaseDelay/ReconnectMaxDelay bound the export's redial
+	// backoff after a lost connection: capped exponential growth from base
+	// to max, with jitter (defaults 10ms / 500ms).
+	ReconnectBaseDelay time.Duration
+	ReconnectMaxDelay  time.Duration
 }
 
 const (
-	defaultRingCapacity  = 1024
-	defaultFlushBytes    = 32 << 10
-	defaultMaxFlushDelay = time.Millisecond
-	defaultBlockTimeout  = time.Second
+	defaultRingCapacity       = 1024
+	defaultFlushBytes         = 32 << 10
+	defaultMaxFlushDelay      = time.Millisecond
+	defaultBlockTimeout       = time.Second
+	defaultRetransmitCapacity = 1024
+	defaultReconnectBase      = 10 * time.Millisecond
+	defaultReconnectMax       = 500 * time.Millisecond
 )
 
 // withDefaults fills zero fields and rounds the ring capacity up to the
@@ -58,6 +72,24 @@ func (c TransportConfig) withDefaults() TransportConfig {
 	}
 	if c.BlockTimeout <= 0 {
 		c.BlockTimeout = defaultBlockTimeout
+	}
+	if c.RetransmitCapacity <= 0 {
+		c.RetransmitCapacity = defaultRetransmitCapacity
+	}
+	if c.RetransmitCapacity < 2 {
+		c.RetransmitCapacity = 2
+	}
+	if c.RetransmitCapacity&(c.RetransmitCapacity-1) != 0 {
+		c.RetransmitCapacity = 1 << bits.Len(uint(c.RetransmitCapacity))
+	}
+	if c.ReconnectBaseDelay <= 0 {
+		c.ReconnectBaseDelay = defaultReconnectBase
+	}
+	if c.ReconnectMaxDelay < c.ReconnectBaseDelay {
+		c.ReconnectMaxDelay = defaultReconnectMax
+	}
+	if c.ReconnectMaxDelay < c.ReconnectBaseDelay {
+		c.ReconnectMaxDelay = c.ReconnectBaseDelay
 	}
 	return c
 }
@@ -113,8 +145,22 @@ type StreamStats struct {
 	Flushes    uint64
 	BatchSizes []uint64
 
+	// Send-side recovery: frame writes beyond each frame's first (resume
+	// traffic after reconnects), successful re-attaches after a lost
+	// connection, and staged frames never acknowledged when the stream
+	// closed (delivery unknown — counted separately, never as dropped).
+	Retransmits uint64
+	Reconnects  uint64
+	Unacked     uint64
+
 	// Receive side: tuples delivered to the importing PE and wire bytes of
 	// successfully decoded frames.
 	Received      uint64
 	BytesReceived uint64
+
+	// Receive-side recovery: retransmitted duplicates dropped by sequence
+	// dedup (at-least-once wire made exactly-once downstream) and
+	// connections re-accepted after the first.
+	DupsDropped uint64
+	Resumes     uint64
 }

@@ -1,13 +1,18 @@
 package pe
 
 import (
+	"encoding/binary"
 	"errors"
+	"fmt"
+	"io"
+	"math/rand"
 	"net"
 	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"streamelastic/internal/fault"
 	"streamelastic/internal/queue"
 	"streamelastic/internal/spl"
 )
@@ -35,35 +40,82 @@ const writerBatchTuples = 128
 // stalled peer cannot wedge job shutdown.
 const closeFlushTimeout = 2 * time.Second
 
+// handshakeTimeout bounds the resume-sequence read after a (re)connect.
+const handshakeTimeout = 5 * time.Second
+
+// ackEvery is the receive side's inline acknowledgement cadence: one ack
+// per this many delivered frames, with a ticker covering the idle tail.
+const ackEvery = 256
+
+// ackTickInterval paces the receive side's idle-tail acknowledgements.
+const ackTickInterval = 50 * time.Millisecond
+
+// ackWriteTimeout bounds one acknowledgement write. A legacy sender that
+// never drains its side of the connection (the per-tuple-flush benchmark
+// path) eventually fills the socket buffer; on the first timed-out ack the
+// receiver stops acknowledging for that connection instead of wedging.
+const ackWriteTimeout = time.Second
+
+// errExportClosing ends a writer connection epoch for a graceful close.
+var errExportClosing = errors.New("pe: export closing")
+
+// errExportConnLost ends a writer connection epoch when the ack reader
+// observes the connection die.
+var errExportConnLost = errors.New("pe: export connection lost")
+
+// errExportWindowFull aborts a closing drain whose retransmit window stayed
+// full (the peer stopped acknowledging).
+var errExportWindowFull = errors.New("pe: retransmit window full at close")
+
 // exportOp is the terminal operator standing in for a cross-PE stream's
 // sending side. Process stages a pooled clone of each tuple into a
 // lock-free MPMC ring; a dedicated writer goroutine drains the ring in
-// batches, coalesces frames into large buffered writes, and flushes by
-// policy (size threshold, idle stream, or bounded delay). The export is a
-// sink in its PE's graph, so the PE's throughput meter counts exported
-// tuples.
+// batches, assigns each frame a wire sequence, parks its encoded bytes in a
+// bounded retransmit ring until the receiver acknowledges them, and
+// coalesces frames into large buffered writes flushed by policy.
+//
+// The writer survives peer death: it redials with capped exponential
+// backoff plus jitter, reads the receiver's resume sequence on every
+// (re)connect, and retransmits every unacknowledged frame past it — the
+// stream is at-least-once on the wire, and the import side's sequence
+// dedup makes it exactly-once downstream. The export is a sink in its PE's
+// graph, so the PE's throughput meter counts exported tuples.
 type exportOp struct {
 	name string
 	cfg  TransportConfig
+	addr string // redial address; "" = single-connection mode (tests)
 
-	mu    sync.Mutex // guards connect/close transitions
-	conn  net.Conn
+	// inj/site are the chaos hook: nil inj means no injection.
+	inj  *fault.Injector
+	site int
+
+	mu    sync.Mutex // guards connect/close transitions and conn epochs
+	conn  net.Conn   // current epoch's connection, for close()
 	ring  *queue.MPMC[*spl.Tuple]
 	wake  chan struct{}
 	space chan struct{}
 	quit  chan struct{}
 	done  chan struct{}
 
-	wired   atomic.Bool
-	parked  atomic.Bool
-	closed  atomic.Bool
-	errored atomic.Bool
+	wired     atomic.Bool
+	parked    atomic.Bool
+	closed    atomic.Bool
+	failed    atomic.Bool // permanent: connection lost with no redial address
+	connected atomic.Bool // current connection attached and healthy
+	progress  atomic.Int64 // unix nanos of the writer's last useful work
 
-	sent    atomic.Uint64
-	dropped atomic.Uint64
-	bytes   atomic.Uint64
-	flushes atomic.Uint64
-	batches batchHist
+	acked  atomic.Uint64 // receiver's acknowledged wire-sequence watermark
+	ackSig chan struct{}
+
+	sent       atomic.Uint64 // frames staged (assigned a wire sequence)
+	dropped    atomic.Uint64 // tuples the stream never staged
+	retrans    atomic.Uint64 // frame writes beyond the first (resume traffic)
+	reconnects atomic.Uint64 // successful re-attaches after a lost connection
+	corrupts   atomic.Uint64 // injected frame corruptions
+	unacked    atomic.Uint64 // staged frames never acknowledged, set at close
+	bytes      atomic.Uint64
+	flushes    atomic.Uint64
+	batches    batchHist
 }
 
 var (
@@ -83,33 +135,40 @@ func (x *exportOp) Name() string { return x.name }
 // — so the engine returns the original to the tuple pool.
 func (x *exportOp) RecyclesTuples() {}
 
-// connect attaches the stream connection and starts the writer goroutine;
-// must happen before the engine starts.
-func (x *exportOp) connect(conn net.Conn) {
+// connect attaches the stream's first connection and starts the writer
+// goroutine; must happen before the engine starts. A non-empty addr enables
+// reconnection: on a lost connection the writer redials it and resumes from
+// the retransmit ring. With addr empty the first connection is the only
+// one, and losing it fails the stream permanently (tuples drop-and-count).
+func (x *exportOp) connect(conn net.Conn, addr string) error {
 	x.mu.Lock()
 	defer x.mu.Unlock()
-	x.conn = conn
 	ring, err := queue.NewMPMC[*spl.Tuple](x.cfg.RingCapacity)
 	if err != nil {
-		// withDefaults rounds the capacity to a power of two >= 2.
-		panic(err)
+		return fmt.Errorf("pe: export %s staging ring: %w", x.name, err)
 	}
+	x.conn = conn
+	x.addr = addr
 	x.ring = ring
 	x.wake = make(chan struct{}, 1)
 	x.space = make(chan struct{}, 1)
 	x.quit = make(chan struct{})
 	x.done = make(chan struct{})
-	go x.writerLoop(newEncoder(conn))
+	x.ackSig = make(chan struct{}, 1)
+	x.progress.Store(time.Now().UnixNano())
+	go x.writerLoop(conn)
 	x.wired.Store(true)
+	return nil
 }
 
 // Process stages the tuple for the writer goroutine. Tuples arriving before
-// the stream is wired or after it errored are counted as dropped; a full
-// staging ring blocks the producing scheduler thread for a bounded time
-// (the default, preserving the backpressure of the old write-per-tuple
-// path) or drops immediately when DropOnFull is configured.
+// the stream is wired, after close, or after a permanent failure are
+// counted as dropped; a full staging ring blocks the producing scheduler
+// thread for a bounded time (the default, preserving the backpressure of
+// the old write-per-tuple path) or drops immediately when DropOnFull is
+// configured.
 func (x *exportOp) Process(_ int, t *spl.Tuple, _ spl.Emitter) {
-	if !x.wired.Load() || x.closed.Load() || x.errored.Load() {
+	if !x.wired.Load() || x.closed.Load() || x.failed.Load() {
 		x.dropped.Add(1)
 		return
 	}
@@ -125,7 +184,7 @@ func (x *exportOp) Process(_ int, t *spl.Tuple, _ spl.Emitter) {
 		timer := time.NewTimer(x.cfg.BlockTimeout)
 		defer timer.Stop()
 		for {
-			if x.closed.Load() || x.errored.Load() {
+			if x.closed.Load() || x.failed.Load() {
 				break
 			}
 			if s, ok := x.ring.TryReservePush(); ok {
@@ -164,18 +223,183 @@ func (x *exportOp) signalSpace() {
 	}
 }
 
-// writerLoop drains the staging ring into coalesced buffered writes. Flush
-// policy (Nagle-style, tunable): flush once FlushBytes are pending, when
-// the ring runs empty (an idle stream never holds frames back), or when the
-// oldest pending frame has waited MaxFlushDelay under a sustained trickle.
-func (x *exportOp) writerLoop(enc *encoder) {
+// setConn records the current epoch's connection so close() can bound its
+// final flush with a write deadline and close the right socket.
+func (x *exportOp) setConn(conn net.Conn) {
+	x.mu.Lock()
+	x.conn = conn
+	x.mu.Unlock()
+}
+
+// writerState is the writer goroutine's cross-epoch state: the retransmit
+// window, the next wire sequence, and tuples popped from the staging ring
+// but not yet staged when an epoch died.
+type writerState struct {
+	retr    *retransRing
+	nextSeq uint64
+	batch   []*spl.Tuple
+	pending []*spl.Tuple
+	pHead   int
+	closing bool
+}
+
+// connSession is one connection epoch: its encoder and the ack-reader
+// goroutine draining the receiver's acknowledgement back-channel.
+type connSession struct {
+	conn    net.Conn
+	enc     *encoder
+	ackDone chan struct{}
+}
+
+func (s *connSession) teardown() {
+	_ = s.conn.Close()
+	<-s.ackDone
+}
+
+// writerLoop runs connection epochs until close: attach (handshake +
+// resume), drain the staging ring onto the wire, and on a lost connection
+// redial and resume. Without a redial address a lost connection fails the
+// stream permanently and staged traffic drops-and-counts, preserving
+// counter convergence for single-connection users.
+func (x *exportOp) writerLoop(first net.Conn) {
 	defer close(x.done)
-	batch := make([]*spl.Tuple, writerBatchTuples)
+	st := &writerState{
+		retr:  newRetransRing(x.cfg.RetransmitCapacity),
+		batch: make([]*spl.Tuple, writerBatchTuples),
+	}
+	conn := first
+	for {
+		sess, err := x.attach(conn, st)
+		if err == nil {
+			x.connected.Store(true)
+			x.runConn(sess, st)
+			x.connected.Store(false)
+			sess.teardown()
+		} else if sess != nil {
+			sess.teardown()
+		} else {
+			_ = conn.Close()
+		}
+		if x.closed.Load() {
+			x.finish(st)
+			return
+		}
+		if x.addr == "" {
+			x.failed.Store(true)
+			x.dropPending(st)
+			x.drainUntilQuit(st)
+			x.finish(st)
+			return
+		}
+		next := x.redial()
+		if next == nil {
+			x.finish(st)
+			return
+		}
+		x.reconnects.Add(1)
+		x.setConn(next)
+		conn = next
+	}
+}
+
+// attach performs the resume handshake on a fresh connection: read the
+// receiver's delivered watermark (bounded by handshakeTimeout), start the
+// ack reader, and retransmit every staged frame past the watermark.
+func (x *exportOp) attach(conn net.Conn, st *writerState) (*connSession, error) {
+	_ = conn.SetReadDeadline(time.Now().Add(handshakeTimeout))
+	var hb [8]byte
+	if _, err := io.ReadFull(conn, hb[:]); err != nil {
+		return nil, fmt.Errorf("pe: export %s handshake: %w", x.name, err)
+	}
+	_ = conn.SetReadDeadline(time.Time{})
+	resume := binary.LittleEndian.Uint64(hb[:])
+	if resume > st.nextSeq {
+		// A sane receiver cannot have seen frames that were never staged.
+		resume = st.nextSeq
+	}
+	storeMax(&x.acked, resume)
+	sess := &connSession{conn: conn, enc: newEncoder(conn), ackDone: make(chan struct{})}
+	go x.ackReader(conn, sess.ackDone)
+	for seq := resume + 1; seq <= st.nextSeq; seq++ {
+		frame, err := st.retr.frame(seq)
+		if err != nil {
+			return sess, err
+		}
+		if err := x.writeBytes(sess, frame); err != nil {
+			return sess, err
+		}
+		x.retrans.Add(1)
+	}
+	if st.nextSeq > resume {
+		if err := x.flushSess(sess); err != nil {
+			return sess, err
+		}
+	}
+	x.progress.Store(time.Now().UnixNano())
+	return sess, nil
+}
+
+// ackReader drains the receiver's acknowledgement back-channel, advancing
+// the acked watermark and waking a writer waiting for window space. It
+// exits when the connection dies, which is also how the writer learns of a
+// peer death while parked.
+func (x *exportOp) ackReader(conn net.Conn, done chan struct{}) {
+	defer close(done)
+	var b [8]byte
+	for {
+		if _, err := io.ReadFull(conn, b[:]); err != nil {
+			return
+		}
+		storeMax(&x.acked, binary.LittleEndian.Uint64(b[:]))
+		select {
+		case x.ackSig <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// storeMax raises a to v if v is larger; acknowledgement watermarks only
+// move forward.
+func storeMax(a *atomic.Uint64, v uint64) {
+	for {
+		cur := a.Load()
+		if v <= cur || a.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// inFlight is the number of staged frames not yet acknowledged.
+func (x *exportOp) inFlight(nextSeq uint64) uint64 {
+	a := x.acked.Load()
+	if a >= nextSeq {
+		return 0
+	}
+	return nextSeq - a
+}
+
+// runConn drains the staging ring onto one connection until the epoch ends
+// (connection error, ack-reader death, or close). Flush policy is
+// Nagle-style and tunable: flush once FlushBytes are pending, when the ring
+// runs empty (an idle stream never holds frames back), or when the oldest
+// pending frame has waited MaxFlushDelay under a sustained trickle.
+func (x *exportOp) runConn(sess *connSession, st *writerState) {
 	var pendingSince time.Time
 	for {
-		n := x.ring.TryPopN(batch)
+		if st.pHead < len(st.pending) {
+			if err := x.stagePending(sess, st); err != nil {
+				if errors.Is(err, errExportClosing) {
+					x.finalDrain(sess, st)
+				}
+				return
+			}
+		}
+		n := x.ring.TryPopN(st.batch)
 		if n == 0 {
-			if enc.buffered() > 0 && x.flush(enc) {
+			if sess.enc.buffered() > 0 {
+				if x.flushSess(sess) != nil {
+					return
+				}
 				pendingSince = time.Time{}
 			}
 			x.parked.Store(true)
@@ -187,116 +411,357 @@ func (x *exportOp) writerLoop(enc *encoder) {
 			case <-x.wake:
 				x.parked.Store(false)
 				continue
+			case <-sess.ackDone:
+				x.parked.Store(false)
+				return
 			case <-x.quit:
 				x.parked.Store(false)
-				x.finalDrain(enc, batch)
+				x.finalDrain(sess, st)
 				return
 			}
 		}
+		x.batches.record(n)
+		st.pending = append(st.pending[:0], st.batch[:n]...)
+		for i := 0; i < n; i++ {
+			st.batch[i] = nil
+		}
+		st.pHead = 0
 		x.signalSpace()
-		x.writeBatch(enc, batch[:n])
-		if enc.buffered() >= x.cfg.FlushBytes {
-			if x.flush(enc) {
-				pendingSince = time.Time{}
+		if err := x.stagePending(sess, st); err != nil {
+			if errors.Is(err, errExportClosing) {
+				x.finalDrain(sess, st)
 			}
-		} else if enc.buffered() > 0 {
+			return
+		}
+		if sess.enc.buffered() >= x.cfg.FlushBytes {
+			if x.flushSess(sess) != nil {
+				return
+			}
+			pendingSince = time.Time{}
+		} else if sess.enc.buffered() > 0 {
 			now := time.Now()
 			switch {
 			case pendingSince.IsZero():
 				pendingSince = now
 			case now.Sub(pendingSince) >= x.cfg.MaxFlushDelay:
-				if x.flush(enc) {
-					pendingSince = time.Time{}
+				if x.flushSess(sess) != nil {
+					return
 				}
+				pendingSince = time.Time{}
 			}
 		} else {
 			pendingSince = time.Time{}
 		}
+		x.progress.Store(time.Now().UnixNano())
 	}
 }
 
-// writeBatch encodes one drained batch. After a write error the stream is
-// marked errored and the remaining tuples count as dropped; every staged
-// tuple returns to the pool either way.
-func (x *exportOp) writeBatch(enc *encoder, batch []*spl.Tuple) {
-	x.batches.record(len(batch))
-	for i, t := range batch {
-		if x.errored.Load() {
-			x.dropped.Add(1)
-		} else if nb, err := enc.writeFrame(t); err != nil {
-			x.errored.Store(true)
-			x.dropped.Add(1)
-		} else {
-			x.sent.Add(1)
-			x.bytes.Add(uint64(nb))
+// stagePending assigns wire sequences to the writer's pending tuples,
+// parks their encoded frames in the retransmit window (waiting for
+// acknowledgements when the window is full), releases the pooled clones,
+// and writes the frames to the connection. Chaos hooks fire here: a
+// connection kill closes the socket so the next write errors, a frame
+// corruption poisons the wire so the receiver resets, and a writer stall
+// sleeps with frames staged so the watchdog sees a wedge.
+func (x *exportOp) stagePending(sess *connSession, st *writerState) error {
+	for st.pHead < len(st.pending) {
+		t := st.pending[st.pHead]
+		if err := x.awaitWindow(sess, st); err != nil {
+			return err
 		}
+		seq := st.nextSeq + 1
+		frame, err := st.retr.put(seq, t)
+		if err != nil {
+			// The tuple cannot be framed at all (oversized); count and drop.
+			x.dropped.Add(1)
+			t.Release()
+			st.pending[st.pHead] = nil
+			st.pHead++
+			continue
+		}
+		st.nextSeq = seq
+		x.sent.Add(1)
 		t.Release()
-		batch[i] = nil
+		st.pending[st.pHead] = nil
+		st.pHead++
+		if x.inj != nil {
+			if x.inj.Fire(fault.ConnKill, x.site) {
+				_ = sess.conn.Close()
+			}
+			if d := x.inj.FireDelay(fault.WriterStall, x.site); d > 0 {
+				time.Sleep(d)
+			}
+			if x.inj.Fire(fault.FrameCorrupt, x.site) {
+				x.corrupts.Add(1)
+				return x.writeCorrupted(sess)
+			}
+		}
+		if err := x.writeBytes(sess, frame); err != nil {
+			return err
+		}
 	}
+	st.pending = st.pending[:0]
+	st.pHead = 0
+	return nil
 }
 
-// flush pushes buffered frames onto the connection, reporting success.
-func (x *exportOp) flush(enc *encoder) bool {
-	if x.errored.Load() {
-		return false
+// awaitWindow blocks until the retransmit window has room for one more
+// frame, flushing first so the receiver can acknowledge what it has.
+func (x *exportOp) awaitWindow(sess *connSession, st *writerState) error {
+	for x.inFlight(st.nextSeq) >= uint64(len(st.retr.slots)) {
+		if err := x.flushSess(sess); err != nil {
+			return err
+		}
+		if st.closing {
+			timer := time.NewTimer(closeFlushTimeout)
+			select {
+			case <-x.ackSig:
+				timer.Stop()
+			case <-sess.ackDone:
+				timer.Stop()
+				return errExportConnLost
+			case <-timer.C:
+				return errExportWindowFull
+			}
+			continue
+		}
+		select {
+		case <-x.ackSig:
+		case <-sess.ackDone:
+			return errExportConnLost
+		case <-x.quit:
+			return errExportClosing
+		}
 	}
-	if err := enc.flush(); err != nil {
-		x.errored.Store(true)
-		return false
+	return nil
+}
+
+// writeCorrupted poisons the wire with an invalid length prefix and flushes
+// it, so the receiver rejects the stream and resets the connection. The
+// just-staged frame was deliberately not written; it rides the retransmit
+// window to the next epoch.
+func (x *exportOp) writeCorrupted(sess *connSession) error {
+	var bad [4]byte
+	binary.LittleEndian.PutUint32(bad[:], ^uint32(0))
+	if _, err := sess.enc.writeBytes(bad[:]); err != nil {
+		return err
+	}
+	if err := x.flushSess(sess); err != nil {
+		return err
+	}
+	return fmt.Errorf("pe: export %s injected frame corruption", x.name)
+}
+
+// writeBytes writes one encoded frame, counting wire bytes.
+func (x *exportOp) writeBytes(sess *connSession, frame []byte) error {
+	nb, err := sess.enc.writeBytes(frame)
+	x.bytes.Add(uint64(nb))
+	return err
+}
+
+// flushSess pushes buffered frames onto the connection.
+func (x *exportOp) flushSess(sess *connSession) error {
+	if sess.enc.buffered() == 0 {
+		return nil
+	}
+	if err := sess.enc.flush(); err != nil {
+		return err
 	}
 	x.flushes.Add(1)
-	return true
+	return nil
 }
 
-// finalDrain empties the staging ring and flushes at shutdown. A few yield
-// rounds let in-flight producers land their reserved slots; anything staged
-// after that is left to the garbage collector.
-func (x *exportOp) finalDrain(enc *encoder, batch []*spl.Tuple) {
+// finalDrain empties the staging ring onto the wire at graceful close. A
+// few yield rounds let in-flight producers land their reserved slots;
+// anything it cannot write (dead peer, stuck window) is left for finish()
+// to drop-and-count.
+func (x *exportOp) finalDrain(sess *connSession, st *writerState) {
+	st.closing = true
+	if x.stagePending(sess, st) != nil {
+		return
+	}
 	for round := 0; round < 3; round++ {
 		for {
-			n := x.ring.TryPopN(batch)
+			n := x.ring.TryPopN(st.batch)
 			if n == 0 {
 				break
 			}
-			x.writeBatch(enc, batch[:n])
+			x.batches.record(n)
+			st.pending = append(st.pending[:0], st.batch[:n]...)
+			for i := 0; i < n; i++ {
+				st.batch[i] = nil
+			}
+			st.pHead = 0
+			x.signalSpace()
+			if x.stagePending(sess, st) != nil {
+				return
+			}
 		}
 		runtime.Gosched()
 	}
-	if enc.buffered() > 0 {
-		x.flush(enc)
+	_ = x.flushSess(sess)
+}
+
+// dropPending drops-and-counts tuples popped from the staging ring but
+// never staged, returning their pooled clones. Runs when the stream fails
+// permanently or closes — the satellite fix for the old path that left
+// staged leftovers to the garbage collector.
+func (x *exportOp) dropPending(st *writerState) {
+	for i := st.pHead; i < len(st.pending); i++ {
+		if t := st.pending[i]; t != nil {
+			x.dropped.Add(1)
+			t.Release()
+			st.pending[i] = nil
+		}
+	}
+	st.pending = st.pending[:0]
+	st.pHead = 0
+}
+
+// drainUntilQuit keeps the staging ring flowing (into the drop counter)
+// after a permanent failure, so producers never wedge on a dead stream and
+// pushed == sent + dropped converges.
+func (x *exportOp) drainUntilQuit(st *writerState) {
+	for {
+		n := x.ring.TryPopN(st.batch)
+		if n > 0 {
+			for i := 0; i < n; i++ {
+				x.dropped.Add(1)
+				st.batch[i].Release()
+				st.batch[i] = nil
+			}
+			x.signalSpace()
+			continue
+		}
+		x.parked.Store(true)
+		if x.ring.Len() > 0 {
+			x.parked.Store(false)
+			continue
+		}
+		select {
+		case <-x.wake:
+			x.parked.Store(false)
+		case <-x.quit:
+			x.parked.Store(false)
+			return
+		}
 	}
 }
 
-// Sent returns the number of tuples encoded onto the stream.
+// finish settles the stream's books at writer exit: remaining pending and
+// staged tuples drop-and-count (and return to the pool), and the
+// never-acknowledged staged frames are recorded — they may or may not have
+// reached the peer.
+func (x *exportOp) finish(st *writerState) {
+	x.dropPending(st)
+	for round := 0; round < 3; round++ {
+		for {
+			n := x.ring.TryPopN(st.batch)
+			if n == 0 {
+				break
+			}
+			for i := 0; i < n; i++ {
+				x.dropped.Add(1)
+				st.batch[i].Release()
+				st.batch[i] = nil
+			}
+			x.signalSpace()
+		}
+		runtime.Gosched()
+	}
+	if a := x.acked.Load(); a < st.nextSeq {
+		x.unacked.Store(st.nextSeq - a)
+	}
+}
+
+// redial re-establishes the stream connection with capped exponential
+// backoff plus jitter, returning nil only when the export closes first.
+func (x *exportOp) redial() net.Conn {
+	backoff := x.cfg.ReconnectBaseDelay
+	for {
+		if x.closed.Load() {
+			return nil
+		}
+		conn, err := net.DialTimeout("tcp", x.addr, handshakeTimeout)
+		if err == nil {
+			return conn
+		}
+		// Jitter spreads simultaneous redials (a dead PE kills many
+		// streams at once) across the backoff window.
+		d := backoff + time.Duration(rand.Int63n(int64(backoff)/2+1))
+		timer := time.NewTimer(d)
+		select {
+		case <-x.quit:
+			timer.Stop()
+			return nil
+		case <-timer.C:
+		}
+		backoff *= 2
+		if backoff > x.cfg.ReconnectMaxDelay {
+			backoff = x.cfg.ReconnectMaxDelay
+		}
+	}
+}
+
+// Sent returns the number of tuples staged onto the stream (assigned a
+// wire sequence and parked in the retransmit window).
 func (x *exportOp) Sent() uint64 { return x.sent.Load() }
 
-// Dropped returns the number of tuples that could not be written.
+// Dropped returns the number of tuples the stream never staged.
 func (x *exportOp) Dropped() uint64 { return x.dropped.Load() }
 
-// BytesSent returns the wire bytes of encoded frames.
+// BytesSent returns the wire bytes of encoded frames, retransmits included.
 func (x *exportOp) BytesSent() uint64 { return x.bytes.Load() }
 
 // Flushes returns the number of explicit flushes onto the connection.
 func (x *exportOp) Flushes() uint64 { return x.flushes.Load() }
+
+// Retransmits returns the number of frame writes beyond each frame's first.
+func (x *exportOp) Retransmits() uint64 { return x.retrans.Load() }
+
+// Reconnects returns the number of successful re-attaches.
+func (x *exportOp) Reconnects() uint64 { return x.reconnects.Load() }
+
+// Unacked returns the staged frames never acknowledged, recorded at close.
+func (x *exportOp) Unacked() uint64 { return x.unacked.Load() }
+
+// StagedDepth returns the staging ring's instantaneous depth.
+func (x *exportOp) StagedDepth() int {
+	if !x.wired.Load() {
+		return 0
+	}
+	return x.ring.Len()
+}
+
+// Connected reports whether the stream currently has a healthy connection.
+func (x *exportOp) Connected() bool { return x.connected.Load() }
+
+// LastProgress returns when the writer last made useful progress.
+func (x *exportOp) LastProgress() time.Time {
+	return time.Unix(0, x.progress.Load())
+}
 
 func (x *exportOp) close() {
 	if x.closed.Swap(true) {
 		return
 	}
 	x.mu.Lock()
-	defer x.mu.Unlock()
 	if x.conn != nil {
 		// Unblock a writer stuck in a TCP write against a stalled peer so
 		// the final drain is bounded.
 		_ = x.conn.SetWriteDeadline(time.Now().Add(closeFlushTimeout))
 	}
-	if x.quit != nil {
-		close(x.quit)
-		<-x.done
+	quit, done := x.quit, x.done
+	x.mu.Unlock()
+	if quit != nil {
+		close(quit)
+		<-done
 	}
+	x.mu.Lock()
 	if x.conn != nil {
 		_ = x.conn.Close()
 	}
+	x.mu.Unlock()
 }
 
 // importSource is the source standing in for a cross-PE stream's receiving
@@ -304,11 +769,19 @@ func (x *exportOp) close() {
 // into a buffered channel; the operator thread drains the channel in
 // batches, so a blocked TCP read can never stall the engine's pause barrier
 // and one wake delivers many tuples.
+//
+// The import owns the stream's listener (when launched as part of a job):
+// after a connection dies it accepts the sender's redial, replies with its
+// delivered wire-sequence watermark so the sender resumes from the
+// retransmit ring, and deduplicates by wire sequence — retransmitted frames
+// it already delivered drop-and-count, making the at-least-once wire
+// exactly-once downstream.
 type importSource struct {
 	name string
 
 	mu     sync.Mutex
 	conn   net.Conn
+	ln     net.Listener
 	ch     chan *spl.Tuple
 	done   chan struct{}
 	closed atomic.Bool
@@ -317,8 +790,11 @@ type importSource struct {
 	// driving Next touches it.
 	timer *time.Timer
 
-	received atomic.Uint64
-	bytes    atomic.Uint64
+	received  atomic.Uint64 // unique tuples delivered downstream
+	delivered atomic.Uint64 // highest wire sequence delivered (resume/dedup)
+	dups      atomic.Uint64 // retransmitted frames dropped by dedup
+	resumes   atomic.Uint64 // connections re-accepted after the first
+	bytes     atomic.Uint64
 }
 
 var (
@@ -340,32 +816,138 @@ func (s *importSource) DrainExempt() {}
 // Process is a no-op: sources have no input ports.
 func (s *importSource) Process(int, *spl.Tuple, spl.Emitter) {}
 
-// connect attaches the stream connection and starts the reader goroutine;
-// must happen before the engine starts.
-func (s *importSource) connect(conn net.Conn) {
+// connect attaches the stream's first connection and starts the reader
+// goroutine; must happen before the engine starts. A non-nil listener is
+// adopted for the stream's lifetime: when a connection dies the reader
+// accepts the sender's redial on it and resumes. With ln nil the first
+// connection is the only one (tests, benchmarks).
+func (s *importSource) connect(conn net.Conn, ln net.Listener) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.conn = conn
+	s.ln = ln
 	s.ch = make(chan *spl.Tuple, importChanCapacity)
 	s.done = make(chan struct{})
 	go s.readLoop(conn, s.ch, s.done)
 }
 
+func (s *importSource) setConn(conn net.Conn) {
+	s.mu.Lock()
+	s.conn = conn
+	s.mu.Unlock()
+}
+
+// readLoop serves connection epochs: decode frames from the current
+// connection until it dies, then (with a listener) accept the sender's
+// redial and continue. The channel closes only when the stream truly ends.
 func (s *importSource) readLoop(conn net.Conn, ch chan *spl.Tuple, done chan struct{}) {
 	defer close(done)
 	defer close(ch)
+	for {
+		if conn != nil {
+			s.serveConn(conn, ch)
+			_ = conn.Close()
+			conn = nil
+		}
+		s.mu.Lock()
+		ln := s.ln
+		s.mu.Unlock()
+		if ln == nil || s.closed.Load() {
+			return
+		}
+		c, err := ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		if s.closed.Load() {
+			_ = c.Close()
+			return
+		}
+		s.resumes.Add(1)
+		s.setConn(c)
+		conn = c
+	}
+}
+
+// serveConn speaks one connection epoch of the resume protocol: send the
+// delivered watermark as the handshake, then decode frames, dropping wire
+// sequences at or below the watermark (retransmitted duplicates) and
+// acknowledging delivery inline every ackEvery frames with a ticker
+// covering the idle tail.
+func (s *importSource) serveConn(conn net.Conn, ch chan *spl.Tuple) {
+	var wmu sync.Mutex
+	var ackFailed atomic.Bool
+	writeU64 := func(v uint64) bool {
+		if ackFailed.Load() {
+			return false
+		}
+		wmu.Lock()
+		defer wmu.Unlock()
+		var b [8]byte
+		binary.LittleEndian.PutUint64(b[:], v)
+		_ = conn.SetWriteDeadline(time.Now().Add(ackWriteTimeout))
+		_, err := conn.Write(b[:])
+		_ = conn.SetWriteDeadline(time.Time{})
+		if err != nil {
+			ackFailed.Store(true)
+			return false
+		}
+		return true
+	}
+	if !writeU64(s.delivered.Load()) {
+		return
+	}
+	lastAcked := s.delivered.Load()
+	var tickAcked atomic.Uint64
+	tickAcked.Store(lastAcked)
+	stopTick := make(chan struct{})
+	tickDone := make(chan struct{})
+	go func() {
+		defer close(tickDone)
+		tick := time.NewTicker(ackTickInterval)
+		defer tick.Stop()
+		for {
+			select {
+			case <-stopTick:
+				return
+			case <-tick.C:
+				d := s.delivered.Load()
+				if d != tickAcked.Load() && writeU64(d) {
+					tickAcked.Store(d)
+				}
+			}
+		}
+	}()
+	defer func() {
+		close(stopTick)
+		<-tickDone
+	}()
 	dec := newDecoder(conn)
+	sinceAck := 0
 	for {
 		t, err := dec.decode()
 		if err != nil {
-			// EOF and closed-connection errors end the stream; anything
-			// else is a framing error, which also ends it (the stream has
-			// no recovery protocol).
-			_ = err
+			// EOF ends the epoch cleanly; a framing error also ends it —
+			// the reset is what triggers the sender's retransmit resume.
 			return
 		}
-		s.bytes.Store(dec.bytesRead())
+		s.bytes.Add(uint64(dec.lastFrameBytes()))
+		seq := dec.wireSeq()
+		if seq <= s.delivered.Load() {
+			s.dups.Add(1)
+			t.Release()
+			continue
+		}
+		s.delivered.Store(seq)
 		ch <- t
+		s.received.Add(1)
+		sinceAck++
+		if sinceAck >= ackEvery {
+			sinceAck = 0
+			if writeU64(seq) {
+				tickAcked.Store(seq)
+			}
+		}
 	}
 }
 
@@ -420,7 +1002,6 @@ func (s *importSource) Next(out spl.Emitter) bool {
 // emitBatch emits one received tuple plus a non-blocking drain of up to
 // importBatchMax-1 more, so one operator-thread wake delivers a burst.
 func (s *importSource) emitBatch(out spl.Emitter, ch chan *spl.Tuple, first *spl.Tuple) bool {
-	s.received.Add(1)
 	out.Emit(0, first)
 	for i := 1; i < importBatchMax; i++ {
 		select {
@@ -428,7 +1009,6 @@ func (s *importSource) emitBatch(out spl.Emitter, ch chan *spl.Tuple, first *spl
 			if !ok {
 				return false
 			}
-			s.received.Add(1)
 			out.Emit(0, t)
 		default:
 			return true
@@ -437,17 +1017,26 @@ func (s *importSource) emitBatch(out spl.Emitter, ch chan *spl.Tuple, first *spl
 	return true
 }
 
-// Received returns the number of tuples read from the stream.
+// Received returns the number of unique tuples delivered downstream.
 func (s *importSource) Received() uint64 { return s.received.Load() }
 
 // BytesReceived returns the wire bytes of successfully decoded frames.
 func (s *importSource) BytesReceived() uint64 { return s.bytes.Load() }
 
+// DupsDropped returns the retransmitted duplicates dropped by dedup.
+func (s *importSource) DupsDropped() uint64 { return s.dups.Load() }
+
+// Resumes returns the connections re-accepted after the first.
+func (s *importSource) Resumes() uint64 { return s.resumes.Load() }
+
 func (s *importSource) close() {
 	s.closed.Store(true)
 	s.mu.Lock()
-	conn, done := s.conn, s.done
+	conn, ln, done := s.conn, s.ln, s.done
 	s.mu.Unlock()
+	if ln != nil {
+		_ = ln.Close()
+	}
 	if conn != nil {
 		_ = conn.Close()
 	}

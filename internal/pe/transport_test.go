@@ -32,6 +32,14 @@ func loopbackPair(tb testing.TB) (send, recv net.Conn) {
 	return send, acc.conn
 }
 
+// handshakeFrom writes the import side's resume handshake (watermark 0) so
+// an export's writer attaches; used by tests that drive the raw receive
+// side of a connection themselves.
+func handshakeFrom(conn net.Conn) {
+	var b [8]byte
+	_, _ = conn.Write(b[:])
+}
+
 func TestExportDropsBeforeConnect(t *testing.T) {
 	exp := newExportOp("x")
 	tp := spl.AcquireTuple()
@@ -52,7 +60,10 @@ func TestExportCountersConvergeWhenPeerDies(t *testing.T) {
 	exp := newExportOp("x")
 	// Flush every batch so the broken connection surfaces quickly.
 	exp.cfg = TransportConfig{FlushBytes: 1, BlockTimeout: 50 * time.Millisecond}.withDefaults()
-	exp.connect(send)
+	// No redial address: losing the peer fails the stream permanently.
+	if err := exp.connect(send, ""); err != nil {
+		t.Fatal(err)
+	}
 	defer exp.close()
 	_ = recv.Close()
 
@@ -62,12 +73,12 @@ func TestExportCountersConvergeWhenPeerDies(t *testing.T) {
 
 	pushed := uint64(0)
 	deadline := time.Now().Add(10 * time.Second)
-	for !exp.errored.Load() && time.Now().Before(deadline) {
+	for !exp.failed.Load() && time.Now().Before(deadline) {
 		exp.Process(0, tp, nil)
 		pushed++
 		time.Sleep(100 * time.Microsecond)
 	}
-	if !exp.errored.Load() {
+	if !exp.failed.Load() {
 		t.Fatal("export never observed the dead peer")
 	}
 	// Pushes after the error are dropped immediately, not silently lost.
@@ -156,7 +167,10 @@ func TestExportDropOnFull(t *testing.T) {
 	defer recv.Close()
 	exp := newExportOp("x")
 	exp.cfg = TransportConfig{RingCapacity: 2, DropOnFull: true}.withDefaults()
-	exp.connect(send)
+	go handshakeFrom(recv) // net.Pipe writes block until read
+	if err := exp.connect(send, ""); err != nil {
+		t.Fatal(err)
+	}
 	tp := wedgeWriter(t, exp)
 	defer tp.Release()
 
@@ -178,7 +192,10 @@ func TestExportBoundedBlockingOnFull(t *testing.T) {
 	defer recv.Close()
 	exp := newExportOp("x")
 	exp.cfg = TransportConfig{RingCapacity: 2, BlockTimeout: 120 * time.Millisecond}.withDefaults()
-	exp.connect(send)
+	go handshakeFrom(recv) // net.Pipe writes block until read
+	if err := exp.connect(send, ""); err != nil {
+		t.Fatal(err)
+	}
 	tp := wedgeWriter(t, exp)
 	defer tp.Release()
 
@@ -204,7 +221,7 @@ func TestExportBoundedBlockingOnFull(t *testing.T) {
 func TestImportIdlePollZeroAlloc(t *testing.T) {
 	send, recv := net.Pipe()
 	imp := newImportSource("i")
-	imp.connect(recv)
+	imp.connect(recv, nil)
 	defer func() {
 		_ = send.Close()
 		imp.close()

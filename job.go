@@ -23,6 +23,14 @@ type JobOptions struct {
 	Elastic ElasticConfig
 	// DisableElasticity runs the PEs without adaptation.
 	DisableElasticity bool
+	// EnableWatchdog runs a health watchdog per PE: wedged scheduler queues
+	// and disconnected or stalled streams freeze that PE's adaptation until
+	// health returns.
+	EnableWatchdog bool
+	// PanicBudget enables operator supervision when > 0: an operator whose
+	// recovered panics exhaust the budget is quarantined (input drops and
+	// counts) for an exponentially growing timeout, then probed back in.
+	PanicBudget int
 }
 
 // Job runs a topology split across several processing elements, each with
@@ -50,9 +58,11 @@ func NewJob(t *Topology, numPEs int, opts JobOptions) (*Job, error) {
 		Exec: exec.Options{
 			MaxThreads:  opts.MaxThreads,
 			AdaptPeriod: opts.AdaptPeriod,
+			PanicBudget: opts.PanicBudget,
 		},
 		Elastic:           opts.Elastic,
 		DisableElasticity: opts.DisableElasticity,
+		EnableWatchdog:    opts.EnableWatchdog,
 	})
 	if err != nil {
 		return nil, err
@@ -111,6 +121,10 @@ func (j *Job) Status() []PEStatus {
 // order. Safe to call while the job runs.
 func (j *Job) StreamStats() []pe.StreamStats { return j.job.StreamStats() }
 
+// Health returns every PE watchdog's status, in PE order; empty unless
+// JobOptions.EnableWatchdog was set.
+func (j *Job) Health() []monitor.WatchdogStatus { return j.job.Health() }
+
 // Trace returns the adaptation trace of one PE (nil when elasticity is
 // disabled or the index is out of range).
 func (j *Job) Trace(peIndex int) []TraceEvent {
@@ -130,15 +144,24 @@ type jobProvider struct{ j *Job }
 func (p jobProvider) Statuses() []monitor.Status {
 	sts := p.j.Status()
 	streams := p.j.StreamStats()
+	health := p.j.Health()
 	out := make([]monitor.Status, 0, len(sts))
-	for _, s := range sts {
+	for i, s := range sts {
+		rt := p.j.job.PEs[i]
+		sup := rt.Eng.Supervision()
 		st := monitor.Status{
-			Name:       fmt.Sprintf("pe%d", s.PE),
-			Operators:  s.Operators,
-			Threads:    s.Threads,
-			Queues:     s.Queues,
-			Settled:    s.Settled,
-			SinkTuples: s.SinkTuples,
+			Name:           fmt.Sprintf("pe%d", s.PE),
+			Operators:      s.Operators,
+			Threads:        s.Threads,
+			Queues:         s.Queues,
+			Settled:        s.Settled,
+			SinkTuples:     s.SinkTuples,
+			OperatorPanics: rt.Eng.OperatorPanics(),
+			Quarantined:    sup.Active,
+		}
+		if i < len(health) {
+			h := health[i]
+			st.Health = &h
 		}
 		for _, ss := range streams {
 			if ss.FromPE == s.PE {
@@ -147,12 +170,15 @@ func (p jobProvider) Statuses() []monitor.Status {
 					Tuples: ss.Sent, Bytes: ss.BytesSent,
 					Dropped: ss.Dropped, Flushes: ss.Flushes,
 					BatchSizes: ss.BatchSizes,
+					Retransmits: ss.Retransmits, Reconnects: ss.Reconnects,
+					Unacked: ss.Unacked,
 				})
 			}
 			if ss.ToPE == s.PE {
 				st.Streams = append(st.Streams, monitor.StreamStatus{
 					Stream: ss.Stream, Dir: "import", Peer: ss.FromPE,
 					Tuples: ss.Received, Bytes: ss.BytesReceived,
+					DupsDropped: ss.DupsDropped, Resumes: ss.Resumes,
 				})
 			}
 		}
