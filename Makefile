@@ -11,7 +11,12 @@ BENCH_OUT  := BENCH_1.json
 # plus the zero-alloc encode/decode microbenchmarks.
 BENCH_PE_OUT := BENCH_2.json
 
-.PHONY: build test race vet bench bench-pe fuzz fuzz-pe chaos
+# Work-stealing scheduler benchmarks: shared-MPMC vs stealing on the
+# contended fan-in shape at 2/4/8/16 workers, plus the deque
+# microbenchmarks (push/pop and steal-half, both 0 allocs/op).
+BENCH_SCHED_OUT := BENCH_4.json
+
+.PHONY: build test race vet bench bench-pe bench-sched bench-sched-smoke fuzz fuzz-pe fuzz-deque chaos
 
 build:
 	$(GO) build ./...
@@ -37,6 +42,19 @@ bench:
 bench-pe:
 	$(GO) test -json -run '^$$' -bench 'ExportImport|SteadyState' -benchmem ./internal/pe/ > $(BENCH_PE_OUT)
 
+# bench-sched writes the scheduler comparison (tuples/s for shared vs
+# stealing on the contended fan-in, deque allocs/op) to $(BENCH_SCHED_OUT);
+# compare shared/workers=N against steal/workers=N with benchstat.
+bench-sched:
+	$(GO) test -json -run '^$$' -bench 'ContendedFanIn' -benchmem ./internal/exec/ > $(BENCH_SCHED_OUT)
+	$(GO) test -json -run '^$$' -bench 'WSDeque' -benchmem ./internal/queue/ >> $(BENCH_SCHED_OUT)
+
+# One-iteration smoke of the same benchmarks for CI: proves they run, makes
+# no timing claims.
+bench-sched-smoke:
+	$(GO) test -run '^$$' -bench 'ContendedFanIn' -benchtime 1x -benchmem ./internal/exec/
+	$(GO) test -run '^$$' -bench 'WSDeque' -benchtime 1x -benchmem ./internal/queue/
+
 # Short deterministic pass over the MPMC batch-operation fuzz corpus.
 fuzz:
 	$(GO) test ./internal/queue/ -run '^$$' -fuzz FuzzMPMCBatchOps -fuzztime 20s
@@ -44,6 +62,10 @@ fuzz:
 # Short fuzz pass over the transport's batched frame decoder.
 fuzz-pe:
 	$(GO) test ./internal/pe/ -run '^$$' -fuzz FuzzBatchedFrames -fuzztime 20s
+
+# Short fuzz pass over the work-stealing deque against a reference model.
+fuzz-deque:
+	$(GO) test ./internal/queue/ -run '^$$' -fuzz FuzzDeque -fuzztime 20s
 
 # Seeded fault-injection suite under the race detector: connection kills,
 # frame corruption, operator panics with quarantine, watchdog freeze — all

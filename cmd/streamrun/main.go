@@ -19,6 +19,7 @@ import (
 	"streamelastic/internal/core"
 	"streamelastic/internal/exec"
 	"streamelastic/internal/fault"
+	"streamelastic/internal/metrics"
 	"streamelastic/internal/pe"
 	"streamelastic/internal/workload"
 )
@@ -45,6 +46,10 @@ func main() {
 		streamDrop  = flag.Bool("streamdrop", false, "transport: drop tuples when a stream backs up instead of blocking the PE (latency over completeness)")
 		streamStats = flag.Bool("streamstats", false, "print per-stream transport counters at exit (multi-PE runs)")
 
+		steal      = flag.Bool("steal", true, "scheduler: work stealing (per-worker deques with emit affinity); false routes everything through the shared queues")
+		localq     = flag.Int("localq", 0, "scheduler: per-worker deque capacity, a power of two (0 = 256 default)")
+		schedStats = flag.Bool("schedstats", false, "print work-stealing scheduler counters (affinity pushes, steals, overflows, parks) at exit")
+
 		watchdog    = flag.Bool("watchdog", false, "run a health watchdog per PE that freezes adaptation while the PE is unhealthy (multi-PE runs)")
 		panicBudget = flag.Int("panicbudget", 0, "quarantine an operator after this many recovered panics (0 = supervision off)")
 		chaos       = flag.Bool("chaos", false, "inject deterministic faults (operator panics, connection kills) into multi-PE runs")
@@ -64,11 +69,18 @@ func main() {
 		chaos:       *chaos,
 		chaosSeed:   *chaosSeed,
 	}
+	scfg := schedConfig{
+		steal:  *steal,
+		localQ: *localq,
+		stats:  *schedStats,
+	}
 	var err error
-	if *file != "" {
-		err = runFile(*file, *threads, *duration, *period, *trace)
+	if verr := scfg.validate(); verr != nil {
+		err = verr
+	} else if *file != "" {
+		err = runFile(*file, *threads, *duration, *period, *trace, scfg)
 	} else {
-		err = run(*shape, *ops, *width, *depth, *payload, *flops, *skewed, *threads, *duration, *period, *trace, *pes, tcfg, rcfg, *streamStats)
+		err = run(*shape, *ops, *width, *depth, *payload, *flops, *skewed, *threads, *duration, *period, *trace, *pes, tcfg, rcfg, *streamStats, scfg)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "streamrun:", err)
@@ -78,7 +90,7 @@ func main() {
 
 // runFile parses a topology description (see streamelastic.ParseTopology)
 // and runs it live with multi-level elasticity.
-func runFile(path string, maxThreads int, duration, period time.Duration, dumpTrace bool) error {
+func runFile(path string, maxThreads int, duration, period time.Duration, dumpTrace bool, scfg schedConfig) error {
 	f, err := os.Open(path)
 	if err != nil {
 		return err
@@ -91,9 +103,11 @@ func runFile(path string, maxThreads int, duration, period time.Duration, dumpTr
 	ecfg := streamelastic.DefaultElasticConfig()
 	ecfg.MaxThreads = maxThreads
 	rt, err := streamelastic.NewRuntime(top, streamelastic.RuntimeOptions{
-		MaxThreads:  maxThreads,
-		AdaptPeriod: period,
-		Elastic:     ecfg,
+		MaxThreads:          maxThreads,
+		AdaptPeriod:         period,
+		Elastic:             ecfg,
+		DisableWorkStealing: !scfg.steal,
+		LocalQueueCapacity:  scfg.localQ,
 	})
 	if err != nil {
 		return err
@@ -119,6 +133,9 @@ func runFile(path string, maxThreads int, duration, period time.Duration, dumpTr
 				e.Time.Seconds(), e.Throughput, e.Threads, e.Queues, e.Phase, e.Note)
 		}
 	}
+	if scfg.stats {
+		printSched("runtime", rt.SchedStats())
+	}
 	return nil
 }
 
@@ -130,9 +147,39 @@ type resilienceConfig struct {
 	chaosSeed   int64
 }
 
+// schedConfig bundles the work-stealing scheduler flags.
+type schedConfig struct {
+	steal  bool
+	localQ int
+	stats  bool
+}
+
+// validate rejects a deque capacity the engine would refuse, so the error
+// mentions the flag rather than an internal option.
+func (c schedConfig) validate() error {
+	if c.localQ != 0 && (c.localQ < 2 || c.localQ&(c.localQ-1) != 0) {
+		return fmt.Errorf("-localq %d is not a power of two >= 2", c.localQ)
+	}
+	return nil
+}
+
+// execOptions translates the flags into engine scheduler options.
+func (c schedConfig) execOptions(o exec.Options) exec.Options {
+	o.DisableWorkStealing = !c.steal
+	o.LocalQueueCapacity = c.localQ
+	return o
+}
+
+// printSched renders one engine's scheduler counters.
+func printSched(name string, s metrics.SchedSnapshot) {
+	fmt.Printf("%s sched: local=%d pops=%d steals=%d stolen=%d overflow=%d injected=%d parks=%d wakes=%d\n",
+		name, s.LocalPushes, s.LocalPops, s.Steals, s.StolenTuples,
+		s.Overflows, s.Injected, s.Parks, s.Wakes)
+}
+
 func run(shape string, ops, width, depth, payload int, flops float64, skewed bool,
 	maxThreads int, duration, period time.Duration, dumpTrace bool, pes int,
-	tcfg pe.TransportConfig, rcfg resilienceConfig, streamStats bool) error {
+	tcfg pe.TransportConfig, rcfg resilienceConfig, streamStats bool, scfg schedConfig) error {
 	cfg := workload.DefaultConfig()
 	cfg.PayloadBytes = payload
 	cfg.BalancedFLOPs = flops
@@ -159,10 +206,10 @@ func run(shape string, ops, width, depth, payload int, flops float64, skewed boo
 	}
 
 	if pes > 1 {
-		return runJob(b, maxThreads, duration, period, pes, tcfg, rcfg, streamStats)
+		return runJob(b, maxThreads, duration, period, pes, tcfg, rcfg, streamStats, scfg)
 	}
 
-	eng, err := exec.New(b.Graph, exec.Options{MaxThreads: maxThreads, AdaptPeriod: period})
+	eng, err := exec.New(b.Graph, scfg.execOptions(exec.Options{MaxThreads: maxThreads, AdaptPeriod: period}))
 	if err != nil {
 		return err
 	}
@@ -209,6 +256,9 @@ loop:
 
 	fmt.Printf("\nfinal: %d tuples, %d threads, %d queues, settled=%v\n",
 		b.Sink.Count(), eng.ThreadCount(), eng.Queues(), coord.Settled())
+	if scfg.stats {
+		printSched("engine", eng.SchedStats())
+	}
 	if dumpTrace {
 		fmt.Println("\nadaptation trace:")
 		for _, e := range coord.Trace() {
@@ -222,7 +272,7 @@ loop:
 // runJob executes the workload as a multi-PE job, every PE adapting
 // independently.
 func runJob(b *workload.Build, maxThreads int, duration, period time.Duration, pes int,
-	tcfg pe.TransportConfig, rcfg resilienceConfig, streamStats bool) error {
+	tcfg pe.TransportConfig, rcfg resilienceConfig, streamStats bool, scfg schedConfig) error {
 	assign, err := pe.AssignContiguous(b.Graph, pes)
 	if err != nil {
 		return err
@@ -240,11 +290,11 @@ func runJob(b *workload.Build, maxThreads int, duration, period time.Duration, p
 		inj.Arm(fault.OpPanic, fault.OpSite(pes-1, 1), fault.Plan{EveryN: 500, MaxFires: 8})
 	}
 	job, err := pe.Launch(b.Graph, assign, pe.Options{
-		Exec: exec.Options{
+		Exec: scfg.execOptions(exec.Options{
 			MaxThreads:  maxThreads,
 			AdaptPeriod: period,
 			PanicBudget: rcfg.panicBudget,
-		},
+		}),
 		Elastic:        ecfg,
 		Transport:      tcfg,
 		Fault:          inj,
@@ -272,6 +322,11 @@ func runJob(b *workload.Build, maxThreads int, duration, period time.Duration, p
 		fmt.Println()
 	}
 	fmt.Printf("final: %d tuples end to end\n", b.Sink.Count())
+	if scfg.stats {
+		for i, s := range job.SchedStats() {
+			printSched(fmt.Sprintf("PE%d", i), s)
+		}
+	}
 	if streamStats {
 		for _, st := range job.StreamStats() {
 			fmt.Printf("stream %d PE%d->PE%d: sent=%d recv=%d dropped=%d bytesSent=%d bytesRecv=%d flushes=%d batches=%v retrans=%d reconnects=%d dups=%d resumes=%d\n",

@@ -8,9 +8,13 @@ import (
 	"streamelastic/internal/pe"
 )
 
+// stealOn is the default scheduler configuration the flag parser produces.
+var stealOn = schedConfig{steal: true}
+
 func TestRunPipelineLive(t *testing.T) {
 	err := run("pipeline", 10, 4, 8, 64, 5000, false, 4,
-		1500*time.Millisecond, 100*time.Millisecond, true, 1, pe.TransportConfig{}, resilienceConfig{}, false)
+		1500*time.Millisecond, 100*time.Millisecond, true, 1, pe.TransportConfig{}, resilienceConfig{}, false,
+		schedConfig{steal: true, localQ: 128, stats: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -18,7 +22,8 @@ func TestRunPipelineLive(t *testing.T) {
 
 func TestRunSkewedBushy(t *testing.T) {
 	err := run("bushy", 0, 4, 8, 64, 100, true, 2,
-		1200*time.Millisecond, 100*time.Millisecond, false, 1, pe.TransportConfig{}, resilienceConfig{}, false)
+		1200*time.Millisecond, 100*time.Millisecond, false, 1, pe.TransportConfig{}, resilienceConfig{}, false,
+		schedConfig{steal: false})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -28,7 +33,8 @@ func TestRunMultiPE(t *testing.T) {
 	err := run("pipeline", 8, 4, 8, 64, 5000, false, 4,
 		1500*time.Millisecond, 100*time.Millisecond, false, 2,
 		pe.TransportConfig{FlushBytes: 8 << 10, MaxFlushDelay: 500 * time.Microsecond},
-		resilienceConfig{watchdog: true, panicBudget: 2}, true)
+		resilienceConfig{watchdog: true, panicBudget: 2}, true,
+		schedConfig{steal: true, stats: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -36,8 +42,28 @@ func TestRunMultiPE(t *testing.T) {
 
 func TestRunUnknownShape(t *testing.T) {
 	if err := run("triangle", 10, 4, 8, 64, 100, false, 4,
-		time.Second, 100*time.Millisecond, false, 1, pe.TransportConfig{}, resilienceConfig{}, false); err == nil {
+		time.Second, 100*time.Millisecond, false, 1, pe.TransportConfig{}, resilienceConfig{}, false, stealOn); err == nil {
 		t.Fatal("unknown shape accepted")
+	}
+}
+
+func TestSchedConfigValidate(t *testing.T) {
+	for _, bad := range []int{1, 3, 100, -4} {
+		if err := (schedConfig{steal: true, localQ: bad}).validate(); err == nil {
+			t.Fatalf("-localq %d accepted", bad)
+		}
+	}
+	for _, good := range []int{0, 2, 256, 1 << 12} {
+		if err := (schedConfig{steal: true, localQ: good}).validate(); err != nil {
+			t.Fatalf("-localq %d rejected: %v", good, err)
+		}
+	}
+	// Validation guards the engine's own check: a capacity that passes here
+	// must be accepted by run too.
+	if err := run("pipeline", 4, 4, 8, 64, 100, false, 2,
+		300*time.Millisecond, 100*time.Millisecond, false, 1, pe.TransportConfig{}, resilienceConfig{}, false,
+		schedConfig{steal: true, localQ: 64}); err != nil {
+		t.Fatal(err)
 	}
 }
 
@@ -48,17 +74,17 @@ func TestRunFile(t *testing.T) {
 	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := runFile(path, 4, 1200*time.Millisecond, 100*time.Millisecond, true); err != nil {
+	if err := runFile(path, 4, 1200*time.Millisecond, 100*time.Millisecond, true, schedConfig{steal: true, stats: true}); err != nil {
 		t.Fatal(err)
 	}
-	if err := runFile(dir+"/missing.txt", 4, time.Second, 100*time.Millisecond, false); err == nil {
+	if err := runFile(dir+"/missing.txt", 4, time.Second, 100*time.Millisecond, false, stealOn); err == nil {
 		t.Fatal("missing file accepted")
 	}
 	bad := dir + "/bad.txt"
 	if err := os.WriteFile(bad, []byte("gibberish"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := runFile(bad, 4, time.Second, 100*time.Millisecond, false); err == nil {
+	if err := runFile(bad, 4, time.Second, 100*time.Millisecond, false, stealOn); err == nil {
 		t.Fatal("bad topology accepted")
 	}
 }

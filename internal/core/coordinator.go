@@ -170,7 +170,7 @@ func (c *Coordinator) adapt(thr float64) (Phase, string, error) {
 	if c.settleNext {
 		c.settleNext = false
 		c.enterSettled(thr)
-		return PhaseSettled, "settled", nil
+		return PhaseSettled, "settled" + schedNote(c.eng), nil
 	}
 
 	// Initial phase (Fig. 7 init()): threading-model elasticity first, at
@@ -425,6 +425,18 @@ func (c *Coordinator) monitorSettled(thr float64) (Phase, string, error) {
 	// Track slow drift so gradual load changes do not trip the detector.
 	c.settledThr = 0.95*c.settledThr + 0.05*thr
 	return PhaseSettled, "", nil
+}
+
+// schedNote annotates a trace note with the engine's work-stealing counters
+// when the substrate exposes them (see SchedSampler); empty otherwise.
+func schedNote(eng Engine) string {
+	s, ok := eng.(SchedSampler)
+	if !ok {
+		return ""
+	}
+	local, steals, overflows, injected := s.SchedCounts()
+	return fmt.Sprintf("; sched local=%d steals=%d overflow=%d injected=%d",
+		local, steals, overflows, injected)
 }
 
 // restart clears all exploration state but keeps the current configuration

@@ -45,6 +45,16 @@ type Engine interface {
 	Now() time.Duration
 }
 
+// SchedSampler is an optional Engine extension exposing work-stealing
+// scheduler counters (emit-affinity pushes, steals, deque overflows, and
+// shared-queue injections). The live engine implements it; the simulator
+// does not. The coordinator uses it for trace annotations only — control
+// decisions never depend on it, which keeps the controllers comparable
+// across substrates.
+type SchedSampler interface {
+	SchedCounts() (local, steals, overflows, injected uint64)
+}
+
 // Config tunes the elastic controllers. The zero value is not useful; call
 // DefaultConfig and override fields as needed.
 type Config struct {

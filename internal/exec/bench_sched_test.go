@@ -1,0 +1,104 @@
+package exec
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"streamelastic/internal/graph"
+	"streamelastic/internal/spl"
+)
+
+// fanInGraph builds the contended fan-in topology: `sources` independent
+// chains source -> expand(factor) -> work(flops) whose work stages all feed
+// one shared sink node.
+func fanInGraph(tb testing.TB, sources, factor int, flops float64) (*graph.Graph, *spl.CountingSink) {
+	tb.Helper()
+	g := graph.New()
+	sink := spl.NewCountingSink("snk")
+	sid := g.AddOperator(sink, nil)
+	for i := 0; i < sources; i++ {
+		gen := spl.NewGenerator(fmt.Sprintf("src%d", i), 64)
+		src := g.AddSource(gen, nil)
+		xp := g.AddOperator(spl.NewExpand(fmt.Sprintf("xp%d", i), factor), nil)
+		if err := g.Connect(src, 0, xp, 0, 1); err != nil {
+			tb.Fatal(err)
+		}
+		cv := spl.NewCostVar(flops)
+		work := g.AddOperator(spl.NewWork(fmt.Sprintf("w%d", i), cv), cv)
+		if err := g.Connect(xp, 0, work, 0, 1); err != nil {
+			tb.Fatal(err)
+		}
+		if err := g.Connect(work, 0, sid, 0, 1); err != nil {
+			tb.Fatal(err)
+		}
+	}
+	if err := g.Finalize(); err != nil {
+		tb.Fatal(err)
+	}
+	return g, sink
+}
+
+// benchFanIn measures sink throughput on the contended fan-in shape that
+// motivates the work-stealing scheduler: several sources each feed an
+// expansion burst and a work stage, and every work stage fans into one
+// shared sink node. With the shared-MPMC scheduler every burst tuple and
+// every fan-in delivery crosses a contended queue; with stealing the same
+// traffic rides the producing worker's own deque and the shared queues
+// carry only source injections.
+func benchFanIn(b *testing.B, steal bool, workers int) {
+	b.Helper()
+	const sources, factor, flops = 4, 8, 200
+	g, _ := fanInGraph(b, sources, factor, flops)
+	e, err := New(g, Options{MaxThreads: 16, DisableWorkStealing: !steal})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := e.Start(context.Background()); err != nil {
+		b.Fatal(err)
+	}
+	defer e.Stop()
+	place := make([]bool, g.NumNodes())
+	for i := range place {
+		place[i] = !g.Node(graph.NodeID(i)).Source
+	}
+	if err := e.ApplyPlacement(place); err != nil {
+		b.Fatal(err)
+	}
+	if err := e.SetThreadCount(workers); err != nil {
+		b.Fatal(err)
+	}
+	time.Sleep(20 * time.Millisecond) // warm up pools and deques
+	b.ResetTimer()
+	start := e.SinkCount()
+	t0 := time.Now()
+	target := time.Duration(b.N) * 100 * time.Microsecond
+	if target < 100*time.Millisecond {
+		target = 100 * time.Millisecond
+	}
+	time.Sleep(target)
+	elapsed := time.Since(t0).Seconds()
+	b.StopTimer()
+	b.ReportMetric(float64(e.SinkCount()-start)/elapsed, "tuples/s")
+	if steal {
+		s := e.SchedStats()
+		b.ReportMetric(float64(s.Steals)/elapsed, "steals/s")
+	}
+}
+
+// BenchmarkContendedFanIn is the BENCH_4 headline comparison: shared-MPMC
+// scheduling versus work stealing at 2/4/8/16 workers on the same fan-in
+// topology. Compare tuples/s between shared/workers=N and steal/workers=N.
+func BenchmarkContendedFanIn(b *testing.B) {
+	for _, mode := range []struct {
+		name  string
+		steal bool
+	}{{"shared", false}, {"steal", true}} {
+		for _, w := range []int{2, 4, 8, 16} {
+			b.Run(fmt.Sprintf("%s/workers=%d", mode.name, w), func(b *testing.B) {
+				benchFanIn(b, mode.steal, w)
+			})
+		}
+	}
+}

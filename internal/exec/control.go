@@ -6,6 +6,7 @@ import (
 
 	"streamelastic/internal/graph"
 	"streamelastic/internal/metrics"
+	"streamelastic/internal/queue"
 )
 
 // This file implements the core.Engine control surface of the live engine.
@@ -59,7 +60,8 @@ func (e *Engine) ApplyPlacement(dynamic []bool) error {
 	e.cfg.Store(cfg)
 	// Drain queues that no longer exist: their tuples are executed here,
 	// inline, under the new configuration.
-	em := &emitter{e: e, cfg: cfg, ts: e.reconfigTS}
+	em := e.newEmitter(e.reconfigTS)
+	em.cfg = cfg
 	for _, nid := range old.queueList {
 		if cfg.queues[nid] != nil {
 			continue
@@ -95,10 +97,26 @@ func (e *Engine) SetThreadCount(n int) error {
 	return nil
 }
 
-// setWorkersLocked resizes the pool; the caller holds reconfigMu.
+// setWorkersLocked resizes the pool; the caller holds reconfigMu. Worker
+// slots (deque + counters) are keyed by worker id and never discarded, so a
+// shrink-then-grow reuses them: counters stay cumulative and deques are
+// allocated once.
 func (e *Engine) setWorkersLocked(n int) {
 	for len(e.workers) < n {
-		w := &worker{id: len(e.workers), quit: make(chan struct{})}
+		id := len(e.workers)
+		for len(e.allSlots) <= id {
+			d, err := queue.NewWSDeque[ditem](e.opts.LocalQueueCapacity)
+			if err != nil {
+				panic(err) // unreachable: capacity validated in New
+			}
+			e.allSlots = append(e.allSlots, &wslot{deq: d})
+		}
+		w := &worker{
+			id:   id,
+			quit: make(chan struct{}),
+			slot: e.allSlots[id],
+			rng:  uint64(id)*0x9E3779B97F4A7C15 | 1,
+		}
 		e.workers = append(e.workers, w)
 		e.wg.Add(1)
 		go e.workerLoop(w)
@@ -110,6 +128,12 @@ func (e *Engine) setWorkersLocked(n int) {
 		close(w.quit)
 		shrunk = true
 	}
+	// Publish the live-slot prefix for stealers and idle rescans. A stale
+	// snapshot in a thief's hands is harmless: stealing from a retiring
+	// worker's deque just races its owner's flush, and both conserve.
+	live := make([]*wslot, len(e.workers))
+	copy(live, e.allSlots[:len(e.workers)])
+	e.slots.Store(&live)
 	if shrunk {
 		// Retiring workers may be idle-parked; wake them so they observe
 		// their closed quit channel and exit.
@@ -201,6 +225,11 @@ func (e *Engine) idle() bool {
 			return false
 		}
 	}
+	for _, s := range *e.slots.Load() {
+		if !s.deq.Empty() {
+			return false
+		}
+	}
 	return true
 }
 
@@ -208,10 +237,14 @@ func (e *Engine) idle() bool {
 type QueueStats struct {
 	// Queues is the number of scheduler queues.
 	Queues int
-	// TotalDepth is the sum of queued tuples across all queues.
+	// TotalDepth is the sum of queued tuples across all shared queues and
+	// worker-local deques: everything still waiting to execute, which is
+	// what stall detection cares about.
 	TotalDepth int
-	// MaxDepth is the deepest single queue.
+	// MaxDepth is the deepest single shared queue.
 	MaxDepth int
+	// LocalDepth is the portion of TotalDepth sitting in worker deques.
+	LocalDepth int
 }
 
 // QueueStats returns instantaneous queue depths, for monitoring and
@@ -226,5 +259,37 @@ func (e *Engine) QueueStats() QueueStats {
 			st.MaxDepth = d
 		}
 	}
+	for _, s := range *e.slots.Load() {
+		d := s.deq.Len()
+		st.LocalDepth += d
+		st.TotalDepth += d
+	}
 	return st
+}
+
+// SchedStats returns the work-stealing scheduler's cumulative counters,
+// summed across every worker slot (live and retired), source loop, and the
+// reconfiguration/external emitter group.
+func (e *Engine) SchedStats() metrics.SchedSnapshot {
+	e.reconfigMu.Lock()
+	slots := make([]*wslot, len(e.allSlots))
+	copy(slots, e.allSlots)
+	e.reconfigMu.Unlock()
+	sum := e.extStats.Snapshot()
+	for _, s := range slots {
+		snap := s.stats.Snapshot()
+		sum.Merge(snap)
+	}
+	for i := range e.srcStats {
+		sum.Merge(e.srcStats[i].Snapshot())
+	}
+	return sum
+}
+
+// SchedCounts reports the headline scheduler counters; it exists so
+// internal/core can observe scheduler behaviour through a structural
+// interface without importing this package.
+func (e *Engine) SchedCounts() (local, steals, overflows, injected uint64) {
+	s := e.SchedStats()
+	return s.LocalPushes, s.Steals, s.Overflows, s.Injected
 }

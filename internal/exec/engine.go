@@ -12,7 +12,16 @@
 // in internal/spl (queue crossings clone from the pool and release the
 // original; recyclable sinks release the final copy), emitters are reused
 // per dispatch loop, and workers drain queues in batches. Idle workers park
-// on a condition variable consulted by producers instead of sleep-polling.
+// on sharded condition variables consulted by producers instead of
+// sleep-polling.
+//
+// Scheduling is work stealing (unless Options.DisableWorkStealing): each
+// worker owns a bounded deque, a worker emitting to a dynamic operator
+// pushes onto its own deque (emit affinity — no shared-queue CAS, the tuple
+// stays cache-hot), and a worker looks for work local-first, then steals
+// half a random victim's deque, then falls back to the shared MPMC queues,
+// which remain the injection path for sources, imports, reconfiguration
+// drains, and deque overflow.
 package exec
 
 import (
@@ -44,8 +53,22 @@ const workerBatch = 32
 // between scans) before parking on the idle condition variable.
 const idleSpinLimit = 16
 
+// parkShards is how many park/wake shards the idle machinery spreads
+// workers across (a power of two). A producer with a wake to hand out scans
+// shards starting at its own, so it wakes a nearby worker and never
+// broadcasts; shard count bounds the scan.
+const parkShards = 8
+
 // item is one queued tuple delivery.
 type item struct {
+	port int
+	t    *spl.Tuple
+}
+
+// ditem is one deque-queued tuple delivery. Worker deques are per worker,
+// not per operator, so the destination node rides along.
+type ditem struct {
+	node graph.NodeID
 	port int
 	t    *spl.Tuple
 }
@@ -65,6 +88,15 @@ type Options struct {
 	MaxThreads int
 	// QueueCapacity is the per-queue capacity, a power of two (default 1024).
 	QueueCapacity int
+	// DisableWorkStealing turns off per-worker deques and emit affinity,
+	// routing every dynamic delivery through the shared MPMC queues. The
+	// zero value (stealing on) is the production configuration; the flag
+	// exists for A/B benchmarks and diagnosis.
+	DisableWorkStealing bool
+	// LocalQueueCapacity is the per-worker deque capacity, a power of two
+	// (default 256). A full deque overflows to the shared queue, so a small
+	// capacity only shifts traffic, never drops it.
+	LocalQueueCapacity int
 	// AdaptPeriod is how long Observe measures (default 100ms; the paper
 	// uses 5s, which is far longer than needed for synthetic workloads).
 	AdaptPeriod time.Duration
@@ -101,6 +133,9 @@ func (o *Options) setDefaults() {
 	}
 	if o.QueueCapacity == 0 {
 		o.QueueCapacity = 1024
+	}
+	if o.LocalQueueCapacity == 0 {
+		o.LocalQueueCapacity = 256
 	}
 	if o.AdaptPeriod == 0 {
 		o.AdaptPeriod = 100 * time.Millisecond
@@ -150,14 +185,26 @@ type Engine struct {
 	parked   int
 	loops    int
 
-	// Idle-worker parking. Producers consult waiters after every enqueue
-	// and hand out wake tokens (idleWakes, guarded by idleMu); workers with
-	// nothing to scan park on idleCond instead of sleep-polling, so an idle
-	// pool costs no CPU and wakes within a scheduler hop of a push.
-	idleMu    sync.Mutex
-	idleCond  *sync.Cond
-	idleWakes int
-	waiters   atomic.Int32
+	// Idle-worker parking, sharded so a wake never takes a global lock and
+	// never broadcasts. Producers consult waiters (the global count, a
+	// single atomic load when nobody is parked) after every enqueue and hand
+	// a wake token to one shard near their own; workers with nothing to scan
+	// park on their shard's condition variable instead of sleep-polling, so
+	// an idle pool costs no CPU and wakes within a scheduler hop of a push.
+	shards  [parkShards]parkShard
+	waiters atomic.Int32
+
+	// Work stealing. allSlots is append-only and indexed by worker id, so a
+	// worker re-created after a pool shrink reuses its deque and keeps its
+	// cumulative counters; slots snapshots the live prefix for stealers and
+	// idle rescans. srcStats has one counter group per source loop and
+	// extStats covers everything else that emits (reconfiguration drains,
+	// tests); per-party groups keep hot-path increments contention-free.
+	stealing bool
+	allSlots []*wslot // guarded by reconfigMu
+	slots    atomic.Pointer[[]*wslot]
+	srcStats []metrics.SchedCounters
+	extStats metrics.SchedCounters
 
 	reconfigMu sync.Mutex // serializes ApplyPlacement/SetThreadCount
 
@@ -169,10 +216,38 @@ type Engine struct {
 	start   time.Time
 }
 
+// parkShard is one slice of the idle-parking machinery.
+type parkShard struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	wakes   int          // outstanding wake tokens, guarded by mu
+	waiters atomic.Int32 // workers parked or about to park here
+}
+
+// wslot is the per-worker scheduling state that outlives the worker
+// goroutine: its deque and its counters survive pool shrinks so a regrown
+// pool resumes where it left off and counters stay cumulative.
+type wslot struct {
+	deq   *queue.WSDeque[ditem]
+	stats metrics.SchedCounters
+}
+
 // worker is one scheduler goroutine.
 type worker struct {
 	id   int
 	quit chan struct{}
+	slot *wslot
+	rng  uint64 // xorshift64 state for randomized victim selection
+}
+
+// nextRand advances the worker's private xorshift64 generator.
+func (w *worker) nextRand() uint64 {
+	x := w.rng
+	x ^= x << 13
+	x ^= x >> 7
+	x ^= x << 17
+	w.rng = x
+	return x
 }
 
 // New validates the graph (finalized, every node has an operator, sources
@@ -186,6 +261,9 @@ func New(g *graph.Graph, opts Options) (*Engine, error) {
 	if opts.QueueCapacity < 2 || opts.QueueCapacity&(opts.QueueCapacity-1) != 0 {
 		return nil, fmt.Errorf("exec: queue capacity %d is not a power of two", opts.QueueCapacity)
 	}
+	if opts.LocalQueueCapacity < 2 || opts.LocalQueueCapacity&(opts.LocalQueueCapacity-1) != 0 {
+		return nil, fmt.Errorf("exec: local queue capacity %d is not a power of two", opts.LocalQueueCapacity)
+	}
 	n := g.NumNodes()
 	e := &Engine{
 		g:         g,
@@ -197,9 +275,14 @@ func New(g *graph.Graph, opts Options) (*Engine, error) {
 		statefulM: make([]*sync.Mutex, n),
 		meter:     metrics.NewMeter(time.Now()),
 		profiler:  metrics.NewProfiler(n),
+		stealing:  !opts.DisableWorkStealing,
+		srcStats:  make([]metrics.SchedCounters, len(g.Sources())),
 	}
 	e.cond = sync.NewCond(&e.mu)
-	e.idleCond = sync.NewCond(&e.idleMu)
+	for i := range e.shards {
+		e.shards[i].cond = sync.NewCond(&e.shards[i].mu)
+	}
+	e.slots.Store(&[]*wslot{})
 	e.reconfigTS = e.profiler.Register()
 	for i := 0; i < n; i++ {
 		nd := g.Node(graph.NodeID(i))
@@ -287,9 +370,9 @@ func (e *Engine) Start(ctx context.Context) error {
 
 	e.meter.Reset(time.Now())
 	e.profiler.Start(ctx, e.opts.ProfilePeriod)
-	for _, s := range e.g.Sources() {
+	for i, s := range e.g.Sources() {
 		e.wg.Add(1)
-		go e.sourceLoop(s)
+		go e.sourceLoop(i, s)
 	}
 	e.reconfigMu.Lock()
 	defer e.reconfigMu.Unlock()
@@ -370,35 +453,65 @@ func (e *Engine) resumeAll() {
 }
 
 // wakeWorkers hands out up to n idle-wake tokens, capped by the number of
-// currently parked workers. Producers call it after every enqueue; with no
-// parked workers it is a single atomic load.
+// currently parked workers. With no parked workers it is a single atomic
+// load.
 func (e *Engine) wakeWorkers(n int) {
-	w := int(e.waiters.Load())
-	if w == 0 {
+	e.wake(n, 0, &e.extStats)
+}
+
+// wake grants up to n wake tokens to parked workers, scanning shards from
+// origin so the woken worker is a nearby one (same shard as the producer
+// when possible) and at most the requested number of workers stir — never a
+// broadcast. Producers call it after every enqueue.
+//
+// No wakeup is lost: a parking worker increments its shard's waiter count,
+// then the global count, then rescans every queue and deque before
+// sleeping; a producer enqueues before loading the global count. If the
+// producer reads 0 here, the worker's rescan is ordered after the enqueue
+// and finds the work. If it reads >0, the worker's shard count was
+// incremented even earlier, so the shard scan below finds the shard, and
+// the token — granted under the shard lock the worker must take to sleep —
+// cannot slip past it.
+func (e *Engine) wake(n, origin int, stats *metrics.SchedCounters) {
+	if e.waiters.Load() == 0 {
 		return
 	}
-	if n > w {
-		n = w
+	granted := 0
+	for i := 0; i < parkShards && granted < n; i++ {
+		sh := &e.shards[(origin+i)&(parkShards-1)]
+		w := int(sh.waiters.Load())
+		if w == 0 {
+			continue
+		}
+		give := n - granted
+		if give > w {
+			give = w
+		}
+		sh.mu.Lock()
+		sh.wakes += give
+		if give == 1 {
+			sh.cond.Signal()
+		} else {
+			sh.cond.Broadcast()
+		}
+		sh.mu.Unlock()
+		granted += give
 	}
-	// Signal under idleMu: a worker between its condition check and Wait
-	// holds the lock, so a wake issued here cannot slip past it.
-	e.idleMu.Lock()
-	e.idleWakes += n
-	if n == 1 {
-		e.idleCond.Signal()
-	} else {
-		e.idleCond.Broadcast()
+	if granted > 0 {
+		stats.Wakes.Add(uint64(granted))
 	}
-	e.idleMu.Unlock()
 }
 
 // wakeAllIdle wakes every idle-parked worker without issuing wake tokens;
 // used by shutdown, pause, and pool-shrink paths whose wake conditions the
 // workers re-check themselves.
 func (e *Engine) wakeAllIdle() {
-	e.idleMu.Lock()
-	e.idleCond.Broadcast()
-	e.idleMu.Unlock()
+	for i := range e.shards {
+		sh := &e.shards[i]
+		sh.mu.Lock()
+		sh.cond.Broadcast()
+		sh.mu.Unlock()
+	}
 }
 
 // chanClosed reports whether the close-only channel ch has been closed.
@@ -411,35 +524,63 @@ func chanClosed(ch chan struct{}) bool {
 	}
 }
 
-// parkIdle blocks the worker until a producer hands it a wake token or the
-// engine needs it elsewhere (pause, shutdown, pool shrink). Parked workers
-// cost no CPU, and a push wakes one within a scheduler hop — well under the
-// 50µs floor of the sleep-poll this replaces.
-func (e *Engine) parkIdle(w *worker, cfg *engineConfig) {
+// parkIdle blocks the worker until a producer hands its shard a wake token
+// or the engine needs the worker elsewhere (pause, shutdown, pool shrink).
+// Parked workers cost no CPU, and a push wakes one within a scheduler hop —
+// well under the 50µs floor of the sleep-poll this replaces.
+func (e *Engine) parkIdle(w *worker) {
+	sh := &e.shards[w.id&(parkShards-1)]
+	sh.waiters.Add(1)
 	e.waiters.Add(1)
-	// Rescan after publishing the waiter count: a producer that enqueued
-	// before observing the waiter skipped its wake, so the push must be
-	// found here. (Producers enqueue before loading waiters; workers
-	// publish the waiter before scanning — one side always sees the other.)
+	// Rescan after publishing the waiter counts: a producer that enqueued
+	// before observing a waiter skipped its wake, so the push must be found
+	// here. (Producers enqueue before loading waiters; workers publish the
+	// waiter before scanning — one side always sees the other.) The scan
+	// reloads the engine config rather than trusting the loop's snapshot — a
+	// reconfiguration may have added queues since — and covers the other
+	// workers' deques, whose owners may have pushed right before parking
+	// themselves.
+	work := false
+	cfg := e.cfg.Load()
 	for _, nid := range cfg.queueList {
 		if cfg.queues[nid].Len() > 0 {
-			e.waiters.Add(-1)
-			return
+			work = true
+			break
 		}
 	}
-	e.idleMu.Lock()
-	for e.idleWakes == 0 && !e.stop.Load() && !e.pauseReq.Load() && !chanClosed(w.quit) {
-		e.idleCond.Wait()
+	if !work {
+		for _, s := range *e.slots.Load() {
+			if s != w.slot && !s.deq.Empty() {
+				work = true
+				break
+			}
+		}
 	}
-	if e.idleWakes > 0 {
-		e.idleWakes--
+	if work {
+		e.waiters.Add(-1)
+		sh.waiters.Add(-1)
+		return
 	}
-	e.idleMu.Unlock()
+	w.slot.stats.Parks.Add(1)
+	sh.mu.Lock()
+	for sh.wakes == 0 && !e.stop.Load() && !e.pauseReq.Load() && !chanClosed(w.quit) {
+		sh.cond.Wait()
+	}
+	if sh.wakes > 0 {
+		sh.wakes--
+	}
+	sh.mu.Unlock()
+	// Decrement global before shard: wake only scans shards while the
+	// global count is nonzero, and this order keeps a shard's count nonzero
+	// for the whole window in which the global count says someone is parked.
 	e.waiters.Add(-1)
+	sh.waiters.Add(-1)
 }
 
-// sourceLoop drives one source operator on its own goroutine.
-func (e *Engine) sourceLoop(id graph.NodeID) {
+// sourceLoop drives one source operator on its own goroutine. idx is the
+// source's position in g.Sources(), which indexes its private counter
+// group and spreads sources across the wake shards.
+func (e *Engine) sourceLoop(idx int, id graph.NodeID) {
 	defer e.wg.Done()
 	e.enterLoop()
 	defer e.exitLoop()
@@ -448,7 +589,10 @@ func (e *Engine) sourceLoop(id graph.NodeID) {
 	src := e.g.Node(id).Op.(spl.Source)
 	_, exempt := e.g.Node(id).Op.(spl.DrainExempt)
 	draining := func() bool { return e.drain.Load() && !exempt }
-	em := &emitter{e: e, ts: ts, node: id}
+	em := e.newEmitter(ts)
+	em.node = id
+	em.stats = &e.srcStats[idx]
+	em.origin = idx
 	for !e.stop.Load() && !draining() {
 		e.maybePark()
 		if e.stop.Load() || draining() {
@@ -465,19 +609,27 @@ func (e *Engine) sourceLoop(id graph.NodeID) {
 	}
 }
 
-// workerLoop is one scheduler thread: it scans the scheduler queues for
-// work and drains up to workerBatch tuples from the first non-empty queue
-// it finds, executing the owning operator for each. The scan starts from a
-// rotating position so workers spread across queues. A worker that finds
-// nothing yields for a few scans and then parks until a producer wakes it.
+// workerLoop is one scheduler thread. Work is found in steal-loop order:
+// the worker drains its own deque first (LIFO, batched), then steals half a
+// victim's deque (victim scan starts at a random worker), then falls back
+// to the shared scheduler queues, draining up to workerBatch tuples from
+// the first non-empty one (the scan starts from a rotating position so
+// workers spread across queues). A worker that finds nothing anywhere
+// yields for a few scans and then parks until a producer wakes it.
 func (e *Engine) workerLoop(w *worker) {
 	defer e.wg.Done()
 	e.enterLoop()
 	defer e.exitLoop()
 	ts := e.profiler.Register()
 	defer e.profiler.Release(ts)
-	em := &emitter{e: e, ts: ts}
+	em := e.newEmitter(ts)
+	em.stats = &w.slot.stats
+	em.origin = w.id
+	if e.stealing {
+		em.local = w.slot.deq
+	}
 	batch := make([]item, workerBatch)
+	dbatch := make([]ditem, workerBatch)
 	rot := w.id
 	idle := 0
 	for {
@@ -485,20 +637,38 @@ func (e *Engine) workerLoop(w *worker) {
 			return
 		}
 		if chanClosed(w.quit) {
+			// The pool shrank under us: conserve in-flight work by running
+			// the deque dry before retiring (the slot may be re-adopted by a
+			// future worker, but nothing refills it until then).
+			e.flushLocal(em, w.slot)
 			return
 		}
 		e.maybePark()
 		cfg := e.cfg.Load()
 		em.cfg = cfg
-		n := len(cfg.queueList)
 		worked := false
-		for i := 0; i < n; i++ {
-			nid := cfg.queueList[(rot+i)%n]
-			if k := cfg.queues[nid].TryPopN(batch); k > 0 {
-				rot = (rot + i) % n
-				e.executeBatch(em, nid, batch[:k])
+		if e.stealing {
+			if k := w.slot.deq.PopBottomN(dbatch); k > 0 {
+				w.slot.stats.LocalPops.Add(uint64(k))
+				e.executeDBatch(em, batch, dbatch[:k])
 				worked = true
-				break
+			} else if k := e.trySteal(w, dbatch); k > 0 {
+				w.slot.stats.Steals.Add(1)
+				w.slot.stats.StolenTuples.Add(uint64(k))
+				e.executeDBatch(em, batch, dbatch[:k])
+				worked = true
+			}
+		}
+		if !worked {
+			n := len(cfg.queueList)
+			for i := 0; i < n; i++ {
+				nid := cfg.queueList[(rot+i)%n]
+				if k := cfg.queues[nid].TryPopN(batch); k > 0 {
+					rot = (rot + i) % n
+					e.executeBatch(em, nid, batch[:k])
+					worked = true
+					break
+				}
 			}
 		}
 		if worked {
@@ -511,7 +681,69 @@ func (e *Engine) workerLoop(w *worker) {
 			runtime.Gosched()
 			continue
 		}
-		e.parkIdle(w, cfg)
+		e.parkIdle(w)
+	}
+}
+
+// trySteal scans the other live workers' deques from a random starting
+// victim and takes half the first non-empty one, copying up to len(out)
+// items into out. It returns how many were stolen.
+func (e *Engine) trySteal(w *worker, out []ditem) int {
+	slots := *e.slots.Load()
+	n := len(slots)
+	if n <= 1 {
+		return 0
+	}
+	off := int(w.nextRand() % uint64(n))
+	for i := 0; i < n; i++ {
+		v := slots[(off+i)%n]
+		if v == w.slot {
+			continue
+		}
+		if k := v.deq.StealHalf(out); k > 0 {
+			return k
+		}
+	}
+	return 0
+}
+
+// flushLocal empties a retiring worker's deque by executing the tuples
+// inline. The emitter's affinity is switched off first so re-emissions land
+// in the shared queues (or inline) rather than back in the deque being
+// drained.
+func (e *Engine) flushLocal(em *emitter, slot *wslot) {
+	if em.local == nil {
+		return
+	}
+	em.local = nil
+	em.cfg = e.cfg.Load()
+	for {
+		it, ok := slot.deq.PopBottom()
+		if !ok {
+			return
+		}
+		slot.stats.LocalPops.Add(1)
+		e.execute(em, it.node, it.port, it.t)
+	}
+}
+
+// executeDBatch runs a deque batch, grouping runs of consecutive
+// same-operator items into executeBatch calls so the profiler transition
+// and the sink meter amortize exactly as on the shared-queue path. scratch
+// must be at least len(items) long.
+func (e *Engine) executeDBatch(em *emitter, scratch []item, items []ditem) {
+	i := 0
+	for i < len(items) {
+		node := items[i].node
+		j := i + 1
+		for j < len(items) && items[j].node == node {
+			j++
+		}
+		for k := i; k < j; k++ {
+			scratch[k-i] = item{port: items[k].port, t: items[k].t}
+		}
+		e.executeBatch(em, node, scratch[:j-i])
+		i = j
 	}
 }
 
@@ -618,16 +850,28 @@ func (e *Engine) process(em *emitter, nd *graph.Node, node graph.NodeID, port in
 // inj returns the configured fault injector (nil for production engines).
 func (e *Engine) inj() *fault.Injector { return e.opts.Fault }
 
-// emitter routes an operator's output tuples: queued (with a pooled tuple
-// copy) for dynamic consumers, inline execution for manual ones. One
-// emitter is allocated per dispatch loop and reused for every dispatch; its
-// cfg is refreshed at each loop iteration and its node tracks the operator
-// currently executing on the loop's goroutine.
+// emitter routes an operator's output tuples: deque-pushed (emit affinity)
+// or queued for dynamic consumers — both with a pooled tuple copy — and
+// inline execution for manual ones. One emitter is allocated per dispatch
+// loop and reused for every dispatch; its cfg is refreshed at each loop
+// iteration and its node tracks the operator currently executing on the
+// loop's goroutine. local is the owning worker's deque (nil off the worker
+// pool or when stealing is disabled), stats the loop's private counter
+// group, and origin the wake shard producers near this loop should prefer.
 type emitter struct {
-	e    *Engine
-	cfg  *engineConfig
-	ts   *metrics.ThreadState
-	node graph.NodeID
+	e      *Engine
+	cfg    *engineConfig
+	ts     *metrics.ThreadState
+	node   graph.NodeID
+	local  *queue.WSDeque[ditem]
+	stats  *metrics.SchedCounters
+	origin int
+}
+
+// newEmitter returns a dispatch-loop emitter with counters defaulted to the
+// engine's catch-all group; loops with a private group override stats.
+func (e *Engine) newEmitter(ts *metrics.ThreadState) *emitter {
+	return &emitter{e: e, ts: ts, stats: &e.extStats}
 }
 
 var _ spl.Emitter = (*emitter)(nil)
@@ -661,17 +905,35 @@ func (em *emitter) Emit(port int, t *spl.Tuple) {
 	}
 }
 
-// deliver hands a tuple to node. Under the dynamic model it reserves a
-// queue cell first and clones the tuple only once the enqueue is known to
-// succeed (the clone is the paper's copy overhead), then recycles the
-// original when it owns it. Under the manual model it executes the operator
-// inline. owned reports whether the callee may consume t; when false (a
-// fan-out edge before the last) the tuple is cloned for any consuming path.
-// deliver reports whether it executed operators inline on the calling
-// goroutine.
+// deliver hands a tuple to node. Under the dynamic model a worker pushes a
+// clone onto its own deque (emit affinity: no shared-queue CAS, and the
+// worker runs the tuple next while it is cache-hot); everyone else — and a
+// worker whose deque is full — reserves a shared-queue cell first and
+// clones the tuple only once the enqueue is known to succeed (the clone is
+// the paper's copy overhead either way), then recycles the original when it
+// owns it. Under the manual model it executes the operator inline. owned
+// reports whether the callee may consume t; when false (a fan-out edge
+// before the last) the tuple is cloned for any consuming path. deliver
+// reports whether it executed operators inline on the calling goroutine.
 func (e *Engine) deliver(em *emitter, node graph.NodeID, port int, t *spl.Tuple, owned bool) bool {
 	cfg := em.cfg
 	if cfg.placement[node] {
+		if d := em.local; d != nil && !d.Full() {
+			c := t.Clone()
+			if d.PushBottom(ditem{node: node, port: port, t: c}) {
+				if owned {
+					t.Release()
+				}
+				em.stats.LocalPushes.Add(1)
+				e.wake(1, em.origin, em.stats)
+				return false
+			}
+			// Unreachable in practice — only thieves move top, so a deque
+			// the owner saw non-full cannot fill — but if it ever happens
+			// the clone goes back to the pool and the shared path takes
+			// over.
+			c.Release()
+		}
 		q := cfg.queues[node]
 		for spins := 0; ; spins++ {
 			if s, ok := q.TryReservePush(); ok {
@@ -679,7 +941,12 @@ func (e *Engine) deliver(em *emitter, node graph.NodeID, port int, t *spl.Tuple,
 				if owned {
 					t.Release()
 				}
-				e.wakeWorkers(1)
+				if em.local != nil {
+					em.stats.Overflows.Add(1)
+				} else {
+					em.stats.Injected.Add(1)
+				}
+				e.wake(1, em.origin, em.stats)
 				return false
 			}
 			if e.stop.Load() {

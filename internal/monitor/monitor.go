@@ -32,6 +32,9 @@ type Status struct {
 	// Streams lists the PE's cross-PE stream endpoints' transport counters;
 	// empty for single-PE runtimes.
 	Streams []StreamStatus `json:"streams,omitempty"`
+	// Sched is the engine's work-stealing scheduler counter snapshot; nil
+	// for substrates without one.
+	Sched *metrics.SchedSnapshot `json:"sched,omitempty"`
 }
 
 // StreamStatus is one cross-PE stream endpoint's transport counters as seen

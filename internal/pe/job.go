@@ -11,6 +11,7 @@ import (
 	"streamelastic/internal/exec"
 	"streamelastic/internal/fault"
 	"streamelastic/internal/graph"
+	"streamelastic/internal/metrics"
 	"streamelastic/internal/monitor"
 )
 
@@ -303,6 +304,16 @@ func (j *Job) StreamStats() []StreamStats {
 			}
 		}
 		out = append(out, st)
+	}
+	return out
+}
+
+// SchedStats returns every PE engine's work-stealing scheduler counters, in
+// PE order. Safe to call while the job runs.
+func (j *Job) SchedStats() []metrics.SchedSnapshot {
+	out := make([]metrics.SchedSnapshot, 0, len(j.PEs))
+	for _, rt := range j.PEs {
+		out = append(out, rt.Eng.SchedStats())
 	}
 	return out
 }

@@ -1,0 +1,189 @@
+package queue
+
+import (
+	"fmt"
+	"runtime"
+	"sync/atomic"
+)
+
+// WSDeque is the bounded work-stealing deque the engine places under each
+// scheduler worker. The owner pushes and pops at the bottom (LIFO, so the
+// worker runs its own most recent emission next — depth-first execution that
+// keeps the tuple it just produced cache-hot and bounds deque growth to the
+// pipeline depth), while thieves remove half the deque from the top, taking
+// the oldest work first.
+//
+// The implementation is a finely-locked ring: a single word-sized spinlock
+// serializes every mutation. A classic lock-free Chase-Lev deque reads the
+// stolen cell before its CAS on top publishes the claim, which is a data
+// race on the cell under the Go memory model once the owner wraps the ring —
+// correct on real hardware but permanently red under the race detector this
+// repo gates on. The lock sidesteps that while costing one uncontended
+// CAS+store pair per operation: thieves only arrive when their own deque ran
+// dry, so in the steady state the lock has exactly one customer — the owner —
+// and batch operations (PopBottomN, StealHalf) amortize it further.
+//
+// Ownership protocol: values pushed here are owned exclusively by the deque,
+// exactly as with the MPMC scheduler queues; PopBottomN and StealHalf
+// transfer that exclusive ownership to the caller. Cells are zeroed on
+// removal so the ring never pins pooled tuples.
+//
+// The cursors are atomics written only while holding the lock, so Len,
+// Empty, and Full may read them locklessly; see Full for why the owner may
+// trust its racy answer.
+type WSDeque[T any] struct {
+	lock atomic.Uint32
+	top  atomic.Uint64 // oldest element; thieves advance it
+	bot  atomic.Uint64 // next push slot; only the owner moves it
+	mask uint64
+	buf  []T
+}
+
+// NewWSDeque returns a deque with the given capacity, which must be a power
+// of two and at least 2.
+func NewWSDeque[T any](capacity int) (*WSDeque[T], error) {
+	if capacity < 2 || capacity&(capacity-1) != 0 {
+		return nil, fmt.Errorf("wsdeque capacity %d is not a power of two >= 2", capacity)
+	}
+	return &WSDeque[T]{
+		mask: uint64(capacity - 1),
+		buf:  make([]T, capacity),
+	}, nil
+}
+
+// acquire spins for the deque lock. Critical sections are a handful of
+// loads and stores, so the lock is almost always free on the first CAS; the
+// Gosched backoff only matters when the holder was preempted mid-section.
+func (d *WSDeque[T]) acquire() {
+	spins := 0
+	for !d.lock.CompareAndSwap(0, 1) {
+		spins++
+		if spins%64 == 0 {
+			runtime.Gosched()
+		}
+	}
+}
+
+func (d *WSDeque[T]) release() {
+	d.lock.Store(0)
+}
+
+// PushBottom appends v at the owner end, reporting false when the deque is
+// full. Only the deque's owner may call it.
+func (d *WSDeque[T]) PushBottom(v T) bool {
+	d.acquire()
+	b, t := d.bot.Load(), d.top.Load()
+	if b-t > d.mask {
+		d.release()
+		return false
+	}
+	d.buf[b&d.mask] = v
+	d.bot.Store(b + 1)
+	d.release()
+	return true
+}
+
+// PopBottom removes and returns the most recently pushed value, reporting
+// false when the deque is empty. Only the owner may call it.
+func (d *WSDeque[T]) PopBottom() (T, bool) {
+	var zero T
+	d.acquire()
+	b, t := d.bot.Load(), d.top.Load()
+	if b == t {
+		d.release()
+		return zero, false
+	}
+	b--
+	v := d.buf[b&d.mask]
+	d.buf[b&d.mask] = zero
+	d.bot.Store(b)
+	d.release()
+	return v, true
+}
+
+// PopBottomN removes up to len(out) values from the owner end, newest
+// first, and returns how many were removed. Only the owner may call it.
+// Batching amortizes the lock acquisition across a whole drain.
+func (d *WSDeque[T]) PopBottomN(out []T) int {
+	var zero T
+	if len(out) == 0 {
+		return 0
+	}
+	d.acquire()
+	b, t := d.bot.Load(), d.top.Load()
+	n := b - t
+	if n == 0 {
+		d.release()
+		return 0
+	}
+	if n > uint64(len(out)) {
+		n = uint64(len(out))
+	}
+	for i := uint64(0); i < n; i++ {
+		b--
+		out[i] = d.buf[b&d.mask]
+		d.buf[b&d.mask] = zero
+	}
+	d.bot.Store(b)
+	d.release()
+	return int(n)
+}
+
+// StealHalf removes ceil(size/2) values from the top (the oldest work),
+// capped at len(out), copies them into out in oldest-first order, and
+// returns how many were stolen. Any goroutine may call it. Taking half per
+// steal, rather than one item, balances load in O(log n) steals and keeps
+// thieves off the lock.
+func (d *WSDeque[T]) StealHalf(out []T) int {
+	var zero T
+	if len(out) == 0 {
+		return 0
+	}
+	d.acquire()
+	b, t := d.bot.Load(), d.top.Load()
+	size := b - t
+	if size == 0 {
+		d.release()
+		return 0
+	}
+	n := (size + 1) / 2
+	if n > uint64(len(out)) {
+		n = uint64(len(out))
+	}
+	for i := uint64(0); i < n; i++ {
+		out[i] = d.buf[(t+i)&d.mask]
+		d.buf[(t+i)&d.mask] = zero
+	}
+	d.top.Store(t + n)
+	d.release()
+	return int(n)
+}
+
+// Len returns an instantaneous estimate of the number of queued values.
+func (d *WSDeque[T]) Len() int {
+	t := d.top.Load()
+	b := d.bot.Load()
+	if b < t {
+		return 0
+	}
+	n := int(b - t)
+	if n > len(d.buf) {
+		n = len(d.buf)
+	}
+	return n
+}
+
+// Cap returns the deque capacity.
+func (d *WSDeque[T]) Cap() int { return len(d.buf) }
+
+// Empty reports whether the deque looks empty right now.
+func (d *WSDeque[T]) Empty() bool { return d.Len() == 0 }
+
+// Full reports whether the deque looks full. For the owner the answer is
+// conservative without the lock: bot only moves under the owner's own hand
+// and top only advances (thieves shrink the deque), so a stale read can
+// claim full when space just appeared — never the reverse. The engine uses
+// this to take the overflow path without locking first.
+func (d *WSDeque[T]) Full() bool {
+	return d.bot.Load()-d.top.Load() > d.mask
+}

@@ -1,0 +1,359 @@
+package queue
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestWSDequeCapacityValidation(t *testing.T) {
+	for _, c := range []int{-1, 0, 1, 3, 6, 100} {
+		if _, err := NewWSDeque[int](c); err == nil {
+			t.Fatalf("capacity %d accepted", c)
+		}
+	}
+	for _, c := range []int{2, 4, 256, 1 << 16} {
+		d, err := NewWSDeque[int](c)
+		if err != nil {
+			t.Fatalf("capacity %d rejected: %v", c, err)
+		}
+		if d.Cap() != c {
+			t.Fatalf("Cap() = %d, want %d", d.Cap(), c)
+		}
+	}
+}
+
+func TestWSDequeOwnerLIFO(t *testing.T) {
+	d, err := NewWSDeque[int](8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := d.PopBottom(); ok {
+		t.Fatal("pop from empty deque succeeded")
+	}
+	for i := 0; i < 8; i++ {
+		if !d.PushBottom(i) {
+			t.Fatalf("push %d failed below capacity", i)
+		}
+	}
+	if d.PushBottom(99) {
+		t.Fatal("push into full deque succeeded")
+	}
+	if !d.Full() || d.Len() != 8 {
+		t.Fatalf("full deque reports Full=%v Len=%d", d.Full(), d.Len())
+	}
+	for i := 7; i >= 0; i-- {
+		v, ok := d.PopBottom()
+		if !ok || v != i {
+			t.Fatalf("pop = %d,%v, want %d (LIFO)", v, ok, i)
+		}
+	}
+	if !d.Empty() {
+		t.Fatal("deque not empty after popping everything")
+	}
+}
+
+func TestWSDequePopBottomNNewestFirst(t *testing.T) {
+	d, _ := NewWSDeque[int](16)
+	for i := 0; i < 5; i++ {
+		d.PushBottom(i)
+	}
+	out := make([]int, 3)
+	if k := d.PopBottomN(out); k != 3 {
+		t.Fatalf("PopBottomN = %d, want 3", k)
+	}
+	for i, want := range []int{4, 3, 2} {
+		if out[i] != want {
+			t.Fatalf("out[%d] = %d, want %d", i, out[i], want)
+		}
+	}
+	if k := d.PopBottomN(out); k != 2 {
+		t.Fatalf("PopBottomN on remainder = %d, want 2", k)
+	}
+	if k := d.PopBottomN(out); k != 0 {
+		t.Fatalf("PopBottomN on empty = %d, want 0", k)
+	}
+	if k := d.PopBottomN(nil); k != 0 {
+		t.Fatalf("PopBottomN(nil) = %d, want 0", k)
+	}
+}
+
+// TestWSDequeStealHalf pins down the steal-half contract: ceil(size/2)
+// values, oldest first, capped by the output buffer.
+func TestWSDequeStealHalf(t *testing.T) {
+	out := make([]int, 16)
+	for _, tc := range []struct {
+		size, outCap, want int
+	}{
+		{0, 16, 0},
+		{1, 16, 1}, // a lone item is stealable: ceil(1/2) = 1
+		{2, 16, 1},
+		{5, 16, 3},
+		{8, 16, 4},
+		{8, 2, 2}, // capped by the buffer
+		{8, 0, 0},
+	} {
+		d, _ := NewWSDeque[int](16)
+		for i := 0; i < tc.size; i++ {
+			d.PushBottom(i)
+		}
+		k := d.StealHalf(out[:tc.outCap])
+		if k != tc.want {
+			t.Fatalf("size=%d outCap=%d: stole %d, want %d", tc.size, tc.outCap, k, tc.want)
+		}
+		for i := 0; i < k; i++ {
+			if out[i] != i {
+				t.Fatalf("size=%d: out[%d] = %d, want %d (oldest first)", tc.size, i, out[i], i)
+			}
+		}
+		if d.Len() != tc.size-k {
+			t.Fatalf("size=%d: Len after steal = %d, want %d", tc.size, d.Len(), tc.size-k)
+		}
+	}
+}
+
+// TestWSDequeWrapAround pushes and pops across the ring boundary many times
+// so cursor arithmetic past the first lap is exercised.
+func TestWSDequeWrapAround(t *testing.T) {
+	d, _ := NewWSDeque[int](4)
+	next, expect := 0, 0
+	out := make([]int, 4)
+	for round := 0; round < 100; round++ {
+		for d.PushBottom(next) {
+			next++
+		}
+		// Steal the old half, pop the new half: together they must account
+		// for every pushed value exactly once.
+		k := d.StealHalf(out)
+		for i := 0; i < k; i++ {
+			if out[i] != expect {
+				t.Fatalf("round %d: stole %d, want %d", round, out[i], expect)
+			}
+			expect++
+		}
+		for {
+			if _, ok := d.PopBottom(); !ok {
+				break
+			}
+		}
+		expect = next // popped the rest in LIFO order; resync
+	}
+}
+
+// TestWSDequeConservationUnderConcurrentSteals is the no-loss/no-dup
+// property test: one owner pushes N unique values (popping some itself)
+// while several thieves steal halves concurrently. Every value must be seen
+// exactly once across all parties.
+func TestWSDequeConservationUnderConcurrentSteals(t *testing.T) {
+	const (
+		total    = 200000
+		thieves  = 4
+		capacity = 256
+	)
+	d, err := NewWSDeque[uint64](capacity)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var mu sync.Mutex
+	seen := make(map[uint64]int, total)
+	record := func(vals []uint64) {
+		mu.Lock()
+		for _, v := range vals {
+			seen[v]++
+		}
+		mu.Unlock()
+	}
+
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < thieves; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			buf := make([]uint64, capacity)
+			local := make([]uint64, 0, 4096)
+			for {
+				k := d.StealHalf(buf)
+				local = append(local, buf[:k]...)
+				if len(local) > 2048 {
+					record(local)
+					local = local[:0]
+				}
+				if k == 0 {
+					select {
+					case <-done:
+						// One final sweep: the owner may have pushed between
+						// our last steal and its close of done.
+						k := d.StealHalf(buf)
+						local = append(local, buf[:k]...)
+						record(local)
+						return
+					default:
+					}
+				}
+			}
+		}()
+	}
+
+	ownerSeen := make([]uint64, 0, total)
+	for v := uint64(0); v < total; {
+		if d.PushBottom(v) {
+			v++
+		} else if got, ok := d.PopBottom(); ok {
+			ownerSeen = append(ownerSeen, got)
+		}
+		// Every few pushes the owner takes work back itself, interleaving
+		// owner pops with the concurrent steals.
+		if v%7 == 0 {
+			if got, ok := d.PopBottom(); ok {
+				ownerSeen = append(ownerSeen, got)
+			}
+		}
+	}
+	for {
+		got, ok := d.PopBottom()
+		if !ok {
+			break
+		}
+		ownerSeen = append(ownerSeen, got)
+	}
+	close(done)
+	wg.Wait()
+	record(ownerSeen)
+
+	if len(seen) != total {
+		t.Fatalf("saw %d distinct values, want %d (lost %d)", len(seen), total, total-len(seen))
+	}
+	for v, n := range seen {
+		if n != 1 {
+			t.Fatalf("value %d seen %d times, want exactly once", v, n)
+		}
+	}
+	if d.Len() != 0 {
+		t.Fatalf("deque not empty at the end: %d left", d.Len())
+	}
+}
+
+// TestWSDequeOpsAllocFree guards the owner push/pop and steal paths with
+// the same zero-alloc bar as the engine's hot-path guards.
+func TestWSDequeOpsAllocFree(t *testing.T) {
+	d, _ := NewWSDeque[uint64](256)
+	out := make([]uint64, 64)
+	if avg := testing.AllocsPerRun(5000, func() {
+		for i := uint64(0); i < 16; i++ {
+			d.PushBottom(i)
+		}
+		d.StealHalf(out)
+		for {
+			if _, ok := d.PopBottom(); !ok {
+				break
+			}
+		}
+	}); avg > 0.01 {
+		t.Fatalf("deque push/steal/pop cycle allocates %.3f allocs/op, want 0", avg)
+	}
+}
+
+// FuzzDeque model-checks arbitrary operation sequences against a reference
+// slice deque: every push, owner pop, batched pop, and steal must agree
+// with the model on both values and counts.
+func FuzzDeque(f *testing.F) {
+	f.Add([]byte{0, 0, 0, 1, 2, 0, 3})
+	f.Add([]byte{0, 0, 0, 0, 0, 0, 0, 0, 0, 2, 2, 2})
+	f.Add([]byte{0, 1, 0, 1, 0, 1, 3, 3})
+	f.Fuzz(func(t *testing.T, ops []byte) {
+		const capacity = 16
+		d, err := NewWSDeque[uint64](capacity)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var model []uint64 // model[0] is the top (oldest), model[len-1] the bottom
+		next := uint64(1)
+		buf := make([]uint64, capacity)
+		for _, op := range ops {
+			switch op % 4 {
+			case 0: // owner push
+				ok := d.PushBottom(next)
+				wantOK := len(model) < capacity
+				if ok != wantOK {
+					t.Fatalf("push ok=%v, model wants %v (size %d)", ok, wantOK, len(model))
+				}
+				if ok {
+					model = append(model, next)
+				}
+				next++
+			case 1: // owner pop
+				v, ok := d.PopBottom()
+				if wantOK := len(model) > 0; ok != wantOK {
+					t.Fatalf("pop ok=%v, model wants %v", ok, wantOK)
+				}
+				if ok {
+					want := model[len(model)-1]
+					model = model[:len(model)-1]
+					if v != want {
+						t.Fatalf("pop = %d, model wants %d", v, want)
+					}
+				}
+			case 2: // owner batched pop
+				n := int(op/4)%capacity + 1
+				k := d.PopBottomN(buf[:n])
+				want := len(model)
+				if want > n {
+					want = n
+				}
+				if k != want {
+					t.Fatalf("PopBottomN(%d) = %d, model wants %d", n, k, want)
+				}
+				for i := 0; i < k; i++ {
+					if buf[i] != model[len(model)-1-i] {
+						t.Fatalf("PopBottomN[%d] = %d, model wants %d", i, buf[i], model[len(model)-1-i])
+					}
+				}
+				model = model[:len(model)-k]
+			case 3: // steal
+				n := int(op/4)%capacity + 1
+				k := d.StealHalf(buf[:n])
+				want := (len(model) + 1) / 2
+				if want > n {
+					want = n
+				}
+				if k != want {
+					t.Fatalf("StealHalf(%d) = %d, model wants %d (size %d)", n, k, want, len(model))
+				}
+				for i := 0; i < k; i++ {
+					if buf[i] != model[i] {
+						t.Fatalf("StealHalf[%d] = %d, model wants %d", i, buf[i], model[i])
+					}
+				}
+				model = model[k:]
+			}
+			if d.Len() != len(model) {
+				t.Fatalf("Len = %d, model has %d", d.Len(), len(model))
+			}
+		}
+	})
+}
+
+func BenchmarkWSDequePushPop(b *testing.B) {
+	d, _ := NewWSDeque[uint64](256)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.PushBottom(uint64(i))
+		d.PopBottom()
+	}
+}
+
+func BenchmarkWSDequeStealHalf(b *testing.B) {
+	d, _ := NewWSDeque[uint64](256)
+	out := make([]uint64, 128)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := uint64(0); j < 32; j++ {
+			d.PushBottom(j)
+		}
+		for d.StealHalf(out) > 0 {
+		}
+	}
+}

@@ -206,6 +206,37 @@ func hashString(s string) uint64 {
 	return h
 }
 
+// Expand emits Factor tuples per input tuple, each carrying the input's
+// attributes with a fan-out index in Num2. It models burst-amplifying
+// operators (tokenizers, joins, window flushes) and is the load generator
+// for the work-stealing scheduler tests and benchmarks: one dequeued tuple
+// turns into a burst the executing worker either keeps on its own deque or
+// has stolen from it.
+type Expand struct {
+	name   string
+	factor int
+}
+
+var _ Operator = (*Expand)(nil)
+
+// NewExpand returns an operator that emits factor output tuples per input.
+func NewExpand(name string, factor int) *Expand {
+	return &Expand{name: name, factor: factor}
+}
+
+// Name returns the operator name.
+func (x *Expand) Name() string { return x.name }
+
+// Process emits factor copies of t on port 0.
+func (x *Expand) Process(_ int, t *Tuple, out Emitter) {
+	for i := 0; i < x.factor; i++ {
+		c := AcquireTuple()
+		c.Seq, c.Time, c.Key, c.Num1 = t.Seq, t.Time, t.Key, t.Num1
+		c.Num2 = float64(i)
+		out.Emit(0, c)
+	}
+}
+
 // RoundRobinSplit distributes input tuples across its output ports in
 // round-robin order, implementing the data-parallel split of the paper's
 // benchmark graphs (Fig. 8b).

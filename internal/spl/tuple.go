@@ -10,8 +10,16 @@ package spl
 //
 // Tuples carry a fixed set of scalar attributes plus an opaque payload. The
 // payload is what makes tuple size matter to the scheduler: crossing a
-// scheduler queue deep-copies the tuple, including the payload, which is the
+// scheduler queue — the shared MPMC queues and the per-worker work-stealing
+// deques alike — deep-copies the tuple, including the payload, which is the
 // "copy overhead" the paper attributes to the dynamic threading model.
+//
+// Ownership on the dynamic path is exclusive end to end: the emitting side
+// clones the tuple into the queue or deque and releases its original, and
+// whoever removes the clone — the worker that popped it locally, a thief
+// that stole it, or a reconfiguration drain — owns it outright and must
+// execute or Release it exactly once. Deque cells are zeroed on removal so
+// a pooled tuple is never reachable from two places.
 type Tuple struct {
 	// Seq is a sequence number assigned by the producing source.
 	Seq uint64

@@ -8,6 +8,7 @@ import (
 
 	"streamelastic/internal/core"
 	"streamelastic/internal/exec"
+	"streamelastic/internal/metrics"
 	"streamelastic/internal/monitor"
 	"streamelastic/internal/pe"
 )
@@ -125,6 +126,10 @@ func (j *Job) StreamStats() []pe.StreamStats { return j.job.StreamStats() }
 // JobOptions.EnableWatchdog was set.
 func (j *Job) Health() []monitor.WatchdogStatus { return j.job.Health() }
 
+// SchedStats returns every PE engine's work-stealing scheduler counters, in
+// PE order.
+func (j *Job) SchedStats() []metrics.SchedSnapshot { return j.job.SchedStats() }
+
 // Trace returns the adaptation trace of one PE (nil when elasticity is
 // disabled or the index is out of range).
 func (j *Job) Trace(peIndex int) []TraceEvent {
@@ -149,6 +154,7 @@ func (p jobProvider) Statuses() []monitor.Status {
 	for i, s := range sts {
 		rt := p.j.job.PEs[i]
 		sup := rt.Eng.Supervision()
+		sched := rt.Eng.SchedStats()
 		st := monitor.Status{
 			Name:           fmt.Sprintf("pe%d", s.PE),
 			Operators:      s.Operators,
@@ -158,6 +164,7 @@ func (p jobProvider) Statuses() []monitor.Status {
 			SinkTuples:     s.SinkTuples,
 			OperatorPanics: rt.Eng.OperatorPanics(),
 			Quarantined:    sup.Active,
+			Sched:          &sched,
 		}
 		if i < len(health) {
 			h := health[i]

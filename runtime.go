@@ -49,6 +49,12 @@ type RuntimeOptions struct {
 	// end-to-end latency; it overwrites the Time attribute, so leave it
 	// off when operators carry application event times there.
 	TrackLatency bool
+	// DisableWorkStealing routes every dynamic delivery through the shared
+	// scheduler queues instead of per-worker deques (A/B baselines).
+	DisableWorkStealing bool
+	// LocalQueueCapacity is the per-worker deque capacity, a power of two
+	// (default 256).
+	LocalQueueCapacity int
 	// WarmStart restores a previously captured configuration: the runtime
 	// begins settled at the snapshot's placement and thread count and only
 	// re-adapts on workload change. Capture snapshots with
@@ -82,10 +88,12 @@ func NewRuntime(t *Topology, opts RuntimeOptions) (*Runtime, error) {
 		return nil, err
 	}
 	eng, err := exec.New(g, exec.Options{
-		MaxThreads:    opts.MaxThreads,
-		QueueCapacity: opts.QueueCapacity,
-		AdaptPeriod:   opts.AdaptPeriod,
-		TrackLatency:  opts.TrackLatency,
+		MaxThreads:          opts.MaxThreads,
+		QueueCapacity:       opts.QueueCapacity,
+		AdaptPeriod:         opts.AdaptPeriod,
+		TrackLatency:        opts.TrackLatency,
+		DisableWorkStealing: opts.DisableWorkStealing,
+		LocalQueueCapacity:  opts.LocalQueueCapacity,
 	})
 	if err != nil {
 		return nil, err
@@ -197,6 +205,9 @@ func (r *Runtime) Queues() int { return r.eng.Queues() }
 // means dynamic).
 func (r *Runtime) Placement() []bool { return r.eng.Placement() }
 
+// SchedStats returns the work-stealing scheduler's cumulative counters.
+func (r *Runtime) SchedStats() metrics.SchedSnapshot { return r.eng.SchedStats() }
+
 // Settled reports whether adaptation has converged.
 func (r *Runtime) Settled() bool {
 	if r.coord == nil {
@@ -218,6 +229,7 @@ type runtimeProvider struct{ r *Runtime }
 
 func (p runtimeProvider) Statuses() []monitor.Status {
 	r := p.r
+	sched := r.SchedStats()
 	return []monitor.Status{{
 		Name:       "runtime",
 		Operators:  r.eng.NumOperators(),
@@ -227,6 +239,7 @@ func (p runtimeProvider) Statuses() []monitor.Status {
 		SinkTuples: r.SinkCount(),
 		UptimeSecs: r.eng.Now().Seconds(),
 		Latency:    monitor.FromSnapshot(r.Latency()),
+		Sched:      &sched,
 	}}
 }
 
