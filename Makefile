@@ -1,7 +1,7 @@
 GO ?= go
 
 # Packages with lock-free / pooled hot-path code that must stay race-clean.
-RACE_PKGS := ./internal/exec/... ./internal/queue/... ./internal/spl/... ./internal/pe/...
+RACE_PKGS := ./internal/exec/... ./internal/queue/... ./internal/spl/... ./internal/pe/... ./internal/obs/...
 
 # Benchmark packages; bench output is benchstat-comparable (go test -json).
 BENCH_PKGS := ./internal/exec/... ./internal/queue/...
@@ -16,7 +16,12 @@ BENCH_PE_OUT := BENCH_2.json
 # microbenchmarks (push/pop and steal-half, both 0 allocs/op).
 BENCH_SCHED_OUT := BENCH_4.json
 
-.PHONY: build test race vet bench bench-pe bench-sched bench-sched-smoke fuzz fuzz-pe fuzz-deque chaos
+# Observability benchmarks: registry instrument hot paths (counter inc,
+# sharded histogram observe, flight-recorder record — all 0 allocs/op) and
+# the end-to-end sampling overhead sweep (off / 1% / every tuple).
+BENCH_OBS_OUT := BENCH_5.json
+
+.PHONY: build test race vet bench bench-pe bench-sched bench-sched-smoke bench-obs fuzz fuzz-pe fuzz-deque fuzz-obs chaos
 
 build:
 	$(GO) build ./...
@@ -55,6 +60,14 @@ bench-sched-smoke:
 	$(GO) test -run '^$$' -bench 'ContendedFanIn' -benchtime 1x -benchmem ./internal/exec/
 	$(GO) test -run '^$$' -bench 'WSDeque' -benchtime 1x -benchmem ./internal/queue/
 
+# bench-obs writes the observability overhead results (instrument
+# microbenchmarks plus the queue-crossing sampling sweep) to
+# $(BENCH_OBS_OUT); compare sampling=off against sampling=every with
+# benchstat to bound the instrumentation tax.
+bench-obs:
+	$(GO) test -json -run '^$$' -bench 'CounterInc|HistogramObserve|FlightRecord' -benchmem ./internal/obs/ > $(BENCH_OBS_OUT)
+	$(GO) test -json -run '^$$' -bench 'QueueCrossingSampling' -benchmem ./internal/exec/ >> $(BENCH_OBS_OUT)
+
 # Short deterministic pass over the MPMC batch-operation fuzz corpus.
 fuzz:
 	$(GO) test ./internal/queue/ -run '^$$' -fuzz FuzzMPMCBatchOps -fuzztime 20s
@@ -66,6 +79,10 @@ fuzz-pe:
 # Short fuzz pass over the work-stealing deque against a reference model.
 fuzz-deque:
 	$(GO) test ./internal/queue/ -run '^$$' -fuzz FuzzDeque -fuzztime 20s
+
+# Short fuzz pass over the Prometheus label-escaping round trip.
+fuzz-obs:
+	$(GO) test ./internal/obs/ -run '^$$' -fuzz FuzzPromEscape -fuzztime 20s
 
 # Seeded fault-injection suite under the race detector: connection kills,
 # frame corruption, operator panics with quarantine, watchdog freeze — all

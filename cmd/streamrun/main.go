@@ -11,6 +11,8 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"time"
 
@@ -20,6 +22,8 @@ import (
 	"streamelastic/internal/exec"
 	"streamelastic/internal/fault"
 	"streamelastic/internal/metrics"
+	"streamelastic/internal/monitor"
+	"streamelastic/internal/obs"
 	"streamelastic/internal/pe"
 	"streamelastic/internal/workload"
 )
@@ -54,6 +58,11 @@ func main() {
 		panicBudget = flag.Int("panicbudget", 0, "quarantine an operator after this many recovered panics (0 = supervision off)")
 		chaos       = flag.Bool("chaos", false, "inject deterministic faults (operator panics, connection kills) into multi-PE runs")
 		chaosSeed   = flag.Int64("chaosseed", 1, "seed for -chaos fault injection")
+
+		metricsAddr = flag.String("metrics", "", "serve /metrics (Prometheus), /statusz, /flightz, /tracez.json and /debug/pprof on this address (e.g. 127.0.0.1:8080)")
+		flightPath  = flag.String("flightrec", "", "write a flight-recorder dump to this file at exit")
+		tracePath   = flag.String("traceout", "", "write the adaptation trace as Chrome trace_event JSON to this file at exit")
+		sample      = flag.Int("sample", 0, "latency-sample every Nth queued delivery per emitting loop into per-operator histograms (0 = off)")
 	)
 	flag.Parse()
 
@@ -74,13 +83,19 @@ func main() {
 		localQ: *localq,
 		stats:  *schedStats,
 	}
+	ocfg := obsConfig{
+		metricsAddr: *metricsAddr,
+		flightPath:  *flightPath,
+		tracePath:   *tracePath,
+		sample:      *sample,
+	}
 	var err error
 	if verr := scfg.validate(); verr != nil {
 		err = verr
 	} else if *file != "" {
-		err = runFile(*file, *threads, *duration, *period, *trace, scfg)
+		err = runFile(*file, *threads, *duration, *period, *trace, scfg, ocfg)
 	} else {
-		err = run(*shape, *ops, *width, *depth, *payload, *flops, *skewed, *threads, *duration, *period, *trace, *pes, tcfg, rcfg, *streamStats, scfg)
+		err = run(*shape, *ops, *width, *depth, *payload, *flops, *skewed, *threads, *duration, *period, *trace, *pes, tcfg, rcfg, *streamStats, scfg, ocfg)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "streamrun:", err)
@@ -90,7 +105,7 @@ func main() {
 
 // runFile parses a topology description (see streamelastic.ParseTopology)
 // and runs it live with multi-level elasticity.
-func runFile(path string, maxThreads int, duration, period time.Duration, dumpTrace bool, scfg schedConfig) error {
+func runFile(path string, maxThreads int, duration, period time.Duration, dumpTrace bool, scfg schedConfig, ocfg obsConfig) error {
 	f, err := os.Open(path)
 	if err != nil {
 		return err
@@ -108,10 +123,16 @@ func runFile(path string, maxThreads int, duration, period time.Duration, dumpTr
 		Elastic:             ecfg,
 		DisableWorkStealing: !scfg.steal,
 		LocalQueueCapacity:  scfg.localQ,
+		SampleEvery:         ocfg.sample,
 	})
 	if err != nil {
 		return err
 	}
+	stopObs, err := ocfg.serve(rt.MetricsHandler())
+	if err != nil {
+		return err
+	}
+	defer stopObs()
 	if err := rt.Start(context.Background()); err != nil {
 		return err
 	}
@@ -136,7 +157,7 @@ func runFile(path string, maxThreads int, duration, period time.Duration, dumpTr
 	if scfg.stats {
 		printSched("runtime", rt.SchedStats())
 	}
-	return nil
+	return ocfg.writeArtifacts(rt.FlightRecorder(), rt.Trace())
 }
 
 // resilienceConfig bundles the self-healing flags for multi-PE runs.
@@ -145,6 +166,63 @@ type resilienceConfig struct {
 	panicBudget int
 	chaos       bool
 	chaosSeed   int64
+}
+
+// obsConfig bundles the observability flags.
+type obsConfig struct {
+	metricsAddr string // address for the HTTP observability surface; "" = off
+	flightPath  string // flight-recorder dump file at exit; "" = off
+	tracePath   string // Chrome trace_event JSON file at exit; "" = off
+	sample      int    // latency sampling gate (every Nth delivery; 0 = off)
+}
+
+// serve starts the observability HTTP server when -metrics is set,
+// returning a stop function (a no-op when off).
+func (c obsConfig) serve(h http.Handler) (func(), error) {
+	if c.metricsAddr == "" {
+		return func() {}, nil
+	}
+	ln, err := net.Listen("tcp", c.metricsAddr)
+	if err != nil {
+		return nil, fmt.Errorf("-metrics %s: %w", c.metricsAddr, err)
+	}
+	srv := &http.Server{Handler: h}
+	go func() { _ = srv.Serve(ln) }()
+	fmt.Printf("observability: http://%s (/metrics /statusz /flightz /tracez.json /debug/pprof)\n", ln.Addr())
+	return func() { _ = srv.Close() }, nil
+}
+
+// writeArtifacts writes the exit artifacts: a flight-recorder dump and a
+// Chrome trace_event JSON of the adaptation timeline.
+func (c obsConfig) writeArtifacts(rec *obs.FlightRecorder, trace []core.TraceEvent) error {
+	if c.flightPath != "" && rec != nil {
+		f, err := os.Create(c.flightPath)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(f, "=== flight-recorder dump (exit) ===\n")
+		err = rec.DumpTo(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return err
+		}
+	}
+	if c.tracePath != "" {
+		f, err := os.Create(c.tracePath)
+		if err != nil {
+			return err
+		}
+		err = core.WriteChromeTrace(f, trace)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // schedConfig bundles the work-stealing scheduler flags.
@@ -179,7 +257,7 @@ func printSched(name string, s metrics.SchedSnapshot) {
 
 func run(shape string, ops, width, depth, payload int, flops float64, skewed bool,
 	maxThreads int, duration, period time.Duration, dumpTrace bool, pes int,
-	tcfg pe.TransportConfig, rcfg resilienceConfig, streamStats bool, scfg schedConfig) error {
+	tcfg pe.TransportConfig, rcfg resilienceConfig, streamStats bool, scfg schedConfig, ocfg obsConfig) error {
 	cfg := workload.DefaultConfig()
 	cfg.PayloadBytes = payload
 	cfg.BalancedFLOPs = flops
@@ -206,10 +284,16 @@ func run(shape string, ops, width, depth, payload int, flops float64, skewed boo
 	}
 
 	if pes > 1 {
-		return runJob(b, maxThreads, duration, period, pes, tcfg, rcfg, streamStats, scfg)
+		return runJob(b, maxThreads, duration, period, pes, tcfg, rcfg, streamStats, scfg, ocfg)
 	}
 
-	eng, err := exec.New(b.Graph, scfg.execOptions(exec.Options{MaxThreads: maxThreads, AdaptPeriod: period}))
+	rec := obs.NewFlightRecorder(obs.DefaultFlightRecorderSize)
+	eng, err := exec.New(b.Graph, scfg.execOptions(exec.Options{
+		MaxThreads:  maxThreads,
+		AdaptPeriod: period,
+		SampleEvery: ocfg.sample,
+		Recorder:    rec,
+	}))
 	if err != nil {
 		return err
 	}
@@ -219,6 +303,21 @@ func run(shape string, ops, width, depth, payload int, flops float64, skewed boo
 	if err != nil {
 		return err
 	}
+	coord.SetObserver(func(ev core.TraceEvent) {
+		detail := string(ev.Phase)
+		if ev.Note != "" {
+			detail += ": " + ev.Note
+		}
+		rec.Record(obs.EvAdapt, 0, int64(ev.Threads), int64(ev.Queues), detail)
+	})
+	obs.RegisterSettled(eng.Registry(), coord.Settled)
+	stopObs, err := ocfg.serve(monitor.ObservabilityHandler(
+		engineProvider{reg: eng.Registry(), coord: coord},
+		[]*obs.Registry{eng.Registry()}, rec))
+	if err != nil {
+		return err
+	}
+	defer stopObs()
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
 	if err := eng.Start(ctx); err != nil {
@@ -266,13 +365,31 @@ loop:
 				e.Time.Seconds(), e.Throughput, e.Threads, e.Queues, e.Phase, e.Note)
 		}
 	}
-	return nil
+	return ocfg.writeArtifacts(rec, coord.Trace())
+}
+
+// engineProvider adapts the single-PE engine+coordinator pair to the
+// monitoring API.
+type engineProvider struct {
+	reg   *obs.Registry
+	coord *core.Coordinator
+}
+
+func (p engineProvider) Statuses() []monitor.Status {
+	return []monitor.Status{monitor.BuildStatus("engine", p.reg, nil)}
+}
+
+func (p engineProvider) AdaptationTrace(i int) []core.TraceEvent {
+	if i != 0 || p.coord == nil {
+		return nil
+	}
+	return p.coord.Trace()
 }
 
 // runJob executes the workload as a multi-PE job, every PE adapting
 // independently.
 func runJob(b *workload.Build, maxThreads int, duration, period time.Duration, pes int,
-	tcfg pe.TransportConfig, rcfg resilienceConfig, streamStats bool, scfg schedConfig) error {
+	tcfg pe.TransportConfig, rcfg resilienceConfig, streamStats bool, scfg schedConfig, ocfg obsConfig) error {
 	assign, err := pe.AssignContiguous(b.Graph, pes)
 	if err != nil {
 		return err
@@ -289,7 +406,7 @@ func runJob(b *workload.Build, maxThreads int, duration, period time.Duration, p
 		inj.Arm(fault.ConnKill, 0, fault.Plan{EveryN: 5000, MaxFires: 3})
 		inj.Arm(fault.OpPanic, fault.OpSite(pes-1, 1), fault.Plan{EveryN: 500, MaxFires: 8})
 	}
-	job, err := pe.Launch(b.Graph, assign, pe.Options{
+	jobOpts := pe.Options{
 		Exec: scfg.execOptions(exec.Options{
 			MaxThreads:  maxThreads,
 			AdaptPeriod: period,
@@ -299,10 +416,21 @@ func runJob(b *workload.Build, maxThreads int, duration, period time.Duration, p
 		Transport:      tcfg,
 		Fault:          inj,
 		EnableWatchdog: rcfg.watchdog,
-	})
+		SampleEvery:    ocfg.sample,
+	}
+	if rcfg.watchdog {
+		// A watchdog trip dumps the flight recorder to stderr as it happens.
+		jobOpts.FlightDump = os.Stderr
+	}
+	job, err := pe.Launch(b.Graph, assign, jobOpts)
 	if err != nil {
 		return err
 	}
+	stopObs, err := ocfg.serve(monitor.ObservabilityHandler(job, job.Registries(), job.FlightRecorder()))
+	if err != nil {
+		return err
+	}
+	defer stopObs()
 	if err := job.Start(context.Background()); err != nil {
 		return err
 	}
@@ -354,5 +482,9 @@ func runJob(b *workload.Build, maxThreads int, duration, period time.Duration, p
 		fmt.Printf("chaos: %d faults fired (seed %d)\n", len(inj.Events()), rcfg.chaosSeed)
 		os.Stdout.Write(inj.LogBytes())
 	}
-	return nil
+	var trace []core.TraceEvent
+	if len(job.PEs) > 0 && job.PEs[0].Coord != nil {
+		trace = job.PEs[0].Coord.Trace()
+	}
+	return ocfg.writeArtifacts(job.FlightRecorder(), trace)
 }

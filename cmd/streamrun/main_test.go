@@ -1,7 +1,9 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
+	"strings"
 	"testing"
 	"time"
 
@@ -14,7 +16,7 @@ var stealOn = schedConfig{steal: true}
 func TestRunPipelineLive(t *testing.T) {
 	err := run("pipeline", 10, 4, 8, 64, 5000, false, 4,
 		1500*time.Millisecond, 100*time.Millisecond, true, 1, pe.TransportConfig{}, resilienceConfig{}, false,
-		schedConfig{steal: true, localQ: 128, stats: true})
+		schedConfig{steal: true, localQ: 128, stats: true}, obsConfig{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -23,7 +25,7 @@ func TestRunPipelineLive(t *testing.T) {
 func TestRunSkewedBushy(t *testing.T) {
 	err := run("bushy", 0, 4, 8, 64, 100, true, 2,
 		1200*time.Millisecond, 100*time.Millisecond, false, 1, pe.TransportConfig{}, resilienceConfig{}, false,
-		schedConfig{steal: false})
+		schedConfig{steal: false}, obsConfig{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -34,7 +36,7 @@ func TestRunMultiPE(t *testing.T) {
 		1500*time.Millisecond, 100*time.Millisecond, false, 2,
 		pe.TransportConfig{FlushBytes: 8 << 10, MaxFlushDelay: 500 * time.Microsecond},
 		resilienceConfig{watchdog: true, panicBudget: 2}, true,
-		schedConfig{steal: true, stats: true})
+		schedConfig{steal: true, stats: true}, obsConfig{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -42,7 +44,7 @@ func TestRunMultiPE(t *testing.T) {
 
 func TestRunUnknownShape(t *testing.T) {
 	if err := run("triangle", 10, 4, 8, 64, 100, false, 4,
-		time.Second, 100*time.Millisecond, false, 1, pe.TransportConfig{}, resilienceConfig{}, false, stealOn); err == nil {
+		time.Second, 100*time.Millisecond, false, 1, pe.TransportConfig{}, resilienceConfig{}, false, stealOn, obsConfig{}); err == nil {
 		t.Fatal("unknown shape accepted")
 	}
 }
@@ -62,8 +64,44 @@ func TestSchedConfigValidate(t *testing.T) {
 	// must be accepted by run too.
 	if err := run("pipeline", 4, 4, 8, 64, 100, false, 2,
 		300*time.Millisecond, 100*time.Millisecond, false, 1, pe.TransportConfig{}, resilienceConfig{}, false,
-		schedConfig{steal: true, localQ: 64}); err != nil {
+		schedConfig{steal: true, localQ: 64}, obsConfig{}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestRunWithObs(t *testing.T) {
+	dir := t.TempDir()
+	ocfg := obsConfig{
+		metricsAddr: "127.0.0.1:0",
+		flightPath:  dir + "/flight.txt",
+		tracePath:   dir + "/trace.json",
+		sample:      8,
+	}
+	err := run("pipeline", 6, 4, 8, 64, 2000, false, 2,
+		1200*time.Millisecond, 100*time.Millisecond, false, 1,
+		pe.TransportConfig{}, resilienceConfig{}, false, stealOn, ocfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flight, err := os.ReadFile(ocfg.flightPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(flight), "=== flight-recorder dump (exit) ===") {
+		t.Fatalf("flight dump malformed:\n%s", flight)
+	}
+	trace, err := os.ReadFile(ocfg.tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(trace, &doc); err != nil {
+		t.Fatalf("trace output is not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("trace output carries no events")
 	}
 }
 
@@ -74,17 +112,17 @@ func TestRunFile(t *testing.T) {
 	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := runFile(path, 4, 1200*time.Millisecond, 100*time.Millisecond, true, schedConfig{steal: true, stats: true}); err != nil {
+	if err := runFile(path, 4, 1200*time.Millisecond, 100*time.Millisecond, true, schedConfig{steal: true, stats: true}, obsConfig{}); err != nil {
 		t.Fatal(err)
 	}
-	if err := runFile(dir+"/missing.txt", 4, time.Second, 100*time.Millisecond, false, stealOn); err == nil {
+	if err := runFile(dir+"/missing.txt", 4, time.Second, 100*time.Millisecond, false, stealOn, obsConfig{}); err == nil {
 		t.Fatal("missing file accepted")
 	}
 	bad := dir + "/bad.txt"
 	if err := os.WriteFile(bad, []byte("gibberish"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := runFile(bad, 4, time.Second, 100*time.Millisecond, false, stealOn); err == nil {
+	if err := runFile(bad, 4, time.Second, 100*time.Millisecond, false, stealOn, obsConfig{}); err == nil {
 		t.Fatal("bad topology accepted")
 	}
 }

@@ -79,6 +79,10 @@ type Coordinator struct {
 	// to recover). Frozen steps record a trace event and change nothing.
 	frozen atomic.Bool
 
+	// observer, when set, receives every trace event as it is recorded —
+	// the flight recorder's feed of elasticity decisions. Guarded by mu.
+	observer func(TraceEvent)
+
 	// stats for SASO accounting
 	tmRuns        int
 	tmRunsSkipped int
@@ -136,7 +140,7 @@ func (c *Coordinator) Step() (bool, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.frozen.Load() {
-		c.trace.add(TraceEvent{
+		c.record(TraceEvent{
 			Time:       c.eng.Now(),
 			Throughput: thr,
 			Threads:    c.eng.ThreadCount(),
@@ -147,7 +151,7 @@ func (c *Coordinator) Step() (bool, error) {
 		return c.settled, nil
 	}
 	phase, note, err := c.adapt(thr)
-	c.trace.add(TraceEvent{
+	c.record(TraceEvent{
 		Time:       c.eng.Now(),
 		Throughput: thr,
 		Threads:    c.eng.ThreadCount(),
@@ -535,6 +539,25 @@ func (c *Coordinator) SettleTime() time.Duration {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.settleAt
+}
+
+// record appends a trace event and forwards it to the observer. The caller
+// holds c.mu.
+func (c *Coordinator) record(ev TraceEvent) {
+	c.trace.add(ev)
+	if c.observer != nil {
+		c.observer(ev)
+	}
+}
+
+// SetObserver installs fn to receive every trace event as it is recorded —
+// the hook the flight recorder uses to capture elasticity decisions. fn runs
+// under the coordinator's lock, so it must be cheap and must not call back
+// into the coordinator.
+func (c *Coordinator) SetObserver(fn func(TraceEvent)) {
+	c.mu.Lock()
+	c.observer = fn
+	c.mu.Unlock()
 }
 
 // Trace returns a copy of the adaptation trace.

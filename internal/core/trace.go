@@ -1,8 +1,10 @@
 package core
 
 import (
-	"fmt"
+	"encoding/csv"
+	"encoding/json"
 	"io"
+	"strconv"
 	"time"
 )
 
@@ -38,6 +40,24 @@ type TraceEvent struct {
 	Note string
 }
 
+// traceColumns is the serialization schema shared by every trace writer:
+// the CSV header and the Chrome-trace args keys come from here, and
+// TraceEvent.columns renders values in the same order. One schema means a
+// note that survives the CSV round-trip survives the JSON one too.
+var traceColumns = []string{"time_s", "throughput", "threads", "queues", "phase", "note"}
+
+// columns renders the event's fields in traceColumns order.
+func (e TraceEvent) columns() []string {
+	return []string{
+		strconv.FormatFloat(e.Time.Seconds(), 'f', 3, 64),
+		strconv.FormatFloat(e.Throughput, 'f', 1, 64),
+		strconv.Itoa(e.Threads),
+		strconv.Itoa(e.Queues),
+		string(e.Phase),
+		e.Note,
+	}
+}
+
 // Trace accumulates adaptation events.
 type Trace struct {
 	events []TraceEvent
@@ -59,15 +79,72 @@ func (t *Trace) Len() int { return len(t.events) }
 
 // WriteCSV writes the trace as CSV with a header row.
 func (t *Trace) WriteCSV(w io.Writer) error {
-	if _, err := fmt.Fprintln(w, "time_s,throughput,threads,queues,phase,note"); err != nil {
+	return WriteCSV(w, t.events)
+}
+
+// WriteCSV writes events as RFC 4180 CSV with a header row. Fields
+// containing commas, quotes, or newlines are quoted by the csv package, so
+// any note round-trips through a csv.Reader.
+func WriteCSV(w io.Writer, events []TraceEvent) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(traceColumns); err != nil {
 		return err
 	}
-	for _, e := range t.events {
-		_, err := fmt.Fprintf(w, "%.3f,%.1f,%d,%d,%s,%q\n",
-			e.Time.Seconds(), e.Throughput, e.Threads, e.Queues, e.Phase, e.Note)
-		if err != nil {
+	for _, e := range events {
+		if err := cw.Write(e.columns()); err != nil {
 			return err
 		}
 	}
-	return nil
+	cw.Flush()
+	return cw.Error()
+}
+
+// chromeEvent is one entry in the Chrome trace_event JSON format
+// (chrome://tracing, Perfetto). Ts is microseconds.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	S    string         `json:"s,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// WriteChromeTrace writes the trace in Chrome trace_event JSON.
+func (t *Trace) WriteChromeTrace(w io.Writer) error {
+	return WriteChromeTrace(w, t.events)
+}
+
+// WriteChromeTrace renders events as Chrome trace_event JSON: one instant
+// event per adaptation decision (args carry the full column set, so notes
+// with any punctuation survive — encoding/json escapes them) plus counter
+// tracks for throughput and threads/queues, which chrome://tracing and
+// Perfetto draw as the paper's timeline figures.
+func WriteChromeTrace(w io.Writer, events []TraceEvent) error {
+	evs := make([]chromeEvent, 0, 3*len(events))
+	for _, e := range events {
+		ts := float64(e.Time.Microseconds())
+		name := string(e.Phase)
+		if e.Note != "" {
+			name += ": " + e.Note
+		}
+		cols := e.columns()
+		args := make(map[string]any, len(traceColumns))
+		for i, k := range traceColumns {
+			args[k] = cols[i]
+		}
+		evs = append(evs,
+			chromeEvent{Name: name, Ph: "i", Ts: ts, Pid: 1, Tid: 1, S: "t", Args: args},
+			chromeEvent{Name: "throughput", Ph: "C", Ts: ts, Pid: 1, Tid: 1,
+				Args: map[string]any{"tuples_per_s": e.Throughput}},
+			chromeEvent{Name: "config", Ph: "C", Ts: ts, Pid: 1, Tid: 1,
+				Args: map[string]any{"threads": e.Threads, "queues": e.Queues}},
+		)
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(map[string]any{
+		"traceEvents":     evs,
+		"displayTimeUnit": "ms",
+	})
 }

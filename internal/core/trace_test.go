@@ -1,0 +1,133 @@
+package core
+
+import (
+	"bytes"
+	"encoding/csv"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestTraceCSVRoundTrip drives notes with commas, quotes, and newlines
+// through WriteCSV and reads them back with a csv.Reader: the shared
+// serialization path must quote whatever the coordinator writes.
+func TestTraceCSVRoundTrip(t *testing.T) {
+	events := []TraceEvent{
+		{Time: 1500 * time.Millisecond, Throughput: 1234.5, Threads: 4, Queues: 2,
+			Phase: PhaseTC, Note: `4 -> 8 threads; gain 12%, "satisfied"`},
+		{Time: 2 * time.Second, Throughput: 999.9, Threads: 8, Queues: 2,
+			Phase: PhaseTM, Note: "queue placed, op=w1\nsecond line"},
+		{Time: 3 * time.Second, Throughput: 1000, Threads: 8, Queues: 3,
+			Phase: PhaseSettled, Note: ""},
+	}
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, events); err != nil {
+		t.Fatal(err)
+	}
+	rd := csv.NewReader(&buf)
+	rows, err := rd.ReadAll()
+	if err != nil {
+		t.Fatalf("reading back the CSV: %v", err)
+	}
+	if len(rows) != len(events)+1 {
+		t.Fatalf("got %d rows, want %d", len(rows), len(events)+1)
+	}
+	wantHeader := "time_s,throughput,threads,queues,phase,note"
+	if strings.Join(rows[0], ",") != wantHeader {
+		t.Fatalf("header = %v, want %s", rows[0], wantHeader)
+	}
+	for i, e := range events {
+		row := rows[i+1]
+		if row[4] != string(e.Phase) {
+			t.Fatalf("row %d phase = %q, want %q", i, row[4], e.Phase)
+		}
+		if row[5] != e.Note {
+			t.Fatalf("row %d note = %q, want %q (must round-trip)", i, row[5], e.Note)
+		}
+	}
+}
+
+// TestTraceChromeExport checks the Chrome trace_event JSON is parseable and
+// carries the same column values as the CSV — including hostile notes.
+func TestTraceChromeExport(t *testing.T) {
+	events := []TraceEvent{
+		{Time: time.Second, Throughput: 50, Threads: 2, Queues: 1,
+			Phase: PhaseTM, Note: `note with "quotes", commas`},
+	}
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, events); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			Ts   float64        `json:"ts"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("chrome trace is not valid JSON: %v", err)
+	}
+	if doc.DisplayTimeUnit != "ms" {
+		t.Fatalf("displayTimeUnit = %q, want ms", doc.DisplayTimeUnit)
+	}
+	if len(doc.TraceEvents) != 3 {
+		t.Fatalf("got %d events, want 3 (instant + 2 counters)", len(doc.TraceEvents))
+	}
+	inst := doc.TraceEvents[0]
+	if inst.Ph != "i" || inst.Ts != 1e6 {
+		t.Fatalf("instant event = %+v, want ph=i ts=1e6", inst)
+	}
+	if got := inst.Args["note"]; got != events[0].Note {
+		t.Fatalf("args.note = %q, want %q", got, events[0].Note)
+	}
+	var sawThroughput, sawConfig bool
+	for _, ev := range doc.TraceEvents[1:] {
+		if ev.Ph != "C" {
+			t.Fatalf("counter event ph = %q, want C", ev.Ph)
+		}
+		switch ev.Name {
+		case "throughput":
+			sawThroughput = true
+			if ev.Args["tuples_per_s"] != 50.0 {
+				t.Fatalf("throughput counter = %v", ev.Args)
+			}
+		case "config":
+			sawConfig = true
+			if ev.Args["threads"] != 2.0 || ev.Args["queues"] != 1.0 {
+				t.Fatalf("config counter = %v", ev.Args)
+			}
+		}
+	}
+	if !sawThroughput || !sawConfig {
+		t.Fatal("missing counter track")
+	}
+}
+
+// TestCoordinatorObserver checks SetObserver receives each recorded event.
+func TestCoordinatorObserver(t *testing.T) {
+	f := newFakeEngine([]float64{0.001, 0.002, 0.003}, 0.0005, 4, 8)
+	c, err := NewCoordinator(f, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var seen []TraceEvent
+	c.SetObserver(func(ev TraceEvent) { seen = append(seen, ev) })
+	for i := 0; i < 5; i++ {
+		if _, err := c.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	trace := c.Trace()
+	if len(seen) != len(trace) {
+		t.Fatalf("observer saw %d events, trace has %d", len(seen), len(trace))
+	}
+	for i, ev := range trace {
+		if seen[i] != ev {
+			t.Fatalf("observer event %d = %+v, trace has %+v", i, seen[i], ev)
+		}
+	}
+}

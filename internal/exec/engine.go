@@ -36,6 +36,7 @@ import (
 	"streamelastic/internal/fault"
 	"streamelastic/internal/graph"
 	"streamelastic/internal/metrics"
+	"streamelastic/internal/obs"
 	"streamelastic/internal/queue"
 	"streamelastic/internal/spl"
 )
@@ -59,10 +60,12 @@ const idleSpinLimit = 16
 // broadcasts; shard count bounds the scan.
 const parkShards = 8
 
-// item is one queued tuple delivery.
+// item is one queued tuple delivery. enq is the enqueue timestamp in unix
+// nanoseconds when the sampling gate selected this delivery, 0 otherwise.
 type item struct {
 	port int
 	t    *spl.Tuple
+	enq  int64
 }
 
 // ditem is one deque-queued tuple delivery. Worker deques are per worker,
@@ -71,6 +74,7 @@ type ditem struct {
 	node graph.NodeID
 	port int
 	t    *spl.Tuple
+	enq  int64
 }
 
 // engineConfig is the immutable runtime configuration workers snapshot once
@@ -125,6 +129,20 @@ type Options struct {
 	// PanicDecay is the clean-run interval that forgives one strike or
 	// backoff round (default 1s).
 	PanicDecay time.Duration
+	// SampleEvery enables per-operator latency and queue-wait sampling:
+	// every Nth queued delivery per emitting loop is timestamped at enqueue
+	// and timed through its operator into the op_exec_seconds and
+	// op_queue_wait_seconds histograms. 0 (the default) disables sampling;
+	// the disabled path costs a single integer compare per delivery.
+	SampleEvery int
+	// Obs is the registry the engine registers its series on. Nil gives the
+	// engine a private registry, reachable via Engine.Registry.
+	Obs *obs.Registry
+	// Recorder receives steal/park and supervision flight-recorder events.
+	// Nil disables recording (the Record call is a nil-receiver no-op).
+	Recorder *obs.FlightRecorder
+	// ObsPE is the processing-element id stamped on recorded events.
+	ObsPE int
 }
 
 func (o *Options) setDefaults() {
@@ -177,6 +195,17 @@ type Engine struct {
 	isSource   []bool
 	opPanics   atomic.Uint64
 	sup        *supervision // nil unless Options.PanicBudget > 0
+
+	// Observability: the engine's registry (Options.Obs or a private one),
+	// the flight recorder (possibly nil), and the sampling histograms — one
+	// execution histogram per non-source node plus one engine-wide
+	// queue-wait histogram, all registered up front so series presence does
+	// not depend on the sampling rate.
+	reg       *obs.Registry
+	rec       *obs.FlightRecorder
+	recPE     int32
+	opHist    []*obs.Histogram
+	qwaitHist *obs.Histogram
 
 	// Pause/park machinery for online reconfiguration.
 	mu       sync.Mutex
@@ -317,6 +346,13 @@ func New(g *graph.Graph, opts Options) (*Engine, error) {
 	if opts.PanicBudget > 0 {
 		e.sup = newSupervision(n, opts)
 	}
+	e.reg = opts.Obs
+	if e.reg == nil {
+		e.reg = obs.NewRegistry()
+	}
+	e.rec = opts.Recorder
+	e.recPE = int32(opts.ObsPE)
+	e.registerMetrics()
 	cfg, err := e.buildConfig(make([]bool, n), nil)
 	if err != nil {
 		return nil, err
@@ -562,6 +598,7 @@ func (e *Engine) parkIdle(w *worker) {
 		return
 	}
 	w.slot.stats.Parks.Add(1)
+	e.rec.Record(obs.EvPark, e.recPE, int64(w.id), 0, "")
 	sh.mu.Lock()
 	for sh.wakes == 0 && !e.stop.Load() && !e.pauseReq.Load() && !chanClosed(w.quit) {
 		sh.cond.Wait()
@@ -655,6 +692,7 @@ func (e *Engine) workerLoop(w *worker) {
 			} else if k := e.trySteal(w, dbatch); k > 0 {
 				w.slot.stats.Steals.Add(1)
 				w.slot.stats.StolenTuples.Add(uint64(k))
+				e.rec.Record(obs.EvSteal, e.recPE, int64(k), int64(w.id), "")
 				e.executeDBatch(em, batch, dbatch[:k])
 				worked = true
 			}
@@ -740,7 +778,7 @@ func (e *Engine) executeDBatch(em *emitter, scratch []item, items []ditem) {
 			j++
 		}
 		for k := i; k < j; k++ {
-			scratch[k-i] = item{port: items[k].port, t: items[k].t}
+			scratch[k-i] = item{port: items[k].port, t: items[k].t, enq: items[k].enq}
 		}
 		e.executeBatch(em, node, scratch[:j-i])
 		i = j
@@ -783,7 +821,12 @@ func (e *Engine) executeBatch(em *emitter, node graph.NodeID, items []item) {
 	ts.Enter(int(node))
 	if sink := e.isSink[node]; sink {
 		for i := range items {
-			ok := e.process(em, nd, node, items[i].port, items[i].t)
+			var ok bool
+			if items[i].enq != 0 {
+				ok = e.processSampled(em, nd, node, items[i].port, items[i].t, items[i].enq)
+			} else {
+				ok = e.process(em, nd, node, items[i].port, items[i].t)
+			}
 			e.finishSink(node, items[i].t, ok)
 		}
 		ts.Leave()
@@ -791,7 +834,11 @@ func (e *Engine) executeBatch(em *emitter, node graph.NodeID, items []item) {
 		return
 	}
 	for i := range items {
-		e.process(em, nd, node, items[i].port, items[i].t)
+		if items[i].enq != 0 {
+			e.processSampled(em, nd, node, items[i].port, items[i].t, items[i].enq)
+		} else {
+			e.process(em, nd, node, items[i].port, items[i].t)
+		}
 	}
 	ts.Leave()
 }
@@ -866,12 +913,31 @@ type emitter struct {
 	local  *queue.WSDeque[ditem]
 	stats  *metrics.SchedCounters
 	origin int
+
+	// Sampling gate: every sampleN-th queued delivery from this loop is
+	// timestamped. Plain ints — the emitter is loop-private.
+	sampleN   int
+	sampleCnt int
 }
 
 // newEmitter returns a dispatch-loop emitter with counters defaulted to the
 // engine's catch-all group; loops with a private group override stats.
 func (e *Engine) newEmitter(ts *metrics.ThreadState) *emitter {
-	return &emitter{e: e, ts: ts, stats: &e.extStats}
+	return &emitter{e: e, ts: ts, stats: &e.extStats, sampleN: e.opts.SampleEvery}
+}
+
+// stamp returns the enqueue timestamp for a queued delivery the sampling
+// gate selects, 0 otherwise. With sampling disabled it is a single compare.
+func (em *emitter) stamp() int64 {
+	if em.sampleN == 0 {
+		return 0
+	}
+	em.sampleCnt++
+	if em.sampleCnt < em.sampleN {
+		return 0
+	}
+	em.sampleCnt = 0
+	return time.Now().UnixNano()
 }
 
 var _ spl.Emitter = (*emitter)(nil)
@@ -920,7 +986,7 @@ func (e *Engine) deliver(em *emitter, node graph.NodeID, port int, t *spl.Tuple,
 	if cfg.placement[node] {
 		if d := em.local; d != nil && !d.Full() {
 			c := t.Clone()
-			if d.PushBottom(ditem{node: node, port: port, t: c}) {
+			if d.PushBottom(ditem{node: node, port: port, t: c, enq: em.stamp()}) {
 				if owned {
 					t.Release()
 				}
@@ -937,7 +1003,7 @@ func (e *Engine) deliver(em *emitter, node graph.NodeID, port int, t *spl.Tuple,
 		q := cfg.queues[node]
 		for spins := 0; ; spins++ {
 			if s, ok := q.TryReservePush(); ok {
-				s.Commit(item{port: port, t: t.Clone()})
+				s.Commit(item{port: port, t: t.Clone(), enq: em.stamp()})
 				if owned {
 					t.Release()
 				}

@@ -4,6 +4,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"streamelastic/internal/obs"
 )
 
 // supervision is the engine's operator supervisor: it tracks recovered
@@ -21,6 +23,9 @@ type supervision struct {
 	decay  time.Duration
 
 	nodes []opHealth
+
+	rec   *obs.FlightRecorder // possibly nil; Record no-ops then
+	recPE int32
 
 	quarantines atomic.Uint64 // quarantine engagements
 	releases    atomic.Uint64 // probes back in after a quarantine expired
@@ -45,6 +50,8 @@ func newSupervision(n int, opts Options) *supervision {
 		max:    opts.QuarantineMax,
 		decay:  opts.PanicDecay,
 		nodes:  make([]opHealth, n),
+		rec:    opts.Recorder,
+		recPE:  int32(opts.ObsPE),
 	}
 }
 
@@ -62,6 +69,7 @@ func (s *supervision) quarantined(node int, now int64) bool {
 	}
 	if h.until.CompareAndSwap(until, 0) {
 		s.releases.Add(1)
+		s.rec.Record(obs.EvRelease, s.recPE, int64(node), 0, "")
 	}
 	return false
 }
@@ -100,6 +108,7 @@ func (s *supervision) notePanic(node int, now time.Time) {
 	}
 	h.until.Store(now.Add(d).UnixNano())
 	s.quarantines.Add(1)
+	s.rec.Record(obs.EvQuarantine, s.recPE, int64(node), int64(d), "")
 }
 
 // active counts operators currently quarantined.

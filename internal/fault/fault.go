@@ -119,8 +119,9 @@ type Injector struct {
 	// it with one atomic read.
 	sites atomic.Pointer[map[siteKey]*siteState]
 
-	mu  sync.Mutex
-	log []Event
+	mu       sync.Mutex
+	log      []Event
+	observer func(Event)
 }
 
 // New returns an injector whose rate decisions derive from seed.
@@ -169,10 +170,29 @@ func (in *Injector) Fire(p Point, site int) bool {
 	if !in.qualifies(s, p, site, n) {
 		return false
 	}
+	ev := Event{Point: p, Site: site, N: n}
 	in.mu.Lock()
-	in.log = append(in.log, Event{Point: p, Site: site, N: n})
+	in.log = append(in.log, ev)
+	obs := in.observer
 	in.mu.Unlock()
+	// The observer runs after the unlock so it may call back into the
+	// injector (Events, Fires) without deadlocking.
+	if obs != nil {
+		obs(ev)
+	}
 	return true
+}
+
+// SetObserver installs fn to receive every fire as it is recorded — the
+// flight recorder's feed of fault injections. fn must be safe for
+// concurrent use; it runs outside the injector's lock.
+func (in *Injector) SetObserver(fn func(Event)) {
+	if in == nil {
+		return
+	}
+	in.mu.Lock()
+	in.observer = fn
+	in.mu.Unlock()
 }
 
 // FireDelay is Fire for delay-class points: it returns the plan's Delay

@@ -49,6 +49,19 @@ func leadingZeros64(x uint64) int {
 // Count returns the number of recorded observations.
 func (h *Histogram) Count() uint64 { return h.count.Load() }
 
+// Sum returns the total of all recorded observations in nanoseconds.
+func (h *Histogram) Sum() int64 { return h.sum.Load() }
+
+// Buckets returns a copy of the per-bucket counts; bucket i covers
+// [2^i, 2^(i+1)) nanoseconds.
+func (h *Histogram) Buckets() []uint64 {
+	out := make([]uint64, histBuckets)
+	for i := range h.buckets {
+		out[i] = h.buckets[i].Load()
+	}
+	return out
+}
+
 // Mean returns the mean latency, or 0 with no observations.
 func (h *Histogram) Mean() time.Duration {
 	c := h.count.Load()

@@ -6,7 +6,6 @@ package monitor
 import (
 	"encoding/json"
 	"net/http"
-	"time"
 
 	"streamelastic/internal/core"
 	"streamelastic/internal/metrics"
@@ -75,12 +74,6 @@ type LatencyMS struct {
 	P99   float64 `json:"p99"`
 }
 
-// FromSnapshot converts a latency snapshot to milliseconds.
-func FromSnapshot(s metrics.LatencySnapshot) LatencyMS {
-	ms := func(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
-	return LatencyMS{Count: s.Count, Mean: ms(s.Mean), P50: ms(s.P50), P95: ms(s.P95), P99: ms(s.P99)}
-}
-
 // Provider supplies the state the handler serves. Implementations must be
 // safe for concurrent use.
 type Provider interface {
@@ -98,6 +91,13 @@ type Provider interface {
 //	GET /sasoz?pe=N       -> SASO analysis of engine N's trace
 func Handler(p Provider) http.Handler {
 	mux := http.NewServeMux()
+	mountStatus(mux, p)
+	return mux
+}
+
+// mountStatus registers the status/trace/SASO routes on mux; Handler and
+// ObservabilityHandler share it.
+func mountStatus(mux *http.ServeMux, p Provider) {
 	mux.HandleFunc("/statusz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, p.Statuses())
 	})
@@ -155,7 +155,6 @@ func Handler(p Provider) http.Handler {
 			"peakThroughput":    a.PeakThroughput,
 		})
 	})
-	return mux
 }
 
 // peIndex parses the pe query parameter, writing an error response on

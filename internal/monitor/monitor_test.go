@@ -9,7 +9,6 @@ import (
 	"time"
 
 	"streamelastic/internal/core"
-	"streamelastic/internal/metrics"
 )
 
 type fakeProvider struct {
@@ -121,16 +120,6 @@ func TestTraceEndpointErrors(t *testing.T) {
 	resp.Body.Close()
 	if resp.StatusCode != 400 {
 		t.Fatalf("bad index status %d, want 400", resp.StatusCode)
-	}
-}
-
-func TestFromSnapshot(t *testing.T) {
-	got := FromSnapshot(metrics.LatencySnapshot{
-		Count: 7, Mean: 1500 * time.Microsecond, P50: time.Millisecond,
-		P95: 2 * time.Millisecond, P99: 4 * time.Millisecond,
-	})
-	if got.Count != 7 || got.Mean != 1.5 || got.P50 != 1 || got.P99 != 4 {
-		t.Fatalf("converted %+v", got)
 	}
 }
 

@@ -34,6 +34,12 @@ type WatchdogConfig struct {
 	// HealthyAfter is how many consecutive all-clear polls release it
 	// (default 4) — recovery must prove itself before adaptation resumes.
 	HealthyAfter int
+	// OnTrip, when set, is invoked once per trip with the failing probe's
+	// cause string — the hook flight-recorder dumps hang off. It runs on the
+	// poll goroutine, outside the watchdog's lock.
+	OnTrip func(cause string)
+	// OnRecover, when set, is invoked once per recovery, outside the lock.
+	OnRecover func()
 }
 
 func (c WatchdogConfig) withDefaults() WatchdogConfig {
@@ -155,8 +161,9 @@ func (w *Watchdog) CheckNow(now time.Time) {
 			break
 		}
 	}
+	tripped, recovered := false, false
+	var cause string
 	w.mu.Lock()
-	defer w.mu.Unlock()
 	if bad != "" {
 		w.goodPolls = 0
 		w.badPolls++
@@ -167,17 +174,28 @@ func (w *Watchdog) CheckNow(now time.Time) {
 			if !w.frozen.Swap(true) && w.freezer != nil {
 				w.freezer.SetFrozen(true)
 			}
+			tripped, cause = true, bad
 		}
-		return
+	} else {
+		w.badPolls = 0
+		w.goodPolls++
+		if w.goodPolls >= w.cfg.HealthyAfter && !w.healthy.Load() {
+			w.healthy.Store(true)
+			w.recovers.Add(1)
+			if w.frozen.Swap(false) && w.freezer != nil {
+				w.freezer.SetFrozen(false)
+			}
+			recovered = true
+		}
 	}
-	w.badPolls = 0
-	w.goodPolls++
-	if w.goodPolls >= w.cfg.HealthyAfter && !w.healthy.Load() {
-		w.healthy.Store(true)
-		w.recovers.Add(1)
-		if w.frozen.Swap(false) && w.freezer != nil {
-			w.freezer.SetFrozen(false)
-		}
+	w.mu.Unlock()
+	// Hooks run outside the lock: a trip hook that dumps the flight
+	// recorder (or reads Status) must not deadlock against the watchdog.
+	if tripped && w.cfg.OnTrip != nil {
+		w.cfg.OnTrip(cause)
+	}
+	if recovered && w.cfg.OnRecover != nil {
+		w.cfg.OnRecover()
 	}
 }
 

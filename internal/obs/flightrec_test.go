@@ -1,0 +1,154 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestFlightRecorderBasics(t *testing.T) {
+	f := NewFlightRecorder(8)
+	if f.Cap() != 8 {
+		t.Fatalf("cap = %d, want 8", f.Cap())
+	}
+	f.Record(EvAdapt, 0, 4, 2, "thread-count: +1")
+	f.Record(EvFault, -1, 65537, 3, "op-panic")
+	if f.Len() != 2 {
+		t.Fatalf("len = %d, want 2", f.Len())
+	}
+	evs := f.Events()
+	if len(evs) != 2 {
+		t.Fatalf("Events returned %d, want 2", len(evs))
+	}
+	if evs[0].Kind != EvAdapt || evs[0].A != 4 || evs[0].B != 2 || evs[0].Detail != "thread-count: +1" {
+		t.Fatalf("event 0 = %+v", evs[0])
+	}
+	if evs[1].Kind != EvFault || evs[1].PE != -1 {
+		t.Fatalf("event 1 = %+v", evs[1])
+	}
+}
+
+func TestFlightRecorderCapacityRounding(t *testing.T) {
+	if got := NewFlightRecorder(5).Cap(); got != 8 {
+		t.Fatalf("cap(5) = %d, want 8", got)
+	}
+	if got := NewFlightRecorder(0).Cap(); got != DefaultFlightRecorderSize {
+		t.Fatalf("cap(0) = %d, want %d", got, DefaultFlightRecorderSize)
+	}
+	if got := NewFlightRecorder(-1).Cap(); got != DefaultFlightRecorderSize {
+		t.Fatalf("cap(-1) = %d, want %d", got, DefaultFlightRecorderSize)
+	}
+}
+
+func TestFlightRecorderWraparound(t *testing.T) {
+	f := NewFlightRecorder(8)
+	for i := 1; i <= 20; i++ {
+		f.Record(EvSteal, 0, int64(i), 0, "")
+	}
+	if f.Len() != 20 {
+		t.Fatalf("len = %d, want 20", f.Len())
+	}
+	evs := f.Events()
+	if len(evs) != 8 {
+		t.Fatalf("retained %d events, want 8", len(evs))
+	}
+	// Last 8 records, in sequence order.
+	for i, ev := range evs {
+		wantSeq := uint64(13 + i)
+		if ev.Seq != wantSeq || ev.A != int64(wantSeq) {
+			t.Fatalf("event %d = seq %d a %d, want seq/a %d", i, ev.Seq, ev.A, wantSeq)
+		}
+	}
+}
+
+func TestFlightRecorderConcurrentWriters(t *testing.T) {
+	f := NewFlightRecorder(64)
+	const writers = 8
+	const perWriter = 500
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				f.Record(EvPark, int32(w), int64(i), 0, "")
+				if i%16 == 0 {
+					f.Events() // concurrent reads while the ring wraps
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if f.Len() != writers*perWriter {
+		t.Fatalf("len = %d, want %d", f.Len(), writers*perWriter)
+	}
+	evs := f.Events()
+	if len(evs) != 64 {
+		t.Fatalf("retained %d, want 64", len(evs))
+	}
+	for i := 1; i < len(evs); i++ {
+		if evs[i].Seq <= evs[i-1].Seq {
+			t.Fatalf("events not strictly ordered by seq: %d then %d", evs[i-1].Seq, evs[i].Seq)
+		}
+	}
+}
+
+func TestFlightRecorderDumpDeterministic(t *testing.T) {
+	f := NewFlightRecorder(16)
+	f.Record(EvQuarantine, 1, 3, 1e9, "")
+	f.Record(EvReconnect, 0, 7, 0, "")
+	f.Record(EvWatchdogTrip, 2, 0, 0, "engine: sink stalled")
+	var a, b bytes.Buffer
+	if err := f.DumpTo(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.DumpTo(&b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatal("two dumps of an idle recorder differ")
+	}
+	lines := strings.Split(strings.TrimRight(a.String(), "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("dump has %d lines, want 3:\n%s", len(lines), a.String())
+	}
+	for i, want := range []string{"quarantine", "reconnect", "watchdog-trip"} {
+		if !strings.Contains(lines[i], want) {
+			t.Fatalf("dump line %d = %q, want kind %q", i, lines[i], want)
+		}
+	}
+	if !strings.Contains(lines[2], "engine: sink stalled") {
+		t.Fatalf("dump line %q missing detail", lines[2])
+	}
+}
+
+func TestFlightRecorderNilSafe(t *testing.T) {
+	var f *FlightRecorder
+	f.Record(EvAdapt, 0, 0, 0, "") // must not panic
+	if f.Len() != 0 || f.Cap() != 0 || f.Events() != nil {
+		t.Fatal("nil recorder not inert")
+	}
+	if err := f.DumpTo(&bytes.Buffer{}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEventKindStrings(t *testing.T) {
+	kinds := []EventKind{EvAdapt, EvFault, EvQuarantine, EvRelease, EvReconnect,
+		EvRetransmit, EvResume, EvWatchdogTrip, EvWatchdogRecover, EvSteal, EvPark}
+	seen := map[string]bool{}
+	for _, k := range kinds {
+		s := k.String()
+		if s == "" || strings.HasPrefix(s, "kind-") {
+			t.Fatalf("kind %d has no label", k)
+		}
+		if seen[s] {
+			t.Fatalf("duplicate kind label %q", s)
+		}
+		seen[s] = true
+	}
+	if got := EventKind(99).String(); got != "kind-99" {
+		t.Fatalf("unknown kind label = %q", got)
+	}
+}

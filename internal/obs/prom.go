@@ -1,0 +1,176 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus writes the registry's series in the Prometheus text
+// exposition format (version 0.0.4).
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	return WritePrometheusAll(w, r)
+}
+
+// WritePrometheusAll merges several registries into one exposition: each
+// metric name gets a single # HELP/# TYPE pair (the format allows only
+// one), with the series of every registry listed under it — per-PE
+// registries stay distinguishable through their pe const label. Help text
+// is taken from the first registry that registered the name.
+func WritePrometheusAll(w io.Writer, regs ...*Registry) error {
+	type merged struct {
+		help   string
+		kind   Kind
+		series []*series
+	}
+	byName := make(map[string]*merged)
+	var names []string
+	for _, r := range regs {
+		if r == nil {
+			continue
+		}
+		for _, f := range r.snapshotFamilies() {
+			m := byName[f.name]
+			if m == nil {
+				m = &merged{help: f.help, kind: f.kind}
+				byName[f.name] = m
+				names = append(names, f.name)
+			}
+			m.series = append(m.series, f.series...)
+		}
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		m := byName[name]
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n",
+			name, escapeHelp(m.help), name, m.kind); err != nil {
+			return err
+		}
+		for _, s := range m.series {
+			sm := s.collect(name, m.kind)
+			if err := writeSample(w, sm); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// writeSample emits one series: a single line for counters and gauges, the
+// full cumulative bucket/sum/count group for histograms.
+func writeSample(w io.Writer, s Sample) error {
+	if s.Hist == nil {
+		val := formatValue(s.Kind, s)
+		_, err := fmt.Fprintf(w, "%s%s %s\n", s.Name, labelBlock(s.Labels), val)
+		return err
+	}
+	h := s.Hist
+	// Trim to the highest non-empty bucket: 64 log2 buckets would dominate
+	// the exposition, and the trailing zero run carries no information the
+	// +Inf bucket does not.
+	maxIdx := -1
+	for i, b := range h.Buckets {
+		if b > 0 {
+			maxIdx = i
+		}
+	}
+	var cum uint64
+	for i := 0; i <= maxIdx; i++ {
+		cum += h.Buckets[i]
+		le := strconv.FormatFloat(h.UpperBound(i), 'g', -1, 64)
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n",
+			s.Name, labelBlock(s.Labels, Label{Key: "le", Value: le}), cum); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n",
+		s.Name, labelBlock(s.Labels, Label{Key: "le", Value: "+Inf"}), h.Count); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum%s %s\n",
+		s.Name, labelBlock(s.Labels), strconv.FormatFloat(h.Sum, 'g', -1, 64)); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count%s %d\n", s.Name, labelBlock(s.Labels), h.Count)
+	return err
+}
+
+// formatValue renders a counter or gauge sample value.
+func formatValue(kind Kind, s Sample) string {
+	if kind == KindCounter {
+		return strconv.FormatUint(s.U, 10)
+	}
+	return strconv.FormatFloat(s.Value, 'g', -1, 64)
+}
+
+// labelBlock renders {k="v",...} for the labels plus any extras, or the
+// empty string when there are none.
+func labelBlock(labels []Label, extra ...Label) string {
+	if len(labels)+len(extra) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	first := true
+	emit := func(l Label) {
+		if !first {
+			b.WriteByte(',')
+		}
+		first = false
+		b.WriteString(l.Key)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(l.Value))
+		b.WriteByte('"')
+	}
+	for _, l := range labels {
+		emit(l)
+	}
+	for _, l := range extra {
+		emit(l)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// escapeLabelValue escapes a label value per the text format: backslash,
+// double quote, and newline.
+func escapeLabelValue(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	var b strings.Builder
+	for _, c := range v {
+		switch c {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(c)
+		}
+	}
+	return b.String()
+}
+
+// escapeHelp escapes help text per the text format: backslash and newline.
+func escapeHelp(v string) string {
+	if !strings.ContainsAny(v, "\\\n") {
+		return v
+	}
+	var b strings.Builder
+	for _, c := range v {
+		switch c {
+		case '\\':
+			b.WriteString(`\\`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(c)
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,205 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestWritePrometheusBasic(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("requests_total", "Total requests.", Label{Key: "code", Value: "200"})
+	c.Add(7)
+	g := r.Gauge("temp", "Temperature.")
+	g.Set(1.5)
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# HELP requests_total Total requests.\n",
+		"# TYPE requests_total counter\n",
+		`requests_total{code="200"} 7` + "\n",
+		"# TYPE temp gauge\n",
+		"temp 1.5\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWritePrometheusLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("m_total", "h", Label{Key: "v", Value: "a\"b\\c\nd"})
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := `m_total{v="a\"b\\c\nd"} 0`
+	if !strings.Contains(buf.String(), want) {
+		t.Fatalf("output missing %q:\n%s", want, buf.String())
+	}
+}
+
+func TestWritePrometheusHelpEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("m_total", "line1\nline2 \\ end")
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP m_total line1\nline2 \\ end`
+	if !strings.Contains(buf.String(), want) {
+		t.Fatalf("output missing %q:\n%s", want, buf.String())
+	}
+}
+
+func TestWritePrometheusHistogram(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat_seconds", "Latency.")
+	h.Observe(100 * time.Nanosecond) // bucket 6, upper bound 128e-9
+	h.Observe(100 * time.Nanosecond)
+	h.Observe(time.Microsecond) // bucket 9, upper bound 1024e-9
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE lat_seconds histogram\n",
+		`lat_seconds_bucket{le="1.28e-07"} 2` + "\n",
+		`lat_seconds_bucket{le="1.024e-06"} 3` + "\n",
+		`lat_seconds_bucket{le="+Inf"} 3` + "\n",
+		"lat_seconds_count 3\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+	// Trimmed: nothing past the highest non-empty bucket except +Inf.
+	if strings.Contains(out, `le="2.048e-06"`) {
+		t.Fatalf("output contains empty trailing bucket:\n%s", out)
+	}
+}
+
+func TestWritePrometheusAllMergesFamilies(t *testing.T) {
+	r0 := NewRegistry(Label{Key: "pe", Value: "0"})
+	r1 := NewRegistry(Label{Key: "pe", Value: "1"})
+	r0.Counter("shared_total", "Shared.").Add(1)
+	r1.Counter("shared_total", "Shared.").Add(2)
+	var buf bytes.Buffer
+	if err := WritePrometheusAll(&buf, r0, r1, nil); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if n := strings.Count(out, "# HELP shared_total"); n != 1 {
+		t.Fatalf("HELP emitted %d times, want 1:\n%s", n, out)
+	}
+	if n := strings.Count(out, "# TYPE shared_total"); n != 1 {
+		t.Fatalf("TYPE emitted %d times, want 1:\n%s", n, out)
+	}
+	for _, want := range []string{
+		`shared_total{pe="0"} 1` + "\n",
+		`shared_total{pe="1"} 2` + "\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestWritePrometheusWellFormed checks structural invariants on a mixed
+// exposition: every non-comment line is `name{labels} value`, each family's
+// HELP/TYPE appears exactly once and before its samples.
+func TestWritePrometheusWellFormed(t *testing.T) {
+	r := NewRegistry(Label{Key: "pe", Value: "0"})
+	r.Counter("a_total", "A.").Add(3)
+	r.Gauge("b", "B.").Set(-0.25)
+	r.Histogram("c_seconds", "C.").Observe(time.Millisecond)
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	seenType := map[string]bool{}
+	sc := bufio.NewScanner(&buf)
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" {
+			t.Fatal("blank line in exposition")
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			parts := strings.Fields(line)
+			if len(parts) != 4 {
+				t.Fatalf("malformed TYPE line %q", line)
+			}
+			if seenType[parts[2]] {
+				t.Fatalf("duplicate TYPE for %s", parts[2])
+			}
+			seenType[parts[2]] = true
+			continue
+		}
+		if strings.HasPrefix(line, "# HELP ") {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			t.Fatalf("unknown comment line %q", line)
+		}
+		// Sample line: must contain a space separating name+labels from value.
+		i := strings.LastIndexByte(line, ' ')
+		if i <= 0 {
+			t.Fatalf("malformed sample line %q", line)
+		}
+		name := line[:i]
+		if j := strings.IndexByte(name, '{'); j >= 0 {
+			if !strings.HasSuffix(name, "}") {
+				t.Fatalf("unterminated label block in %q", line)
+			}
+			name = name[:j]
+		}
+		base := strings.TrimSuffix(strings.TrimSuffix(strings.TrimSuffix(name, "_bucket"), "_sum"), "_count")
+		if !seenType[name] && !seenType[base] {
+			t.Fatalf("sample %q appears before its TYPE line", line)
+		}
+	}
+}
+
+func FuzzPromEscape(f *testing.F) {
+	f.Add("plain")
+	f.Add(`with "quotes" and \slashes\`)
+	f.Add("new\nline")
+	f.Fuzz(func(t *testing.T, v string) {
+		got := escapeLabelValue(v)
+		if strings.ContainsRune(got, '\n') {
+			t.Fatalf("escaped value %q contains a raw newline", got)
+		}
+		// Unescape and verify round-trip.
+		var un strings.Builder
+		for i := 0; i < len(got); i++ {
+			if got[i] == '\\' && i+1 < len(got) {
+				switch got[i+1] {
+				case '\\':
+					un.WriteByte('\\')
+				case '"':
+					un.WriteByte('"')
+				case 'n':
+					un.WriteByte('\n')
+				default:
+					t.Fatalf("unknown escape \\%c in %q", got[i+1], got)
+				}
+				i++
+				continue
+			}
+			if got[i] == '"' {
+				t.Fatalf("unescaped quote in %q", got)
+			}
+			un.WriteByte(got[i])
+		}
+		if un.String() != v {
+			t.Fatalf("round-trip mismatch: %q -> %q -> %q", v, got, un.String())
+		}
+	})
+}

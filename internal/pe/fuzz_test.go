@@ -113,8 +113,8 @@ func FuzzBatchedFrames(f *testing.F) {
 			in.Time = int64(i) - 3
 			in.Num1 = float64(i) * 1.5
 			in.Num2 = -float64(i)
-			in.Text = text[: len(text)*(i+1)/n]
-			in.Payload = payload[: len(payload)*(n-i)/n]
+			in.Text = text[:len(text)*(i+1)/n]
+			in.Payload = payload[:len(payload)*(n-i)/n]
 			nb, err := enc.writeFrame(&in)
 			if err != nil {
 				t.Fatalf("writeFrame %d: %v", i, err)

@@ -3,7 +3,9 @@ package pe
 import (
 	"context"
 	"fmt"
+	"io"
 	"net"
+	"strconv"
 	"sync"
 	"time"
 
@@ -13,6 +15,7 @@ import (
 	"streamelastic/internal/graph"
 	"streamelastic/internal/metrics"
 	"streamelastic/internal/monitor"
+	"streamelastic/internal/obs"
 )
 
 // Options configure a job launch.
@@ -43,6 +46,16 @@ type Options struct {
 	// StallAfter is how long without progress the watchdog probes tolerate
 	// before declaring a stall (default 1s).
 	StallAfter time.Duration
+	// Recorder is the job's flight recorder; nil means Launch creates one of
+	// obs.DefaultFlightRecorderSize. All PEs share it, each tagging its
+	// events with its PE id.
+	Recorder *obs.FlightRecorder
+	// FlightDump, when set, receives an automatic flight-recorder dump each
+	// time a PE watchdog trips (requires EnableWatchdog).
+	FlightDump io.Writer
+	// SampleEvery forwards to exec.Options.SampleEvery: every Nth queued
+	// delivery per emitting loop is latency-sampled; 0 disables sampling.
+	SampleEvery int
 }
 
 // PERuntime is one launched processing element.
@@ -55,6 +68,9 @@ type PERuntime struct {
 	Coord *core.Coordinator
 	// Watchdog is the PE's health monitor (nil unless enabled).
 	Watchdog *monitor.Watchdog
+	// Reg is the PE's telemetry registry (const label pe="N"); every engine,
+	// transport, and watchdog series lives here.
+	Reg *obs.Registry
 
 	cancel context.CancelFunc
 	done   chan struct{}
@@ -67,6 +83,13 @@ type Job struct {
 
 	crosses []CrossEdge
 	conns   []net.Conn // both ends per stream, for shutdown
+
+	// regs holds one telemetry registry per PE; rec is the shared flight
+	// recorder; dump (guarded by dumpMu) receives automatic trip dumps.
+	regs   []*obs.Registry
+	rec    *obs.FlightRecorder
+	dumpMu sync.Mutex
+	dump   io.Writer
 
 	mu      sync.Mutex
 	started bool
@@ -84,7 +107,20 @@ func Launch(g *graph.Graph, assign Assignment, opts Options) (*Job, error) {
 	if err != nil {
 		return nil, err
 	}
-	job := &Job{crosses: crosses}
+	rec := opts.Recorder
+	if rec == nil {
+		rec = obs.NewFlightRecorder(obs.DefaultFlightRecorderSize)
+	}
+	regs := make([]*obs.Registry, len(plans))
+	for i := range regs {
+		regs[i] = obs.NewRegistry(obs.Label{Key: "pe", Value: strconv.Itoa(i)})
+	}
+	job := &Job{crosses: crosses, regs: regs, rec: rec, dump: opts.FlightDump}
+	if opts.Fault != nil {
+		opts.Fault.SetObserver(func(ev fault.Event) {
+			rec.Record(obs.EvFault, -1, int64(ev.Site), int64(ev.N), ev.Point.String())
+		})
+	}
 
 	// Wire streams: one listener per cross edge on the receiving side;
 	// the sending side dials.
@@ -133,6 +169,8 @@ func Launch(g *graph.Graph, assign Assignment, opts Options) (*Job, error) {
 				sender.exports[j].cfg = opts.Transport.withDefaults()
 				sender.exports[j].inj = opts.Fault
 				sender.exports[j].site = ce.Stream
+				sender.exports[j].rec = rec
+				sender.exports[j].recPE = int32(ce.FromPE)
 				if err := sender.exports[j].connect(sendConn, addr); err != nil {
 					_ = acc.conn.Close()
 					abort()
@@ -143,14 +181,23 @@ func Launch(g *graph.Graph, assign Assignment, opts Options) (*Job, error) {
 		receiver := plans[ce.ToPE]
 		for j, end := range receiver.Imports {
 			if end.Stream == ce.Stream {
+				receiver.imports[j].rec = rec
+				receiver.imports[j].recPE = int32(ce.ToPE)
+				receiver.imports[j].site = ce.Stream
 				receiver.imports[j].connect(acc.conn, listeners[i])
 				listeners[i] = nil // adopted by the import
 			}
 		}
 	}
+	registerTransportMetrics(regs, plans, crosses)
 
 	for _, plan := range plans {
+		peID := int32(plan.PE)
 		execOpts := opts.Exec
+		execOpts.Obs = regs[plan.PE]
+		execOpts.Recorder = rec
+		execOpts.ObsPE = plan.PE
+		execOpts.SampleEvery = opts.SampleEvery
 		if opts.Fault != nil {
 			execOpts.Fault = opts.Fault
 			execOpts.FaultSiteBase = fault.OpSite(plan.PE, 0)
@@ -160,7 +207,7 @@ func Launch(g *graph.Graph, assign Assignment, opts Options) (*Job, error) {
 			abort()
 			return nil, fmt.Errorf("pe %d: %w", plan.PE, err)
 		}
-		rt := &PERuntime{Plan: plan, Eng: eng}
+		rt := &PERuntime{Plan: plan, Eng: eng, Reg: regs[plan.PE]}
 		if !opts.DisableElasticity {
 			cfg := opts.Elastic
 			if cfg == (core.Config{}) {
@@ -171,10 +218,35 @@ func Launch(g *graph.Graph, assign Assignment, opts Options) (*Job, error) {
 				abort()
 				return nil, fmt.Errorf("pe %d coordinator: %w", plan.PE, err)
 			}
+			coord.SetObserver(func(ev core.TraceEvent) {
+				detail := string(ev.Phase)
+				if ev.Note != "" {
+					detail += ": " + ev.Note
+				}
+				rec.Record(obs.EvAdapt, peID, int64(ev.Threads), int64(ev.Queues), detail)
+			})
 			rt.Coord = coord
 		}
+		coord := rt.Coord
+		obs.RegisterSettled(rt.Reg, func() bool { return coord == nil || coord.Settled() })
 		if opts.EnableWatchdog {
-			rt.Watchdog = watchdogFor(rt, opts.Watchdog, opts.StallAfter)
+			wcfg := opts.Watchdog
+			userTrip, userRecover := wcfg.OnTrip, wcfg.OnRecover
+			wcfg.OnTrip = func(cause string) {
+				rec.Record(obs.EvWatchdogTrip, peID, 0, 0, cause)
+				job.dumpOnTrip(fmt.Sprintf("watchdog trip pe%d: %s", peID, cause))
+				if userTrip != nil {
+					userTrip(cause)
+				}
+			}
+			wcfg.OnRecover = func() {
+				rec.Record(obs.EvWatchdogRecover, peID, 0, 0, "")
+				if userRecover != nil {
+					userRecover()
+				}
+			}
+			rt.Watchdog = watchdogFor(rt, wcfg, opts.StallAfter)
+			registerWatchdogMetrics(rt.Reg, rt.Watchdog)
 		}
 		job.PEs = append(job.PEs, rt)
 	}

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"streamelastic/internal/fault"
+	"streamelastic/internal/obs"
 	"streamelastic/internal/queue"
 	"streamelastic/internal/spl"
 )
@@ -89,6 +90,10 @@ type exportOp struct {
 	inj  *fault.Injector
 	site int
 
+	// rec/recPE feed the flight recorder; a nil rec no-ops every Record.
+	rec   *obs.FlightRecorder
+	recPE int32
+
 	mu    sync.Mutex // guards connect/close transitions and conn epochs
 	conn  net.Conn   // current epoch's connection, for close()
 	ring  *queue.MPMC[*spl.Tuple]
@@ -100,8 +105,8 @@ type exportOp struct {
 	wired     atomic.Bool
 	parked    atomic.Bool
 	closed    atomic.Bool
-	failed    atomic.Bool // permanent: connection lost with no redial address
-	connected atomic.Bool // current connection attached and healthy
+	failed    atomic.Bool  // permanent: connection lost with no redial address
+	connected atomic.Bool  // current connection attached and healthy
 	progress  atomic.Int64 // unix nanos of the writer's last useful work
 
 	acked  atomic.Uint64 // receiver's acknowledged wire-sequence watermark
@@ -297,6 +302,7 @@ func (x *exportOp) writerLoop(first net.Conn) {
 			return
 		}
 		x.reconnects.Add(1)
+		x.rec.Record(obs.EvReconnect, x.recPE, int64(x.site), 0, "")
 		x.setConn(next)
 		conn = next
 	}
@@ -329,6 +335,10 @@ func (x *exportOp) attach(conn net.Conn, st *writerState) (*connSession, error) 
 			return sess, err
 		}
 		x.retrans.Add(1)
+	}
+	if n := st.nextSeq - resume; n > 0 {
+		// One event per resume burst, not per frame.
+		x.rec.Record(obs.EvRetransmit, x.recPE, int64(x.site), int64(n), "")
 	}
 	if st.nextSeq > resume {
 		if err := x.flushSess(sess); err != nil {
@@ -779,6 +789,12 @@ func (x *exportOp) close() {
 type importSource struct {
 	name string
 
+	// rec/recPE/site feed the flight recorder; a nil rec no-ops every
+	// Record.
+	rec   *obs.FlightRecorder
+	recPE int32
+	site  int
+
 	mu     sync.Mutex
 	conn   net.Conn
 	ln     net.Listener
@@ -864,6 +880,7 @@ func (s *importSource) readLoop(conn net.Conn, ch chan *spl.Tuple, done chan str
 			return
 		}
 		s.resumes.Add(1)
+		s.rec.Record(obs.EvResume, s.recPE, int64(s.site), 0, "")
 		s.setConn(c)
 		conn = c
 	}

@@ -2,14 +2,14 @@ package streamelastic
 
 import (
 	"context"
-	"fmt"
+	"io"
 	"net/http"
 	"time"
 
-	"streamelastic/internal/core"
 	"streamelastic/internal/exec"
 	"streamelastic/internal/metrics"
 	"streamelastic/internal/monitor"
+	"streamelastic/internal/obs"
 	"streamelastic/internal/pe"
 )
 
@@ -32,6 +32,13 @@ type JobOptions struct {
 	// recovered panics exhaust the budget is quarantined (input drops and
 	// counts) for an exponentially growing timeout, then probed back in.
 	PanicBudget int
+	// SampleEvery enables per-operator latency sampling on every PE: every
+	// Nth queued delivery per emitting loop records queue wait and operator
+	// execution time. 0 disables sampling.
+	SampleEvery int
+	// FlightDump, when set, receives an automatic flight-recorder dump each
+	// time a PE watchdog trips (requires EnableWatchdog).
+	FlightDump io.Writer
 }
 
 // Job runs a topology split across several processing elements, each with
@@ -64,6 +71,8 @@ func NewJob(t *Topology, numPEs int, opts JobOptions) (*Job, error) {
 		Elastic:           opts.Elastic,
 		DisableElasticity: opts.DisableElasticity,
 		EnableWatchdog:    opts.EnableWatchdog,
+		SampleEvery:       opts.SampleEvery,
+		FlightDump:        opts.FlightDump,
 	})
 	if err != nil {
 		return nil, err
@@ -143,63 +152,20 @@ func (j *Job) Trace(peIndex int) []TraceEvent {
 	return rt.Coord.Trace()
 }
 
-// jobProvider adapts a Job to the monitoring API.
-type jobProvider struct{ j *Job }
-
-func (p jobProvider) Statuses() []monitor.Status {
-	sts := p.j.Status()
-	streams := p.j.StreamStats()
-	health := p.j.Health()
-	out := make([]monitor.Status, 0, len(sts))
-	for i, s := range sts {
-		rt := p.j.job.PEs[i]
-		sup := rt.Eng.Supervision()
-		sched := rt.Eng.SchedStats()
-		st := monitor.Status{
-			Name:           fmt.Sprintf("pe%d", s.PE),
-			Operators:      s.Operators,
-			Threads:        s.Threads,
-			Queues:         s.Queues,
-			Settled:        s.Settled,
-			SinkTuples:     s.SinkTuples,
-			OperatorPanics: rt.Eng.OperatorPanics(),
-			Quarantined:    sup.Active,
-			Sched:          &sched,
-		}
-		if i < len(health) {
-			h := health[i]
-			st.Health = &h
-		}
-		for _, ss := range streams {
-			if ss.FromPE == s.PE {
-				st.Streams = append(st.Streams, monitor.StreamStatus{
-					Stream: ss.Stream, Dir: "export", Peer: ss.ToPE,
-					Tuples: ss.Sent, Bytes: ss.BytesSent,
-					Dropped: ss.Dropped, Flushes: ss.Flushes,
-					BatchSizes: ss.BatchSizes,
-					Retransmits: ss.Retransmits, Reconnects: ss.Reconnects,
-					Unacked: ss.Unacked,
-				})
-			}
-			if ss.ToPE == s.PE {
-				st.Streams = append(st.Streams, monitor.StreamStatus{
-					Stream: ss.Stream, Dir: "import", Peer: ss.FromPE,
-					Tuples: ss.Received, Bytes: ss.BytesReceived,
-					DupsDropped: ss.DupsDropped, Resumes: ss.Resumes,
-				})
-			}
-		}
-		out = append(out, st)
-	}
-	return out
-}
-
-func (p jobProvider) AdaptationTrace(index int) []core.TraceEvent {
-	return p.j.Trace(index)
-}
-
 // MetricsHandler returns an http.Handler serving every PE's state (see
-// Runtime.MetricsHandler).
+// Runtime.MetricsHandler): /statusz, /tracez, /metrics merged over every
+// PE's registry (series carry a pe="N" label), /flightz, /tracez.json, and
+// /debug/pprof. The pe.Job itself is the status provider, rendering each
+// PE's Status from its telemetry registry.
 func (j *Job) MetricsHandler() http.Handler {
-	return monitor.Handler(jobProvider{j: j})
+	return monitor.ObservabilityHandler(j.job, j.job.Registries(), j.job.FlightRecorder())
 }
+
+// Registries returns every PE's telemetry registry, in PE order.
+func (j *Job) Registries() []*obs.Registry { return j.job.Registries() }
+
+// FlightRecorder returns the job's shared flight recorder.
+func (j *Job) FlightRecorder() *obs.FlightRecorder { return j.job.FlightRecorder() }
+
+// DumpFlight writes a flight-recorder dump with a reason header to w.
+func (j *Job) DumpFlight(w io.Writer, reason string) { j.job.DumpFlight(w, reason) }

@@ -3,10 +3,31 @@ package streamelastic
 import (
 	"context"
 	"encoding/json"
+	"io"
 	"net/http/httptest"
+	"strings"
 	"testing"
 	"time"
 )
+
+// scrape fetches a path from the test server and returns the body, failing
+// the test on transport errors or non-200 responses.
+func scrape(t *testing.T, srv *httptest.Server, path string) string {
+	t.Helper()
+	resp, err := srv.Client().Get(srv.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(body)
+}
 
 func TestJobEndToEnd(t *testing.T) {
 	const n = 2000
@@ -187,6 +208,27 @@ func TestMetricsHandlerRuntime(t *testing.T) {
 	if resp2.StatusCode != 200 {
 		t.Fatalf("tracez status %d", resp2.StatusCode)
 	}
+
+	prom := scrape(t, srv, "/metrics")
+	for _, want := range []string{
+		"# TYPE engine_sink_tuples_total counter",
+		"engine_sink_tuples_total ",
+		"engine_latency_seconds_count",
+		"sched_local_pushes_total",
+	} {
+		if !strings.Contains(prom, want) {
+			t.Fatalf("/metrics missing %q:\n%s", want, prom)
+		}
+	}
+	if flight := scrape(t, srv, "/flightz"); !strings.Contains(flight, "adapt") {
+		t.Fatalf("/flightz carries no adaptation events:\n%s", flight)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal([]byte(scrape(t, srv, "/tracez.json")), &doc); err != nil {
+		t.Fatalf("/tracez.json is not valid JSON: %v", err)
+	}
 }
 
 func TestMetricsHandlerJob(t *testing.T) {
@@ -239,5 +281,20 @@ func TestMetricsHandlerJob(t *testing.T) {
 	imp := imports[0].(map[string]any)
 	if imp["dir"].(string) != "import" || imp["tuples"].(float64) <= 0 {
 		t.Fatalf("pe1 stream = %v", imp)
+	}
+
+	// The merged Prometheus exposition carries both PEs' series, tagged with
+	// pe labels, and the cross-PE transport counters.
+	prom := scrape(t, srv, "/metrics")
+	for _, want := range []string{
+		`engine_sink_tuples_total{pe="0"}`,
+		`engine_sink_tuples_total{pe="1"}`,
+		`transport_tuples_total{dir="export",pe="0",peer="1",stream="0"}`,
+		`transport_tuples_total{dir="import",pe="1",peer="0",stream="0"}`,
+		"sched_local_pushes_total",
+	} {
+		if !strings.Contains(prom, want) {
+			t.Fatalf("/metrics missing %q:\n%s", want, prom)
+		}
 	}
 }

@@ -12,6 +12,7 @@ import (
 	"streamelastic/internal/exec"
 	"streamelastic/internal/metrics"
 	"streamelastic/internal/monitor"
+	"streamelastic/internal/obs"
 )
 
 // Elasticity controller types, re-exported.
@@ -60,6 +61,11 @@ type RuntimeOptions struct {
 	// re-adapts on workload change. Capture snapshots with
 	// Runtime.ConfigSnapshot.
 	WarmStart *ConfigSnapshot
+	// SampleEvery enables per-operator latency sampling: every Nth queued
+	// delivery per emitting loop records queue wait and operator execution
+	// time into the telemetry registry. 0 disables sampling; the disabled
+	// hot path costs a single integer compare.
+	SampleEvery int
 }
 
 // LatencySnapshot summarizes end-to-end tuple latency.
@@ -74,6 +80,8 @@ type ConfigSnapshot = core.ConfigSnapshot
 type Runtime struct {
 	eng   *exec.Engine
 	coord *core.Coordinator
+	reg   *obs.Registry
+	rec   *obs.FlightRecorder
 
 	mu      sync.Mutex
 	cancel  context.CancelFunc
@@ -87,6 +95,7 @@ func NewRuntime(t *Topology, opts RuntimeOptions) (*Runtime, error) {
 	if err != nil {
 		return nil, err
 	}
+	rec := obs.NewFlightRecorder(obs.DefaultFlightRecorderSize)
 	eng, err := exec.New(g, exec.Options{
 		MaxThreads:          opts.MaxThreads,
 		QueueCapacity:       opts.QueueCapacity,
@@ -94,11 +103,14 @@ func NewRuntime(t *Topology, opts RuntimeOptions) (*Runtime, error) {
 		TrackLatency:        opts.TrackLatency,
 		DisableWorkStealing: opts.DisableWorkStealing,
 		LocalQueueCapacity:  opts.LocalQueueCapacity,
+		SampleEvery:         opts.SampleEvery,
+		Recorder:            rec,
 	})
 	if err != nil {
 		return nil, err
 	}
-	r := &Runtime{eng: eng}
+	r := &Runtime{eng: eng, reg: eng.Registry(), rec: rec}
+	obs.RegisterSettled(r.reg, r.Settled)
 	if !opts.DisableElasticity {
 		cfg := opts.Elastic
 		if cfg == (ElasticConfig{}) {
@@ -113,6 +125,13 @@ func NewRuntime(t *Topology, opts RuntimeOptions) (*Runtime, error) {
 		if err != nil {
 			return nil, fmt.Errorf("streamelastic: %w", err)
 		}
+		coord.SetObserver(func(ev core.TraceEvent) {
+			detail := string(ev.Phase)
+			if ev.Note != "" {
+				detail += ": " + ev.Note
+			}
+			rec.Record(obs.EvAdapt, 0, int64(ev.Threads), int64(ev.Queues), detail)
+		})
 		r.coord = coord
 	}
 	return r, nil
@@ -228,19 +247,7 @@ func (r *Runtime) Trace() []TraceEvent {
 type runtimeProvider struct{ r *Runtime }
 
 func (p runtimeProvider) Statuses() []monitor.Status {
-	r := p.r
-	sched := r.SchedStats()
-	return []monitor.Status{{
-		Name:       "runtime",
-		Operators:  r.eng.NumOperators(),
-		Threads:    r.Threads(),
-		Queues:     r.Queues(),
-		Settled:    r.Settled(),
-		SinkTuples: r.SinkCount(),
-		UptimeSecs: r.eng.Now().Seconds(),
-		Latency:    monitor.FromSnapshot(r.Latency()),
-		Sched:      &sched,
-	}}
+	return []monitor.Status{monitor.BuildStatus("runtime", p.r.reg, nil)}
 }
 
 func (p runtimeProvider) AdaptationTrace(index int) []core.TraceEvent {
@@ -250,9 +257,19 @@ func (p runtimeProvider) AdaptationTrace(index int) []core.TraceEvent {
 	return p.r.Trace()
 }
 
-// MetricsHandler returns an http.Handler serving the runtime's state:
-// GET /statusz for configuration and counters, GET /tracez for the
-// adaptation trace. Mount it on any mux or server.
+// MetricsHandler returns an http.Handler serving the runtime's full
+// observability surface: GET /statusz for configuration and counters,
+// GET /tracez for the adaptation trace, GET /metrics for Prometheus text,
+// GET /flightz for a flight-recorder dump, GET /tracez.json for a Chrome
+// trace_event export, and /debug/pprof. Mount it on any mux or server.
 func (r *Runtime) MetricsHandler() http.Handler {
-	return monitor.Handler(runtimeProvider{r: r})
+	return monitor.ObservabilityHandler(runtimeProvider{r: r}, []*obs.Registry{r.reg}, r.rec)
 }
+
+// Registry returns the runtime's telemetry registry, for registering
+// application metrics or scraping programmatically.
+func (r *Runtime) Registry() *obs.Registry { return r.reg }
+
+// FlightRecorder returns the runtime's flight recorder; Record application
+// events into it to interleave them with the engine's.
+func (r *Runtime) FlightRecorder() *obs.FlightRecorder { return r.rec }
