@@ -1,7 +1,7 @@
 GO ?= go
 
 # Packages with lock-free / pooled hot-path code that must stay race-clean.
-RACE_PKGS := ./internal/exec/... ./internal/queue/... ./internal/spl/... ./internal/pe/... ./internal/obs/...
+RACE_PKGS := ./internal/exec/... ./internal/queue/... ./internal/spl/... ./internal/pe/... ./internal/obs/... ./internal/metrics/...
 
 # Benchmark packages; bench output is benchstat-comparable (go test -json).
 BENCH_PKGS := ./internal/exec/... ./internal/queue/...
@@ -21,7 +21,13 @@ BENCH_SCHED_OUT := BENCH_4.json
 # the end-to-end sampling overhead sweep (off / 1% / every tuple).
 BENCH_OBS_OUT := BENCH_5.json
 
-.PHONY: build test race vet bench bench-pe bench-sched bench-sched-smoke bench-obs fuzz fuzz-pe fuzz-deque fuzz-obs chaos
+# Hot-path benchmarks for the shared-point-elimination round: the contended
+# fan-in worker sweep with both sink-metering modes (sharded vs the mutex
+# baseline — the Fig. 10 comparison), plus the zero-copy decode
+# microbenchmarks. Results embed GOMAXPROCS as a reported metric.
+BENCH_HOTPATH_OUT := BENCH_6.json
+
+.PHONY: build test race vet bench bench-pe bench-sched bench-sched-smoke bench-hotpath bench-hotpath-smoke bench-obs fuzz fuzz-pe fuzz-deque fuzz-obs chaos
 
 build:
 	$(GO) build ./...
@@ -59,6 +65,23 @@ bench-sched:
 bench-sched-smoke:
 	$(GO) test -run '^$$' -bench 'ContendedFanIn' -benchtime 1x -benchmem ./internal/exec/
 	$(GO) test -run '^$$' -bench 'WSDeque' -benchtime 1x -benchmem ./internal/queue/
+
+# bench-hotpath writes the raw-speed round 2 results to
+# $(BENCH_HOTPATH_OUT): the contended fan-in at 2/4/8/16 workers in both
+# scheduler modes with the sharded sink AND the locked-sink baseline (every
+# run reports a gomaxprocs metric — on a 1-core box the sharded/locked gap
+# collapses because nothing truly contends), plus the decode benchmarks
+# showing zero payload-copy allocs. Compare sharded vs locked at equal
+# workers with benchstat.
+bench-hotpath:
+	$(GO) test -json -run '^$$' -bench 'ContendedFanIn' -benchmem ./internal/exec/ > $(BENCH_HOTPATH_OUT)
+	$(GO) test -json -run '^$$' -bench 'Decode|ExportImport' -benchmem ./internal/pe/ >> $(BENCH_HOTPATH_OUT)
+
+# One-hundred-iteration smoke of the fan-in benches for CI, both sink
+# modes: proves they build and run without panicking, makes no timing
+# claims.
+bench-hotpath-smoke:
+	$(GO) test -run '^$$' -bench 'ContendedFanIn' -benchtime 100x -benchmem ./internal/exec/
 
 # bench-obs writes the observability overhead results (instrument
 # microbenchmarks plus the queue-crossing sampling sweep) to

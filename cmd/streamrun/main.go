@@ -49,6 +49,7 @@ func main() {
 		streamRing  = flag.Int("streamring", 0, "transport: staging ring capacity per stream in tuples (0 = 1024 default)")
 		streamDrop  = flag.Bool("streamdrop", false, "transport: drop tuples when a stream backs up instead of blocking the PE (latency over completeness)")
 		streamStats = flag.Bool("streamstats", false, "print per-stream transport counters at exit (multi-PE runs)")
+		localEdges  = flag.Bool("localedges", false, "transport: route co-located cross-PE edges through the in-process fast path (direct ring handoff, no TCP); wire-level chaos faults do not apply to local edges")
 
 		steal      = flag.Bool("steal", true, "scheduler: work stealing (per-worker deques with emit affinity); false routes everything through the shared queues")
 		localq     = flag.Int("localq", 0, "scheduler: per-worker deque capacity, a power of two (0 = 256 default)")
@@ -95,7 +96,7 @@ func main() {
 	} else if *file != "" {
 		err = runFile(*file, *threads, *duration, *period, *trace, scfg, ocfg)
 	} else {
-		err = run(*shape, *ops, *width, *depth, *payload, *flops, *skewed, *threads, *duration, *period, *trace, *pes, tcfg, rcfg, *streamStats, scfg, ocfg)
+		err = run(*shape, *ops, *width, *depth, *payload, *flops, *skewed, *threads, *duration, *period, *trace, *pes, tcfg, *localEdges, rcfg, *streamStats, scfg, ocfg)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "streamrun:", err)
@@ -257,7 +258,7 @@ func printSched(name string, s metrics.SchedSnapshot) {
 
 func run(shape string, ops, width, depth, payload int, flops float64, skewed bool,
 	maxThreads int, duration, period time.Duration, dumpTrace bool, pes int,
-	tcfg pe.TransportConfig, rcfg resilienceConfig, streamStats bool, scfg schedConfig, ocfg obsConfig) error {
+	tcfg pe.TransportConfig, localEdges bool, rcfg resilienceConfig, streamStats bool, scfg schedConfig, ocfg obsConfig) error {
 	cfg := workload.DefaultConfig()
 	cfg.PayloadBytes = payload
 	cfg.BalancedFLOPs = flops
@@ -284,7 +285,7 @@ func run(shape string, ops, width, depth, payload int, flops float64, skewed boo
 	}
 
 	if pes > 1 {
-		return runJob(b, maxThreads, duration, period, pes, tcfg, rcfg, streamStats, scfg, ocfg)
+		return runJob(b, maxThreads, duration, period, pes, tcfg, localEdges, rcfg, streamStats, scfg, ocfg)
 	}
 
 	rec := obs.NewFlightRecorder(obs.DefaultFlightRecorderSize)
@@ -389,7 +390,7 @@ func (p engineProvider) AdaptationTrace(i int) []core.TraceEvent {
 // runJob executes the workload as a multi-PE job, every PE adapting
 // independently.
 func runJob(b *workload.Build, maxThreads int, duration, period time.Duration, pes int,
-	tcfg pe.TransportConfig, rcfg resilienceConfig, streamStats bool, scfg schedConfig, ocfg obsConfig) error {
+	tcfg pe.TransportConfig, localEdges bool, rcfg resilienceConfig, streamStats bool, scfg schedConfig, ocfg obsConfig) error {
 	assign, err := pe.AssignContiguous(b.Graph, pes)
 	if err != nil {
 		return err
@@ -414,6 +415,7 @@ func runJob(b *workload.Build, maxThreads int, duration, period time.Duration, p
 		}),
 		Elastic:        ecfg,
 		Transport:      tcfg,
+		LocalEdges:     localEdges,
 		Fault:          inj,
 		EnableWatchdog: rcfg.watchdog,
 		SampleEvery:    ocfg.sample,
@@ -435,8 +437,12 @@ func runJob(b *workload.Build, maxThreads int, duration, period time.Duration, p
 		return err
 	}
 	defer job.Stop()
-	fmt.Printf("running %s as %d PEs (%d TCP streams) for %s\n",
-		b.Name, pes, len(job.Streams()), duration)
+	streamKind := "TCP"
+	if localEdges {
+		streamKind = "in-process"
+	}
+	fmt.Printf("running %s as %d PEs (%d %s streams) for %s\n",
+		b.Name, pes, len(job.Streams()), streamKind, duration)
 	start := time.Now()
 	var last uint64
 	for time.Since(start) < duration {
@@ -457,8 +463,12 @@ func runJob(b *workload.Build, maxThreads int, duration, period time.Duration, p
 	}
 	if streamStats {
 		for _, st := range job.StreamStats() {
-			fmt.Printf("stream %d PE%d->PE%d: sent=%d recv=%d dropped=%d bytesSent=%d bytesRecv=%d flushes=%d batches=%v retrans=%d reconnects=%d dups=%d resumes=%d\n",
-				st.Stream, st.FromPE, st.ToPE, st.Sent, st.Received, st.Dropped,
+			kind := "tcp"
+			if st.Local {
+				kind = "local"
+			}
+			fmt.Printf("stream %d PE%d->PE%d (%s): sent=%d recv=%d dropped=%d bytesSent=%d bytesRecv=%d flushes=%d batches=%v retrans=%d reconnects=%d dups=%d resumes=%d\n",
+				st.Stream, st.FromPE, st.ToPE, kind, st.Sent, st.Received, st.Dropped,
 				st.BytesSent, st.BytesReceived, st.Flushes, st.BatchSizes,
 				st.Retransmits, st.Reconnects, st.DupsDropped, st.Resumes)
 		}

@@ -3,6 +3,7 @@ package exec
 import (
 	"context"
 	"fmt"
+	"runtime"
 	"testing"
 	"time"
 
@@ -10,13 +11,28 @@ import (
 	"streamelastic/internal/spl"
 )
 
+// countingSink abstracts over the sharded CountingSink and the mutex-
+// serialized LockedCountingSink so the fan-in benchmark can compare the two
+// sink-metering modes on the same topology (the Fig. 10 sharded-vs-locked
+// comparison).
+type countingSink interface {
+	spl.Operator
+	Count() uint64
+}
+
 // fanInGraph builds the contended fan-in topology: `sources` independent
 // chains source -> expand(factor) -> work(flops) whose work stages all feed
-// one shared sink node.
-func fanInGraph(tb testing.TB, sources, factor int, flops float64) (*graph.Graph, *spl.CountingSink) {
+// one shared sink node. lockedSink selects the paper's lock-contention
+// baseline sink instead of the sharded default.
+func fanInGraph(tb testing.TB, sources, factor int, flops float64, lockedSink bool) (*graph.Graph, countingSink) {
 	tb.Helper()
 	g := graph.New()
-	sink := spl.NewCountingSink("snk")
+	var sink countingSink
+	if lockedSink {
+		sink = spl.NewLockedCountingSink("snk")
+	} else {
+		sink = spl.NewCountingSink("snk")
+	}
 	sid := g.AddOperator(sink, nil)
 	for i := 0; i < sources; i++ {
 		gen := spl.NewGenerator(fmt.Sprintf("src%d", i), 64)
@@ -40,36 +56,51 @@ func fanInGraph(tb testing.TB, sources, factor int, flops float64) (*graph.Graph
 	return g, sink
 }
 
+// startFanIn builds and starts a fan-in engine with all non-source nodes
+// scheduled dynamically on `workers` workers. Everything here — graph
+// construction, engine start, placement, thread-count ramp, pool/deque
+// warm-up — is per-benchmark setup that must stay outside the timed region.
+func startFanIn(tb testing.TB, steal, lockedSink bool, workers int) *Engine {
+	tb.Helper()
+	const sources, factor, flops = 4, 8, 200
+	g, _ := fanInGraph(tb, sources, factor, flops, lockedSink)
+	e, err := New(g, Options{MaxThreads: 16, DisableWorkStealing: !steal})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	if err := e.Start(context.Background()); err != nil {
+		tb.Fatal(err)
+	}
+	place := make([]bool, g.NumNodes())
+	for i := range place {
+		place[i] = !g.Node(graph.NodeID(i)).Source
+	}
+	if err := e.ApplyPlacement(place); err != nil {
+		e.Stop()
+		tb.Fatal(err)
+	}
+	if err := e.SetThreadCount(workers); err != nil {
+		e.Stop()
+		tb.Fatal(err)
+	}
+	time.Sleep(20 * time.Millisecond) // warm up pools and deques
+	return e
+}
+
 // benchFanIn measures sink throughput on the contended fan-in shape that
 // motivates the work-stealing scheduler: several sources each feed an
 // expansion burst and a work stage, and every work stage fans into one
 // shared sink node. With the shared-MPMC scheduler every burst tuple and
 // every fan-in delivery crosses a contended queue; with stealing the same
 // traffic rides the producing worker's own deque and the shared queues
-// carry only source injections.
-func benchFanIn(b *testing.B, steal bool, workers int) {
+// carry only source injections. The timed region contains nothing but the
+// running pipeline: with sharded sink metering and recyclable-operator
+// release the steady state is allocation-free (see
+// TestContendedFanInSteadyStateAllocFree), so allocs/op stays 0.
+func benchFanIn(b *testing.B, steal, lockedSink bool, workers int) {
 	b.Helper()
-	const sources, factor, flops = 4, 8, 200
-	g, _ := fanInGraph(b, sources, factor, flops)
-	e, err := New(g, Options{MaxThreads: 16, DisableWorkStealing: !steal})
-	if err != nil {
-		b.Fatal(err)
-	}
-	if err := e.Start(context.Background()); err != nil {
-		b.Fatal(err)
-	}
+	e := startFanIn(b, steal, lockedSink, workers)
 	defer e.Stop()
-	place := make([]bool, g.NumNodes())
-	for i := range place {
-		place[i] = !g.Node(graph.NodeID(i)).Source
-	}
-	if err := e.ApplyPlacement(place); err != nil {
-		b.Fatal(err)
-	}
-	if err := e.SetThreadCount(workers); err != nil {
-		b.Fatal(err)
-	}
-	time.Sleep(20 * time.Millisecond) // warm up pools and deques
 	b.ResetTimer()
 	start := e.SinkCount()
 	t0 := time.Now()
@@ -81,15 +112,18 @@ func benchFanIn(b *testing.B, steal bool, workers int) {
 	elapsed := time.Since(t0).Seconds()
 	b.StopTimer()
 	b.ReportMetric(float64(e.SinkCount()-start)/elapsed, "tuples/s")
+	b.ReportMetric(float64(runtime.GOMAXPROCS(0)), "gomaxprocs")
 	if steal {
 		s := e.SchedStats()
 		b.ReportMetric(float64(s.Steals)/elapsed, "steals/s")
 	}
 }
 
-// BenchmarkContendedFanIn is the BENCH_4 headline comparison: shared-MPMC
-// scheduling versus work stealing at 2/4/8/16 workers on the same fan-in
-// topology. Compare tuples/s between shared/workers=N and steal/workers=N.
+// BenchmarkContendedFanIn is the BENCH_4/BENCH_6 headline comparison:
+// shared-MPMC scheduling versus work stealing at 2/4/8/16 workers on the
+// same fan-in topology, with the sharded sink by default. Compare tuples/s
+// between shared/workers=N and steal/workers=N, and against
+// BenchmarkContendedFanInLockedSink for the Fig. 10 sink-contention cost.
 func BenchmarkContendedFanIn(b *testing.B) {
 	for _, mode := range []struct {
 		name  string
@@ -97,8 +131,61 @@ func BenchmarkContendedFanIn(b *testing.B) {
 	}{{"shared", false}, {"steal", true}} {
 		for _, w := range []int{2, 4, 8, 16} {
 			b.Run(fmt.Sprintf("%s/workers=%d", mode.name, w), func(b *testing.B) {
-				benchFanIn(b, mode.steal, w)
+				benchFanIn(b, mode.steal, false, w)
 			})
 		}
+	}
+}
+
+// BenchmarkContendedFanInLockedSink is the same sweep with the paper's
+// lock-contention baseline sink: every worker takes one shared mutex per
+// tuple at the sink, the contention wall Fig. 10 describes.
+func BenchmarkContendedFanInLockedSink(b *testing.B) {
+	for _, mode := range []struct {
+		name  string
+		steal bool
+	}{{"shared", false}, {"steal", true}} {
+		for _, w := range []int{2, 4, 8, 16} {
+			b.Run(fmt.Sprintf("%s/workers=%d", mode.name, w), func(b *testing.B) {
+				benchFanIn(b, mode.steal, true, w)
+			})
+		}
+	}
+}
+
+// TestContendedFanInSteadyStateAllocFree pins the satellite fix for the ~90
+// allocs/op BENCH_4 measured in the fan-in steady state: Expand abandoned
+// its input tuple (no release point for a non-sink operator), so every
+// source->expand queue crossing leaked a pooled tuple struct and payload
+// buffer to the GC at ~1M allocs/s. With Expand marked Recyclable and the
+// engine releasing recyclable inputs mid-graph, the running pipeline must
+// allocate nothing.
+func TestContendedFanInSteadyStateAllocFree(t *testing.T) {
+	if raceDetectorEnabled {
+		t.Skip("race instrumentation allocates")
+	}
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	e := startFanIn(t, true, false, 4)
+	defer e.Stop()
+	// Settle, then measure total process allocations over a window. The
+	// pipeline moves >100k tuples in the window, so even a fraction of an
+	// alloc per tuple (the old leak was ~3 per source tuple) blows the
+	// budget; the budget absorbs incidental runtime/timer allocations.
+	time.Sleep(200 * time.Millisecond)
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := e.SinkCount()
+	time.Sleep(300 * time.Millisecond)
+	runtime.ReadMemStats(&after)
+	moved := e.SinkCount() - start
+	allocs := after.Mallocs - before.Mallocs
+	if moved < 10000 {
+		t.Skipf("pipeline too slow to judge: moved %d tuples", moved)
+	}
+	if allocs > 2000 {
+		t.Fatalf("steady state allocated %d objects while moving %d tuples; want near zero",
+			allocs, moved)
 	}
 }

@@ -183,7 +183,7 @@ type Engine struct {
 
 	outByPort [][][]graph.Edge // node -> port -> edges
 	isSink    []bool
-	recycle   []bool        // sink whose operator opts into tuple recycling
+	recycle   []bool        // operators whose inputs the runtime releases after Process
 	statefulM []*sync.Mutex // per-node lock for Stateful operators
 
 	cfg atomic.Pointer[engineConfig]
@@ -338,8 +338,12 @@ func New(g *graph.Graph, opts Options) (*Engine, error) {
 		}
 		e.outByPort[i] = ports
 		e.isSink[i] = len(nd.Out) == 0
+		// Recyclable is not sink-only: any operator that neither retains nor
+		// forwards its input (Expand's burst tuples are fresh acquires, for
+		// example) gives the runtime a release point, keeping the steady
+		// state allocation-free mid-graph too.
 		if _, ok := nd.Op.(spl.Recyclable); ok {
-			e.recycle[i] = e.isSink[i]
+			e.recycle[i] = true
 		}
 		e.isSource[i] = nd.Source
 	}
@@ -630,6 +634,9 @@ func (e *Engine) sourceLoop(idx int, id graph.NodeID) {
 	em.node = id
 	em.stats = &e.srcStats[idx]
 	em.origin = idx
+	// Sources stripe the sink meter from the top so inline sink execution on
+	// a source loop does not share a stripe with the same-numbered worker.
+	em.sinkMeter = e.meter.Shard(metrics.MeterShards - 1 - idx)
 	for !e.stop.Load() && !draining() {
 		e.maybePark()
 		if e.stop.Load() || draining() {
@@ -662,6 +669,7 @@ func (e *Engine) workerLoop(w *worker) {
 	em := e.newEmitter(ts)
 	em.stats = &w.slot.stats
 	em.origin = w.id
+	em.sinkMeter = e.meter.Shard(w.id)
 	if e.stealing {
 		em.local = w.slot.deq
 	}
@@ -800,8 +808,10 @@ func (e *Engine) execute(em *emitter, node graph.NodeID, port int, t *spl.Tuple)
 	ok := e.process(em, e.g.Node(node), node, port, t)
 	ts.Leave()
 	if e.isSink[node] {
-		e.meter.Add(1)
+		em.sinkMeter.Add(1)
 		e.finishSink(node, t, ok)
+	} else if ok && e.recycle[node] {
+		t.Release()
 	}
 }
 
@@ -830,7 +840,22 @@ func (e *Engine) executeBatch(em *emitter, node graph.NodeID, items []item) {
 			e.finishSink(node, items[i].t, ok)
 		}
 		ts.Leave()
-		e.meter.Add(uint64(len(items)))
+		em.sinkMeter.Add(uint64(len(items)))
+		return
+	}
+	if e.recycle[node] {
+		for i := range items {
+			var ok bool
+			if items[i].enq != 0 {
+				ok = e.processSampled(em, nd, node, items[i].port, items[i].t, items[i].enq)
+			} else {
+				ok = e.process(em, nd, node, items[i].port, items[i].t)
+			}
+			if ok {
+				items[i].t.Release()
+			}
+		}
+		ts.Leave()
 		return
 	}
 	for i := range items {
@@ -914,6 +939,12 @@ type emitter struct {
 	stats  *metrics.SchedCounters
 	origin int
 
+	// sinkMeter is this loop's private stripe of the engine sink meter.
+	// Sink metering was the last shared atomic on the tuple hot path; giving
+	// every dispatch loop its own cache-line-padded stripe makes it a
+	// contention-free add, merged lazily by SinkCount/Observe readers.
+	sinkMeter *metrics.MeterShard
+
 	// Sampling gate: every sampleN-th queued delivery from this loop is
 	// timestamped. Plain ints — the emitter is loop-private.
 	sampleN   int
@@ -923,7 +954,8 @@ type emitter struct {
 // newEmitter returns a dispatch-loop emitter with counters defaulted to the
 // engine's catch-all group; loops with a private group override stats.
 func (e *Engine) newEmitter(ts *metrics.ThreadState) *emitter {
-	return &emitter{e: e, ts: ts, stats: &e.extStats, sampleN: e.opts.SampleEvery}
+	return &emitter{e: e, ts: ts, stats: &e.extStats, sampleN: e.opts.SampleEvery,
+		sinkMeter: e.meter.Shard(0)}
 }
 
 // stamp returns the enqueue timestamp for a queued delivery the sampling

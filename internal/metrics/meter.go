@@ -10,11 +10,37 @@ import (
 	"time"
 )
 
+// MeterShards is the number of independent counter stripes in a Meter. It is
+// a power of two so Shard can mask rather than mod. Sixteen stripes cover the
+// worker counts the engine sweeps (2–16) without two workers sharing a line.
+const MeterShards = 16
+
+// MeterShard is one cache-line-padded counter stripe of a Meter. Hot loops
+// that know their identity (a scheduler worker, a source loop) hold a shard
+// pointer and increment it without touching the other stripes, so sink
+// metering stops being a shared atomic that every worker bounces.
+type MeterShard struct {
+	n atomic.Uint64
+	_ [56]byte // pad to a cache line so adjacent shards never false-share
+}
+
+// Add records n events on this shard.
+func (s *MeterShard) Add(n uint64) { s.n.Add(n) }
+
 // Meter counts events (tuples arriving at sinks) and converts count deltas
-// into rates. It is safe for concurrent use; Add is a single atomic
-// increment so it can sit on the hot path.
+// into rates. It is safe for concurrent use. Writers either call Add (which
+// lands on stripe 0) or, on hot paths with a stable worker identity, cache a
+// Shard and add there; readers merge the stripes lazily.
+//
+// The stripes are monotonic — Reset never zeroes them, it advances a baseline
+// instead — so a Rate reader can never observe the count moving backwards and
+// compute a uint64-wraparound delta, the failure mode of the old single
+// counter whose Reset stored zero while a Rate window was open.
 type Meter struct {
-	count atomic.Uint64
+	shards [MeterShards]MeterShard
+
+	// base is the stripe-sum at the last Reset; Total reports sum-base.
+	base atomic.Uint64
 
 	mu       sync.Mutex
 	lastAt   time.Time
@@ -26,23 +52,52 @@ func NewMeter(now time.Time) *Meter {
 	return &Meter{lastAt: now}
 }
 
-// Add records n events.
-func (m *Meter) Add(n uint64) {
-	m.count.Add(n)
+// Shard returns stripe i (mod MeterShards). The returned pointer is stable
+// for the meter's lifetime; hot loops cache it once.
+func (m *Meter) Shard(i int) *MeterShard {
+	return &m.shards[i&(MeterShards-1)]
 }
 
-// Total returns the number of events recorded since construction.
+// Add records n events (on stripe 0). Callers with a stable identity should
+// prefer Shard(i).Add to spread contention.
+func (m *Meter) Add(n uint64) {
+	m.shards[0].n.Add(n)
+}
+
+// rawTotal merges the stripes. Each stripe only ever grows, so the sum is
+// monotonic with respect to any single writer, though a concurrent reader may
+// see a slightly stale merge — fine for metering.
+func (m *Meter) rawTotal() uint64 {
+	var sum uint64
+	for i := range m.shards {
+		sum += m.shards[i].n.Load()
+	}
+	return sum
+}
+
+// Total returns the number of events recorded since construction or the last
+// Reset.
 func (m *Meter) Total() uint64 {
-	return m.count.Load()
+	cur, base := m.rawTotal(), m.base.Load()
+	if cur < base {
+		// A racing Reset advanced the baseline past our stale stripe merge.
+		return 0
+	}
+	return cur - base
 }
 
 // Rate returns the events-per-second rate since the previous Rate call (or
 // construction) and advances the window to now. A non-positive elapsed
-// interval yields 0.
+// interval yields 0. The snapshot is taken under the same lock Reset holds,
+// so a mid-window Reset can never make cur lag lastSeen and wrap the delta.
 func (m *Meter) Rate(now time.Time) float64 {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	cur := m.count.Load()
+	cur := m.rawTotal()
+	if cur < m.lastSeen {
+		// Stale stripe merge racing fresh adds; clamp rather than wrap.
+		cur = m.lastSeen
+	}
 	elapsed := now.Sub(m.lastAt).Seconds()
 	delta := cur - m.lastSeen
 	m.lastAt = now
@@ -53,11 +108,15 @@ func (m *Meter) Rate(now time.Time) float64 {
 	return float64(delta) / elapsed
 }
 
-// Reset zeroes the meter and restarts the rate window at now.
+// Reset zeroes the meter's visible total and restarts the rate window at now.
+// The stripes themselves are never rewound — Reset advances the baseline and
+// the rate window's lastSeen to the current stripe sum — so concurrent Add,
+// Rate, and Total all stay consistent across a reset.
 func (m *Meter) Reset(now time.Time) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	m.count.Store(0)
-	m.lastSeen = 0
+	cur := m.rawTotal()
+	m.base.Store(cur)
+	m.lastSeen = cur
 	m.lastAt = now
 }

@@ -67,6 +67,95 @@ func TestMeterConcurrentAdd(t *testing.T) {
 	}
 }
 
+func TestMeterShardsMerge(t *testing.T) {
+	start := time.Unix(0, 0)
+	m := NewMeter(start)
+	for i := 0; i < 2*MeterShards; i++ {
+		m.Shard(i).Add(uint64(i + 1))
+	}
+	// Shard(i) masks, so i and i+MeterShards land on the same stripe; the
+	// merged total is still the plain sum.
+	want := uint64(2 * MeterShards * (2*MeterShards + 1) / 2)
+	if m.Total() != want {
+		t.Fatalf("total = %d, want %d", m.Total(), want)
+	}
+	if rate := m.Rate(start.Add(time.Second)); rate != float64(want) {
+		t.Fatalf("rate = %v, want %v", rate, float64(want))
+	}
+}
+
+func TestMeterShardStable(t *testing.T) {
+	m := NewMeter(time.Unix(0, 0))
+	if m.Shard(3) != m.Shard(3+MeterShards) {
+		t.Fatal("shard index does not wrap")
+	}
+	if m.Shard(0) == m.Shard(1) {
+		t.Fatal("distinct shard indexes alias")
+	}
+}
+
+// TestMeterResetMidWindow pins the old bug: Reset used to zero the counter
+// while Rate's window still remembered the pre-reset count, so the next
+// Rate computed cur-lastSeen on uint64 and wrapped to ~1.8e19. With the
+// baseline scheme the post-reset window sees only post-reset events.
+func TestMeterResetMidWindow(t *testing.T) {
+	start := time.Unix(0, 0)
+	m := NewMeter(start)
+	m.Add(1000)
+	if rate := m.Rate(start.Add(time.Second)); rate != 1000 {
+		t.Fatalf("first window rate = %v", rate)
+	}
+	m.Add(500)
+	m.Reset(start.Add(1500 * time.Millisecond))
+	m.Add(10)
+	rate := m.Rate(start.Add(2 * time.Second))
+	if rate < 0 || rate > 1e6 {
+		t.Fatalf("post-reset rate wrapped: %v", rate)
+	}
+	if m.Total() != 10 {
+		t.Fatalf("post-reset total = %d, want 10", m.Total())
+	}
+}
+
+func TestMeterConcurrentResetRate(t *testing.T) {
+	m := NewMeter(time.Now())
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sh := m.Shard(i)
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					sh.Add(1)
+				}
+			}
+		}(i)
+	}
+	for i := 0; i < 200; i++ {
+		now := time.Now()
+		if r := m.Rate(now); r < 0 || r > 1e18 {
+			close(stop)
+			wg.Wait()
+			t.Fatalf("rate wrapped under concurrent reset: %v", r)
+		}
+		if i%10 == 0 {
+			m.Reset(now)
+		}
+		if tot := m.Total(); tot > 1<<62 {
+			close(stop)
+			wg.Wait()
+			t.Fatalf("total wrapped under concurrent reset: %d", tot)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
 func TestThreadStateTransitions(t *testing.T) {
 	var s ThreadState
 	s.Leave()

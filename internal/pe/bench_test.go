@@ -218,9 +218,16 @@ func TestEncodeSteadyStateZeroAlloc(t *testing.T) {
 	}
 }
 
-// TestDecodeSteadyStateZeroAlloc pins the zero-alloc contract of pooled
-// decode tuple construction.
+// TestDecodeSteadyStateZeroAlloc pins the zero-alloc contract of arena-backed
+// decode tuple construction. Skipped under -race: sync.Pool drops ~25% of
+// Puts there, and decode cycles three pooled objects per frame (tuple, arena,
+// payload box), so the forced re-allocations exceed what AllocsPerRun's
+// integer averaging hides. The non-race pass and the benchmarks keep the
+// guard honest.
 func TestDecodeSteadyStateZeroAlloc(t *testing.T) {
+	if raceDetectorEnabled {
+		t.Skip("sync.Pool drops Puts under -race; zero-alloc steady state cannot hold")
+	}
 	dec := newDecoder(&loopReader{frame: encodedFrame(t, 64)})
 	warm, err := dec.decode() // warm the tuple and payload pools
 	if err != nil {

@@ -262,6 +262,90 @@ func TestChaosWatchdogFreezesAdaptation(t *testing.T) {
 	}
 }
 
+// TestChaosMixedLocalAndWireEdges splits the pipeline across three PEs and
+// mixes delivery modes per edge via LocalEdgeFor: the PE0->PE1 edge takes
+// the in-process fast path while the PE1->PE2 edge stays on TCP and has its
+// connection killed mid-run. RACE_PKGS includes this package, so the mixed
+// ring-handoff/wire traffic runs under -race. Conservation must close
+// exactly on both edges: every tuple crosses each boundary once, the wire
+// edge reconnects and resumes, and the local edge's wire counters stay zero.
+func TestChaosMixedLocalAndWireEdges(t *testing.T) {
+	const n = 8000
+	g, sink := seqJob(t, n)
+	inj := fault.New(19)
+	job, err := Launch(g, Assignment{0, 1, 1, 2}, Options{
+		DisableElasticity: true,
+		Transport:         TransportConfig{BlockTimeout: time.Minute},
+		Fault:             inj,
+		LocalEdgeFor:      func(ce CrossEdge) bool { return ce.FromPE == 0 },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var localStream, wireStream = -1, -1
+	for _, ce := range job.Streams() {
+		if ce.FromPE == 0 {
+			localStream = ce.Stream
+		} else {
+			wireStream = ce.Stream
+		}
+	}
+	if localStream < 0 || wireStream < 0 {
+		t.Fatalf("expected one local and one wire stream, got %+v", job.Streams())
+	}
+	inj.Arm(fault.ConnKill, wireStream, fault.Plan{Nth: 2000})
+	if err := job.Start(context.Background()); err != nil {
+		job.Stop()
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(120 * time.Second)
+	for sink.count.Load() < n && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if !job.DrainAndStop(30 * time.Second) {
+		t.Fatal("job did not drain with mixed edges under a connection kill")
+	}
+	if got := inj.Fires(fault.ConnKill, wireStream); got != 1 {
+		t.Fatalf("conn kill fired %d times, want 1", got)
+	}
+	if sink.dups != 0 {
+		t.Fatalf("%d duplicated tuples", sink.dups)
+	}
+	if len(sink.seen) != n {
+		t.Fatalf("received %d distinct tuples, want %d", len(sink.seen), n)
+	}
+	for _, st := range job.StreamStats() {
+		if st.Sent != n || st.Received != n || st.Dropped != 0 {
+			t.Fatalf("stream %d counters sent=%d received=%d dropped=%d, want %d/%d/0",
+				st.Stream, st.Sent, st.Received, st.Dropped, n, n)
+		}
+		switch st.Stream {
+		case localStream:
+			if !st.Local {
+				t.Fatalf("stream %d not marked Local", st.Stream)
+			}
+			if st.BytesSent != 0 || st.Flushes != 0 || st.Reconnects != 0 || st.Resumes != 0 {
+				t.Fatalf("local stream touched the wire: %+v", st)
+			}
+		case wireStream:
+			if st.Local {
+				t.Fatalf("stream %d marked Local but runs on TCP", st.Stream)
+			}
+			// Bytes need not agree exactly: the kill loses in-flight bytes
+			// and the resume rewrites them, so sent >= received.
+			if st.BytesSent == 0 || st.BytesReceived == 0 || st.BytesSent < st.BytesReceived {
+				t.Fatalf("wire bytes implausible: sent %d received %d", st.BytesSent, st.BytesReceived)
+			}
+			if st.Reconnects != 1 || st.Resumes != 1 {
+				t.Fatalf("wire edge recovery: reconnects=%d resumes=%d, want 1/1", st.Reconnects, st.Resumes)
+			}
+			if st.Retransmits == 0 {
+				t.Fatal("wire edge reconnected without retransmitting from the ring")
+			}
+		}
+	}
+}
+
 // TestChaosOperatorSlowdownContained injects per-invocation slowdowns and
 // verifies the injector's delay class works through the engine hook without
 // disturbing delivery.

@@ -119,7 +119,6 @@ func (e *encoder) encode(t *spl.Tuple) error {
 // decoder reads tuple frames from a stream.
 type decoder struct {
 	r     *bufio.Reader
-	buf   []byte
 	nread uint64
 	seq   uint64 // wire sequence of the last decoded frame
 	last  int    // wire bytes of the last decoded frame
@@ -145,10 +144,13 @@ func (d *decoder) wireSeq() uint64 { return d.seq }
 func (d *decoder) lastFrameBytes() int { return d.last }
 
 // decode reads one tuple, returning io.EOF (possibly wrapped) when the
-// stream ends cleanly. The tuple struct and its payload buffer come from
-// the spl pools — the PR 1 ownership protocol extends across the wire — so
-// the consumer must Release the tuple (directly or via the runtime) when
-// its life ends.
+// stream ends cleanly. The frame bytes land once in a pooled, ref-counted
+// arena and the tuple's Payload is a zero-copy *view* into it — no
+// per-frame payload copy, no payload-pool round trip. The tuple struct
+// comes from the spl pool and holds the arena reference; the PR 1 ownership
+// protocol extends across the wire, so the consumer must Release the tuple
+// (directly or via the runtime) when its life ends, which is what lets the
+// arena buffer recycle.
 func (d *decoder) decode() (*spl.Tuple, error) {
 	if _, err := io.ReadFull(d.r, d.lenBuf[:]); err != nil {
 		return nil, err
@@ -157,14 +159,20 @@ func (d *decoder) decode() (*spl.Tuple, error) {
 	if frameLen < fixedHeaderBytes || frameLen > maxFrameBytes {
 		return nil, fmt.Errorf("pe: invalid frame length %d", frameLen)
 	}
-	if cap(d.buf) < int(frameLen) {
-		d.buf = make([]byte, frameLen)
-	}
-	b := d.buf[:frameLen]
+	a := spl.AcquireArena(int(frameLen))
+	b := a.Bytes()
 	if _, err := io.ReadFull(d.r, b); err != nil {
+		a.Release()
 		return nil, fmt.Errorf("pe: truncated frame: %w", err)
 	}
 	t := spl.AcquireTuple()
+	// fail drops both the creator's arena reference and the half-built
+	// tuple (which never attached, so releasing it cannot double-drop).
+	fail := func(err error) (*spl.Tuple, error) {
+		t.Release()
+		a.Release()
+		return nil, err
+	}
 	wireSeq := binary.LittleEndian.Uint64(b[0:])
 	t.Seq = binary.LittleEndian.Uint64(b[8:])
 	t.Key = binary.LittleEndian.Uint64(b[16:])
@@ -175,27 +183,29 @@ func (d *decoder) decode() (*spl.Tuple, error) {
 	textLen := int(binary.LittleEndian.Uint32(b[off:]))
 	off += 4
 	if off+textLen > len(b) {
-		t.Release()
-		return nil, fmt.Errorf("pe: text length %d overruns frame", textLen)
+		return fail(fmt.Errorf("pe: text length %d overruns frame", textLen))
 	}
 	if textLen > 0 {
+		// Strings are immutable and may outlive the frame (operators stash
+		// them in aggregates), so the text cannot be a view; this is the one
+		// copy decode still pays, and only on text-bearing tuples.
 		t.Text = string(b[off : off+textLen])
 	}
 	off += textLen
 	if off+4 > len(b) {
-		t.Release()
-		return nil, fmt.Errorf("pe: frame too short for payload length")
+		return fail(fmt.Errorf("pe: frame too short for payload length"))
 	}
 	payloadLen := int(binary.LittleEndian.Uint32(b[off:]))
 	off += 4
 	if off+payloadLen != len(b) {
-		t.Release()
-		return nil, fmt.Errorf("pe: payload length %d inconsistent with frame", payloadLen)
+		return fail(fmt.Errorf("pe: payload length %d inconsistent with frame", payloadLen))
 	}
 	if payloadLen > 0 {
-		t.AcquirePayload(payloadLen)
-		copy(t.Payload, b[off:])
+		t.AttachArena(a, b[off:off+payloadLen])
 	}
+	// Drop the creator reference: from here the arena lives exactly as long
+	// as the tuple's view (or dies now for payload-less tuples).
+	a.Release()
 	d.seq = wireSeq
 	d.last = 4 + int(frameLen)
 	d.nread += uint64(d.last)

@@ -159,3 +159,48 @@ var tupleFixture = spl.Tuple{
 	Seq: 9, Key: 3, Time: 77, Num1: 1.5, Num2: -2.5,
 	Text: "fixture", Payload: []byte{1, 2, 3},
 }
+
+// TestDecodeIsZeroCopy pins the arena-view decode: the decoded tuple's
+// payload must be a view into the frame's arena buffer (no per-frame copy,
+// no payload-pool round trip), siblings from successive frames may be
+// released in any order, and a corrupt frame must not strand an arena
+// reference.
+func TestDecodeIsZeroCopy(t *testing.T) {
+	var buf bytes.Buffer
+	enc := newEncoder(&buf)
+	for i := 0; i < 3; i++ {
+		in := &spl.Tuple{Seq: uint64(i), Payload: []byte{byte(i), 1, 2, 3}}
+		if err := enc.encode(in); err != nil {
+			t.Fatal(err)
+		}
+	}
+	dec := newDecoder(&buf)
+	tuples := make([]*spl.Tuple, 3)
+	for i := range tuples {
+		out, err := dec.decode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !out.ArenaBacked() {
+			t.Fatal("decoded payload is not an arena view")
+		}
+		if out.PayloadPooled() {
+			t.Fatal("decoded payload took a pooled buffer; expected a view")
+		}
+		tuples[i] = out
+	}
+	// Out-of-order release across frames; the surviving views stay intact.
+	tuples[1].Release()
+	if tuples[0].Payload[0] != 0 || tuples[2].Payload[0] != 2 {
+		t.Fatalf("surviving views corrupted: %v %v", tuples[0].Payload, tuples[2].Payload)
+	}
+	tuples[2].Release()
+	tuples[0].Release()
+
+	// Payload-less tuples must not hold an arena.
+	empty := roundTrip(t, &spl.Tuple{Seq: 9})
+	if empty.ArenaBacked() {
+		t.Fatal("payload-less tuple retained an arena reference")
+	}
+	empty.Release()
+}

@@ -33,6 +33,21 @@ type Options struct {
 	// backpressure mode, retransmit window, reconnect backoff); the zero
 	// value means defaults.
 	Transport TransportConfig
+	// LocalEdges routes every cross-PE stream through the in-process fast
+	// path: since all PEs of a Job share one process, a co-located edge can
+	// hand pooled tuple clones straight from the export's staging ring to the
+	// peer import, skipping encode/frame/TCP/decode entirely. The edge keeps
+	// the staging ring's backpressure and drop accounting and still reports
+	// StreamStats (Sent/Received/batch sizes), but wire-only counters —
+	// bytes, flushes, retransmits, reconnects — stay truthfully zero, and the
+	// reliability machinery is exempt (the handoff is lossless by
+	// construction). Opt-in because wire-fault chaos hooks and byte-level
+	// accounting only exist on TCP edges.
+	LocalEdges bool
+	// LocalEdgeFor, when set, decides per edge whether it takes the
+	// in-process fast path (overrides LocalEdges), so a job can mix local
+	// and TCP delivery.
+	LocalEdgeFor func(CrossEdge) bool
 	// Fault optionally injects deterministic faults into every PE's
 	// operators and streams (chaos testing); nil means none. Operator sites
 	// are fault.OpSite(pe, node); stream sites are the cross-edge stream id.
@@ -122,8 +137,15 @@ func Launch(g *graph.Graph, assign Assignment, opts Options) (*Job, error) {
 		})
 	}
 
-	// Wire streams: one listener per cross edge on the receiving side;
-	// the sending side dials.
+	// Wire streams: co-located edges taking the in-process fast path skip
+	// the network entirely; the rest get one listener per cross edge on the
+	// receiving side, and the sending side dials.
+	isLocal := func(ce CrossEdge) bool {
+		if opts.LocalEdgeFor != nil {
+			return opts.LocalEdgeFor(ce)
+		}
+		return opts.LocalEdges
+	}
 	listeners := make([]net.Listener, len(crosses))
 	defer func() {
 		for _, l := range listeners {
@@ -132,7 +154,10 @@ func Launch(g *graph.Graph, assign Assignment, opts Options) (*Job, error) {
 			}
 		}
 	}()
-	for i := range crosses {
+	for i, ce := range crosses {
+		if isLocal(ce) {
+			continue
+		}
 		l, err := net.Listen("tcp", "127.0.0.1:0")
 		if err != nil {
 			job.closeConns()
@@ -145,6 +170,13 @@ func Launch(g *graph.Graph, assign Assignment, opts Options) (*Job, error) {
 		job.closeConns()
 	}
 	for i, ce := range crosses {
+		if isLocal(ce) {
+			if err := wireLocalStream(plans, ce, opts, rec); err != nil {
+				abort()
+				return nil, fmt.Errorf("pe: wire local stream %d: %w", i, err)
+			}
+			continue
+		}
 		acceptCh := acceptOne(listeners[i])
 		addr := listeners[i].Addr().String()
 		sendConn, err := dialStream(addr, opts.DialTimeout)
@@ -253,6 +285,42 @@ func Launch(g *graph.Graph, assign Assignment, opts Options) (*Job, error) {
 	return job, nil
 }
 
+// wireLocalStream attaches both halves of an in-process edge: the export
+// stages pooled clones into its ring exactly as for a TCP stream, and the
+// peer import pops the ring directly. Wire-fault injection points (conn
+// kill, frame corrupt, writer stall) live on the TCP path only, so
+// opts.Fault is deliberately not attached; operator-level faults in the
+// surrounding PEs are unaffected.
+func wireLocalStream(plans []*Plan, ce CrossEdge, opts Options, rec *obs.FlightRecorder) error {
+	sender := plans[ce.FromPE]
+	var exp *exportOp
+	for j, end := range sender.Exports {
+		if end.Stream == ce.Stream {
+			sender.exports[j].cfg = opts.Transport.withDefaults()
+			sender.exports[j].site = ce.Stream
+			sender.exports[j].rec = rec
+			sender.exports[j].recPE = int32(ce.FromPE)
+			if err := sender.exports[j].connectLocal(); err != nil {
+				return err
+			}
+			exp = sender.exports[j]
+		}
+	}
+	if exp == nil {
+		return fmt.Errorf("pe: stream %d has no export endpoint", ce.Stream)
+	}
+	receiver := plans[ce.ToPE]
+	for j, end := range receiver.Imports {
+		if end.Stream == ce.Stream {
+			receiver.imports[j].rec = rec
+			receiver.imports[j].recPE = int32(ce.ToPE)
+			receiver.imports[j].site = ce.Stream
+			receiver.imports[j].connectLocal(exp)
+		}
+	}
+	return nil
+}
+
 // closeEndpoints shuts down every stream endpoint wired so far; used when a
 // launch fails partway, so no writer goroutine is left redialing a dead
 // peer.
@@ -355,6 +423,7 @@ func (j *Job) StreamStats() []StreamStats {
 		for i, end := range sender.Exports {
 			if end.Stream == ce.Stream {
 				exp := sender.exports[i]
+				st.Local = exp.local.Load()
 				st.Sent = exp.Sent()
 				st.Dropped = exp.Dropped()
 				st.BytesSent = exp.BytesSent()

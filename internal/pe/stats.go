@@ -135,6 +135,12 @@ type StreamStats struct {
 	FromPE int
 	ToPE   int
 
+	// Local reports the in-process fast path: tuples crossed as direct ring
+	// handoffs, so Sent/Received/Dropped/BatchSizes are live but the
+	// wire-only counters (bytes, flushes, retransmits, reconnects, dups,
+	// resumes) are truthfully zero.
+	Local bool
+
 	// Send side: tuples encoded onto the wire, tuples dropped (stream not
 	// wired, errored, or staging ring full past the blocking budget), wire
 	// bytes written, explicit flush syscalls, and the writer's drain

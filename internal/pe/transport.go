@@ -107,6 +107,7 @@ type exportOp struct {
 	closed    atomic.Bool
 	failed    atomic.Bool  // permanent: connection lost with no redial address
 	connected atomic.Bool  // current connection attached and healthy
+	local     atomic.Bool  // in-process edge: peer import pops the ring directly
 	progress  atomic.Int64 // unix nanos of the writer's last useful work
 
 	acked  atomic.Uint64 // receiver's acknowledged wire-sequence watermark
@@ -164,6 +165,60 @@ func (x *exportOp) connect(conn net.Conn, addr string) error {
 	go x.writerLoop(conn)
 	x.wired.Store(true)
 	return nil
+}
+
+// connectLocal wires the export as the sending half of an in-process edge:
+// the staging ring is created exactly as for a TCP stream — Process keeps
+// its backpressure, drop accounting, and wake protocol — but no writer
+// goroutine, encoder, or connection exists. The co-located peer import pops
+// the ring directly via localPop, so a tuple crosses the edge as one pooled
+// clone handoff with no encode/frame/TCP/decode in between. The edge is
+// in-process and lossless by construction, so the reliability machinery
+// (retransmit window, acks, resume) is exempt and its counters stay zero.
+func (x *exportOp) connectLocal() error {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	ring, err := queue.NewMPMC[*spl.Tuple](x.cfg.RingCapacity)
+	if err != nil {
+		return fmt.Errorf("pe: export %s staging ring: %w", x.name, err)
+	}
+	x.ring = ring
+	x.wake = make(chan struct{}, 1)
+	x.space = make(chan struct{}, 1)
+	x.quit = make(chan struct{})
+	// No writer goroutine: done starts closed so close() never waits.
+	x.done = make(chan struct{})
+	close(x.done)
+	x.ackSig = make(chan struct{}, 1)
+	x.progress.Store(time.Now().UnixNano())
+	x.local.Store(true)
+	x.connected.Store(true)
+	x.wired.Store(true)
+	return nil
+}
+
+// localPop transfers up to len(batch) staged tuples to the co-located peer
+// import, which owns them outright afterwards. Counters mirror the wire
+// path's bookkeeping at the same point in a tuple's life: sent when it
+// leaves the staging ring, a batch-size sample per drain, progress for the
+// watchdog's stall probe — but bytes and flushes stay zero, because no wire
+// was touched and lying about it would poison the obs series.
+func (x *exportOp) localPop(batch []*spl.Tuple) int {
+	n := x.ring.TryPopN(batch)
+	if n == 0 {
+		return 0
+	}
+	x.batches.record(n)
+	x.sent.Add(uint64(n))
+	x.progress.Store(time.Now().UnixNano())
+	x.signalSpace()
+	return n
+}
+
+// localDrained reports whether a local export is closed with nothing left to
+// pop — the peer import's end-of-stream condition.
+func (x *exportOp) localDrained() bool {
+	return x.closed.Load() && x.ring.Len() == 0
 }
 
 // Process stages the tuple for the writer goroutine. Tuples arriving before
@@ -767,6 +822,27 @@ func (x *exportOp) close() {
 		close(quit)
 		<-done
 	}
+	if x.local.Load() {
+		// No writer goroutine settled the books: leftover staged clones the
+		// peer never popped drop-and-count here so pushed == sent + dropped
+		// converges, exactly as finish() does for a wire stream. The peer
+		// may race a final pop; MPMC keeps the split disjoint.
+		x.connected.Store(false)
+		var batch [writerBatchTuples]*spl.Tuple
+		for {
+			n := x.ring.TryPopN(batch[:])
+			if n == 0 {
+				break
+			}
+			for i := 0; i < n; i++ {
+				x.dropped.Add(1)
+				batch[i].Release()
+				batch[i] = nil
+			}
+			x.signalSpace()
+		}
+		return
+	}
 	x.mu.Lock()
 	if x.conn != nil {
 		_ = x.conn.Close()
@@ -801,6 +877,13 @@ type importSource struct {
 	ch     chan *spl.Tuple
 	done   chan struct{}
 	closed atomic.Bool
+
+	// peer/batch are the in-process fast path: a non-nil peer means this
+	// import pops the co-located export's staging ring directly (no reader
+	// goroutine, channel, or connection exists). Only the operator thread
+	// driving Next touches batch.
+	peer  *exportOp
+	batch []*spl.Tuple
 
 	// timer is the reusable idle-poll timer; only the operator thread
 	// driving Next touches it.
@@ -845,6 +928,17 @@ func (s *importSource) connect(conn net.Conn, ln net.Listener) {
 	s.ch = make(chan *spl.Tuple, importChanCapacity)
 	s.done = make(chan struct{})
 	go s.readLoop(conn, s.ch, s.done)
+}
+
+// connectLocal wires the import as the receiving half of an in-process
+// edge: Next pops the co-located export's staging ring directly instead of
+// draining a reader goroutine's channel. Must happen before the engine
+// starts, after the export's connectLocal.
+func (s *importSource) connectLocal(exp *exportOp) {
+	s.mu.Lock()
+	s.peer = exp
+	s.batch = make([]*spl.Tuple, importBatchMax)
+	s.mu.Unlock()
 }
 
 func (s *importSource) setConn(conn net.Conn) {
@@ -975,6 +1069,9 @@ func (s *importSource) serveConn(conn net.Conn, ch chan *spl.Tuple) {
 // with true (and no emission) when the stream is idle for a poll interval,
 // and returns false only once the stream has ended and drained.
 func (s *importSource) Next(out spl.Emitter) bool {
+	if s.peer != nil {
+		return s.nextLocal(out)
+	}
 	s.mu.Lock()
 	ch := s.ch
 	s.mu.Unlock()
@@ -1014,6 +1111,54 @@ func (s *importSource) Next(out spl.Emitter) bool {
 	case <-s.timer.C:
 		return true
 	}
+}
+
+// nextLocal is the in-process edge's Next: pop a batch straight off the
+// peer export's staging ring and emit it — ownership of the pooled clones
+// transfers to this PE's runtime, which releases them downstream exactly as
+// it would decoded tuples. On an empty ring it parks on the export's wake
+// protocol (the same parked-flag handshake the writer goroutine uses, so
+// Process's wakeWriter nudges the import instead), bounded by the reusable
+// poll timer so engine reconfiguration is never stalled by a quiet edge.
+func (s *importSource) nextLocal(out spl.Emitter) bool {
+	p := s.peer
+	n := p.localPop(s.batch)
+	if n > 0 {
+		for i := 0; i < n; i++ {
+			out.Emit(0, s.batch[i])
+			s.batch[i] = nil
+		}
+		s.received.Add(uint64(n))
+		return true
+	}
+	if s.closed.Load() || p.localDrained() {
+		return false
+	}
+	p.parked.Store(true)
+	if p.ring.Len() > 0 {
+		p.parked.Store(false)
+		return true
+	}
+	if s.timer == nil {
+		s.timer = time.NewTimer(importPollInterval)
+	} else {
+		s.timer.Reset(importPollInterval)
+	}
+	fired := false
+	select {
+	case <-p.wake:
+	case <-p.quit:
+	case <-s.timer.C:
+		fired = true
+	}
+	p.parked.Store(false)
+	if !fired && !s.timer.Stop() {
+		select {
+		case <-s.timer.C:
+		default:
+		}
+	}
+	return true
 }
 
 // emitBatch emits one received tuple plus a non-blocking drain of up to

@@ -236,6 +236,67 @@ func TestImportIdlePollZeroAlloc(t *testing.T) {
 	}
 }
 
+// TestLocalEdgeNoLossNoDuplication is TestStreamNoLossNoDuplication on the
+// in-process fast path: the same two-PE job with LocalEdges routes every
+// cross-PE tuple as a direct ring handoff. Delivery must still be
+// exactly-once with agreeing end-to-end counters, the batch histogram must
+// show coalesced pops, and the wire-only counters must stay truthfully zero
+// — no wire was touched, and the stats must not pretend otherwise.
+func TestLocalEdgeNoLossNoDuplication(t *testing.T) {
+	const n = 12000
+	g, sink := seqJob(t, n)
+	job, err := Launch(g, Assignment{0, 0, 1, 1}, Options{
+		DisableElasticity: true,
+		LocalEdges:        true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := job.Start(context.Background()); err != nil {
+		job.Stop()
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(60 * time.Second)
+	for sink.count.Load() < n && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if !job.DrainAndStop(30 * time.Second) {
+		t.Fatal("job did not drain")
+	}
+	if sink.dups != 0 {
+		t.Fatalf("%d duplicated tuples", sink.dups)
+	}
+	if len(sink.seen) != n {
+		t.Fatalf("received %d distinct tuples, want %d", len(sink.seen), n)
+	}
+	stats := job.StreamStats()
+	if len(stats) != 1 {
+		t.Fatalf("stream stats = %+v, want 1 stream", stats)
+	}
+	st := stats[0]
+	if !st.Local {
+		t.Fatal("stream not marked Local despite LocalEdges")
+	}
+	if st.Sent != n || st.Received != n || st.Dropped != 0 {
+		t.Fatalf("stream counters sent=%d received=%d dropped=%d, want %d/%d/0",
+			st.Sent, st.Received, st.Dropped, n, n)
+	}
+	if st.BytesSent != 0 || st.BytesReceived != 0 || st.Flushes != 0 {
+		t.Fatalf("local edge reported wire traffic: bytes=%d/%d flushes=%d, want 0",
+			st.BytesSent, st.BytesReceived, st.Flushes)
+	}
+	if st.Retransmits != 0 || st.Reconnects != 0 || st.DupsDropped != 0 || st.Resumes != 0 {
+		t.Fatalf("local edge exercised reliability machinery: %+v", st)
+	}
+	var batches uint64
+	for _, c := range st.BatchSizes {
+		batches += c
+	}
+	if batches == 0 {
+		t.Fatal("no local pop batches recorded")
+	}
+}
+
 // seqSink records every received sequence number for exactly-once checks.
 type seqSink struct {
 	mu    sync.Mutex

@@ -1,0 +1,97 @@
+package spl
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Arena is a pooled, ref-counted receive buffer that lets decoded tuples
+// carry payload *views* into a single frame buffer instead of copying each
+// payload into its own pooled buffer.
+//
+// Lifecycle protocol (an extension of the PR 1 ownership rules):
+//
+//   - The producer (the PE frame decoder) calls AcquireArena(n), reads the
+//     frame into Bytes(), and holds one creator reference.
+//   - Each tuple that views into the arena is attached with AttachArena,
+//     which takes its own reference. Tuple.Release drops it; tuples from the
+//     same frame may be Released in any order and at any time — the buffer
+//     lives until the last view goes.
+//   - When the producer has attached every view it will ever attach, it
+//     drops the creator reference with Release. From then on the arena's
+//     life is governed solely by its tuples.
+//
+// The backing buffer comes from the payload size-class pools, so a frame
+// decode costs zero steady-state allocations and zero payload copies: the
+// bytes are read from the wire straight into the arena and the tuple's
+// Payload aliases them until Release.
+//
+// Views are read-only by convention: multiple tuples may alias overlapping
+// ranges, and the buffer is recycled wholesale, so operators must Clone (deep
+// copy) before mutating a payload — exactly the rule queue crossings already
+// enforce.
+type Arena struct {
+	buf  []byte
+	box  *[]byte // pooled backing buffer, nil when GC-owned (oversize)
+	refs atomic.Int32
+}
+
+var arenaPool = sync.Pool{New: func() any { return new(Arena) }}
+
+// AcquireArena returns an arena with an n-byte buffer (n > 0) and one
+// creator reference. The buffer contents are unspecified; fill via Bytes.
+func AcquireArena(n int) *Arena {
+	a := arenaPool.Get().(*Arena)
+	a.refs.Store(1)
+	if c := payloadClass(n); c >= 0 {
+		box := payloadPools[c].Get().(*[]byte)
+		a.buf, a.box = (*box)[:n], box
+	} else {
+		a.buf, a.box = make([]byte, n), nil
+	}
+	return a
+}
+
+// Bytes returns the arena's buffer. The producer fills it before attaching
+// views; afterwards it must be treated as immutable.
+func (a *Arena) Bytes() []byte { return a.buf }
+
+// Retain adds a reference. Exposed for producers that hand the same arena to
+// multiple frames or stash it across calls; tuple views take their reference
+// through AttachArena.
+func (a *Arena) Retain() { a.refs.Add(1) }
+
+// Release drops one reference; the last drop returns the buffer to its
+// size-class pool and the arena struct to the arena pool. After Release the
+// caller must not touch the arena (nor any view into it, for the last
+// holder).
+func (a *Arena) Release() {
+	if a.refs.Add(-1) != 0 {
+		return
+	}
+	if a.box != nil {
+		payloadPools[payloadClass(cap(*a.box))].Put(a.box)
+	}
+	a.buf, a.box = nil, nil
+	arenaPool.Put(a)
+}
+
+// Refs returns the current reference count (diagnostic; used by tests).
+func (a *Arena) Refs() int32 { return a.refs.Load() }
+
+// AttachArena makes the tuple a view holder of a: Payload aliases view
+// (a subslice of a.Bytes()), the tuple takes one arena reference, and
+// Tuple.Release will drop it instead of recycling a pooled payload buffer.
+// Any previously owned pooled payload is returned first.
+func (t *Tuple) AttachArena(a *Arena, view []byte) {
+	if t.payloadBox != nil {
+		payloadPools[payloadClass(cap(*t.payloadBox))].Put(t.payloadBox)
+		t.payloadBox = nil
+	}
+	a.Retain()
+	t.Payload, t.arena = view, a
+}
+
+// ArenaBacked reports whether the tuple's payload is a view into a shared
+// arena (diagnostic; used by tests).
+func (t *Tuple) ArenaBacked() bool { return t.arena != nil }

@@ -1,0 +1,182 @@
+package spl
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+)
+
+// viewTuple decodes a fake "frame region" into a tuple view.
+func viewTuple(a *Arena, off, n int) *Tuple {
+	t := AcquireTuple()
+	t.AttachArena(a, a.Bytes()[off:off+n])
+	return t
+}
+
+func TestArenaViewsSurviveOutOfOrderRelease(t *testing.T) {
+	a := AcquireArena(64)
+	for i := range a.Bytes() {
+		a.Bytes()[i] = byte(i)
+	}
+	t1 := viewTuple(a, 0, 16)
+	t2 := viewTuple(a, 16, 16)
+	t3 := viewTuple(a, 32, 32)
+	a.Release() // producer done attaching; tuples now own the buffer
+
+	// Release the middle sibling first, then the first; the last tuple's
+	// view must still read the original bytes.
+	t2.Release()
+	t1.Release()
+	if a.Refs() != 1 {
+		t.Fatalf("refs = %d after two of three views released, want 1", a.Refs())
+	}
+	want := make([]byte, 32)
+	for i := range want {
+		want[i] = byte(32 + i)
+	}
+	if !bytes.Equal(t3.Payload, want) {
+		t.Fatalf("surviving view corrupted: %v", t3.Payload[:4])
+	}
+	t3.Release()
+	if a.Refs() != 0 {
+		t.Fatalf("refs = %d after all views released, want 0", a.Refs())
+	}
+}
+
+func TestArenaViewRetainedPastNextFrame(t *testing.T) {
+	// Frame 1: one tuple retains its view while frames 2..N are decoded into
+	// fresh arenas of the same size class. The retained view's bytes must
+	// not be overwritten — i.e. frame 1's buffer must not have been recycled
+	// into a later arena while a view was live.
+	a1 := AcquireArena(128)
+	for i := range a1.Bytes() {
+		a1.Bytes()[i] = 0xA1
+	}
+	held := viewTuple(a1, 0, 128)
+	a1.Release()
+
+	for frame := 0; frame < 8; frame++ {
+		an := AcquireArena(128)
+		for i := range an.Bytes() {
+			an.Bytes()[i] = byte(frame)
+		}
+		tn := viewTuple(an, 0, 128)
+		an.Release()
+		tn.Release()
+	}
+	for i, b := range held.Payload {
+		if b != 0xA1 {
+			t.Fatalf("retained view byte %d overwritten by later frame: %#x", i, b)
+		}
+	}
+	held.Release()
+}
+
+func TestArenaReleaseBeforeProducerDrop(t *testing.T) {
+	// A tuple Released before the producer drops the creator reference must
+	// not recycle the buffer out from under the producer.
+	a := AcquireArena(64)
+	tp := viewTuple(a, 0, 64)
+	tp.Release()
+	if a.Refs() != 1 {
+		t.Fatalf("refs = %d, want 1 (creator still holds)", a.Refs())
+	}
+	a.Bytes()[0] = 7 // still safe to touch
+	a.Release()
+	if a.Refs() != 0 {
+		t.Fatalf("refs = %d after creator drop", a.Refs())
+	}
+}
+
+func TestAttachArenaReplacesPooledPayload(t *testing.T) {
+	tp := AcquireTuple()
+	tp.AcquirePayload(256)
+	if !tp.PayloadPooled() {
+		t.Fatal("setup: payload not pooled")
+	}
+	a := AcquireArena(64)
+	tp.AttachArena(a, a.Bytes()[:32])
+	if tp.PayloadPooled() {
+		t.Fatal("pooled payload box survived AttachArena")
+	}
+	if !tp.ArenaBacked() {
+		t.Fatal("tuple not arena-backed after AttachArena")
+	}
+	if len(tp.Payload) != 32 {
+		t.Fatalf("payload view length = %d", len(tp.Payload))
+	}
+	a.Release()
+	tp.Release()
+}
+
+func TestAcquirePayloadDropsArenaRef(t *testing.T) {
+	a := AcquireArena(64)
+	tp := viewTuple(a, 0, 64)
+	a.Release()
+	if a.Refs() != 1 {
+		t.Fatalf("refs = %d", a.Refs())
+	}
+	tp.AcquirePayload(16)
+	if a.Refs() != 0 {
+		t.Fatalf("refs = %d after view traded for owned buffer, want 0", a.Refs())
+	}
+	if tp.ArenaBacked() {
+		t.Fatal("tuple still arena-backed")
+	}
+	tp.Release()
+}
+
+func TestArenaCloneDeepCopies(t *testing.T) {
+	a := AcquireArena(64)
+	for i := range a.Bytes() {
+		a.Bytes()[i] = 0x5C
+	}
+	tp := viewTuple(a, 0, 64)
+	a.Release()
+
+	c := tp.Clone()
+	if c.ArenaBacked() {
+		t.Fatal("clone shares the arena; queue crossings need owned bytes")
+	}
+	tp.Release() // arena recycles now
+	for i, b := range c.Payload {
+		if b != 0x5C {
+			t.Fatalf("clone byte %d = %#x after arena recycle", i, b)
+		}
+	}
+	c.Release()
+}
+
+func TestArenaOversizePayloadFallsBackToGC(t *testing.T) {
+	n := (1 << maxPayloadClassBits) + 1
+	a := AcquireArena(n)
+	if a.box != nil {
+		t.Fatal("oversize arena drew from the pool")
+	}
+	if len(a.Bytes()) != n {
+		t.Fatalf("len = %d", len(a.Bytes()))
+	}
+	a.Release()
+}
+
+func TestArenaConcurrentViewRelease(t *testing.T) {
+	const views = 64
+	a := AcquireArena(1024)
+	tuples := make([]*Tuple, views)
+	for i := range tuples {
+		tuples[i] = viewTuple(a, i*16, 16)
+	}
+	a.Release()
+	var wg sync.WaitGroup
+	for _, tp := range tuples {
+		wg.Add(1)
+		go func(tp *Tuple) {
+			defer wg.Done()
+			tp.Release()
+		}(tp)
+	}
+	wg.Wait()
+	if a.Refs() != 0 {
+		t.Fatalf("refs = %d after concurrent release", a.Refs())
+	}
+}

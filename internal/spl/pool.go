@@ -79,6 +79,12 @@ func AcquireTuple() *Tuple {
 // drawn from the pool (len(t.Payload) == n; contents are unspecified).
 // Release will return the buffer to its size class.
 func (t *Tuple) AcquirePayload(n int) {
+	if t.arena != nil {
+		// The tuple is trading an arena view for an owned buffer; drop the
+		// view's reference first so the frame buffer can recycle.
+		t.arena.Release()
+		t.arena = nil
+	}
 	if n <= 0 {
 		t.Payload, t.payloadBox = nil, nil
 		return
@@ -99,6 +105,8 @@ func (t *Tuple) AcquirePayload(n int) {
 func (t *Tuple) Release() {
 	if t.payloadBox != nil {
 		payloadPools[payloadClass(cap(*t.payloadBox))].Put(t.payloadBox)
+	} else if t.arena != nil {
+		t.arena.Release()
 	}
 	*t = Tuple{}
 	tuplePool.Put(t)

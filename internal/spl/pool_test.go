@@ -101,3 +101,30 @@ func TestCloneReleaseSteadyStateAllocFree(t *testing.T) {
 		t.Fatalf("clone/release cycle allocates %.3f allocs/op, want ~0", avg)
 	}
 }
+
+// TestExpandCycleSteadyStateAllocFree pins the recyclable-operator fix for
+// the fan-in leak (BENCH_4's ~90 allocs/op): Expand emits fresh tuples and
+// the runtime releases its input afterwards, so one full input-clone ->
+// expand -> release-everything cycle must draw entirely from the pools.
+func TestExpandCycleSteadyStateAllocFree(t *testing.T) {
+	if raceDetectorEnabled {
+		t.Skip("race-mode sync.Pool drops Puts; guard runs without -race")
+	}
+	x := NewExpand("x", 8)
+	if _, ok := any(x).(Recyclable); !ok {
+		t.Fatal("Expand must be Recyclable so the runtime can release its input")
+	}
+	src := &Tuple{Seq: 7, Payload: make([]byte, 64)}
+	sink := EmitterFunc(func(_ int, t *Tuple) { t.Release() })
+	cycle := func() {
+		in := src.Clone() // the queue-crossing copy
+		x.Process(0, in, sink)
+		in.Release() // the runtime's recyclable-input release
+	}
+	for i := 0; i < 64; i++ {
+		cycle()
+	}
+	if avg := testing.AllocsPerRun(2000, cycle); avg > 0.05 {
+		t.Fatalf("expand cycle allocates %.3f allocs/op, want ~0", avg)
+	}
+}

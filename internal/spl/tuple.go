@@ -39,6 +39,12 @@ type Tuple struct {
 	// Release returns it to its size-class pool. Tuples whose payload
 	// merely references a buffer owned elsewhere leave it nil.
 	payloadBox *[]byte
+
+	// arena, when non-nil, means Payload is a read-only view into a shared
+	// ref-counted frame buffer (see Arena); Release drops the reference
+	// instead of recycling a payload buffer. Mutually exclusive with
+	// payloadBox.
+	arena *Arena
 }
 
 // Clone returns a deep copy of the tuple. The payload bytes are copied, so
