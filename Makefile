@@ -27,7 +27,12 @@ BENCH_OBS_OUT := BENCH_5.json
 # microbenchmarks. Results embed GOMAXPROCS as a reported metric.
 BENCH_HOTPATH_OUT := BENCH_6.json
 
-.PHONY: build test race vet bench bench-pe bench-sched bench-sched-smoke bench-hotpath bench-hotpath-smoke bench-obs fuzz fuzz-pe fuzz-deque fuzz-obs chaos
+# Region-compilation benchmarks: interpreted tuple-at-a-time vs compiled
+# batch execution on deep all-manual chains (tuples/s, 0 allocs/op both
+# modes; gomaxprocs reported).
+BENCH_FUSED_OUT := BENCH_7.json
+
+.PHONY: build test race vet bench bench-pe bench-sched bench-sched-smoke bench-hotpath bench-hotpath-smoke bench-obs bench-fused bench-fused-smoke benchstat fuzz fuzz-pe fuzz-deque fuzz-obs fuzz-batch chaos
 
 build:
 	$(GO) build ./...
@@ -91,6 +96,28 @@ bench-obs:
 	$(GO) test -json -run '^$$' -bench 'CounterInc|HistogramObserve|FlightRecord' -benchmem ./internal/obs/ > $(BENCH_OBS_OUT)
 	$(GO) test -json -run '^$$' -bench 'QueueCrossingSampling' -benchmem ./internal/exec/ >> $(BENCH_OBS_OUT)
 
+# bench-fused writes the region-compilation comparison to
+# $(BENCH_FUSED_OUT): BenchmarkManualChain scalar vs fused at depth 4 and
+# 16. The acceptance bar for the compiled path is >= 1.5x tuples/s over
+# scalar on the deep chain with 0 allocs/op; check with
+# `make benchstat OLD=... NEW=BENCH_7.json` or compare the fused/scalar
+# rows directly.
+bench-fused:
+	$(GO) test -json -run '^$$' -bench 'ManualChain' -benchmem ./internal/exec/ > $(BENCH_FUSED_OUT)
+
+# One-hundred-iteration smoke of the fused benches for CI: proves the
+# compiled path builds and runs, makes no timing claims.
+bench-fused-smoke:
+	$(GO) test -run '^$$' -bench 'ManualChain' -benchtime 100x -benchmem ./internal/exec/
+
+# benchstat diffs two committed BENCH_*.json artifacts with the stdlib-only
+# in-repo tool (averages repeated runs, marks better/worse per unit):
+#   make benchstat OLD=BENCH_4.json NEW=BENCH_6.json
+OLD ?= BENCH_4.json
+NEW ?= BENCH_6.json
+benchstat:
+	$(GO) run ./cmd/benchdiff $(OLD) $(NEW)
+
 # Short deterministic pass over the MPMC batch-operation fuzz corpus.
 fuzz:
 	$(GO) test ./internal/queue/ -run '^$$' -fuzz FuzzMPMCBatchOps -fuzztime 20s
@@ -106,6 +133,12 @@ fuzz-deque:
 # Short fuzz pass over the Prometheus label-escaping round trip.
 fuzz-obs:
 	$(GO) test ./internal/obs/ -run '^$$' -fuzz FuzzPromEscape -fuzztime 20s
+
+# Short fuzz pass over batch-compiled vs interpreted execution equivalence:
+# random operator chains and inputs, byte-identical sink output required in
+# both region shapes.
+fuzz-batch:
+	$(GO) test ./internal/exec/ -run '^$$' -fuzz FuzzBatchEquivalence -fuzztime 20s
 
 # Seeded fault-injection suite under the race detector: connection kills,
 # frame corruption, operator panics with quarantine, watchdog freeze — all

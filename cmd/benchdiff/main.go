@@ -1,0 +1,241 @@
+// Command benchdiff compares two benchmark result files captured as `go
+// test -json` output (the repo's BENCH_*.json artifacts) and prints, per
+// benchmark and per unit, the old value, the new value and the relative
+// change. It is a self-contained, stdlib-only stand-in for benchstat: no
+// statistics beyond averaging repeated runs, but enough to answer "did this
+// change move the needle, and by how much" from two committed artifacts.
+//
+// Usage:
+//
+//	benchdiff OLD.json NEW.json
+//	go run ./cmd/benchdiff BENCH_4.json BENCH_6.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// testEvent is the subset of the `go test -json` event stream benchdiff
+// needs: output fragments carry the benchmark text.
+type testEvent struct {
+	Action  string `json:"Action"`
+	Package string `json:"Package"`
+	Output  string `json:"Output"`
+}
+
+// sample accumulates repeated measurements of one (benchmark, unit) pair.
+type sample struct {
+	sum float64
+	n   int
+}
+
+func (s sample) mean() float64 { return s.sum / float64(s.n) }
+
+// results maps "benchmark name\x00unit" to its accumulated sample.
+type results map[string]sample
+
+// parseFile reads a `go test -json` stream and extracts every benchmark
+// result line. test2json splits one logical line across several Output
+// events (the name flushes before the measurements), so the text is
+// reassembled per package before line-splitting.
+func parseFile(path string) (results, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+
+	text := make(map[string]*strings.Builder)
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		var ev testEvent
+		if err := json.Unmarshal([]byte(line), &ev); err != nil {
+			// Tolerate plain-text bench output: treat the whole file as
+			// one pseudo-package.
+			b := text[""]
+			if b == nil {
+				b = &strings.Builder{}
+				text[""] = b
+			}
+			b.WriteString(line)
+			b.WriteByte('\n')
+			continue
+		}
+		if ev.Action != "output" {
+			continue
+		}
+		b := text[ev.Package]
+		if b == nil {
+			b = &strings.Builder{}
+			text[ev.Package] = b
+		}
+		b.WriteString(ev.Output)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+
+	out := results{}
+	for _, b := range text {
+		for _, line := range strings.Split(b.String(), "\n") {
+			name, vals, ok := parseBenchLine(line)
+			if !ok {
+				continue
+			}
+			for unit, v := range vals {
+				k := name + "\x00" + unit
+				s := out[k]
+				s.sum += v
+				s.n++
+				out[k] = s
+			}
+		}
+	}
+	return out, nil
+}
+
+// parseBenchLine parses one `BenchmarkName-8  1000  123 ns/op  4 B/op ...`
+// result line into its name and unit->value map. Lines that are just the
+// benchmark name (no tab-separated fields) report ok=false.
+func parseBenchLine(line string) (string, map[string]float64, bool) {
+	if !strings.HasPrefix(line, "Benchmark") {
+		return "", nil, false
+	}
+	fields := strings.Fields(line)
+	// name, iterations, then (value, unit) pairs.
+	if len(fields) < 4 || len(fields)%2 != 0 {
+		return "", nil, false
+	}
+	if _, err := strconv.ParseInt(fields[1], 10, 64); err != nil {
+		return "", nil, false
+	}
+	name := strings.TrimPrefix(fields[0], "Benchmark")
+	// Strip the -GOMAXPROCS suffix so runs at different proc counts still
+	// line up by logical benchmark (the proc count also rides along as the
+	// gomaxprocs metric in this repo's benches).
+	if i := strings.LastIndexByte(name, '-'); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	vals := make(map[string]float64, (len(fields)-2)/2)
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return "", nil, false
+		}
+		vals[fields[i+1]] = v
+	}
+	return name, vals, true
+}
+
+// unitOrder ranks the most decision-relevant units first in the report.
+var unitOrder = map[string]int{
+	"ns/op":     0,
+	"tuples/s":  1,
+	"allocs/op": 2,
+	"B/op":      3,
+}
+
+// lowerIsBetter reports whether a smaller value of the unit is an
+// improvement (affects the delta sign annotation only).
+func lowerIsBetter(unit string) bool {
+	switch unit {
+	case "tuples/s", "steals/s":
+		return false
+	}
+	return true
+}
+
+// diff prints the comparison table for every (name, unit) present in both
+// files, sorted by name then unit rank.
+func diff(w *bufio.Writer, old, new results) {
+	type row struct {
+		name, unit string
+		o, n       float64
+	}
+	var rows []row
+	for k, os := range old {
+		ns, ok := new[k]
+		if !ok {
+			continue
+		}
+		i := strings.IndexByte(k, 0)
+		rows = append(rows, row{name: k[:i], unit: k[i+1:], o: os.mean(), n: ns.mean()})
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].name != rows[j].name {
+			return rows[i].name < rows[j].name
+		}
+		ri, iok := unitOrder[rows[i].unit]
+		rj, jok := unitOrder[rows[j].unit]
+		if iok != jok {
+			return iok
+		}
+		if ri != rj {
+			return ri < rj
+		}
+		return rows[i].unit < rows[j].unit
+	})
+	fmt.Fprintf(w, "%-60s %-10s %14s %14s %9s\n", "benchmark", "unit", "old", "new", "delta")
+	for _, r := range rows {
+		delta := "~"
+		if r.o != 0 {
+			d := (r.n - r.o) / r.o * 100
+			mark := ""
+			if (d < -0.5 && lowerIsBetter(r.unit)) || (d > 0.5 && !lowerIsBetter(r.unit)) {
+				mark = " better"
+			} else if (d > 0.5 && lowerIsBetter(r.unit)) || (d < -0.5 && !lowerIsBetter(r.unit)) {
+				mark = " worse"
+			}
+			delta = fmt.Sprintf("%+8.1f%%%s", d, mark)
+		} else if r.n != 0 {
+			delta = "new"
+		}
+		fmt.Fprintf(w, "%-60s %-10s %14s %14s %s\n", r.name, r.unit, formatVal(r.o), formatVal(r.n), delta)
+	}
+}
+
+// formatVal renders a measurement compactly: integers without decimals,
+// small values with enough precision to compare.
+func formatVal(v float64) string {
+	switch {
+	case v == float64(int64(v)) && v < 1e15:
+		return strconv.FormatInt(int64(v), 10)
+	case v >= 100:
+		return strconv.FormatFloat(v, 'f', 0, 64)
+	default:
+		return strconv.FormatFloat(v, 'g', 4, 64)
+	}
+}
+
+func main() {
+	if len(os.Args) != 3 {
+		fmt.Fprintf(os.Stderr, "usage: benchdiff OLD.json NEW.json\n")
+		os.Exit(2)
+	}
+	old, err := parseFile(os.Args[1])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(1)
+	}
+	cur, err := parseFile(os.Args[2])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(1)
+	}
+	w := bufio.NewWriter(os.Stdout)
+	diff(w, old, cur)
+	w.Flush()
+}

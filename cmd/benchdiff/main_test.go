@@ -1,0 +1,118 @@
+package main
+
+import (
+	"bufio"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeBench composes a minimal `go test -json` stream with one benchmark
+// result, split across Output events the way test2json actually splits
+// them: the name flushes in its own event, the measurements in the next.
+func writeBench(t *testing.T, path, name string, nsop, tuples float64) {
+	t.Helper()
+	var b strings.Builder
+	b.WriteString(`{"Action":"start","Package":"p"}` + "\n")
+	b.WriteString(`{"Action":"output","Package":"p","Output":"goos: linux\n"}` + "\n")
+	b.WriteString(`{"Action":"output","Package":"p","Output":"Benchmark` + name + `\n"}` + "\n")
+	b.WriteString(`{"Action":"output","Package":"p","Output":"Benchmark` + name + `-8         \t"}` + "\n")
+	b.WriteString(`{"Action":"output","Package":"p","Output":"    1000\t` +
+		formatVal(nsop) + ` ns/op\t` + formatVal(tuples) + ` tuples/s\t0 B/op\t0 allocs/op\n"}` + "\n")
+	b.WriteString(`{"Action":"pass","Package":"p"}` + "\n")
+	if err := os.WriteFile(path, []byte(b.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseFileReassemblesSplitLines(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "b.json")
+	writeBench(t, path, "ManualChain/fused/depth=4", 2949, 21705774)
+	r, err := parseFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, ok := r["ManualChain/fused/depth=4\x00ns/op"]
+	if !ok {
+		t.Fatalf("ns/op sample missing; parsed %v", r)
+	}
+	if s.mean() != 2949 {
+		t.Fatalf("ns/op mean = %v, want 2949", s.mean())
+	}
+	if s, ok := r["ManualChain/fused/depth=4\x00tuples/s"]; !ok || s.mean() != 21705774 {
+		t.Fatalf("tuples/s sample wrong: %v %v", s, ok)
+	}
+}
+
+func TestParseFileAveragesRepeats(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "b.json")
+	var b strings.Builder
+	for _, v := range []string{"100", "300"} {
+		b.WriteString(`{"Action":"output","Package":"p","Output":"BenchmarkX\t    10\t` + v + ` ns/op\n"}` + "\n")
+	}
+	if err := os.WriteFile(path, []byte(b.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	r, err := parseFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := r["X\x00ns/op"]; s.n != 2 || s.mean() != 200 {
+		t.Fatalf("want mean 200 of 2 runs, got %+v", s)
+	}
+}
+
+func TestParseBenchLineRejectsJunk(t *testing.T) {
+	for _, line := range []string{
+		"",
+		"BenchmarkX",                        // name-only flush line
+		"Benchmark",                         // no fields
+		"pkg: streamelastic",                // header
+		"BenchmarkX\tnot-a-number\t1 ns/op", // bad iteration count
+	} {
+		if _, _, ok := parseBenchLine(line); ok {
+			t.Fatalf("accepted %q", line)
+		}
+	}
+	name, vals, ok := parseBenchLine("BenchmarkManualChain/fused/depth=16-8 \t 210123\t6229 ns/op\t0 allocs/op")
+	if !ok || name != "ManualChain/fused/depth=16" {
+		t.Fatalf("name = %q ok=%v", name, ok)
+	}
+	if vals["ns/op"] != 6229 || vals["allocs/op"] != 0 {
+		t.Fatalf("vals = %v", vals)
+	}
+}
+
+func TestDiffMarksImprovements(t *testing.T) {
+	dir := t.TempDir()
+	oldP := filepath.Join(dir, "old.json")
+	newP := filepath.Join(dir, "new.json")
+	writeBench(t, oldP, "ManualChain/depth=4", 13104, 4884163)
+	writeBench(t, newP, "ManualChain/depth=4", 2949, 21705774)
+	old, err := parseFile(oldP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cur, err := parseFile(newP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	w := bufio.NewWriter(&sb)
+	diff(w, old, cur)
+	w.Flush()
+	out := sb.String()
+	if !strings.Contains(out, "ManualChain/depth=4") {
+		t.Fatalf("benchmark missing from report:\n%s", out)
+	}
+	// ns/op dropped and tuples/s rose: both directions must read "better".
+	if strings.Count(out, "better") < 2 {
+		t.Fatalf("improvements not marked:\n%s", out)
+	}
+	if strings.Contains(out, "worse") {
+		t.Fatalf("spurious regression marked:\n%s", out)
+	}
+}

@@ -54,6 +54,8 @@ func main() {
 		steal      = flag.Bool("steal", true, "scheduler: work stealing (per-worker deques with emit affinity); false routes everything through the shared queues")
 		localq     = flag.Int("localq", 0, "scheduler: per-worker deque capacity, a power of two (0 = 256 default)")
 		schedStats = flag.Bool("schedstats", false, "print work-stealing scheduler counters (affinity pushes, steals, overflows, parks) at exit")
+		fuse       = flag.Bool("fuse", true, "scheduler: compile manual regions into flat programs executed batch-at-a-time; false interprets every delivery tuple-at-a-time")
+		batch      = flag.Int("batch", 1, "source: tuples emitted per generator turn (larger batches feed the compiled-region path whole batches)")
 
 		watchdog    = flag.Bool("watchdog", false, "run a health watchdog per PE that freezes adaptation while the PE is unhealthy (multi-PE runs)")
 		panicBudget = flag.Int("panicbudget", 0, "quarantine an operator after this many recovered panics (0 = supervision off)")
@@ -83,6 +85,7 @@ func main() {
 		steal:  *steal,
 		localQ: *localq,
 		stats:  *schedStats,
+		fuse:   *fuse,
 	}
 	ocfg := obsConfig{
 		metricsAddr: *metricsAddr,
@@ -96,7 +99,7 @@ func main() {
 	} else if *file != "" {
 		err = runFile(*file, *threads, *duration, *period, *trace, scfg, ocfg)
 	} else {
-		err = run(*shape, *ops, *width, *depth, *payload, *flops, *skewed, *threads, *duration, *period, *trace, *pes, tcfg, *localEdges, rcfg, *streamStats, scfg, ocfg)
+		err = run(*shape, *ops, *width, *depth, *payload, *flops, *skewed, *batch, *threads, *duration, *period, *trace, *pes, tcfg, *localEdges, rcfg, *streamStats, scfg, ocfg)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "streamrun:", err)
@@ -119,12 +122,13 @@ func runFile(path string, maxThreads int, duration, period time.Duration, dumpTr
 	ecfg := streamelastic.DefaultElasticConfig()
 	ecfg.MaxThreads = maxThreads
 	rt, err := streamelastic.NewRuntime(top, streamelastic.RuntimeOptions{
-		MaxThreads:          maxThreads,
-		AdaptPeriod:         period,
-		Elastic:             ecfg,
-		DisableWorkStealing: !scfg.steal,
-		LocalQueueCapacity:  scfg.localQ,
-		SampleEvery:         ocfg.sample,
+		MaxThreads:           maxThreads,
+		AdaptPeriod:          period,
+		Elastic:              ecfg,
+		DisableWorkStealing:  !scfg.steal,
+		LocalQueueCapacity:   scfg.localQ,
+		SampleEvery:          ocfg.sample,
+		DisableRegionCompile: !scfg.fuse,
 	})
 	if err != nil {
 		return err
@@ -231,6 +235,7 @@ type schedConfig struct {
 	steal  bool
 	localQ int
 	stats  bool
+	fuse   bool
 }
 
 // validate rejects a deque capacity the engine would refuse, so the error
@@ -246,23 +251,25 @@ func (c schedConfig) validate() error {
 func (c schedConfig) execOptions(o exec.Options) exec.Options {
 	o.DisableWorkStealing = !c.steal
 	o.LocalQueueCapacity = c.localQ
+	o.DisableRegionCompile = !c.fuse
 	return o
 }
 
 // printSched renders one engine's scheduler counters.
 func printSched(name string, s metrics.SchedSnapshot) {
-	fmt.Printf("%s sched: local=%d pops=%d steals=%d stolen=%d overflow=%d injected=%d parks=%d wakes=%d\n",
+	fmt.Printf("%s sched: local=%d pops=%d steals=%d stolen=%d overflow=%d injected=%d parks=%d wakes=%d fusedBatches=%d fusedTuples=%d\n",
 		name, s.LocalPushes, s.LocalPops, s.Steals, s.StolenTuples,
-		s.Overflows, s.Injected, s.Parks, s.Wakes)
+		s.Overflows, s.Injected, s.Parks, s.Wakes, s.FusedBatches, s.FusedTuples)
 }
 
-func run(shape string, ops, width, depth, payload int, flops float64, skewed bool,
+func run(shape string, ops, width, depth, payload int, flops float64, skewed bool, srcBatch int,
 	maxThreads int, duration, period time.Duration, dumpTrace bool, pes int,
 	tcfg pe.TransportConfig, localEdges bool, rcfg resilienceConfig, streamStats bool, scfg schedConfig, ocfg obsConfig) error {
 	cfg := workload.DefaultConfig()
 	cfg.PayloadBytes = payload
 	cfg.BalancedFLOPs = flops
 	cfg.Skewed = skewed
+	cfg.SourceBatch = srcBatch
 
 	var (
 		b   *workload.Build

@@ -11,19 +11,19 @@ import (
 )
 
 // stealOn is the default scheduler configuration the flag parser produces.
-var stealOn = schedConfig{steal: true}
+var stealOn = schedConfig{steal: true, fuse: true}
 
 func TestRunPipelineLive(t *testing.T) {
-	err := run("pipeline", 10, 4, 8, 64, 5000, false, 4,
+	err := run("pipeline", 10, 4, 8, 64, 5000, false, 8, 4,
 		1500*time.Millisecond, 100*time.Millisecond, true, 1, pe.TransportConfig{}, false, resilienceConfig{}, false,
-		schedConfig{steal: true, localQ: 128, stats: true}, obsConfig{})
+		schedConfig{steal: true, localQ: 128, stats: true, fuse: true}, obsConfig{})
 	if err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunSkewedBushy(t *testing.T) {
-	err := run("bushy", 0, 4, 8, 64, 100, true, 2,
+	err := run("bushy", 0, 4, 8, 64, 100, true, 1, 2,
 		1200*time.Millisecond, 100*time.Millisecond, false, 1, pe.TransportConfig{}, false, resilienceConfig{}, false,
 		schedConfig{steal: false}, obsConfig{})
 	if err != nil {
@@ -32,18 +32,18 @@ func TestRunSkewedBushy(t *testing.T) {
 }
 
 func TestRunMultiPE(t *testing.T) {
-	err := run("pipeline", 8, 4, 8, 64, 5000, false, 4,
+	err := run("pipeline", 8, 4, 8, 64, 5000, false, 4, 4,
 		1500*time.Millisecond, 100*time.Millisecond, false, 2,
 		pe.TransportConfig{FlushBytes: 8 << 10, MaxFlushDelay: 500 * time.Microsecond}, false,
 		resilienceConfig{watchdog: true, panicBudget: 2}, true,
-		schedConfig{steal: true, stats: true}, obsConfig{})
+		schedConfig{steal: true, stats: true, fuse: true}, obsConfig{})
 	if err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunMultiPELocalEdges(t *testing.T) {
-	err := run("pipeline", 8, 4, 8, 64, 5000, false, 4,
+	err := run("pipeline", 8, 4, 8, 64, 5000, false, 4, 4,
 		1500*time.Millisecond, 100*time.Millisecond, false, 2,
 		pe.TransportConfig{}, true, resilienceConfig{}, true,
 		schedConfig{steal: true}, obsConfig{})
@@ -53,7 +53,7 @@ func TestRunMultiPELocalEdges(t *testing.T) {
 }
 
 func TestRunUnknownShape(t *testing.T) {
-	if err := run("triangle", 10, 4, 8, 64, 100, false, 4,
+	if err := run("triangle", 10, 4, 8, 64, 100, false, 1, 4,
 		time.Second, 100*time.Millisecond, false, 1, pe.TransportConfig{}, false, resilienceConfig{}, false, stealOn, obsConfig{}); err == nil {
 		t.Fatal("unknown shape accepted")
 	}
@@ -72,7 +72,7 @@ func TestSchedConfigValidate(t *testing.T) {
 	}
 	// Validation guards the engine's own check: a capacity that passes here
 	// must be accepted by run too.
-	if err := run("pipeline", 4, 4, 8, 64, 100, false, 2,
+	if err := run("pipeline", 4, 4, 8, 64, 100, false, 1, 2,
 		300*time.Millisecond, 100*time.Millisecond, false, 1, pe.TransportConfig{}, false, resilienceConfig{}, false,
 		schedConfig{steal: true, localQ: 64}, obsConfig{}); err != nil {
 		t.Fatal(err)
@@ -87,7 +87,7 @@ func TestRunWithObs(t *testing.T) {
 		tracePath:   dir + "/trace.json",
 		sample:      8,
 	}
-	err := run("pipeline", 6, 4, 8, 64, 2000, false, 2,
+	err := run("pipeline", 6, 4, 8, 64, 2000, false, 4, 2,
 		1200*time.Millisecond, 100*time.Millisecond, false, 1,
 		pe.TransportConfig{}, false, resilienceConfig{}, false, stealOn, ocfg)
 	if err != nil {

@@ -11,10 +11,14 @@ import (
 )
 
 // measureLive runs the engine under a fixed configuration for window and
-// returns the sink throughput.
-func measureLive(t *testing.T, g *graph.Graph, place []bool, threads int, window time.Duration) float64 {
+// returns the sink throughput. opts lets callers toggle execution-strategy
+// knobs (e.g. DisableRegionCompile); MaxThreads defaults to 8.
+func measureLive(t *testing.T, g *graph.Graph, place []bool, threads int, window time.Duration, opts Options) float64 {
 	t.Helper()
-	e, err := New(g, Options{MaxThreads: 8})
+	if opts.MaxThreads == 0 {
+		opts.MaxThreads = 8
+	}
+	e, err := New(g, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -91,8 +95,8 @@ func TestSimPredictsLiveOrdering(t *testing.T) {
 	}
 
 	// Live measurement.
-	liveManual := measureLive(t, g, nil, 1, 400*time.Millisecond)
-	liveDynamic := measureLive(t, g, allDyn, 2, 400*time.Millisecond)
+	liveManual := measureLive(t, g, nil, 1, 400*time.Millisecond, Options{})
+	liveDynamic := measureLive(t, g, allDyn, 2, 400*time.Millisecond, Options{})
 	if liveManual == 0 || liveDynamic == 0 {
 		t.Skip("host too loaded to measure throughput")
 	}
@@ -100,4 +104,45 @@ func TestSimPredictsLiveOrdering(t *testing.T) {
 		t.Fatalf("live ordering contradicts the model on 1 CPU: manual %v < dynamic %v",
 			liveManual, liveDynamic)
 	}
+}
+
+// TestLiveFusedNotSlowerThanScalar cross-validates the region compiler's
+// whole-system effect: the same all-manual chain, measured live with
+// compilation on and off, must show the compiled path at least matching the
+// interpreted one. The bar is deliberately loose (0.9x, with a noise skip)
+// because this is a wall-clock test on a shared host — BenchmarkManualChain
+// is where the real speedup is quantified.
+func TestLiveFusedNotSlowerThanScalar(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cross-validation timing test skipped in -short mode")
+	}
+	g := graph.New()
+	gen := spl.NewGenerator("src", 256)
+	prev := g.AddSource(gen, spl.NewCostVar(0))
+	for i := 0; i < 8; i++ {
+		cv := spl.NewCostVar(100)
+		id := g.AddOperator(spl.NewWork("w", cv), cv)
+		if err := g.Connect(prev, 0, id, 0, 1); err != nil {
+			t.Fatal(err)
+		}
+		prev = id
+	}
+	snk := g.AddOperator(spl.NewCountingSink("snk"), nil)
+	if err := g.Connect(prev, 0, snk, 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	gen.Batch = 64
+
+	scalar := measureLive(t, g, nil, 1, 400*time.Millisecond, Options{DisableRegionCompile: true})
+	fused := measureLive(t, g, nil, 1, 400*time.Millisecond, Options{})
+	if scalar == 0 || fused == 0 {
+		t.Skip("host too loaded to measure throughput")
+	}
+	if fused < 0.9*scalar {
+		t.Fatalf("compiled path slower than interpreted live: fused %v < 0.9 * scalar %v", fused, scalar)
+	}
+	t.Logf("live tuples/s: fused %.0f, scalar %.0f (%.2fx)", fused, scalar, fused/scalar)
 }

@@ -54,6 +54,15 @@ const workerBatch = 32
 // between scans) before parking on the idle condition variable.
 const idleSpinLimit = 16
 
+// recSampleEvery thins steal/park flight-recorder writes to one in this
+// many per worker (a power of two). Park/steal transitions fire at queue
+// drain rate — with compiled regions, tens of thousands per second — and
+// recording each one floods the ring and evicts the rare, valuable events
+// (adaptations, quarantines, faults). The sampled record carries the
+// worker's cumulative counter so a dump still reconstructs the true rate;
+// the SchedStats counters stay exact regardless.
+const recSampleEvery = 64
+
 // parkShards is how many park/wake shards the idle machinery spreads
 // workers across (a power of two). A producer with a wake to hand out scans
 // shards starting at its own, so it wakes a nearby worker and never
@@ -84,6 +93,12 @@ type engineConfig struct {
 	placement []bool
 	queues    []*queue.MPMC[item] // indexed by node id; nil when manual
 	queueList []graph.NodeID      // nodes that have queues, in id order
+	// progs holds the compiled manual-region programs for this placement,
+	// indexed by region-head node id (see region.go); nil entries fall back
+	// to the interpreted path, and the whole slice is nil when compilation
+	// is disabled. Rebuilt with every config, so a placement move can never
+	// execute a stale program.
+	progs []*regionProgram
 }
 
 // Options configure a live engine.
@@ -129,6 +144,12 @@ type Options struct {
 	// PanicDecay is the clean-run interval that forgives one strike or
 	// backoff round (default 1s).
 	PanicDecay time.Duration
+	// DisableRegionCompile turns off compiled manual regions and batched
+	// operator execution, interpreting every delivery tuple-at-a-time. The
+	// zero value (compilation on) is the production configuration; the flag
+	// exists for A/B benchmarks and the batch-equivalence fuzzer. Engines
+	// with a fault injector skip compilation regardless (see region.go).
+	DisableRegionCompile bool
 	// SampleEvery enables per-operator latency and queue-wait sampling:
 	// every Nth queued delivery per emitting loop is timestamped at enqueue
 	// and timed through its operator into the op_exec_seconds and
@@ -392,6 +413,7 @@ func (e *Engine) buildConfig(placement []bool, prev *engineConfig) (*engineConfi
 		}
 		cfg.queueList = append(cfg.queueList, graph.NodeID(i))
 	}
+	e.compilePrograms(cfg)
 	return cfg, nil
 }
 
@@ -601,8 +623,9 @@ func (e *Engine) parkIdle(w *worker) {
 		sh.waiters.Add(-1)
 		return
 	}
-	w.slot.stats.Parks.Add(1)
-	e.rec.Record(obs.EvPark, e.recPE, int64(w.id), 0, "")
+	if p := w.slot.stats.Parks.Add(1); p&(recSampleEvery-1) == 1 {
+		e.rec.Record(obs.EvPark, e.recPE, int64(w.id), int64(p), "")
+	}
 	sh.mu.Lock()
 	for sh.wakes == 0 && !e.stop.Load() && !e.pauseReq.Load() && !chanClosed(w.quit) {
 		sh.cond.Wait()
@@ -643,10 +666,21 @@ func (e *Engine) sourceLoop(idx int, id graph.NodeID) {
 			return
 		}
 		em.cfg = e.cfg.Load()
+		em.srcProg = nil
+		if progs := em.cfg.progs; progs != nil {
+			em.srcProg = progs[id]
+		}
 		em.node = id
 		ts.Enter(int(id))
 		more := src.Next(em)
 		ts.Leave()
+		// Flush the compiled-region capture buffer after every Next call:
+		// batch depth is whatever one source invocation emitted, and nothing
+		// is ever in flight across iterations — maybePark and the pause
+		// barrier only ever see an empty buffer.
+		if len(em.srcBuf) > 0 {
+			e.flushSource(em)
+		}
 		if !more {
 			return
 		}
@@ -698,9 +732,10 @@ func (e *Engine) workerLoop(w *worker) {
 				e.executeDBatch(em, batch, dbatch[:k])
 				worked = true
 			} else if k := e.trySteal(w, dbatch); k > 0 {
-				w.slot.stats.Steals.Add(1)
+				if s := w.slot.stats.Steals.Add(1); s&(recSampleEvery-1) == 1 {
+					e.rec.Record(obs.EvSteal, e.recPE, int64(k), int64(w.id), "")
+				}
 				w.slot.stats.StolenTuples.Add(uint64(k))
-				e.rec.Record(obs.EvSteal, e.recPE, int64(k), int64(w.id), "")
 				e.executeDBatch(em, batch, dbatch[:k])
 				worked = true
 			}
@@ -819,6 +854,12 @@ func (e *Engine) execute(em *emitter, node graph.NodeID, port int, t *spl.Tuple)
 // scheduler queue, entering the profiler state once for the whole batch and
 // metering sinks with a single atomic add.
 func (e *Engine) executeBatch(em *emitter, node graph.NodeID, items []item) {
+	if progs := em.cfg.progs; progs != nil {
+		if p := progs[node]; p != nil {
+			e.runRegionItems(em, p, items)
+			return
+		}
+	}
 	if e.sup != nil && e.sup.quarantined(int(node), time.Now().UnixNano()) {
 		e.sup.drops.Add(uint64(len(items)))
 		for i := range items {
@@ -949,6 +990,20 @@ type emitter struct {
 	// timestamped. Plain ints — the emitter is loop-private.
 	sampleN   int
 	sampleCnt int
+
+	// Compiled-region scratch state (region.go), all loop-private and
+	// reused across batches so the compiled steady state allocates nothing:
+	// ibuf stages queue items' tuples into a batch, rbufs ping-pong stage
+	// outputs down a program, and coll is the stage collector the compiled
+	// operators emit into. srcProg is the compiled program rooted at this
+	// loop's source (nil off source loops or when the region is not
+	// compiled) and srcBuf the capture buffer Emit diverts source emissions
+	// into until the loop flushes.
+	ibuf    []*spl.Tuple
+	rbufs   [2][]*spl.Tuple
+	coll    stageCollector
+	srcProg *regionProgram
+	srcBuf  []*spl.Tuple
 }
 
 // newEmitter returns a dispatch-loop emitter with counters defaulted to the
@@ -982,6 +1037,14 @@ func (em *emitter) Emit(port int, t *spl.Tuple) {
 	node := em.node
 	if em.e.opts.TrackLatency && em.e.isSource[node] {
 		t.Time = time.Now().UnixNano()
+	}
+	// A source loop with a compiled region captures its emissions instead
+	// of delivering them; the loop flushes the batch through the program
+	// after each Next call. The head is a source node and inline chains
+	// never execute sources, so only the source's own emissions match.
+	if p := em.srcProg; p != nil && node == p.head && port == p.srcPort {
+		em.srcBuf = append(em.srcBuf, t)
+		return
 	}
 	ports := em.e.outByPort[node]
 	if port < 0 || port >= len(ports) {

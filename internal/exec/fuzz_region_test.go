@@ -1,0 +1,229 @@
+package exec
+
+import (
+	"fmt"
+	"testing"
+
+	"streamelastic/internal/graph"
+	"streamelastic/internal/spl"
+)
+
+// captureSink records every tuple it receives as a formatted row — values,
+// not pointers, since the two paths under comparison pool tuples
+// differently. It is deliberately not Recyclable so the harness never
+// depends on release timing.
+type captureSink struct {
+	rows []string
+}
+
+func (c *captureSink) Name() string { return "capture" }
+
+func (c *captureSink) Process(port int, t *spl.Tuple, _ spl.Emitter) {
+	c.rows = append(c.rows,
+		fmt.Sprintf("p%d|%d|%d|%d|%s|%g|%g", port, t.Seq, t.Key, t.Time, t.Text, t.Num1, t.Num2))
+}
+
+// chainFromSpec builds src -> (ops from spec) -> captureSink. Each spec
+// byte picks one operator; state-bearing operators are freshly constructed
+// per call so repeated builds are independent. Chains are capped at six
+// operators.
+func chainFromSpec(tb testing.TB, spec []byte, tuples uint64, srcBatch int) (*graph.Graph, *captureSink) {
+	tb.Helper()
+	g := graph.New()
+	gen := spl.NewGenerator("src", 0)
+	gen.MaxTuples = tuples
+	gen.Batch = srcBatch
+	gen.Keys = 4
+	gen.Texts = []string{"alpha beta", "gamma", "", "delta epsilon zeta"}
+	prev := g.AddSource(gen, nil)
+	n := len(spec)
+	if n > 6 {
+		n = 6
+	}
+	for i := 0; i < n; i++ {
+		var op spl.Operator
+		switch spec[i] % 6 {
+		case 0:
+			op = spl.NewWork(fmt.Sprintf("w%d", i), spl.NewCostVar(float64(spec[i]%16)))
+		case 1:
+			k := uint64(spec[i]%3 + 2)
+			op = spl.NewFilter(fmt.Sprintf("f%d", i), func(t *spl.Tuple) bool { return t.Seq%k != 0 })
+		case 2:
+			d := float64(spec[i])
+			op = spl.NewMap(fmt.Sprintf("m%d", i), func(t *spl.Tuple) *spl.Tuple {
+				t.Num1 += d
+				t.Num2 = t.Num1 * 0.5
+				return t
+			})
+		case 3:
+			op = spl.NewTokenize(fmt.Sprintf("tk%d", i))
+		case 4:
+			op = spl.NewExpand(fmt.Sprintf("x%d", i), int(spec[i]%3)+1)
+		case 5:
+			op = spl.NewSample(fmt.Sprintf("s%d", i), int(spec[i]%4)+1)
+		}
+		id := g.AddOperator(op, nil)
+		if err := g.Connect(prev, 0, id, 0, 1); err != nil {
+			tb.Fatal(err)
+		}
+		prev = id
+	}
+	sink := &captureSink{}
+	sid := g.AddOperator(sink, nil)
+	if err := g.Connect(prev, 0, sid, 0, 1); err != nil {
+		tb.Fatal(err)
+	}
+	if err := g.Finalize(); err != nil {
+		tb.Fatal(err)
+	}
+	return g, sink
+}
+
+// runSourceHead drives the chain synchronously as a source-headed region:
+// all-manual placement, the generator's batches captured and flushed
+// through the compiled program (or delivered inline when compilation is
+// disabled), exactly mirroring sourceLoop.
+func runSourceHead(tb testing.TB, spec []byte, tuples uint64, srcBatch int, disable bool) []string {
+	tb.Helper()
+	g, sink := chainFromSpec(tb, spec, tuples, srcBatch)
+	e, err := New(g, Options{DisableRegionCompile: disable})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	cfg := e.cfg.Load()
+	em := e.newEmitter(e.reconfigTS)
+	em.cfg = cfg
+	if cfg.progs != nil {
+		em.srcProg = cfg.progs[0]
+	}
+	gen := g.Node(0).Op.(spl.Source)
+	for {
+		em.node = 0
+		more := gen.Next(em)
+		if len(em.srcBuf) > 0 {
+			e.flushSource(em)
+		}
+		if !more {
+			break
+		}
+	}
+	return sink.rows
+}
+
+// runQueueHead drives the chain synchronously as a queue-headed region: a
+// scheduler queue in front of the first operator, drained with batch pops
+// through executeBatch — the worker-loop shape.
+func runQueueHead(tb testing.TB, spec []byte, tuples uint64, srcBatch int, disable bool) []string {
+	tb.Helper()
+	g, sink := chainFromSpec(tb, spec, tuples, srcBatch)
+	e, err := New(g, Options{DisableRegionCompile: disable})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	place := make([]bool, g.NumNodes())
+	place[1] = true
+	if err := e.ApplyPlacement(place); err != nil {
+		tb.Fatal(err)
+	}
+	cfg := e.cfg.Load()
+	em := e.newEmitter(e.reconfigTS)
+	em.cfg = cfg
+	gen := g.Node(0).Op.(spl.Source)
+	q := cfg.queues[1]
+	batch := make([]item, workerBatch)
+	for {
+		em.node = 0
+		more := gen.Next(em)
+		for {
+			k := q.TryPopN(batch)
+			if k == 0 {
+				break
+			}
+			e.executeBatch(em, 1, batch[:k])
+		}
+		if !more {
+			break
+		}
+	}
+	return sink.rows
+}
+
+// FuzzBatchEquivalence is the compiled path's correctness oracle: for a
+// random operator chain and input stream, the batch-compiled execution must
+// produce byte-identical output — same tuple values, same count, same order
+// at the sink — as the interpreted tuple-at-a-time path, in both region
+// shapes (source-headed and queue-headed).
+func FuzzBatchEquivalence(f *testing.F) {
+	f.Add([]byte{0}, uint8(10), uint8(1))
+	f.Add([]byte{0, 2, 1}, uint8(40), uint8(8))
+	f.Add([]byte{3, 4, 5}, uint8(25), uint8(4))
+	f.Add([]byte{1, 1, 1, 1, 1, 1}, uint8(64), uint8(16))
+	f.Add([]byte{4, 4, 2}, uint8(12), uint8(3))
+	f.Add([]byte{5, 3, 0, 2}, uint8(50), uint8(7))
+	f.Add([]byte{}, uint8(5), uint8(2))
+	f.Fuzz(func(t *testing.T, spec []byte, n uint8, batch uint8) {
+		tuples := uint64(n%64) + 1
+		srcBatch := int(batch%16) + 1
+		for _, shape := range []struct {
+			name string
+			run  func(testing.TB, []byte, uint64, int, bool) []string
+		}{
+			{"source-head", runSourceHead},
+			{"queue-head", runQueueHead},
+		} {
+			fused := shape.run(t, spec, tuples, srcBatch, false)
+			scalar := shape.run(t, spec, tuples, srcBatch, true)
+			if len(fused) != len(scalar) {
+				t.Fatalf("%s: fused emitted %d rows, scalar %d (spec=%v tuples=%d batch=%d)",
+					shape.name, len(fused), len(scalar), spec, tuples, srcBatch)
+			}
+			for i := range fused {
+				if fused[i] != scalar[i] {
+					t.Fatalf("%s: row %d differs (spec=%v tuples=%d batch=%d):\nfused:  %s\nscalar: %s",
+						shape.name, i, spec, tuples, srcBatch, fused[i], scalar[i])
+				}
+			}
+		}
+	})
+}
+
+// TestBatchEquivalenceSeeds runs the fuzz seed corpus as a plain test so
+// `go test` covers the equivalence oracle without -fuzz.
+func TestBatchEquivalenceSeeds(t *testing.T) {
+	seeds := []struct {
+		spec  []byte
+		n     uint8
+		batch uint8
+	}{
+		{[]byte{0}, 10, 1},
+		{[]byte{0, 2, 1}, 40, 8},
+		{[]byte{3, 4, 5}, 25, 4},
+		{[]byte{1, 1, 1, 1, 1, 1}, 64, 16},
+		{[]byte{4, 4, 2}, 12, 3},
+		{[]byte{5, 3, 0, 2}, 50, 7},
+		{nil, 5, 2},
+	}
+	for _, s := range seeds {
+		tuples := uint64(s.n%64) + 1
+		srcBatch := int(s.batch%16) + 1
+		for _, shape := range []struct {
+			name string
+			run  func(testing.TB, []byte, uint64, int, bool) []string
+		}{
+			{"source-head", runSourceHead},
+			{"queue-head", runQueueHead},
+		} {
+			fused := shape.run(t, s.spec, tuples, srcBatch, false)
+			scalar := shape.run(t, s.spec, tuples, srcBatch, true)
+			if len(fused) != len(scalar) {
+				t.Fatalf("%s: fused %d rows, scalar %d (spec=%v)", shape.name, len(fused), len(scalar), s.spec)
+			}
+			for i := range fused {
+				if fused[i] != scalar[i] {
+					t.Fatalf("%s: row %d differs (spec=%v):\nfused:  %s\nscalar: %s",
+						shape.name, i, s.spec, fused[i], scalar[i])
+				}
+			}
+		}
+	}
+}

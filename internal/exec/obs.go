@@ -60,6 +60,10 @@ func (e *Engine) registerMetrics() {
 		sched(func(s metrics.SchedSnapshot) uint64 { return s.Parks }))
 	r.CounterFunc(obs.MetricSchedWakes, "Wake tokens granted to parked workers.",
 		sched(func(s metrics.SchedSnapshot) uint64 { return s.Wakes }))
+	r.CounterFunc(obs.MetricSchedFusedBatches, "Batches executed through compiled region programs.",
+		sched(func(s metrics.SchedSnapshot) uint64 { return s.FusedBatches }))
+	r.CounterFunc(obs.MetricSchedFusedTuples, "Tuples entering compiled region programs.",
+		sched(func(s metrics.SchedSnapshot) uint64 { return s.FusedTuples }))
 
 	// Supervision series register unconditionally: Engine.Supervision is
 	// zero-valued when supervision is off, so the series just read 0.

@@ -29,6 +29,10 @@ type SchedCounters struct {
 	// granted to parked workers.
 	Parks atomic.Uint64
 	Wakes atomic.Uint64
+	// FusedBatches counts batches executed through a compiled region
+	// program; FusedTuples counts the tuples that entered those batches.
+	FusedBatches atomic.Uint64
+	FusedTuples  atomic.Uint64
 
 	_ [64]byte
 }
@@ -44,6 +48,8 @@ type SchedSnapshot struct {
 	Injected     uint64 `json:"injected"`
 	Parks        uint64 `json:"parks"`
 	Wakes        uint64 `json:"wakes"`
+	FusedBatches uint64 `json:"fused_batches"`
+	FusedTuples  uint64 `json:"fused_tuples"`
 }
 
 // Snapshot reads the counter group. Each load is individually atomic; the
@@ -59,6 +65,8 @@ func (c *SchedCounters) Snapshot() SchedSnapshot {
 		Injected:     c.Injected.Load(),
 		Parks:        c.Parks.Load(),
 		Wakes:        c.Wakes.Load(),
+		FusedBatches: c.FusedBatches.Load(),
+		FusedTuples:  c.FusedTuples.Load(),
 	}
 }
 
@@ -72,4 +80,6 @@ func (s *SchedSnapshot) Merge(o SchedSnapshot) {
 	s.Injected += o.Injected
 	s.Parks += o.Parks
 	s.Wakes += o.Wakes
+	s.FusedBatches += o.FusedBatches
+	s.FusedTuples += o.FusedTuples
 }

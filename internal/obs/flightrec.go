@@ -23,8 +23,8 @@ type EventKind uint8
 //	EvResume           A=stream
 //	EvWatchdogTrip     Detail=probe cause
 //	EvWatchdogRecover
-//	EvSteal            A=tuples stolen B=thief worker id
-//	EvPark             A=worker id
+//	EvSteal            A=tuples stolen B=thief worker id (sampled by the engine)
+//	EvPark             A=worker id B=cumulative parks (sampled by the engine)
 const (
 	EvAdapt EventKind = iota + 1
 	EvFault

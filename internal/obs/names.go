@@ -25,6 +25,8 @@ const (
 	MetricSchedInjected     = "sched_injected_total"
 	MetricSchedParks        = "sched_parks_total"
 	MetricSchedWakes        = "sched_wakes_total"
+	MetricSchedFusedBatches = "sched_fused_batches_total"
+	MetricSchedFusedTuples  = "sched_fused_tuples_total"
 
 	// Supervision.
 	MetricSupQuarantines = "supervision_quarantines_total"

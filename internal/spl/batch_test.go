@@ -1,0 +1,131 @@
+package spl
+
+import (
+	"fmt"
+	"testing"
+)
+
+// recordingEmitter captures emissions as formatted value rows so scalar and
+// batch runs compare by content, not tuple identity.
+type recordingEmitter struct {
+	rows []string
+}
+
+func (r *recordingEmitter) Emit(port int, t *Tuple) {
+	r.rows = append(r.rows, fmt.Sprintf("p%d|%d|%d|%s|%g|%g", port, t.Seq, t.Key, t.Text, t.Num1, t.Num2))
+}
+
+// mkBatch builds n tuples with varied fields, including texts that exercise
+// Tokenize's empty/multi-word cases.
+func mkBatch(n int) []*Tuple {
+	texts := []string{"alpha beta", "", "gamma", "one two three"}
+	ts := make([]*Tuple, n)
+	for i := range ts {
+		ts[i] = &Tuple{
+			Seq:  uint64(i + 1),
+			Key:  uint64(i % 5),
+			Text: texts[i%len(texts)],
+			Num1: float64(i) * 1.5,
+			Num2: float64(i),
+		}
+	}
+	return ts
+}
+
+// checkBatchEquivalence runs the same input through per-tuple Process on
+// one operator instance and ProcessBatch on a second, identically
+// constructed instance, and requires identical emissions. Fresh instances
+// matter: stateful operators (Sample) advance their counters as they run.
+func checkBatchEquivalence(t *testing.T, scalarOp Operator, batchOp BatchProcessor, n int) {
+	t.Helper()
+	in := mkBatch(n)
+	var scalar, batch recordingEmitter
+	for _, tup := range in {
+		cp := *tup
+		scalarOp.Process(0, &cp, &scalar)
+	}
+	batchIn := make([]*Tuple, len(in))
+	for i, tup := range in {
+		cp := *tup
+		batchIn[i] = &cp
+	}
+	batchOp.ProcessBatch(0, batchIn, &batch)
+	if len(scalar.rows) != len(batch.rows) {
+		t.Fatalf("scalar emitted %d, batch %d", len(scalar.rows), len(batch.rows))
+	}
+	for i := range scalar.rows {
+		if scalar.rows[i] != batch.rows[i] {
+			t.Fatalf("row %d differs:\nscalar: %s\nbatch:  %s", i, scalar.rows[i], batch.rows[i])
+		}
+	}
+}
+
+func TestWorkBatchEquivalence(t *testing.T) {
+	cv := NewCostVar(50)
+	checkBatchEquivalence(t, NewWork("w", cv), NewWork("w", cv), 33)
+}
+
+func TestMapBatchEquivalence(t *testing.T) {
+	fn := func(t *Tuple) *Tuple {
+		if t.Seq%4 == 0 {
+			return nil // exercise the drop branch
+		}
+		t.Num1 += 2
+		return t
+	}
+	checkBatchEquivalence(t, NewMap("m", fn), NewMap("m", fn), 33)
+}
+
+func TestFilterBatchEquivalence(t *testing.T) {
+	pred := func(t *Tuple) bool { return t.Seq%3 != 0 }
+	checkBatchEquivalence(t, NewFilter("f", pred), NewFilter("f", pred), 33)
+}
+
+func TestTokenizeBatchEquivalence(t *testing.T) {
+	checkBatchEquivalence(t, NewTokenize("tk"), NewTokenize("tk"), 33)
+}
+
+func TestExpandBatchEquivalence(t *testing.T) {
+	checkBatchEquivalence(t, NewExpand("x", 3), NewExpand("x", 3), 17)
+}
+
+func TestSampleBatchEquivalence(t *testing.T) {
+	for _, k := range []int{1, 2, 7} {
+		checkBatchEquivalence(t, NewSample("s", k), NewSample("s", k), 40)
+	}
+}
+
+func TestSampleBatchResumesMidStream(t *testing.T) {
+	// The counter must carry across batches exactly as it does across
+	// per-tuple calls: two batches of 10 through one instance select the
+	// same tuples as 20 scalar calls through another.
+	s1, s2 := NewSample("s", 3), NewSample("s", 3)
+	in := mkBatch(20)
+	var scalar, batch recordingEmitter
+	for _, tup := range in {
+		s1.Process(0, tup, &scalar)
+	}
+	s2.ProcessBatch(0, in[:10], &batch)
+	s2.ProcessBatch(0, in[10:], &batch)
+	if len(scalar.rows) != len(batch.rows) {
+		t.Fatalf("scalar emitted %d, batch %d", len(scalar.rows), len(batch.rows))
+	}
+	for i := range scalar.rows {
+		if scalar.rows[i] != batch.rows[i] {
+			t.Fatalf("row %d differs:\nscalar: %s\nbatch:  %s", i, scalar.rows[i], batch.rows[i])
+		}
+	}
+}
+
+func TestCountingSinkBatchEquivalence(t *testing.T) {
+	scalar, batch := NewCountingSink("a"), NewCountingSink("b")
+	in := mkBatch(100)
+	for _, tup := range in {
+		scalar.Process(0, tup, nil)
+	}
+	batch.ProcessBatch(0, in[:60], nil)
+	batch.ProcessBatch(0, in[60:], nil)
+	if scalar.Count() != batch.Count() || batch.Count() != 100 {
+		t.Fatalf("scalar counted %d, batch %d, want 100", scalar.Count(), batch.Count())
+	}
+}

@@ -22,6 +22,11 @@ type Generator struct {
 	// Texts, when non-empty, is a corpus the generator cycles through for
 	// the Text attribute (for tokenizer-style pipelines).
 	Texts []string
+	// Batch is how many tuples one Next call emits (0 or 1 means one).
+	// Deeper batches feed the engine's compiled-region batch path: the
+	// source loop buffers one Next call's emissions and pushes them through
+	// the region program in a single pass.
+	Batch int
 
 	name    string
 	seq     uint64
@@ -42,7 +47,8 @@ func (g *Generator) Name() string { return g.name }
 // Process is a no-op: generators have no input ports.
 func (g *Generator) Process(int, *Tuple, Emitter) {}
 
-// Next emits one tuple and reports whether more remain.
+// Next emits one batch of tuples (Batch of them, default one) and reports
+// whether more remain.
 func (g *Generator) Next(out Emitter) bool {
 	if g.MaxTuples != 0 && g.seq >= g.MaxTuples {
 		return false
@@ -53,22 +59,31 @@ func (g *Generator) Next(out Emitter) bool {
 			g.payload[i] = byte(i)
 		}
 	}
-	t := AcquireTuple()
-	t.Seq, t.Time = g.seq, int64(g.seq)
-	if g.Keys > 1 {
-		t.Key = g.seq % g.Keys
+	n := g.Batch
+	if n < 1 {
+		n = 1
 	}
-	if g.PayloadBytes > 0 {
-		// The emitted tuple shares the generator's payload buffer; the
-		// runtime clones tuples whenever they cross a scheduler queue,
-		// which is exactly where SPL pays its copy cost.
-		t.Payload = g.payload
+	for i := 0; i < n; i++ {
+		if g.MaxTuples != 0 && g.seq >= g.MaxTuples {
+			break
+		}
+		t := AcquireTuple()
+		t.Seq, t.Time = g.seq, int64(g.seq)
+		if g.Keys > 1 {
+			t.Key = g.seq % g.Keys
+		}
+		if g.PayloadBytes > 0 {
+			// The emitted tuple shares the generator's payload buffer; the
+			// runtime clones tuples whenever they cross a scheduler queue,
+			// which is exactly where SPL pays its copy cost.
+			t.Payload = g.payload
+		}
+		if len(g.Texts) > 0 {
+			t.Text = g.Texts[g.seq%uint64(len(g.Texts))]
+		}
+		g.seq++
+		out.Emit(0, t)
 	}
-	if len(g.Texts) > 0 {
-		t.Text = g.Texts[g.seq%uint64(len(g.Texts))]
-	}
-	g.seq++
-	out.Emit(0, t)
 	return true
 }
 

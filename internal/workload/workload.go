@@ -46,6 +46,10 @@ type Config struct {
 	// operator (deserialization, protocol handling). The Fig. 13
 	// experiment uses it to model a rate-bounded feed.
 	SourceFLOPs float64
+	// SourceBatch is how many tuples the generator emits per scheduling
+	// turn (<= 1 means one). Larger batches amortize source-loop overhead
+	// and feed the compiled-region batch path whole batches at a time.
+	SourceBatch int
 }
 
 // DefaultConfig returns the paper's common operating point: balanced
@@ -111,6 +115,7 @@ func (b *Build) ApplySkew(heavyRatio, mediumRatio float64, seed int64) {
 func newSource(cfg Config) *spl.Generator {
 	gen := spl.NewGenerator("src", cfg.PayloadBytes)
 	gen.MaxTuples = cfg.Tuples
+	gen.Batch = cfg.SourceBatch
 	return gen
 }
 

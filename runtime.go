@@ -66,6 +66,10 @@ type RuntimeOptions struct {
 	// time into the telemetry registry. 0 disables sampling; the disabled
 	// hot path costs a single integer compare.
 	SampleEvery int
+	// DisableRegionCompile turns off manual-region compilation: every
+	// delivery runs through the interpreted tuple-at-a-time path (A/B
+	// baselines).
+	DisableRegionCompile bool
 }
 
 // LatencySnapshot summarizes end-to-end tuple latency.
@@ -97,14 +101,15 @@ func NewRuntime(t *Topology, opts RuntimeOptions) (*Runtime, error) {
 	}
 	rec := obs.NewFlightRecorder(obs.DefaultFlightRecorderSize)
 	eng, err := exec.New(g, exec.Options{
-		MaxThreads:          opts.MaxThreads,
-		QueueCapacity:       opts.QueueCapacity,
-		AdaptPeriod:         opts.AdaptPeriod,
-		TrackLatency:        opts.TrackLatency,
-		DisableWorkStealing: opts.DisableWorkStealing,
-		LocalQueueCapacity:  opts.LocalQueueCapacity,
-		SampleEvery:         opts.SampleEvery,
-		Recorder:            rec,
+		MaxThreads:           opts.MaxThreads,
+		QueueCapacity:        opts.QueueCapacity,
+		AdaptPeriod:          opts.AdaptPeriod,
+		TrackLatency:         opts.TrackLatency,
+		DisableWorkStealing:  opts.DisableWorkStealing,
+		LocalQueueCapacity:   opts.LocalQueueCapacity,
+		SampleEvery:          opts.SampleEvery,
+		DisableRegionCompile: opts.DisableRegionCompile,
+		Recorder:             rec,
 	})
 	if err != nil {
 		return nil, err
