@@ -14,6 +14,7 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"path/filepath"
 	"time"
 
 	"streamelastic"
@@ -25,6 +26,7 @@ import (
 	"streamelastic/internal/monitor"
 	"streamelastic/internal/obs"
 	"streamelastic/internal/pe"
+	"streamelastic/internal/state"
 	"streamelastic/internal/workload"
 )
 
@@ -61,6 +63,9 @@ func main() {
 		panicBudget = flag.Int("panicbudget", 0, "quarantine an operator after this many recovered panics (0 = supervision off)")
 		chaos       = flag.Bool("chaos", false, "inject deterministic faults (operator panics, connection kills) into multi-PE runs")
 		chaosSeed   = flag.Int64("chaosseed", 1, "seed for -chaos fault injection")
+		checkpoint  = flag.Bool("checkpoint", false, "periodically snapshot keyed operator state (incremental, per PE) and recover quarantined stateful operators exactly-once")
+		ckptDir     = flag.String("ckptdir", "", "directory for checkpoint logs (pe<N>.ckpt); empty keeps checkpoints in memory")
+		ckptEvery   = flag.Duration("ckptinterval", 0, "checkpoint interval (0 = 1s default)")
 
 		metricsAddr = flag.String("metrics", "", "serve /metrics (Prometheus), /statusz, /flightz, /tracez.json and /debug/pprof on this address (e.g. 127.0.0.1:8080)")
 		flightPath  = flag.String("flightrec", "", "write a flight-recorder dump to this file at exit")
@@ -76,10 +81,13 @@ func main() {
 		DropOnFull:    *streamDrop,
 	}
 	rcfg := resilienceConfig{
-		watchdog:    *watchdog,
-		panicBudget: *panicBudget,
-		chaos:       *chaos,
-		chaosSeed:   *chaosSeed,
+		watchdog:     *watchdog,
+		panicBudget:  *panicBudget,
+		chaos:        *chaos,
+		chaosSeed:    *chaosSeed,
+		checkpoint:   *checkpoint,
+		ckptDir:      *ckptDir,
+		ckptInterval: *ckptEvery,
 	}
 	scfg := schedConfig{
 		steal:  *steal,
@@ -165,12 +173,24 @@ func runFile(path string, maxThreads int, duration, period time.Duration, dumpTr
 	return ocfg.writeArtifacts(rt.FlightRecorder(), rt.Trace())
 }
 
-// resilienceConfig bundles the self-healing flags for multi-PE runs.
+// resilienceConfig bundles the self-healing flags.
 type resilienceConfig struct {
-	watchdog    bool
-	panicBudget int
-	chaos       bool
-	chaosSeed   int64
+	watchdog     bool
+	panicBudget  int
+	chaos        bool
+	chaosSeed    int64
+	checkpoint   bool
+	ckptDir      string
+	ckptInterval time.Duration
+}
+
+// newStore opens the checkpoint store for one engine: a durable file log
+// under -ckptdir, or an in-memory store when the flag is empty.
+func (c resilienceConfig) newStore(name string) (state.Store, error) {
+	if c.ckptDir == "" {
+		return state.NewMemStore(), nil
+	}
+	return state.OpenFileLog(filepath.Join(c.ckptDir, name+".ckpt"))
 }
 
 // obsConfig bundles the observability flags.
@@ -301,9 +321,24 @@ func run(shape string, ops, width, depth, payload int, flops float64, skewed boo
 		AdaptPeriod: period,
 		SampleEvery: ocfg.sample,
 		Recorder:    rec,
+		PanicBudget: rcfg.panicBudget,
 	}))
 	if err != nil {
 		return err
+	}
+	var ckpt *exec.Checkpointer
+	if rcfg.checkpoint {
+		store, err := rcfg.newStore("engine")
+		if err != nil {
+			return err
+		}
+		ckpt = exec.NewCheckpointer(eng, exec.CheckpointConfig{
+			Store:    store,
+			Interval: rcfg.ckptInterval,
+		})
+		if err := ckpt.Restore(); err != nil {
+			return err
+		}
 	}
 	ecfg := core.DefaultConfig()
 	ecfg.MaxThreads = maxThreads
@@ -332,6 +367,10 @@ func run(shape string, ops, width, depth, payload int, flops float64, skewed boo
 		return err
 	}
 	defer eng.Stop()
+	if ckpt != nil {
+		ckpt.Start()
+		defer ckpt.Stop()
+	}
 
 	adaptDone := make(chan struct{})
 	go func() {
@@ -426,6 +465,11 @@ func runJob(b *workload.Build, maxThreads int, duration, period time.Duration, p
 		Fault:          inj,
 		EnableWatchdog: rcfg.watchdog,
 		SampleEvery:    ocfg.sample,
+		Checkpoint: pe.CheckpointOptions{
+			Enabled:  rcfg.checkpoint,
+			Dir:      rcfg.ckptDir,
+			Interval: rcfg.ckptInterval,
+		},
 	}
 	if rcfg.watchdog {
 		// A watchdog trip dumps the flight recorder to stderr as it happens.
@@ -463,6 +507,12 @@ func runJob(b *workload.Build, maxThreads int, duration, period time.Duration, p
 		fmt.Println()
 	}
 	fmt.Printf("final: %d tuples end to end\n", b.Sink.Count())
+	if rcfg.checkpoint {
+		for i, cs := range job.CheckpointStats() {
+			fmt.Printf("PE%d checkpoints: committed=%d errors=%d skipped=%d restores=%d lastBytes=%d watermark=%d epoch=%d\n",
+				i, cs.Checkpoints, cs.Errors, cs.Skipped, cs.Restores, cs.LastBytes, cs.Watermark, cs.Epoch)
+		}
+	}
 	if scfg.stats {
 		for i, s := range job.SchedStats() {
 			printSched(fmt.Sprintf("PE%d", i), s)

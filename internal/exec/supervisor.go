@@ -1,12 +1,19 @@
 package exec
 
 import (
+	"math"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"streamelastic/internal/obs"
 )
+
+// recoverSentinel is the until value meaning "quarantine expired, state
+// recovery in flight": the operator keeps dropping tuples (they will be
+// replayed from the checkpoint watermark) until the checkpointer finishes
+// the restore and calls finishRecovery.
+const recoverSentinel = int64(math.MaxInt64)
 
 // supervision is the engine's operator supervisor: it tracks recovered
 // panics per operator against a panic budget and quarantines repeat
@@ -30,6 +37,13 @@ type supervision struct {
 	quarantines atomic.Uint64 // quarantine engagements
 	releases    atomic.Uint64 // probes back in after a quarantine expired
 	drops       atomic.Uint64 // tuples dropped while quarantined
+
+	// Recovery hook, armed by the checkpoint coordinator before Start.
+	// When recoverable[node] is set, an expired quarantine requests a
+	// state restore instead of releasing directly; the operator stays
+	// quarantined (recoverSentinel) until finishRecovery.
+	recoverable    []bool
+	requestRecover func(node int)
 }
 
 // opHealth is one operator's supervision state. The until field is the hot
@@ -67,11 +81,66 @@ func (s *supervision) quarantined(node int, now int64) bool {
 	if now < until {
 		return true
 	}
+	if s.recoverable != nil && node < len(s.recoverable) && s.recoverable[node] {
+		// Drop-then-restore: the quarantine expired, but the operator's
+		// state must be rolled back to the last checkpoint before tuples
+		// are readmitted. Exactly one caller wins the CAS and requests
+		// the restore; everyone keeps dropping until it completes.
+		if h.until.CompareAndSwap(until, recoverSentinel) {
+			s.requestRecover(node)
+		}
+		return true
+	}
 	if h.until.CompareAndSwap(until, 0) {
 		s.releases.Add(1)
 		s.rec.Record(obs.EvRelease, s.recPE, int64(node), 0, "")
 	}
 	return false
+}
+
+// armRecovery registers the checkpoint coordinator's restore hook. Must be
+// called before the engine starts (no synchronization on the fields).
+func (s *supervision) armRecovery(recoverable []bool, request func(node int)) {
+	s.recoverable = recoverable
+	s.requestRecover = request
+}
+
+// pollExpired requests recovery for any recoverable node whose quarantine
+// has expired, without waiting for a delivery to observe the expiry.
+// Deliveries normally drive the check, but a quarantined stateful operator
+// can stall its own input — acks gate on checkpoint commits and commits
+// skip while it is quarantined — so waiting for traffic would deadlock:
+// recovery needs a delivery, the delivery needs an ack, the ack needs a
+// commit, the commit needs the recovery. The checkpoint loop calls this on
+// its tick to break that cycle.
+func (s *supervision) pollExpired(now int64) {
+	if s.recoverable == nil {
+		return
+	}
+	for i := range s.nodes {
+		if !s.recoverable[i] {
+			continue
+		}
+		h := &s.nodes[i]
+		until := h.until.Load()
+		if until == 0 || until == recoverSentinel || now < until {
+			continue
+		}
+		if h.until.CompareAndSwap(until, recoverSentinel) {
+			s.requestRecover(i)
+		}
+	}
+}
+
+// finishRecovery ends a recovery engagement: the operator is released and
+// the probe counted, mirroring the direct-release path.
+func (s *supervision) finishRecovery(node int) {
+	h := &s.nodes[node]
+	if h.until.Load() == recoverSentinel {
+		h.until.Store(0)
+		s.releases.Add(1)
+		s.rec.Record(obs.EvRelease, s.recPE, int64(node), 0, "restored")
+	}
 }
 
 // notePanic records one recovered panic against node's budget, engaging a

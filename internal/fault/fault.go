@@ -41,6 +41,16 @@ const (
 	// WriterStall sleeps the export writer goroutine, simulating a wedged
 	// writer for the watchdog to detect.
 	WriterStall
+	// CkptCrash aborts a checkpoint epoch mid-write (a torn append, no
+	// commit record), so recovery must fall back to the previous epoch.
+	CkptCrash
+	// CkptCorrupt flips bytes in one checkpoint record before it is
+	// appended; the restore path must detect it via CRC and skip it.
+	CkptCorrupt
+	// RestoreTorn truncates one record's payload during restore,
+	// simulating a torn read; restore must degrade gracefully, never
+	// panic.
+	RestoreTorn
 	numPoints
 )
 
@@ -57,6 +67,12 @@ func (p Point) String() string {
 		return "conn-kill"
 	case WriterStall:
 		return "writer-stall"
+	case CkptCrash:
+		return "ckpt-crash"
+	case CkptCorrupt:
+		return "ckpt-corrupt"
+	case RestoreTorn:
+		return "restore-torn"
 	}
 	return fmt.Sprintf("point-%d", uint8(p))
 }

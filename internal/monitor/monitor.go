@@ -28,6 +28,9 @@ type Status struct {
 	Quarantined    int    `json:"quarantined,omitempty"`
 	// Health is the PE's watchdog verdict; nil when no watchdog runs.
 	Health *WatchdogStatus `json:"health,omitempty"`
+	// Checkpoint is the PE's checkpoint coordinator state; nil when
+	// checkpointing is disabled.
+	Checkpoint *CheckpointStatus `json:"checkpoint,omitempty"`
 	// Streams lists the PE's cross-PE stream endpoints' transport counters;
 	// empty for single-PE runtimes.
 	Streams []StreamStatus `json:"streams,omitempty"`
@@ -63,6 +66,20 @@ type StreamStatus struct {
 	Unacked     uint64 `json:"unacked,omitempty"`
 	DupsDropped uint64 `json:"dupsDropped,omitempty"`
 	Resumes     uint64 `json:"resumes,omitempty"`
+}
+
+// CheckpointStatus is one PE's checkpoint coordinator state: epochs
+// committed, failures, cuts skipped while an operator was quarantined,
+// restores performed, and the last committed epoch's size, watermark, and
+// number.
+type CheckpointStatus struct {
+	Checkpoints   uint64 `json:"checkpoints"`
+	Errors        uint64 `json:"errors,omitempty"`
+	Skipped       uint64 `json:"skipped,omitempty"`
+	Restores      uint64 `json:"restores,omitempty"`
+	LastCkptBytes uint64 `json:"lastCkptBytes,omitempty"`
+	Watermark     uint64 `json:"watermark,omitempty"`
+	Epoch         uint64 `json:"epoch,omitempty"`
 }
 
 // LatencyMS renders a latency snapshot in milliseconds for JSON consumers.

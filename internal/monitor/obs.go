@@ -26,6 +26,12 @@ func BuildStatus(name string, reg *obs.Registry, health *WatchdogStatus) Status 
 	}
 	var sched metrics.SchedSnapshot
 	sawSched := false
+	ckpt := func() *CheckpointStatus {
+		if st.Checkpoint == nil {
+			st.Checkpoint = &CheckpointStatus{}
+		}
+		return st.Checkpoint
+	}
 	streams := make(map[streamKey]*StreamStatus)
 	for _, s := range reg.Gather() {
 		switch s.Name {
@@ -71,6 +77,20 @@ func BuildStatus(name string, reg *obs.Registry, health *WatchdogStatus) Status 
 			sched.Parks, sawSched = s.U, true
 		case obs.MetricSchedWakes:
 			sched.Wakes, sawSched = s.U, true
+		case obs.MetricCkptTotal:
+			ckpt().Checkpoints = s.U
+		case obs.MetricCkptErrors:
+			ckpt().Errors = s.U
+		case obs.MetricCkptSkipped:
+			ckpt().Skipped = s.U
+		case obs.MetricCkptRestores:
+			ckpt().Restores = s.U
+		case obs.MetricCkptLastBytes:
+			ckpt().LastCkptBytes = uint64(s.Value)
+		case obs.MetricCkptWatermark:
+			ckpt().Watermark = uint64(s.Value)
+		case obs.MetricCkptEpoch:
+			ckpt().Epoch = uint64(s.Value)
 		case obs.MetricTransportTuples:
 			streamFor(streams, s).Tuples = s.U
 		case obs.MetricTransportBytes:

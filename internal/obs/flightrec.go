@@ -25,6 +25,8 @@ type EventKind uint8
 //	EvWatchdogRecover
 //	EvSteal            A=tuples stolen B=thief worker id (sampled by the engine)
 //	EvPark             A=worker id B=cumulative parks (sampled by the engine)
+//	EvCheckpoint       A=epoch   B=snapshot bytes, Detail="full"/"incr"
+//	EvRestore          A=node (-1 = all) B=epoch, Detail=cause
 const (
 	EvAdapt EventKind = iota + 1
 	EvFault
@@ -37,6 +39,8 @@ const (
 	EvWatchdogRecover
 	EvSteal
 	EvPark
+	EvCheckpoint
+	EvRestore
 )
 
 // String returns the kind's stable dump label.
@@ -64,6 +68,10 @@ func (k EventKind) String() string {
 		return "steal"
 	case EvPark:
 		return "park"
+	case EvCheckpoint:
+		return "checkpoint"
+	case EvRestore:
+		return "restore"
 	}
 	return fmt.Sprintf("kind-%d", uint8(k))
 }

@@ -55,6 +55,18 @@ const (
 	MetricWatchdogFrozen   = "watchdog_frozen"
 	MetricWatchdogTrips    = "watchdog_trips_total"
 	MetricWatchdogRecovers = "watchdog_recovers_total"
+
+	// Checkpointing.
+	MetricCkptTotal     = "checkpoint_total"
+	MetricCkptErrors    = "checkpoint_errors_total"
+	MetricCkptSkipped   = "checkpoint_skipped_total"
+	MetricCkptRestores  = "checkpoint_restores_total"
+	MetricCkptLastBytes = "checkpoint_last_bytes"
+	MetricCkptWatermark = "checkpoint_watermark"
+	MetricCkptEpoch     = "checkpoint_epoch"
+	MetricCkptDuration  = "checkpoint_duration_seconds"
+	MetricCkptBytes     = "checkpoint_bytes"
+	MetricCkptDirtyKeys = "checkpoint_dirty_keys"
 )
 
 // RegisterSettled registers the coordinator's settled gauge on r. Every

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"path/filepath"
 	"strconv"
 	"sync"
 	"time"
@@ -16,6 +17,7 @@ import (
 	"streamelastic/internal/metrics"
 	"streamelastic/internal/monitor"
 	"streamelastic/internal/obs"
+	"streamelastic/internal/state"
 )
 
 // Options configure a job launch.
@@ -71,6 +73,23 @@ type Options struct {
 	// SampleEvery forwards to exec.Options.SampleEvery: every Nth queued
 	// delivery per emitting loop is latency-sampled; 0 disables sampling.
 	SampleEvery int
+	// Checkpoint enables periodic incremental snapshots of keyed operator
+	// state per PE, with exactly-once stateful recovery (restore + replay)
+	// when a quarantined operator is released. Off by default.
+	Checkpoint CheckpointOptions
+}
+
+// CheckpointOptions configure per-PE state checkpointing.
+type CheckpointOptions struct {
+	// Enabled turns checkpointing on.
+	Enabled bool
+	// Dir is where each PE's checkpoint log lives (pe<N>.ckpt); empty
+	// means an in-memory store (tests, simulation — no durability).
+	Dir string
+	// Interval between checkpoints (default 1s).
+	Interval time.Duration
+	// FullEvery forces a full snapshot every n-th checkpoint (default 16).
+	FullEvery int
 }
 
 // PERuntime is one launched processing element.
@@ -86,6 +105,8 @@ type PERuntime struct {
 	// Reg is the PE's telemetry registry (const label pe="N"); every engine,
 	// transport, and watchdog series lives here.
 	Reg *obs.Registry
+	// Ckpt is the PE's checkpoint coordinator (nil unless enabled).
+	Ckpt *exec.Checkpointer
 
 	cancel context.CancelFunc
 	done   chan struct{}
@@ -117,6 +138,12 @@ type Job struct {
 func Launch(g *graph.Graph, assign Assignment, opts Options) (*Job, error) {
 	if opts.DialTimeout == 0 {
 		opts.DialTimeout = 5 * time.Second
+	}
+	if opts.Checkpoint.Enabled && opts.Transport.RetransmitCapacity == 0 {
+		// With acks gated at the checkpoint floor, sustained throughput is
+		// bounded by ring capacity per checkpoint interval; give the replay
+		// window real headroom when the user has not sized it.
+		opts.Transport.RetransmitCapacity = 1 << 15
 	}
 	plans, crosses, err := Partition(g, assign)
 	if err != nil {
@@ -280,9 +307,58 @@ func Launch(g *graph.Graph, assign Assignment, opts Options) (*Job, error) {
 			rt.Watchdog = watchdogFor(rt, wcfg, opts.StallAfter)
 			registerWatchdogMetrics(rt.Reg, rt.Watchdog)
 		}
+		if opts.Checkpoint.Enabled {
+			if err := wireCheckpointer(rt, plan, opts); err != nil {
+				abort()
+				return nil, fmt.Errorf("pe %d checkpoint: %w", plan.PE, err)
+			}
+		}
 		job.PEs = append(job.PEs, rt)
 	}
 	return job, nil
+}
+
+// wireCheckpointer attaches a checkpoint coordinator to one PE: a durable
+// file log (or in-memory store), and — when the PE has exactly one TCP
+// import — the transport hooks that make recovery exactly-once: the cut is
+// stamped with the import's emit watermark, acks upstream are gated at the
+// last committed cut so the sender's retransmit ring retains the replay
+// range, and recovery rewinds the import to the cut before readmitting
+// tuples. A PE with multiple imports (or only local edges, which have no
+// retransmit machinery) still checkpoints and restores, but recovery is
+// restore-only: a single watermark cannot name a cut across several
+// independent wire-sequence domains.
+func wireCheckpointer(rt *PERuntime, plan *Plan, opts Options) error {
+	var store state.Store
+	if opts.Checkpoint.Dir != "" {
+		log, err := state.OpenFileLog(filepath.Join(opts.Checkpoint.Dir, fmt.Sprintf("pe%d.ckpt", plan.PE)))
+		if err != nil {
+			return err
+		}
+		store = log
+	} else {
+		store = state.NewMemStore()
+	}
+	cfg := exec.CheckpointConfig{
+		Store:     store,
+		Interval:  opts.Checkpoint.Interval,
+		FullEvery: opts.Checkpoint.FullEvery,
+	}
+	var tcp []*importSource
+	for _, imp := range plan.imports {
+		if imp.peer == nil {
+			tcp = append(tcp, imp)
+		}
+	}
+	if len(tcp) == 1 {
+		imp := tcp[0]
+		imp.gateAcks()
+		cfg.Watermark = imp.emitWatermark
+		cfg.Rewind = imp.rewind
+		cfg.CommitFloor = imp.advanceAckFloor
+	}
+	rt.Ckpt = exec.NewCheckpointer(rt.Eng, cfg)
+	return rt.Ckpt.Restore()
 }
 
 // wireLocalStream attaches both halves of an in-process edge: the export
@@ -361,6 +437,9 @@ func (j *Job) Start(ctx context.Context) error {
 		if rt.Watchdog != nil {
 			rt.Watchdog.Start()
 		}
+		if rt.Ckpt != nil {
+			rt.Ckpt.Start()
+		}
 	}
 	return nil
 }
@@ -387,6 +466,13 @@ func (j *Job) Stop() {
 		if rt.cancel != nil {
 			rt.cancel()
 			<-rt.done
+		}
+	}
+	// Checkpointers before the streams close: a recovery in flight may be
+	// rewinding an import and needs the transport still wired.
+	for _, rt := range j.PEs {
+		if rt.Ckpt != nil {
+			rt.Ckpt.Stop()
 		}
 	}
 	for _, rt := range j.PEs {
@@ -455,6 +541,21 @@ func (j *Job) SchedStats() []metrics.SchedSnapshot {
 	out := make([]metrics.SchedSnapshot, 0, len(j.PEs))
 	for _, rt := range j.PEs {
 		out = append(out, rt.Eng.SchedStats())
+	}
+	return out
+}
+
+// CheckpointStats returns every PE checkpointer's counters, in PE order;
+// zero values when checkpointing is disabled. Safe to call while the job
+// runs.
+func (j *Job) CheckpointStats() []exec.CheckpointStats {
+	out := make([]exec.CheckpointStats, 0, len(j.PEs))
+	for _, rt := range j.PEs {
+		if rt.Ckpt != nil {
+			out = append(out, rt.Ckpt.Stats())
+		} else {
+			out = append(out, exec.CheckpointStats{})
+		}
 	}
 	return out
 }

@@ -894,6 +894,30 @@ type importSource struct {
 	dups      atomic.Uint64 // retransmitted frames dropped by dedup
 	resumes   atomic.Uint64 // connections re-accepted after the first
 	bytes     atomic.Uint64
+
+	// Checkpoint/replay support. emitted is the wire sequence of the last
+	// tuple actually emitted downstream (wire sequences are contiguous per
+	// unique delivery, so it equals the emit count); the checkpoint
+	// coordinator stamps it on each epoch under the pause barrier.
+	// ackFloor caps the acknowledgement watermark reported upstream:
+	// while gated (checkpointing on), acks never pass the last committed
+	// checkpoint, so the export's retransmit ring provably retains the
+	// replay range (floor, head]. MaxUint64 means ungated (today's
+	// behavior).
+	emitted  atomic.Uint64
+	ackFloor atomic.Uint64
+
+	// pendingRewind, guarded by mu, is a recovery request: the reader
+	// loop applies it between connection epochs (see rewind).
+	pendingRewind *rewindReq
+	rewinding     atomic.Bool
+}
+
+// rewindReq asks the reader loop to roll the dedup/resume watermarks back
+// to a checkpoint; done is closed once the rewind has been applied.
+type rewindReq struct {
+	to   uint64
+	done chan struct{}
 }
 
 var (
@@ -902,7 +926,102 @@ var (
 )
 
 func newImportSource(name string) *importSource {
-	return &importSource{name: name}
+	s := &importSource{name: name}
+	s.ackFloor.Store(^uint64(0)) // ungated until checkpointing arms the gate
+	return s
+}
+
+// gateAcks arms the ack floor at zero: no frame is acknowledged upstream
+// until the first checkpoint commits and advances the floor. Called once
+// at wiring time, before the engine starts.
+func (s *importSource) gateAcks() { s.ackFloor.Store(0) }
+
+// advanceAckFloor raises the ack floor to the committed checkpoint
+// watermark (floor only ever advances).
+func (s *importSource) advanceAckFloor(wm uint64) { storeMax(&s.ackFloor, wm) }
+
+// ackView caps an acknowledgement value at the ack floor.
+func (s *importSource) ackView(v uint64) uint64 {
+	if f := s.ackFloor.Load(); v > f {
+		return f
+	}
+	return v
+}
+
+// emitWatermark returns the wire sequence of the last tuple emitted
+// downstream; the checkpoint coordinator reads it under the pause barrier.
+func (s *importSource) emitWatermark() uint64 { return s.emitted.Load() }
+
+// rewind rolls the import back to checkpoint watermark `to`: the current
+// connection epoch is killed, tuples decoded-but-not-processed are
+// released, and the dedup/resume watermarks reset so the next handshake
+// makes the sender retransmit (to, head] from its ring. Called with the
+// engine paused, so no Next is in flight; replayed tuples re-enter the
+// pipeline exactly as live ones. No-op on local edges, closed streams, or
+// when `to` is ahead of this stream's delivery (foreign watermark).
+func (s *importSource) rewind(to uint64) {
+	if s.peer != nil || s.closed.Load() {
+		return
+	}
+	s.mu.Lock()
+	ch := s.ch
+	if ch == nil || to > s.delivered.Load() || s.pendingRewind != nil {
+		s.mu.Unlock()
+		return
+	}
+	req := &rewindReq{to: to, done: make(chan struct{})}
+	s.pendingRewind = req
+	s.rewinding.Store(true)
+	conn := s.conn
+	s.mu.Unlock()
+	if conn != nil {
+		_ = conn.Close()
+	}
+	// Drain the channel while waiting: the reader may be blocked pushing a
+	// decoded tuple into a full channel and must finish its epoch before
+	// the rewind can apply. The timeout only guards pathological shutdown
+	// races (no live connection and no redial); a late apply is still
+	// safe — it just re-delivers tuples the dedup downstream drops.
+	timeout := time.NewTimer(5 * time.Second)
+	defer timeout.Stop()
+	for {
+		select {
+		case t, ok := <-ch:
+			if !ok {
+				return // stream ended underneath the rewind
+			}
+			t.Release()
+		case <-req.done:
+			return
+		case <-timeout.C:
+			return
+		}
+	}
+}
+
+// applyRewind applies a pending rewind between connection epochs: no
+// serveConn is active, so draining the channel and resetting the
+// watermarks races nobody.
+func (s *importSource) applyRewind(ch chan *spl.Tuple) {
+	s.mu.Lock()
+	req := s.pendingRewind
+	s.pendingRewind = nil
+	s.mu.Unlock()
+	if req == nil {
+		return
+	}
+	for {
+		select {
+		case t := <-ch:
+			t.Release()
+		default:
+			s.delivered.Store(req.to)
+			s.emitted.Store(req.to)
+			s.rewinding.Store(false)
+			close(req.done)
+			return
+		}
+	}
 }
 
 // Name returns the operator name.
@@ -959,6 +1078,9 @@ func (s *importSource) readLoop(conn net.Conn, ch chan *spl.Tuple, done chan str
 			_ = conn.Close()
 			conn = nil
 		}
+		// Between connection epochs no decoder is running: the only safe
+		// point to roll the watermarks back for a checkpoint recovery.
+		s.applyRewind(ch)
 		s.mu.Lock()
 		ln := s.ln
 		s.mu.Unlock()
@@ -973,6 +1095,9 @@ func (s *importSource) readLoop(conn net.Conn, ch chan *spl.Tuple, done chan str
 			_ = c.Close()
 			return
 		}
+		// A rewind requested while blocked in Accept applies now, before
+		// the new epoch handshakes with the (rolled-back) watermark.
+		s.applyRewind(ch)
 		s.resumes.Add(1)
 		s.rec.Record(obs.EvResume, s.recPE, int64(s.site), 0, "")
 		s.setConn(c)
@@ -1005,10 +1130,15 @@ func (s *importSource) serveConn(conn net.Conn, ch chan *spl.Tuple) {
 		}
 		return true
 	}
-	if !writeU64(s.delivered.Load()) {
+	// Every acknowledgement — handshake included — is capped at the ack
+	// floor: with checkpointing armed, frames above the last committed
+	// watermark stay in the sender's retransmit ring so a recovery rewind
+	// can replay them. The resume/dedup watermark (delivered) is NOT
+	// capped; excess retransmits after a reconnect are dropped as dups.
+	if !writeU64(s.ackView(s.delivered.Load())) {
 		return
 	}
-	lastAcked := s.delivered.Load()
+	lastAcked := s.ackView(s.delivered.Load())
 	var tickAcked atomic.Uint64
 	tickAcked.Store(lastAcked)
 	stopTick := make(chan struct{})
@@ -1022,7 +1152,7 @@ func (s *importSource) serveConn(conn net.Conn, ch chan *spl.Tuple) {
 			case <-stopTick:
 				return
 			case <-tick.C:
-				d := s.delivered.Load()
+				d := s.ackView(s.delivered.Load())
 				if d != tickAcked.Load() && writeU64(d) {
 					tickAcked.Store(d)
 				}
@@ -1042,6 +1172,12 @@ func (s *importSource) serveConn(conn net.Conn, ch chan *spl.Tuple) {
 			// the reset is what triggers the sender's retransmit resume.
 			return
 		}
+		if s.rewinding.Load() {
+			// A checkpoint recovery is rolling this stream back; end the
+			// epoch without advancing any watermark.
+			t.Release()
+			return
+		}
 		s.bytes.Add(uint64(dec.lastFrameBytes()))
 		seq := dec.wireSeq()
 		if seq <= s.delivered.Load() {
@@ -1055,8 +1191,8 @@ func (s *importSource) serveConn(conn net.Conn, ch chan *spl.Tuple) {
 		sinceAck++
 		if sinceAck >= ackEvery {
 			sinceAck = 0
-			if writeU64(seq) {
-				tickAcked.Store(seq)
+			if a := s.ackView(seq); writeU64(a) {
+				tickAcked.Store(a)
 			}
 		}
 	}
@@ -1164,7 +1300,11 @@ func (s *importSource) nextLocal(out spl.Emitter) bool {
 // emitBatch emits one received tuple plus a non-blocking drain of up to
 // importBatchMax-1 more, so one operator-thread wake delivers a burst.
 func (s *importSource) emitBatch(out spl.Emitter, ch chan *spl.Tuple, first *spl.Tuple) bool {
+	// Wire sequences are contiguous, so counting emits tracks the wire
+	// sequence of the last tuple handed downstream — the checkpoint
+	// watermark read under the pause barrier.
 	out.Emit(0, first)
+	s.emitted.Add(1)
 	for i := 1; i < importBatchMax; i++ {
 		select {
 		case t, ok := <-ch:
@@ -1172,6 +1312,7 @@ func (s *importSource) emitBatch(out spl.Emitter, ch chan *spl.Tuple, first *spl
 				return false
 			}
 			out.Emit(0, t)
+			s.emitted.Add(1)
 		default:
 			return true
 		}

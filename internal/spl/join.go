@@ -1,6 +1,10 @@
 package spl
 
-import "sync"
+import (
+	"sync"
+
+	"streamelastic/internal/state"
+)
 
 // KeyedJoin is an enrichment join: tuples on port 1 (the build side) update
 // a per-key table of the latest value; tuples on port 0 (the probe side)
@@ -11,6 +15,10 @@ import "sync"
 //
 // This is the generalized form of the VWAP application's bargain join
 // (quotes probed against the latest per-symbol VWAP).
+//
+// The build table lives in a state.Map so it is checkpointable: the
+// coordinator snapshots dirty keys incrementally and restores the table on
+// recovery (see DESIGN.md "Checkpoint & recovery").
 type KeyedJoin struct {
 	name string
 	// EmitUnmatched forwards probe tuples with Num2 = 0 when the key has
@@ -18,17 +26,19 @@ type KeyedJoin struct {
 	EmitUnmatched bool
 
 	mu    sync.Mutex
-	table map[uint64]float64
+	table *state.Map[float64]
 }
 
 var (
-	_ Operator = (*KeyedJoin)(nil)
-	_ Stateful = (*KeyedJoin)(nil)
+	_ Operator          = (*KeyedJoin)(nil)
+	_ Stateful          = (*KeyedJoin)(nil)
+	_ Resettable        = (*KeyedJoin)(nil)
+	_ state.Snapshotter = (*KeyedJoin)(nil)
 )
 
 // NewKeyedJoin returns an enrichment join keyed on the Key attribute.
 func NewKeyedJoin(name string) *KeyedJoin {
-	return &KeyedJoin{name: name, table: make(map[uint64]float64)}
+	return &KeyedJoin{name: name, table: state.NewMap(0, state.EncFloat64, state.DecFloat64)}
 }
 
 // Name returns the operator name.
@@ -37,28 +47,56 @@ func (j *KeyedJoin) Name() string { return j.name }
 // Stateful marks the build table as serialized.
 func (j *KeyedJoin) Stateful() {}
 
+// Reset clears the build table.
+func (j *KeyedJoin) Reset() {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.table.Clear()
+}
+
 // Process updates the table (port 1) or probes it (port 0).
 func (j *KeyedJoin) Process(port int, t *Tuple, out Emitter) {
 	j.mu.Lock()
 	if port == 1 {
-		j.table[t.Key] = t.Num1
+		j.table.Put(t.Key, t.Num1)
 		j.mu.Unlock()
 		return
 	}
-	v, ok := j.table[t.Key]
+	v, ok := j.table.Get(t.Key)
 	j.mu.Unlock()
 	if !ok && !j.EmitUnmatched {
 		return
 	}
-	out.Emit(0, &Tuple{
-		Seq: t.Seq, Key: t.Key, Time: t.Time, Text: t.Text,
-		Num1: t.Num1, Num2: v, Payload: t.Payload,
-	})
+	o := AcquireTuple()
+	o.Seq, o.Key, o.Time, o.Text = t.Seq, t.Key, t.Time, t.Text
+	o.Num1, o.Num2, o.Payload = t.Num1, v, t.Payload
+	out.Emit(0, o)
 }
 
 // Size returns the number of keys in the build table.
 func (j *KeyedJoin) Size() int {
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	return len(j.table)
+	return j.table.Len()
+}
+
+// StateTrack enables dirty-key tracking for incremental checkpoints.
+func (j *KeyedJoin) StateTrack(on bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.table.Track(on)
+}
+
+// StateSnapshot encodes the build table (fully or only dirty keys).
+func (j *KeyedJoin) StateSnapshot(enc *state.Encoder, full bool) int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.table.Snapshot(enc, full)
+}
+
+// StateRestore applies a snapshot produced by StateSnapshot.
+func (j *KeyedJoin) StateRestore(dec *state.Decoder, full bool) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.table.Restore(dec, full)
 }

@@ -5,6 +5,8 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+
+	"streamelastic/internal/state"
 )
 
 // Generator is a source that emits synthetic tuples with a configurable
@@ -302,13 +304,21 @@ func (s *RoundRobinSplit) Process(_ int, t *Tuple, out Emitter) {
 // KeyedCounter maintains per-key counts over a sliding count-based window
 // and periodically emits (key, count) tuples. It stands in for the paper's
 // windowed Aggregate operator.
+//
+// The per-key counts live in a state.Map and the window ring in a
+// state.Cell, so the operator is checkpointable: incremental snapshots
+// carry only keys whose count changed plus the (bounded) ring cursor.
 type KeyedCounter struct {
 	name      string
 	window    int
 	emitEvery int
 
 	mu     sync.Mutex
-	counts map[uint64]int64
+	counts *state.Map[int64]
+	cursor *state.Cell[counterCursor]
+}
+
+type counterCursor struct {
 	ring   []uint64
 	pos    int
 	filled bool
@@ -316,10 +326,34 @@ type KeyedCounter struct {
 }
 
 var (
-	_ Operator   = (*KeyedCounter)(nil)
-	_ Stateful   = (*KeyedCounter)(nil)
-	_ Resettable = (*KeyedCounter)(nil)
+	_ Operator          = (*KeyedCounter)(nil)
+	_ Stateful          = (*KeyedCounter)(nil)
+	_ Resettable        = (*KeyedCounter)(nil)
+	_ state.Snapshotter = (*KeyedCounter)(nil)
 )
+
+func encCounterCursor(e *state.Encoder, c counterCursor) {
+	e.Uvarint(uint64(len(c.ring)))
+	for _, k := range c.ring {
+		e.Uvarint(k)
+	}
+	e.Varint(int64(c.pos))
+	e.Bool(c.filled)
+	e.Varint(int64(c.seen))
+}
+
+func decCounterCursor(d *state.Decoder) counterCursor {
+	n := d.Uvarint()
+	if n > uint64(d.Remaining()) {
+		d.Fail()
+		return counterCursor{}
+	}
+	ring := make([]uint64, n)
+	for i := range ring {
+		ring[i] = d.Uvarint()
+	}
+	return counterCursor{ring: ring, pos: int(d.Varint()), filled: d.Bool(), seen: int(d.Varint())}
+}
 
 // NewKeyedCounter returns a sliding-window counter over the last window
 // tuples that emits current counts every emitEvery tuples.
@@ -328,13 +362,18 @@ func NewKeyedCounter(name string, window, emitEvery int) *KeyedCounter {
 		name:      name,
 		window:    window,
 		emitEvery: emitEvery,
-		counts:    make(map[uint64]int64),
-		ring:      make([]uint64, window),
+		counts:    state.NewMap(0, state.EncInt64, state.DecInt64),
+		cursor:    state.NewCell(counterCursor{ring: make([]uint64, window)}, encCounterCursor, decCounterCursor),
 	}
 }
 
 // Name returns the operator name.
 func (k *KeyedCounter) Name() string { return k.name }
+
+// RecyclesTuples marks the counter as safe for tuple recycling: Process
+// copies the key into the window ring and never retains or forwards its
+// input; emitted aggregates are fresh acquires.
+func (k *KeyedCounter) RecyclesTuples() {}
 
 // Stateful marks the counter as serialized.
 func (k *KeyedCounter) Stateful() {}
@@ -343,32 +382,34 @@ func (k *KeyedCounter) Stateful() {}
 func (k *KeyedCounter) Reset() {
 	k.mu.Lock()
 	defer k.mu.Unlock()
-	k.counts = make(map[uint64]int64)
-	k.ring = make([]uint64, k.window)
-	k.pos, k.seen, k.filled = 0, 0, false
+	k.counts.Clear()
+	k.cursor.Set(counterCursor{ring: make([]uint64, k.window)})
 }
 
 // Process slides the window by t and emits the key's current count every
 // emitEvery tuples.
 func (k *KeyedCounter) Process(_ int, t *Tuple, out Emitter) {
 	k.mu.Lock()
-	if k.filled {
-		old := k.ring[k.pos]
-		if c := k.counts[old] - 1; c <= 0 {
-			delete(k.counts, old)
+	cur := k.cursor.Get()
+	if cur.filled {
+		old := cur.ring[cur.pos]
+		if c, _ := k.counts.Get(old); c-1 <= 0 {
+			k.counts.Delete(old)
 		} else {
-			k.counts[old] = c
+			k.counts.Put(old, c-1)
 		}
 	}
-	k.ring[k.pos] = t.Key
-	k.pos++
-	if k.pos == k.window {
-		k.pos, k.filled = 0, true
+	cur.ring[cur.pos] = t.Key
+	cur.pos++
+	if cur.pos == k.window {
+		cur.pos, cur.filled = 0, true
 	}
-	k.counts[t.Key]++
-	count := k.counts[t.Key]
-	k.seen++
-	emit := k.emitEvery > 0 && k.seen%k.emitEvery == 0
+	c, _ := k.counts.Get(t.Key)
+	count := c + 1
+	k.counts.Put(t.Key, count)
+	cur.seen++
+	emit := k.emitEvery > 0 && cur.seen%k.emitEvery == 0
+	k.cursor.Set(cur)
 	k.mu.Unlock()
 	if emit {
 		agg := AcquireTuple()
@@ -381,7 +422,51 @@ func (k *KeyedCounter) Process(_ int, t *Tuple, out Emitter) {
 func (k *KeyedCounter) Count(key uint64) int64 {
 	k.mu.Lock()
 	defer k.mu.Unlock()
-	return k.counts[key]
+	c, _ := k.counts.Get(key)
+	return c
+}
+
+// StateTrack enables dirty-key tracking for incremental checkpoints.
+func (k *KeyedCounter) StateTrack(on bool) {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	k.counts.Track(on)
+	k.cursor.Track(on)
+}
+
+// StateSnapshot encodes the counts and the window ring cursor.
+func (k *KeyedCounter) StateSnapshot(enc *state.Encoder, full bool) int {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	n := k.counts.Snapshot(enc, full)
+	n += k.cursor.Snapshot(enc, full)
+	return n
+}
+
+// StateRestore applies a snapshot produced by StateSnapshot.
+func (k *KeyedCounter) StateRestore(dec *state.Decoder, full bool) error {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	if err := k.counts.Restore(dec, full); err != nil {
+		return err
+	}
+	if err := k.cursor.Restore(dec, full); err != nil {
+		return err
+	}
+	// A snapshot from a differently-sized instance must not leave the
+	// ring shorter than the window; pad defensively (corrupt-input
+	// hardening, not an expected path).
+	cur := k.cursor.Get()
+	if len(cur.ring) != k.window {
+		ring := make([]uint64, k.window)
+		copy(ring, cur.ring)
+		cur.ring = ring
+		if cur.pos >= k.window {
+			cur.pos = 0
+		}
+		k.cursor.Set(cur)
+	}
+	return nil
 }
 
 // sinkShards stripes CountingSink across independent cache-line-padded

@@ -3,6 +3,8 @@ package spl
 import (
 	"sync"
 	"sync/atomic"
+
+	"streamelastic/internal/state"
 )
 
 // Reorder restores per-stream sequence order downstream of a dynamic
@@ -15,22 +17,60 @@ import (
 // the smallest buffered sequence onward (counting the order violation)
 // rather than stalling the pipeline, and tuples older than the release
 // cursor are dropped as duplicates/late.
+//
+// Reorder is also the runtime's exactly-once output filter: replayed
+// tuples land behind the release cursor and are dropped as duplicates.
+// That is why it implements state.ReplayFilter — during quarantine
+// recovery its live cursor is deliberately kept (restoring it would
+// re-release the replayed range). It still checkpoints and restores on a
+// cold restart.
 type Reorder struct {
 	name string
 	cap  int
 
 	mu   sync.Mutex
-	next uint64
-	buf  map[uint64]*Tuple
+	next *state.Cell[uint64]
+	buf  *state.Map[*Tuple]
 
 	forced  atomic.Uint64
 	dropped atomic.Uint64
 }
 
 var (
-	_ Operator = (*Reorder)(nil)
-	_ Stateful = (*Reorder)(nil)
+	_ Operator           = (*Reorder)(nil)
+	_ Stateful           = (*Reorder)(nil)
+	_ state.Snapshotter  = (*Reorder)(nil)
+	_ state.ReplayFilter = (*Reorder)(nil)
 )
+
+// encBufTuple / decBufTuple encode one buffered tuple. Restored tuples are
+// pool-acquired with owned payload copies, matching the release-on-emit
+// lifecycle.
+func encBufTuple(e *state.Encoder, t *Tuple) {
+	e.Uvarint(t.Seq)
+	e.Uvarint(t.Key)
+	e.Varint(t.Time)
+	e.String(t.Text)
+	e.Float64(t.Num1)
+	e.Float64(t.Num2)
+	e.Blob(t.Payload)
+}
+
+func decBufTuple(d *state.Decoder) *Tuple {
+	t := AcquireTuple()
+	t.Seq = d.Uvarint()
+	t.Key = d.Uvarint()
+	t.Time = d.Varint()
+	t.Text = d.String()
+	t.Num1 = d.Float64()
+	t.Num2 = d.Float64()
+	b := d.Blob()
+	if len(b) > 0 {
+		t.AcquirePayload(len(b))
+		copy(t.Payload, b)
+	}
+	return t
+}
 
 // NewReorder returns a resequencer expecting Seq values starting at start,
 // buffering at most capacity out-of-order tuples.
@@ -38,7 +78,12 @@ func NewReorder(name string, start uint64, capacity int) *Reorder {
 	if capacity < 1 {
 		capacity = 1
 	}
-	return &Reorder{name: name, cap: capacity, next: start, buf: make(map[uint64]*Tuple)}
+	return &Reorder{
+		name: name,
+		cap:  capacity,
+		next: state.NewCell(start, state.EncUint64, state.DecUint64),
+		buf:  state.NewMap(0, encBufTuple, decBufTuple),
+	}
 }
 
 // Name returns the operator name.
@@ -47,47 +92,55 @@ func (r *Reorder) Name() string { return r.name }
 // Stateful marks the resequencing buffer as serialized.
 func (r *Reorder) Stateful() {}
 
+// FiltersReplay marks the release cursor as the exactly-once dedup state:
+// quarantine recovery keeps it live instead of restoring it.
+func (r *Reorder) FiltersReplay() {}
+
 // Process buffers or releases t, emitting any newly contiguous run.
 func (r *Reorder) Process(_ int, t *Tuple, out Emitter) {
 	r.mu.Lock()
+	next := r.next.Get()
 	var release []*Tuple
 	switch {
-	case t.Seq < r.next:
+	case t.Seq < next:
 		r.dropped.Add(1)
-	case t.Seq == r.next:
+	case t.Seq == next:
 		release = append(release, t)
-		r.next++
+		next++
 		for {
-			nt, ok := r.buf[r.next]
+			nt, ok := r.buf.Get(next)
 			if !ok {
 				break
 			}
-			delete(r.buf, r.next)
+			r.buf.Delete(next)
 			release = append(release, nt)
-			r.next++
+			next++
 		}
+		r.next.Set(next)
 	default:
-		r.buf[t.Seq] = t
-		if len(r.buf) > r.cap {
+		r.buf.Put(t.Seq, t)
+		if r.buf.Len() > r.cap {
 			// Bounded buffer: give up on the gap and release everything
 			// we can, in order, from the smallest buffered sequence.
 			r.forced.Add(1)
 			min := t.Seq
-			for s := range r.buf {
+			r.buf.Range(func(s uint64, _ *Tuple) bool {
 				if s < min {
 					min = s
 				}
-			}
-			r.next = min
+				return true
+			})
+			next = min
 			for {
-				nt, ok := r.buf[r.next]
+				nt, ok := r.buf.Get(next)
 				if !ok {
 					break
 				}
-				delete(r.buf, r.next)
+				r.buf.Delete(next)
 				release = append(release, nt)
-				r.next++
+				next++
 			}
+			r.next.Set(next)
 		}
 	}
 	r.mu.Unlock()
@@ -108,5 +161,39 @@ func (r *Reorder) Dropped() uint64 { return r.dropped.Load() }
 func (r *Reorder) Pending() int {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	return len(r.buf)
+	return r.buf.Len()
+}
+
+// StateTrack enables dirty tracking for incremental checkpoints.
+func (r *Reorder) StateTrack(on bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.next.Track(on)
+	r.buf.Track(on)
+}
+
+// StateSnapshot encodes the release cursor and buffered tuples.
+func (r *Reorder) StateSnapshot(enc *state.Encoder, full bool) int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := r.next.Snapshot(enc, full)
+	n += r.buf.Snapshot(enc, full)
+	return n
+}
+
+// StateRestore applies a snapshot. A full restore releases any currently
+// buffered tuples back to the pool before replacing them.
+func (r *Reorder) StateRestore(dec *state.Decoder, full bool) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if full {
+		r.buf.Range(func(_ uint64, t *Tuple) bool {
+			t.Release()
+			return true
+		})
+	}
+	if err := r.next.Restore(dec, full); err != nil {
+		return err
+	}
+	return r.buf.Restore(dec, full)
 }

@@ -3,6 +3,8 @@ package spl
 import (
 	"sync"
 	"time"
+
+	"streamelastic/internal/state"
 )
 
 // AggregateFunc folds the numeric attribute of windowed tuples.
@@ -44,15 +46,22 @@ func (f AggregateFunc) String() string {
 //
 // The implementation is pane-based: each pane holds partial aggregates per
 // key, and a window result combines the last Size/Slide panes, so window
-// maintenance is O(panes), not O(tuples).
+// maintenance is O(panes), not O(tuples). Panes live in a state.Map keyed
+// by pane index and the watermark cursor in a state.Cell, so checkpoints
+// are incremental at pane granularity: only panes touched since the last
+// snapshot are re-encoded.
 type TimeWindow struct {
 	name  string
 	size  time.Duration
 	slide time.Duration
 	fn    AggregateFunc
 
-	mu        sync.Mutex
-	panes     map[int64]map[uint64]*paneAgg // pane index -> key -> partial
+	mu     sync.Mutex
+	panes  *state.Map[map[uint64]*paneAgg] // pane index -> key -> partial
+	cursor *state.Cell[winCursor]
+}
+
+type winCursor struct {
 	watermark int64
 	curPane   int64
 	started   bool
@@ -67,10 +76,52 @@ type paneAgg struct {
 }
 
 var (
-	_ Operator   = (*TimeWindow)(nil)
-	_ Stateful   = (*TimeWindow)(nil)
-	_ Resettable = (*TimeWindow)(nil)
+	_ Operator          = (*TimeWindow)(nil)
+	_ Stateful          = (*TimeWindow)(nil)
+	_ Resettable        = (*TimeWindow)(nil)
+	_ state.Snapshotter = (*TimeWindow)(nil)
 )
+
+// encPane / decPane encode one pane's per-key partial aggregates.
+func encPane(e *state.Encoder, m map[uint64]*paneAgg) {
+	e.Uvarint(uint64(len(m)))
+	for k, a := range m {
+		e.Uvarint(k)
+		e.Varint(a.count)
+		e.Float64(a.sum)
+		e.Float64(a.min)
+		e.Float64(a.max)
+		e.String(a.text)
+	}
+}
+
+func decPane(d *state.Decoder) map[uint64]*paneAgg {
+	n := d.Uvarint()
+	if n > uint64(d.Remaining()) {
+		d.Fail()
+		return nil
+	}
+	m := make(map[uint64]*paneAgg, n)
+	for i := uint64(0); i < n && d.Err() == nil; i++ {
+		k := d.Uvarint()
+		a := &paneAgg{count: d.Varint(), sum: d.Float64(), min: d.Float64(), max: d.Float64(), text: d.String()}
+		if d.Err() != nil {
+			break
+		}
+		m[k] = a
+	}
+	return m
+}
+
+func encWinCursor(e *state.Encoder, c winCursor) {
+	e.Varint(c.watermark)
+	e.Varint(c.curPane)
+	e.Bool(c.started)
+}
+
+func decWinCursor(d *state.Decoder) winCursor {
+	return winCursor{watermark: d.Varint(), curPane: d.Varint(), started: d.Bool()}
+}
 
 // NewTimeWindow returns a sliding event-time window aggregator. size must
 // be a positive multiple of slide.
@@ -79,11 +130,12 @@ func NewTimeWindow(name string, size, slide time.Duration, fn AggregateFunc) *Ti
 		slide = size
 	}
 	return &TimeWindow{
-		name:  name,
-		size:  size,
-		slide: slide,
-		fn:    fn,
-		panes: make(map[int64]map[uint64]*paneAgg),
+		name:   name,
+		size:   size,
+		slide:  slide,
+		fn:     fn,
+		panes:  state.NewMap(0, encPane, decPane),
+		cursor: state.NewCell(winCursor{}, encWinCursor, decWinCursor),
 	}
 }
 
@@ -97,8 +149,8 @@ func (w *TimeWindow) Stateful() {}
 func (w *TimeWindow) Reset() {
 	w.mu.Lock()
 	defer w.mu.Unlock()
-	w.panes = make(map[int64]map[uint64]*paneAgg)
-	w.watermark, w.curPane, w.started = 0, 0, false
+	w.panes.Clear()
+	w.cursor.Set(winCursor{})
 }
 
 // Process folds t into its pane and emits per-key aggregates when the
@@ -116,21 +168,22 @@ func (w *TimeWindow) Process(_ int, t *Tuple, out Emitter) {
 // fold updates state and returns any aggregate tuples to emit; the caller
 // holds the lock and emits outside it.
 func (w *TimeWindow) fold(t *Tuple) []*Tuple {
+	cur := w.cursor.Get()
 	pane := t.Time / int64(w.slide)
-	if !w.started {
-		w.started = true
-		w.curPane = pane
-		w.watermark = t.Time
+	if !cur.started {
+		cur.started = true
+		cur.curPane = pane
+		cur.watermark = t.Time
+		w.cursor.Set(cur)
 	}
 	panesPerWindow := int64(w.size / w.slide)
-	if pane <= w.curPane-panesPerWindow {
+	if pane <= cur.curPane-panesPerWindow {
 		return nil // too late: outside every open window
 	}
 
-	m := w.panes[pane]
-	if m == nil {
+	m, ok := w.panes.Get(uint64(pane))
+	if !ok {
 		m = make(map[uint64]*paneAgg)
-		w.panes[pane] = m
 	}
 	agg := m[t.Key]
 	if agg == nil {
@@ -145,28 +198,33 @@ func (w *TimeWindow) fold(t *Tuple) []*Tuple {
 	if t.Num1 > agg.max {
 		agg.max = t.Num1
 	}
+	// Re-put even when the pane existed: the Put marks the pane dirty so
+	// incremental checkpoints pick up the in-place aggregate mutation.
+	w.panes.Put(uint64(pane), m)
 
-	if t.Time > w.watermark {
-		w.watermark = t.Time
+	if t.Time > cur.watermark {
+		cur.watermark = t.Time
 	}
 	var out []*Tuple
 	// Close every pane the watermark has fully passed.
-	for w.watermark/int64(w.slide) > w.curPane {
-		out = append(out, w.closePane(w.curPane)...)
-		w.curPane++
+	for cur.watermark/int64(w.slide) > cur.curPane {
+		out = append(out, w.closePane(cur.curPane, panesPerWindow)...)
+		cur.curPane++
 		// Garbage-collect panes that can no longer contribute.
-		delete(w.panes, w.curPane-panesPerWindow)
+		w.panes.Delete(uint64(cur.curPane - panesPerWindow))
 	}
+	w.cursor.Set(cur)
 	return out
 }
 
 // closePane emits one aggregate per key over the window ending at pane.
-func (w *TimeWindow) closePane(pane int64) []*Tuple {
-	panesPerWindow := int64(w.size / w.slide)
+func (w *TimeWindow) closePane(pane, panesPerWindow int64) []*Tuple {
 	keys := make(map[uint64]bool)
 	for p := pane - panesPerWindow + 1; p <= pane; p++ {
-		for k := range w.panes[p] {
-			keys[k] = true
+		if m, ok := w.panes.Get(uint64(p)); ok {
+			for k := range m {
+				keys[k] = true
+			}
 		}
 	}
 	var out []*Tuple
@@ -174,7 +232,11 @@ func (w *TimeWindow) closePane(pane int64) []*Tuple {
 		var total paneAgg
 		first := true
 		for p := pane - panesPerWindow + 1; p <= pane; p++ {
-			agg := w.panes[p][k]
+			m, ok := w.panes.Get(uint64(p))
+			if !ok {
+				continue
+			}
+			agg := m[k]
 			if agg == nil {
 				continue
 			}
@@ -216,4 +278,31 @@ func (w *TimeWindow) closePane(pane int64) []*Tuple {
 		})
 	}
 	return out
+}
+
+// StateTrack enables pane-granularity dirty tracking.
+func (w *TimeWindow) StateTrack(on bool) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.panes.Track(on)
+	w.cursor.Track(on)
+}
+
+// StateSnapshot encodes the open panes and the watermark cursor.
+func (w *TimeWindow) StateSnapshot(enc *state.Encoder, full bool) int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	n := w.panes.Snapshot(enc, full)
+	n += w.cursor.Snapshot(enc, full)
+	return n
+}
+
+// StateRestore applies a snapshot produced by StateSnapshot.
+func (w *TimeWindow) StateRestore(dec *state.Decoder, full bool) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if err := w.panes.Restore(dec, full); err != nil {
+		return err
+	}
+	return w.cursor.Restore(dec, full)
 }

@@ -132,7 +132,7 @@ func TestTimeWindowPaneGarbageCollection(t *testing.T) {
 		w.Process(0, at(sec, uint64(sec%8), 1), em)
 	}
 	w.mu.Lock()
-	panes := len(w.panes)
+	panes := w.panes.Len()
 	w.mu.Unlock()
 	if panes > 4 {
 		t.Fatalf("window retains %d panes; expired panes not collected", panes)

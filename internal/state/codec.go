@@ -1,0 +1,180 @@
+// Package state provides the keyed operator-state substrate: per-key
+// state cells partitioned into power-of-two key ranges with dirty-key
+// tracking (so checkpoints can be incremental), a compact snapshot codec,
+// and append-only checkpoint stores (in-memory and CRC-framed file log).
+//
+// The package is deliberately free of dependencies on the rest of the
+// runtime: operators encode their own tuple fields through Encoder /
+// Decoder, and the exec checkpoint coordinator moves opaque []byte
+// snapshots into a Store.
+package state
+
+import (
+	"encoding/binary"
+	"errors"
+	"math"
+)
+
+// ErrShortBuffer is reported by Decoder when a read runs past the end of
+// the snapshot payload (torn or truncated record).
+var ErrShortBuffer = errors.New("state: snapshot truncated")
+
+// Encoder accumulates a snapshot payload. The zero value is ready to use;
+// Reset lets one encoder be reused across operators without reallocating.
+type Encoder struct {
+	buf []byte
+}
+
+// Reset truncates the encoder, keeping its capacity.
+func (e *Encoder) Reset() { e.buf = e.buf[:0] }
+
+// Len returns the number of encoded bytes.
+func (e *Encoder) Len() int { return len(e.buf) }
+
+// Bytes returns the encoded payload. The slice aliases the encoder's
+// internal buffer and is invalidated by the next Reset or append.
+func (e *Encoder) Bytes() []byte { return e.buf }
+
+// Uvarint appends an unsigned varint.
+func (e *Encoder) Uvarint(v uint64) { e.buf = binary.AppendUvarint(e.buf, v) }
+
+// Varint appends a signed varint.
+func (e *Encoder) Varint(v int64) { e.buf = binary.AppendVarint(e.buf, v) }
+
+// Float64 appends a float64 as 8 fixed bytes (IEEE 754 bits, little endian).
+func (e *Encoder) Float64(v float64) {
+	e.buf = binary.LittleEndian.AppendUint64(e.buf, math.Float64bits(v))
+}
+
+// Bool appends one byte (0 or 1).
+func (e *Encoder) Bool(v bool) {
+	b := byte(0)
+	if v {
+		b = 1
+	}
+	e.buf = append(e.buf, b)
+}
+
+// Byte appends one raw byte.
+func (e *Encoder) Byte(b byte) { e.buf = append(e.buf, b) }
+
+// String appends a length-prefixed string.
+func (e *Encoder) String(s string) {
+	e.Uvarint(uint64(len(s)))
+	e.buf = append(e.buf, s...)
+}
+
+// Blob appends a length-prefixed byte slice.
+func (e *Encoder) Blob(b []byte) {
+	e.Uvarint(uint64(len(b)))
+	e.buf = append(e.buf, b...)
+}
+
+// Decoder reads a snapshot payload produced by Encoder. All reads are
+// bounds-checked: a read past the end sets a sticky error and returns zero
+// values, so restore paths never panic on corrupt or truncated input.
+type Decoder struct {
+	buf []byte
+	off int
+	err error
+}
+
+// NewDecoder returns a decoder over b. The decoder reads views into b and
+// never mutates it.
+func NewDecoder(b []byte) *Decoder { return &Decoder{buf: b} }
+
+// Err returns the sticky decode error, or nil.
+func (d *Decoder) Err() error { return d.err }
+
+// Remaining reports how many bytes are left.
+func (d *Decoder) Remaining() int { return len(d.buf) - d.off }
+
+func (d *Decoder) fail() {
+	if d.err == nil {
+		d.err = ErrShortBuffer
+	}
+	d.off = len(d.buf)
+}
+
+// Fail marks the decoder corrupt. Value codecs call it when a decoded
+// count or length is inconsistent with the remaining payload, so corrupt
+// snapshots can never drive oversized allocations.
+func (d *Decoder) Fail() { d.fail() }
+
+// Uvarint reads an unsigned varint.
+func (d *Decoder) Uvarint() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.buf[d.off:])
+	if n <= 0 {
+		d.fail()
+		return 0
+	}
+	d.off += n
+	return v
+}
+
+// Varint reads a signed varint.
+func (d *Decoder) Varint() int64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(d.buf[d.off:])
+	if n <= 0 {
+		d.fail()
+		return 0
+	}
+	d.off += n
+	return v
+}
+
+// Float64 reads an 8-byte float64.
+func (d *Decoder) Float64() float64 {
+	if d.err != nil {
+		return 0
+	}
+	if d.off+8 > len(d.buf) {
+		d.fail()
+		return 0
+	}
+	v := math.Float64frombits(binary.LittleEndian.Uint64(d.buf[d.off:]))
+	d.off += 8
+	return v
+}
+
+// Bool reads one byte as a bool.
+func (d *Decoder) Bool() bool { return d.Byte() != 0 }
+
+// Byte reads one raw byte.
+func (d *Decoder) Byte() byte {
+	if d.err != nil {
+		return 0
+	}
+	if d.off >= len(d.buf) {
+		d.fail()
+		return 0
+	}
+	b := d.buf[d.off]
+	d.off++
+	return b
+}
+
+// String reads a length-prefixed string.
+func (d *Decoder) String() string { return string(d.Blob()) }
+
+// Blob reads a length-prefixed byte slice. The returned slice aliases the
+// decoder's input; copy it if it must outlive the snapshot buffer.
+func (d *Decoder) Blob() []byte {
+	n := d.Uvarint()
+	if d.err != nil {
+		return nil
+	}
+	if n > uint64(len(d.buf)-d.off) {
+		d.fail()
+		return nil
+	}
+	b := d.buf[d.off : d.off+int(n)]
+	d.off += int(n)
+	return b
+}

@@ -1,0 +1,414 @@
+package state
+
+// Snapshotter is implemented by operators that expose checkpointable keyed
+// state. The checkpoint coordinator calls these under the engine's pause
+// barrier, so implementations see no concurrent Process calls; they still
+// take their own mutex so direct (non-engine) callers stay safe.
+type Snapshotter interface {
+	// StateTrack enables or disables dirty-key tracking. Tracking is off
+	// by default so the non-checkpointing hot path pays nothing; the
+	// coordinator switches it on when checkpointing is enabled.
+	StateTrack(on bool)
+	// StateSnapshot encodes the operator's state into enc. When full is
+	// set it writes the complete state, otherwise only entries dirtied
+	// since the previous snapshot. It returns the number of entries
+	// written and clears the dirty set.
+	StateSnapshot(enc *Encoder, full bool) int
+	// StateRestore applies a snapshot produced by StateSnapshot with the
+	// same full flag. A full restore replaces all state; an incremental
+	// one merges (tombstones delete). Corrupt input returns an error and
+	// never panics.
+	StateRestore(dec *Decoder, full bool) error
+}
+
+// ReplayFilter marks a Snapshotter whose live state IS the exactly-once
+// output filter (e.g. spl.Reorder's release cursor). During quarantine
+// recovery such operators are deliberately NOT restored: keeping their
+// live cursor is what deduplicates the replayed tuple range. They are
+// still checkpointed and restored on a cold job restart.
+type ReplayFilter interface {
+	FiltersReplay()
+}
+
+// DefaultRanges is the number of power-of-two key ranges a Map partitions
+// its keys into when the caller does not choose.
+const DefaultRanges = 8
+
+// mix is a 64-bit finalizer (splitmix64 style) spreading keys across
+// ranges independently of their low bits.
+func mix(k uint64) uint64 {
+	k ^= k >> 33
+	k *= 0xff51afd7ed558ccd
+	k ^= k >> 33
+	k *= 0xc4ceb9fe1a85ec53
+	k ^= k >> 33
+	return k
+}
+
+// u64set is an open-addressed hash set of keys, used for the per-range
+// dirty sets. A tracked Put already computed mix(k) to pick the range, so
+// add reuses that hash (high bits — the low bits are shared by every key
+// in a range) and costs one probe chain instead of a second full Go-map
+// insert, which is what keeps checkpoint tracking cheap on the hot path.
+// Key 0 is held out-of-band so 0 can mean "empty slot". The zero value is
+// ready to use; slots allocate lazily on the first add.
+type u64set struct {
+	slots []uint64
+	n     int
+	zero  bool
+}
+
+func (s *u64set) add(k, h uint64) {
+	if k == 0 {
+		if !s.zero {
+			s.zero = true
+			s.n++
+		}
+		return
+	}
+	if len(s.slots) == 0 {
+		s.slots = make([]uint64, 16)
+	} else if 2*(s.n+1) > len(s.slots) {
+		s.grow()
+	}
+	mask := uint64(len(s.slots) - 1)
+	i := (h >> 32) & mask
+	for {
+		switch s.slots[i] {
+		case 0:
+			s.slots[i] = k
+			s.n++
+			return
+		case k:
+			return
+		}
+		i = (i + 1) & mask
+	}
+}
+
+func (s *u64set) grow() {
+	old := s.slots
+	s.slots = make([]uint64, 2*len(old))
+	mask := uint64(len(s.slots) - 1)
+	for _, k := range old {
+		if k == 0 {
+			continue
+		}
+		i := (mix(k) >> 32) & mask
+		for s.slots[i] != 0 {
+			i = (i + 1) & mask
+		}
+		s.slots[i] = k
+	}
+}
+
+func (s *u64set) len() int { return s.n }
+
+func (s *u64set) clear() {
+	if s.n == 0 {
+		return
+	}
+	clear(s.slots)
+	s.n = 0
+	s.zero = false
+}
+
+// each calls fn for every key in the set. Order is unspecified but
+// deterministic for a given insertion history.
+func (s *u64set) each(fn func(k uint64)) {
+	if s.zero {
+		fn(0)
+	}
+	for _, k := range s.slots {
+		if k != 0 {
+			fn(k)
+		}
+	}
+}
+
+type mapRange[V any] struct {
+	data  map[uint64]V
+	dirty u64set
+}
+
+// Map is a per-key state map partitioned into power-of-two key ranges.
+// The partitioning gives checkpoints and future key migration a stable
+// range-addressable unit (Elasticutor's "move keys, not operators"), and
+// the per-range dirty sets make incremental snapshots cheap: a snapshot
+// only walks keys written since the last one.
+//
+// Map is not internally synchronized; the owning operator's mutex (the
+// Stateful contract) covers it.
+type Map[V any] struct {
+	ranges []mapRange[V]
+	mask   uint64
+	track  bool
+	encV   func(*Encoder, V)
+	decV   func(*Decoder) V
+}
+
+// NewMap returns a Map partitioned into `ranges` key ranges (rounded up to
+// a power of two; <= 0 means DefaultRanges). encV/decV encode one value.
+func NewMap[V any](ranges int, encV func(*Encoder, V), decV func(*Decoder) V) *Map[V] {
+	if ranges <= 0 {
+		ranges = DefaultRanges
+	}
+	n := 1
+	for n < ranges {
+		n <<= 1
+	}
+	m := &Map[V]{ranges: make([]mapRange[V], n), mask: uint64(n - 1), encV: encV, decV: decV}
+	for i := range m.ranges {
+		m.ranges[i].data = make(map[uint64]V)
+	}
+	return m
+}
+
+func (m *Map[V]) rangeOf(k uint64) *mapRange[V] { return &m.ranges[mix(k)&m.mask] }
+
+// Get returns the value for k.
+func (m *Map[V]) Get(k uint64) (V, bool) {
+	v, ok := m.rangeOf(k).data[k]
+	return v, ok
+}
+
+// Put stores v under k, marking the key dirty when tracking is on.
+func (m *Map[V]) Put(k uint64, v V) {
+	h := mix(k)
+	r := &m.ranges[h&m.mask]
+	r.data[k] = v
+	if m.track {
+		r.dirty.add(k, h)
+	}
+}
+
+// Delete removes k. When tracking is on the deletion is remembered so the
+// next incremental snapshot emits a tombstone.
+func (m *Map[V]) Delete(k uint64) {
+	h := mix(k)
+	r := &m.ranges[h&m.mask]
+	delete(r.data, k)
+	if m.track {
+		r.dirty.add(k, h)
+	}
+}
+
+// Len returns the total number of keys.
+func (m *Map[V]) Len() int {
+	n := 0
+	for i := range m.ranges {
+		n += len(m.ranges[i].data)
+	}
+	return n
+}
+
+// DirtyLen returns the number of keys recorded as dirty.
+func (m *Map[V]) DirtyLen() int {
+	n := 0
+	for i := range m.ranges {
+		n += m.ranges[i].dirty.len()
+	}
+	return n
+}
+
+// RangeCount returns the number of key ranges.
+func (m *Map[V]) RangeCount() int { return len(m.ranges) }
+
+// RangeLens returns the key count per range (migration planning input).
+func (m *Map[V]) RangeLens() []int {
+	out := make([]int, len(m.ranges))
+	for i := range m.ranges {
+		out[i] = len(m.ranges[i].data)
+	}
+	return out
+}
+
+// Range calls fn for every key until fn returns false. Iteration order is
+// unspecified.
+func (m *Map[V]) Range(fn func(k uint64, v V) bool) {
+	for i := range m.ranges {
+		for k, v := range m.ranges[i].data {
+			if !fn(k, v) {
+				return
+			}
+		}
+	}
+}
+
+// Clear drops all keys. When tracking is on, every dropped key is
+// remembered as a tombstone so the next incremental snapshot reflects the
+// clearing (Reset-while-checkpointing stays correct).
+func (m *Map[V]) Clear() {
+	for i := range m.ranges {
+		r := &m.ranges[i]
+		if m.track {
+			for k := range r.data {
+				r.dirty.add(k, mix(k))
+			}
+		}
+		clear(r.data)
+	}
+}
+
+// wipe drops all keys and dirty marks without recording tombstones; used
+// by full restores, whose result matches the durable state by definition.
+func (m *Map[V]) wipe() {
+	for i := range m.ranges {
+		clear(m.ranges[i].data)
+		m.ranges[i].dirty.clear()
+	}
+}
+
+// Track switches dirty-key tracking on or off. Turning it on starts with
+// an empty dirty set: the caller is expected to take a full snapshot
+// first.
+func (m *Map[V]) Track(on bool) {
+	m.track = on
+	if !on {
+		for i := range m.ranges {
+			m.ranges[i].dirty.clear()
+		}
+	}
+}
+
+// Snapshot encodes either the full map or only dirty keys into enc and
+// clears the dirty set. Each entry is key + presence byte + value;
+// presence 0 is a tombstone (incremental only). Returns entries written.
+func (m *Map[V]) Snapshot(enc *Encoder, full bool) int {
+	n := 0
+	if full {
+		enc.Uvarint(uint64(m.Len()))
+		for i := range m.ranges {
+			for k, v := range m.ranges[i].data {
+				enc.Uvarint(k)
+				enc.Byte(1)
+				m.encV(enc, v)
+				n++
+			}
+			m.ranges[i].dirty.clear()
+		}
+		return n
+	}
+	enc.Uvarint(uint64(m.DirtyLen()))
+	for i := range m.ranges {
+		r := &m.ranges[i]
+		r.dirty.each(func(k uint64) {
+			enc.Uvarint(k)
+			if v, ok := r.data[k]; ok {
+				enc.Byte(1)
+				m.encV(enc, v)
+			} else {
+				enc.Byte(0)
+			}
+			n++
+		})
+		r.dirty.clear()
+	}
+	return n
+}
+
+// Restore applies a snapshot. A full restore clears the map first; an
+// incremental one merges entries and applies tombstones. Restored entries
+// are not marked dirty (they match the durable state by construction).
+func (m *Map[V]) Restore(dec *Decoder, full bool) error {
+	if full {
+		m.wipe()
+	}
+	count := dec.Uvarint()
+	for i := uint64(0); i < count && dec.Err() == nil; i++ {
+		k := dec.Uvarint()
+		present := dec.Byte()
+		if dec.Err() != nil {
+			break
+		}
+		if present != 0 {
+			v := m.decV(dec)
+			if dec.Err() != nil {
+				break
+			}
+			m.rangeOf(k).data[k] = v
+		} else {
+			delete(m.rangeOf(k).data, k)
+		}
+	}
+	return dec.Err()
+}
+
+// Cell is a single non-keyed state value (a cursor, a watermark, a small
+// ring) with the same track/snapshot/restore protocol as Map.
+type Cell[V any] struct {
+	v     V
+	dirty bool
+	track bool
+	encV  func(*Encoder, V)
+	decV  func(*Decoder) V
+}
+
+// NewCell returns a cell holding initial.
+func NewCell[V any](initial V, encV func(*Encoder, V), decV func(*Decoder) V) *Cell[V] {
+	return &Cell[V]{v: initial, encV: encV, decV: decV}
+}
+
+// Get returns the current value.
+func (c *Cell[V]) Get() V { return c.v }
+
+// Set stores v, marking the cell dirty when tracking is on.
+func (c *Cell[V]) Set(v V) {
+	c.v = v
+	if c.track {
+		c.dirty = true
+	}
+}
+
+// Track switches dirty tracking on or off.
+func (c *Cell[V]) Track(on bool) {
+	c.track = on
+	if !on {
+		c.dirty = false
+	}
+}
+
+// Snapshot writes the value (always on full, only when dirty otherwise)
+// and clears the dirty mark. Returns entries written (0 or 1).
+func (c *Cell[V]) Snapshot(enc *Encoder, full bool) int {
+	if full || c.dirty {
+		enc.Byte(1)
+		c.encV(enc, c.v)
+		c.dirty = false
+		return 1
+	}
+	enc.Byte(0)
+	return 0
+}
+
+// Restore reads a cell snapshot: flag 0 leaves the value unchanged.
+func (c *Cell[V]) Restore(dec *Decoder, _ bool) error {
+	if dec.Byte() != 0 {
+		v := c.decV(dec)
+		if dec.Err() == nil {
+			c.v = v
+			c.dirty = false
+		}
+	}
+	return dec.Err()
+}
+
+// Common value codecs.
+
+// Float64Codec encodes a float64 value.
+func EncFloat64(e *Encoder, v float64) { e.Float64(v) }
+
+// DecFloat64 decodes a float64 value.
+func DecFloat64(d *Decoder) float64 { return d.Float64() }
+
+// EncInt64 encodes an int64 value.
+func EncInt64(e *Encoder, v int64) { e.Varint(v) }
+
+// DecInt64 decodes an int64 value.
+func DecInt64(d *Decoder) int64 { return d.Varint() }
+
+// EncUint64 encodes a uint64 value.
+func EncUint64(e *Encoder, v uint64) { e.Uvarint(v) }
+
+// DecUint64 decodes a uint64 value.
+func DecUint64(d *Decoder) uint64 { return d.Uvarint() }

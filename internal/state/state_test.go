@@ -1,0 +1,388 @@
+package state
+
+import (
+	"bytes"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestCodecRoundTrip(t *testing.T) {
+	var e Encoder
+	e.Uvarint(0)
+	e.Uvarint(1 << 60)
+	e.Varint(-12345)
+	e.Float64(3.25)
+	e.Bool(true)
+	e.Byte(0xAB)
+	e.String("hello")
+	e.Blob([]byte{1, 2, 3})
+	d := NewDecoder(e.Bytes())
+	if v := d.Uvarint(); v != 0 {
+		t.Fatalf("uvarint 0 = %d", v)
+	}
+	if v := d.Uvarint(); v != 1<<60 {
+		t.Fatalf("uvarint big = %d", v)
+	}
+	if v := d.Varint(); v != -12345 {
+		t.Fatalf("varint = %d", v)
+	}
+	if v := d.Float64(); v != 3.25 {
+		t.Fatalf("float = %v", v)
+	}
+	if !d.Bool() {
+		t.Fatal("bool")
+	}
+	if v := d.Byte(); v != 0xAB {
+		t.Fatalf("byte = %x", v)
+	}
+	if v := d.String(); v != "hello" {
+		t.Fatalf("string = %q", v)
+	}
+	if v := d.Blob(); !bytes.Equal(v, []byte{1, 2, 3}) {
+		t.Fatalf("blob = %v", v)
+	}
+	if d.Err() != nil || d.Remaining() != 0 {
+		t.Fatalf("err=%v remaining=%d", d.Err(), d.Remaining())
+	}
+}
+
+func TestDecoderTruncationNeverPanics(t *testing.T) {
+	var e Encoder
+	e.String("payload")
+	e.Float64(1)
+	full := append([]byte(nil), e.Bytes()...)
+	for cut := 0; cut <= len(full); cut++ {
+		d := NewDecoder(full[:cut])
+		_ = d.String()
+		_ = d.Float64()
+		_ = d.Uvarint()
+		if cut < len(full) && d.Err() == nil {
+			t.Fatalf("cut %d: expected sticky error", cut)
+		}
+	}
+}
+
+func TestMapSnapshotFullAndIncremental(t *testing.T) {
+	m := NewMap(4, EncFloat64, DecFloat64)
+	for k := uint64(0); k < 100; k++ {
+		m.Put(k, float64(k))
+	}
+	m.Track(true)
+
+	var e Encoder
+	if n := m.Snapshot(&e, true); n != 100 {
+		t.Fatalf("full snapshot entries = %d", n)
+	}
+	restored := NewMap(4, EncFloat64, DecFloat64)
+	if err := restored.Restore(NewDecoder(e.Bytes()), true); err != nil {
+		t.Fatal(err)
+	}
+	if restored.Len() != 100 {
+		t.Fatalf("restored %d keys", restored.Len())
+	}
+
+	// Mutate a handful of keys; the incremental must carry exactly those.
+	m.Put(5, 500)
+	m.Delete(7)
+	m.Put(200, 1)
+	if m.DirtyLen() != 3 {
+		t.Fatalf("dirty = %d, want 3", m.DirtyLen())
+	}
+	e.Reset()
+	if n := m.Snapshot(&e, false); n != 3 {
+		t.Fatalf("incremental entries = %d", n)
+	}
+	if m.DirtyLen() != 0 {
+		t.Fatal("snapshot did not clear the dirty set")
+	}
+	if err := restored.Restore(NewDecoder(e.Bytes()), false); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := restored.Get(5); v != 500 {
+		t.Fatalf("key 5 = %v", v)
+	}
+	if _, ok := restored.Get(7); ok {
+		t.Fatal("tombstone for key 7 not applied")
+	}
+	if v, _ := restored.Get(200); v != 1 {
+		t.Fatalf("key 200 = %v", v)
+	}
+	if restored.Len() != 100 {
+		t.Fatalf("after merge len = %d, want 100", restored.Len())
+	}
+}
+
+func TestMapClearMarksTombstones(t *testing.T) {
+	m := NewMap(2, EncFloat64, DecFloat64)
+	m.Put(1, 1)
+	m.Put(2, 2)
+	m.Track(true)
+	var e Encoder
+	m.Snapshot(&e, true) // baseline full; dirty now empty
+
+	m.Clear()
+	if m.DirtyLen() != 2 {
+		t.Fatalf("Clear marked %d tombstones, want 2", m.DirtyLen())
+	}
+	e.Reset()
+	m.Snapshot(&e, false)
+	peer := NewMap(2, EncFloat64, DecFloat64)
+	peer.Put(1, 1)
+	peer.Put(2, 2)
+	if err := peer.Restore(NewDecoder(e.Bytes()), false); err != nil {
+		t.Fatal(err)
+	}
+	if peer.Len() != 0 {
+		t.Fatalf("peer retains %d keys after tombstone merge", peer.Len())
+	}
+}
+
+func TestMapRestoreCorruptInput(t *testing.T) {
+	m := NewMap(2, EncFloat64, DecFloat64)
+	// A giant count with no entries behind it must error, not allocate.
+	var e Encoder
+	e.Uvarint(1 << 40)
+	if err := m.Restore(NewDecoder(e.Bytes()), true); err == nil {
+		t.Fatal("corrupt count accepted")
+	}
+}
+
+func TestCellSnapshotRestore(t *testing.T) {
+	c := NewCell(int64(7), EncInt64, DecInt64)
+	c.Track(true)
+	var e Encoder
+	if n := c.Snapshot(&e, false); n != 0 {
+		t.Fatalf("clean cell wrote %d entries", n)
+	}
+	c.Set(42)
+	e.Reset()
+	if n := c.Snapshot(&e, false); n != 1 {
+		t.Fatalf("dirty cell wrote %d entries", n)
+	}
+	peer := NewCell(int64(0), EncInt64, DecInt64)
+	if err := peer.Restore(NewDecoder(e.Bytes()), false); err != nil {
+		t.Fatal(err)
+	}
+	if peer.Get() != 42 {
+		t.Fatalf("restored cell = %d", peer.Get())
+	}
+}
+
+func TestMemStoreCommitGate(t *testing.T) {
+	s := NewMemStore()
+	_ = s.Append(Record{Epoch: 1, Op: 0, Full: true, Data: []byte("a")})
+	recs, _ := s.Load()
+	if len(recs) != 0 {
+		t.Fatal("uncommitted epoch visible")
+	}
+	_ = s.Commit(1)
+	recs, _ = s.Load()
+	if len(recs) != 1 || string(recs[0].Data) != "a" {
+		t.Fatalf("committed load = %+v", recs)
+	}
+	_ = s.Append(Record{Epoch: 2, Op: 0, Full: true, Data: []byte("b")})
+	_ = s.Commit(2)
+	_ = s.Compact(2)
+	recs, _ = s.Load()
+	if len(recs) != 1 || recs[0].Epoch != 2 {
+		t.Fatalf("after compact: %+v", recs)
+	}
+}
+
+func openTempLog(t *testing.T) (*FileLog, string) {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "test.ckpt")
+	l, err := OpenFileLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l, path
+}
+
+func TestFileLogRoundTrip(t *testing.T) {
+	l, path := openTempLog(t)
+	rec1 := Record{Epoch: 1, Op: 3, Full: true, Watermark: 10, Data: []byte("full-snap")}
+	rec2 := Record{Epoch: 2, Op: 3, Full: false, Watermark: 20, Data: []byte("delta")}
+	if err := l.Append(rec1); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Commit(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append(rec2); err != nil {
+		t.Fatal(err)
+	}
+	// Epoch 2 has no commit: invisible, also after reopen.
+	recs, err := l.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 || recs[0].Epoch != 1 || recs[0].Watermark != 10 || !bytes.Equal(recs[0].Data, []byte("full-snap")) {
+		t.Fatalf("load = %+v", recs)
+	}
+	l.Close()
+
+	l2, err := OpenFileLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	recs, err = l2.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 || recs[0].Epoch != 1 {
+		t.Fatalf("reopened load = %+v", recs)
+	}
+}
+
+func TestFileLogTornTailTruncated(t *testing.T) {
+	l, path := openTempLog(t)
+	_ = l.Append(Record{Epoch: 1, Op: 0, Full: true, Watermark: 5, Data: []byte("good")})
+	_ = l.Commit(1)
+	l.Close()
+	// Simulate a crash mid-append: raw garbage half-frame at the tail.
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Write([]byte{logMagic, recKindData, 0x12, 0x34})
+	f.Close()
+
+	l2, err := OpenFileLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	recs, err := l2.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 || string(recs[0].Data) != "good" {
+		t.Fatalf("after torn tail: %+v", recs)
+	}
+	// Appends after the truncation stay readable.
+	_ = l2.Append(Record{Epoch: 2, Op: 0, Full: true, Data: []byte("after")})
+	_ = l2.Commit(2)
+	recs, _ = l2.Load()
+	if len(recs) != 2 {
+		t.Fatalf("append after truncation lost: %+v", recs)
+	}
+}
+
+func TestFileLogAppendTorn(t *testing.T) {
+	l, _ := openTempLog(t)
+	defer l.Close()
+	_ = l.Append(Record{Epoch: 1, Op: 0, Full: true, Data: []byte("keep")})
+	_ = l.Commit(1)
+	if err := l.AppendTorn(Record{Epoch: 2, Op: 0, Full: false, Data: []byte("torn-away")}); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := l.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 || string(recs[0].Data) != "keep" {
+		t.Fatalf("torn record leaked: %+v", recs)
+	}
+}
+
+func TestFileLogCorruptRecordSkipped(t *testing.T) {
+	l, _ := openTempLog(t)
+	defer l.Close()
+	_ = l.Append(Record{Epoch: 1, Op: 0, Full: true, Data: []byte("first")})
+	if err := l.AppendCorrupt(Record{Epoch: 1, Op: 1, Full: true, Data: []byte("bitflip")}); err != nil {
+		t.Fatal(err)
+	}
+	_ = l.Append(Record{Epoch: 1, Op: 2, Full: true, Data: []byte("third")})
+	_ = l.Commit(1)
+	recs, err := l.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The corrupt middle record is skipped; its neighbors survive.
+	if len(recs) != 2 || string(recs[0].Data) != "first" || string(recs[1].Data) != "third" {
+		t.Fatalf("corrupt-skip load = %+v", recs)
+	}
+	if l.CorruptionsDetected() == 0 {
+		t.Fatal("corruption not counted")
+	}
+}
+
+func TestFileLogCompact(t *testing.T) {
+	l, path := openTempLog(t)
+	for e := uint64(1); e <= 3; e++ {
+		_ = l.Append(Record{Epoch: e, Op: 0, Full: e == 3, Data: []byte{byte(e)}})
+		_ = l.Commit(e)
+	}
+	before, _ := os.Stat(path)
+	if err := l.Compact(3); err != nil {
+		t.Fatal(err)
+	}
+	after, _ := os.Stat(path)
+	if after.Size() >= before.Size() {
+		t.Fatalf("compact did not shrink: %d -> %d", before.Size(), after.Size())
+	}
+	recs, err := l.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 || recs[0].Epoch != 3 {
+		t.Fatalf("after compact: %+v", recs)
+	}
+	// The log stays appendable after the rename swap.
+	_ = l.Append(Record{Epoch: 4, Op: 0, Full: false, Data: []byte("post")})
+	_ = l.Commit(4)
+	recs, _ = l.Load()
+	if len(recs) != 2 {
+		t.Fatalf("append after compact: %+v", recs)
+	}
+	l.Close()
+}
+
+// TestFileLogRandomTruncation drops random byte counts off a multi-record
+// log and verifies every load is clean: committed prefixes survive, nothing
+// panics, nothing torn is returned.
+func TestFileLogRandomTruncation(t *testing.T) {
+	base := filepath.Join(t.TempDir(), "trunc.ckpt")
+	l, err := OpenFileLog(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := make([]byte, 64)
+	for e := uint64(1); e <= 5; e++ {
+		for op := int32(0); op < 3; op++ {
+			_ = l.Append(Record{Epoch: e, Op: op, Full: op == 0, Watermark: e * 100, Data: payload})
+		}
+		_ = l.Commit(e)
+	}
+	l.Close()
+	raw, err := os.ReadFile(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		cut := rng.Intn(len(raw) + 1)
+		p := filepath.Join(t.TempDir(), "t.ckpt")
+		if err := os.WriteFile(p, raw[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		tl, err := OpenFileLog(p)
+		if err != nil {
+			t.Fatalf("cut %d: open: %v", cut, err)
+		}
+		recs, err := tl.Load()
+		if err != nil {
+			t.Fatalf("cut %d: load: %v", cut, err)
+		}
+		for _, r := range recs {
+			if len(r.Data) != len(payload) {
+				t.Fatalf("cut %d: torn data returned (%d bytes)", cut, len(r.Data))
+			}
+		}
+		tl.Close()
+	}
+}
