@@ -37,7 +37,16 @@ BENCH_FUSED_OUT := BENCH_7.json
 # The acceptance bar: <= 10% tuples/s loss at the 1s interval vs off.
 BENCH_CKPT_OUT := BENCH_8.json
 
-.PHONY: build test race vet bench bench-pe bench-sched bench-sched-smoke bench-hotpath bench-hotpath-smoke bench-obs bench-fused bench-fused-smoke bench-ckpt bench-ckpt-smoke benchstat fuzz fuzz-pe fuzz-deque fuzz-obs fuzz-batch fuzz-ckpt chaos chaos-state
+# Wire-format benchmarks: v2 batch frames vs v1 frame-per-tuple at equal
+# flush policy (BenchmarkExportImportWire), plus the batch encode/decode
+# steady-state microbenchmarks (0 allocs/op). Every row reports gomaxprocs.
+BENCH_WIRE_OUT := BENCH_9.json
+
+# Repeat count for benchstat-bound runs: benchstat needs several samples
+# per key to average and mark significance, one run proves nothing.
+BENCH_COUNT ?= 5
+
+.PHONY: build test race vet bench bench-pe bench-sched bench-sched-smoke bench-hotpath bench-hotpath-smoke bench-obs bench-fused bench-fused-smoke bench-ckpt bench-ckpt-smoke bench-wire bench-wire-smoke benchstat fuzz fuzz-pe fuzz-wire fuzz-deque fuzz-obs fuzz-batch fuzz-ckpt chaos chaos-state
 
 build:
 	$(GO) build ./...
@@ -81,11 +90,13 @@ bench-sched-smoke:
 # scheduler modes with the sharded sink AND the locked-sink baseline (every
 # run reports a gomaxprocs metric — on a 1-core box the sharded/locked gap
 # collapses because nothing truly contends), plus the decode benchmarks
-# showing zero payload-copy allocs. Compare sharded vs locked at equal
-# workers with benchstat.
+# showing zero payload-copy allocs. The sweep is benchstat-ready: per-worker
+# sub-benchmark keys plus $(BENCH_COUNT) repeats per key, so the multi-core
+# rerun is this one command followed by
+# `make benchstat OLD=BENCH_6.json NEW=<new file>`.
 bench-hotpath:
-	$(GO) test -json -run '^$$' -bench 'ContendedFanIn' -benchmem ./internal/exec/ > $(BENCH_HOTPATH_OUT)
-	$(GO) test -json -run '^$$' -bench 'Decode|ExportImport' -benchmem ./internal/pe/ >> $(BENCH_HOTPATH_OUT)
+	$(GO) test -json -run '^$$' -bench 'ContendedFanIn' -benchmem -count=$(BENCH_COUNT) ./internal/exec/ > $(BENCH_HOTPATH_OUT)
+	$(GO) test -json -run '^$$' -bench 'Decode|ExportImport' -benchmem -count=$(BENCH_COUNT) ./internal/pe/ >> $(BENCH_HOTPATH_OUT)
 
 # One-hundred-iteration smoke of the fan-in benches for CI, both sink
 # modes: proves they build and run without panicking, makes no timing
@@ -128,6 +139,28 @@ bench-fused:
 bench-fused-smoke:
 	$(GO) test -run '^$$' -bench 'ManualChain' -benchtime 100x -benchmem ./internal/exec/
 
+# bench-wire writes the wire-format A/B to $(BENCH_WIRE_OUT):
+# BenchmarkExportImportWire wire=batch vs wire=pertuple at 16B/64B/1KiB/
+# 16KiB payloads under identical flush policy ($(BENCH_COUNT) repeats per
+# key at 2s each — the end-to-end loopback needs a couple of seconds of
+# steady state before connection setup, pool warmup, and ring fill stop
+# skewing the sample; compare wire=batch/payload=N against
+# wire=pertuple/payload=N with benchstat), plus the batch encode/decode
+# steady-state microbenchmarks. The acceptance bar: >= 1.5x tuples/s for
+# batch over per-tuple on tuples whose record fits 64B (payload=16).
+# The last line reruns the legacy-keyed transport benches (which now ride
+# the v2 wire by default) so `make benchstat OLD=BENCH_2.json
+# NEW=BENCH_9.json` pairs them against their v1-era numbers.
+bench-wire:
+	$(GO) test -json -run '^$$' -bench 'ExportImportWire' -benchtime 2s -benchmem -count=$(BENCH_COUNT) ./internal/pe/ > $(BENCH_WIRE_OUT)
+	$(GO) test -json -run '^$$' -bench 'BatchEncodeSteadyState|BatchDecodeSteadyState' -benchmem ./internal/pe/ >> $(BENCH_WIRE_OUT)
+	$(GO) test -json -run '^$$' -bench 'ExportImport$$|ExportImportPerTupleFlush$$|BenchmarkEncodeSteadyState$$|BenchmarkDecodeSteadyState$$' -benchmem ./internal/pe/ >> $(BENCH_WIRE_OUT)
+
+# One-hundred-iteration smoke of the wire A/B benches for CI: proves both
+# wire modes build and run, makes no timing claims.
+bench-wire-smoke:
+	$(GO) test -run '^$$' -bench 'ExportImportWire|BatchEncodeSteadyState|BatchDecodeSteadyState' -benchtime 100x -benchmem ./internal/pe/
+
 # benchstat diffs two committed BENCH_*.json artifacts with the stdlib-only
 # in-repo tool (averages repeated runs, marks better/worse per unit):
 #   make benchstat OLD=BENCH_4.json NEW=BENCH_6.json
@@ -140,9 +173,14 @@ benchstat:
 fuzz:
 	$(GO) test ./internal/queue/ -run '^$$' -fuzz FuzzMPMCBatchOps -fuzztime 20s
 
-# Short fuzz pass over the transport's batched frame decoder.
+# Short fuzz pass over the transport's coalesced v1 frame streams.
 fuzz-pe:
 	$(GO) test ./internal/pe/ -run '^$$' -fuzz FuzzBatchedFrames -fuzztime 20s
+
+# Short fuzz pass over the v2 batch frame decoder (hostile headers, seq
+# deltas, record lengths; committed seed corpus in testdata/fuzz).
+fuzz-wire:
+	$(GO) test ./internal/pe/ -run '^$$' -fuzz FuzzBatchFrameDecode -fuzztime 20s
 
 # Short fuzz pass over the work-stealing deque against a reference model.
 fuzz-deque:

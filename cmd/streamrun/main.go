@@ -51,6 +51,7 @@ func main() {
 		streamRing  = flag.Int("streamring", 0, "transport: staging ring capacity per stream in tuples (0 = 1024 default)")
 		streamDrop  = flag.Bool("streamdrop", false, "transport: drop tuples when a stream backs up instead of blocking the PE (latency over completeness)")
 		streamStats = flag.Bool("streamstats", false, "print per-stream transport counters at exit (multi-PE runs)")
+		wireBatch   = flag.Bool("wirebatch", true, "transport: carry whole writer drains as v2 batch frames across PE edges; false sends one v1 frame per tuple (the pre-batch wire, for A/B comparison)")
 		localEdges  = flag.Bool("localedges", false, "transport: route co-located cross-PE edges through the in-process fast path (direct ring handoff, no TCP); wire-level chaos faults do not apply to local edges")
 
 		steal      = flag.Bool("steal", true, "scheduler: work stealing (per-worker deques with emit affinity); false routes everything through the shared queues")
@@ -75,10 +76,11 @@ func main() {
 	flag.Parse()
 
 	tcfg := pe.TransportConfig{
-		RingCapacity:  *streamRing,
-		FlushBytes:    *flushBytes,
-		MaxFlushDelay: *flushDelay,
-		DropOnFull:    *streamDrop,
+		RingCapacity:   *streamRing,
+		FlushBytes:     *flushBytes,
+		MaxFlushDelay:  *flushDelay,
+		DropOnFull:     *streamDrop,
+		PerTupleFrames: !*wireBatch,
 	}
 	rcfg := resilienceConfig{
 		watchdog:     *watchdog,
@@ -524,9 +526,14 @@ func runJob(b *workload.Build, maxThreads int, duration, period time.Duration, p
 			if st.Local {
 				kind = "local"
 			}
-			fmt.Printf("stream %d PE%d->PE%d (%s): sent=%d recv=%d dropped=%d bytesSent=%d bytesRecv=%d flushes=%d batches=%v retrans=%d reconnects=%d dups=%d resumes=%d\n",
+			framesPerFlush := 0.0
+			if st.Flushes > 0 {
+				framesPerFlush = float64(st.WireFrames) / float64(st.Flushes)
+			}
+			fmt.Printf("stream %d PE%d->PE%d (%s): sent=%d recv=%d dropped=%d bytesSent=%d bytesRecv=%d frames=%d framesRecv=%d flushes=%d framesPerFlush=%.1f drains=%v retrans=%d reconnects=%d dups=%d resumes=%d\n",
 				st.Stream, st.FromPE, st.ToPE, kind, st.Sent, st.Received, st.Dropped,
-				st.BytesSent, st.BytesReceived, st.Flushes, st.BatchSizes,
+				st.BytesSent, st.BytesReceived, st.WireFrames, st.FramesReceived,
+				st.Flushes, framesPerFlush, st.DrainSizes,
 				st.Retransmits, st.Reconnects, st.DupsDropped, st.Resumes)
 		}
 	}

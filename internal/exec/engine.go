@@ -1027,7 +1027,33 @@ func (em *emitter) stamp() int64 {
 	return time.Now().UnixNano()
 }
 
-var _ spl.Emitter = (*emitter)(nil)
+var (
+	_ spl.Emitter      = (*emitter)(nil)
+	_ spl.BatchEmitter = (*emitter)(nil)
+)
+
+// EmitN implements spl.BatchEmitter: a source holding a whole batch (the
+// transport import draining its injection ring) lands it in one call. When
+// the source loop is running a compiled region the batch bulk-appends into
+// the capture buffer — a cross-PE batch frame reaches the region program
+// without ever being re-serialized into per-tuple delivery — otherwise it
+// falls back to per-tuple Emit with identical semantics.
+func (em *emitter) EmitN(port int, ts []*spl.Tuple) {
+	node := em.node
+	if p := em.srcProg; p != nil && node == p.head && port == p.srcPort {
+		if em.e.opts.TrackLatency && em.e.isSource[node] {
+			now := time.Now().UnixNano()
+			for _, t := range ts {
+				t.Time = now
+			}
+		}
+		em.srcBuf = append(em.srcBuf, ts...)
+		return
+	}
+	for _, t := range ts {
+		em.Emit(port, t)
+	}
+}
 
 // Emit implements spl.Emitter. Because the emitter is shared down inline
 // execution chains, Emit snapshots the emitting node on entry and restores

@@ -47,16 +47,20 @@ type StreamStatus struct {
 	Stream int    `json:"stream"`
 	Dir    string `json:"dir"`
 	Peer   int    `json:"peer"`
-	// Tuples and Bytes count traffic through the endpoint (encoded frames
-	// on an export, decoded frames on an import).
-	Tuples uint64 `json:"tuples"`
-	Bytes  uint64 `json:"bytes"`
-	// Dropped, Flushes, and BatchSizes are export-side only: tuples the
+	// Tuples and Bytes count traffic through the endpoint; WireFrames
+	// counts wire frames (staged on an export, decoded on an import), so
+	// Tuples/WireFrames is the batch amortization ratio and
+	// WireFrames/Flushes the frames per flush.
+	Tuples     uint64 `json:"tuples"`
+	WireFrames uint64 `json:"wireFrames,omitempty"`
+	Bytes      uint64 `json:"bytes"`
+	// Dropped, Flushes, and DrainSizes are export-side only: tuples the
 	// stream could not carry, explicit flush syscalls, and the writer's
-	// drain batch-size histogram (log2 buckets).
+	// staging-ring drain-size histogram (log2 buckets — ring drains, not
+	// wire batches or flush batches).
 	Dropped    uint64   `json:"dropped,omitempty"`
 	Flushes    uint64   `json:"flushes,omitempty"`
-	BatchSizes []uint64 `json:"batchSizes,omitempty"`
+	DrainSizes []uint64 `json:"drainSizes,omitempty"`
 	// Recovery counters: Retransmits/Reconnects/Unacked are export-side
 	// (resume traffic, re-attached connections, frames of unknown delivery
 	// at close); DupsDropped/Resumes are import-side (sequence dedup,

@@ -29,7 +29,7 @@ func newServer(t *testing.T) (*httptest.Server, fakeProvider) {
 			Latency: LatencyMS{Count: 100, Mean: 1.5, P50: 1, P95: 3, P99: 5},
 			Streams: []StreamStatus{
 				{Stream: 0, Dir: "export", Peer: 1, Tuples: 777, Bytes: 43210,
-					Dropped: 2, Flushes: 9, BatchSizes: []uint64{1, 0, 4}},
+					Dropped: 2, Flushes: 9, DrainSizes: []uint64{1, 0, 4}},
 				{Stream: 0, Dir: "import", Peer: 0, Tuples: 775, Bytes: 43100},
 			},
 		}},
@@ -72,7 +72,7 @@ func TestStatusEndpoint(t *testing.T) {
 	}
 	exp := got[0].Streams[0]
 	if exp.Dir != "export" || exp.Tuples != 777 || exp.Bytes != 43210 ||
-		exp.Dropped != 2 || exp.Flushes != 9 || len(exp.BatchSizes) != 3 {
+		exp.Dropped != 2 || exp.Flushes != 9 || len(exp.DrainSizes) != 3 {
 		t.Fatalf("export stream status %+v", exp)
 	}
 	imp := got[0].Streams[1]
@@ -137,7 +137,7 @@ func TestStatusJSONFieldNames(t *testing.T) {
 	body := string(raw)
 	for _, field := range []string{
 		"sinkTuples", "latencyMs", "uptimeSecs", "settled",
-		"streams", "dir", "flushes", "batchSizes", "dropped",
+		"streams", "dir", "flushes", "drainSizes", "dropped",
 	} {
 		if !strings.Contains(body, field) {
 			t.Fatalf("JSON missing field %q: %s", field, body)

@@ -93,6 +93,8 @@ func BuildStatus(name string, reg *obs.Registry, health *WatchdogStatus) Status 
 			ckpt().Epoch = uint64(s.Value)
 		case obs.MetricTransportTuples:
 			streamFor(streams, s).Tuples = s.U
+		case obs.MetricTransportFrames:
+			streamFor(streams, s).WireFrames = s.U
 		case obs.MetricTransportBytes:
 			streamFor(streams, s).Bytes = s.U
 		case obs.MetricTransportDropped:
@@ -109,9 +111,9 @@ func BuildStatus(name string, reg *obs.Registry, health *WatchdogStatus) Status 
 			streamFor(streams, s).DupsDropped = s.U
 		case obs.MetricTransportResumes:
 			streamFor(streams, s).Resumes = s.U
-		case obs.MetricTransportBatchSize:
+		case obs.MetricTransportDrainSize:
 			if s.Hist != nil && s.Hist.Count > 0 {
-				streamFor(streams, s).BatchSizes = trimBuckets(s.Hist.Buckets)
+				streamFor(streams, s).DrainSizes = trimBuckets(s.Hist.Buckets)
 			}
 		}
 	}

@@ -38,7 +38,7 @@ func registryForStatus() *obs.Registry {
 	r.CounterFunc(obs.MetricTransportFlushes, "flushes", func() uint64 { return 9 }, exp...)
 	r.CounterFunc(obs.MetricTransportRetransmits, "retrans", func() uint64 { return 3 }, exp...)
 	r.GaugeFunc(obs.MetricTransportUnacked, "unacked", func() float64 { return 4 }, exp...)
-	r.HistogramFunc(obs.MetricTransportBatchSize, "batches", func() obs.HistSnapshot {
+	r.HistogramFunc(obs.MetricTransportDrainSize, "drains", func() obs.HistSnapshot {
 		return obs.HistSnapshot{Buckets: []uint64{1, 0, 4, 0, 0}, Count: 5, Sum: 13, Scale: 1}
 	}, exp...)
 	imp := []obs.Label{
@@ -82,8 +82,8 @@ func TestBuildStatusFromRegistry(t *testing.T) {
 		exp.Dropped != 2 || exp.Flushes != 9 || exp.Retransmits != 3 || exp.Unacked != 4 {
 		t.Fatalf("export stream: %+v", exp)
 	}
-	if len(exp.BatchSizes) != 3 || exp.BatchSizes[2] != 4 {
-		t.Fatalf("batch sizes trimmed wrong: %v", exp.BatchSizes)
+	if len(exp.DrainSizes) != 3 || exp.DrainSizes[2] != 4 {
+		t.Fatalf("drain sizes trimmed wrong: %v", exp.DrainSizes)
 	}
 	imp := st.Streams[1]
 	if imp.Dir != "import" || imp.Peer != 0 || imp.Tuples != 775 || imp.DupsDropped != 6 {

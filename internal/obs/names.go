@@ -40,6 +40,7 @@ const (
 
 	// Transport.
 	MetricTransportTuples      = "transport_tuples_total"
+	MetricTransportFrames      = "transport_frames_total"
 	MetricTransportBytes       = "transport_bytes_total"
 	MetricTransportDropped     = "transport_dropped_total"
 	MetricTransportFlushes     = "transport_flushes_total"
@@ -48,7 +49,10 @@ const (
 	MetricTransportUnacked     = "transport_unacked"
 	MetricTransportDups        = "transport_dups_dropped_total"
 	MetricTransportResumes     = "transport_resumes_total"
-	MetricTransportBatchSize   = "transport_batch_size"
+	// MetricTransportDrainSize is the writer's staging-ring drain-size
+	// histogram (tuples per drain). Formerly transport_batch_size, renamed
+	// because it records ring drains, not wire batches or flush batches.
+	MetricTransportDrainSize = "transport_drain_size"
 
 	// Watchdog.
 	MetricWatchdogHealthy  = "watchdog_healthy"

@@ -3,6 +3,7 @@ package pe
 import (
 	"fmt"
 	"io"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -11,9 +12,11 @@ import (
 	"streamelastic/internal/spl"
 )
 
-// benchPayloads are the wire sizes the transport benchmarks sweep: a small
-// telemetry-style tuple, a typical record, and a bulk frame.
-var benchPayloads = []int{64, 1024, 16384}
+// benchPayloads are the wire sizes the transport benchmarks sweep: a tiny
+// tuple whose whole batch record fits in 64 bytes (the shape where per-frame
+// overhead dominates), a small telemetry-style tuple, a typical record, and a
+// bulk frame.
+var benchPayloads = []int{16, 64, 1024, 16384}
 
 // benchTuple returns a template tuple with a pooled payload of n bytes and
 // no text, so the decode side exercises pure pooled construction.
@@ -83,6 +86,68 @@ func BenchmarkExportImport(b *testing.B) {
 			exp.close()
 			imp.close()
 		})
+	}
+}
+
+// BenchmarkExportImportWire is the wire-format A/B at equal flush policy:
+// identical transport, staging ring, retransmit window, and flush tuning in
+// both runs — the only difference is PerTupleFrames, i.e. whether a writer
+// drain leaves as one v2 batch frame or as one v1 frame per tuple. This is
+// the BENCH_9 comparison; every row reports gomaxprocs for provenance (on a
+// 1-core box the writer, reader, and producer share the core, so the
+// per-frame CPU overhead is what the batch amortizes away).
+func BenchmarkExportImportWire(b *testing.B) {
+	modes := []struct {
+		name     string
+		perTuple bool
+	}{
+		{"batch", false},
+		{"pertuple", true},
+	}
+	for _, mode := range modes {
+		for _, size := range benchPayloads {
+			b.Run(fmt.Sprintf("wire=%s/payload=%d", mode.name, size), func(b *testing.B) {
+				send, recv := loopbackPair(b)
+				exp := newExportOp("x")
+				exp.cfg = TransportConfig{
+					BlockTimeout:   time.Minute,
+					PerTupleFrames: mode.perTuple,
+				}.withDefaults()
+				if err := exp.connect(send, ""); err != nil {
+					b.Fatal(err)
+				}
+				imp := newImportSource("i")
+				imp.connect(recv, nil)
+				_, done := runImportDrain(imp, uint64(b.N))
+
+				tp := benchTuple(size)
+				defer tp.Release()
+				b.SetBytes(int64(size))
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					exp.Process(0, tp, nil)
+				}
+				<-done
+				b.StopTimer()
+				b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "tuples/s")
+				b.ReportMetric(float64(runtime.GOMAXPROCS(0)), "gomaxprocs")
+				if exp.Dropped() != 0 {
+					b.Fatalf("benchmark dropped %d tuples", exp.Dropped())
+				}
+				if mode.perTuple {
+					if got, want := exp.WireFrames(), exp.Sent(); got != want {
+						b.Fatalf("per-tuple mode staged %d frames for %d tuples", got, want)
+					}
+				} else if b.N >= 4096 && exp.WireFrames() >= exp.Sent() {
+					// Only meaningful at volume: a tiny smoke run can drain
+					// one tuple per pass and legitimately never amortize.
+					b.Fatalf("batch mode staged %d frames for %d tuples; no amortization",
+						exp.WireFrames(), exp.Sent())
+				}
+				exp.close()
+				imp.close()
+			})
+		}
 	}
 }
 
@@ -196,6 +261,131 @@ func BenchmarkDecodeSteadyState(b *testing.B) {
 			b.Fatal(err)
 		}
 		t.Release()
+	}
+}
+
+// benchBatch returns writerBatchTuples pooled tuples with n-byte payloads —
+// one full writer drain, the batch encode/decode unit of work.
+func benchBatch(n int) []*spl.Tuple {
+	ts := make([]*spl.Tuple, writerBatchTuples)
+	for i := range ts {
+		ts[i] = benchTuple(n)
+		ts[i].Seq = uint64(i)
+	}
+	return ts
+}
+
+func releaseBatch(ts []*spl.Tuple) {
+	for _, t := range ts {
+		t.Release()
+	}
+}
+
+// BenchmarkBatchEncodeSteadyState measures marshalBatchFrame with a warm
+// scratch buffer: one full drain per op, reported per tuple via tuples/s.
+// Steady-state batch encoding must be allocation-free.
+func BenchmarkBatchEncodeSteadyState(b *testing.B) {
+	ts := benchBatch(64)
+	defer releaseBatch(ts)
+	buf, err := marshalBatchFrame(nil, 1, ts) // warm the scratch buffer
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf, err = marshalBatchFrame(buf, uint64(i)*writerBatchTuples+1, ts)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)*writerBatchTuples/b.Elapsed().Seconds(), "tuples/s")
+}
+
+// encodedBatchFrame returns one v2 wire frame carrying a full drain of
+// payload-n tuples.
+func encodedBatchFrame(tb testing.TB, n int) []byte {
+	tb.Helper()
+	ts := benchBatch(n)
+	defer releaseBatch(ts)
+	frame, err := marshalBatchFrame(nil, 1, ts)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return frame
+}
+
+// BenchmarkBatchDecodeSteadyState measures decodeFrame on a full batch
+// frame: one arena read and one RetainN materialize writerBatchTuples
+// arena-view tuples per op. Steady-state batch decoding must be
+// allocation-free with the pools warm.
+func BenchmarkBatchDecodeSteadyState(b *testing.B) {
+	dec := newDecoder(&loopReader{frame: encodedBatchFrame(b, 64)})
+	out := make([]*spl.Tuple, maxBatchTuples)
+	n, _, err := dec.decodeFrame(out) // warm the tuple and arena pools
+	if err != nil {
+		b.Fatal(err)
+	}
+	releaseAll(out[:n])
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n, _, err := dec.decodeFrame(out)
+		if err != nil {
+			b.Fatal(err)
+		}
+		releaseAll(out[:n])
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)*writerBatchTuples/b.Elapsed().Seconds(), "tuples/s")
+}
+
+// TestBatchEncodeSteadyStateZeroAlloc pins the zero-alloc contract of batch
+// frame marshalling independent of benchmark runs.
+func TestBatchEncodeSteadyStateZeroAlloc(t *testing.T) {
+	ts := benchBatch(64)
+	defer releaseBatch(ts)
+	buf, err := marshalBatchFrame(nil, 1, ts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		b, err := marshalBatchFrame(buf, 1, ts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf = b
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state batch encode allocates %.1f objects per call, want 0", allocs)
+	}
+}
+
+// TestBatchDecodeSteadyStateZeroAlloc pins the zero-alloc contract of batch
+// decode. Skipped under -race for the same reason as
+// TestDecodeSteadyStateZeroAlloc: sync.Pool drops Puts there, and one batch
+// frame cycles writerBatchTuples pooled tuples plus a pooled arena.
+func TestBatchDecodeSteadyStateZeroAlloc(t *testing.T) {
+	if raceDetectorEnabled {
+		t.Skip("sync.Pool drops Puts under -race; zero-alloc steady state cannot hold")
+	}
+	dec := newDecoder(&loopReader{frame: encodedBatchFrame(t, 64)})
+	out := make([]*spl.Tuple, maxBatchTuples)
+	n, _, err := dec.decodeFrame(out) // warm the tuple and arena pools
+	if err != nil {
+		t.Fatal(err)
+	}
+	releaseAll(out[:n])
+	allocs := testing.AllocsPerRun(100, func() {
+		n, _, err := dec.decodeFrame(out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		releaseAll(out[:n])
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state batch decode allocates %.1f objects per call, want 0", allocs)
 	}
 }
 

@@ -160,6 +160,214 @@ var tupleFixture = spl.Tuple{
 	Text: "fixture", Payload: []byte{1, 2, 3},
 }
 
+// batchFixtureTuples returns a small mixed batch: text and payload bearing,
+// payload-only, scalar-only, and a larger-payload tuple, so record lengths
+// shrink and grow (both zigzag delta signs appear on the wire).
+func batchFixtureTuples() []*spl.Tuple {
+	return []*spl.Tuple{
+		{Seq: 100, Key: 1, Time: -5, Num1: 1.25, Num2: -9, Text: "alpha", Payload: []byte{1, 2, 3}},
+		{Seq: 101, Key: 2, Payload: []byte{0xff, 0xee, 0xdd, 0xcc, 0xbb, 0xaa, 0x99, 0x88}},
+		{Seq: 102, Key: 3, Time: 7},
+		{Seq: 103, Key: 4, Text: "b", Payload: bytes.Repeat([]byte{0x42}, 100)},
+	}
+}
+
+// batchWireFixture builds a canonical multi-frame wire buffer — batch, v1,
+// batch — and the tuples each frame carries, plus each frame's end offset.
+func batchWireFixture(tb testing.TB) (wire []byte, want []*spl.Tuple, ends []int) {
+	tb.Helper()
+	ts := batchFixtureTuples()
+	f1, err := marshalBatchFrame(nil, 1, ts[:2])
+	if err != nil {
+		tb.Fatal(err)
+	}
+	v1 := &spl.Tuple{Seq: 200, Key: 9, Text: "solo", Payload: []byte{7}}
+	f2, err := marshalFrame(nil, 3, v1)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	f3, err := marshalBatchFrame(nil, 4, ts[2:])
+	if err != nil {
+		tb.Fatal(err)
+	}
+	wire = append(wire, f1...)
+	wire = append(wire, f2...)
+	wire = append(wire, f3...)
+	want = append(want, ts[:2]...)
+	want = append(want, v1)
+	want = append(want, ts[2:]...)
+	ends = []int{len(f1), len(f1) + len(f2), len(wire)}
+	return wire, want, ends
+}
+
+// TestBatchFrameRoundTrip decodes the canonical mixed buffer through
+// decodeFrame and verifies every tuple, the implicit wire sequences, the
+// byte meter, and the arena-view payload contract (payloads are views into a
+// shared arena; payload-less tuples hold no arena).
+func TestBatchFrameRoundTrip(t *testing.T) {
+	wire, want, _ := batchWireFixture(t)
+	dec := newDecoder(bytes.NewReader(wire))
+	out := make([]*spl.Tuple, maxBatchTuples)
+	wantFirst := []uint64{1, 3, 4}
+	wantCount := []int{2, 1, 2}
+	wi := 0
+	for f := 0; f < 3; f++ {
+		n, first, err := dec.decodeFrame(out)
+		if err != nil {
+			t.Fatalf("frame %d: %v", f, err)
+		}
+		if n != wantCount[f] || first != wantFirst[f] {
+			t.Fatalf("frame %d: n=%d first=%d, want %d/%d", f, n, first, wantCount[f], wantFirst[f])
+		}
+		for i := 0; i < n; i++ {
+			checkFrame(t, wi, want[wi], out[i])
+			if len(out[i].Payload) > 0 && !out[i].ArenaBacked() {
+				t.Fatalf("tuple %d payload is not an arena view", wi)
+			}
+			if len(out[i].Payload) == 0 && out[i].ArenaBacked() {
+				t.Fatalf("payload-less tuple %d retained an arena reference", wi)
+			}
+			wi++
+		}
+		// Release out of order within the batch; the shared arena must
+		// survive until the last view drops.
+		for i := n - 1; i >= 0; i-- {
+			out[i].Release()
+			out[i] = nil
+		}
+	}
+	if dec.bytesRead() != uint64(len(wire)) {
+		t.Fatalf("decoder read %d wire bytes, want %d", dec.bytesRead(), len(wire))
+	}
+	if dec.wireSeq() != 5 {
+		t.Fatalf("final wire seq %d, want 5", dec.wireSeq())
+	}
+	if _, _, err := dec.decodeFrame(out); err != io.EOF {
+		t.Fatalf("decode past end = %v, want io.EOF", err)
+	}
+}
+
+// TestBatchFrameTruncationEveryOffset cuts the canonical buffer at every
+// possible offset: frames wholly before the cut must still decode exactly,
+// and the first incomplete frame must fail closed — no partial batch ever
+// escapes.
+func TestBatchFrameTruncationEveryOffset(t *testing.T) {
+	wire, want, ends := batchWireFixture(t)
+	counts := []int{2, 1, 2}
+	out := make([]*spl.Tuple, maxBatchTuples)
+	for cut := 0; cut <= len(wire); cut++ {
+		complete := 0
+		for _, e := range ends {
+			if e <= cut {
+				complete++
+			}
+		}
+		dec := newDecoder(bytes.NewReader(wire[:cut]))
+		wi := 0
+		for f := 0; f < complete; f++ {
+			n, _, err := dec.decodeFrame(out)
+			if err != nil {
+				t.Fatalf("cut %d: intact frame %d failed: %v", cut, f, err)
+			}
+			if n != counts[f] {
+				t.Fatalf("cut %d: frame %d decoded %d tuples, want %d", cut, f, n, counts[f])
+			}
+			for i := 0; i < n; i++ {
+				checkFrame(t, wi, want[wi], out[i])
+				out[i].Release()
+				out[i] = nil
+				wi++
+			}
+		}
+		if _, _, err := dec.decodeFrame(out); err == nil {
+			t.Fatalf("cut %d: decode of incomplete frame %d succeeded", cut, complete)
+		}
+	}
+}
+
+// TestBatchFrameFlipEveryByte flips every byte of the canonical buffer (a
+// hard 0xff xor, hitting the length prefix, base seq, count, the zigzag
+// delta varints, and every record field) and decodes the mutated stream to
+// the end: the decoder may accept or reject frames but must never panic and
+// never hand back more content than the wire carried.
+func TestBatchFrameFlipEveryByte(t *testing.T) {
+	wire, _, _ := batchWireFixture(t)
+	out := make([]*spl.Tuple, maxBatchTuples)
+	mut := make([]byte, len(wire))
+	for pos := 0; pos < len(wire); pos++ {
+		copy(mut, wire)
+		mut[pos] ^= 0xff
+		dec := newDecoder(bytes.NewReader(mut))
+		for f := 0; f < 4; f++ {
+			n, _, err := dec.decodeFrame(out)
+			if err != nil {
+				break
+			}
+			content := 0
+			for i := 0; i < n; i++ {
+				content += len(out[i].Text) + len(out[i].Payload)
+			}
+			if content > dec.lastFrameBytes() {
+				t.Fatalf("flip at %d: frame yielded %d content bytes from a %d-byte frame",
+					pos, content, dec.lastFrameBytes())
+			}
+			releaseAll(out[:n])
+		}
+	}
+}
+
+// TestMarshalBatchFrameRejects pins the encoder-side bounds: empty batches,
+// batches past maxBatchTuples, and batches whose bodies exceed maxFrameBytes
+// are errors, not truncations.
+func TestMarshalBatchFrameRejects(t *testing.T) {
+	if _, err := marshalBatchFrame(nil, 1, nil); err == nil {
+		t.Fatal("empty batch accepted")
+	}
+	over := make([]*spl.Tuple, maxBatchTuples+1)
+	for i := range over {
+		over[i] = &spl.Tuple{}
+	}
+	if _, err := marshalBatchFrame(nil, 1, over); err == nil {
+		t.Fatal("oversized batch count accepted")
+	}
+	big := &spl.Tuple{Payload: make([]byte, maxFrameBytes/2)}
+	if _, err := marshalBatchFrame(nil, 1, []*spl.Tuple{big, big, big}); err == nil {
+		t.Fatal("oversized batch body accepted")
+	}
+}
+
+// TestDecodeFrameRejectsHostileBatchHeaders drives decodeFrame with
+// synthetic hostile batch headers that a byte flip could produce: zero and
+// overflowing base sequences, counts outside [1, maxBatchTuples], record
+// deltas that go negative or huge, and a frame whose records do not tile its
+// length. All must fail closed.
+func TestDecodeFrameRejectsHostileBatchHeaders(t *testing.T) {
+	out := make([]*spl.Tuple, maxBatchTuples)
+	frame := func(mutate func([]byte)) []byte {
+		b, err := marshalBatchFrame(nil, 5, batchFixtureTuples()[:2])
+		if err != nil {
+			t.Fatal(err)
+		}
+		mutate(b)
+		return b
+	}
+	cases := map[string]func([]byte){
+		"zero base seq":     func(b []byte) { binary.LittleEndian.PutUint64(b[4:], 0) },
+		"overflow base seq": func(b []byte) { binary.LittleEndian.PutUint64(b[4:], ^uint64(0)) },
+		"zero count":        func(b []byte) { binary.LittleEndian.PutUint32(b[12:], 0) },
+		"huge count":        func(b []byte) { binary.LittleEndian.PutUint32(b[12:], maxBatchTuples+1) },
+		// First delta varint becomes a large negative delta: record length
+		// lands below batchRecordFixed and must be rejected, wrap-safe.
+		"negative record length": func(b []byte) { b[16] = 0xff; b[17] = 0xff; b[18] = 0x7f },
+	}
+	for name, mutate := range cases {
+		dec := newDecoder(bytes.NewReader(frame(mutate)))
+		if _, _, err := dec.decodeFrame(out); err == nil {
+			t.Fatalf("%s accepted", name)
+		}
+	}
+}
+
 // TestDecodeIsZeroCopy pins the arena-view decode: the decoded tuple's
 // payload must be a view into the frame's arena buffer (no per-frame copy,
 // no payload-pool round trip), siblings from successive frames may be

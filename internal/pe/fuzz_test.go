@@ -3,6 +3,10 @@ package pe
 import (
 	"bytes"
 	"encoding/binary"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
 	"testing"
 
 	"streamelastic/internal/spl"
@@ -189,6 +193,104 @@ func FuzzBatchedFrames(f *testing.F) {
 			out.Release()
 		}
 	})
+}
+
+// FuzzBatchFrameDecode hardens decodeFrame — the v2 batch path included —
+// against arbitrary byte streams: hostile length prefixes, counts, zigzag
+// seq-delta varints, and record lengths must all fail closed without a
+// panic, and a frame that does decode must never hand back more content
+// than its own wire bytes (the arena view cannot over-read its block). The
+// committed seed corpus under testdata/fuzz covers valid multi-batch
+// buffers, v1/v2 mixes, truncations, and targeted header/delta flips;
+// regenerate it with PE_GEN_CORPUS=1 go test -run TestGenBatchFrameCorpus.
+// Deterministic every-offset truncation and every-byte flips run in
+// TestBatchFrameTruncationEveryOffset and TestBatchFrameFlipEveryByte on
+// each ordinary go test; run `go test -fuzz=FuzzBatchFrameDecode
+// ./internal/pe` for a full campaign.
+func FuzzBatchFrameDecode(f *testing.F) {
+	for _, seed := range batchFuzzSeeds(f) {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		dec := newDecoder(bytes.NewReader(data))
+		out := make([]*spl.Tuple, maxBatchTuples)
+		for i := 0; i < 8; i++ {
+			n, first, err := dec.decodeFrame(out)
+			if err != nil {
+				return // fail closed: no tuples escaped this frame
+			}
+			if n < 1 || n > maxBatchTuples {
+				t.Fatalf("decodeFrame returned count %d without error", n)
+			}
+			if n > 1 && first == 0 {
+				t.Fatalf("batch of %d tuples with zero base sequence", n)
+			}
+			content := 0
+			for j := 0; j < n; j++ {
+				if out[j] == nil {
+					t.Fatalf("nil tuple %d of %d without error", j, n)
+				}
+				content += len(out[j].Text) + len(out[j].Payload)
+			}
+			if content > dec.lastFrameBytes() {
+				t.Fatalf("frame of %d wire bytes decoded %d content bytes",
+					dec.lastFrameBytes(), content)
+			}
+			if dec.bytesRead() > uint64(len(data)) {
+				t.Fatalf("decoder claims %d bytes read from %d input bytes",
+					dec.bytesRead(), len(data))
+			}
+			releaseAll(out[:n])
+		}
+	})
+}
+
+// batchFuzzSeeds builds the seed inputs FuzzBatchFrameDecode starts from;
+// TestGenBatchFrameCorpus writes the same set to the committed corpus.
+func batchFuzzSeeds(tb testing.TB) [][]byte {
+	tb.Helper()
+	wire, _, ends := batchWireFixture(tb)
+	seeds := [][]byte{
+		wire,                     // valid batch, v1, batch mix
+		wire[:ends[0]],           // one whole batch frame
+		wire[:ends[0]-7],         // truncated mid-record
+		wire[:6],                 // truncated mid-header
+		{},                       // empty stream
+		{0xff, 0xff, 0xff, 0xff}, // hostile prefix: batch flag + huge length
+	}
+	// Batch-flagged prefix with a plausible length but no body.
+	hungry := make([]byte, 4)
+	binary.LittleEndian.PutUint32(hungry, (batchHeaderBytes+1+batchRecordFixed)|batchFrameFlag)
+	seeds = append(seeds, hungry)
+	// Valid frame with the count field raised past the record section.
+	overcount := append([]byte(nil), wire[:ends[0]]...)
+	binary.LittleEndian.PutUint32(overcount[12:], 900)
+	seeds = append(seeds, overcount)
+	// Valid frame with a hostile first seq-delta varint (negative length).
+	badDelta := append([]byte(nil), wire[:ends[0]]...)
+	badDelta[16], badDelta[17], badDelta[18] = 0xff, 0xff, 0x7f
+	seeds = append(seeds, badDelta)
+	return seeds
+}
+
+// TestGenBatchFrameCorpus writes FuzzBatchFrameDecode's seed corpus to
+// testdata/fuzz so the seeds are committed files, not only f.Add calls.
+// Gated behind PE_GEN_CORPUS=1; rerun it whenever batchFuzzSeeds changes.
+func TestGenBatchFrameCorpus(t *testing.T) {
+	if os.Getenv("PE_GEN_CORPUS") == "" {
+		t.Skip("set PE_GEN_CORPUS=1 to regenerate the committed corpus")
+	}
+	dir := filepath.Join("testdata", "fuzz", "FuzzBatchFrameDecode")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	for i, seed := range batchFuzzSeeds(t) {
+		body := "go test fuzz v1\n[]byte(" + strconv.Quote(string(seed)) + ")\n"
+		name := filepath.Join(dir, fmt.Sprintf("seed-%02d", i))
+		if err := os.WriteFile(name, []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
 }
 
 // checkFrame verifies one decoded frame against the tuple it encodes.

@@ -511,10 +511,11 @@ func (j *Job) StreamStats() []StreamStats {
 				exp := sender.exports[i]
 				st.Local = exp.local.Load()
 				st.Sent = exp.Sent()
+				st.WireFrames = exp.WireFrames()
 				st.Dropped = exp.Dropped()
 				st.BytesSent = exp.BytesSent()
 				st.Flushes = exp.Flushes()
-				st.BatchSizes = exp.batches.snapshot()
+				st.DrainSizes = exp.batches.snapshot()
 				st.Retransmits = exp.Retransmits()
 				st.Reconnects = exp.Reconnects()
 				st.Unacked = exp.Unacked()
@@ -526,6 +527,7 @@ func (j *Job) StreamStats() []StreamStats {
 				imp := receiver.imports[i]
 				st.Received = imp.Received()
 				st.BytesReceived = imp.BytesReceived()
+				st.FramesReceived = imp.FramesReceived()
 				st.DupsDropped = imp.DupsDropped()
 				st.Resumes = imp.Resumes()
 			}

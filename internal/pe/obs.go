@@ -42,6 +42,7 @@ func registerTransportMetrics(regs []*obs.Registry, plans []*Plan, crosses []Cro
 			r := regs[ce.FromPE]
 			l := []obs.Label{streamL, {Key: "dir", Value: "export"}, {Key: "peer", Value: strconv.Itoa(ce.ToPE)}}
 			r.CounterFunc(obs.MetricTransportTuples, "Tuples carried by the stream endpoint.", exp.Sent, l...)
+			r.CounterFunc(obs.MetricTransportFrames, "Wire frames staged (one per batch, or per tuple with PerTupleFrames).", exp.WireFrames, l...)
 			r.CounterFunc(obs.MetricTransportBytes, "Wire bytes through the stream endpoint.", exp.BytesSent, l...)
 			r.CounterFunc(obs.MetricTransportDropped, "Tuples the export could not stage.", exp.Dropped, l...)
 			r.CounterFunc(obs.MetricTransportFlushes, "Explicit writer flush syscalls.", exp.Flushes, l...)
@@ -49,7 +50,7 @@ func registerTransportMetrics(regs []*obs.Registry, plans []*Plan, crosses []Cro
 			r.CounterFunc(obs.MetricTransportReconnects, "Successful re-attaches after a lost connection.", exp.Reconnects, l...)
 			r.GaugeFunc(obs.MetricTransportUnacked, "Staged frames never acknowledged, set at close.",
 				func() float64 { return float64(exp.Unacked()) }, l...)
-			r.HistogramFunc(obs.MetricTransportBatchSize, "Writer drain batch sizes (tuples per drain).",
+			r.HistogramFunc(obs.MetricTransportDrainSize, "Staging-ring drain sizes (tuples per writer drain).",
 				exp.batchSnapshot, l...)
 		}
 		receiver := plans[ce.ToPE]
@@ -61,8 +62,9 @@ func registerTransportMetrics(regs []*obs.Registry, plans []*Plan, crosses []Cro
 			r := regs[ce.ToPE]
 			l := []obs.Label{streamL, {Key: "dir", Value: "import"}, {Key: "peer", Value: strconv.Itoa(ce.FromPE)}}
 			r.CounterFunc(obs.MetricTransportTuples, "Tuples carried by the stream endpoint.", imp.Received, l...)
+			r.CounterFunc(obs.MetricTransportFrames, "Wire frames decoded (v1 single-tuple or v2 batch).", imp.FramesReceived, l...)
 			r.CounterFunc(obs.MetricTransportBytes, "Wire bytes through the stream endpoint.", imp.BytesReceived, l...)
-			r.CounterFunc(obs.MetricTransportDups, "Retransmitted frames dropped by sequence dedup.", imp.DupsDropped, l...)
+			r.CounterFunc(obs.MetricTransportDups, "Retransmitted tuples dropped by sequence dedup.", imp.DupsDropped, l...)
 			r.CounterFunc(obs.MetricTransportResumes, "Connections re-accepted after the first.", imp.Resumes, l...)
 		}
 	}

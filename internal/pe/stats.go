@@ -40,6 +40,12 @@ type TransportConfig struct {
 	// to max, with jitter (defaults 10ms / 500ms).
 	ReconnectBaseDelay time.Duration
 	ReconnectMaxDelay  time.Duration
+	// PerTupleFrames selects the v1 wire format: one frame per tuple,
+	// byte-identical to the pre-batch transport (the A/B switch behind
+	// streamrun's -wirebatch flag). The default encodes each writer drain
+	// as one v2 batch frame, amortizing header, retransmit-slot, and
+	// buffer-append costs across the batch.
+	PerTupleFrames bool
 }
 
 const (
@@ -136,20 +142,26 @@ type StreamStats struct {
 	ToPE   int
 
 	// Local reports the in-process fast path: tuples crossed as direct ring
-	// handoffs, so Sent/Received/Dropped/BatchSizes are live but the
-	// wire-only counters (bytes, flushes, retransmits, reconnects, dups,
-	// resumes) are truthfully zero.
+	// handoffs, so Sent/Received/Dropped/DrainSizes are live but the
+	// wire-only counters (bytes, frames, flushes, retransmits, reconnects,
+	// dups, resumes) are truthfully zero.
 	Local bool
 
-	// Send side: tuples encoded onto the wire, tuples dropped (stream not
-	// wired, errored, or staging ring full past the blocking budget), wire
-	// bytes written, explicit flush syscalls, and the writer's drain
-	// batch-size histogram (log2 buckets).
+	// Send side: tuples encoded onto the wire, wire frames staged (one per
+	// batch by default, one per tuple with PerTupleFrames — Sent/WireFrames
+	// is the batch amortization ratio, WireFrames/Flushes the frames per
+	// flush), tuples dropped (stream not wired, errored, or staging ring
+	// full past the blocking budget), wire bytes written, explicit flush
+	// syscalls, and the writer's staging-ring drain-size histogram (log2
+	// buckets). DrainSizes counts ring drains, not flushes: one drain spans
+	// several frames only when it overflows maxFrameBytes, and several
+	// drains usually coalesce into one flush.
 	Sent       uint64
+	WireFrames uint64
 	Dropped    uint64
 	BytesSent  uint64
 	Flushes    uint64
-	BatchSizes []uint64
+	DrainSizes []uint64
 
 	// Send-side recovery: frame writes beyond each frame's first (resume
 	// traffic after reconnects), successful re-attaches after a lost
@@ -159,13 +171,14 @@ type StreamStats struct {
 	Reconnects  uint64
 	Unacked     uint64
 
-	// Receive side: tuples delivered to the importing PE and wire bytes of
-	// successfully decoded frames.
-	Received      uint64
-	BytesReceived uint64
+	// Receive side: tuples delivered to the importing PE, wire bytes and
+	// wire frames of successfully decoded frames.
+	Received       uint64
+	BytesReceived  uint64
+	FramesReceived uint64
 
-	// Receive-side recovery: retransmitted duplicates dropped by sequence
-	// dedup (at-least-once wire made exactly-once downstream) and
+	// Receive-side recovery: retransmitted duplicate tuples dropped by
+	// sequence dedup (at-least-once wire made exactly-once downstream) and
 	// connections re-accepted after the first.
 	DupsDropped uint64
 	Resumes     uint64

@@ -23,10 +23,11 @@ import (
 // waits for all loops to park) is never stalled by a quiet stream.
 const importPollInterval = 20 * time.Millisecond
 
-// importChanCapacity is the transport-side buffer between the stream
-// reader goroutine and the import source. It is a deliberate network
-// receive buffer, decoupling TCP reads from operator execution.
-const importChanCapacity = 256
+// importRingCapacity sizes the injection ring between the stream reader
+// goroutine and the import source (a power of two, as the MPMC requires).
+// It is a deliberate network receive buffer, decoupling TCP reads from
+// operator execution.
+const importRingCapacity = 256
 
 // importBatchMax bounds how many buffered tuples one Next wake emits, so a
 // single operator-thread wake drains a burst without starving the engine's
@@ -113,7 +114,8 @@ type exportOp struct {
 	acked  atomic.Uint64 // receiver's acknowledged wire-sequence watermark
 	ackSig chan struct{}
 
-	sent       atomic.Uint64 // frames staged (assigned a wire sequence)
+	sent       atomic.Uint64 // tuples staged (assigned a wire sequence)
+	wireFrames atomic.Uint64 // frames staged (one per tuple or per batch)
 	dropped    atomic.Uint64 // tuples the stream never staged
 	retrans    atomic.Uint64 // frame writes beyond the first (resume traffic)
 	reconnects atomic.Uint64 // successful re-attaches after a lost connection
@@ -381,21 +383,21 @@ func (x *exportOp) attach(conn net.Conn, st *writerState) (*connSession, error) 
 	storeMax(&x.acked, resume)
 	sess := &connSession{conn: conn, enc: newEncoder(conn), ackDone: make(chan struct{})}
 	go x.ackReader(conn, sess.ackDone)
-	for seq := resume + 1; seq <= st.nextSeq; seq++ {
-		frame, err := st.retr.frame(seq)
-		if err != nil {
-			return sess, err
-		}
-		if err := x.writeBytes(sess, frame); err != nil {
-			return sess, err
-		}
-		x.retrans.Add(1)
+	// Retransmit granularity is the frame: a batch frame only partially past
+	// the watermark is rewritten whole and the importer's sequence dedup
+	// drops the overlap.
+	frames, tuples, err := st.retr.framesAfter(resume, func(frame []byte) error {
+		return x.writeBytes(sess, frame)
+	})
+	x.retrans.Add(uint64(frames))
+	if err != nil {
+		return sess, err
 	}
-	if n := st.nextSeq - resume; n > 0 {
-		// One event per resume burst, not per frame.
-		x.rec.Record(obs.EvRetransmit, x.recPE, int64(x.site), int64(n), "")
+	if tuples > 0 {
+		// One event per resume burst (tuple count), not per frame.
+		x.rec.Record(obs.EvRetransmit, x.recPE, int64(x.site), int64(tuples), "")
 	}
-	if st.nextSeq > resume {
+	if frames > 0 {
 		if err := x.flushSess(sess); err != nil {
 			return sess, err
 		}
@@ -524,18 +526,27 @@ func (x *exportOp) runConn(sess *connSession, st *writerState) {
 // stagePending assigns wire sequences to the writer's pending tuples,
 // parks their encoded frames in the retransmit window (waiting for
 // acknowledgements when the window is full), releases the pooled clones,
-// and writes the frames to the connection. Chaos hooks fire here: a
-// connection kill closes the socket so the next write errors, a frame
-// corruption poisons the wire so the receiver resets, and a writer stall
-// sleeps with frames staged so the watchdog sees a wedge.
+// and writes the frames to the connection. The default encodes each ring
+// drain as v2 batch frames; PerTupleFrames selects the v1 frame-per-tuple
+// wire, byte-identical to the pre-batch transport. Chaos hooks fire here in
+// both modes — see stageBatch for the mid-batch-frame semantics.
 func (x *exportOp) stagePending(sess *connSession, st *writerState) error {
+	if x.cfg.PerTupleFrames {
+		return x.stagePerTuple(sess, st)
+	}
+	return x.stageBatch(sess, st)
+}
+
+// stagePerTuple is the v1 wire: one frame, one retransmit slot, and one
+// chaos-hook evaluation per tuple.
+func (x *exportOp) stagePerTuple(sess *connSession, st *writerState) error {
 	for st.pHead < len(st.pending) {
 		t := st.pending[st.pHead]
 		if err := x.awaitWindow(sess, st); err != nil {
 			return err
 		}
 		seq := st.nextSeq + 1
-		frame, err := st.retr.put(seq, t)
+		frame, err := st.retr.putTuple(seq, t)
 		if err != nil {
 			// The tuple cannot be framed at all (oversized); count and drop.
 			x.dropped.Add(1)
@@ -546,6 +557,7 @@ func (x *exportOp) stagePending(sess *connSession, st *writerState) error {
 		}
 		st.nextSeq = seq
 		x.sent.Add(1)
+		x.wireFrames.Add(1)
 		t.Release()
 		st.pending[st.pHead] = nil
 		st.pHead++
@@ -570,10 +582,119 @@ func (x *exportOp) stagePending(sess *connSession, st *writerState) error {
 	return nil
 }
 
+// stageBatch is the v2 wire: the pending drain is cut into chunks that fit
+// batchTargetBytes (almost always one chunk — a full writerBatchTuples drain
+// of small tuples is a few KiB; bulk tuples split so frames stay pool-sized)
+// and each chunk becomes one batch frame: one
+// marshal, one retransmit slot, one buffered write. Chaos hooks still fire
+// once per tuple, in staging order, so a fault plan's Nth event lands on the
+// same tuple in either wire mode and same-seed event logs stay
+// byte-identical; the hook *effects* are applied per frame after all of the
+// chunk's events are ranked — a kill closes the socket, a stall sleeps, and
+// a corruption poisons the wire in place of the whole just-staged frame,
+// which rides the retransmit window to the next epoch (the mid-batch-frame
+// fault surface).
+func (x *exportOp) stageBatch(sess *connSession, st *writerState) error {
+	for st.pHead < len(st.pending) {
+		if err := x.awaitWindow(sess, st); err != nil {
+			return err
+		}
+		// Cut the next chunk, dropping tuples too large to frame even alone.
+		k, prev, body := 0, 0, batchHeaderBytes
+		for st.pHead+k < len(st.pending) {
+			t := st.pending[st.pHead+k]
+			add := batchFrameAdd(t, prev)
+			if batchHeaderBytes+batchFrameAdd(t, 0) > maxFrameBytes {
+				if k > 0 {
+					break // flush the chunk so far, then drop on the next pass
+				}
+				x.dropped.Add(1)
+				t.Release()
+				st.pending[st.pHead] = nil
+				st.pHead++
+				continue
+			}
+			if k > 0 && body+add > batchTargetBytes {
+				break
+			}
+			if body+add > maxFrameBytes {
+				break
+			}
+			body += add
+			prev = batchRecordBytes(t)
+			k++
+		}
+		if k == 0 {
+			continue // everything left was oversized and dropped
+		}
+		first := st.nextSeq + 1
+		chunk := st.pending[st.pHead : st.pHead+k]
+		frame, err := st.retr.putBatch(first, chunk)
+		if err != nil {
+			// Cannot happen: the chunk was sized to fit. Fail closed anyway.
+			for _, t := range chunk {
+				x.dropped.Add(1)
+				t.Release()
+			}
+			clearPending(st, k)
+			continue
+		}
+		st.nextSeq += uint64(k)
+		x.sent.Add(uint64(k))
+		x.wireFrames.Add(1)
+		for _, t := range chunk {
+			t.Release()
+		}
+		clearPending(st, k)
+		if x.inj != nil {
+			// Rank every tuple's events before acting, so a corruption landing
+			// mid-chunk never skips the kill/stall evaluations of the tuples
+			// after it — event ranks are a pure function of staging order.
+			killed, corrupted := false, false
+			var stall time.Duration
+			for i := 0; i < k; i++ {
+				if x.inj.Fire(fault.ConnKill, x.site) {
+					killed = true
+				}
+				if d := x.inj.FireDelay(fault.WriterStall, x.site); d > 0 {
+					stall += d
+				}
+				if x.inj.Fire(fault.FrameCorrupt, x.site) {
+					x.corrupts.Add(1)
+					corrupted = true
+				}
+			}
+			if killed {
+				_ = sess.conn.Close()
+			}
+			if stall > 0 {
+				time.Sleep(stall)
+			}
+			if corrupted {
+				return x.writeCorrupted(sess)
+			}
+		}
+		if err := x.writeBytes(sess, frame); err != nil {
+			return err
+		}
+	}
+	st.pending = st.pending[:0]
+	st.pHead = 0
+	return nil
+}
+
+// clearPending nils and advances past the first k un-cleared pending slots.
+func clearPending(st *writerState, k int) {
+	for i := 0; i < k; i++ {
+		st.pending[st.pHead+i] = nil
+	}
+	st.pHead += k
+}
+
 // awaitWindow blocks until the retransmit window has room for one more
 // frame, flushing first so the receiver can acknowledge what it has.
 func (x *exportOp) awaitWindow(sess *connSession, st *writerState) error {
-	for x.inFlight(st.nextSeq) >= uint64(len(st.retr.slots)) {
+	for st.retr.full(x.acked.Load()) {
 		if err := x.flushSess(sess); err != nil {
 			return err
 		}
@@ -781,6 +902,11 @@ func (x *exportOp) BytesSent() uint64 { return x.bytes.Load() }
 // Flushes returns the number of explicit flushes onto the connection.
 func (x *exportOp) Flushes() uint64 { return x.flushes.Load() }
 
+// WireFrames returns the number of frames staged onto the wire — one per
+// tuple with PerTupleFrames, one per batch otherwise. Sent/WireFrames is the
+// batch amortization ratio; WireFrames/Flushes is frames per flush.
+func (x *exportOp) WireFrames() uint64 { return x.wireFrames.Load() }
+
 // Retransmits returns the number of frame writes beyond each frame's first.
 func (x *exportOp) Retransmits() uint64 { return x.retrans.Load() }
 
@@ -851,10 +977,13 @@ func (x *exportOp) close() {
 }
 
 // importSource is the source standing in for a cross-PE stream's receiving
-// side. A dedicated reader goroutine decodes frames from the connection
-// into a buffered channel; the operator thread drains the channel in
-// batches, so a blocked TCP read can never stall the engine's pause barrier
-// and one wake delivers many tuples.
+// side. A dedicated reader goroutine decodes frames from the connection and
+// hands the materialized tuples to the operator thread through a bounded
+// MPMC injection ring — a whole batch frame lands with one TryPushN instead
+// of per-tuple channel sends, and the operator thread pops slices straight
+// into the engine (feeding a compiled region's batch buffer when the
+// emitter supports EmitN). A blocked TCP read can never stall the engine's
+// pause barrier, and one wake delivers many tuples.
 //
 // The import owns the stream's listener (when launched as part of a job):
 // after a connection dies it accepts the sender's redial, replies with its
@@ -874,14 +1003,24 @@ type importSource struct {
 	mu     sync.Mutex
 	conn   net.Conn
 	ln     net.Listener
-	ch     chan *spl.Tuple
+	inq    *queue.MPMC[*spl.Tuple] // injection ring: reader -> operator thread
 	done   chan struct{}
 	closed atomic.Bool
 
+	// inWake nudges an operator thread parked on an empty injection ring;
+	// inSpace nudges a reader blocked on a full one. Both carry at most one
+	// pending signal, like the export's wake/space pair.
+	inWake  chan struct{}
+	inSpace chan struct{}
+
+	// rbatch is the operator thread's pop scratch; only the thread driving
+	// Next touches it.
+	rbatch []*spl.Tuple
+
 	// peer/batch are the in-process fast path: a non-nil peer means this
 	// import pops the co-located export's staging ring directly (no reader
-	// goroutine, channel, or connection exists). Only the operator thread
-	// driving Next touches batch.
+	// goroutine, injection ring, or connection exists). Only the operator
+	// thread driving Next touches batch.
 	peer  *exportOp
 	batch []*spl.Tuple
 
@@ -891,7 +1030,8 @@ type importSource struct {
 
 	received  atomic.Uint64 // unique tuples delivered downstream
 	delivered atomic.Uint64 // highest wire sequence delivered (resume/dedup)
-	dups      atomic.Uint64 // retransmitted frames dropped by dedup
+	frames    atomic.Uint64 // wire frames decoded (v1 or batch)
+	dups      atomic.Uint64 // retransmitted tuples dropped by dedup
 	resumes   atomic.Uint64 // connections re-accepted after the first
 	bytes     atomic.Uint64
 
@@ -964,45 +1104,57 @@ func (s *importSource) rewind(to uint64) {
 		return
 	}
 	s.mu.Lock()
-	ch := s.ch
-	if ch == nil || to > s.delivered.Load() || s.pendingRewind != nil {
+	q := s.inq
+	if q == nil || to > s.delivered.Load() || s.pendingRewind != nil {
 		s.mu.Unlock()
 		return
 	}
 	req := &rewindReq{to: to, done: make(chan struct{})}
 	s.pendingRewind = req
 	s.rewinding.Store(true)
-	conn := s.conn
+	conn, ended := s.conn, s.done
 	s.mu.Unlock()
 	if conn != nil {
 		_ = conn.Close()
 	}
-	// Drain the channel while waiting: the reader may be blocked pushing a
-	// decoded tuple into a full channel and must finish its epoch before
-	// the rewind can apply. The timeout only guards pathological shutdown
-	// races (no live connection and no redial); a late apply is still
-	// safe — it just re-delivers tuples the dedup downstream drops.
+	// Drain the injection ring while waiting: the reader may be blocked
+	// pushing a decoded batch into a full ring and must finish its epoch
+	// before the rewind can apply. The timeout only guards pathological
+	// shutdown races (no live connection and no redial); a late apply is
+	// still safe — it just re-delivers tuples the dedup downstream drops.
 	timeout := time.NewTimer(5 * time.Second)
 	defer timeout.Stop()
+	poll := time.NewTicker(time.Millisecond)
+	defer poll.Stop()
+	var drain [importBatchMax]*spl.Tuple
 	for {
-		select {
-		case t, ok := <-ch:
-			if !ok {
-				return // stream ended underneath the rewind
+		for {
+			n := q.TryPopN(drain[:])
+			if n == 0 {
+				break
 			}
-			t.Release()
+			for i := 0; i < n; i++ {
+				drain[i].Release()
+				drain[i] = nil
+			}
+			s.signalInSpace()
+		}
+		select {
 		case <-req.done:
 			return
+		case <-ended:
+			return // stream ended underneath the rewind
 		case <-timeout.C:
 			return
+		case <-poll.C:
 		}
 	}
 }
 
 // applyRewind applies a pending rewind between connection epochs: no
-// serveConn is active, so draining the channel and resetting the
-// watermarks races nobody.
-func (s *importSource) applyRewind(ch chan *spl.Tuple) {
+// serveConn is active, so draining the injection ring and resetting the
+// watermarks races nobody. (The engine is paused, so no Next pops either.)
+func (s *importSource) applyRewind(q *queue.MPMC[*spl.Tuple]) {
 	s.mu.Lock()
 	req := s.pendingRewind
 	s.pendingRewind = nil
@@ -1010,18 +1162,21 @@ func (s *importSource) applyRewind(ch chan *spl.Tuple) {
 	if req == nil {
 		return
 	}
+	var drain [importBatchMax]*spl.Tuple
 	for {
-		select {
-		case t := <-ch:
-			t.Release()
-		default:
-			s.delivered.Store(req.to)
-			s.emitted.Store(req.to)
-			s.rewinding.Store(false)
-			close(req.done)
-			return
+		n := q.TryPopN(drain[:])
+		if n == 0 {
+			break
+		}
+		for i := 0; i < n; i++ {
+			drain[i].Release()
+			drain[i] = nil
 		}
 	}
+	s.delivered.Store(req.to)
+	s.emitted.Store(req.to)
+	s.rewinding.Store(false)
+	close(req.done)
 }
 
 // Name returns the operator name.
@@ -1044,9 +1199,13 @@ func (s *importSource) connect(conn net.Conn, ln net.Listener) {
 	defer s.mu.Unlock()
 	s.conn = conn
 	s.ln = ln
-	s.ch = make(chan *spl.Tuple, importChanCapacity)
+	// importRingCapacity is a power of two, so NewMPMC cannot fail.
+	s.inq, _ = queue.NewMPMC[*spl.Tuple](importRingCapacity)
+	s.inWake = make(chan struct{}, 1)
+	s.inSpace = make(chan struct{}, 1)
+	s.rbatch = make([]*spl.Tuple, importBatchMax)
 	s.done = make(chan struct{})
-	go s.readLoop(conn, s.ch, s.done)
+	go s.readLoop(conn, s.inq, s.done)
 }
 
 // connectLocal wires the import as the receiving half of an in-process
@@ -1068,19 +1227,20 @@ func (s *importSource) setConn(conn net.Conn) {
 
 // readLoop serves connection epochs: decode frames from the current
 // connection until it dies, then (with a listener) accept the sender's
-// redial and continue. The channel closes only when the stream truly ends.
-func (s *importSource) readLoop(conn net.Conn, ch chan *spl.Tuple, done chan struct{}) {
+// redial and continue. done closes only when the stream truly ends; the
+// operator thread treats done-closed plus an empty injection ring as
+// end-of-stream.
+func (s *importSource) readLoop(conn net.Conn, q *queue.MPMC[*spl.Tuple], done chan struct{}) {
 	defer close(done)
-	defer close(ch)
 	for {
 		if conn != nil {
-			s.serveConn(conn, ch)
+			s.serveConn(conn, q)
 			_ = conn.Close()
 			conn = nil
 		}
 		// Between connection epochs no decoder is running: the only safe
 		// point to roll the watermarks back for a checkpoint recovery.
-		s.applyRewind(ch)
+		s.applyRewind(q)
 		s.mu.Lock()
 		ln := s.ln
 		s.mu.Unlock()
@@ -1097,7 +1257,7 @@ func (s *importSource) readLoop(conn net.Conn, ch chan *spl.Tuple, done chan str
 		}
 		// A rewind requested while blocked in Accept applies now, before
 		// the new epoch handshakes with the (rolled-back) watermark.
-		s.applyRewind(ch)
+		s.applyRewind(q)
 		s.resumes.Add(1)
 		s.rec.Record(obs.EvResume, s.recPE, int64(s.site), 0, "")
 		s.setConn(c)
@@ -1106,11 +1266,15 @@ func (s *importSource) readLoop(conn net.Conn, ch chan *spl.Tuple, done chan str
 }
 
 // serveConn speaks one connection epoch of the resume protocol: send the
-// delivered watermark as the handshake, then decode frames, dropping wire
-// sequences at or below the watermark (retransmitted duplicates) and
-// acknowledging delivery inline every ackEvery frames with a ticker
-// covering the idle tail.
-func (s *importSource) serveConn(conn net.Conn, ch chan *spl.Tuple) {
+// delivered watermark as the handshake, then decode frames (v1 single-tuple
+// or v2 batch), dropping tuples whose wire sequences sit at or below the
+// watermark (retransmitted duplicates — within a batch frame the overlap is
+// always a prefix, since sequences ascend) and acknowledging delivery
+// inline every ackEvery frames with a ticker covering the idle tail. A
+// decoded batch lands in the injection ring with TryPushN; a full ring
+// blocks the reader on the operator thread's space signal, which is the
+// same backpressure the old per-tuple channel send applied.
+func (s *importSource) serveConn(conn net.Conn, q *queue.MPMC[*spl.Tuple]) {
 	var wmu sync.Mutex
 	var ackFailed atomic.Bool
 	writeU64 := func(v uint64) bool {
@@ -1165,8 +1329,9 @@ func (s *importSource) serveConn(conn net.Conn, ch chan *spl.Tuple) {
 	}()
 	dec := newDecoder(conn)
 	sinceAck := 0
+	scratch := make([]*spl.Tuple, maxBatchTuples)
 	for {
-		t, err := dec.decode()
+		n, first, err := dec.decodeFrame(scratch)
 		if err != nil {
 			// EOF ends the epoch cleanly; a framing error also ends it —
 			// the reset is what triggers the sender's retransmit resume.
@@ -1175,54 +1340,150 @@ func (s *importSource) serveConn(conn net.Conn, ch chan *spl.Tuple) {
 		if s.rewinding.Load() {
 			// A checkpoint recovery is rolling this stream back; end the
 			// epoch without advancing any watermark.
-			t.Release()
+			releaseAll(scratch[:n])
 			return
 		}
 		s.bytes.Add(uint64(dec.lastFrameBytes()))
-		seq := dec.wireSeq()
-		if seq <= s.delivered.Load() {
-			s.dups.Add(1)
-			t.Release()
-			continue
+		s.frames.Add(1)
+		// Dedup at tuple-seq granularity: a retransmitted batch frame that
+		// partially overlaps the watermark sheds its already-delivered
+		// prefix here.
+		wm := s.delivered.Load()
+		j := 0
+		for i := 0; i < n; i++ {
+			if first+uint64(i) <= wm {
+				s.dups.Add(1)
+				scratch[i].Release()
+				scratch[i] = nil
+				continue
+			}
+			scratch[j] = scratch[i]
+			j++
 		}
-		s.delivered.Store(seq)
-		ch <- t
-		s.received.Add(1)
+		for i := j; i < n; i++ {
+			scratch[i] = nil
+		}
+		if j == 0 {
+			continue // whole frame was duplicate
+		}
+		last := first + uint64(n) - 1
+		s.delivered.Store(last)
+		if !s.pushBatch(q, scratch[:j]) {
+			return // closing or rewinding; unpushed tuples released
+		}
+		s.received.Add(uint64(j))
 		sinceAck++
 		if sinceAck >= ackEvery {
 			sinceAck = 0
-			if a := s.ackView(seq); writeU64(a) {
+			if a := s.ackView(last); writeU64(a) {
 				tickAcked.Store(a)
 			}
 		}
 	}
 }
 
-// Next emits the next batch of received tuples: a non-blocking drain of up
-// to importBatchMax queued tuples when traffic is flowing (no timer-heap
-// traffic at all on that path), falling back to one blocking receive
-// bounded by the reusable poll timer when the stream is quiet. It yields
-// with true (and no emission) when the stream is idle for a poll interval,
-// and returns false only once the stream has ended and drained.
+// releaseAll releases and nils every tuple of ts.
+func releaseAll(ts []*spl.Tuple) {
+	for i, t := range ts {
+		if t != nil {
+			t.Release()
+			ts[i] = nil
+		}
+	}
+}
+
+// pushBatch lands a decoded batch in the injection ring, waking a parked
+// operator thread after every partial push and parking on the space signal
+// when the ring is full. It returns false — releasing the unpushed
+// remainder — when the stream closes or a rewind begins, so a dead consumer
+// can never wedge the reader.
+func (s *importSource) pushBatch(q *queue.MPMC[*spl.Tuple], ts []*spl.Tuple) bool {
+	off := 0
+	var timer *time.Timer
+	for off < len(ts) {
+		n := q.TryPushN(ts[off:])
+		if n > 0 {
+			for i := off; i < off+n; i++ {
+				ts[i] = nil
+			}
+			off += n
+			s.signalInWake()
+			continue
+		}
+		if s.closed.Load() || s.rewinding.Load() {
+			releaseAll(ts[off:])
+			return false
+		}
+		if timer == nil {
+			timer = time.NewTimer(importPollInterval)
+			defer timer.Stop()
+		} else {
+			timer.Reset(importPollInterval)
+		}
+		select {
+		case <-s.inSpace:
+			if !timer.Stop() {
+				select {
+				case <-timer.C:
+				default:
+				}
+			}
+		case <-timer.C:
+		}
+	}
+	return true
+}
+
+// signalInWake nudges an operator thread parked on an empty injection ring.
+func (s *importSource) signalInWake() {
+	select {
+	case s.inWake <- struct{}{}:
+	default:
+	}
+}
+
+// signalInSpace tells a reader blocked on a full injection ring that slots
+// freed.
+func (s *importSource) signalInSpace() {
+	select {
+	case s.inSpace <- struct{}{}:
+	default:
+	}
+}
+
+// Next emits the next batch of received tuples: a non-blocking TryPopN of
+// up to importBatchMax queued tuples when traffic is flowing (no timer-heap
+// traffic at all on that path), falling back to a park on the reader's wake
+// signal bounded by the reusable poll timer when the stream is quiet. It
+// yields with true (and no emission) when the stream is idle for a poll
+// interval, and returns false only once the stream has ended and drained.
 func (s *importSource) Next(out spl.Emitter) bool {
 	if s.peer != nil {
 		return s.nextLocal(out)
 	}
 	s.mu.Lock()
-	ch := s.ch
+	q, done := s.inq, s.done
 	s.mu.Unlock()
-	if ch == nil {
+	if q == nil {
 		// Not wired yet; yield.
 		time.Sleep(importPollInterval)
 		return !s.closed.Load()
 	}
 	// Fast path: tuples are already buffered; the poll timer stays cold.
+	if n := q.TryPopN(s.rbatch); n > 0 {
+		s.emitN(out, n)
+		return true
+	}
 	select {
-	case t, ok := <-ch:
-		if !ok {
-			return false
+	case <-done:
+		// The reader has exited; drain anything it pushed before the end,
+		// then finish the stream. (done closing happens after the reader's
+		// final push, so an empty pop here really is the end.)
+		if n := q.TryPopN(s.rbatch); n > 0 {
+			s.emitN(out, n)
+			return true
 		}
-		return s.emitBatch(out, ch, t)
+		return false
 	default:
 	}
 	if s.timer == nil {
@@ -1231,7 +1492,7 @@ func (s *importSource) Next(out spl.Emitter) bool {
 		s.timer.Reset(importPollInterval)
 	}
 	select {
-	case t, ok := <-ch:
+	case <-s.inWake:
 		if !s.timer.Stop() {
 			// The timer fired concurrently; drain it so the next Reset
 			// starts clean (pre-1.23 timer semantics).
@@ -1240,10 +1501,22 @@ func (s *importSource) Next(out spl.Emitter) bool {
 			default:
 			}
 		}
-		if !ok {
-			return false
+		if n := q.TryPopN(s.rbatch); n > 0 {
+			s.emitN(out, n)
 		}
-		return s.emitBatch(out, ch, t)
+		return true
+	case <-done:
+		if !s.timer.Stop() {
+			select {
+			case <-s.timer.C:
+			default:
+			}
+		}
+		if n := q.TryPopN(s.rbatch); n > 0 {
+			s.emitN(out, n)
+			return true
+		}
+		return false
 	case <-s.timer.C:
 		return true
 	}
@@ -1297,27 +1570,27 @@ func (s *importSource) nextLocal(out spl.Emitter) bool {
 	return true
 }
 
-// emitBatch emits one received tuple plus a non-blocking drain of up to
-// importBatchMax-1 more, so one operator-thread wake delivers a burst.
-func (s *importSource) emitBatch(out spl.Emitter, ch chan *spl.Tuple, first *spl.Tuple) bool {
+// emitN hands the first n tuples of the pop scratch downstream — in one
+// EmitN when the emitter is batch-aware, so a cross-PE batch lands straight
+// in a compiled region's source buffer, else tuple by tuple — then counts
+// them and signals ring space to the reader.
+func (s *importSource) emitN(out spl.Emitter, n int) {
+	if be, ok := out.(spl.BatchEmitter); ok {
+		be.EmitN(0, s.rbatch[:n])
+		for i := 0; i < n; i++ {
+			s.rbatch[i] = nil
+		}
+	} else {
+		for i := 0; i < n; i++ {
+			out.Emit(0, s.rbatch[i])
+			s.rbatch[i] = nil
+		}
+	}
 	// Wire sequences are contiguous, so counting emits tracks the wire
 	// sequence of the last tuple handed downstream — the checkpoint
 	// watermark read under the pause barrier.
-	out.Emit(0, first)
-	s.emitted.Add(1)
-	for i := 1; i < importBatchMax; i++ {
-		select {
-		case t, ok := <-ch:
-			if !ok {
-				return false
-			}
-			out.Emit(0, t)
-			s.emitted.Add(1)
-		default:
-			return true
-		}
-	}
-	return true
+	s.emitted.Add(uint64(n))
+	s.signalInSpace()
 }
 
 // Received returns the number of unique tuples delivered downstream.
@@ -1325,6 +1598,9 @@ func (s *importSource) Received() uint64 { return s.received.Load() }
 
 // BytesReceived returns the wire bytes of successfully decoded frames.
 func (s *importSource) BytesReceived() uint64 { return s.bytes.Load() }
+
+// FramesReceived returns the number of wire frames decoded (v1 or batch).
+func (s *importSource) FramesReceived() uint64 { return s.frames.Load() }
 
 // DupsDropped returns the retransmitted duplicates dropped by dedup.
 func (s *importSource) DupsDropped() uint64 { return s.dups.Load() }

@@ -289,7 +289,7 @@ func TestLocalEdgeNoLossNoDuplication(t *testing.T) {
 		t.Fatalf("local edge exercised reliability machinery: %+v", st)
 	}
 	var batches uint64
-	for _, c := range st.BatchSizes {
+	for _, c := range st.DrainSizes {
 		batches += c
 	}
 	if batches == 0 {
@@ -399,7 +399,7 @@ func TestStreamNoLossNoDuplication(t *testing.T) {
 		t.Fatal("no flushes recorded")
 	}
 	var batches uint64
-	for _, c := range st.BatchSizes {
+	for _, c := range st.DrainSizes {
 		batches += c
 	}
 	if batches == 0 {

@@ -61,6 +61,16 @@ func (a *Arena) Bytes() []byte { return a.buf }
 // through AttachArena.
 func (a *Arena) Retain() { a.refs.Add(1) }
 
+// RetainN adds n references in one atomic operation. The batch frame decoder
+// uses it to pre-take every view reference for a whole batch before attaching
+// the views with AttachArenaRetained, so an n-tuple batch costs one atomic
+// add instead of n.
+func (a *Arena) RetainN(n int32) {
+	if n > 0 {
+		a.refs.Add(n)
+	}
+}
+
 // Release drops one reference; the last drop returns the buffer to its
 // size-class pool and the arena struct to the arena pool. After Release the
 // caller must not touch the arena (nor any view into it, for the last
@@ -89,6 +99,18 @@ func (t *Tuple) AttachArena(a *Arena, view []byte) {
 		t.payloadBox = nil
 	}
 	a.Retain()
+	t.Payload, t.arena = view, a
+}
+
+// AttachArenaRetained is AttachArena for a reference the caller already
+// holds (via RetainN): the tuple becomes a view holder of a without taking a
+// new reference, adopting one of the pre-taken ones. Tuple.Release drops it
+// as usual.
+func (t *Tuple) AttachArenaRetained(a *Arena, view []byte) {
+	if t.payloadBox != nil {
+		payloadPools[payloadClass(cap(*t.payloadBox))].Put(t.payloadBox)
+		t.payloadBox = nil
+	}
 	t.Payload, t.arena = view, a
 }
 

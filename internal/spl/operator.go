@@ -12,6 +12,18 @@ type Emitter interface {
 	Emit(port int, t *Tuple)
 }
 
+// BatchEmitter is an optional extension of Emitter for callers that hold a
+// whole batch of tuples. EmitN submits every tuple of ts on the given output
+// port in order, with the same ownership transfer as Emit; implementations
+// that capture source output into a batch buffer (compiled regions) can
+// bulk-append instead of looping. Sources that already produce slices — such
+// as the transport import draining its injection ring — should type-assert
+// their Emitter and prefer EmitN when available.
+type BatchEmitter interface {
+	Emitter
+	EmitN(port int, ts []*Tuple)
+}
+
 // Operator processes tuples arriving on its input ports. Implementations
 // must be safe for concurrent Process calls unless they are marked as
 // stateful via the Stateful interface: under the dynamic threading model any
