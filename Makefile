@@ -1,7 +1,7 @@
 GO ?= go
 
 # Packages with lock-free / pooled hot-path code that must stay race-clean.
-RACE_PKGS := ./internal/exec/... ./internal/queue/... ./internal/spl/... ./internal/pe/... ./internal/obs/... ./internal/metrics/...
+RACE_PKGS := ./internal/exec/... ./internal/queue/... ./internal/spl/... ./internal/pe/... ./internal/obs/... ./internal/metrics/... ./internal/cluster/...
 
 # Benchmark packages; bench output is benchstat-comparable (go test -json).
 BENCH_PKGS := ./internal/exec/... ./internal/queue/...
@@ -42,11 +42,17 @@ BENCH_CKPT_OUT := BENCH_8.json
 # steady-state microbenchmarks (0 allocs/op). Every row reports gomaxprocs.
 BENCH_WIRE_OUT := BENCH_9.json
 
+# Cluster elasticity benchmarks: time-to-settle and delivery-rate dip for
+# live grow 2->4 / shrink 4->2 of a running stateful pipeline (per-cycle
+# settle_grow_ms / settle_shrink_ms, deepest 50ms throughput window during
+# each transition as a fraction of steady state, gomaxprocs provenance).
+BENCH_CLUSTER_OUT := BENCH_10.json
+
 # Repeat count for benchstat-bound runs: benchstat needs several samples
 # per key to average and mark significance, one run proves nothing.
 BENCH_COUNT ?= 5
 
-.PHONY: build test race vet bench bench-pe bench-sched bench-sched-smoke bench-hotpath bench-hotpath-smoke bench-obs bench-fused bench-fused-smoke bench-ckpt bench-ckpt-smoke bench-wire bench-wire-smoke benchstat fuzz fuzz-pe fuzz-wire fuzz-deque fuzz-obs fuzz-batch fuzz-ckpt chaos chaos-state
+.PHONY: build test race vet bench bench-pe bench-sched bench-sched-smoke bench-hotpath bench-hotpath-smoke bench-obs bench-fused bench-fused-smoke bench-ckpt bench-ckpt-smoke bench-wire bench-wire-smoke bench-cluster bench-cluster-smoke benchstat fuzz fuzz-pe fuzz-wire fuzz-deque fuzz-obs fuzz-batch fuzz-ckpt chaos chaos-state chaos-cluster
 
 build:
 	$(GO) build ./...
@@ -213,3 +219,23 @@ chaos:
 # run on the exactly-once path.
 chaos-state:
 	$(GO) test -race -count=1 -run 'ChaosState' -v ./internal/pe/
+
+# Cluster-migration chaos suite under the race detector: a stateful region
+# is moved between PEs mid-stream with connections killed mid-migration and
+# operator panics dropping tuples, and the sink output must be
+# byte-identical to a same-seed run that never migrates.
+chaos-cluster:
+	$(GO) test -race -count=1 -run 'ChaosCluster' -v ./internal/cluster/
+
+# bench-cluster writes the elasticity settling results to
+# $(BENCH_CLUSTER_OUT): BenchmarkClusterGrowShrink cycles a live stateful
+# pipeline 2 -> 4 -> 2 per iteration and reports time-to-settle and the
+# deepest 50ms delivery-rate window for each transition (1.0 = no dip),
+# with gomaxprocs on every row for provenance.
+bench-cluster:
+	$(GO) test -json -run '^$$' -bench 'ClusterGrowShrink' -benchtime 5x -count=$(BENCH_COUNT) ./internal/cluster/ > $(BENCH_CLUSTER_OUT)
+
+# One-cycle smoke of the elasticity bench for CI: proves the grow/shrink
+# cycle completes without aborts or duplicates, makes no timing claims.
+bench-cluster-smoke:
+	$(GO) test -run '^$$' -bench 'ClusterGrowShrink' -benchtime 1x ./internal/cluster/

@@ -5,6 +5,7 @@
 //
 //	streamrun -shape pipeline -ops 50 -flops 20000 -duration 5s
 //	streamrun -shape mixed -width 4 -depth 8 -skewed -trace
+//	streamrun -shape pipeline -ops 12 -cluster 2:4 -clustercycle 3s -duration 12s
 package main
 
 import (
@@ -19,6 +20,7 @@ import (
 
 	"streamelastic"
 
+	"streamelastic/internal/cluster"
 	"streamelastic/internal/core"
 	"streamelastic/internal/exec"
 	"streamelastic/internal/fault"
@@ -44,6 +46,8 @@ func main() {
 		period   = flag.Duration("period", 200*time.Millisecond, "adaptation period")
 		trace    = flag.Bool("trace", false, "print the full adaptation trace at exit")
 		pes      = flag.Int("pes", 1, "split the graph across N processing elements connected by TCP")
+		clusterW = flag.String("cluster", "", "run under the cluster job manager with this malleable width spec min:max[:step[:desired]]; the PE fleet grows and shrinks live by region migration")
+		clusterC = flag.Duration("clustercycle", 0, "with -cluster, alternate the desired width between the spec maximum and minimum at this interval (0 = hold the spec's desired width)")
 		file     = flag.String("file", "", "run a topology description file instead of a generated shape")
 
 		flushBytes  = flag.Int("flushbytes", 0, "transport: flush a stream once this many encoded bytes are pending (0 = 32KiB default)")
@@ -109,7 +113,7 @@ func main() {
 	} else if *file != "" {
 		err = runFile(*file, *threads, *duration, *period, *trace, scfg, ocfg)
 	} else {
-		err = run(*shape, *ops, *width, *depth, *payload, *flops, *skewed, *batch, *threads, *duration, *period, *trace, *pes, tcfg, *localEdges, rcfg, *streamStats, scfg, ocfg)
+		err = run(*shape, *ops, *width, *depth, *payload, *flops, *skewed, *batch, *threads, *duration, *period, *trace, *pes, *clusterW, *clusterC, tcfg, *localEdges, rcfg, *streamStats, scfg, ocfg)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "streamrun:", err)
@@ -285,7 +289,7 @@ func printSched(name string, s metrics.SchedSnapshot) {
 }
 
 func run(shape string, ops, width, depth, payload int, flops float64, skewed bool, srcBatch int,
-	maxThreads int, duration, period time.Duration, dumpTrace bool, pes int,
+	maxThreads int, duration, period time.Duration, dumpTrace bool, pes int, clusterSpec string, clusterCycle time.Duration,
 	tcfg pe.TransportConfig, localEdges bool, rcfg resilienceConfig, streamStats bool, scfg schedConfig, ocfg obsConfig) error {
 	cfg := workload.DefaultConfig()
 	cfg.PayloadBytes = payload
@@ -313,6 +317,9 @@ func run(shape string, ops, width, depth, payload int, flops float64, skewed boo
 		return err
 	}
 
+	if clusterSpec != "" {
+		return runCluster(b, clusterSpec, clusterCycle, maxThreads, duration, period, tcfg, rcfg, scfg, ocfg)
+	}
 	if pes > 1 {
 		return runJob(b, maxThreads, duration, period, pes, tcfg, localEdges, rcfg, streamStats, scfg, ocfg)
 	}
@@ -433,6 +440,100 @@ func (p engineProvider) AdaptationTrace(i int) []core.TraceEvent {
 		return nil
 	}
 	return p.coord.Trace()
+}
+
+// runCluster executes the workload under the cluster job manager: the PE
+// fleet starts at the spec's desired width and, when -clustercycle is set,
+// is resized live between the spec's maximum and minimum by region
+// migration while the job streams.
+func runCluster(b *workload.Build, specStr string, cycle time.Duration, maxThreads int,
+	duration, period time.Duration, tcfg pe.TransportConfig, rcfg resilienceConfig, scfg schedConfig, ocfg obsConfig) error {
+	spec, err := cluster.ParseWidthSpec(specStr)
+	if err != nil {
+		return fmt.Errorf("-cluster: %w", err)
+	}
+	ecfg := core.DefaultConfig()
+	ecfg.MaxThreads = maxThreads
+	var inj *fault.Injector
+	if rcfg.chaos {
+		// Kill stream connections periodically — including streams that only
+		// come to exist through migrations (fresh stable ids). Kills are
+		// output-transparent: the importer resumes at its delivered watermark
+		// and the exporter replays from the retransmit ring.
+		inj = fault.New(rcfg.chaosSeed)
+		for sid := 0; sid < 16; sid++ {
+			inj.Arm(fault.ConnKill, sid, fault.Plan{EveryN: 5000, MaxFires: 3})
+		}
+	}
+	mgr, err := cluster.New(b.Graph, cluster.Options{
+		Spec: spec,
+		PE: pe.Options{
+			Exec: scfg.execOptions(exec.Options{
+				MaxThreads:  maxThreads,
+				AdaptPeriod: period,
+				PanicBudget: rcfg.panicBudget,
+			}),
+			Elastic:        ecfg,
+			Transport:      tcfg,
+			Fault:          inj,
+			EnableWatchdog: rcfg.watchdog,
+			SampleEvery:    ocfg.sample,
+			Checkpoint: pe.CheckpointOptions{
+				Enabled:  rcfg.checkpoint,
+				Dir:      rcfg.ckptDir,
+				Interval: rcfg.ckptInterval,
+			},
+		},
+	})
+	if err != nil {
+		return err
+	}
+	stopObs, err := ocfg.serve(monitor.ObservabilityHandlerDynamic(mgr, mgr.Registries, mgr.FlightRecorder()))
+	if err != nil {
+		return err
+	}
+	defer stopObs()
+	if err := mgr.Start(context.Background()); err != nil {
+		mgr.Stop()
+		return err
+	}
+	defer mgr.Stop()
+
+	fmt.Printf("running %s under the cluster manager (width %d:%d:%d, desired %d) for %s\n",
+		b.Name, spec.Min, spec.Max, spec.Step, spec.Desired, duration)
+	start := time.Now()
+	var last uint64
+	atMax := false
+	nextFlip := time.Now().Add(cycle)
+	for time.Since(start) < duration {
+		time.Sleep(time.Second)
+		if cycle > 0 && time.Now().After(nextFlip) {
+			atMax = !atMax
+			want := spec.Min
+			if atMax {
+				want = spec.Max
+			}
+			mgr.SetDesired(want)
+			nextFlip = time.Now().Add(cycle)
+		}
+		cur := b.Sink.Count()
+		st := mgr.Status()
+		fmt.Printf("t=%4.0fs  end-to-end=%8.0f tuples/s  pes=%d desired=%d migrations=%d",
+			time.Since(start).Seconds(), float64(cur-last), st.Allocated, st.Desired, st.MigrationsCompleted)
+		last = cur
+		if st.Pending != "" {
+			fmt.Printf("  [%s]", st.Pending)
+		}
+		fmt.Println()
+	}
+	st := mgr.Status()
+	fmt.Printf("final: %d tuples end to end; width=%d migrations=%d aborted=%d replayed=%d\n",
+		b.Sink.Count(), st.Allocated, st.MigrationsCompleted, st.MigrationsAborted, st.ReplayedTuples)
+	if inj != nil {
+		fmt.Printf("chaos: %d faults fired (seed %d)\n", len(inj.Events()), rcfg.chaosSeed)
+		os.Stdout.Write(inj.LogBytes())
+	}
+	return ocfg.writeArtifacts(mgr.FlightRecorder(), nil)
 }
 
 // runJob executes the workload as a multi-PE job, every PE adapting

@@ -15,7 +15,7 @@ var stealOn = schedConfig{steal: true, fuse: true}
 
 func TestRunPipelineLive(t *testing.T) {
 	err := run("pipeline", 10, 4, 8, 64, 5000, false, 8, 4,
-		1500*time.Millisecond, 100*time.Millisecond, true, 1, pe.TransportConfig{}, false, resilienceConfig{}, false,
+		1500*time.Millisecond, 100*time.Millisecond, true, 1, "", 0, pe.TransportConfig{}, false, resilienceConfig{}, false,
 		schedConfig{steal: true, localQ: 128, stats: true, fuse: true}, obsConfig{})
 	if err != nil {
 		t.Fatal(err)
@@ -24,7 +24,7 @@ func TestRunPipelineLive(t *testing.T) {
 
 func TestRunSkewedBushy(t *testing.T) {
 	err := run("bushy", 0, 4, 8, 64, 100, true, 1, 2,
-		1200*time.Millisecond, 100*time.Millisecond, false, 1, pe.TransportConfig{}, false, resilienceConfig{}, false,
+		1200*time.Millisecond, 100*time.Millisecond, false, 1, "", 0, pe.TransportConfig{}, false, resilienceConfig{}, false,
 		schedConfig{steal: false}, obsConfig{})
 	if err != nil {
 		t.Fatal(err)
@@ -33,7 +33,7 @@ func TestRunSkewedBushy(t *testing.T) {
 
 func TestRunMultiPE(t *testing.T) {
 	err := run("pipeline", 8, 4, 8, 64, 5000, false, 4, 4,
-		1500*time.Millisecond, 100*time.Millisecond, false, 2,
+		1500*time.Millisecond, 100*time.Millisecond, false, 2, "", 0,
 		pe.TransportConfig{FlushBytes: 8 << 10, MaxFlushDelay: 500 * time.Microsecond}, false,
 		resilienceConfig{watchdog: true, panicBudget: 2}, true,
 		schedConfig{steal: true, stats: true, fuse: true}, obsConfig{})
@@ -44,7 +44,7 @@ func TestRunMultiPE(t *testing.T) {
 
 func TestRunMultiPELocalEdges(t *testing.T) {
 	err := run("pipeline", 8, 4, 8, 64, 5000, false, 4, 4,
-		1500*time.Millisecond, 100*time.Millisecond, false, 2,
+		1500*time.Millisecond, 100*time.Millisecond, false, 2, "", 0,
 		pe.TransportConfig{}, true, resilienceConfig{}, true,
 		schedConfig{steal: true}, obsConfig{})
 	if err != nil {
@@ -52,9 +52,26 @@ func TestRunMultiPELocalEdges(t *testing.T) {
 	}
 }
 
+func TestRunCluster(t *testing.T) {
+	err := run("pipeline", 8, 4, 8, 64, 2000, false, 4, 2,
+		2500*time.Millisecond, 100*time.Millisecond, false, 1, "2:4", time.Second,
+		pe.TransportConfig{}, false, resilienceConfig{}, false, stealOn, obsConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunClusterBadSpec(t *testing.T) {
+	if err := run("pipeline", 8, 4, 8, 64, 2000, false, 1, 2,
+		time.Second, 100*time.Millisecond, false, 1, "4:2", 0,
+		pe.TransportConfig{}, false, resilienceConfig{}, false, stealOn, obsConfig{}); err == nil {
+		t.Fatal("inverted width spec accepted")
+	}
+}
+
 func TestRunUnknownShape(t *testing.T) {
 	if err := run("triangle", 10, 4, 8, 64, 100, false, 1, 4,
-		time.Second, 100*time.Millisecond, false, 1, pe.TransportConfig{}, false, resilienceConfig{}, false, stealOn, obsConfig{}); err == nil {
+		time.Second, 100*time.Millisecond, false, 1, "", 0, pe.TransportConfig{}, false, resilienceConfig{}, false, stealOn, obsConfig{}); err == nil {
 		t.Fatal("unknown shape accepted")
 	}
 }
@@ -73,7 +90,7 @@ func TestSchedConfigValidate(t *testing.T) {
 	// Validation guards the engine's own check: a capacity that passes here
 	// must be accepted by run too.
 	if err := run("pipeline", 4, 4, 8, 64, 100, false, 1, 2,
-		300*time.Millisecond, 100*time.Millisecond, false, 1, pe.TransportConfig{}, false, resilienceConfig{}, false,
+		300*time.Millisecond, 100*time.Millisecond, false, 1, "", 0, pe.TransportConfig{}, false, resilienceConfig{}, false,
 		schedConfig{steal: true, localQ: 64}, obsConfig{}); err != nil {
 		t.Fatal(err)
 	}
@@ -88,7 +105,7 @@ func TestRunWithObs(t *testing.T) {
 		sample:      8,
 	}
 	err := run("pipeline", 6, 4, 8, 64, 2000, false, 4, 2,
-		1200*time.Millisecond, 100*time.Millisecond, false, 1,
+		1200*time.Millisecond, 100*time.Millisecond, false, 1, "", 0,
 		pe.TransportConfig{}, false, resilienceConfig{}, false, stealOn, ocfg)
 	if err != nil {
 		t.Fatal(err)

@@ -1,0 +1,138 @@
+package cluster
+
+import (
+	"context"
+	"runtime"
+	"testing"
+	"time"
+
+	"streamelastic/internal/fault"
+	"streamelastic/internal/graph"
+	"streamelastic/internal/spl"
+)
+
+// benchChain is chainJob without the test plumbing: an endless throttled
+// 6-node stateful chain, so a benchmark can cycle grow/shrink for as many
+// iterations as the harness asks for.
+func benchChain(b *testing.B, rate float64) (*graph.Graph, *recSink) {
+	b.Helper()
+	g := graph.New()
+	gen := spl.NewGenerator("src", 8)
+	gen.MaxTuples = 1 << 62
+	gen.Keys = 16
+	src := g.AddSource(spl.NewThrottle(gen, rate), spl.NewCostVar(10))
+	w1 := g.AddOperator(spl.NewWork("w1", spl.NewCostVar(40)), spl.NewCostVar(40))
+	ctr := g.AddOperator(spl.NewKeyedCounter("ctr", 64, 1), spl.NewCostVar(60))
+	w2 := g.AddOperator(spl.NewWork("w2", spl.NewCostVar(40)), spl.NewCostVar(40))
+	w3 := g.AddOperator(spl.NewWork("w3", spl.NewCostVar(40)), spl.NewCostVar(40))
+	sink := newRecSink()
+	sid := g.AddOperator(sink, spl.NewCostVar(0))
+	for _, e := range [][2]graph.NodeID{{src, w1}, {w1, ctr}, {ctr, w2}, {w2, w3}, {w3, sid}} {
+		if err := g.Connect(e[0], 0, e[1], 0, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := g.Finalize(); err != nil {
+		b.Fatal(err)
+	}
+	return g, sink
+}
+
+// settleAndDip drives one width transition and measures it: wall time from
+// SetDesired until the fleet reports allocated == target with no pending
+// transition, and the deepest 50ms sink-throughput window observed while
+// settling (the delivery dip the migration freeze/drain caused), as a
+// fraction of the steady rate.
+func settleAndDip(m *Manager, sink *recSink, target int, steady float64) (settle time.Duration, dip float64) {
+	const sample = 5 * time.Millisecond
+	const window = 10 // 10 samples = 50ms windows
+	counts := []uint64{sink.count.Load()}
+	start := time.Now()
+	m.SetDesired(target)
+	for {
+		st := m.Status()
+		if st.Allocated == target && st.Pending == "" {
+			break
+		}
+		time.Sleep(sample)
+		counts = append(counts, sink.count.Load())
+	}
+	settle = time.Since(start)
+	// Keep sampling one window past settle so a dip at the very end of the
+	// transition is still covered by a full window.
+	for i := 0; i < window; i++ {
+		time.Sleep(sample)
+		counts = append(counts, sink.count.Load())
+	}
+	minRate := steady
+	for i := 0; i+window < len(counts); i++ {
+		r := float64(counts[i+window]-counts[i]) / (float64(window) * sample.Seconds())
+		if r < minRate {
+			minRate = r
+		}
+	}
+	if steady <= 0 {
+		return settle, 1
+	}
+	return settle, minRate / steady
+}
+
+// BenchmarkClusterGrowShrink cycles a live stateful pipeline 2 -> 4 -> 2
+// per iteration and reports the elasticity costs the design doc quotes:
+// time-to-settle for grow and shrink, and the deepest 50ms delivery-rate
+// window during each transition relative to steady state (1.0 = no dip).
+func BenchmarkClusterGrowShrink(b *testing.B) {
+	const rate = 150000
+	g, sink := benchChain(b, rate)
+	m, err := New(g, Options{
+		Spec: WidthSpec{Min: 2, Max: 4, Step: 1, Desired: 2},
+		PE:   testPEOpts(fault.New(1)),
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := m.Start(context.Background()); err != nil {
+		m.Stop()
+		b.Fatal(err)
+	}
+	defer m.Stop()
+
+	// Measure the steady delivery rate at width 2 before any migration.
+	warm := sink.count.Load()
+	for sink.count.Load() == warm {
+		time.Sleep(time.Millisecond)
+	}
+	c0 := sink.count.Load()
+	t0 := time.Now()
+	time.Sleep(300 * time.Millisecond)
+	steady := float64(sink.count.Load()-c0) / time.Since(t0).Seconds()
+
+	var growSettle, shrinkSettle time.Duration
+	var growDip, shrinkDip float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s, d := settleAndDip(m, sink, 4, steady)
+		growSettle += s
+		growDip += d
+		s, d = settleAndDip(m, sink, 2, steady)
+		shrinkSettle += s
+		shrinkDip += d
+	}
+	b.StopTimer()
+
+	n := float64(b.N)
+	b.ReportMetric(float64(growSettle.Milliseconds())/n, "settle_grow_ms")
+	b.ReportMetric(float64(shrinkSettle.Milliseconds())/n, "settle_shrink_ms")
+	b.ReportMetric(growDip/n, "dip_grow_ratio")
+	b.ReportMetric(shrinkDip/n, "dip_shrink_ratio")
+	b.ReportMetric(steady, "steady_tuples/s")
+	b.ReportMetric(float64(runtime.GOMAXPROCS(0)), "gomaxprocs")
+
+	st := m.Status()
+	if st.MigrationsAborted != 0 {
+		b.Fatalf("migrations aborted mid-benchmark: %d", st.MigrationsAborted)
+	}
+	if d := sink.dups.Load(); d != 0 {
+		b.Fatalf("sink saw %d duplicates across %d grow/shrink cycles", d, b.N)
+	}
+}

@@ -1,0 +1,92 @@
+// Package cluster is the job manager above internal/pe: it plans placement
+// of graph regions across a fleet of PEs and grows or shrinks that fleet
+// under a declared malleable width spec, migrating running regions between
+// PEs without stopping the job. The paper automates elasticity inside one
+// PE (thread count and queue placement); this package is the next level up,
+// rescaling the number of PEs the same dataflow spans.
+package cluster
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// WidthSpec is a jobtree-style malleable width declaration: the fleet may
+// run any width w with Min <= w <= Max and (w-Min)%Step == 0. Desired is
+// the width the reconciler steers toward; lowering it below the current
+// allocation is a voluntary shrink.
+type WidthSpec struct {
+	Min     int
+	Max     int
+	Step    int // default 1
+	Desired int // default Max
+}
+
+// ParseWidthSpec parses "min:max[:step[:desired]]", the -width flag syntax.
+func ParseWidthSpec(s string) (WidthSpec, error) {
+	parts := strings.Split(s, ":")
+	if len(parts) < 2 || len(parts) > 4 {
+		return WidthSpec{}, fmt.Errorf("cluster: width spec %q: want min:max[:step[:desired]]", s)
+	}
+	vals := make([]int, len(parts))
+	for i, p := range parts {
+		v, err := strconv.Atoi(p)
+		if err != nil {
+			return WidthSpec{}, fmt.Errorf("cluster: width spec %q: %w", s, err)
+		}
+		vals[i] = v
+	}
+	w := WidthSpec{Min: vals[0], Max: vals[1]}
+	if len(vals) > 2 {
+		w.Step = vals[2]
+	}
+	if len(vals) > 3 {
+		w.Desired = vals[3]
+	}
+	w = w.withDefaults()
+	return w, w.Validate()
+}
+
+// withDefaults fills Step (1) and Desired (Max).
+func (w WidthSpec) withDefaults() WidthSpec {
+	if w.Step == 0 {
+		w.Step = 1
+	}
+	if w.Desired == 0 {
+		w.Desired = w.Max
+	}
+	return w
+}
+
+// Validate rejects inconsistent specs.
+func (w WidthSpec) Validate() error {
+	if w.Min < 1 {
+		return fmt.Errorf("cluster: width min %d < 1", w.Min)
+	}
+	if w.Max < w.Min {
+		return fmt.Errorf("cluster: width max %d < min %d", w.Max, w.Min)
+	}
+	if w.Step < 1 {
+		return fmt.Errorf("cluster: width step %d < 1", w.Step)
+	}
+	if (w.Max-w.Min)%w.Step != 0 {
+		return fmt.Errorf("cluster: width max %d not reachable from min %d by step %d", w.Max, w.Min, w.Step)
+	}
+	if w.Desired < w.Min || w.Desired > w.Max || (w.Desired-w.Min)%w.Step != 0 {
+		return fmt.Errorf("cluster: desired width %d outside %d:%d step %d", w.Desired, w.Min, w.Max, w.Step)
+	}
+	return nil
+}
+
+// Clamp maps an arbitrary desired width onto the nearest allowed width at
+// or below it (never below Min, never above Max, always step-aligned).
+func (w WidthSpec) Clamp(desired int) int {
+	if desired < w.Min {
+		return w.Min
+	}
+	if desired > w.Max {
+		desired = w.Max
+	}
+	return w.Min + (desired-w.Min)/w.Step*w.Step
+}

@@ -1,0 +1,65 @@
+package exec
+
+import (
+	"fmt"
+
+	"streamelastic/internal/graph"
+	"streamelastic/internal/state"
+)
+
+// StateBlob is one operator's full state snapshot, keyed by the operator's
+// node id in the engine's local graph. The cluster migration executor maps
+// node ids through Plan.LocalOf to move blobs between differently-shaped
+// plans of the same job graph.
+type StateBlob struct {
+	Node int
+	Data []byte
+}
+
+// ExportState captures a full snapshot of every state.Snapshotter operator
+// under the engine's pause barrier, so all blobs belong to one point in the
+// tuple stream. The returned bytes are private copies; the engine keeps
+// running (or stays drained) afterwards. Returns nil once the engine has
+// stopped — there is no pause barrier to cut against.
+func (e *Engine) ExportState() []StateBlob {
+	if e.stop.Load() {
+		return nil
+	}
+	var enc state.Encoder
+	var out []StateBlob
+	e.reconfigMu.Lock()
+	e.pauseAll()
+	n := e.g.NumNodes()
+	for i := 0; i < n; i++ {
+		snap, ok := e.g.Node(graph.NodeID(i)).Op.(state.Snapshotter)
+		if !ok {
+			continue
+		}
+		enc.Reset()
+		snap.StateSnapshot(&enc, true)
+		out = append(out, StateBlob{Node: i, Data: append([]byte(nil), enc.Bytes()...)})
+	}
+	e.resumeAll()
+	e.reconfigMu.Unlock()
+	return out
+}
+
+// ImportState restores operator state captured by ExportState on a
+// predecessor engine. Node ids are local to this engine's graph (the caller
+// remaps them when the plans differ). Call before Start.
+func (e *Engine) ImportState(blobs []StateBlob) error {
+	n := e.g.NumNodes()
+	for _, b := range blobs {
+		if b.Node < 0 || b.Node >= n {
+			return fmt.Errorf("exec: import state: node %d out of range", b.Node)
+		}
+		snap, ok := e.g.Node(graph.NodeID(b.Node)).Op.(state.Snapshotter)
+		if !ok {
+			return fmt.Errorf("exec: import state: node %d is not a snapshotter", b.Node)
+		}
+		if err := snap.StateRestore(state.NewDecoder(b.Data), true); err != nil {
+			return fmt.Errorf("exec: import state node %d: %w", b.Node, err)
+		}
+	}
+	return nil
+}

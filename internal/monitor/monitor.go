@@ -37,6 +37,34 @@ type Status struct {
 	// Sched is the engine's work-stealing scheduler counter snapshot; nil
 	// for substrates without one.
 	Sched *metrics.SchedSnapshot `json:"sched,omitempty"`
+	// Width is the cluster job manager's fleet width; set only on the
+	// synthetic cluster status, nil for per-PE statuses.
+	Width *WidthStatus `json:"width,omitempty"`
+	// Migrations is the cluster job manager's migration ledger; set only on
+	// the synthetic cluster status.
+	Migrations *MigrationStatus `json:"migrations,omitempty"`
+}
+
+// WidthStatus is a cluster's malleable width spec plus its current
+// allocation, jobtree-style: desired may move anywhere in [min, max] along
+// step-aligned increments; allocated follows it through migrations; pending
+// names the transition in flight ("" when reconciled).
+type WidthStatus struct {
+	Min       int    `json:"min"`
+	Max       int    `json:"max"`
+	Step      int    `json:"step"`
+	Desired   int    `json:"desired"`
+	Allocated int    `json:"allocated"`
+	Pending   string `json:"pending,omitempty"`
+}
+
+// MigrationStatus counts a cluster's region migrations and the replay
+// traffic their resume handshakes caused.
+type MigrationStatus struct {
+	Started   uint64 `json:"started"`
+	Completed uint64 `json:"completed"`
+	Aborted   uint64 `json:"aborted,omitempty"`
+	Replayed  uint64 `json:"replayedTuples,omitempty"`
 }
 
 // StreamStatus is one cross-PE stream endpoint's transport counters as seen

@@ -193,11 +193,19 @@ func trimBuckets(buckets []uint64) []uint64 {
 // It supersedes Handler for callers that hold registries; Handler remains
 // for status-only consumers.
 func ObservabilityHandler(p Provider, regs []*obs.Registry, fr *obs.FlightRecorder) http.Handler {
+	return ObservabilityHandlerDynamic(p, func() []*obs.Registry { return regs }, fr)
+}
+
+// ObservabilityHandlerDynamic is ObservabilityHandler for providers whose
+// registry set changes while serving — a cluster job manager grows and
+// shrinks its PE fleet, and each scrape must see the current members'
+// registries, not the launch-time snapshot.
+func ObservabilityHandlerDynamic(p Provider, regs func() []*obs.Registry, fr *obs.FlightRecorder) http.Handler {
 	mux := http.NewServeMux()
 	mountStatus(mux, p)
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-		_ = obs.WritePrometheusAll(w, regs...)
+		_ = obs.WritePrometheusAll(w, regs()...)
 	})
 	mux.HandleFunc("/flightz", func(w http.ResponseWriter, r *http.Request) {
 		if fr == nil {

@@ -60,6 +60,19 @@ const (
 	MetricWatchdogTrips    = "watchdog_trips_total"
 	MetricWatchdogRecovers = "watchdog_recovers_total"
 
+	// Cluster width and migration.
+	MetricClusterWidthMin       = "cluster_width_min"
+	MetricClusterWidthMax       = "cluster_width_max"
+	MetricClusterWidthStep      = "cluster_width_step"
+	MetricClusterWidthDesired   = "cluster_width_desired"
+	MetricClusterWidthAllocated = "cluster_width_allocated"
+	MetricClusterWidthPending   = "cluster_width_pending"
+	MetricClusterGeneration     = "cluster_generation"
+	MetricClusterMigStarted     = "cluster_migrations_started_total"
+	MetricClusterMigCompleted   = "cluster_migrations_completed_total"
+	MetricClusterMigAborted     = "cluster_migrations_aborted_total"
+	MetricClusterReplayed       = "cluster_replayed_tuples_total"
+
 	// Checkpointing.
 	MetricCkptTotal     = "checkpoint_total"
 	MetricCkptErrors    = "checkpoint_errors_total"

@@ -180,6 +180,26 @@ func (f *family) add(s *series) *series {
 	return nil
 }
 
+// set installs s in f, replacing any series already registered under the
+// same label signature. Replacement swaps the series pointer, never mutates
+// the old series: a Gather that copied the slice before the swap still reads
+// the old (immutable) binding safely. The caller holds r.mu.
+func (f *family) set(s *series) {
+	if prev := f.bySig[s.sig]; prev != nil {
+		f.bySig[s.sig] = s
+		for i, old := range f.series {
+			if old == prev {
+				f.series[i] = s
+				break
+			}
+		}
+		return
+	}
+	f.bySig[s.sig] = s
+	f.series = append(f.series, s)
+	sort.Slice(f.series, func(i, j int) bool { return f.series[i].sig < f.series[j].sig })
+}
+
 // Counter registers (or returns the existing) counter for name+labels.
 func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
 	r.mu.Lock()
@@ -238,6 +258,30 @@ func (r *Registry) GaugeFunc(name, help string, fn func() float64, labels ...Lab
 	}
 }
 
+// SetCounterFunc registers a counter collector for name+labels, replacing
+// any previous binding for the same series. The rebind registrar for
+// endpoints that churn at runtime (a re-dialed stream after a region
+// migration re-registers under the same labels without panicking).
+func (r *Registry) SetCounterFunc(name, help string, fn func() uint64, labels ...Label) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.getFamily(name, help, KindCounter)
+	s := &series{labels: r.mergeLabels(labels), counterFn: fn}
+	s.sig = labelSig(s.labels)
+	f.set(s)
+}
+
+// SetGaugeFunc registers a gauge collector for name+labels, replacing any
+// previous binding for the same series.
+func (r *Registry) SetGaugeFunc(name, help string, fn func() float64, labels ...Label) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.getFamily(name, help, KindGauge)
+	s := &series{labels: r.mergeLabels(labels), gaugeFn: fn}
+	s.sig = labelSig(s.labels)
+	f.set(s)
+}
+
 // Histogram registers (or returns the existing) histogram for name+labels.
 // Observations are durations; buckets are log2 in nanoseconds and exported
 // in seconds.
@@ -268,6 +312,17 @@ func (r *Registry) HistogramFunc(name, help string, fn func() HistSnapshot, labe
 	if f.add(s) != nil {
 		panic(fmt.Sprintf("obs: duplicate registration of %q%s", name, s.sig))
 	}
+}
+
+// SetHistogramFunc registers a histogram snapshot collector for name+labels,
+// replacing any previous binding for the same series.
+func (r *Registry) SetHistogramFunc(name, help string, fn func() HistSnapshot, labels ...Label) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.getFamily(name, help, KindHistogram)
+	s := &series{labels: r.mergeLabels(labels), histFn: fn}
+	s.sig = labelSig(s.labels)
+	f.set(s)
 }
 
 // Sample is one series' current value as returned by Gather.

@@ -1,0 +1,197 @@
+package pe
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"streamelastic/internal/obs"
+	"streamelastic/internal/spl"
+)
+
+// TestFreezeParksWriterWithoutDrops pins the per-edge freeze contract the
+// migration executor depends on: a frozen edge stops delivering, producers
+// blocked on the full staging ring park on the thaw instead of timing out
+// into the drop counter (even with a BlockTimeout far shorter than the
+// freeze), and unfreezing releases every staged tuple in order.
+func TestFreezeParksWriterWithoutDrops(t *testing.T) {
+	send, recv := loopbackPair(t)
+	exp := newExportOp("x")
+	exp.cfg = TransportConfig{
+		RingCapacity: 8,
+		FlushBytes:   1,
+		BlockTimeout: 30 * time.Millisecond,
+	}.withDefaults()
+	if err := exp.connect(send, ""); err != nil {
+		t.Fatal(err)
+	}
+	defer exp.close()
+	imp := newImportSource("i")
+	imp.connect(recv, nil)
+	defer imp.close()
+
+	var got atomic.Uint64
+	var seqs []uint64
+	var lastErr atomic.Bool
+	collect := spl.EmitterFunc(func(_ int, tp *spl.Tuple) {
+		seqs = append(seqs, tp.Seq)
+		got.Add(1)
+		tp.Release()
+	})
+	drainStop := make(chan struct{})
+	drainDone := make(chan struct{})
+	go func() {
+		defer close(drainDone)
+		for {
+			select {
+			case <-drainStop:
+				return
+			default:
+			}
+			if !imp.Next(collect) {
+				lastErr.Store(true)
+				return
+			}
+		}
+	}()
+	defer func() { close(drainStop); <-drainDone }()
+
+	const n = 20
+	exp.freeze()
+	staged := make(chan struct{})
+	go func() {
+		defer close(staged)
+		for i := 0; i < n; i++ {
+			tp := spl.AcquireTuple()
+			tp.Seq = uint64(i)
+			exp.Process(0, tp, nil)
+			tp.Release()
+		}
+	}()
+
+	// The ring (capacity 8) fills; the producer must park on the thaw, not
+	// drop, even though BlockTimeout (30ms) elapses several times over.
+	time.Sleep(150 * time.Millisecond)
+	select {
+	case <-staged:
+		t.Fatal("producer finished staging 20 tuples into a frozen ring of 8: nothing parked")
+	default:
+	}
+	if d := exp.Dropped(); d != 0 {
+		t.Fatalf("frozen edge dropped %d tuples", d)
+	}
+	if g := got.Load(); g != 0 {
+		t.Fatalf("frozen edge delivered %d tuples", g)
+	}
+
+	exp.unfreeze()
+	deadline := time.Now().Add(10 * time.Second)
+	for got.Load() < n && time.Now().Before(deadline) {
+		time.Sleep(2 * time.Millisecond)
+	}
+	<-staged
+	if g := got.Load(); g != n {
+		t.Fatalf("delivered %d tuples after thaw, want %d", g, n)
+	}
+	if d := exp.Dropped(); d != 0 {
+		t.Fatalf("dropped %d tuples across freeze/unfreeze", d)
+	}
+	for i, s := range seqs {
+		if s != uint64(i) {
+			t.Fatalf("seq[%d] = %d: reordered across the thaw", i, s)
+		}
+	}
+}
+
+// TestFreezeFrozenFlag pins freeze/unfreeze idempotence on an unconnected
+// export (no writer to park — just the flag and thaw channel lifecycle).
+func TestFreezeFrozenFlag(t *testing.T) {
+	exp := newExportOp("x")
+	exp.cfg = TransportConfig{}.withDefaults()
+	if exp.frozen.Load() {
+		t.Fatal("new export born frozen")
+	}
+	exp.freeze()
+	exp.freeze() // idempotent
+	if !exp.frozen.Load() {
+		t.Fatal("freeze did not latch")
+	}
+	exp.unfreeze()
+	exp.unfreeze() // idempotent
+	if exp.frozen.Load() {
+		t.Fatal("unfreeze did not clear")
+	}
+}
+
+// TestTransportMetricsRebindOnChurn pins the fix for histogram registration
+// on dynamically re-dialed streams: re-registering transport series for a
+// replacement endpoint under the same (stream, dir, peer) labels must not
+// panic (the old *Func registrars did) and must not skip — the series swap
+// to the new endpoint's collectors, so a migrated edge's metrics follow the
+// live endpoint instead of a retired one.
+func TestTransportMetricsRebindOnChurn(t *testing.T) {
+	r := obs.NewRegistry(obs.Label{Key: "pe", Value: "0"})
+
+	expA := newExportOp("a")
+	expA.cfg = TransportConfig{}.withDefaults()
+	expA.batches[0].Store(7) // drain-size histogram bucket
+	registerExportMetrics(r, expA, 3, "1")
+
+	// Churn the edge: same stream id and peer, new endpoint object. Before
+	// the Set* registrars this panicked on the duplicate histogram family.
+	expB := newExportOp("b")
+	expB.cfg = TransportConfig{}.withDefaults()
+	expB.batches[0].Store(11)
+	expB.batches[2].Store(1)
+	registerExportMetrics(r, expB, 3, "1")
+
+	var hists []obs.Sample
+	for _, s := range r.Gather() {
+		if s.Name == obs.MetricTransportDrainSize {
+			hists = append(hists, s)
+		}
+	}
+	if len(hists) != 1 {
+		t.Fatalf("drain-size series after churn = %d, want exactly 1 (no stale duplicate)", len(hists))
+	}
+	h := hists[0].Hist
+	if h == nil {
+		t.Fatal("drain-size sample has no histogram snapshot")
+	}
+	if h.Count != 12 {
+		t.Fatalf("histogram count = %d, want the replacement endpoint's 12", h.Count)
+	}
+
+	// A different peer label is a different series, not a rebind.
+	expC := newExportOp("c")
+	expC.cfg = TransportConfig{}.withDefaults()
+	registerExportMetrics(r, expC, 3, "2")
+	count := 0
+	for _, s := range r.Gather() {
+		if s.Name == obs.MetricTransportDrainSize {
+			count++
+		}
+	}
+	if count != 2 {
+		t.Fatalf("drain-size series across two peers = %d, want 2", count)
+	}
+
+	// Import side churns the same way.
+	impA := newImportSource("ia")
+	registerImportMetrics(r, impA, 3, "0")
+	impB := newImportSource("ib")
+	registerImportMetrics(r, impB, 3, "0")
+	tuples := 0
+	for _, s := range r.Gather() {
+		if s.Name == obs.MetricTransportTuples {
+			for _, l := range s.Labels {
+				if l.Key == "dir" && l.Value == "import" {
+					tuples++
+				}
+			}
+		}
+	}
+	if tuples != 1 {
+		t.Fatalf("import tuple series after churn = %d, want 1", tuples)
+	}
+}

@@ -251,67 +251,10 @@ func Launch(g *graph.Graph, assign Assignment, opts Options) (*Job, error) {
 	registerTransportMetrics(regs, plans, crosses)
 
 	for _, plan := range plans {
-		peID := int32(plan.PE)
-		execOpts := opts.Exec
-		execOpts.Obs = regs[plan.PE]
-		execOpts.Recorder = rec
-		execOpts.ObsPE = plan.PE
-		execOpts.SampleEvery = opts.SampleEvery
-		if opts.Fault != nil {
-			execOpts.Fault = opts.Fault
-			execOpts.FaultSiteBase = fault.OpSite(plan.PE, 0)
-		}
-		eng, err := exec.New(plan.Graph, execOpts)
+		rt, err := NewPERuntime(plan, regs[plan.PE], rec, opts, job.dumpOnTrip)
 		if err != nil {
 			abort()
-			return nil, fmt.Errorf("pe %d: %w", plan.PE, err)
-		}
-		rt := &PERuntime{Plan: plan, Eng: eng, Reg: regs[plan.PE]}
-		if !opts.DisableElasticity {
-			cfg := opts.Elastic
-			if cfg == (core.Config{}) {
-				cfg = core.DefaultConfig()
-			}
-			coord, err := core.NewCoordinator(eng, cfg)
-			if err != nil {
-				abort()
-				return nil, fmt.Errorf("pe %d coordinator: %w", plan.PE, err)
-			}
-			coord.SetObserver(func(ev core.TraceEvent) {
-				detail := string(ev.Phase)
-				if ev.Note != "" {
-					detail += ": " + ev.Note
-				}
-				rec.Record(obs.EvAdapt, peID, int64(ev.Threads), int64(ev.Queues), detail)
-			})
-			rt.Coord = coord
-		}
-		coord := rt.Coord
-		obs.RegisterSettled(rt.Reg, func() bool { return coord == nil || coord.Settled() })
-		if opts.EnableWatchdog {
-			wcfg := opts.Watchdog
-			userTrip, userRecover := wcfg.OnTrip, wcfg.OnRecover
-			wcfg.OnTrip = func(cause string) {
-				rec.Record(obs.EvWatchdogTrip, peID, 0, 0, cause)
-				job.dumpOnTrip(fmt.Sprintf("watchdog trip pe%d: %s", peID, cause))
-				if userTrip != nil {
-					userTrip(cause)
-				}
-			}
-			wcfg.OnRecover = func() {
-				rec.Record(obs.EvWatchdogRecover, peID, 0, 0, "")
-				if userRecover != nil {
-					userRecover()
-				}
-			}
-			rt.Watchdog = watchdogFor(rt, wcfg, opts.StallAfter)
-			registerWatchdogMetrics(rt.Reg, rt.Watchdog)
-		}
-		if opts.Checkpoint.Enabled {
-			if err := wireCheckpointer(rt, plan, opts); err != nil {
-				abort()
-				return nil, fmt.Errorf("pe %d checkpoint: %w", plan.PE, err)
-			}
+			return nil, err
 		}
 		job.PEs = append(job.PEs, rt)
 	}
@@ -420,25 +363,8 @@ func (j *Job) Start(ctx context.Context) error {
 	}
 	j.started = true
 	for _, rt := range j.PEs {
-		if err := rt.Eng.Start(ctx); err != nil {
-			return fmt.Errorf("pe %d start: %w", rt.Plan.PE, err)
-		}
-		if rt.Coord != nil {
-			actx, cancel := context.WithCancel(ctx)
-			done := make(chan struct{})
-			rt.cancel = cancel
-			rt.done = done
-			coord := rt.Coord
-			go func() {
-				defer close(done)
-				_ = coord.Run(actx)
-			}()
-		}
-		if rt.Watchdog != nil {
-			rt.Watchdog.Start()
-		}
-		if rt.Ckpt != nil {
-			rt.Ckpt.Start()
+		if err := rt.Start(ctx); err != nil {
+			return err
 		}
 	}
 	return nil

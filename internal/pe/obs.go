@@ -27,45 +27,67 @@ func (x *exportOp) batchSnapshot() obs.HistSnapshot {
 	return obs.HistSnapshot{Buckets: buckets, Count: count, Sum: sum, Scale: 1}
 }
 
+// registerExportMetrics registers (or rebinds) one export endpoint's series
+// on r, labeled (stream, dir=export, peer). It uses the registry's Set*
+// registrars so a re-created edge — a stream re-dialed to a replacement PE
+// during migration — re-registers under the same labels without panicking
+// or skipping: the series swap to the new endpoint's collectors.
+func registerExportMetrics(r *obs.Registry, exp *exportOp, stream int, peer string) {
+	l := []obs.Label{{Key: "stream", Value: strconv.Itoa(stream)}, {Key: "dir", Value: "export"}, {Key: "peer", Value: peer}}
+	r.SetCounterFunc(obs.MetricTransportTuples, "Tuples carried by the stream endpoint.", exp.Sent, l...)
+	r.SetCounterFunc(obs.MetricTransportFrames, "Wire frames staged (one per batch, or per tuple with PerTupleFrames).", exp.WireFrames, l...)
+	r.SetCounterFunc(obs.MetricTransportBytes, "Wire bytes through the stream endpoint.", exp.BytesSent, l...)
+	r.SetCounterFunc(obs.MetricTransportDropped, "Tuples the export could not stage.", exp.Dropped, l...)
+	r.SetCounterFunc(obs.MetricTransportFlushes, "Explicit writer flush syscalls.", exp.Flushes, l...)
+	r.SetCounterFunc(obs.MetricTransportRetransmits, "Frame writes beyond the first (resume traffic).", exp.Retransmits, l...)
+	r.SetCounterFunc(obs.MetricTransportReconnects, "Successful re-attaches after a lost connection.", exp.Reconnects, l...)
+	r.SetGaugeFunc(obs.MetricTransportUnacked, "Staged frames never acknowledged, set at close.",
+		func() float64 { return float64(exp.Unacked()) }, l...)
+	r.SetHistogramFunc(obs.MetricTransportDrainSize, "Staging-ring drain sizes (tuples per writer drain).",
+		exp.batchSnapshot, l...)
+}
+
+// registerImportMetrics is registerExportMetrics' receiving-side twin.
+func registerImportMetrics(r *obs.Registry, imp *importSource, stream int, peer string) {
+	l := []obs.Label{{Key: "stream", Value: strconv.Itoa(stream)}, {Key: "dir", Value: "import"}, {Key: "peer", Value: peer}}
+	r.SetCounterFunc(obs.MetricTransportTuples, "Tuples carried by the stream endpoint.", imp.Received, l...)
+	r.SetCounterFunc(obs.MetricTransportFrames, "Wire frames decoded (v1 single-tuple or v2 batch).", imp.FramesReceived, l...)
+	r.SetCounterFunc(obs.MetricTransportBytes, "Wire bytes through the stream endpoint.", imp.BytesReceived, l...)
+	r.SetCounterFunc(obs.MetricTransportDups, "Retransmitted tuples dropped by sequence dedup.", imp.DupsDropped, l...)
+	r.SetCounterFunc(obs.MetricTransportResumes, "Connections re-accepted after the first.", imp.Resumes, l...)
+}
+
+// RegisterMetrics registers (or rebinds) the export's transport series on r
+// under (stream, dir=export, peer=peerPE) labels; peerPE must be numeric
+// because /statusz parses it back into a PE index.
+func (e *Export) RegisterMetrics(r *obs.Registry, stream, peerPE int) {
+	registerExportMetrics(r, e.x, stream, strconv.Itoa(peerPE))
+}
+
+// RegisterMetrics registers (or rebinds) the import's transport series on r
+// under (stream, dir=import, peer=peerPE) labels.
+func (im *Import) RegisterMetrics(r *obs.Registry, stream, peerPE int) {
+	registerImportMetrics(r, im.s, stream, strconv.Itoa(peerPE))
+}
+
 // registerTransportMetrics registers every cross-PE stream endpoint's
 // counters on its owning PE's registry, labeled (stream, dir, peer) so
 // /metrics and BuildStatus can group them back into per-stream rows.
 func registerTransportMetrics(regs []*obs.Registry, plans []*Plan, crosses []CrossEdge) {
 	for _, ce := range crosses {
-		streamL := obs.Label{Key: "stream", Value: strconv.Itoa(ce.Stream)}
 		sender := plans[ce.FromPE]
 		for j, end := range sender.Exports {
 			if end.Stream != ce.Stream {
 				continue
 			}
-			exp := sender.exports[j]
-			r := regs[ce.FromPE]
-			l := []obs.Label{streamL, {Key: "dir", Value: "export"}, {Key: "peer", Value: strconv.Itoa(ce.ToPE)}}
-			r.CounterFunc(obs.MetricTransportTuples, "Tuples carried by the stream endpoint.", exp.Sent, l...)
-			r.CounterFunc(obs.MetricTransportFrames, "Wire frames staged (one per batch, or per tuple with PerTupleFrames).", exp.WireFrames, l...)
-			r.CounterFunc(obs.MetricTransportBytes, "Wire bytes through the stream endpoint.", exp.BytesSent, l...)
-			r.CounterFunc(obs.MetricTransportDropped, "Tuples the export could not stage.", exp.Dropped, l...)
-			r.CounterFunc(obs.MetricTransportFlushes, "Explicit writer flush syscalls.", exp.Flushes, l...)
-			r.CounterFunc(obs.MetricTransportRetransmits, "Frame writes beyond the first (resume traffic).", exp.Retransmits, l...)
-			r.CounterFunc(obs.MetricTransportReconnects, "Successful re-attaches after a lost connection.", exp.Reconnects, l...)
-			r.GaugeFunc(obs.MetricTransportUnacked, "Staged frames never acknowledged, set at close.",
-				func() float64 { return float64(exp.Unacked()) }, l...)
-			r.HistogramFunc(obs.MetricTransportDrainSize, "Staging-ring drain sizes (tuples per writer drain).",
-				exp.batchSnapshot, l...)
+			registerExportMetrics(regs[ce.FromPE], sender.exports[j], ce.Stream, strconv.Itoa(ce.ToPE))
 		}
 		receiver := plans[ce.ToPE]
 		for j, end := range receiver.Imports {
 			if end.Stream != ce.Stream {
 				continue
 			}
-			imp := receiver.imports[j]
-			r := regs[ce.ToPE]
-			l := []obs.Label{streamL, {Key: "dir", Value: "import"}, {Key: "peer", Value: strconv.Itoa(ce.FromPE)}}
-			r.CounterFunc(obs.MetricTransportTuples, "Tuples carried by the stream endpoint.", imp.Received, l...)
-			r.CounterFunc(obs.MetricTransportFrames, "Wire frames decoded (v1 single-tuple or v2 batch).", imp.FramesReceived, l...)
-			r.CounterFunc(obs.MetricTransportBytes, "Wire bytes through the stream endpoint.", imp.BytesReceived, l...)
-			r.CounterFunc(obs.MetricTransportDups, "Retransmitted tuples dropped by sequence dedup.", imp.DupsDropped, l...)
-			r.CounterFunc(obs.MetricTransportResumes, "Connections re-accepted after the first.", imp.Resumes, l...)
+			registerImportMetrics(regs[ce.ToPE], receiver.imports[j], ce.Stream, strconv.Itoa(ce.FromPE))
 		}
 	}
 }

@@ -87,6 +87,12 @@ type exportOp struct {
 	cfg  TransportConfig
 	addr string // redial address; "" = single-connection mode (tests)
 
+	// seedSeq pre-loads the writer's wire-sequence counter so a replacement
+	// export continues a retired predecessor's sequence domain (region
+	// migration). Written before connect; the writer goroutine reads it once
+	// at startup.
+	seedSeq uint64
+
 	// inj/site are the chaos hook: nil inj means no injection.
 	inj  *fault.Injector
 	site int
@@ -97,6 +103,7 @@ type exportOp struct {
 
 	mu    sync.Mutex // guards connect/close transitions and conn epochs
 	conn  net.Conn   // current epoch's connection, for close()
+	thaw  chan struct{} // non-nil exactly while the edge is frozen
 	ring  *queue.MPMC[*spl.Tuple]
 	wake  chan struct{}
 	space chan struct{}
@@ -106,6 +113,7 @@ type exportOp struct {
 	wired     atomic.Bool
 	parked    atomic.Bool
 	closed    atomic.Bool
+	frozen    atomic.Bool  // migration freeze: writer parks, producers wait
 	failed    atomic.Bool  // permanent: connection lost with no redial address
 	connected atomic.Bool  // current connection attached and healthy
 	local     atomic.Bool  // in-process edge: peer import pops the ring directly
@@ -114,6 +122,8 @@ type exportOp struct {
 	acked  atomic.Uint64 // receiver's acknowledged wire-sequence watermark
 	ackSig chan struct{}
 
+	seqHigh    atomic.Uint64 // highest wire sequence staged (readable snapshot of nextSeq)
+	retransT   atomic.Uint64 // tuples rewritten on resume (replay accounting)
 	sent       atomic.Uint64 // tuples staged (assigned a wire sequence)
 	wireFrames atomic.Uint64 // frames staged (one per tuple or per batch)
 	dropped    atomic.Uint64 // tuples the stream never staged
@@ -254,6 +264,23 @@ func (x *exportOp) Process(_ int, t *spl.Tuple, _ spl.Emitter) {
 				x.wakeWriter()
 				return
 			}
+			if th := x.frozenThaw(); th != nil {
+				// A frozen edge parks the producer instead of dropping: the
+				// block timeout is suspended for the freeze's duration and
+				// restarts from zero at thaw.
+				if !timer.Stop() {
+					select {
+					case <-timer.C:
+					default:
+					}
+				}
+				select {
+				case <-th:
+				case <-x.quit:
+				}
+				timer.Reset(x.cfg.BlockTimeout)
+				continue
+			}
 			select {
 			case <-x.space:
 			case <-x.quit:
@@ -264,6 +291,78 @@ func (x *exportOp) Process(_ int, t *spl.Tuple, _ spl.Emitter) {
 		}
 	}
 	x.dropped.Add(1)
+}
+
+// freeze parks the stream: the writer goroutine stops staging frames (it
+// flushes what is buffered, then waits) and producers blocked on a full
+// staging ring wait for the thaw instead of timing out into the drop
+// counter. Staged tuples stay in the ring; nothing is lost. Idempotent.
+func (x *exportOp) freeze() {
+	x.mu.Lock()
+	if x.thaw == nil {
+		x.thaw = make(chan struct{})
+		x.frozen.Store(true)
+	}
+	x.mu.Unlock()
+}
+
+// unfreeze releases a frozen stream: the writer resumes draining the staging
+// ring and blocked producers retry their pushes. Idempotent.
+func (x *exportOp) unfreeze() {
+	x.mu.Lock()
+	th := x.thaw
+	x.thaw = nil
+	x.frozen.Store(false)
+	x.mu.Unlock()
+	if th != nil {
+		close(th)
+	}
+	x.signalSpace()
+	x.wakeWriter()
+}
+
+// frozenThaw returns the channel to wait on while the edge is frozen, or nil
+// when it is not. The atomic pre-check keeps the hot path lock-free; the
+// mu-guarded re-read closes the race with a concurrent unfreeze (a nil thaw
+// after the flag read means the freeze already lifted).
+func (x *exportOp) frozenThaw() chan struct{} {
+	if !x.frozen.Load() {
+		return nil
+	}
+	x.mu.Lock()
+	th := x.thaw
+	x.mu.Unlock()
+	return th
+}
+
+// seedSequence pre-loads the wire-sequence counter so this export continues
+// a predecessor's sequence domain after a region migration. Must be called
+// before connect. The acked watermark seeds too: sequences at or below the
+// seed were acknowledged to the predecessor.
+func (x *exportOp) seedSequence(n uint64) {
+	x.seedSeq = n
+	x.seqHigh.Store(n)
+	storeMax(&x.acked, n)
+}
+
+// reroute points the stream at a new peer address and kills the current
+// connection; the writer's redial loop picks up the new address and the
+// resume handshake replays anything the new peer has not seen.
+func (x *exportOp) reroute(addr string) {
+	x.mu.Lock()
+	x.addr = addr
+	conn := x.conn
+	x.mu.Unlock()
+	if conn != nil {
+		_ = conn.Close()
+	}
+}
+
+// currentAddr reads the redial address under mu (reroute writes it there).
+func (x *exportOp) currentAddr() string {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	return x.addr
 }
 
 // wakeWriter nudges a parked writer. The writer re-checks the ring after
@@ -326,8 +425,9 @@ func (s *connSession) teardown() {
 func (x *exportOp) writerLoop(first net.Conn) {
 	defer close(x.done)
 	st := &writerState{
-		retr:  newRetransRing(x.cfg.RetransmitCapacity),
-		batch: make([]*spl.Tuple, writerBatchTuples),
+		retr:    newRetransRing(x.cfg.RetransmitCapacity),
+		nextSeq: x.seedSeq,
+		batch:   make([]*spl.Tuple, writerBatchTuples),
 	}
 	conn := first
 	for {
@@ -346,7 +446,7 @@ func (x *exportOp) writerLoop(first net.Conn) {
 			x.finish(st)
 			return
 		}
-		if x.addr == "" {
+		if x.currentAddr() == "" {
 			x.failed.Store(true)
 			x.dropPending(st)
 			x.drainUntilQuit(st)
@@ -390,6 +490,7 @@ func (x *exportOp) attach(conn net.Conn, st *writerState) (*connSession, error) 
 		return x.writeBytes(sess, frame)
 	})
 	x.retrans.Add(uint64(frames))
+	x.retransT.Add(uint64(tuples))
 	if err != nil {
 		return sess, err
 	}
@@ -453,6 +554,30 @@ func (x *exportOp) inFlight(nextSeq uint64) uint64 {
 func (x *exportOp) runConn(sess *connSession, st *writerState) {
 	var pendingSince time.Time
 	for {
+		if th := x.frozenThaw(); th != nil {
+			// Migration freeze: flush what is buffered so the peer can
+			// acknowledge it, then park without staging anything further —
+			// not even leftover pending tuples, so the staged watermark
+			// (seqHigh) stops moving and quiescence can be observed. The
+			// freeze survives connection epochs: a reroute closes the
+			// connection, ackDone fires, the next epoch parks here again.
+			if x.flushSess(sess) != nil {
+				return
+			}
+			x.parked.Store(true)
+			select {
+			case <-th:
+				x.parked.Store(false)
+				continue
+			case <-sess.ackDone:
+				x.parked.Store(false)
+				return
+			case <-x.quit:
+				x.parked.Store(false)
+				x.finalDrain(sess, st)
+				return
+			}
+		}
 		if st.pHead < len(st.pending) {
 			if err := x.stagePending(sess, st); err != nil {
 				if errors.Is(err, errExportClosing) {
@@ -556,6 +681,7 @@ func (x *exportOp) stagePerTuple(sess *connSession, st *writerState) error {
 			continue
 		}
 		st.nextSeq = seq
+		x.seqHigh.Store(seq)
 		x.sent.Add(1)
 		x.wireFrames.Add(1)
 		t.Release()
@@ -640,6 +766,7 @@ func (x *exportOp) stageBatch(sess *connSession, st *writerState) error {
 			continue
 		}
 		st.nextSeq += uint64(k)
+		x.seqHigh.Store(st.nextSeq)
 		x.sent.Add(uint64(k))
 		x.wireFrames.Add(1)
 		for _, t := range chunk {
@@ -868,7 +995,7 @@ func (x *exportOp) redial() net.Conn {
 		if x.closed.Load() {
 			return nil
 		}
-		conn, err := net.DialTimeout("tcp", x.addr, handshakeTimeout)
+		conn, err := net.DialTimeout("tcp", x.currentAddr(), handshakeTimeout)
 		if err == nil {
 			return conn
 		}
@@ -1069,6 +1196,15 @@ func newImportSource(name string) *importSource {
 	s := &importSource{name: name}
 	s.ackFloor.Store(^uint64(0)) // ungated until checkpointing arms the gate
 	return s
+}
+
+// seedWatermark pre-loads the delivered/emitted watermarks so a replacement
+// import continues a retired predecessor's sequence domain: the next resume
+// handshake tells the (rerouted) sender to skip everything the old import
+// already delivered. Must be called before connect.
+func (s *importSource) seedWatermark(n uint64) {
+	s.delivered.Store(n)
+	s.emitted.Store(n)
 }
 
 // gateAcks arms the ack floor at zero: no frame is acknowledged upstream
